@@ -1,0 +1,300 @@
+// Package balance is a library for superblock instruction scheduling with
+// branch-tradeoff-aware lower bounds, reproducing Eichenberger & Meleis,
+// "Balance Scheduling: Weighting Branch Tradeoffs in Superblocks"
+// (MICRO 1999).
+//
+// The package provides:
+//
+//   - a superblock model (dependence DAG + ordered exit branches with
+//     probabilities) built with a Builder;
+//   - six VLIW machine configurations (GP1/GP2/GP4 and FS4/FS6/FS8) plus
+//     constructors for custom ones;
+//   - lower bounds on the weighted completion time: critical path, Hu,
+//     Rim & Jain, Langevin & Cerny, and the paper's Pairwise and Triplewise
+//     superblock bounds (ComputeBounds);
+//   - schedulers: Successive Retirement, Critical Path, G*, DHASY, Help,
+//     the Balance heuristic (the paper's contribution), and the Best
+//     meta-heuristic;
+//   - an exact branch-and-bound scheduler for small superblocks;
+//   - a deterministic synthetic SPECint95-like corpus generator and the
+//     evaluation harness that regenerates every table and figure of the
+//     paper (see package balance/internal/eval via the sbeval tool).
+//
+// Quick start:
+//
+//	b := balance.NewBuilder("example")
+//	x := b.Int()
+//	y := b.Int(x)
+//	b.Branch(0.3, y)       // side exit, 30% taken
+//	z := b.Int(x)
+//	b.Branch(0, z)         // final exit
+//	sb := b.MustBuild()
+//
+//	m := balance.GP2()
+//	sched, _, err := balance.Balance().Run(sb, m)
+//	cost := balance.Cost(sb, sched)
+package balance
+
+import (
+	"io"
+	"math/rand"
+
+	"balance/internal/bounds"
+	"balance/internal/cfg"
+	"balance/internal/core"
+	"balance/internal/exact"
+	"balance/internal/gen"
+	"balance/internal/heuristics"
+	"balance/internal/model"
+	"balance/internal/sbfile"
+	"balance/internal/sched"
+)
+
+// Core model types.
+type (
+	// Superblock is a dependence DAG with ordered exit branches.
+	Superblock = model.Superblock
+	// Builder constructs superblocks incrementally.
+	Builder = model.Builder
+	// Machine is a fully pipelined VLIW configuration.
+	Machine = model.Machine
+	// Class identifies an operation kind (Int, Load, ...).
+	Class = model.Class
+	// Op is one operation of a dependence graph.
+	Op = model.Op
+	// Graph is an immutable dependence DAG.
+	Graph = model.Graph
+	// Edge is a latency-annotated dependence.
+	Edge = model.Edge
+
+	// Schedule assigns an issue cycle to every operation.
+	Schedule = sched.Schedule
+	// Stats counts the work a scheduler performed.
+	Stats = sched.Stats
+	// Heuristic is a named scheduling algorithm.
+	Heuristic = heuristics.Heuristic
+
+	// BoundSet is the full collection of lower bounds for one superblock
+	// on one machine.
+	BoundSet = bounds.Set
+	// BoundOptions configures ComputeBounds.
+	BoundOptions = bounds.Options
+	// PairBound is the pairwise branch-tradeoff bound (Theorem 2).
+	PairBound = bounds.PairBound
+	// TripleBound is the triplewise bound (Section 4.4).
+	TripleBound = bounds.TripleBound
+
+	// BalanceConfig selects Balance heuristic components (Table 7).
+	BalanceConfig = core.Config
+
+	// Profile describes a synthetic benchmark for the corpus generator.
+	Profile = gen.Profile
+	// Suite is a generated multi-benchmark corpus.
+	Suite = gen.Suite
+)
+
+// Operation classes.
+const (
+	Int      = model.Int
+	Load     = model.Load
+	Store    = model.Store
+	FloatAdd = model.FloatAdd
+	FloatMul = model.FloatMul
+	FloatDiv = model.FloatDiv
+	Branch   = model.Branch
+)
+
+// BranchLatency is the latency of every branch (the paper's l_br).
+const BranchLatency = model.BranchLatency
+
+// Balance update modes (see BalanceConfig.Update).
+const (
+	UpdatePerOp    = core.UpdatePerOp
+	UpdateLight    = core.UpdateLight
+	UpdatePerCycle = core.UpdatePerCycle
+)
+
+// NewBuilder returns a Builder for a superblock with the given name.
+func NewBuilder(name string) *Builder { return model.NewBuilder(name) }
+
+// Machine constructors: the six configurations of the paper plus custom
+// general-purpose and fully specialized machines.
+func GP1() *Machine { return model.GP1() }
+
+// GP2 returns the two-wide general-purpose machine.
+func GP2() *Machine { return model.GP2() }
+
+// GP4 returns the four-wide general-purpose machine.
+func GP4() *Machine { return model.GP4() }
+
+// FS4 returns the (1,1,1,1) specialized machine.
+func FS4() *Machine { return model.FS4() }
+
+// FS6 returns the (2,2,1,1) specialized machine.
+func FS6() *Machine { return model.FS6() }
+
+// FS8 returns the (3,2,2,1) specialized machine.
+func FS8() *Machine { return model.FS8() }
+
+// NewGP returns a general-purpose machine with the given width.
+func NewGP(width int) *Machine { return model.NewGP(width) }
+
+// NewFS returns a specialized machine with the given unit mix.
+func NewFS(intUnits, memUnits, floatUnits, branchUnits int) *Machine {
+	return model.NewFS(intUnits, memUnits, floatUnits, branchUnits)
+}
+
+// Machines returns the six standard configurations.
+func Machines() []*Machine { return model.Machines() }
+
+// MachineByName returns a standard configuration by name ("GP2", "FS6"...).
+func MachineByName(name string) (*Machine, error) { return model.MachineByName(name) }
+
+// Cost returns the exit-probability-weighted completion time of a schedule.
+func Cost(sb *Superblock, s *Schedule) float64 { return sched.Cost(sb, s) }
+
+// Verify checks a schedule's legality (dependences and resources).
+func Verify(sb *Superblock, m *Machine, s *Schedule) error { return sched.Verify(sb, m, s) }
+
+// BranchCycles returns each exit branch's issue cycle.
+func BranchCycles(sb *Superblock, s *Schedule) []int { return sched.BranchCycles(sb, s) }
+
+// ComputeBounds runs every lower-bound algorithm on the superblock.
+func ComputeBounds(sb *Superblock, m *Machine, opts BoundOptions) *BoundSet {
+	return bounds.Compute(sb, m, opts)
+}
+
+// Schedulers.
+
+// Balance returns the paper's Balance heuristic with its default (full)
+// configuration.
+func Balance() Heuristic { return core.Balance(core.DefaultConfig()) }
+
+// BalanceWith returns the Balance heuristic with a custom configuration
+// (for the Table-7 ablations).
+func BalanceWith(cfg BalanceConfig) Heuristic { return core.Balance(cfg) }
+
+// DefaultBalanceConfig returns the full Balance configuration.
+func DefaultBalanceConfig() BalanceConfig { return core.DefaultConfig() }
+
+// SR returns the Successive Retirement heuristic.
+func SR() Heuristic { return heuristics.SR() }
+
+// CP returns the Critical Path heuristic.
+func CP() Heuristic { return heuristics.CP() }
+
+// GStar returns the G* heuristic (Critical Path secondary).
+func GStar() Heuristic { return heuristics.GStar() }
+
+// DHASY returns the Dependence Height and Speculative Yield heuristic.
+func DHASY() Heuristic { return heuristics.DHASY() }
+
+// Help returns the Speculative-Hedge-based Help heuristic.
+func Help() Heuristic { return heuristics.Help() }
+
+// Heuristics returns the paper's six primary heuristics in table order.
+func Heuristics() []Heuristic {
+	return []Heuristic{SR(), CP(), GStar(), DHASY(), Help(), Balance()}
+}
+
+// Best returns the meta-heuristic keeping the cheapest of the six primary
+// heuristics' schedules plus the 121 CP×SR×DHASY cross-product schedules.
+func Best() Heuristic { return heuristics.Best(Heuristics()) }
+
+// Optimal finds a provably optimal schedule by branch and bound (intended
+// for superblocks of up to ~20 operations; maxNodes ≤ 0 uses the default
+// search budget).
+func Optimal(sb *Superblock, m *Machine, maxNodes int) (*Schedule, float64, error) {
+	return exact.Optimal(sb, m, maxNodes)
+}
+
+// Corpus generation.
+
+// SPECint95Profiles returns the eight synthetic benchmark profiles.
+func SPECint95Profiles() []Profile { return gen.SPECint95() }
+
+// GenerateSuite generates the full synthetic SPECint95 corpus.
+func GenerateSuite(seed int64, scale float64) *Suite { return gen.GenerateSuite(seed, scale) }
+
+// GenerateBenchmark generates one benchmark's superblocks.
+func GenerateBenchmark(p Profile, seed int64, scale float64) []*Superblock {
+	return gen.Generate(p, seed, scale)
+}
+
+// Control-flow graphs and superblock formation (the LEGO-compiler stand-in:
+// profiled CFGs grown into hot traces and emitted as superblocks).
+type (
+	// CFG is a profiled control-flow graph region.
+	CFG = cfg.Graph
+	// CFGBlock is one basic block of a CFG.
+	CFGBlock = cfg.Block
+	// CFGOp is a register-based operation inside a CFG block.
+	CFGOp = cfg.Op
+	// CFGEdge is a profiled control-flow edge.
+	CFGEdge = cfg.Edge
+	// Reg is a virtual register number (0 = none).
+	Reg = cfg.Reg
+	// FormationConfig tunes superblock formation.
+	FormationConfig = cfg.FormationConfig
+	// Trace is a grown hot trace of block IDs.
+	Trace = cfg.Trace
+	// RandomCFGConfig tunes random profiled-CFG generation.
+	RandomCFGConfig = cfg.RandomConfig
+)
+
+// DefaultFormation returns the standard trace-growing parameters.
+func DefaultFormation() FormationConfig { return cfg.DefaultFormation() }
+
+// GrowTraces grows hot traces over the CFG with the mutual-most-likely
+// heuristic.
+func GrowTraces(g *CFG, fc FormationConfig) []Trace { return cfg.GrowTraces(g, fc) }
+
+// FormSuperblocks grows traces over the CFG and forms one superblock per
+// trace, with exit probabilities derived from the edge profile.
+func FormSuperblocks(g *CFG, fc FormationConfig) ([]*Superblock, error) { return cfg.FormAll(g, fc) }
+
+// RandomCFG builds a random acyclic profiled CFG.
+func RandomCFG(name string, rng *rand.Rand, rc RandomCFGConfig) *CFG {
+	return cfg.Random(name, rng, rc)
+}
+
+// DefaultRandomCFG returns reasonable random-CFG parameters.
+func DefaultRandomCFG() RandomCFGConfig { return cfg.DefaultRandom() }
+
+// Schedule rendering.
+
+// RenderSchedule formats a schedule as a cycle-by-cycle listing.
+func RenderSchedule(sb *Superblock, s *Schedule) string { return sched.Render(sb, s) }
+
+// RenderGantt formats a schedule as a per-functional-unit occupancy chart.
+func RenderGantt(sb *Superblock, m *Machine, s *Schedule) string { return sched.RenderGantt(sb, m, s) }
+
+// Superblock file I/O (.sb text format).
+
+// WriteSuperblocks encodes superblocks to w in the .sb text format.
+func WriteSuperblocks(w io.Writer, sbs ...*Superblock) error { return sbfile.Write(w, sbs...) }
+
+// ReadSuperblocks parses every superblock in r.
+func ReadSuperblocks(r io.Reader) ([]*Superblock, error) { return sbfile.Read(r) }
+
+// WriteDOT renders the superblock's dependence graph in Graphviz DOT format.
+func WriteDOT(w io.Writer, sb *Superblock) error { return sbfile.WriteDOT(w, sb) }
+
+// Graph utilities.
+
+// ReduceEdges removes transitively redundant dependence edges; the set of
+// legal schedules (and therefore every bound and cost) is unchanged.
+func ReduceEdges(sb *Superblock) *Superblock { return model.ReduceEdges(sb) }
+
+// ExpandOccupancy returns the Rim & Jain fully pipelined modeling of the
+// superblock for a machine with non-fully-pipelined units, plus the mapping
+// from expanded to original op IDs (nil when already fully pipelined).
+func ExpandOccupancy(sb *Superblock, m *Machine) (*Superblock, []int) {
+	return model.ExpandOccupancy(sb, m)
+}
+
+// Compact moves operations of a legal schedule to earlier cycles where
+// dependences and resources allow; the cost never increases.
+func Compact(sb *Superblock, m *Machine, s *Schedule) (*Schedule, int) {
+	return sched.Compact(sb, m, s)
+}

@@ -1,0 +1,130 @@
+// Tests of the public facade: everything a downstream user touches must
+// work through the balance package alone.
+package balance_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"balance"
+)
+
+// buildDemo constructs a small two-exit superblock through the public API.
+func buildDemo(t *testing.T) *balance.Superblock {
+	t.Helper()
+	b := balance.NewBuilder("demo")
+	x := b.Int()
+	y := b.Int(x)
+	b.Branch(0.3, y)
+	z := b.Load()
+	w := b.Int(z, x)
+	b.Branch(0, w)
+	sb, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sb
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	sb := buildDemo(t)
+	for _, m := range balance.Machines() {
+		set := balance.ComputeBounds(sb, m, balance.BoundOptions{Triplewise: true, TriplewiseExact: true})
+		if set.Tightest <= 0 {
+			t.Fatalf("%s: no bound computed", m)
+		}
+		for _, h := range append(balance.Heuristics(), balance.Best()) {
+			s, stats, err := h.Run(sb, m)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", h.Name, m, err)
+			}
+			if err := balance.Verify(sb, m, s); err != nil {
+				t.Fatalf("%s: %v", h.Name, err)
+			}
+			if c := balance.Cost(sb, s); c < set.Tightest-1e-9 {
+				t.Fatalf("%s on %s: cost %v below bound %v", h.Name, m, c, set.Tightest)
+			}
+			if stats.Decisions == 0 {
+				t.Errorf("%s recorded no decisions", h.Name)
+			}
+		}
+		_, opt, err := balance.Optimal(sb, m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt < set.Tightest-1e-9 {
+			t.Fatalf("%s: optimum %v below bound %v", m, opt, set.Tightest)
+		}
+	}
+}
+
+func TestFacadeFileRoundTrip(t *testing.T) {
+	sb := buildDemo(t)
+	var buf bytes.Buffer
+	if err := balance.WriteSuperblocks(&buf, sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := balance.ReadSuperblocks(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].G.NumOps() != sb.G.NumOps() {
+		t.Fatal("round trip lost the superblock")
+	}
+}
+
+func TestFacadeGeneration(t *testing.T) {
+	profiles := balance.SPECint95Profiles()
+	if len(profiles) != 8 {
+		t.Fatalf("got %d profiles", len(profiles))
+	}
+	suite := balance.GenerateSuite(42, 0.05)
+	if suite.NumSuperblocks() == 0 {
+		t.Fatal("empty suite")
+	}
+	for _, sb := range suite.All() {
+		if err := sb.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFacadeCustomMachines(t *testing.T) {
+	m := balance.NewFS(2, 1, 1, 1)
+	if m.IssueWidth() != 5 {
+		t.Errorf("width = %d", m.IssueWidth())
+	}
+	np := balance.GP2().WithOccupancy(balance.FloatMul, 3)
+	if np.FullyPipelined() {
+		t.Error("occupancy lost")
+	}
+	sb := buildDemo(t)
+	s, _, err := balance.Balance().Run(sb, np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := balance.Verify(sb, np, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeBalanceVariants(t *testing.T) {
+	cfg := balance.DefaultBalanceConfig()
+	cfg.Tradeoff = false
+	cfg.Update = balance.UpdateLight
+	h := balance.BalanceWith(cfg)
+	if !strings.Contains(h.Name, "Balance") {
+		t.Errorf("variant name %q", h.Name)
+	}
+	sb := buildDemo(t)
+	if _, _, err := h.Run(sb, balance.FS6()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeBranchLatency(t *testing.T) {
+	if balance.BranchLatency != 1 {
+		t.Errorf("branch latency = %d", balance.BranchLatency)
+	}
+}

@@ -1,0 +1,306 @@
+// Benchmarks regenerating each table and figure of the paper on a reduced
+// corpus (use cmd/sbeval for full-size runs; EXPERIMENTS.md records the
+// full-corpus outputs). One benchmark exists per table/figure, as indexed
+// in DESIGN.md, plus micro-benchmarks for the core algorithms.
+package balance_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"balance"
+	"balance/internal/eval"
+	"balance/internal/figures"
+	"balance/internal/model"
+)
+
+// benchCfg returns a reduced-corpus configuration sized for benchmarking.
+func benchCfg(machines ...*model.Machine) eval.Config {
+	if len(machines) == 0 {
+		machines = []*model.Machine{model.GP2(), model.FS4()}
+	}
+	return eval.Config{Seed: 1999, Scale: 0.02, Machines: machines, Triplewise: true}
+}
+
+func BenchmarkTable1BoundQuality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := eval.NewRunner(benchCfg())
+		if _, err := r.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2BoundComplexity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := eval.NewRunner(benchCfg())
+		if _, err := r.Table2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3Slowdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := eval.NewRunner(benchCfg())
+		if _, err := r.Table3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4OptimalPct(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := eval.NewRunner(benchCfg())
+		if _, err := r.Table4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5NoProfile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := eval.NewRunner(benchCfg())
+		if _, err := r.Table5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable6HeuristicComplexity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := eval.NewRunner(benchCfg())
+		if _, err := r.Table6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable7Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := eval.NewRunner(benchCfg())
+		if _, err := r.Table7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure8CDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := eval.NewRunner(benchCfg(model.FS4()))
+		if _, err := r.Figure8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigureExamples(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, n := range []int{1, 2, 3, 4, 6} {
+			if _, err := eval.WorkedFigure(n, 0.25); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// Micro-benchmarks of the core algorithms on the Figure-1 example and a
+// mid-size generated superblock.
+
+func midSB() *balance.Superblock {
+	p, _ := balance.SPECint95Profiles(), 0
+	_ = p
+	for _, prof := range balance.SPECint95Profiles() {
+		if prof.Name == "126.gcc" {
+			sbs := balance.GenerateBenchmark(prof, 5, 0.05)
+			// Pick the largest.
+			best := sbs[0]
+			for _, sb := range sbs {
+				if sb.G.NumOps() > best.G.NumOps() {
+					best = sb
+				}
+			}
+			return best
+		}
+	}
+	panic("gcc profile missing")
+}
+
+func BenchmarkBoundsPairwise(b *testing.B) {
+	sb := midSB()
+	m := balance.FS4()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		balance.ComputeBounds(sb, m, balance.BoundOptions{})
+	}
+}
+
+func BenchmarkBoundsTriplewise(b *testing.B) {
+	sb := midSB()
+	m := balance.FS4()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		balance.ComputeBounds(sb, m, balance.BoundOptions{Triplewise: true, TripleMaxBranches: 16})
+	}
+}
+
+func BenchmarkBalanceSchedule(b *testing.B) {
+	sb := midSB()
+	m := balance.FS4()
+	h := balance.Balance()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := h.Run(sb, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHelpSchedule(b *testing.B) {
+	sb := midSB()
+	m := balance.FS4()
+	h := balance.Help()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := h.Run(sb, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDHASYSchedule(b *testing.B) {
+	sb := midSB()
+	m := balance.FS4()
+	h := balance.DHASY()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := h.Run(sb, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactFigure4(b *testing.B) {
+	sb := figures.Figure4(0.25)
+	m := balance.GP2()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := balance.Optimal(sb, m, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation benchmarks for the design choices DESIGN.md calls out.
+
+// benchBalanceCfg times one Balance configuration over a small fixed corpus.
+func benchBalanceCfg(b *testing.B, cfg balance.BalanceConfig) {
+	b.Helper()
+	suite := balance.GenerateSuite(1999, 0.03)
+	corpus := suite.All()
+	m := balance.FS4()
+	h := balance.BalanceWith(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, sb := range corpus {
+			if _, _, err := h.Run(sb, m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkAblationBalanceFull(b *testing.B) {
+	benchBalanceCfg(b, balance.DefaultBalanceConfig())
+}
+
+func BenchmarkAblationBalanceLightUpdate(b *testing.B) {
+	cfg := balance.DefaultBalanceConfig()
+	cfg.Update = balance.UpdateLight
+	benchBalanceCfg(b, cfg)
+}
+
+func BenchmarkAblationBalancePerCycle(b *testing.B) {
+	cfg := balance.DefaultBalanceConfig()
+	cfg.Update = balance.UpdatePerCycle
+	benchBalanceCfg(b, cfg)
+}
+
+func BenchmarkAblationBalanceNoTradeoff(b *testing.B) {
+	cfg := balance.DefaultBalanceConfig()
+	cfg.Tradeoff = false
+	benchBalanceCfg(b, cfg)
+}
+
+func BenchmarkAblationBalanceNoBounds(b *testing.B) {
+	cfg := balance.DefaultBalanceConfig()
+	cfg.UseBounds = false
+	cfg.Tradeoff = false
+	benchBalanceCfg(b, cfg)
+}
+
+// BenchmarkAblationTheorem1 contrasts the Langevin & Cerny recursion with
+// and without the Theorem-1 shortcut.
+func BenchmarkAblationTheorem1(b *testing.B) {
+	sb := midSB()
+	m := balance.FS4()
+	b.Run("with", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			balance.ComputeBounds(sb, m, balance.BoundOptions{})
+		}
+	})
+	b.Run("without", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			balance.ComputeBounds(sb, m, balance.BoundOptions{WithLCOriginal: true})
+		}
+	})
+}
+
+// BenchmarkAblationTriplewise contrasts the curve-combination triplewise
+// bound with the direct two-edge relaxation.
+func BenchmarkAblationTriplewise(b *testing.B) {
+	sb := midSB()
+	m := balance.FS4()
+	b.Run("combination", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			balance.ComputeBounds(sb, m, balance.BoundOptions{Triplewise: true})
+		}
+	})
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			balance.ComputeBounds(sb, m, balance.BoundOptions{Triplewise: true, TriplewiseExact: true})
+		}
+	})
+}
+
+// BenchmarkCFGFormation times the profiled-CFG superblock formation
+// pipeline.
+func BenchmarkCFGFormation(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	graphs := make([]*balance.CFG, 20)
+	for i := range graphs {
+		graphs[i] = balance.RandomCFG("bench", rng, balance.DefaultRandomCFG())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range graphs {
+			if _, err := balance.FormSuperblocks(g, balance.DefaultFormation()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkCompact times the schedule-compaction post-pass.
+func BenchmarkCompact(b *testing.B) {
+	sb := midSB()
+	m := balance.FS4()
+	s, _, err := balance.SR().Run(sb, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		balance.Compact(sb, m, s)
+	}
+}

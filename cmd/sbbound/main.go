@@ -1,0 +1,76 @@
+// Command sbbound computes lower bounds for superblocks in a .sb file.
+//
+// Usage:
+//
+//	sbbound [-machine GP2] [-triplewise] [-v] [file]
+//
+// With no file it reads stdin. For every superblock it prints the
+// per-branch CP/Hu/RJ/LC bounds and the superblock-level naive, pairwise,
+// triplewise, and tightest weighted-completion bounds. With -v the pairwise
+// tradeoff curves are printed too.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"balance"
+)
+
+func main() {
+	machine := flag.String("machine", "GP2", "machine configuration (GP1,GP2,GP4,FS4,FS6,FS8)")
+	triple := flag.Bool("triplewise", true, "compute the triplewise bound")
+	verbose := flag.Bool("v", false, "print pairwise tradeoff curves")
+	dot := flag.Bool("dot", false, "emit Graphviz DOT of each dependence graph instead of bounds")
+	flag.Parse()
+
+	m, err := balance.MachineByName(*machine)
+	if err != nil {
+		fatal(err)
+	}
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	sbs, err := balance.ReadSuperblocks(in)
+	if err != nil {
+		fatal(err)
+	}
+	for _, sb := range sbs {
+		if *dot {
+			if err := balance.WriteDOT(os.Stdout, sb); err != nil {
+				fatal(err)
+			}
+			continue
+		}
+		set := balance.ComputeBounds(sb, m, balance.BoundOptions{Triplewise: *triple, TripleMaxBranches: 16})
+		fmt.Printf("%s (%d ops, %d exits) on %s\n", sb.Name, sb.G.NumOps(), sb.NumBranches(), m.Name)
+		fmt.Printf("  per-branch   CP=%v Hu=%v RJ=%v LC=%v\n", set.CP, set.Hu, set.RJ, set.LC)
+		fmt.Printf("  superblock   CP=%.4f Hu=%.4f RJ=%.4f LC=%.4f PW=%.4f TW=%.4f tightest=%.4f\n",
+			set.CPVal, set.HuVal, set.RJVal, set.LCVal, set.PairVal, set.TripleVal, set.Tightest)
+		if *verbose {
+			for _, pr := range set.Pairs {
+				if pr.NoTradeoff {
+					fmt.Printf("  pair (%d,%d): no tradeoff\n", pr.I, pr.J)
+					continue
+				}
+				fmt.Printf("  pair (%d,%d): optimum t_i=%d t_j=%d value=%.4f\n", pr.I, pr.J, pr.Bi, pr.Bj, pr.Value)
+				for s := pr.Lmin; s <= pr.Lmax; s++ {
+					fmt.Printf("    sep=%2d -> t_i>=%2d t_j>=%2d\n", s, pr.X(s), pr.Y(s))
+				}
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sbbound:", err)
+	os.Exit(1)
+}

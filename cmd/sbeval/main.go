@@ -1,0 +1,146 @@
+// Command sbeval regenerates the tables and figures of the paper's
+// evaluation on the synthetic SPECint95 corpus.
+//
+// Usage:
+//
+//	sbeval -all                     # every table and figure
+//	sbeval -table 3                 # one table (1-7)
+//	sbeval -figure 8                # the Figure-8 CDF
+//	sbeval -figure 1                # a worked example (Figures 1-4, 6)
+//	sbeval -scale 0.25 -seed 7      # smaller/other corpus
+//	sbeval -table 3 -cfg-corpus     # formation-pipeline corpus
+//	sbeval -machines GP2,FS4        # machine subset
+//	sbeval -bench gcc               # benchmark subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"balance/internal/eval"
+	"balance/internal/model"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate one table (1-7)")
+	figure := flag.Int("figure", 0, "regenerate a figure (8 = CDF; 1-4, 6 = worked examples)")
+	all := flag.Bool("all", false, "regenerate every table and figure")
+	seed := flag.Int64("seed", 1999, "corpus seed")
+	scale := flag.Float64("scale", 1, "corpus scale")
+	machines := flag.String("machines", "", "comma-separated machine subset (default all six)")
+	bench := flag.String("bench", "", "comma-separated benchmark subset (default all eight)")
+	sideProb := flag.Float64("p", 0.25, "side-exit probability for worked examples")
+	noTriple := flag.Bool("no-triplewise", false, "skip the triplewise bound")
+	perBench := flag.Bool("per-bench", false, "with -table 3: break results down per benchmark")
+	cfgCorpus := flag.Bool("cfg-corpus", false, "use the profiled-CFG formation pipeline as the corpus source")
+	flag.Parse()
+
+	if !*all && *table == 0 && *figure == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// Worked examples don't need a corpus.
+	if *figure >= 1 && *figure <= 6 && *figure != 5 && !*all {
+		text, err := eval.WorkedFigure(*figure, *sideProb)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(text)
+		return
+	}
+
+	cfg := eval.Config{Seed: *seed, Scale: *scale, Triplewise: !*noTriple, CFGCorpus: *cfgCorpus}
+	if *machines != "" {
+		for _, name := range strings.Split(*machines, ",") {
+			m, err := model.MachineByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Machines = append(cfg.Machines, m)
+		}
+	}
+	if *bench != "" {
+		cfg.Benchmarks = strings.Split(*bench, ",")
+	}
+	r := eval.NewRunner(cfg)
+	fmt.Fprintf(os.Stderr, "sbeval: corpus %d superblocks (seed %d, scale %g)\n",
+		r.Suite.NumSuperblocks(), *seed, *scale)
+
+	run := func(n int) {
+		start := time.Now()
+		var t *eval.Table
+		var err error
+		switch n {
+		case 1:
+			t, err = r.Table1()
+		case 2:
+			t, err = r.Table2()
+		case 3:
+			if *perBench {
+				for _, m := range r.Cfg.Machines {
+					tb, berr := r.Table3ByBenchmark(m)
+					if berr != nil {
+						fatal(berr)
+					}
+					fmt.Println(tb.String())
+				}
+				return
+			}
+			t, err = r.Table3()
+		case 4:
+			t, err = r.Table4()
+		case 5:
+			t, err = r.Table5()
+		case 6:
+			t, err = r.Table6()
+		case 7:
+			t, err = r.Table7()
+		default:
+			fatal(fmt.Errorf("no table %d", n))
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t.String())
+		fmt.Fprintf(os.Stderr, "sbeval: table %d in %v\n", n, time.Since(start).Round(time.Millisecond))
+	}
+	runFig8 := func() {
+		start := time.Now()
+		d, err := r.Figure8()
+		if err != nil {
+			// The gcc benchmark may be filtered out; fall back to whatever
+			// benchmark is present.
+			if len(r.Suite.Order) > 0 {
+				d, err = r.FigureCDF(r.Suite.Order[0], r.Cfg.Machines[0])
+			}
+			if err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Println(d.Table().String())
+		fmt.Fprintf(os.Stderr, "sbeval: figure 8 in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	if *all {
+		for n := 1; n <= 7; n++ {
+			run(n)
+		}
+		runFig8()
+		return
+	}
+	if *table != 0 {
+		run(*table)
+	}
+	if *figure == 8 {
+		runFig8()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sbeval:", err)
+	os.Exit(1)
+}

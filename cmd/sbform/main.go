@@ -1,0 +1,87 @@
+// Command sbform forms superblocks from profiled control-flow graphs: the
+// trace-growing + tail-emission step of the paper's compiler pipeline.
+//
+// Usage:
+//
+//	sbform region.cfg > region.sb       # form superblocks from a .cfg file
+//	sbform -random -blocks 16 -o r.sb   # random profiled CFG demo
+//	sbform -min-prob 0.7 region.cfg     # stricter trace growing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"balance"
+	"balance/internal/cfg"
+)
+
+func main() {
+	random := flag.Bool("random", false, "generate a random profiled CFG instead of reading one")
+	blocks := flag.Int("blocks", 12, "blocks in the random CFG (with -random)")
+	seed := flag.Int64("seed", 1, "random CFG seed (with -random)")
+	minProb := flag.Float64("min-prob", 0.6, "minimum edge probability to extend a trace")
+	maxBlocks := flag.Int("max-blocks", 32, "maximum blocks per trace")
+	noMutual := flag.Bool("no-mutual", false, "disable the mutual-most-likely requirement")
+	out := flag.String("o", "", "output .sb file (default stdout)")
+	dumpCFG := flag.Bool("dump-cfg", false, "with -random: write the generated .cfg to stderr")
+	flag.Parse()
+
+	var g *balance.CFG
+	if *random {
+		rc := balance.DefaultRandomCFG()
+		rc.Blocks = *blocks
+		g = balance.RandomCFG(fmt.Sprintf("random-%d", *seed), rand.New(rand.NewSource(*seed)), rc)
+		if *dumpCFG {
+			if err := cfg.Write(os.Stderr, g); err != nil {
+				fatal(err)
+			}
+		}
+	} else {
+		var in io.Reader = os.Stdin
+		if flag.NArg() > 0 {
+			f, err := os.Open(flag.Arg(0))
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			in = f
+		}
+		var err error
+		g, err = cfg.Read(in)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	fc := balance.DefaultFormation()
+	fc.MinTakenProb = *minProb
+	fc.MaxBlocks = *maxBlocks
+	fc.RequireMutual = !*noMutual
+	sbs, err := balance.FormSuperblocks(g, fc)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := balance.WriteSuperblocks(w, sbs...); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "sbform: %d blocks -> %d superblocks\n", len(g.Blocks), len(sbs))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sbform:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,64 @@
+// Command sbgen generates synthetic SPECint95-like superblock corpora in
+// the .sb text format.
+//
+// Usage:
+//
+//	sbgen [-bench gcc,go|all] [-seed N] [-scale F] [-o file]
+//
+// With no -o the corpus is written to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"balance"
+)
+
+func main() {
+	bench := flag.String("bench", "all", "comma-separated benchmark names (e.g. gcc,perl) or 'all'")
+	seed := flag.Int64("seed", 1999, "generation seed")
+	scale := flag.Float64("scale", 1, "corpus scale factor")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	want := map[string]bool{}
+	all := *bench == "all" || *bench == ""
+	for _, b := range strings.Split(*bench, ",") {
+		want[strings.TrimSpace(b)] = true
+	}
+
+	total := 0
+	for _, p := range balance.SPECint95Profiles() {
+		short := p.Name[strings.IndexByte(p.Name, '.')+1:]
+		if !all && !want[p.Name] && !want[short] {
+			continue
+		}
+		sbs := balance.GenerateBenchmark(p, *seed, *scale)
+		if err := balance.WriteSuperblocks(w, sbs...); err != nil {
+			fatal(err)
+		}
+		total += len(sbs)
+	}
+	if total == 0 {
+		fatal(fmt.Errorf("no benchmarks matched %q", *bench))
+	}
+	fmt.Fprintf(os.Stderr, "sbgen: wrote %d superblocks\n", total)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sbgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,123 @@
+// Command sbsched schedules superblocks from a .sb file.
+//
+// Usage:
+//
+//	sbsched [-machine GP2] [-heuristic balance] [-compare] [-schedule] [file]
+//
+// Heuristics: sr, cp, gstar, dhasy, help, balance, best. With -compare the
+// tool runs all of them and reports each cost next to the tightest lower
+// bound. With -schedule the full cycle-by-cycle schedule is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"balance"
+)
+
+func heuristicByName(name string) (balance.Heuristic, error) {
+	switch strings.ToLower(name) {
+	case "sr":
+		return balance.SR(), nil
+	case "cp":
+		return balance.CP(), nil
+	case "gstar", "g*":
+		return balance.GStar(), nil
+	case "dhasy":
+		return balance.DHASY(), nil
+	case "help":
+		return balance.Help(), nil
+	case "balance":
+		return balance.Balance(), nil
+	case "best":
+		return balance.Best(), nil
+	}
+	return balance.Heuristic{}, fmt.Errorf("unknown heuristic %q (want sr, cp, gstar, dhasy, help, balance or best)", name)
+}
+
+func main() {
+	machine := flag.String("machine", "GP2", "machine configuration (GP1,GP2,GP4,FS4,FS6,FS8)")
+	heur := flag.String("heuristic", "balance", "scheduling heuristic")
+	compare := flag.Bool("compare", false, "run every heuristic and compare costs")
+	showSched := flag.Bool("schedule", false, "print the cycle-by-cycle schedule")
+	gantt := flag.Bool("gantt", false, "print the per-unit occupancy chart")
+	flag.Parse()
+
+	m, err := balance.MachineByName(*machine)
+	if err != nil {
+		fatal(err)
+	}
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	sbs, err := balance.ReadSuperblocks(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	for _, sb := range sbs {
+		fmt.Printf("%s (%d ops, %d exits) on %s\n", sb.Name, sb.G.NumOps(), sb.NumBranches(), m.Name)
+		if *compare {
+			set := balance.ComputeBounds(sb, m, balance.BoundOptions{Triplewise: true, TripleMaxBranches: 16})
+			fmt.Printf("  tightest lower bound: %.4f\n", set.Tightest)
+			hs := append(balance.Heuristics(), balance.Best())
+			for _, h := range hs {
+				s, _, err := h.Run(sb, m)
+				if err != nil {
+					fatal(err)
+				}
+				cost := balance.Cost(sb, s)
+				mark := ""
+				if cost <= set.Tightest+1e-9 {
+					mark = "  (optimal)"
+				}
+				fmt.Printf("  %-8s cost %.4f  branches at %v%s\n", h.Name, cost, balance.BranchCycles(sb, s), mark)
+			}
+			continue
+		}
+		h, err := heuristicByName(*heur)
+		if err != nil {
+			fatal(err)
+		}
+		s, stats, err := h.Run(sb, m)
+		if err != nil {
+			fatal(err)
+		}
+		if err := balance.Verify(sb, m, s); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  %s cost %.4f, branches at %v (%d decisions)\n",
+			h.Name, balance.Cost(sb, s), balance.BranchCycles(sb, s), stats.Decisions)
+		if *showSched {
+			fmt.Print(indent(balance.RenderSchedule(sb, s)))
+		}
+		if *gantt {
+			fmt.Print(indent(balance.RenderGantt(sb, m, s)))
+		}
+	}
+}
+
+func indent(s string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		b.WriteString("    ")
+		b.WriteString(line)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sbsched:", err)
+	os.Exit(1)
+}

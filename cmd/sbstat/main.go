@@ -1,0 +1,75 @@
+// Command sbstat reports descriptive statistics of a superblock corpus:
+// size and branch distributions, dependence structure, available ILP, the
+// operation mix, and exit-probability/frequency summaries.
+//
+// Usage:
+//
+//	sbstat file.sb            # statistics of a .sb file
+//	sbstat -gen -scale 1      # statistics of the generated SPECint95 suite
+//	sbstat -gen -bench gcc    # one generated benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"balance"
+	"balance/internal/stats"
+)
+
+func main() {
+	genFlag := flag.Bool("gen", false, "summarize the generated corpus instead of a file")
+	bench := flag.String("bench", "all", "benchmarks to generate (with -gen)")
+	seed := flag.Int64("seed", 1999, "generation seed (with -gen)")
+	scale := flag.Float64("scale", 1, "corpus scale (with -gen)")
+	perBench := flag.Bool("per-bench", false, "report each benchmark separately (with -gen)")
+	flag.Parse()
+
+	if *genFlag {
+		all := *bench == "all" || *bench == ""
+		want := map[string]bool{}
+		for _, b := range strings.Split(*bench, ",") {
+			want[strings.TrimSpace(b)] = true
+		}
+		var combined []*balance.Superblock
+		for _, p := range balance.SPECint95Profiles() {
+			short := p.Name[strings.IndexByte(p.Name, '.')+1:]
+			if !all && !want[p.Name] && !want[short] {
+				continue
+			}
+			sbs := balance.GenerateBenchmark(p, *seed, *scale)
+			if *perBench {
+				fmt.Printf("== %s ==\n%s\n", p.Name, stats.Summarize(sbs))
+			}
+			combined = append(combined, sbs...)
+		}
+		if len(combined) == 0 {
+			fatal(fmt.Errorf("no benchmarks matched %q", *bench))
+		}
+		fmt.Printf("== corpus ==\n%s", stats.Summarize(combined))
+		return
+	}
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	sbs, err := balance.ReadSuperblocks(in)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(stats.Summarize(sbs))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sbstat:", err)
+	os.Exit(1)
+}

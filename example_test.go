@@ -1,0 +1,87 @@
+package balance_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"balance"
+)
+
+// ExampleBuilder shows the construction API: ops in program order, branches
+// with exit probabilities, automatic control-edge chaining.
+func ExampleBuilder() {
+	b := balance.NewBuilder("ex")
+	x := b.Int()
+	y := b.Int(x)
+	b.Branch(0.25, y)
+	z := b.Load()
+	b.Branch(0, b.Int(z))
+	sb := b.MustBuild()
+	fmt.Println(sb.G.NumOps(), "ops,", sb.NumBranches(), "exits, probs", sb.Prob)
+	// Output: 6 ops, 2 exits, probs [0.25 0.75]
+}
+
+// ExampleBalance schedules the Figure-2-style example and prints the branch
+// cycles: the side exit at 2 and the final exit at 3, the optimum a pure
+// help-based heuristic misses.
+func ExampleBalance() {
+	b := balance.NewBuilder("obs1")
+	o0, o1, o2 := b.Int(), b.Int(), b.Int()
+	b.Branch(0.3, o0, o1, o2)
+	o4 := b.Int()
+	o5 := b.AddOp(balance.Int)
+	b.DepLatency(o4, o5, 2)
+	b.Branch(0, o5)
+	sb := b.MustBuild()
+
+	s, _, err := balance.Balance().Run(sb, balance.GP2())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("branches at", balance.BranchCycles(sb, s))
+	// Output: branches at [2 3]
+}
+
+// ExampleComputeBounds prints the lower-bound hierarchy for a small
+// resource-constrained superblock.
+func ExampleComputeBounds() {
+	b := balance.NewBuilder("bounds")
+	var deps []int
+	for i := 0; i < 6; i++ {
+		deps = append(deps, b.Int())
+	}
+	b.Branch(0, deps...)
+	sb := b.MustBuild()
+
+	set := balance.ComputeBounds(sb, balance.GP2(), balance.BoundOptions{})
+	fmt.Printf("CP=%d Hu=%d LC=%d\n", set.CP[0], set.Hu[0], set.LC[0])
+	// Output: CP=1 Hu=3 LC=3
+}
+
+// ExampleOptimal cross-checks a heuristic against the exact optimum.
+func ExampleOptimal() {
+	b := balance.NewBuilder("tiny")
+	o := b.Int()
+	b.Branch(0, b.Int(o))
+	sb := b.MustBuild()
+
+	_, opt, err := balance.Optimal(sb, balance.GP1(), 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("optimal cost", opt)
+	// Output: optimal cost 3
+}
+
+// ExampleFormSuperblocks runs the profiled-CFG formation pipeline.
+func ExampleFormSuperblocks() {
+	g := balance.RandomCFG("demo", rand.New(rand.NewSource(3)), balance.RandomCFGConfig{
+		Blocks: 6, OpsPerBlockMax: 3, MemFrac: 0.2, BranchyProb: 0.5, EntryCount: 100,
+	})
+	sbs, err := balance.FormSuperblocks(g, balance.DefaultFormation())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(sbs) > 0)
+	// Output: true
+}

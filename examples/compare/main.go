@@ -1,0 +1,55 @@
+// Compare: generate a small synthetic benchmark corpus and compare every
+// scheduling heuristic against the tightest lower bound on every machine —
+// a miniature version of the paper's Table 3.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"balance"
+)
+
+func main() {
+	// A small deterministic corpus: the "compress" and "li" profiles.
+	var corpus []*balance.Superblock
+	for _, p := range balance.SPECint95Profiles() {
+		switch p.Name {
+		case "129.compress", "130.li":
+			corpus = append(corpus, balance.GenerateBenchmark(p, 2026, 0.4)...)
+		}
+	}
+	fmt.Printf("corpus: %d superblocks\n\n", len(corpus))
+
+	heuristics := append(balance.Heuristics(), balance.Best())
+	fmt.Printf("%-8s", "machine")
+	for _, h := range heuristics {
+		fmt.Printf("%10s", h.Name)
+	}
+	fmt.Println("   (slowdown vs tightest bound, dynamic cycles)")
+
+	for _, m := range balance.Machines() {
+		var boundCycles float64
+		heurCycles := make([]float64, len(heuristics))
+		for _, sb := range corpus {
+			set := balance.ComputeBounds(sb, m, balance.BoundOptions{Triplewise: true, TripleMaxBranches: 12})
+			boundCycles += sb.Freq * set.Tightest
+			for i, h := range heuristics {
+				s, _, err := h.Run(sb, m)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if err := balance.Verify(sb, m, s); err != nil {
+					log.Fatalf("%s produced an illegal schedule: %v", h.Name, err)
+				}
+				heurCycles[i] += sb.Freq * balance.Cost(sb, s)
+			}
+		}
+		fmt.Printf("%-8s", m)
+		for i := range heuristics {
+			fmt.Printf("%9.2f%%", (heurCycles[i]-boundCycles)/boundCycles*100)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nlower is better; 0.00% means every superblock met the lower bound")
+}

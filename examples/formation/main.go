@@ -1,0 +1,114 @@
+// Formation: the full compiler pipeline the paper's superblocks came from —
+// a profiled control-flow graph is grown into hot traces (mutual most
+// likely), each trace becomes a superblock with exit probabilities from the
+// edge profile, and the superblocks are scheduled with Balance.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"balance"
+)
+
+// buildCFG constructs a small hand-made profiled CFG: a hot loop-free path
+// B0 -> B1 -> B3 -> B4 with cold detours through B2 and B5.
+func buildCFG() *balance.CFG {
+	mk := func(id int, classes ...balance.Class) *balance.CFGBlock {
+		blk := &balance.CFGBlock{ID: id}
+		reg := balance.Reg(id*10 + 1)
+		var last balance.Reg
+		for _, c := range classes {
+			op := balance.CFGOp{Class: c}
+			if last != 0 {
+				op.Uses = []balance.Reg{last}
+			}
+			if c != balance.Store {
+				op.Def = reg
+				last = reg
+				reg++
+			}
+			blk.Ops = append(blk.Ops, op)
+		}
+		if last != 0 {
+			blk.BranchUses = []balance.Reg{last}
+		}
+		return blk
+	}
+	g := &balance.CFG{Name: "hotpath", Entry: 0}
+	b0 := mk(0, balance.Int, balance.Load, balance.Int)
+	b0.Succs = []balance.CFGEdge{{To: 1, Count: 920}, {To: 2, Count: 80}}
+	b1 := mk(1, balance.Int, balance.Int)
+	b1.Succs = []balance.CFGEdge{{To: 3, Count: 920}}
+	b2 := mk(2, balance.Store, balance.Int)
+	b2.Succs = []balance.CFGEdge{{To: 3, Count: 80}}
+	b3 := mk(3, balance.Load, balance.Int, balance.Int)
+	b3.Succs = []balance.CFGEdge{{To: 4, Count: 850}, {To: 5, Count: 150}}
+	b4 := mk(4, balance.Int, balance.Store)
+	b4.ExitCount = 850
+	b5 := mk(5, balance.Int)
+	b5.ExitCount = 150
+	g.Blocks = []*balance.CFGBlock{b0, b1, b2, b3, b4, b5}
+	return g
+}
+
+func main() {
+	g := buildCFG()
+	traces := balance.GrowTraces(g, balance.DefaultFormation())
+	fmt.Println("traces grown from the profiled CFG:")
+	for i, tr := range traces {
+		fmt.Printf("  trace %d: blocks %v (head count %d)\n", i, tr.Blocks, tr.Count)
+	}
+
+	sbs, err := balance.FormSuperblocks(g, balance.DefaultFormation())
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := balance.FS4()
+	fmt.Printf("\nformed %d superblocks; scheduling on %s with Balance:\n\n", len(sbs), m)
+	for _, sb := range sbs {
+		s, _, err := balance.Balance().Run(sb, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		set := balance.ComputeBounds(sb, m, balance.BoundOptions{Triplewise: true})
+		fmt.Printf("%s: %d ops, exits %v probs %.3v freq %.0f\n",
+			sb.Name, sb.G.NumOps(), sb.Branches, sb.Prob, sb.Freq)
+		fmt.Printf("  cost %.3f (tightest bound %.3f)\n", balance.Cost(sb, s), set.Tightest)
+		fmt.Print(indent(balance.RenderGantt(sb, m, s)))
+		fmt.Println()
+	}
+
+	// And the same pipeline over a random profiled CFG.
+	rng := rand.New(rand.NewSource(7))
+	rg := balance.RandomCFG("random", rng, balance.DefaultRandomCFG())
+	rsbs, err := balance.FormSuperblocks(rg, balance.DefaultFormation())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("random CFG with %d blocks formed %d superblocks\n", len(rg.Blocks), len(rsbs))
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "  " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		lines = append(lines, s[start:])
+	}
+	return lines
+}

@@ -1,0 +1,64 @@
+// Pipeline: demonstrates scheduling for machines with NON-fully-pipelined
+// functional units. The paper supports such machines through the Rim & Jain
+// modeling (Sections 4.1 and 5): an operation holding its unit for k cycles
+// is replaced, for bound purposes, by a chain of k unit-occupancy
+// pseudo-operations, while the scheduler enforces the real occupancy.
+//
+// The example compares a fully pipelined FS4 against an FS4 whose float
+// multiplier is busy for 3 cycles per multiply, on a superblock mixing a
+// multiply chain with independent integer work.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"balance"
+)
+
+func build() *balance.Superblock {
+	b := balance.NewBuilder("matrixish")
+	// Side exit guarded by a short integer computation.
+	i0 := b.Int()
+	i1 := b.Int(i0)
+	b.Branch(0.2, i1)
+	// A reduction of four multiplies feeding the final exit, plus integer
+	// bookkeeping that can fill the multiplier's shadow.
+	m0 := b.Op(balance.FloatMul)
+	m1 := b.Op(balance.FloatMul)
+	a0 := b.Op(balance.FloatAdd, m0, m1)
+	m2 := b.Op(balance.FloatMul, a0)
+	k0 := b.Int()
+	k1 := b.Int(k0)
+	k2 := b.Int(k1)
+	b.Branch(0, m2, k2)
+	return b.MustBuild()
+}
+
+func main() {
+	sb := build()
+	pipelined := balance.FS4()
+	held := balance.FS4().WithOccupancy(balance.FloatMul, 3)
+
+	for _, m := range []*balance.Machine{pipelined, held} {
+		set := balance.ComputeBounds(sb, m, balance.BoundOptions{Triplewise: true})
+		s, _, err := balance.Balance().Run(sb, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := balance.Verify(sb, m, s); err != nil {
+			log.Fatal(err)
+		}
+		_, opt, err := balance.Optimal(sb, m, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s tightest bound %.3f  Balance %.3f  optimal %.3f  exits at %v\n",
+			m, set.Tightest, balance.Cost(sb, s), opt, balance.BranchCycles(sb, s))
+		if m == held {
+			fmt.Printf("%-14s (bounds computed on the Rim & Jain expansion: %d ops -> %d ops)\n",
+				"", sb.G.NumOps(), set.Expanded.G.NumOps())
+		}
+	}
+	fmt.Println("\nholding the multiplier stretches the final exit; the side exit is unaffected")
+}

@@ -1,0 +1,90 @@
+// Tradeoff: demonstrates Observation 3 of the paper — sometimes the optimal
+// schedule delays a *frequently* taken branch to speed up an infrequent
+// one, and the pairwise bound exposes exactly when.
+//
+// The superblock reconstructs Figure 4: a short first block whose exit
+// competes for the early issue slots with a long chain feeding the final
+// exit. Depending on the side exit probability P, the optimal schedule
+// flips between "side exit first" and "final exit first"; Balance follows
+// the pairwise bound across the crossover.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"balance"
+)
+
+// figure4 rebuilds the paper's Figure-4 example with the given side-exit
+// probability.
+func figure4(p float64) *balance.Superblock {
+	b := balance.NewBuilder(fmt.Sprintf("figure4(P=%.2f)", p))
+	o0 := b.Int()
+	o1 := b.Int()
+	o2 := b.Int(o0, o1)
+	b.Branch(p, o2) // side exit
+
+	c := b.Int() // head of a 7-op chain
+	chain := c
+	heads := []int{}
+	for i := 0; i < 6; i++ {
+		chain = b.Int(chain)
+		if i < 3 {
+			heads = append(heads, chain)
+		}
+	}
+	// Fillers with tight deadlines at the head of the chain.
+	for _, h := range heads {
+		f := b.Int()
+		b.Dep(f, h)
+	}
+	f14 := b.Int()
+	f15 := b.Int()
+	b.Branch(0, chain, f14, f15) // final exit
+	return b.MustBuild()
+}
+
+func main() {
+	m := balance.GP2()
+
+	// First show the pairwise tradeoff curve for one instance.
+	sb := figure4(0.25)
+	set := balance.ComputeBounds(sb, m, balance.BoundOptions{})
+	pr := set.PairFor(0, 1)
+	fmt.Printf("pairwise tradeoff between the two exits of %s on %s:\n", sb.Name, m)
+	fmt.Printf("  individual bounds: side exit >= %d, final exit >= %d\n", pr.Ei, pr.Ej)
+	for s := pr.Lmin; s <= pr.Lmax; s++ {
+		fmt.Printf("  separation %2d: side exit >= %2d, final exit >= %2d\n", s, pr.X(s), pr.Y(s))
+	}
+	fmt.Printf("  -> issuing the final exit at its bound (%d) forces the side exit to %d\n\n",
+		pr.Ej, pr.MinIGivenJ(pr.Ej))
+
+	// Sweep P across the crossover and show which branch each scheduler
+	// favors.
+	fmt.Println("P      optimal(side,final)  Balance(side,final)  DHASY(side,final)")
+	for _, p := range []float64{0.05, 0.15, 0.25, 0.35, 0.50} {
+		sb := figure4(p)
+		opt, _, err := balance.Optimal(sb, m, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bal, _, err := balance.Balance().Run(sb, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dh, _, err := balance.DHASY().Run(sb, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		oc := balance.BranchCycles(sb, opt)
+		bc := balance.BranchCycles(sb, bal)
+		dc := balance.BranchCycles(sb, dh)
+		optimal := ""
+		if balance.Cost(sb, bal) <= balance.Cost(sb, opt)+1e-9 {
+			optimal = "  (Balance optimal)"
+		}
+		fmt.Printf("%.2f   (%d,%d)                (%d,%d)                (%d,%d)%s\n",
+			p, oc[0], oc[1], bc[0], bc[1], dc[0], dc[1], optimal)
+	}
+}

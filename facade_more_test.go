@@ -1,0 +1,126 @@
+package balance_test
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"balance"
+)
+
+func TestFacadeRendering(t *testing.T) {
+	sb := buildDemo(t)
+	m := balance.GP2()
+	s, _, err := balance.CP().Run(sb, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	listing := balance.RenderSchedule(sb, s)
+	if !strings.Contains(listing, "cycle") || !strings.Contains(listing, "branch") {
+		t.Errorf("listing malformed:\n%s", listing)
+	}
+	gantt := balance.RenderGantt(sb, m, s)
+	if !strings.Contains(gantt, "gp[0]") {
+		t.Errorf("gantt malformed:\n%s", gantt)
+	}
+	var dot bytes.Buffer
+	if err := balance.WriteDOT(&dot, sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dot.String(), "digraph") {
+		t.Error("DOT output malformed")
+	}
+}
+
+func TestFacadeGraphUtilities(t *testing.T) {
+	// A graph with one redundant edge.
+	b := balance.NewBuilder("redux")
+	o0 := b.Int()
+	o1 := b.Int(o0)
+	o2 := b.Int(o1)
+	b.Dep(o0, o2)
+	b.Branch(0, o2)
+	sb := b.MustBuild()
+	red := balance.ReduceEdges(sb)
+	if red.G.NumEdges() >= sb.G.NumEdges() {
+		t.Errorf("reduction did not shrink: %d -> %d edges", sb.G.NumEdges(), red.G.NumEdges())
+	}
+
+	np := balance.GP2().WithOccupancy(balance.FloatMul, 3)
+	fm := balance.NewBuilder("np")
+	f := fm.Op(balance.FloatMul)
+	fm.Branch(0, f)
+	sbNP := fm.MustBuild()
+	exp, mapping := balance.ExpandOccupancy(sbNP, np)
+	if exp.G.NumOps() != sbNP.G.NumOps()+2 || mapping == nil {
+		t.Errorf("expansion wrong: %d ops, mapping %v", exp.G.NumOps(), mapping)
+	}
+	// Identity on fully pipelined machines.
+	same, nilMap := balance.ExpandOccupancy(sbNP, balance.GP2())
+	if same != sbNP || nilMap != nil {
+		t.Error("expansion not identity on pipelined machine")
+	}
+}
+
+func TestFacadeCompact(t *testing.T) {
+	sb := buildDemo(t)
+	m := balance.GP2()
+	s, _, err := balance.SR().Run(sb, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := balance.Compact(sb, m, s)
+	if err := balance.Verify(sb, m, out); err != nil {
+		t.Fatal(err)
+	}
+	if balance.Cost(sb, out) > balance.Cost(sb, s)+1e-9 {
+		t.Error("compaction increased the cost")
+	}
+}
+
+func TestFacadeCFGPipeline(t *testing.T) {
+	g := balance.RandomCFG("f", rand.New(rand.NewSource(2)), balance.DefaultRandomCFG())
+	traces := balance.GrowTraces(g, balance.DefaultFormation())
+	if len(traces) == 0 {
+		t.Fatal("no traces")
+	}
+	sbs, err := balance.FormSuperblocks(g, balance.DefaultFormation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sbs) != len(traces) {
+		t.Errorf("%d superblocks from %d traces", len(sbs), len(traces))
+	}
+	for _, sb := range sbs {
+		if err := sb.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFacadeHeuristicNames(t *testing.T) {
+	want := []string{"SR", "CP", "G*", "DHASY", "Help", "Balance"}
+	hs := balance.Heuristics()
+	if len(hs) != len(want) {
+		t.Fatalf("got %d heuristics", len(hs))
+	}
+	for i, h := range hs {
+		if h.Name != want[i] {
+			t.Errorf("heuristic %d = %q, want %q", i, h.Name, want[i])
+		}
+	}
+	if balance.Best().Name != "Best" {
+		t.Error("Best name wrong")
+	}
+}
+
+func TestFacadeGPConstructor(t *testing.T) {
+	m := balance.NewGP(3)
+	if m.IssueWidth() != 3 || m.Kinds() != 1 {
+		t.Errorf("NewGP(3) = width %d kinds %d", m.IssueWidth(), m.Kinds())
+	}
+	if m.String() != "GP3" {
+		t.Errorf("name %q", m.String())
+	}
+}

@@ -1,0 +1,3 @@
+module balance
+
+go 1.22

@@ -1,0 +1,104 @@
+package bounds
+
+import (
+	"balance/internal/model"
+)
+
+// PerBranch holds a lower bound on the issue cycle of every exit branch of
+// a superblock, in branch order.
+type PerBranch []int
+
+// CP returns the critical-path (dependence-only) bound on every branch:
+// CP[i] = EarlyDC[branch_i].
+func CP(sb *model.Superblock, st *Stats) PerBranch {
+	early := sb.G.EarlyDC()
+	st.Trips += int64(sb.G.NumOps() + sb.G.NumEdges())
+	out := make(PerBranch, len(sb.Branches))
+	for i, b := range sb.Branches {
+		out[i] = early[b]
+	}
+	return out
+}
+
+// Hu returns the Hu-style resource bound on every branch. For branch b and
+// each cutoff cycle c, every predecessor v with LateDC_b[v] ≤ c must issue
+// in cycles [0, c]; if the operations of some resource kind overflow the
+// capacity of that window, b slips by the number of extra cycles needed to
+// drain the excess. The bound is EarlyDC[b] plus the worst slip over all
+// cutoffs and kinds.
+func Hu(sb *model.Superblock, m *model.Machine, st *Stats) PerBranch {
+	g := sb.G
+	early := g.EarlyDC()
+	out := make(PerBranch, len(sb.Branches))
+	for bi, b := range sb.Branches {
+		dist := g.LongestToTarget(b)
+		st.Trips += int64(g.NumOps())
+		eb := early[b]
+		// counts[k][c] = number of kind-k predecessors with LateDC_b == c
+		// (clamped at 0; ops with negative late force a slip immediately,
+		// but with early ≥ 0 a late < 0 cannot occur when eb is the
+		// dependence critical path).
+		maxC := eb
+		counts := make([][]int, m.Kinds())
+		for k := range counts {
+			counts[k] = make([]int, maxC+1)
+		}
+		include := g.PredClosure(b)
+		addOp := func(v int) {
+			late := eb - dist[v]
+			if late < 0 {
+				late = 0
+			}
+			if late > maxC {
+				late = maxC
+			}
+			counts[m.KindOf(g.Op(v).Class)][late]++
+		}
+		include.ForEach(addOp)
+		addOp(b)
+		slip := 0
+		for k := range counts {
+			cum := 0
+			for c := 0; c <= maxC; c++ {
+				st.Trips++
+				cum += counts[k][c]
+				avail := m.Capacity(k) * (c + 1)
+				if cum > avail {
+					if s := ceilDiv(cum-avail, m.Capacity(k)); s > slip {
+						slip = s
+					}
+				}
+			}
+		}
+		out[bi] = eb + slip
+	}
+	return out
+}
+
+// RJ returns the Rim & Jain relaxation bound on every branch: the RJ
+// relaxation applied to the predecessor subgraph of the branch with
+// dependence-only early and late times.
+func RJ(sb *model.Superblock, m *model.Machine, st *Stats) PerBranch {
+	g := sb.G
+	d := forwardDag(g, m)
+	early := g.EarlyDC()
+	out := make(PerBranch, len(sb.Branches))
+	for bi, b := range sb.Branches {
+		dist := g.LongestToTarget(b)
+		st.Trips += int64(g.NumOps())
+		eb := early[b]
+		late := make([]int, g.NumOps())
+		include := make([]int, 0, g.PredClosure(b).Count()+1)
+		g.PredClosure(b).ForEach(func(v int) {
+			late[v] = eb - dist[v]
+			include = append(include, v)
+		})
+		late[b] = eb
+		include = append(include, b)
+		out[bi] = eb + d.rimJain(include, early, late, st)
+	}
+	return out
+}
+
+// ceilDiv returns ⌈a/b⌉ for a ≥ 0, b > 0.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -1,0 +1,223 @@
+// Package bounds implements lower bounds on superblock schedules: the
+// classic critical-path (CP) and Hu bounds, the Rim & Jain (RJ) relaxation
+// bound, the Langevin & Cerny (LC) recursive bound with the paper's
+// Theorem-1 speedup, the resource-aware late times LateRC, and the paper's
+// new Pairwise and Triplewise superblock bounds (Sections 4.2-4.4).
+//
+// All bounds are expressed on issue cycles (0-indexed): a per-branch bound
+// of k means the branch cannot issue before cycle k in any legal schedule.
+// Superblock-level bounds are on the weighted completion time
+// Σ_i w_i·(t_i + l_br).
+package bounds
+
+import (
+	"sort"
+
+	"balance/internal/model"
+)
+
+// Stats counts the loop trips performed by the bound algorithms, the
+// complexity metric reported in Table 2 of the paper.
+type Stats struct {
+	// RJRuns is the number of Rim & Jain relaxations solved.
+	RJRuns int64
+	// Trips is the total number of inner-loop iterations (op visits,
+	// placement scans, sweep steps) across all computations.
+	Trips int64
+	// Theorem1Skips counts LC recursions short-circuited by Theorem 1.
+	Theorem1Skips int64
+	// PairSweeps counts latency values evaluated by pairwise sweeps.
+	PairSweeps int64
+	// TripleSweeps counts lattice points evaluated by triplewise
+	// combination.
+	TripleSweeps int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other *Stats) {
+	s.RJRuns += other.RJRuns
+	s.Trips += other.Trips
+	s.Theorem1Skips += other.Theorem1Skips
+	s.PairSweeps += other.PairSweeps
+	s.TripleSweeps += other.TripleSweeps
+}
+
+// dag is a local computation graph: the superblock graph (forward) or the
+// reversed predecessor subgraph of a branch, with per-op resource kinds
+// resolved against a machine. Local op IDs are dense; reversed dags carry a
+// mapping back to global IDs.
+type dag struct {
+	n     int
+	preds [][]model.Edge // Edge.To is the predecessor's local ID
+	succs [][]model.Edge // Edge.To is the successor's local ID
+	kind  []int          // resource kind per local op
+	topo  []int          // topological order of local IDs
+	m     *model.Machine
+}
+
+// forwardDag builds the dag view of the whole graph; local IDs equal global
+// IDs.
+func forwardDag(g *model.Graph, m *model.Machine) *dag {
+	n := g.NumOps()
+	d := &dag{
+		n:     n,
+		preds: make([][]model.Edge, n),
+		succs: make([][]model.Edge, n),
+		kind:  make([]int, n),
+		topo:  g.Topo(),
+		m:     m,
+	}
+	for v := 0; v < n; v++ {
+		d.preds[v] = g.Preds(v)
+		d.succs[v] = g.Succs(v)
+		d.kind[v] = m.KindOf(g.Op(v).Class)
+	}
+	return d
+}
+
+// reversedDag builds the reversed dag over the predecessor closure of
+// target (plus target itself): an edge u->w of latency l becomes w->u with
+// latency l. The second result maps local IDs back to global IDs.
+//
+// If τ_v := t_target - t_v for a feasible schedule of the original graph,
+// then τ satisfies the reversed dependences with the same resource usage,
+// so any lower bound on τ_v in the reversed dag lower-bounds the issue
+// separation between v and the target.
+func reversedDag(g *model.Graph, m *model.Machine, target int) (*dag, []int) {
+	closure := g.PredClosure(target)
+	ids := make([]int, 0, closure.Count()+1)
+	local := make(map[int]int, closure.Count()+1)
+	add := func(v int) {
+		local[v] = len(ids)
+		ids = append(ids, v)
+	}
+	add(target)
+	closure.ForEach(add)
+
+	n := len(ids)
+	d := &dag{
+		n:     n,
+		preds: make([][]model.Edge, n),
+		succs: make([][]model.Edge, n),
+		kind:  make([]int, n),
+		m:     m,
+	}
+	for li, v := range ids {
+		d.kind[li] = m.KindOf(g.Op(v).Class)
+		for _, e := range g.Succs(v) {
+			if lw, ok := local[e.To]; ok {
+				// v->w forward becomes w->v reversed.
+				d.preds[li] = append(d.preds[li], model.Edge{To: lw, Lat: e.Lat})
+				d.succs[lw] = append(d.succs[lw], model.Edge{To: li, Lat: e.Lat})
+			}
+		}
+	}
+	d.computeTopo()
+	return d, ids
+}
+
+// computeTopo fills d.topo (Kahn). The dag is acyclic by construction.
+func (d *dag) computeTopo() {
+	indeg := make([]int, d.n)
+	for v := 0; v < d.n; v++ {
+		for _, e := range d.succs[v] {
+			indeg[e.To]++
+		}
+	}
+	order := make([]int, 0, d.n)
+	queue := make([]int, 0, d.n)
+	for v := 0; v < d.n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, e := range d.succs[v] {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	d.topo = order
+}
+
+// distToTarget returns the longest dependence-path latency from every op to
+// target within the dag (-1 for ops that do not precede target; 0 for the
+// target itself).
+func (d *dag) distToTarget(target int, st *Stats) []int {
+	dist := make([]int, d.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[target] = 0
+	for i := len(d.topo) - 1; i >= 0; i-- {
+		v := d.topo[i]
+		if dist[v] < 0 {
+			continue
+		}
+		for _, e := range d.preds[v] {
+			st.Trips++
+			if dd := dist[v] + e.Lat; dd > dist[e.To] {
+				dist[e.To] = dd
+			}
+		}
+	}
+	return dist
+}
+
+// rimJain solves the Rim & Jain relaxation for the operations in include
+// (local IDs) and returns the delay: max(0, max_v(t_v - late[v])) where t_v
+// is the greedy placement of v at the earliest resource-feasible cycle ≥
+// early[v], processing ops in order of increasing late time. A delay of d
+// means the relaxation's target must slip d cycles beyond the early value
+// its late times were derived from.
+func (d *dag) rimJain(include []int, early, late []int, st *Stats) int {
+	st.RJRuns++
+	order := make([]int, len(include))
+	copy(order, include)
+	sort.Slice(order, func(a, b int) bool {
+		va, vb := order[a], order[b]
+		if late[va] != late[vb] {
+			return late[va] < late[vb]
+		}
+		if early[va] != early[vb] {
+			return early[va] < early[vb]
+		}
+		return va < vb
+	})
+
+	// used[k][c] counts kind-k units consumed at cycle c.
+	used := make([][]int, d.m.Kinds())
+	delay := 0
+	for _, v := range order {
+		st.Trips++
+		k := d.kind[v]
+		if used[k] == nil {
+			used[k] = make([]int, 0, 64)
+		}
+		c := early[v]
+		if c < 0 {
+			c = 0
+		}
+		cap := d.m.Capacity(k)
+		for {
+			for c >= len(used[k]) {
+				used[k] = append(used[k], 0)
+			}
+			if used[k][c] < cap {
+				break
+			}
+			c++
+			st.Trips++
+		}
+		used[k][c]++
+		if sl := c - late[v]; sl > delay {
+			delay = sl
+		}
+	}
+	return delay
+}

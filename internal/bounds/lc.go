@@ -1,0 +1,132 @@
+package bounds
+
+import (
+	"balance/internal/model"
+)
+
+// lcOnDag runs the Langevin & Cerny recursion on a dag: for every op v in
+// topological order it computes earlyRC[v], a resource-constrained lower
+// bound on v's issue cycle, by solving a Rim & Jain relaxation over v's
+// predecessor subgraph with Early values set to the already-computed
+// earlyRC of the predecessors and Late values derived from the dependence
+// distances to v.
+//
+// When useTheorem1 is true, ops with a unique direct predecessor reached
+// through a positive-latency edge take the paper's Theorem-1 shortcut:
+// earlyRC[v] = earlyRC[p] + l_{p,v}, skipping the relaxation.
+func lcOnDag(d *dag, useTheorem1 bool, st *Stats) []int {
+	earlyRC := make([]int, d.n)
+	dist := make([]int, d.n) // longest path u -> v, reused per v
+	include := make([]int, 0, d.n)
+	late := make([]int, d.n)
+
+	for _, v := range d.topo {
+		st.Trips++
+		preds := d.preds[v]
+		if len(preds) == 0 {
+			earlyRC[v] = 0
+			continue
+		}
+		depEarly := 0
+		for _, e := range preds {
+			if t := earlyRC[e.To] + e.Lat; t > depEarly {
+				depEarly = t
+			}
+		}
+		if useTheorem1 && len(preds) == 1 && preds[0].Lat > 0 {
+			earlyRC[v] = depEarly
+			st.Theorem1Skips++
+			continue
+		}
+
+		// Longest dependence distance from each transitive predecessor to
+		// v, via reverse DFS with relaxation over the (acyclic) pred edges.
+		// dist is computed by dynamic programming over a reverse
+		// topological restriction: we process the dag's topological order
+		// backwards, touching only ops that reach v.
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[v] = 0
+		include = include[:0]
+		// Find position of v in topo to walk backwards from it.
+		for i := len(d.topo) - 1; i >= 0; i-- {
+			u := d.topo[i]
+			if dist[u] < 0 {
+				continue
+			}
+			include = append(include, u)
+			for _, e := range d.preds[u] {
+				st.Trips++
+				if dd := dist[u] + e.Lat; dd > dist[e.To] {
+					dist[e.To] = dd
+				}
+			}
+		}
+		for _, u := range include {
+			late[u] = depEarly - dist[u]
+		}
+		late[v] = depEarly
+		earlyRC[v] = depEarly + d.rimJain(include, earlyRC, late, st)
+	}
+	return earlyRC
+}
+
+// EarlyRC computes the Langevin & Cerny resource-constrained early bound of
+// every operation in the superblock, using the Theorem-1 shortcut.
+func EarlyRC(sb *model.Superblock, m *model.Machine, st *Stats) []int {
+	return lcOnDag(forwardDag(sb.G, m), true, st)
+}
+
+// EarlyRCOriginal computes EarlyRC without the Theorem-1 shortcut (the
+// "LC-original" row of Table 2).
+func EarlyRCOriginal(sb *model.Superblock, m *model.Machine, st *Stats) []int {
+	return lcOnDag(forwardDag(sb.G, m), false, st)
+}
+
+// LC returns the Langevin & Cerny bound on every branch: LC[i] =
+// EarlyRC[branch_i].
+func LC(sb *model.Superblock, m *model.Machine, st *Stats) PerBranch {
+	earlyRC := EarlyRC(sb, m, st)
+	out := make(PerBranch, len(sb.Branches))
+	for i, b := range sb.Branches {
+		out[i] = earlyRC[b]
+	}
+	return out
+}
+
+// Separation holds, for one branch b, a lower bound on the issue separation
+// t_b - t_v for every transitive predecessor v of b (including b itself,
+// with separation 0). Entries for non-predecessors are -1.
+type Separation []int
+
+// SeparationRC computes the resource-constrained separation bound of every
+// predecessor of branch b by running Langevin & Cerny on the reversed
+// predecessor subgraph (the "LC-reverse" computation of Table 2).
+func SeparationRC(sb *model.Superblock, m *model.Machine, b int, st *Stats) Separation {
+	d, ids := reversedDag(sb.G, m, b)
+	local := lcOnDag(d, true, st)
+	sep := make(Separation, sb.G.NumOps())
+	for i := range sep {
+		sep[i] = -1
+	}
+	for li, v := range ids {
+		sep[v] = local[li]
+	}
+	return sep
+}
+
+// LateRC converts a separation bound into resource-aware late times
+// relative to branch b issuing at cycle earlyB: LateRC_b[v] = earlyB -
+// sep[v]. Entries for non-predecessors are not meaningful.
+func LateRC(sep Separation, earlyB int) []int {
+	out := make([]int, len(sep))
+	for v, s := range sep {
+		if s < 0 {
+			out[v] = -1
+			continue
+		}
+		out[v] = earlyB - s
+	}
+	return out
+}

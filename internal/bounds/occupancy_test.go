@@ -1,0 +1,108 @@
+package bounds
+
+import (
+	"math/rand"
+	"testing"
+
+	"balance/internal/exact"
+	"balance/internal/model"
+	"balance/internal/sched"
+	"balance/internal/testutil"
+)
+
+// npMachines returns a cross-section of non-fully-pipelined machines.
+func npMachines() []*model.Machine {
+	return []*model.Machine{
+		model.GP2().WithOccupancy(model.FloatMul, 3),
+		model.GP1().WithOccupancy(model.FloatMul, 2),
+		model.FS4().WithOccupancy(model.FloatDiv, 9).WithOccupancy(model.FloatMul, 3),
+	}
+}
+
+// TestOccupancyBoundsSound: on non-pipelined machines the bounds (computed
+// via the Rim & Jain expansion) must stay below the exact optimum, and
+// heuristic schedules must respect them.
+func TestOccupancyBoundsSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 30; i++ {
+		sb := testutil.RandomSuperblock(rng, 10)
+		for _, m := range npMachines() {
+			s := Compute(sb, m, Options{Triplewise: true})
+			_, opt, err := exact.Optimal(sb, m, 2_000_000)
+			if err != nil {
+				continue
+			}
+			if s.Tightest > opt+1e-9 {
+				t.Fatalf("iter %d %s: tightest %v exceeds optimum %v", i, m.Name, s.Tightest, opt)
+			}
+			list, _, err := sched.ListSchedule(sb, m, sched.IntsToFloats(sb.G.Heights()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sched.Verify(sb, m, list); err != nil {
+				t.Fatal(err)
+			}
+			if c := sched.Cost(sb, list); c < s.Tightest-1e-9 {
+				t.Fatalf("iter %d %s: schedule %v below bound %v", i, m.Name, c, s.Tightest)
+			}
+		}
+	}
+}
+
+// TestOccupancyTightensBounds: holding a unit must never loosen a bound,
+// and on a crafted example it visibly tightens it.
+func TestOccupancyTightensBounds(t *testing.T) {
+	b := model.NewBuilder("np")
+	m0 := b.Op(model.FloatMul)
+	m1 := b.Op(model.FloatMul)
+	m2 := b.Op(model.FloatMul)
+	b.Branch(0, m0, m1, m2)
+	sb := b.MustBuild()
+
+	pip := Compute(sb, model.GP2(), Options{})
+	np := Compute(sb, model.GP2().WithOccupancy(model.FloatMul, 3), Options{})
+	if np.LC[0] <= pip.LC[0] {
+		t.Errorf("occupancy did not tighten LC: %d vs %d", np.LC[0], pip.LC[0])
+	}
+	// In the Rim & Jain expansion the nine unit-occupancy chain ops force
+	// the branch to cycle 5 (the relaxation lets chain ops interleave, so
+	// it is weaker than the true optimum of 6 — still a valid bound).
+	if np.LC[0] != 5 {
+		t.Errorf("LC with occupancy = %d, want 5", np.LC[0])
+	}
+	_, opt, err := exact.Optimal(sb, model.GP2().WithOccupancy(model.FloatMul, 3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 7 { // branch issues at 6 and completes at 7
+		t.Errorf("exact optimum = %v, want 7", opt)
+	}
+	if np.Expanded.G.NumOps() != sb.G.NumOps()+6 {
+		t.Errorf("expansion size %d, want %d", np.Expanded.G.NumOps(), sb.G.NumOps()+6)
+	}
+	// EarlyRC/Seps must be projected back to the original op count.
+	if len(np.EarlyRC) != sb.G.NumOps() {
+		t.Errorf("EarlyRC has %d entries for %d ops", len(np.EarlyRC), sb.G.NumOps())
+	}
+	for _, sep := range np.Seps {
+		if len(sep) != sb.G.NumOps() {
+			t.Errorf("separation has %d entries for %d ops", len(sep), sb.G.NumOps())
+		}
+	}
+}
+
+// TestOccupancyNeverLoosens: the non-pipelined bound dominates the
+// pipelined one on random instances.
+func TestOccupancyNeverLoosens(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	m := model.GP2()
+	np := model.GP2().WithOccupancy(model.FloatMul, 3).WithOccupancy(model.Load, 2)
+	for i := 0; i < 25; i++ {
+		sb := testutil.RandomSuperblock(rng, 14)
+		a := Compute(sb, m, Options{})
+		b := Compute(sb, np, Options{})
+		if b.Tightest < a.Tightest-1e-9 {
+			t.Fatalf("iter %d: occupancy loosened the bound: %v < %v", i, b.Tightest, a.Tightest)
+		}
+	}
+}

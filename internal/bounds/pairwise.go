@@ -1,0 +1,236 @@
+package bounds
+
+import (
+	"balance/internal/model"
+)
+
+// PairBound is the paper's pairwise bound (Theorem 2) for one ordered pair
+// of branches i < j (program order). For every issue separation s =
+// t_j - t_i that a schedule can exhibit, X(s) and Y(s) lower-bound the two
+// issue cycles; (Bi, Bj) is the separation point minimizing the weighted
+// sum w_i·X + w_j·Y, and Value is that minimum. Any legal schedule
+// satisfies w_i·t_i + w_j·t_j ≥ Value.
+type PairBound struct {
+	// I and J are branch indices within the superblock, I < J.
+	I, J int
+	// Ei and Ej are the branches' individual EarlyRC bounds.
+	Ei, Ej int
+	// Lmin and Lmax delimit the explicitly evaluated separation range;
+	// Xs[s-Lmin] and Ys[s-Lmin] hold the relaxation values. Outside the
+	// range the curve extrapolates exactly (see X and Y).
+	Lmin, Lmax int
+	Xs, Ys     []int
+	// Bi and Bj are the components of the optimal tradeoff point and Value
+	// = w_i·Bi + w_j·Bj.
+	Bi, Bj int
+	Value  float64
+	// NoTradeoff reports that both branches reach their individual EarlyRC
+	// simultaneously: scheduling one early never delays the other.
+	NoTradeoff bool
+}
+
+// X returns the lower bound on t_i for schedules with separation s ≥ l_br.
+func (p *PairBound) X(s int) int {
+	switch {
+	case s < p.Lmin:
+		return p.Ej - s
+	case s > p.Lmax:
+		return p.Ei
+	default:
+		return p.Xs[s-p.Lmin]
+	}
+}
+
+// Y returns the lower bound on t_j for schedules with separation s ≥ l_br.
+func (p *PairBound) Y(s int) int {
+	switch {
+	case s < p.Lmin:
+		return p.Ej
+	case s > p.Lmax:
+		return p.Ei + s
+	default:
+		return p.Ys[s-p.Lmin]
+	}
+}
+
+// MinIGivenJ returns the smallest possible t_i over all schedules in which
+// branch j issues no later than cycle tj (per the pairwise relaxation).
+// It quantifies statements like "scheduling branch 16 in cycle 8 delays
+// branch 3 by at least four cycles" (Observation 3).
+func (p *PairBound) MinIGivenJ(tj int) int {
+	best := -1
+	lbr := model.BranchLatency
+	// A schedule with t_j ≤ tj and separation s has t_i = t_j - s ≥ X(s),
+	// and requires Y(s) ≤ tj. t_i ranges down to X(s) only if Y(s) ≤ tj.
+	for s := lbr; s <= p.Lmax+1; s++ {
+		if p.Y(s) > tj {
+			continue
+		}
+		if x := p.X(s); best < 0 || x < best {
+			best = x
+		}
+	}
+	if best < 0 {
+		// No separation admits t_j ≤ tj; report the unconstrained floor.
+		best = p.Ei
+	}
+	return best
+}
+
+// pairwiseComputer holds the per-superblock inputs shared by all pair
+// computations.
+type pairwiseComputer struct {
+	sb      *model.Superblock
+	m       *model.Machine
+	d       *dag
+	earlyRC []int
+	seps    []Separation // per branch index
+
+	early []int // scratch early array (copy of earlyRC with target override)
+	late  []int
+}
+
+// NewPairwise prepares pairwise-bound computation given precomputed EarlyRC
+// values and per-branch separation bounds (from SeparationRC).
+func newPairwiseComputer(sb *model.Superblock, m *model.Machine, earlyRC []int, seps []Separation) *pairwiseComputer {
+	n := sb.G.NumOps()
+	pc := &pairwiseComputer{
+		sb:      sb,
+		m:       m,
+		d:       forwardDag(sb.G, m),
+		earlyRC: earlyRC,
+		seps:    seps,
+		early:   make([]int, n),
+		late:    make([]int, n),
+	}
+	copy(pc.early, earlyRC)
+	return pc
+}
+
+// eval solves the relaxation for pair (bi, bj) with separation latency L and
+// returns (x, y): the lower bounds on t_i and t_j.
+func (pc *pairwiseComputer) eval(i, j int, include []int, L int, st *Stats) (x, y int) {
+	st.PairSweeps++
+	bi, bj := pc.sb.Branches[i], pc.sb.Branches[j]
+	sepI, sepJ := pc.seps[i], pc.seps[j]
+	earlyJ := pc.earlyRC[bj]
+	if t := pc.earlyRC[bi] + L; t > earlyJ {
+		earlyJ = t
+	}
+	for _, v := range include {
+		st.Trips++
+		sep := sepJ[v]
+		if si := sepI[v]; si >= 0 {
+			if s := si + L; s > sep {
+				sep = s
+			}
+		}
+		pc.late[v] = earlyJ - sep
+	}
+	pc.late[bj] = earlyJ
+	pc.early[bj] = earlyJ
+	delay := pc.d.rimJain(include, pc.early, pc.late, st)
+	pc.early[bj] = pc.earlyRC[bj]
+	y = earlyJ + delay
+	return y - L, y
+}
+
+// pair computes the pairwise bound for branch indices i < j using the
+// Figure-5 sweep: probe the natural separation first; if branch j cannot
+// reach its individual bound, decrease the separation until it can; then
+// increase the separation until branch i reaches its individual bound.
+func (pc *pairwiseComputer) pair(i, j int, st *Stats) *PairBound {
+	sb := pc.sb
+	bi, bj := sb.Branches[i], sb.Branches[j]
+	ei, ej := pc.earlyRC[bi], pc.earlyRC[bj]
+	lbr := sb.G.Op(bi).Latency
+	wi, wj := sb.Prob[i], sb.Prob[j]
+
+	include := make([]int, 0, sb.G.PredClosure(bj).Count()+1)
+	sb.G.PredClosure(bj).ForEach(func(v int) { include = append(include, v) })
+	include = append(include, bj)
+
+	l0 := ej - ei
+	if l0 < lbr {
+		l0 = lbr
+	}
+	type point struct{ l, x, y int }
+	var pts []point
+	evalAt := func(l int) point {
+		x, y := pc.eval(i, j, include, l, st)
+		return point{l, x, y}
+	}
+	p0 := evalAt(l0)
+	pts = append(pts, p0)
+	if p0.y != ej {
+		for l := l0 - 1; l >= lbr; l-- {
+			p := evalAt(l)
+			pts = append(pts, p)
+			if p.y == ej {
+				break
+			}
+		}
+	}
+	if !(p0.y == ej && p0.x == ei) {
+		for l := l0 + 1; l <= ej+1; l++ {
+			p := evalAt(l)
+			pts = append(pts, p)
+			if p.x == ei {
+				break
+			}
+		}
+	}
+
+	pb := &PairBound{I: i, J: j, Ei: ei, Ej: ej}
+	pb.Lmin, pb.Lmax = pts[0].l, pts[0].l
+	for _, p := range pts {
+		if p.l < pb.Lmin {
+			pb.Lmin = p.l
+		}
+		if p.l > pb.Lmax {
+			pb.Lmax = p.l
+		}
+	}
+	pb.Xs = make([]int, pb.Lmax-pb.Lmin+1)
+	pb.Ys = make([]int, pb.Lmax-pb.Lmin+1)
+	for i := range pb.Xs {
+		pb.Xs[i] = -1
+	}
+	for _, p := range pts {
+		pb.Xs[p.l-pb.Lmin] = p.x
+		pb.Ys[p.l-pb.Lmin] = p.y
+	}
+	// The sweep visits a contiguous range, so no holes remain; guard anyway.
+	for idx := range pb.Xs {
+		if pb.Xs[idx] < 0 {
+			x, y := pc.eval(i, j, include, pb.Lmin+idx, st)
+			pb.Xs[idx], pb.Ys[idx] = x, y
+		}
+	}
+	best := -1
+	for idx := range pb.Xs {
+		v := wi*float64(pb.Xs[idx]) + wj*float64(pb.Ys[idx])
+		if best < 0 || v < pb.Value {
+			best = idx
+			pb.Value = v
+		}
+	}
+	pb.Bi, pb.Bj = pb.Xs[best], pb.Ys[best]
+	pb.NoTradeoff = p0.x == ei && p0.y == ej
+	return pb
+}
+
+// PairwiseAll computes the pairwise bound for every branch pair of the
+// superblock. earlyRC must come from EarlyRC and seps[i] from
+// SeparationRC(sb, m, Branches[i]).
+func PairwiseAll(sb *model.Superblock, m *model.Machine, earlyRC []int, seps []Separation, st *Stats) []*PairBound {
+	pc := newPairwiseComputer(sb, m, earlyRC, seps)
+	b := len(sb.Branches)
+	out := make([]*PairBound, 0, b*(b-1)/2)
+	for i := 0; i < b; i++ {
+		for j := i + 1; j < b; j++ {
+			out = append(out, pc.pair(i, j, st))
+		}
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package bounds
+
+import (
+	"testing"
+	"testing/quick"
+
+	"balance/internal/model"
+	"balance/internal/sched"
+	"balance/internal/testutil"
+)
+
+var quickCfg = &quick.Config{MaxCount: 80}
+
+// TestQuickBoundsNeverExceedSchedules: the central invariant — no bound may
+// exceed the cost of any legal schedule, here witnessed by a CP list
+// schedule and an SR-flavored one on every machine quick draws.
+func TestQuickBoundsNeverExceedSchedules(t *testing.T) {
+	prop := func(q testutil.QuickSB, qm testutil.QuickMachine) bool {
+		sb, m := q.SB, qm.M
+		set := Compute(sb, m, Options{Triplewise: true, TriplewiseExact: sb.NumBranches() <= 5})
+		keys := [][]float64{
+			sched.IntsToFloats(sb.G.Heights()),
+			sched.Negate(sched.IntsToFloats(sb.G.Heights())),
+		}
+		for _, key := range keys {
+			s, _, err := sched.ListSchedule(sb, m, key)
+			if err != nil {
+				return false
+			}
+			if sched.Cost(sb, s) < set.Tightest-1e-9 {
+				t.Logf("%s: cost %v < tightest %v", sb.Name, sched.Cost(sb, s), set.Tightest)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPairwiseCurveIdentity: within the evaluated range, X(s)+s = Y(s)
+// by construction, and Y is bounded below by Ej and by Ei+s.
+func TestQuickPairwiseCurveIdentity(t *testing.T) {
+	prop := func(q testutil.QuickSB, qm testutil.QuickMachine) bool {
+		sb, m := q.SB, qm.M
+		if sb.NumBranches() < 2 {
+			return true
+		}
+		set := Compute(sb, m, Options{})
+		for _, pr := range set.Pairs {
+			for s := pr.Lmin; s <= pr.Lmax; s++ {
+				if pr.X(s)+s != pr.Y(s) {
+					return false
+				}
+				if pr.Y(s) < pr.Ej || pr.Y(s) < pr.Ei+s {
+					return false
+				}
+			}
+			// Extrapolations agree at the range boundaries' semantics.
+			if pr.X(pr.Lmax+5) != pr.Ei || pr.Y(pr.Lmin-1) != pr.Ej {
+				return false
+			}
+			// The optimal point is on the curve.
+			wi, wj := sb.Prob[pr.I], sb.Prob[pr.J]
+			if v := wi*float64(pr.Bi) + wj*float64(pr.Bj); v < pr.Value-1e-9 || v > pr.Value+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPerBranchDominance: per-branch bound hierarchy CP ≤ RJ ≤ LC and
+// CP ≤ Hu on arbitrary instances and machines.
+func TestQuickPerBranchDominance(t *testing.T) {
+	prop := func(q testutil.QuickSB, qm testutil.QuickMachine) bool {
+		set := Compute(q.SB, qm.M, Options{})
+		for bi := range q.SB.Branches {
+			if set.RJ[bi] < set.CP[bi] || set.LC[bi] < set.RJ[bi] || set.Hu[bi] < set.CP[bi] {
+				return false
+			}
+		}
+		return set.PairVal >= set.LCVal-1e-9
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSeparationsConsistent: separation bounds dominate dependence
+// distances and LateRC stays below EarlyRC-implied ceilings.
+func TestQuickSeparationsConsistent(t *testing.T) {
+	prop := func(q testutil.QuickSB) bool {
+		sb := q.SB
+		m := model.GP2()
+		var st Stats
+		earlyRC := EarlyRC(sb, m, &st)
+		for bi, b := range sb.Branches {
+			_ = bi
+			sep := SeparationRC(sb, m, b, &st)
+			dist := sb.G.LongestToTarget(b)
+			for v := 0; v < sb.G.NumOps(); v++ {
+				if (dist[v] >= 0) != (sep[v] >= 0) {
+					return false
+				}
+				if dist[v] >= 0 && sep[v] < dist[v] {
+					return false // resource awareness can only increase separation
+				}
+			}
+			late := LateRC(sep, earlyRC[b])
+			if late[b] != earlyRC[b] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

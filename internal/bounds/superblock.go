@@ -1,0 +1,245 @@
+package bounds
+
+import (
+	"balance/internal/model"
+)
+
+// NaiveValue composes per-branch issue bounds into a superblock-level lower
+// bound on the weighted completion time: Σ_i w_i·(b_i + l_br). This is the
+// "naive" composition of Section 4.2 that ignores inter-branch conflicts.
+func NaiveValue(sb *model.Superblock, pb PerBranch) float64 {
+	total := 0.0
+	for i := range sb.Branches {
+		total += sb.Prob[i] * float64(pb[i]+model.BranchLatency)
+	}
+	return total
+}
+
+// PairwiseValue composes the pairwise bounds into a superblock-level lower
+// bound per Theorem 3: summing the per-pair inequalities counts every
+// branch B-1 times, so the bound is Σ_pairs Value / (B-1) + l_br.
+// For a single-exit superblock it degenerates to the naive LC bound.
+func PairwiseValue(sb *model.Superblock, earlyRC []int, pairs []*PairBound) float64 {
+	b := len(sb.Branches)
+	if b < 2 {
+		return sb.Prob[0] * float64(earlyRC[sb.Branches[0]]+model.BranchLatency)
+	}
+	sum := 0.0
+	for _, p := range pairs {
+		sum += p.Value
+	}
+	return sum/float64(b-1) + model.BranchLatency
+}
+
+// TriplewiseValue composes the triple bounds per the extension of Theorem 3
+// to triples: each branch appears in C(B-1,2) triples, so the bound is
+// Σ_triples Value / C(B-1,2) + l_br. With fewer than three branches it
+// falls back to the pairwise composition.
+func TriplewiseValue(sb *model.Superblock, earlyRC []int, pairs []*PairBound, triples []*TripleBound) float64 {
+	b := len(sb.Branches)
+	if b < 3 || len(triples) == 0 {
+		return PairwiseValue(sb, earlyRC, pairs)
+	}
+	sum := 0.0
+	for _, t := range triples {
+		sum += t.Value
+	}
+	per := float64((b - 1) * (b - 2) / 2)
+	return sum/per + model.BranchLatency
+}
+
+// AlgStats carries the loop-trip statistics of each bound algorithm run on
+// one superblock (the Table 2 metric).
+type AlgStats struct {
+	CP, Hu, RJ, LC, LCOriginal, LCReverse, PW, TW Stats
+}
+
+// Options configures Compute.
+type Options struct {
+	// Triplewise enables the triplewise bound (the cheap pairwise-curve
+	// combination; see TriplewiseAll).
+	Triplewise bool
+	// TripleMaxBranches caps the number of branches for which triples are
+	// enumerated (0 = unlimited).
+	TripleMaxBranches int
+	// TriplewiseExact additionally runs the direct two-edge Rim & Jain
+	// triple relaxation (TripleRelaxAll) and keeps, per triple, the tighter
+	// of the two values. Much more expensive; gated by
+	// TripleExactMaxBranches.
+	TriplewiseExact bool
+	// TripleExactMaxBranches caps the exact triple relaxation (default 8
+	// when TriplewiseExact is set and this is 0).
+	TripleExactMaxBranches int
+	// WithLCOriginal additionally runs the LC recursion without the
+	// Theorem-1 shortcut, for complexity comparisons only.
+	WithLCOriginal bool
+}
+
+// Set is the full collection of lower bounds for one superblock on one
+// machine.
+type Set struct {
+	SB *model.Superblock
+	M  *model.Machine
+
+	// Expanded is the Rim & Jain occupancy expansion the bounds were
+	// computed on (equal to SB when the machine is fully pipelined); see
+	// model.ExpandOccupancy. EarlyRC and Seps are indexed by SB's original
+	// op IDs either way.
+	Expanded *model.Superblock
+
+	// EarlyRC is the Langevin & Cerny bound for every operation.
+	EarlyRC []int
+	// Seps[i] is the separation bound toward branch i (SeparationRC).
+	Seps []Separation
+
+	// Per-branch issue bounds.
+	CP, Hu, RJ, LC PerBranch
+
+	// Pairs and Triples hold the new bounds of Sections 4.2-4.4.
+	Pairs   []*PairBound
+	Triples []*TripleBound
+
+	// Superblock-level weighted-completion bounds.
+	CPVal, HuVal, RJVal, LCVal, PairVal, TripleVal float64
+	// Tightest is the maximum of all superblock-level bounds.
+	Tightest float64
+
+	// Stats records the work each algorithm performed.
+	Stats AlgStats
+}
+
+// Compute runs every bound algorithm on the superblock for the machine.
+// Machines with non-fully-pipelined units are handled by the Rim & Jain
+// occupancy expansion (model.ExpandOccupancy): the bounds are computed on
+// the fully pipelined expansion, whose optima lower-bound the original
+// problem's.
+func Compute(sb *model.Superblock, m *model.Machine, opts Options) *Set {
+	s := &Set{SB: sb, M: m, Expanded: sb}
+	work := sb
+	var origOf []int
+	if !m.FullyPipelined() {
+		work, origOf = model.ExpandOccupancy(sb, m)
+		s.Expanded = work
+	}
+
+	s.CP = CP(work, &s.Stats.CP)
+	s.Hu = Hu(work, m, &s.Stats.Hu)
+	s.RJ = RJ(work, m, &s.Stats.RJ)
+	earlyRC := EarlyRC(work, m, &s.Stats.LC)
+	s.LC = make(PerBranch, len(work.Branches))
+	for i, b := range work.Branches {
+		s.LC[i] = earlyRC[b]
+	}
+	if opts.WithLCOriginal {
+		EarlyRCOriginal(work, m, &s.Stats.LCOriginal)
+	}
+
+	seps := make([]Separation, len(work.Branches))
+	for i, b := range work.Branches {
+		seps[i] = SeparationRC(work, m, b, &s.Stats.LCReverse)
+	}
+	s.Pairs = PairwiseAll(work, m, earlyRC, seps, &s.Stats.PW)
+	if opts.Triplewise {
+		s.Triples = TriplewiseAll(work, s.Pairs, opts.TripleMaxBranches, &s.Stats.TW)
+		if opts.TriplewiseExact {
+			maxB := opts.TripleExactMaxBranches
+			if maxB == 0 {
+				maxB = 8
+			}
+			exact := TripleRelaxAll(work, m, earlyRC, seps, maxB, &s.Stats.TW)
+			s.Triples = mergeTriples(s.Triples, exact)
+		}
+	}
+
+	// Map the per-op arrays back to the original op IDs (identity when no
+	// expansion happened).
+	s.EarlyRC, s.Seps = mapToOriginal(sb, work, origOf, earlyRC, seps)
+
+	s.CPVal = NaiveValue(work, s.CP)
+	s.HuVal = NaiveValue(work, s.Hu)
+	s.RJVal = NaiveValue(work, s.RJ)
+	s.LCVal = NaiveValue(work, s.LC)
+	s.PairVal = PairwiseValue(work, earlyRC, s.Pairs)
+	s.TripleVal = s.PairVal
+	if opts.Triplewise {
+		s.TripleVal = TriplewiseValue(work, earlyRC, s.Pairs, s.Triples)
+	}
+	s.Tightest = s.CPVal
+	for _, v := range []float64{s.HuVal, s.RJVal, s.LCVal, s.PairVal, s.TripleVal} {
+		if v > s.Tightest {
+			s.Tightest = v
+		}
+	}
+	return s
+}
+
+// mergeTriples keeps, for every triple present in either list, the larger
+// (tighter) of the two valid bounds.
+func mergeTriples(a, b []*TripleBound) []*TripleBound {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	idx := make(map[[3]int]*TripleBound, len(a))
+	for _, t := range a {
+		idx[[3]int{t.I, t.J, t.K}] = t
+	}
+	for _, t := range b {
+		key := [3]int{t.I, t.J, t.K}
+		if old, ok := idx[key]; !ok || t.Value > old.Value {
+			idx[key] = t
+		}
+	}
+	out := make([]*TripleBound, 0, len(idx))
+	for _, t := range a {
+		out = append(out, idx[[3]int{t.I, t.J, t.K}])
+	}
+	return out
+}
+
+// mapToOriginal projects expanded per-op arrays onto the original op IDs
+// via the primary (first) expanded node of each original op.
+func mapToOriginal(sb, work *model.Superblock, origOf []int, earlyRC []int, seps []Separation) ([]int, []Separation) {
+	if origOf == nil {
+		return earlyRC, seps
+	}
+	n := sb.G.NumOps()
+	primary := make([]int, n)
+	for i := range primary {
+		primary[i] = -1
+	}
+	for expID, orig := range origOf {
+		if primary[orig] < 0 {
+			primary[orig] = expID
+		}
+	}
+	outEarly := make([]int, n)
+	for v := 0; v < n; v++ {
+		outEarly[v] = earlyRC[primary[v]]
+	}
+	outSeps := make([]Separation, len(seps))
+	for i, sep := range seps {
+		o := make(Separation, n)
+		for v := 0; v < n; v++ {
+			o[v] = sep[primary[v]]
+		}
+		outSeps[i] = o
+	}
+	return outEarly, outSeps
+}
+
+// PairFor returns the pairwise bound for branch indices (i, j) with i < j,
+// or nil if absent.
+func (s *Set) PairFor(i, j int) *PairBound {
+	if i > j {
+		i, j = j, i
+	}
+	for _, p := range s.Pairs {
+		if p.I == i && p.J == j {
+			return p
+		}
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package bounds
+
+import (
+	"math/rand"
+	"testing"
+
+	"balance/internal/exact"
+	"balance/internal/model"
+	"balance/internal/testutil"
+)
+
+// threeExit builds a superblock with three exits competing for two GP
+// units, exercising the triple bounds.
+func threeExit(w1, w2 float64) *model.Superblock {
+	b := model.NewBuilder("threeexit")
+	o0 := b.Int()
+	o1 := b.Int()
+	o2 := b.Int()
+	b.Branch(w1, o0, o1, o2)
+	o3 := b.Int()
+	o4 := b.Int(o3)
+	b.Branch(w2, o4)
+	o5 := b.Int()
+	o6 := b.Int(o5)
+	o7 := b.Int(o6)
+	b.Branch(0, o7)
+	return b.MustBuild()
+}
+
+func TestTripleRelaxSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for i := 0; i < 25; i++ {
+		sb := testutil.RandomSuperblock(rng, 12)
+		if sb.NumBranches() < 3 {
+			continue
+		}
+		for _, m := range testutil.SmallMachines() {
+			s := Compute(sb, m, Options{Triplewise: true, TriplewiseExact: true})
+			_, opt, err := exact.Optimal(sb, m, 1_500_000)
+			if err != nil {
+				continue
+			}
+			if s.TripleVal > opt+1e-9 {
+				t.Fatalf("iter %d %s: exact-TW bound %v exceeds optimum %v", i, m.Name, s.TripleVal, opt)
+			}
+			if s.Tightest > opt+1e-9 {
+				t.Fatalf("iter %d %s: tightest %v exceeds optimum %v", i, m.Name, s.Tightest, opt)
+			}
+		}
+	}
+}
+
+func TestTripleRelaxUsuallyDominatesCombination(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	tighter, looser, total := 0, 0, 0
+	for i := 0; i < 40; i++ {
+		sb := testutil.RandomSuperblock(rng, 16)
+		if sb.NumBranches() < 3 {
+			continue
+		}
+		m := model.GP2()
+		combo := Compute(sb, m, Options{Triplewise: true})
+		both := Compute(sb, m, Options{Triplewise: true, TriplewiseExact: true})
+		total++
+		switch {
+		case both.TripleVal > combo.TripleVal+1e-9:
+			tighter++
+		case both.TripleVal < combo.TripleVal-1e-9:
+			looser++
+		}
+		// The merged bound can never be looser than the combination alone.
+		if both.TripleVal < combo.TripleVal-1e-9 {
+			t.Fatalf("iter %d: merged TW %v below combination TW %v", i, both.TripleVal, combo.TripleVal)
+		}
+	}
+	if total == 0 {
+		t.Skip("no 3-exit instances generated")
+	}
+	t.Logf("exact TW tighter on %d, equal on %d of %d instances", tighter, total-tighter-looser, total)
+}
+
+func TestTripleRelaxOnCraftedExample(t *testing.T) {
+	sb := threeExit(0.3, 0.3)
+	m := model.GP2()
+	s := Compute(sb, m, Options{Triplewise: true, TriplewiseExact: true})
+	_, opt, err := exact.Optimal(sb, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Tightest > opt+1e-9 {
+		t.Fatalf("tightest %v exceeds optimum %v", s.Tightest, opt)
+	}
+	if len(s.Triples) != 1 {
+		t.Fatalf("expected one triple, got %d", len(s.Triples))
+	}
+	// The triple bound must at least match the naive floor for the triple.
+	tr := s.Triples[0]
+	floor := 0.0
+	for idx, bi := range []int{tr.I, tr.J, tr.K} {
+		_ = idx
+		floor += sb.Prob[bi] * float64(s.LC[bi])
+	}
+	if tr.Value < floor-1e-9 {
+		t.Errorf("triple value %v below naive floor %v", tr.Value, floor)
+	}
+}

@@ -1,0 +1,237 @@
+// Package cfg provides a control-flow-graph substrate and superblock
+// formation. The paper's superblocks were formed by the LEGO compiler from
+// profiled SPECint95 control-flow graphs; this package reproduces that
+// pipeline synthetically: profiled CFGs over register-based operations are
+// grown into hot traces with the classic mutual-most-likely heuristic and
+// emitted as model.Superblock values with exit probabilities derived from
+// the edge profile.
+package cfg
+
+import (
+	"fmt"
+
+	"balance/internal/model"
+)
+
+// Reg is a virtual register number. Register 0 is reserved to mean "no
+// register" (for operations without a result, e.g. stores).
+type Reg int
+
+// Op is one operation inside a basic block. Data flow is expressed through
+// virtual registers: Uses lists the registers read, Def the register
+// written (0 if none). Branches are implicit block terminators and are not
+// listed as Ops.
+type Op struct {
+	// Class is the operation kind (must not be model.Branch).
+	Class model.Class
+	// Uses lists the registers the operation reads.
+	Uses []Reg
+	// Def is the register the operation writes (0 = none).
+	Def Reg
+}
+
+// Edge is a profiled control-flow edge.
+type Edge struct {
+	// To is the destination block ID.
+	To int
+	// Count is the number of times the edge was taken in the profile.
+	Count int64
+}
+
+// Block is a basic block: straight-line operations ended by an implicit
+// (conditional) branch.
+type Block struct {
+	// ID is the block's index in its Graph.
+	ID int
+	// Ops lists the block's operations in program order.
+	Ops []Op
+	// BranchUses lists the registers the terminating branch reads.
+	BranchUses []Reg
+	// Succs lists the profiled control-flow successors (0, 1, or 2).
+	Succs []Edge
+	// ExitCount counts executions that leave the region from this block
+	// (procedure returns and region exits).
+	ExitCount int64
+}
+
+// Count returns the block's total execution count (sum of outgoing edge
+// counts plus region exits).
+func (b *Block) Count() int64 {
+	total := b.ExitCount
+	for _, e := range b.Succs {
+		total += e.Count
+	}
+	return total
+}
+
+// Graph is a profiled control-flow graph for one region.
+type Graph struct {
+	// Name identifies the region.
+	Name string
+	// Blocks holds the basic blocks, indexed by ID.
+	Blocks []*Block
+	// Entry is the region's entry block ID.
+	Entry int
+}
+
+// Validate checks structural invariants: edge targets in range, entry in
+// range, non-negative counts, at most two successors, and no branch-class
+// ops inside blocks.
+func (g *Graph) Validate() error {
+	if g.Entry < 0 || g.Entry >= len(g.Blocks) {
+		return fmt.Errorf("cfg: entry %d out of range", g.Entry)
+	}
+	for i, b := range g.Blocks {
+		if b.ID != i {
+			return fmt.Errorf("cfg: block %d has mismatched ID %d", i, b.ID)
+		}
+		if len(b.Succs) > 2 {
+			return fmt.Errorf("cfg: block %d has %d successors", i, len(b.Succs))
+		}
+		if b.ExitCount < 0 {
+			return fmt.Errorf("cfg: block %d has negative exit count", i)
+		}
+		for _, e := range b.Succs {
+			if e.To < 0 || e.To >= len(g.Blocks) {
+				return fmt.Errorf("cfg: block %d has edge to %d (out of range)", i, e.To)
+			}
+			if e.Count < 0 {
+				return fmt.Errorf("cfg: block %d has negative edge count", i)
+			}
+		}
+		for oi, op := range b.Ops {
+			if op.Class == model.Branch {
+				return fmt.Errorf("cfg: block %d op %d is a branch (branches are implicit)", i, oi)
+			}
+		}
+	}
+	return nil
+}
+
+// FormationConfig controls superblock formation.
+type FormationConfig struct {
+	// MinTakenProb is the minimum probability an edge needs to extend a
+	// trace (the classic 0.6-0.8 range; default 0.6).
+	MinTakenProb float64
+	// MinCount is the minimum execution count for a block to seed or join
+	// a trace (default 1).
+	MinCount int64
+	// MaxBlocks caps the trace length (default 32).
+	MaxBlocks int
+	// RequireMutual demands the mutual-most-likely condition: the chosen
+	// successor's hottest predecessor edge must be the trace edge (default
+	// true in DefaultFormation).
+	RequireMutual bool
+}
+
+// DefaultFormation returns the standard formation parameters.
+func DefaultFormation() FormationConfig {
+	return FormationConfig{MinTakenProb: 0.6, MinCount: 1, MaxBlocks: 32, RequireMutual: true}
+}
+
+// Trace is a sequence of block IDs selected by trace growing.
+type Trace struct {
+	Blocks []int
+	// Count is the execution count of the trace head.
+	Count int64
+}
+
+// GrowTraces partitions the hot blocks of the graph into traces with the
+// mutual-most-likely heuristic: repeatedly seed a trace at the hottest
+// unvisited block and extend it along the most probable successor edge
+// while the edge is hot enough and the successor's own hottest incoming
+// edge is the trace edge.
+func GrowTraces(g *Graph, cfg FormationConfig) []Trace {
+	if cfg.MinTakenProb <= 0 {
+		cfg.MinTakenProb = 0.6
+	}
+	if cfg.MaxBlocks <= 0 {
+		cfg.MaxBlocks = 32
+	}
+	if cfg.MinCount <= 0 {
+		cfg.MinCount = 1
+	}
+	n := len(g.Blocks)
+	// Precompute each block's hottest incoming edge source.
+	bestPred := make([]int, n)
+	bestPredCount := make([]int64, n)
+	for i := range bestPred {
+		bestPred[i] = -1
+	}
+	for _, b := range g.Blocks {
+		for _, e := range b.Succs {
+			if e.Count > bestPredCount[e.To] {
+				bestPredCount[e.To] = e.Count
+				bestPred[e.To] = b.ID
+			}
+		}
+	}
+	// Seeds in decreasing execution count (ties: lower ID first).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	counts := make([]int64, n)
+	for i, b := range g.Blocks {
+		counts[i] = b.Count()
+	}
+	sortBy(order, func(a, b int) bool {
+		if counts[a] != counts[b] {
+			return counts[a] > counts[b]
+		}
+		return a < b
+	})
+
+	visited := make([]bool, n)
+	var traces []Trace
+	for _, seed := range order {
+		if visited[seed] || counts[seed] < cfg.MinCount {
+			continue
+		}
+		tr := Trace{Blocks: []int{seed}, Count: counts[seed]}
+		visited[seed] = true
+		cur := seed
+		for len(tr.Blocks) < cfg.MaxBlocks {
+			blk := g.Blocks[cur]
+			total := blk.Count()
+			if total == 0 {
+				break
+			}
+			// Most probable successor edge.
+			var best *Edge
+			for i := range blk.Succs {
+				if best == nil || blk.Succs[i].Count > best.Count {
+					best = &blk.Succs[i]
+				}
+			}
+			if best == nil {
+				break
+			}
+			prob := float64(best.Count) / float64(total)
+			if prob < cfg.MinTakenProb {
+				break
+			}
+			next := best.To
+			if visited[next] || counts[next] < cfg.MinCount {
+				break
+			}
+			if cfg.RequireMutual && bestPred[next] != cur {
+				break
+			}
+			tr.Blocks = append(tr.Blocks, next)
+			visited[next] = true
+			cur = next
+		}
+		traces = append(traces, tr)
+	}
+	return traces
+}
+
+// sortBy is a tiny insertion sort keeping the dependency surface minimal.
+func sortBy(xs []int, less func(a, b int) bool) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && less(xs[j], xs[j-1]); j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package cfg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"balance/internal/model"
+)
+
+// Write encodes the CFG in a line-oriented text format (.cfg):
+//
+//	cfg <name> entry <id>
+//	block <id> [exit <count>]
+//	op <class> [def <reg>] [use <reg>...]
+//	bruse <reg>...
+//	succ <to> <count>
+//	end
+//
+// Blocks must appear in ID order; directives between "block" and "end"
+// belong to that block.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "cfg %s entry %d\n", g.Name, g.Entry)
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(bw, "block %d", blk.ID)
+		if blk.ExitCount != 0 {
+			fmt.Fprintf(bw, " exit %d", blk.ExitCount)
+		}
+		fmt.Fprintln(bw)
+		for _, op := range blk.Ops {
+			fmt.Fprintf(bw, "op %s", op.Class)
+			if op.Def != 0 {
+				fmt.Fprintf(bw, " def %d", op.Def)
+			}
+			if len(op.Uses) > 0 {
+				fmt.Fprint(bw, " use")
+				for _, u := range op.Uses {
+					fmt.Fprintf(bw, " %d", u)
+				}
+			}
+			fmt.Fprintln(bw)
+		}
+		if len(blk.BranchUses) > 0 {
+			fmt.Fprint(bw, "bruse")
+			for _, u := range blk.BranchUses {
+				fmt.Fprintf(bw, " %d", u)
+			}
+			fmt.Fprintln(bw)
+		}
+		for _, e := range blk.Succs {
+			fmt.Fprintf(bw, "succ %d %d\n", e.To, e.Count)
+		}
+		fmt.Fprintln(bw, "end")
+	}
+	return bw.Flush()
+}
+
+// Read parses a CFG written by Write.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	g := &Graph{}
+	var cur *Block
+	line := 0
+	sawHeader := false
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		f := strings.Fields(text)
+		errf := func(format string, args ...interface{}) error {
+			return fmt.Errorf("cfg: line %d: %s", line, fmt.Sprintf(format, args...))
+		}
+		switch f[0] {
+		case "cfg":
+			if sawHeader {
+				return nil, errf("duplicate cfg header")
+			}
+			if len(f) != 4 || f[2] != "entry" {
+				return nil, errf("malformed header (want: cfg <name> entry <id>)")
+			}
+			entry, err := strconv.Atoi(f[3])
+			if err != nil {
+				return nil, errf("bad entry id %q", f[3])
+			}
+			g.Name, g.Entry = f[1], entry
+			sawHeader = true
+		case "block":
+			if !sawHeader {
+				return nil, errf("block before cfg header")
+			}
+			if cur != nil {
+				return nil, errf("nested block (missing end?)")
+			}
+			if len(f) < 2 {
+				return nil, errf("block needs an id")
+			}
+			id, err := strconv.Atoi(f[1])
+			if err != nil || id != len(g.Blocks) {
+				return nil, errf("block ids must be dense and in order (got %q, want %d)", f[1], len(g.Blocks))
+			}
+			cur = &Block{ID: id}
+			if len(f) >= 4 && f[2] == "exit" {
+				c, err := strconv.ParseInt(f[3], 10, 64)
+				if err != nil {
+					return nil, errf("bad exit count %q", f[3])
+				}
+				cur.ExitCount = c
+			}
+		case "op":
+			if cur == nil || len(f) < 2 {
+				return nil, errf("misplaced or malformed op")
+			}
+			class, err := model.ParseClass(f[1])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			op := Op{Class: class}
+			i := 2
+			for i < len(f) {
+				switch f[i] {
+				case "def":
+					if i+1 >= len(f) {
+						return nil, errf("def needs a register")
+					}
+					d, err := strconv.Atoi(f[i+1])
+					if err != nil {
+						return nil, errf("bad def register %q", f[i+1])
+					}
+					op.Def = Reg(d)
+					i += 2
+				case "use":
+					i++
+					for i < len(f) && f[i] != "def" {
+						u, err := strconv.Atoi(f[i])
+						if err != nil {
+							return nil, errf("bad use register %q", f[i])
+						}
+						op.Uses = append(op.Uses, Reg(u))
+						i++
+					}
+				default:
+					return nil, errf("unknown op field %q", f[i])
+				}
+			}
+			cur.Ops = append(cur.Ops, op)
+		case "bruse":
+			if cur == nil {
+				return nil, errf("bruse outside block")
+			}
+			for _, s := range f[1:] {
+				u, err := strconv.Atoi(s)
+				if err != nil {
+					return nil, errf("bad bruse register %q", s)
+				}
+				cur.BranchUses = append(cur.BranchUses, Reg(u))
+			}
+		case "succ":
+			if cur == nil || len(f) != 3 {
+				return nil, errf("misplaced or malformed succ")
+			}
+			to, err1 := strconv.Atoi(f[1])
+			count, err2 := strconv.ParseInt(f[2], 10, 64)
+			if err1 != nil || err2 != nil {
+				return nil, errf("bad succ fields")
+			}
+			cur.Succs = append(cur.Succs, Edge{To: to, Count: count})
+		case "end":
+			if cur == nil {
+				return nil, errf("end without block")
+			}
+			g.Blocks = append(g.Blocks, cur)
+			cur = nil
+		default:
+			return nil, errf("unknown directive %q", f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("cfg: %w", err)
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("cfg: unterminated block (missing end)")
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("cfg: missing cfg header")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,131 @@
+package cfg
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestCFGRoundTrip(t *testing.T) {
+	orig := diamond()
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("read: %v\n%s", err, buf.String())
+	}
+	assertCFGEqual(t, orig, back)
+}
+
+func TestCFGRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for i := 0; i < 20; i++ {
+		orig := Random("r", rng, DefaultRandom())
+		var buf bytes.Buffer
+		if err := Write(&buf, orig); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		assertCFGEqual(t, orig, back)
+	}
+}
+
+func assertCFGEqual(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.Name != b.Name || a.Entry != b.Entry || len(a.Blocks) != len(b.Blocks) {
+		t.Fatalf("header mismatch: %s/%d/%d vs %s/%d/%d",
+			a.Name, a.Entry, len(a.Blocks), b.Name, b.Entry, len(b.Blocks))
+	}
+	for i := range a.Blocks {
+		ba, bb := a.Blocks[i], b.Blocks[i]
+		if ba.ExitCount != bb.ExitCount || len(ba.Ops) != len(bb.Ops) ||
+			len(ba.Succs) != len(bb.Succs) || len(ba.BranchUses) != len(bb.BranchUses) {
+			t.Fatalf("block %d shape mismatch", i)
+		}
+		for oi := range ba.Ops {
+			oa, ob := ba.Ops[oi], bb.Ops[oi]
+			if oa.Class != ob.Class || oa.Def != ob.Def || len(oa.Uses) != len(ob.Uses) {
+				t.Fatalf("block %d op %d mismatch: %+v vs %+v", i, oi, oa, ob)
+			}
+			for ui := range oa.Uses {
+				if oa.Uses[ui] != ob.Uses[ui] {
+					t.Fatalf("block %d op %d use %d mismatch", i, oi, ui)
+				}
+			}
+		}
+		for si := range ba.Succs {
+			if ba.Succs[si] != bb.Succs[si] {
+				t.Fatalf("block %d succ %d mismatch", i, si)
+			}
+		}
+		for ui := range ba.BranchUses {
+			if ba.BranchUses[ui] != bb.BranchUses[ui] {
+				t.Fatalf("block %d bruse %d mismatch", i, ui)
+			}
+		}
+	}
+}
+
+func TestCFGReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"no header":    "block 0\nend\n",
+		"double hdr":   "cfg a entry 0\ncfg b entry 0\n",
+		"nested":       "cfg a entry 0\nblock 0\nblock 1\n",
+		"sparse":       "cfg a entry 0\nblock 1\nend\n",
+		"bad class":    "cfg a entry 0\nblock 0\nop pear\nend\n",
+		"branch op":    "cfg a entry 0\nblock 0\nop branch\nend\n",
+		"bad succ":     "cfg a entry 0\nblock 0\nsucc x 1\nend\n",
+		"out of range": "cfg a entry 0\nblock 0\nsucc 5 1\nend\n",
+		"unterminated": "cfg a entry 0\nblock 0\n",
+		"end alone":    "cfg a entry 0\nend\n",
+		"bad entry":    "cfg a entry 9\nblock 0\nend\n",
+		"unknown":      "cfg a entry 0\nfrob\n",
+	}
+	for name, text := range cases {
+		if _, err := Read(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: accepted invalid input", name)
+		}
+	}
+}
+
+func TestCFGReadComments(t *testing.T) {
+	text := `
+# hot diamond
+cfg demo entry 0
+block 0
+op int def 1
+op load use 1 def 2
+bruse 2
+succ 1 10
+end
+block 1 exit 10
+op store use 2
+end
+`
+	g, err := Read(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "demo" || len(g.Blocks) != 2 {
+		t.Fatalf("parse failed: %+v", g)
+	}
+	if g.Blocks[0].Ops[1].Def != 2 || len(g.Blocks[0].Ops[1].Uses) != 1 {
+		t.Errorf("op fields wrong: %+v", g.Blocks[0].Ops[1])
+	}
+	if g.Blocks[1].ExitCount != 10 {
+		t.Errorf("exit count = %d", g.Blocks[1].ExitCount)
+	}
+	sbs, err := FormAll(g, DefaultFormation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sbs) == 0 {
+		t.Fatal("no superblocks from parsed CFG")
+	}
+}

@@ -1,0 +1,114 @@
+package cfg
+
+import (
+	"fmt"
+
+	"balance/internal/model"
+)
+
+// FormSuperblock converts one trace into a superblock. Data dependences are
+// derived from the virtual-register flow along the trace (uses of registers
+// defined earlier in the trace; registers defined outside are live-in and
+// contribute no edge) plus conservative memory ordering (a store depends on
+// every prior memory operation; a load depends on the last prior store).
+// Each non-final block contributes an exit branch whose probability is the
+// profile probability of leaving the trace at that block, chained with the
+// reach probability of getting that far.
+func FormSuperblock(g *Graph, tr Trace, index int) (*model.Superblock, error) {
+	if len(tr.Blocks) == 0 {
+		return nil, fmt.Errorf("cfg: empty trace")
+	}
+	name := fmt.Sprintf("%s/tr%04d", g.Name, index)
+	b := model.NewBuilder(name)
+	b.SetFreq(float64(tr.Count))
+
+	lastDef := map[Reg]int{} // register -> op ID of its latest definition
+	lastStore := -1
+	var memOps []int // all prior memory ops (for store ordering)
+
+	reach := 1.0
+	for pos, blkID := range tr.Blocks {
+		blk := g.Blocks[blkID]
+		for _, op := range blk.Ops {
+			id := b.AddOp(op.Class)
+			for _, u := range op.Uses {
+				if u == 0 {
+					continue
+				}
+				if def, ok := lastDef[u]; ok {
+					b.Dep(def, id)
+				}
+			}
+			switch op.Class {
+			case model.Store:
+				for _, m := range memOps {
+					b.Dep(m, id)
+				}
+				lastStore = id
+				memOps = append(memOps, id)
+			case model.Load:
+				if lastStore >= 0 {
+					b.Dep(lastStore, id)
+				}
+				memOps = append(memOps, id)
+			}
+			if op.Def != 0 {
+				lastDef[op.Def] = id
+			}
+		}
+		// Exit probability: reach × P(off-trace at this block).
+		offProb := 1.0
+		if pos+1 < len(tr.Blocks) {
+			total := blk.Count()
+			onCount := int64(0)
+			next := tr.Blocks[pos+1]
+			for _, e := range blk.Succs {
+				if e.To == next {
+					onCount += e.Count
+				}
+			}
+			if total > 0 {
+				offProb = 1 - float64(onCount)/float64(total)
+			} else {
+				offProb = 0
+			}
+		}
+		exitProb := reach * offProb
+		if pos+1 == len(tr.Blocks) {
+			exitProb = reach // the final exit absorbs the remainder
+		}
+		var brDeps []int
+		for _, u := range blk.BranchUses {
+			if u == 0 {
+				continue
+			}
+			if def, ok := lastDef[u]; ok {
+				brDeps = append(brDeps, def)
+			}
+		}
+		b.Branch(exitProb, brDeps...)
+		reach -= exitProb
+		if reach < 0 {
+			reach = 0
+		}
+	}
+	return b.Build()
+}
+
+// FormAll grows traces over the graph and forms a superblock from each
+// trace that contains at least one operation.
+func FormAll(g *Graph, cfg FormationConfig) ([]*model.Superblock, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	traces := GrowTraces(g, cfg)
+	var out []*model.Superblock
+	for i, tr := range traces {
+		sb, err := FormSuperblock(g, tr, i)
+		if err != nil {
+			return nil, fmt.Errorf("cfg: trace %d of %s: %w", i, g.Name, err)
+		}
+		out = append(out, sb)
+	}
+	return out, nil
+}

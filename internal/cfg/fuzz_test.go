@@ -1,0 +1,54 @@
+package cfg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead exercises the .cfg parser: no panics, accepted graphs validate,
+// round-trip, and survive superblock formation.
+func FuzzRead(f *testing.F) {
+	var seed bytes.Buffer
+	if err := Write(&seed, diamond()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("cfg a entry 0\nblock 0 exit 5\nop int def 1\nbruse 1\nend\n")
+	f.Add("cfg a entry 0\nblock 0\nsucc 0 1\nend\n")
+	f.Add("block 0\nend\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("parser accepted an invalid graph: %v", verr)
+		}
+		var buf bytes.Buffer
+		if werr := Write(&buf, g); werr != nil {
+			t.Fatalf("cannot re-encode accepted graph: %v", werr)
+		}
+		back, rerr := Read(&buf)
+		if rerr != nil {
+			t.Fatalf("round trip failed: %v", rerr)
+		}
+		if len(back.Blocks) != len(g.Blocks) {
+			t.Fatal("round trip changed the graph")
+		}
+		// Formation must not crash on any accepted graph (it may produce
+		// degenerate traces, which is fine). Graphs with cycles in the
+		// profile edges are rejected by Validate's range checks only, so
+		// guard formation against self-loops by bounding trace length.
+		sbs, ferr := FormAll(g, FormationConfig{MinTakenProb: 0.6, MaxBlocks: 8})
+		if ferr != nil {
+			return
+		}
+		for _, sb := range sbs {
+			if verr := sb.Validate(); verr != nil {
+				t.Fatalf("formation produced an invalid superblock: %v", verr)
+			}
+		}
+	})
+}

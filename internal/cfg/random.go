@@ -1,0 +1,118 @@
+package cfg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"balance/internal/model"
+)
+
+// RandomConfig parameterizes random profiled-CFG generation.
+type RandomConfig struct {
+	// Blocks is the number of basic blocks (≥ 1).
+	Blocks int
+	// OpsPerBlockMax bounds each block's operation count (≥ 1).
+	OpsPerBlockMax int
+	// MemFrac is the fraction of memory operations.
+	MemFrac float64
+	// BranchyProb is the probability that a block ends with a two-way
+	// branch rather than falling through.
+	BranchyProb float64
+	// EntryCount is the profile count entering the region.
+	EntryCount int64
+}
+
+// DefaultRandom returns reasonable generation parameters.
+func DefaultRandom() RandomConfig {
+	return RandomConfig{Blocks: 12, OpsPerBlockMax: 8, MemFrac: 0.25, BranchyProb: 0.7, EntryCount: 1000}
+}
+
+// Random builds a random acyclic profiled CFG: blocks are laid out in
+// topological order, each block branches to one or two later blocks (the
+// last block exits the region), and profile counts flow from the entry
+// along randomly biased edges so that every block's incoming and outgoing
+// counts are consistent.
+func Random(name string, rng *rand.Rand, cfg RandomConfig) *Graph {
+	if cfg.Blocks < 1 {
+		cfg.Blocks = 1
+	}
+	if cfg.OpsPerBlockMax < 1 {
+		cfg.OpsPerBlockMax = 1
+	}
+	if cfg.EntryCount < 1 {
+		cfg.EntryCount = 1
+	}
+	g := &Graph{Name: name, Entry: 0}
+	nextReg := Reg(1)
+	// liveRegs tracks registers defined anywhere earlier (approximating
+	// live-ins across blocks; the formation treats unknown defs as live-in,
+	// so imprecision here is harmless).
+	var liveRegs []Reg
+
+	for i := 0; i < cfg.Blocks; i++ {
+		blk := &Block{ID: i}
+		nOps := 1 + rng.Intn(cfg.OpsPerBlockMax)
+		for o := 0; o < nOps; o++ {
+			var class model.Class
+			switch {
+			case rng.Float64() < cfg.MemFrac:
+				if rng.Float64() < 0.6 {
+					class = model.Load
+				} else {
+					class = model.Store
+				}
+			default:
+				class = model.Int
+			}
+			op := Op{Class: class}
+			// Read up to two live registers.
+			for u := 0; u < 1+rng.Intn(2) && len(liveRegs) > 0; u++ {
+				op.Uses = append(op.Uses, liveRegs[rng.Intn(len(liveRegs))])
+			}
+			if class != model.Store {
+				op.Def = nextReg
+				nextReg++
+				liveRegs = append(liveRegs, op.Def)
+				if len(liveRegs) > 24 {
+					liveRegs = liveRegs[len(liveRegs)-24:]
+				}
+			}
+			blk.Ops = append(blk.Ops, op)
+		}
+		// The branch reads one or two recent registers.
+		for u := 0; u < 1+rng.Intn(2) && len(liveRegs) > 0; u++ {
+			blk.BranchUses = append(blk.BranchUses, liveRegs[rng.Intn(len(liveRegs))])
+		}
+		g.Blocks = append(g.Blocks, blk)
+	}
+	// Wire edges forward and flow profile counts.
+	in := make([]int64, cfg.Blocks)
+	in[0] = cfg.EntryCount
+	for i := 0; i < cfg.Blocks; i++ {
+		blk := g.Blocks[i]
+		count := in[i]
+		if i == cfg.Blocks-1 || count == 0 {
+			blk.ExitCount = count
+			continue
+		}
+		twoWay := rng.Float64() < cfg.BranchyProb && i+2 < cfg.Blocks
+		if !twoWay {
+			to := i + 1
+			blk.Succs = []Edge{{To: to, Count: count}}
+			in[to] += count
+			continue
+		}
+		// Biased two-way split: the fall-through gets 50-95%.
+		bias := 0.5 + 0.45*rng.Float64()
+		fall := i + 1
+		target := i + 2 + rng.Intn(cfg.Blocks-i-2)
+		fallCount := int64(float64(count) * bias)
+		blk.Succs = []Edge{{To: fall, Count: fallCount}, {To: target, Count: count - fallCount}}
+		in[fall] += fallCount
+		in[target] += count - fallCount
+	}
+	if err := g.Validate(); err != nil {
+		panic(fmt.Sprintf("cfg: random graph invalid: %v", err))
+	}
+	return g
+}

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"sort"
+
+	"balance/internal/bounds"
+	"balance/internal/heuristics"
+	"balance/internal/model"
+	"balance/internal/sched"
+)
+
+// UpdateMode selects how often the dynamic bounds are fully recomputed.
+type UpdateMode int
+
+const (
+	// UpdatePerOp fully recomputes the dynamic bounds before every
+	// scheduling decision (the paper's best-performing configuration).
+	UpdatePerOp UpdateMode = iota
+	// UpdateLight recomputes dependence early times every decision but
+	// refreshes the per-branch resource state incrementally, falling back
+	// to a full recomputation only when a guard detects that the branch's
+	// bounds may have changed (Section 5.1's "light update").
+	UpdateLight
+	// UpdatePerCycle fully recomputes the bounds only when the scheduler
+	// moves to a new cycle (the weaker variant of Table 7).
+	UpdatePerCycle
+)
+
+// Config selects the Balance components, mirroring the ablation of Table 7.
+type Config struct {
+	// UseBounds uses the resource-aware EarlyRC/LateRC static bounds
+	// (Observation 2). When false, dependence-only bounds are used.
+	UseBounds bool
+	// HelpDelay enables the compatible-branch selection that tracks both
+	// helping and indirectly delaying branches (Observation 1 and Sections
+	// 5.3-5.4). When false the heuristic degenerates to a Help-style pick
+	// over all candidates, still guided by the configured bounds.
+	HelpDelay bool
+	// Tradeoff enables pairwise-bound-driven branch tradeoffs (Observation
+	// 3 and Section 5.4). Requires HelpDelay.
+	Tradeoff bool
+	// Update selects the dynamic-bound update policy.
+	Update UpdateMode
+	// MaxTradeoffIters bounds the branch-order retries per decision
+	// (default 4).
+	MaxTradeoffIters int
+}
+
+// DefaultConfig returns the full Balance heuristic configuration.
+func DefaultConfig() Config {
+	return Config{UseBounds: true, HelpDelay: true, Tradeoff: true, Update: UpdatePerOp}
+}
+
+// Balance returns the Balance heuristic with the given configuration.
+func Balance(cfg Config) heuristics.Heuristic {
+	name := "Balance"
+	if !cfg.HelpDelay || !cfg.Tradeoff || !cfg.UseBounds || cfg.Update != UpdatePerOp {
+		name = "Balance[" + variantName(cfg) + "]"
+	}
+	return heuristics.Heuristic{Name: name, Run: func(sb *model.Superblock, m *model.Machine) (*sched.Schedule, sched.Stats, error) {
+		p := NewPicker(sb, m, cfg)
+		return sched.Run(sb, m, p)
+	}}
+}
+
+func variantName(cfg Config) string {
+	s := ""
+	if cfg.HelpDelay {
+		s += "HlpDel"
+	} else {
+		s += "Help"
+	}
+	if cfg.UseBounds {
+		s += "+Bound"
+	}
+	if cfg.Tradeoff {
+		s += "+Tradeoff"
+	}
+	switch cfg.Update {
+	case UpdatePerCycle:
+		s += "/cycle"
+	case UpdateLight:
+		s += "/light"
+	}
+	return s
+}
+
+// outcome is a branch's status in one selection pass (Section 5.4).
+type outcome int8
+
+const (
+	outcomeIgnored outcome = iota
+	outcomeSelected
+	outcomeDelayed
+	outcomeDelayedOK
+)
+
+// Picker is the Balance scheduling engine driver.
+type Picker struct {
+	cfg Config
+	sb  *model.Superblock
+	m   *model.Machine
+
+	earlyRC  []int
+	seps     []bounds.Separation
+	pairs    map[[2]int]*bounds.PairBound
+	closures []*model.Bitset
+
+	dynEarly []int
+	br       []*branchState
+	baseOrd  []int // branch indices by decreasing exit probability
+
+	// scratch buffers
+	itemBuf   [][3]int
+	lateBuf   []int
+	weightBuf []int
+	kindCnt   []int
+	inSet     []bool
+	takeMark  []bool
+
+	lastCycle int
+	started   bool
+}
+
+// NewPicker precomputes the static bounds and returns a Balance picker for
+// one scheduling run.
+func NewPicker(sb *model.Superblock, m *model.Machine, cfg Config) *Picker {
+	if cfg.MaxTradeoffIters <= 0 {
+		cfg.MaxTradeoffIters = 4
+	}
+	g := sb.G
+	n := g.NumOps()
+	p := &Picker{
+		cfg:      cfg,
+		sb:       sb,
+		m:        m,
+		closures: make([]*model.Bitset, len(sb.Branches)),
+		dynEarly: make([]int, n),
+		kindCnt:  make([]int, m.Kinds()),
+		inSet:    make([]bool, n),
+		takeMark: make([]bool, n),
+	}
+	// Static bounds. Non-fully-pipelined machines are handled via the
+	// Rim & Jain occupancy expansion; the results are projected back onto
+	// the original op IDs through each op's primary expanded node.
+	work := sb
+	var origOf []int
+	if !m.FullyPipelined() {
+		work, origOf = model.ExpandOccupancy(sb, m)
+	}
+	var bst bounds.Stats
+	var earlyRC []int
+	if cfg.UseBounds {
+		earlyRC = bounds.EarlyRC(work, m, &bst)
+	} else {
+		earlyRC = work.G.EarlyDC()
+	}
+	seps := staticSeparations(work, m, cfg.UseBounds, &bst)
+	for i, b := range sb.Branches {
+		p.closures[i] = g.PredClosure(b)
+	}
+	if cfg.Tradeoff {
+		prs := bounds.PairwiseAll(work, m, earlyRC, seps, &bst)
+		p.pairs = make(map[[2]int]*bounds.PairBound, len(prs))
+		for _, pr := range prs {
+			p.pairs[[2]int{pr.I, pr.J}] = pr
+		}
+	}
+	p.earlyRC, p.seps = projectStatic(sb, origOf, earlyRC, seps)
+	p.br = make([]*branchState, len(sb.Branches))
+	for i, b := range sb.Branches {
+		p.br[i] = &branchState{idx: i, op: b, late: make([]int, n)}
+	}
+	p.baseOrd = make([]int, len(sb.Branches))
+	for i := range p.baseOrd {
+		p.baseOrd[i] = i
+	}
+	sort.SliceStable(p.baseOrd, func(a, b int) bool {
+		return sb.Prob[p.baseOrd[a]] > sb.Prob[p.baseOrd[b]]
+	})
+	p.lastCycle = -1
+	return p
+}
+
+// refresh brings the dynamic state up to date per the configured policy.
+func (p *Picker) refresh(st *sched.State) {
+	if st.LastOp >= 0 {
+		if bi, ok := p.sb.BranchIndex(st.LastOp); ok {
+			p.br[bi].done = true
+		}
+	}
+	newCycle := st.Cycle != p.lastCycle
+	p.lastCycle = st.Cycle
+
+	switch p.cfg.Update {
+	case UpdatePerCycle:
+		if !newCycle && p.started {
+			// Keep stale bounds within the cycle; only needs must drop
+			// scheduled ops, which the selection filters handle.
+			return
+		}
+		p.updateDynEarly(st)
+		for _, b := range p.br {
+			if !b.done {
+				p.fullUpdate(st, b)
+			}
+		}
+	case UpdateLight:
+		// dynEarly is invariant within a cycle: every candidate op issues
+		// exactly at its dynamic early time, so placements never shift the
+		// propagated early times of the remaining ops. Recomputing at cycle
+		// starts only is exact, which is what makes the light update an
+		// order of magnitude cheaper than the per-op full update.
+		if newCycle || !p.started {
+			p.updateDynEarly(st)
+		}
+		for _, b := range p.br {
+			if b.done {
+				continue
+			}
+			if newCycle || !p.started || !p.lightUpdate(st, b) {
+				p.fullUpdate(st, b)
+			}
+		}
+	default: // UpdatePerOp
+		p.updateDynEarly(st)
+		for _, b := range p.br {
+			if !b.done {
+				p.fullUpdate(st, b)
+			}
+		}
+	}
+	p.started = true
+}
+
+// Pick implements sched.Picker.
+func (p *Picker) Pick(st *sched.State) int {
+	p.refresh(st)
+	cands := st.Candidates()
+	if len(cands) == 0 {
+		return -1
+	}
+	if !p.cfg.HelpDelay {
+		return p.pickByNeeds(st, cands, nil)
+	}
+	sel := p.selectCompatible(st)
+	allowed := p.allowedSet(st, sel)
+	if len(allowed) == 0 {
+		return p.pickByNeeds(st, cands, sel)
+	}
+	return p.pickByNeeds(st, allowed, sel)
+}
+
+// allowedSet intersects TakeEach ∪ TakeOne with the current candidates.
+func (p *Picker) allowedSet(st *sched.State, sel *selection) []int {
+	if sel == nil || (len(sel.takeEach) == 0 && sel.takeOne == nil) {
+		return nil
+	}
+	for _, v := range sel.takeEach {
+		p.takeMark[v] = true
+	}
+	for _, v := range sel.takeOne {
+		p.takeMark[v] = true
+	}
+	out := make([]int, 0, len(sel.takeEach)+len(sel.takeOne))
+	for _, v := range st.Candidates() {
+		if p.takeMark[v] {
+			out = append(out, v)
+		}
+	}
+	for _, v := range sel.takeEach {
+		p.takeMark[v] = false
+	}
+	for _, v := range sel.takeOne {
+		p.takeMark[v] = false
+	}
+	return out
+}
+
+// pickByNeeds implements the final operation choice (Section 5.5): among
+// the allowed operations, pick the one helping the largest summed exit
+// probability, where an operation helps a branch when it appears in the
+// branch's NeedEach or NeedOne set; ties break on the number of helped
+// branches, then the smallest dynamic late time, then the smallest ID.
+func (p *Picker) pickByNeeds(st *sched.State, allowed []int, sel *selection) int {
+	best := -1
+	var bestProb float64
+	var bestCount, bestLate int
+	for _, v := range allowed {
+		st.Stats.CandidateScans++
+		prob := 0.0
+		count := 0
+		late := int(^uint(0) >> 1)
+		for bi, b := range p.br {
+			if b.done {
+				continue
+			}
+			helps := false
+			for _, u := range b.needEach {
+				if u == v {
+					helps = true
+					break
+				}
+			}
+			if !helps {
+				for _, u := range b.needOne {
+					if u == v {
+						helps = true
+						break
+					}
+				}
+			}
+			st.Stats.PriorityWork++
+			if helps {
+				prob += p.sb.Prob[bi]
+				count++
+			}
+			if p.closures[bi].Has(v) || b.op == v {
+				if b.late[v] < late {
+					late = b.late[v]
+				}
+			}
+		}
+		if best < 0 || prob > bestProb ||
+			(prob == bestProb && count > bestCount) ||
+			(prob == bestProb && count == bestCount && late < bestLate) ||
+			(prob == bestProb && count == bestCount && late == bestLate && v < best) {
+			best, bestProb, bestCount, bestLate = v, prob, count, late
+		}
+	}
+	return best
+}

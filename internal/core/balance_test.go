@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"balance/internal/bounds"
+	"balance/internal/exact"
+	"balance/internal/figures"
+	"balance/internal/model"
+	"balance/internal/sched"
+	"balance/internal/testutil"
+)
+
+func runBalance(t *testing.T, cfg Config, sb *model.Superblock, m *model.Machine) (*sched.Schedule, sched.Stats) {
+	t.Helper()
+	s, stats, err := Balance(cfg).Run(sb, m)
+	if err != nil {
+		t.Fatalf("balance on %s/%s: %v", sb.Name, m.Name, err)
+	}
+	if err := sched.Verify(sb, m, s); err != nil {
+		t.Fatalf("balance produced an illegal schedule: %v", err)
+	}
+	return s, stats
+}
+
+// TestFigure2BalanceOptimal reproduces Observation 1: Balance recognizes
+// that branch 6 needs op 4 in cycle 0 while branch 3 needs only one of
+// {0,1,2}, schedules compatible needs, and reaches the optimum (br3 at 2,
+// br6 at 3) where a pure help-based pick delays br6 to 4.
+func TestFigure2BalanceOptimal(t *testing.T) {
+	sb := figures.Figure2(0.3)
+	m := model.GP2()
+	s, _ := runBalance(t, DefaultConfig(), sb, m)
+	if c := s.Cycle[sb.Branches[0]]; c != 2 {
+		t.Errorf("side exit at %d, want 2", c)
+	}
+	if c := s.Cycle[sb.Branches[1]]; c != 3 {
+		t.Errorf("final exit at %d, want 3", c)
+	}
+}
+
+// TestFigure3BalanceOptimal reproduces Observation 2: with resource-aware
+// bounds Balance knows op 4 must issue in cycle 0 (separation 5 to br9) and
+// reaches the optimum (br3 at 2, br9 at 5).
+func TestFigure3BalanceOptimal(t *testing.T) {
+	sb := figures.Figure3(0.3)
+	m := model.GP2()
+	s, _ := runBalance(t, DefaultConfig(), sb, m)
+	if c := s.Cycle[sb.Branches[0]]; c != 2 {
+		t.Errorf("side exit at %d, want 2", c)
+	}
+	if c := s.Cycle[sb.Branches[1]]; c != 5 {
+		t.Errorf("final exit at %d, want 5", c)
+	}
+	// Without the resource-aware bounds the same machinery may miss op 4's
+	// deadline; quality must still be legal and no better than optimal.
+	noBounds := DefaultConfig()
+	noBounds.UseBounds = false
+	noBounds.Tradeoff = false
+	s2, _ := runBalance(t, noBounds, sb, m)
+	_, opt, err := exact.Optimal(sb, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := sched.Cost(sb, s2); c < opt-1e-9 {
+		t.Fatalf("no-bounds variant beat the optimum: %v < %v", c, opt)
+	}
+}
+
+// TestFigure4BalanceTradeoff reproduces Observation 3: the optimal schedule
+// depends on the side exit probability, and Balance with tradeoffs matches
+// the exact optimum on both sides of the crossover.
+func TestFigure4BalanceTradeoff(t *testing.T) {
+	m := model.GP2()
+	for _, p := range []float64{0.05, 0.1, 0.4, 0.6} {
+		sb := figures.Figure4(p)
+		s, _ := runBalance(t, DefaultConfig(), sb, m)
+		_, opt, err := exact.Optimal(sb, m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c := sched.Cost(sb, s); c > opt+1e-9 {
+			t.Errorf("P=%v: Balance cost %v, optimum %v (branches at %d,%d)",
+				p, c, opt, s.Cycle[sb.Branches[0]], s.Cycle[sb.Branches[1]])
+		}
+	}
+}
+
+func TestBalanceLegalEverywhere(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	cfgs := []Config{
+		DefaultConfig(),
+		{UseBounds: true, HelpDelay: true, Tradeoff: false, Update: UpdatePerOp},
+		{UseBounds: true, HelpDelay: false, Tradeoff: false, Update: UpdatePerOp},
+		{UseBounds: false, HelpDelay: true, Tradeoff: false, Update: UpdatePerOp},
+		{UseBounds: false, HelpDelay: false, Tradeoff: false, Update: UpdatePerOp},
+		{UseBounds: true, HelpDelay: true, Tradeoff: true, Update: UpdateLight},
+		{UseBounds: true, HelpDelay: true, Tradeoff: true, Update: UpdatePerCycle},
+	}
+	for i := 0; i < 15; i++ {
+		sb := testutil.RandomSuperblock(rng, 30)
+		for _, m := range model.Machines() {
+			for _, cfg := range cfgs {
+				runBalance(t, cfg, sb, m)
+			}
+		}
+	}
+}
+
+// TestBalanceRespectsBounds: Balance can never beat the tightest lower
+// bound, and on small graphs never beats the exact optimum.
+func TestBalanceRespectsBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 30; i++ {
+		sb := testutil.RandomSuperblock(rng, 14)
+		for _, m := range testutil.SmallMachines() {
+			set := bounds.Compute(sb, m, bounds.Options{Triplewise: true})
+			s, _ := runBalance(t, DefaultConfig(), sb, m)
+			c := sched.Cost(sb, s)
+			if c < set.Tightest-1e-9 {
+				t.Fatalf("iter %d %s: Balance %v below tightest bound %v", i, m.Name, c, set.Tightest)
+			}
+			_, opt, err := exact.Optimal(sb, m, 2_000_000)
+			if err != nil {
+				continue
+			}
+			if c < opt-1e-9 {
+				t.Fatalf("iter %d %s: Balance %v below optimum %v", i, m.Name, c, opt)
+			}
+		}
+	}
+}
+
+// TestBalanceOptimalityRate: on small random superblocks, full Balance
+// should find the exact optimum most of the time — and at least as often as
+// the bound-free help-style variant.
+func TestBalanceOptimalityRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	noBounds := Config{UseBounds: false, HelpDelay: false, Update: UpdatePerOp}
+	full, weak, total := 0, 0, 0
+	for i := 0; i < 60; i++ {
+		sb := testutil.RandomSuperblock(rng, 12)
+		m := model.GP2()
+		_, opt, err := exact.Optimal(sb, m, 1_000_000)
+		if err != nil {
+			continue
+		}
+		total++
+		sf, _ := runBalance(t, DefaultConfig(), sb, m)
+		if sched.Cost(sb, sf) <= opt+1e-9 {
+			full++
+		}
+		sw, _ := runBalance(t, noBounds, sb, m)
+		if sched.Cost(sb, sw) <= opt+1e-9 {
+			weak++
+		}
+	}
+	if total == 0 {
+		t.Skip("no instances solved exactly")
+	}
+	if float64(full) < 0.8*float64(total) {
+		t.Errorf("Balance optimal on only %d/%d small instances", full, total)
+	}
+	if full < weak {
+		t.Errorf("full Balance optimal on %d, weaker variant on %d of %d", full, weak, total)
+	}
+	t.Logf("optimality: full=%d weak=%d of %d", full, weak, total)
+}
+
+func TestUpdateModesCountWork(t *testing.T) {
+	sb := figures.Figure1(0.25)
+	m := model.GP2()
+	cfgPerOp := DefaultConfig()
+	cfgLight := DefaultConfig()
+	cfgLight.Update = UpdateLight
+	_, stPerOp := runBalance(t, cfgPerOp, sb, m)
+	_, stLight := runBalance(t, cfgLight, sb, m)
+	if stPerOp.FullUpdates == 0 {
+		t.Error("per-op mode recorded no full updates")
+	}
+	if stLight.LightUpdates == 0 {
+		t.Error("light mode recorded no light updates")
+	}
+	if stLight.FullUpdates >= stPerOp.FullUpdates {
+		t.Errorf("light mode did %d full updates, per-op %d — light should do fewer",
+			stLight.FullUpdates, stPerOp.FullUpdates)
+	}
+}
+
+func TestVariantNames(t *testing.T) {
+	if got := Balance(DefaultConfig()).Name; got != "Balance" {
+		t.Errorf("default name = %q", got)
+	}
+	cfg := Config{UseBounds: true, HelpDelay: false, Update: UpdatePerCycle}
+	if got := Balance(cfg).Name; got != "Balance[Help+Bound/cycle]" {
+		t.Errorf("variant name = %q", got)
+	}
+}

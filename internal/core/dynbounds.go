@@ -1,0 +1,394 @@
+// Package core implements the paper's contribution: the Balance superblock
+// scheduling heuristic (Section 5). Balance maintains dynamic
+// Early/Late/ERC bounds per branch (Section 5.1), derives the operations
+// each branch needs in the current cycle (Section 5.2), selects a set of
+// branches with compatible needs (Section 5.3), weights branch tradeoffs
+// with the pairwise bounds (Section 5.4), and picks the final operation
+// with a Speculative-Hedge-style priority (Section 5.5).
+package core
+
+import (
+	"sort"
+
+	"balance/internal/bounds"
+	"balance/internal/model"
+	"balance/internal/sched"
+)
+
+// erc is one Elementary Resource Constraint of a branch: the unscheduled
+// predecessors of resource kind Kind whose dynamic late time is ≤ C must
+// all issue between the current cycle and C. Empty is AvailSlot-NeedSlot;
+// zero empty slots means the branch needs one of the members in the current
+// scheduling decision.
+type erc struct {
+	Kind  int
+	C     int
+	Need  int
+	Avail int
+}
+
+// Empty returns the number of spare issue slots in the constraint window.
+func (e erc) Empty() int { return e.Avail - e.Need }
+
+// branchState is the dynamic bound state of one branch.
+type branchState struct {
+	// idx is the branch index, op the branch's op ID.
+	idx, op int
+	done    bool
+
+	// E is the branch's dynamic earliest issue cycle: the max of the
+	// dependence-propagated early time, the separation-based early times of
+	// its unscheduled predecessors, and the ERC resource bounds.
+	E int
+	// late[v] = E - sep[v] is the dynamic late time of predecessor v
+	// (meaningful only for unscheduled predecessors and the branch itself).
+	late []int
+	// ercs holds the elementary resource constraints at the cycle of the
+	// last full update, sorted by (Kind, C).
+	ercs []erc
+	// updatedAt is the cycle of the last full update (for per-cycle mode).
+	updatedAt int
+
+	// needEach lists the operations that must issue in the current cycle
+	// for the branch to meet E (all are dependence-ready by construction).
+	needEach []int
+	// needOne lists the members of the most constraining zero-empty-slot
+	// ERC: one of them must be chosen in the current scheduling decision.
+	// nil means no resource need.
+	needOne []int
+	// needOneKind is the resource kind of the needOne constraint (-1 when
+	// needOne is nil).
+	needOneKind int
+}
+
+// sep returns the separation lower bound between v's issue and the
+// branch's issue used for this run (resource-aware when cfg.UseBounds).
+func (p *Picker) sep(bi, v int) int { return p.seps[bi][v] }
+
+// fullUpdate recomputes E, the late times, the ERCs, and the needs of
+// branch b from scratch (Steps 1-4 of Section 5.1 plus Section 5.2).
+func (p *Picker) fullUpdate(st *sched.State, b *branchState) {
+	st.Stats.FullUpdates++
+	g := p.sb.G
+	m := p.m
+
+	// Step 1: dependence-based early, tightened by separation bounds.
+	e := p.dynEarly[b.op]
+	p.closures[b.idx].ForEach(func(v int) {
+		st.Stats.PriorityWork++
+		if st.IsScheduled(v) {
+			return
+		}
+		if t := p.dynEarly[v] + p.sep(b.idx, v); t > e {
+			e = t
+		}
+	})
+
+	// Steps 2-3: elementary resource constraints; a window overflow delays
+	// the branch by the cycles needed to drain the excess.
+	// Gather (kind, late, occupancy) of unscheduled predecessors, incl. b.
+	items := p.itemBuf[:0]
+	collect := func(v int) {
+		if st.IsScheduled(v) {
+			return
+		}
+		c := g.Op(v).Class
+		items = append(items, [3]int{m.KindOf(c), e - p.sep(b.idx, v), m.Occupancy(c)})
+	}
+	p.closures[b.idx].ForEach(collect)
+	collect(b.op)
+	p.itemBuf = items
+
+	// availThrough returns the free kind-k issue slots in [cycle, c],
+	// accounting for units still held by issued non-pipelined ops.
+	availThrough := func(k, c int) int {
+		avail := 0
+		for t := st.Cycle; t <= c; t++ {
+			if f := st.FreeSlotsAt(k, t); f > 0 {
+				avail += f
+			}
+		}
+		return avail
+	}
+	computeDelay := func() int {
+		delay := 0
+		for k := 0; k < m.Kinds(); k++ {
+			// Sweep distinct late cutoffs in increasing order; each item
+			// contributes its occupancy in slots.
+			lates := p.lateBuf[:0]
+			weights := p.weightBuf[:0]
+			for _, it := range items {
+				if it[0] == k {
+					lates = append(lates, it[1])
+					weights = append(weights, it[2])
+				}
+			}
+			p.lateBuf, p.weightBuf = lates, weights
+			if len(lates) == 0 {
+				continue
+			}
+			sortByLate(lates, weights)
+			cap := m.Capacity(k)
+			need := 0
+			for i := 0; i < len(lates); {
+				c := lates[i]
+				for i < len(lates) && lates[i] == c {
+					need += weights[i]
+					i++
+				}
+				st.Stats.PriorityWork++
+				avail := availThrough(k, c)
+				if need > avail {
+					if d := ceilDiv(need-avail, cap); d > delay {
+						delay = d
+					}
+				}
+			}
+		}
+		return delay
+	}
+	if d := computeDelay(); d > 0 {
+		e += d
+		for i := range items {
+			items[i][1] += d
+		}
+		// Shifting every late time by d adds cap·d slots to every window
+		// that was overflowing, which is at least the excess, so a single
+		// adjustment reaches the fixpoint.
+	}
+	b.E = e
+
+	// Late times for need computation.
+	p.closures[b.idx].ForEach(func(v int) {
+		b.late[v] = e - p.sep(b.idx, v)
+	})
+	b.late[b.op] = e
+
+	// Step 4 + Section 5.2: ERC empty slots and the branch's needs.
+	b.ercs = b.ercs[:0]
+	b.needEach = b.needEach[:0]
+	b.needOne = nil
+	b.needOneKind = -1
+	bestC, bestK := -1, -1
+	for k := 0; k < m.Kinds(); k++ {
+		lates := p.lateBuf[:0]
+		weights := p.weightBuf[:0]
+		for _, it := range items {
+			if it[0] == k {
+				lates = append(lates, it[1])
+				weights = append(weights, it[2])
+			}
+		}
+		p.lateBuf, p.weightBuf = lates, weights
+		if len(lates) == 0 {
+			continue
+		}
+		sortByLate(lates, weights)
+		need := 0
+		for i := 0; i < len(lates); {
+			c := lates[i]
+			for i < len(lates) && lates[i] == c {
+				need += weights[i]
+				i++
+			}
+			avail := availThrough(k, c)
+			b.ercs = append(b.ercs, erc{Kind: k, C: c, Need: need, Avail: avail})
+			if avail-need == 0 && (bestC < 0 || c < bestC) {
+				bestC, bestK = c, k
+			}
+		}
+	}
+	// NeedEach: unscheduled predecessors whose late time equals the current
+	// cycle (they are dependence-ready by construction: late ≥ dynEarly ≥
+	// cycle, with equality only when all predecessors completed).
+	appendNeedEach := func(v int) {
+		if !st.IsScheduled(v) && b.late[v] <= st.Cycle {
+			b.needEach = append(b.needEach, v)
+		}
+	}
+	p.closures[b.idx].ForEach(appendNeedEach)
+	appendNeedEach(b.op)
+
+	// NeedOne: members of the most constraining zero-empty-slot ERC.
+	if bestC >= 0 {
+		members := make([]int, 0, 8)
+		addMember := func(v int) {
+			if !st.IsScheduled(v) && m.KindOf(g.Op(v).Class) == bestK && b.late[v] <= bestC {
+				members = append(members, v)
+			}
+		}
+		p.closures[b.idx].ForEach(addMember)
+		addMember(b.op)
+		b.needOne = members
+		b.needOneKind = bestK
+	}
+	b.updatedAt = st.Cycle
+}
+
+// lightUpdate refreshes branch b's needs without recomputing the resource
+// pass, assuming E and the late times are still valid. It reports false
+// (triggering a full update) when the guard detects that the last event may
+// have changed the branch's bounds: the dependence early crossed E, or a
+// consumed slot drove a zero-empty ERC negative.
+func (p *Picker) lightUpdate(st *sched.State, b *branchState) bool {
+	st.Stats.LightUpdates++
+	// The incremental slot accounting assumes unit occupancy; fall back to
+	// full updates on machines with non-fully-pipelined units.
+	if !p.m.FullyPipelined() {
+		return false
+	}
+	// Guard 1: the dependence-propagated early must not exceed E.
+	if p.dynEarly[b.op] > b.E {
+		return false
+	}
+	last := st.LastOp
+	if last >= 0 {
+		k := p.m.KindOf(p.sb.G.Op(last).Class)
+		isPred := p.closures[b.idx].Has(last) || last == b.op
+		for i := range b.ercs {
+			e := &b.ercs[i]
+			if e.Kind != k {
+				continue
+			}
+			if isPred && b.late[last] <= e.C {
+				// Member scheduled: need and avail both shrink.
+				e.Need--
+				e.Avail--
+			} else {
+				// Non-member consumed one of the window's slots.
+				e.Avail--
+				if e.Avail < e.Need {
+					return false // branch delayed: recompute bounds
+				}
+			}
+		}
+		// Guard 2: a separation-critical predecessor scheduled later than
+		// its late time delays the branch.
+		if isPred && last != b.op && st.IssueCycle[last] > b.late[last] {
+			return false
+		}
+	}
+	// Refresh needs from the (still valid) late times.
+	b.needEach = b.needEach[:0]
+	appendNeedEach := func(v int) {
+		if !st.IsScheduled(v) && b.late[v] <= st.Cycle {
+			b.needEach = append(b.needEach, v)
+		}
+	}
+	p.closures[b.idx].ForEach(appendNeedEach)
+	appendNeedEach(b.op)
+
+	b.needOne = nil
+	bestC, bestK := -1, -1
+	for _, e := range b.ercs {
+		if e.Need > 0 && e.Empty() == 0 && (bestC < 0 || e.C < bestC) {
+			bestC, bestK = e.C, e.Kind
+		}
+	}
+	b.needOneKind = -1
+	if bestC >= 0 {
+		members := make([]int, 0, 8)
+		addMember := func(v int) {
+			if !st.IsScheduled(v) && p.m.KindOf(p.sb.G.Op(v).Class) == bestK && b.late[v] <= bestC {
+				members = append(members, v)
+			}
+		}
+		p.closures[b.idx].ForEach(addMember)
+		addMember(b.op)
+		b.needOne = members
+		b.needOneKind = bestK
+	}
+	return true
+}
+
+// updateDynEarly recomputes the dependence-propagated dynamic early time of
+// every operation, floored at the static EarlyRC bound.
+func (p *Picker) updateDynEarly(st *sched.State) {
+	g := p.sb.G
+	for _, v := range g.Topo() {
+		st.Stats.PriorityWork++
+		if st.IsScheduled(v) {
+			p.dynEarly[v] = st.IssueCycle[v]
+			continue
+		}
+		e := st.Cycle
+		if r := st.ReadyAt(v); r > e {
+			e = r
+		}
+		if p.earlyRC[v] > e {
+			e = p.earlyRC[v]
+		}
+		for _, pe := range g.Preds(v) {
+			if !st.IsScheduled(pe.To) {
+				if t := p.dynEarly[pe.To] + pe.Lat; t > e {
+					e = t
+				}
+			}
+		}
+		p.dynEarly[v] = e
+	}
+}
+
+// ceilDiv returns ⌈a/b⌉ for a ≥ 0, b > 0.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// sortByLate sorts the parallel (late, weight) slices by late ascending,
+// keeping the pairs aligned.
+func sortByLate(lates, weights []int) {
+	sort.Sort(&latePairs{lates, weights})
+}
+
+type latePairs struct{ l, w []int }
+
+func (p *latePairs) Len() int           { return len(p.l) }
+func (p *latePairs) Less(a, b int) bool { return p.l[a] < p.l[b] }
+func (p *latePairs) Swap(a, b int) {
+	p.l[a], p.l[b] = p.l[b], p.l[a]
+	p.w[a], p.w[b] = p.w[b], p.w[a]
+}
+
+// projectStatic maps expanded-graph static bounds back onto the original
+// superblock's op IDs via each op's primary expanded node; with a nil
+// mapping (fully pipelined machine) the inputs pass through unchanged.
+func projectStatic(sb *model.Superblock, origOf []int, earlyRC []int, seps []bounds.Separation) ([]int, []bounds.Separation) {
+	if origOf == nil {
+		return earlyRC, seps
+	}
+	n := sb.G.NumOps()
+	primary := make([]int, n)
+	for i := range primary {
+		primary[i] = -1
+	}
+	for expID, orig := range origOf {
+		if primary[orig] < 0 {
+			primary[orig] = expID
+		}
+	}
+	outEarly := make([]int, n)
+	for v := 0; v < n; v++ {
+		outEarly[v] = earlyRC[primary[v]]
+	}
+	outSeps := make([]bounds.Separation, len(seps))
+	for i, sep := range seps {
+		o := make(bounds.Separation, n)
+		for v := 0; v < n; v++ {
+			o[v] = sep[primary[v]]
+		}
+		outSeps[i] = o
+	}
+	return outEarly, outSeps
+}
+
+// staticSeparations computes the per-branch separation bounds: resource-
+// aware (SeparationRC) when useBounds, dependence-only otherwise.
+func staticSeparations(sb *model.Superblock, m *model.Machine, useBounds bool, st *bounds.Stats) []bounds.Separation {
+	seps := make([]bounds.Separation, len(sb.Branches))
+	for i, b := range sb.Branches {
+		if useBounds {
+			seps[i] = bounds.SeparationRC(sb, m, b, st)
+		} else {
+			seps[i] = bounds.Separation(sb.G.LongestToTarget(b))
+		}
+	}
+	return seps
+}

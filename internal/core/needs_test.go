@@ -1,0 +1,237 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"balance/internal/figures"
+	"balance/internal/model"
+	"balance/internal/sched"
+)
+
+// probeDecision runs the Balance picker and hands the inspected state to
+// fn at the given (0-based) decision index.
+func probeDecision(t *testing.T, sb *model.Superblock, m *model.Machine, cfg Config, decision int, fn func(p *Picker, st *sched.State)) {
+	t.Helper()
+	p := NewPicker(sb, m, cfg)
+	n := 0
+	done := false
+	probe := sched.PickerFunc(func(st *sched.State) int {
+		v := p.Pick(st)
+		if n == decision {
+			fn(p, st)
+			done = true
+		}
+		n++
+		return v
+	})
+	if _, _, err := sched.Run(sb, m, probe); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("probe never reached the requested decision")
+	}
+}
+
+// probeFirstDecision probes decision 0.
+func probeFirstDecision(t *testing.T, sb *model.Superblock, m *model.Machine, cfg Config, fn func(p *Picker, st *sched.State)) {
+	t.Helper()
+	probeDecision(t, sb, m, cfg, 0, fn)
+}
+
+func sorted(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}
+
+// TestFigure2Needs reproduces Observation 1's analysis as it unfolds over
+// the scheduling decisions of cycle 0: at the first decision branch 6 needs
+// op 4 (its dynamic late time is 0) while branch 3's {0,1,2} window still
+// has one spare slot; after op 4 consumes that slot, branch 3's resource
+// need fires and one of {0,1,2} must be picked — yielding the paper's
+// optimal first cycle {4, 0}.
+func TestFigure2Needs(t *testing.T) {
+	sb := figures.Figure2(0.3)
+	m := model.GP2()
+	probeDecision(t, sb, m, DefaultConfig(), 0, func(p *Picker, st *sched.State) {
+		b3 := p.br[0]
+		if b3.E != 2 {
+			t.Errorf("branch 3 E = %d, want 2", b3.E)
+		}
+		if len(b3.needEach) != 0 {
+			t.Errorf("branch 3 needEach = %v, want none", b3.needEach)
+		}
+		if b3.needOne != nil {
+			t.Errorf("branch 3 needOne = %v, want nil (one spare slot left)", b3.needOne)
+		}
+		// Its tightest window ({0,1,2} by cycle 1) has exactly one empty slot.
+		spare := -1
+		for _, e := range b3.ercs {
+			if e.C == 1 && e.Kind == 0 {
+				spare = e.Empty()
+			}
+		}
+		if spare != 1 {
+			t.Errorf("branch 3 c=1 window empty slots = %d, want 1", spare)
+		}
+
+		b6 := p.br[1]
+		if b6.E != 3 {
+			t.Errorf("branch 6 E = %d, want 3", b6.E)
+		}
+		// Dependence need: op 4's late time is 0 (separation 3 from E=3).
+		if got := sorted(b6.needEach); len(got) != 1 || got[0] != 4 {
+			t.Errorf("branch 6 needEach = %v, want [4]", got)
+		}
+		if b6.late[4] != 0 {
+			t.Errorf("branch 6 late[4] = %d, want 0", b6.late[4])
+		}
+	})
+	// After op 4 takes the spare slot, branch 3's resource need fires.
+	probeDecision(t, sb, m, DefaultConfig(), 1, func(p *Picker, st *sched.State) {
+		if st.IssueCycle[4] != 0 {
+			t.Fatalf("op 4 not scheduled first (at %d)", st.IssueCycle[4])
+		}
+		b3 := p.br[0]
+		if got := sorted(b3.needOne); len(got) != 3 || got[0] != 0 || got[2] != 2 {
+			t.Errorf("branch 3 needOne = %v, want [0 1 2]", got)
+		}
+	})
+}
+
+// TestFigure6ERC reproduces Section 5.1's example: with br8 targeting its
+// resource-constrained early time 5, ops 1-5 (late 2) overload no window —
+// the windowed bound already pushed E to 5.
+func TestFigure6ERC(t *testing.T) {
+	sb := figures.Figure6()
+	m := model.GP2()
+	probeFirstDecision(t, sb, m, DefaultConfig(), func(p *Picker, st *sched.State) {
+		b := p.br[0]
+		if b.E != 5 {
+			t.Errorf("branch E = %d, want 5 (windowed resource bound)", b.E)
+		}
+		// With E=5, ops 1..5 have late 2, op 6 late 3, op 7 late 4, op 0
+		// late 5: the c=2 window holds exactly 5 ops in 6 slots — one
+		// empty slot, so no NeedOne fires at cycle 0.
+		for _, e := range b.ercs {
+			if e.Empty() < 0 {
+				t.Errorf("negative empty slots after full update: %+v", e)
+			}
+		}
+	})
+}
+
+// TestFigure3NeedEachViaSeparation: with resource-aware separations op 4's
+// late time toward branch 9 is 0 — a dependence need invisible to plain
+// dependence distances (Observation 2).
+func TestFigure3NeedEachViaSeparation(t *testing.T) {
+	sb := figures.Figure3(0.3)
+	m := model.GP2()
+	probeFirstDecision(t, sb, m, DefaultConfig(), func(p *Picker, st *sched.State) {
+		b9 := p.br[1]
+		found := false
+		for _, v := range b9.needEach {
+			if v == 4 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("branch 9 needEach = %v, must contain op 4", b9.needEach)
+		}
+	})
+	// Without resource-aware bounds the need disappears.
+	weak := DefaultConfig()
+	weak.UseBounds = false
+	weak.Tradeoff = false
+	probeFirstDecision(t, sb, m, weak, func(p *Picker, st *sched.State) {
+		b9 := p.br[1]
+		for _, v := range b9.needEach {
+			if v == 4 {
+				t.Errorf("dependence-only bounds should not pin op 4 at cycle 0 (needEach=%v)", b9.needEach)
+			}
+		}
+	})
+}
+
+// TestSelectionOutcomesFigure2: at the first decision branch 6 is selected
+// (its need, op 4, fits) and branch 3 is ignored (no needs yet — its
+// window still has a spare slot); at the second, both are in play and one
+// of branch 3's {0,1,2} is forced.
+func TestSelectionOutcomesFigure2(t *testing.T) {
+	sb := figures.Figure2(0.3)
+	m := model.GP2()
+	probeDecision(t, sb, m, DefaultConfig(), 0, func(p *Picker, st *sched.State) {
+		sel := p.selectCompatible(st)
+		if sel.outcome[1] != outcomeSelected {
+			t.Errorf("branch 6 outcome = %v, want selected", sel.outcome[1])
+		}
+		if sel.outcome[0] != outcomeIgnored {
+			t.Errorf("branch 3 outcome = %v, want ignored", sel.outcome[0])
+		}
+		has4 := false
+		for _, v := range sel.takeEach {
+			if v == 4 {
+				has4 = true
+			}
+		}
+		if !has4 {
+			t.Errorf("takeEach = %v, must contain op 4", sel.takeEach)
+		}
+	})
+	probeDecision(t, sb, m, DefaultConfig(), 1, func(p *Picker, st *sched.State) {
+		sel := p.selectCompatible(st)
+		if sel.outcome[0] != outcomeSelected {
+			t.Errorf("branch 3 outcome = %v, want selected at decision 1", sel.outcome[0])
+		}
+		if sel.takeOne == nil {
+			t.Error("takeOne should carry branch 3's resource need at decision 1")
+		}
+	})
+}
+
+// TestTradeoffMarksDelayedOK: on Figure 4 with a rare side exit, delaying
+// the side exit for the final exit is exactly what the pairwise optimum
+// prescribes, so a delayed side exit must be revised to delayedOK rather
+// than dragging the selection's rank down.
+func TestTradeoffMarksDelayedOK(t *testing.T) {
+	sb := figures.Figure4(0.05)
+	m := model.GP2()
+	p := NewPicker(sb, m, DefaultConfig())
+	pr := p.pairs[[2]int{0, 1}]
+	if pr == nil {
+		t.Fatal("no pairwise bound")
+	}
+	if pr.Bi <= pr.Ei {
+		t.Fatalf("pairwise optimum (Bi=%d, Ei=%d) should delay the side exit at P=0.05", pr.Bi, pr.Ei)
+	}
+	sel := &selection{outcome: []outcome{outcomeDelayed, outcomeSelected}}
+	p.applyTradeoffs(sel)
+	if sel.outcome[0] != outcomeDelayedOK {
+		t.Errorf("delayed side exit not revised to delayedOK: %v", sel.outcome)
+	}
+}
+
+// TestFindSwap: with a frequent side exit, the pairwise optimum prefers
+// delaying the final exit, so a selection that delayed the side exit while
+// selecting the (earlier-processed) final exit must trigger an order swap.
+func TestFindSwap(t *testing.T) {
+	sb := figures.Figure4(0.6)
+	m := model.GP2()
+	p := NewPicker(sb, m, DefaultConfig())
+	pr := p.pairs[[2]int{0, 1}]
+	if pr.Bj <= pr.Ej {
+		t.Fatalf("pairwise optimum (Bj=%d, Ej=%d) should delay the final exit at P=0.6", pr.Bj, pr.Ej)
+	}
+	sel := &selection{outcome: []outcome{outcomeDelayed, outcomeSelected}}
+	order := []int{1, 0} // final exit processed first
+	i, j := p.findSwap(sel, order)
+	if i != 0 || j != 1 {
+		t.Errorf("findSwap = (%d,%d), want (0,1)", i, j)
+	}
+	// With the side exit already processed first, no swap applies.
+	order2 := []int{0, 1}
+	if i, _ := p.findSwap(sel, order2); i != -1 {
+		t.Errorf("unexpected swap with order %v", order2)
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"balance/internal/bounds"
+	"balance/internal/exact"
+	"balance/internal/model"
+	"balance/internal/sched"
+	"balance/internal/testutil"
+)
+
+// TestBalanceOnNonPipelinedMachines: Balance must produce legal schedules
+// on machines with held units, never beat the exact optimum, and respect
+// the expansion-based bounds.
+func TestBalanceOnNonPipelinedMachines(t *testing.T) {
+	machines := []*model.Machine{
+		model.GP2().WithOccupancy(model.FloatMul, 3),
+		model.FS4().WithOccupancy(model.FloatDiv, 9),
+		model.GP1().WithOccupancy(model.Load, 2),
+	}
+	rng := rand.New(rand.NewSource(53))
+	cfgs := []Config{DefaultConfig(), {UseBounds: true, HelpDelay: true, Update: UpdateLight}}
+	for i := 0; i < 20; i++ {
+		sb := testutil.RandomSuperblock(rng, 12)
+		for _, m := range machines {
+			set := bounds.Compute(sb, m, bounds.Options{})
+			for _, cfg := range cfgs {
+				s, _ := runBalance(t, cfg, sb, m)
+				c := sched.Cost(sb, s)
+				if c < set.Tightest-1e-9 {
+					t.Fatalf("iter %d %s: Balance %v below bound %v", i, m.Name, c, set.Tightest)
+				}
+			}
+			_, opt, err := exact.Optimal(sb, m, 1_500_000)
+			if err != nil {
+				continue
+			}
+			s, _ := runBalance(t, DefaultConfig(), sb, m)
+			if c := sched.Cost(sb, s); c < opt-1e-9 {
+				t.Fatalf("iter %d %s: Balance %v below optimum %v", i, m.Name, c, opt)
+			}
+		}
+	}
+}
+
+// TestBalanceSerializedUnit: on a machine with one held multiplier, Balance
+// must schedule the independent integer work of the side exit into the
+// cycles where the multiplier is busy.
+func TestBalanceSerializedUnit(t *testing.T) {
+	m := model.FS4().WithOccupancy(model.FloatMul, 3)
+	b := model.NewBuilder("serial")
+	i0 := b.Int()
+	i1 := b.Int(i0)
+	b.Branch(0.5, i1)
+	m0 := b.Op(model.FloatMul)
+	m1 := b.Op(model.FloatMul, m0)
+	b.Branch(0, m1)
+	sb := b.MustBuild()
+
+	s, _ := runBalance(t, DefaultConfig(), sb, m)
+	// Multiplier chain: m0@0 (holds unit 0-2), m1@3 (holds 3-5), final exit
+	// ≥ 6 wait: m1 result at 3+3=6 -> final ≥ 6... the branch only needs the
+	// result; it issues at m1+3 = 6.
+	if c := s.Cycle[sb.Branches[1]]; c < 6 {
+		t.Errorf("final exit at %d, want >= 6 (held multiplier)", c)
+	}
+	// The integer side exit is independent and must finish early.
+	if c := s.Cycle[sb.Branches[0]]; c > 2 {
+		t.Errorf("side exit at %d, want <= 2", c)
+	}
+	if err := sched.Verify(sb, m, s); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"balance/internal/bounds"
+	"balance/internal/sched"
+	"balance/internal/testutil"
+)
+
+var quickCfg = &quick.Config{MaxCount: 60}
+
+// TestQuickBalanceLegalAndBounded: on arbitrary instances, machines, and
+// ablation configurations, Balance produces a legal schedule that respects
+// the tightest lower bound.
+func TestQuickBalanceLegalAndBounded(t *testing.T) {
+	prop := func(q testutil.QuickSB, qm testutil.QuickMachine, knobs uint8) bool {
+		sb, m := q.SB, qm.M
+		cfg := Config{
+			UseBounds: knobs&1 != 0,
+			HelpDelay: knobs&2 != 0,
+			Tradeoff:  knobs&2 != 0 && knobs&4 != 0,
+			Update:    UpdateMode(int(knobs>>3) % 3),
+		}
+		s, _, err := Balance(cfg).Run(sb, m)
+		if err != nil {
+			t.Logf("balance failed: %v", err)
+			return false
+		}
+		if err := sched.Verify(sb, m, s); err != nil {
+			t.Logf("illegal: %v", err)
+			return false
+		}
+		set := bounds.Compute(sb, m, bounds.Options{})
+		if sched.Cost(sb, s) < set.Tightest-1e-9 {
+			t.Logf("cost %v below bound %v", sched.Cost(sb, s), set.Tightest)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSelectionInvariants: the branch selection never returns an op in
+// TakeEach that is not dependence-ready, and every selected branch's
+// needEach is contained in TakeEach.
+func TestQuickSelectionInvariants(t *testing.T) {
+	prop := func(q testutil.QuickSB, qm testutil.QuickMachine) bool {
+		sb, m := q.SB, qm.M
+		p := NewPicker(sb, m, DefaultConfig())
+		ok := true
+		probe := sched.PickerFunc(func(st *sched.State) int {
+			v := p.Pick(st)
+			if v < 0 {
+				return v
+			}
+			// Re-run the selection to inspect its invariants at this state.
+			sel := p.selectCompatible(st)
+			for _, u := range sel.takeEach {
+				if !st.DepReady(u) {
+					ok = false
+				}
+			}
+			for bi, oc := range sel.outcome {
+				if oc != outcomeSelected {
+					continue
+				}
+				for _, u := range p.liveNeeds(st, p.br[bi].needEach) {
+					found := false
+					for _, w := range sel.takeEach {
+						if w == u {
+							found = true
+							break
+						}
+					}
+					if !found {
+						ok = false
+					}
+				}
+			}
+			return v
+		})
+		if _, _, err := sched.Run(sb, m, probe); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"balance/internal/bounds"
+	"balance/internal/sched"
+)
+
+// selection is the result of one compatible-branch selection pass.
+type selection struct {
+	// outcome[bi] is the status of branch bi in this pass.
+	outcome []outcome
+	// takeEach lists the operations each of which must issue this cycle to
+	// satisfy the dependence needs of the selected branches.
+	takeEach []int
+	// takeOne lists the operations of which one must be chosen in this
+	// decision to satisfy the resource needs of every selected branch that
+	// has one; nil means no pending resource constraint.
+	takeOne []int
+	// rank is Σw(selected)+Σw(delayedOK)-Σw(delayed).
+	rank float64
+}
+
+// selectCompatible runs the branch selection of Sections 5.3-5.4: process
+// branches by decreasing exit probability, selecting each branch whose
+// needs can be satisfied jointly with those already selected; then use the
+// pairwise bounds to bless beneficial delays (delayedOK) and to retry with
+// a swapped order when the bounds say a selected branch should have been
+// the delayed one. The highest-ranked selection wins.
+func (p *Picker) selectCompatible(st *sched.State) *selection {
+	order := append([]int(nil), p.baseOrd...)
+	best := p.passOnce(st, order)
+	p.applyTradeoffs(best)
+	best.rank = p.rankOf(best)
+	if !p.cfg.Tradeoff {
+		return best
+	}
+	for iter := 0; iter < p.cfg.MaxTradeoffIters; iter++ {
+		i, j := p.findSwap(best, order)
+		if i < 0 {
+			break
+		}
+		order[i], order[j] = order[j], order[i]
+		cand := p.passOnce(st, order)
+		p.applyTradeoffs(cand)
+		cand.rank = p.rankOf(cand)
+		if cand.rank > best.rank {
+			best = cand
+		} else {
+			break
+		}
+	}
+	return best
+}
+
+// rankOf computes a selection's rank.
+func (p *Picker) rankOf(sel *selection) float64 {
+	rank := 0.0
+	for bi, oc := range sel.outcome {
+		switch oc {
+		case outcomeSelected, outcomeDelayedOK:
+			rank += p.sb.Prob[bi]
+		case outcomeDelayed:
+			rank -= p.sb.Prob[bi]
+		}
+	}
+	return rank
+}
+
+// applyTradeoffs revises delayed outcomes to delayedOK when the pairwise
+// bound indicates that the optimal tradeoff point itself delays that branch
+// for the benefit of a selected partner (Section 5.4, Observation 3).
+func (p *Picker) applyTradeoffs(sel *selection) {
+	if !p.cfg.Tradeoff {
+		return
+	}
+	for di, doc := range sel.outcome {
+		if doc != outcomeDelayed {
+			continue
+		}
+		for si, soc := range sel.outcome {
+			if soc != outcomeSelected {
+				continue
+			}
+			if pr, delayedIsI := p.pairOf(di, si); pr != nil {
+				if (delayedIsI && pr.Bi > pr.Ei) || (!delayedIsI && pr.Bj > pr.Ej) {
+					sel.outcome[di] = outcomeDelayedOK
+					break
+				}
+			}
+		}
+	}
+}
+
+// pairOf returns the pairwise bound covering branches a and b and whether a
+// is the earlier (I) component.
+func (p *Picker) pairOf(a, b int) (*bounds.PairBound, bool) {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	pr := p.pairs[[2]int{lo, hi}]
+	return pr, a == lo
+}
+
+// findSwap looks for a (delayed, selected) pair whose pairwise bound says
+// the selected branch should be the delayed one and the selected branch was
+// processed earlier in the current order. It returns the order positions to
+// swap, or (-1, -1).
+func (p *Picker) findSwap(sel *selection, order []int) (int, int) {
+	pos := make([]int, len(order))
+	for oi, bi := range order {
+		pos[bi] = oi
+	}
+	for di, doc := range sel.outcome {
+		if doc != outcomeDelayed {
+			continue
+		}
+		for si, soc := range sel.outcome {
+			if soc != outcomeSelected || pos[si] > pos[di] {
+				continue
+			}
+			if pr, selIsI := p.pairOf(si, di); pr != nil {
+				if (selIsI && pr.Bi > pr.Ei) || (!selIsI && pr.Bj > pr.Ej) {
+					return pos[si], pos[di]
+				}
+			}
+		}
+	}
+	return -1, -1
+}
+
+// passOnce is the Figure-7 selection pass over the given branch order.
+// TakeEach accumulates the union of the selected branches' NeedEach sets
+// (each op must fit the current cycle's free slots); TakeOne narrows to the
+// intersection of their NeedOne sets, keeping only ops that are ready and
+// fit alongside TakeEach. A branch whose needs cannot be accommodated is
+// delayed.
+func (p *Picker) passOnce(st *sched.State, order []int) *selection {
+	sel := &selection{outcome: make([]outcome, len(p.br))}
+	m := p.m
+
+	takeEach := make([]int, 0, 8)
+	var takeOne []int
+	for k := range p.kindCnt {
+		p.kindCnt[k] = 0
+	}
+	inTakeEach := p.inSet // all false between calls
+
+	for _, bi := range order {
+		b := p.br[bi]
+		if b.done {
+			sel.outcome[bi] = outcomeIgnored
+			continue
+		}
+		st.Stats.PriorityWork++
+		needEach := p.liveNeeds(st, b.needEach)
+		needOne := p.liveNeeds(st, b.needOne)
+		if len(needEach) == 0 && needOne == nil {
+			sel.outcome[bi] = outcomeIgnored
+			continue
+		}
+
+		// Phase 1: extend TakeEach with the branch's dependence needs.
+		mark := len(takeEach)
+		feasible := true
+		for _, v := range needEach {
+			if inTakeEach[v] {
+				continue
+			}
+			k := m.KindOf(p.sb.G.Op(v).Class)
+			if !st.DepReady(v) || p.kindCnt[k]+1 > st.FreeSlots(k) {
+				feasible = false
+				break
+			}
+			p.kindCnt[k]++
+			inTakeEach[v] = true
+			takeEach = append(takeEach, v)
+		}
+		rollback := func() {
+			for _, v := range takeEach[mark:] {
+				inTakeEach[v] = false
+				p.kindCnt[m.KindOf(p.sb.G.Op(v).Class)]--
+			}
+			takeEach = takeEach[:mark]
+		}
+		if !feasible {
+			rollback()
+			sel.outcome[bi] = outcomeDelayed
+			continue
+		}
+
+		// Phase 2: the branch's resource need, unless TakeEach already
+		// covers it.
+		if needOne != nil {
+			satisfied := false
+			for _, v := range needOne {
+				if inTakeEach[v] {
+					satisfied = true
+					break
+				}
+			}
+			if !satisfied {
+				base := needOne
+				if takeOne != nil {
+					base = intersect(takeOne, needOne)
+				}
+				filtered := make([]int, 0, len(base))
+				for _, v := range base {
+					if inTakeEach[v] {
+						// Covered by another branch's dependence need.
+						filtered = append(filtered, v)
+						continue
+					}
+					if !st.DepReady(v) {
+						continue
+					}
+					k := m.KindOf(p.sb.G.Op(v).Class)
+					if p.kindCnt[k]+1 > st.FreeSlots(k) {
+						continue
+					}
+					filtered = append(filtered, v)
+				}
+				if len(filtered) == 0 {
+					rollback()
+					sel.outcome[bi] = outcomeDelayed
+					continue
+				}
+				takeOne = filtered
+			}
+		}
+		sel.outcome[bi] = outcomeSelected
+	}
+	for _, v := range takeEach {
+		inTakeEach[v] = false
+	}
+	sel.takeEach = append([]int(nil), takeEach...)
+	sel.takeOne = takeOne
+	return sel
+}
+
+// liveNeeds filters a possibly stale need list down to unscheduled ops
+// (required in per-cycle update mode, where needs refresh only at cycle
+// starts). It returns nil when nothing remains.
+func (p *Picker) liveNeeds(st *sched.State, needs []int) []int {
+	if needs == nil {
+		return nil
+	}
+	live := make([]int, 0, len(needs))
+	for _, v := range needs {
+		if !st.IsScheduled(v) {
+			live = append(live, v)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	return live
+}
+
+// intersect returns the elements of a also present in b.
+func intersect(a, b []int) []int {
+	out := make([]int, 0, len(a))
+	for _, v := range a {
+		for _, w := range b {
+			if v == w {
+				out = append(out, v)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,382 @@
+// Package eval regenerates every table and figure of the paper's
+// evaluation (Section 6) on the synthetic SPECint95 corpus: bound quality
+// (Table 1), bound complexity (Table 2), per-heuristic slowdowns (Table 3),
+// optimally scheduled superblocks (Table 4), profile-free scheduling
+// (Table 5), heuristic complexity (Table 6), the Balance component ablation
+// (Table 7), and the cumulative distribution of extra cycles (Figure 8).
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"balance/internal/bounds"
+	"balance/internal/cfg"
+	"balance/internal/core"
+	"balance/internal/gen"
+	"balance/internal/heuristics"
+	"balance/internal/model"
+	"balance/internal/sched"
+)
+
+// Config controls an evaluation run.
+type Config struct {
+	// Seed drives corpus generation (default 1999).
+	Seed int64
+	// Scale multiplies the per-benchmark superblock counts (default 1).
+	Scale float64
+	// Machines lists the configurations to evaluate (default: all six).
+	Machines []*model.Machine
+	// Triplewise enables the triplewise bound (default on).
+	Triplewise bool
+	// TripleMaxBranches caps triple enumeration per superblock (default 16).
+	TripleMaxBranches int
+	// Benchmarks optionally restricts the corpus ("126.gcc", "gcc", ...).
+	Benchmarks []string
+	// CFGCorpus replaces the direct synthetic generator with the
+	// formation pipeline: random profiled CFGs are grown into traces and
+	// emitted as superblocks (cross-validates the conclusions on a corpus
+	// with compiler-like provenance).
+	CFGCorpus bool
+	// CFGRegions is the number of CFG regions per pseudo-benchmark when
+	// CFGCorpus is set (default 40 at scale 1).
+	CFGRegions int
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1999
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if len(c.Machines) == 0 {
+		c.Machines = model.Machines()
+	}
+	if c.TripleMaxBranches == 0 {
+		c.TripleMaxBranches = 16
+	}
+	return c
+}
+
+// PrimaryNames lists the six primary heuristics in the paper's column
+// order.
+var PrimaryNames = []string{"SR", "CP", "G*", "DHASY", "Help", "Balance"}
+
+// primaries returns the paper's six primary heuristics.
+func primaries() []heuristics.Heuristic {
+	return []heuristics.Heuristic{
+		heuristics.SR(),
+		heuristics.CP(),
+		heuristics.GStar(),
+		heuristics.DHASY(),
+		heuristics.Help(),
+		core.Balance(core.DefaultConfig()),
+	}
+}
+
+// sbResult caches everything computed for one superblock on one machine.
+type sbResult struct {
+	SB        *model.Superblock
+	Benchmark string
+	Bounds    *bounds.Set
+	// Cost[name] is the weighted completion time of each heuristic's
+	// schedule (with real exit probabilities).
+	Cost map[string]float64
+	// Stats[name] records the scheduling work of each heuristic.
+	Stats map[string]sched.Stats
+	// Trivial is true when every primary heuristic achieved the tightest
+	// bound.
+	Trivial bool
+}
+
+// dynCycles returns the superblock's dynamic cycle count for a given
+// weighted completion time.
+func (r *sbResult) dynCycles(cost float64) float64 { return r.SB.Freq * cost }
+
+// Runner generates the corpus lazily and caches per-machine results so the
+// tables share work.
+type Runner struct {
+	Cfg   Config
+	Suite *gen.Suite
+
+	cache map[string][]*sbResult // machine name -> results
+}
+
+// NewRunner creates a runner with the given configuration.
+func NewRunner(cfg Config) *Runner {
+	cfg = cfg.withDefaults()
+	var suite *gen.Suite
+	if cfg.CFGCorpus {
+		suite = cfgSuite(cfg)
+	} else {
+		suite = gen.GenerateSuite(cfg.Seed, cfg.Scale)
+	}
+	if len(cfg.Benchmarks) > 0 {
+		filtered := &gen.Suite{Benchmarks: map[string][]*model.Superblock{}}
+		for _, want := range cfg.Benchmarks {
+			for _, name := range suite.Order {
+				if name == want || shortBench(name) == want {
+					filtered.Benchmarks[name] = suite.Benchmarks[name]
+					filtered.Order = append(filtered.Order, name)
+				}
+			}
+		}
+		suite = filtered
+	}
+	return &Runner{Cfg: cfg, Suite: suite, cache: map[string][]*sbResult{}}
+}
+
+// cfgSuite builds a corpus through the profiled-CFG formation pipeline:
+// four pseudo-benchmarks with different region shapes.
+func cfgSuite(c Config) *gen.Suite {
+	regions := c.CFGRegions
+	if regions <= 0 {
+		regions = int(40 * c.Scale)
+		if regions < 1 {
+			regions = 1
+		}
+	}
+	shapes := []struct {
+		name string
+		rc   cfg.RandomConfig
+	}{
+		{"cfg.straight", cfg.RandomConfig{Blocks: 8, OpsPerBlockMax: 8, MemFrac: 0.25, BranchyProb: 0.35, EntryCount: 1000}},
+		{"cfg.branchy", cfg.RandomConfig{Blocks: 16, OpsPerBlockMax: 5, MemFrac: 0.25, BranchyProb: 0.85, EntryCount: 1000}},
+		{"cfg.wide", cfg.RandomConfig{Blocks: 12, OpsPerBlockMax: 12, MemFrac: 0.30, BranchyProb: 0.6, EntryCount: 1000}},
+		{"cfg.deep", cfg.RandomConfig{Blocks: 24, OpsPerBlockMax: 4, MemFrac: 0.20, BranchyProb: 0.6, EntryCount: 1000}},
+	}
+	suite := &gen.Suite{Benchmarks: map[string][]*model.Superblock{}}
+	for si, shape := range shapes {
+		rng := rand.New(rand.NewSource(c.Seed ^ int64(si*7919+13)))
+		var sbs []*model.Superblock
+		for r := 0; r < regions; r++ {
+			g := cfg.Random(fmt.Sprintf("%s/r%03d", shape.name, r), rng, shape.rc)
+			formed, err := cfg.FormAll(g, cfg.DefaultFormation())
+			if err != nil {
+				panic(fmt.Sprintf("eval: formation failed: %v", err))
+			}
+			sbs = append(sbs, formed...)
+		}
+		suite.Benchmarks[shape.name] = sbs
+		suite.Order = append(suite.Order, shape.name)
+	}
+	return suite
+}
+
+// shortBench strips the SPEC number prefix.
+func shortBench(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '.' {
+			return name[i+1:]
+		}
+	}
+	return name
+}
+
+// Results returns (computing and caching on first use) the per-superblock
+// results for one machine. Superblocks are evaluated in parallel across
+// worker goroutines; the result order is deterministic (corpus order).
+func (r *Runner) Results(m *model.Machine) ([]*sbResult, error) {
+	if res, ok := r.cache[m.Name]; ok {
+		return res, nil
+	}
+	type job struct {
+		idx   int
+		bench string
+		sb    *model.Superblock
+	}
+	var jobs []job
+	for _, bench := range r.Suite.Order {
+		for _, sb := range r.Suite.Benchmarks[bench] {
+			jobs = append(jobs, job{len(jobs), bench, sb})
+		}
+	}
+	out := make([]*sbResult, len(jobs))
+	errs := make([]error, len(jobs))
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			hs := primaries() // heuristics are stateful per run; one set per worker
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(jobs) {
+					return
+				}
+				out[i], errs[i] = r.evaluateOne(jobs[i].bench, jobs[i].sb, m, hs)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	r.cache[m.Name] = out
+	return out, nil
+}
+
+// evaluateOne computes the bounds and all heuristic schedules for one
+// superblock on one machine.
+func (r *Runner) evaluateOne(bench string, sb *model.Superblock, m *model.Machine, hs []heuristics.Heuristic) (*sbResult, error) {
+	set := bounds.Compute(sb, m, bounds.Options{
+		Triplewise:        r.Cfg.Triplewise,
+		TripleMaxBranches: r.Cfg.TripleMaxBranches,
+		WithLCOriginal:    true,
+	})
+	res := &sbResult{
+		SB:        sb,
+		Benchmark: bench,
+		Bounds:    set,
+		Cost:      make(map[string]float64, len(hs)+1),
+		Stats:     make(map[string]sched.Stats, len(hs)+1),
+	}
+	trivial := true
+	var bestCost float64
+	var bestSet bool
+	for _, h := range hs {
+		s, stats, err := h.Run(sb, m)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s on %s/%s: %w", h.Name, sb.Name, m.Name, err)
+		}
+		cost := sched.Cost(sb, s)
+		res.Cost[h.Name] = cost
+		res.Stats[h.Name] = stats
+		if cost > set.Tightest+1e-9 {
+			trivial = false
+		}
+		if !bestSet || cost < bestCost {
+			bestCost, bestSet = cost, true
+		}
+	}
+	// Best = best of the six primaries plus the 121 cross-product
+	// schedules.
+	cp, cpStats, err := heuristics.CrossProduct(sb, m)
+	if err != nil {
+		return nil, fmt.Errorf("eval: cross product on %s/%s: %w", sb.Name, m.Name, err)
+	}
+	if c := sched.Cost(sb, cp); c < bestCost {
+		bestCost = c
+	}
+	res.Cost["Best"] = bestCost
+	res.Stats["Best"] = cpStats
+	res.Trivial = trivial
+	return res, nil
+}
+
+// parallelEach runs fn for every index in [0, n) across GOMAXPROCS worker
+// goroutines and returns the first error.
+func parallelEach(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	errs := make([]error, n)
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var out []byte
+	out = append(out, t.Title...)
+	out = append(out, '\n')
+	line := func(cells []string) {
+		for i, c := range cells {
+			out = append(out, fmt.Sprintf("%-*s", widths[i]+2, c)...)
+		}
+		out = append(out, '\n')
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		out = append(out, "  note: "...)
+		out = append(out, n...)
+		out = append(out, '\n')
+	}
+	return string(out)
+}
+
+// percentile returns the p-quantile (0..1) of the sorted copy of xs.
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	idx := int(p * float64(len(s)-1))
+	return s[idx]
+}
+
+// mean returns the arithmetic mean of xs (0 for empty).
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,235 @@
+package eval
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"balance/internal/model"
+)
+
+// smallRunner builds a runner over a tiny corpus and two machines so the
+// whole table suite runs in test time.
+func smallRunner() *Runner {
+	return NewRunner(Config{
+		Seed:     7,
+		Scale:    0.03,
+		Machines: []*model.Machine{model.GP2(), model.FS4()},
+	})
+}
+
+func TestResultsConsistency(t *testing.T) {
+	r := smallRunner()
+	for _, m := range r.Cfg.Machines {
+		results, err := r.Results(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) == 0 {
+			t.Fatal("no results")
+		}
+		for _, res := range results {
+			tight := res.Bounds.Tightest
+			for name, cost := range res.Cost {
+				if cost < tight-1e-9 {
+					t.Fatalf("%s on %s: cost %v below tightest bound %v", name, res.SB.Name, cost, tight)
+				}
+			}
+			if res.Cost["Best"] > res.Cost["Balance"]+1e-9 {
+				t.Fatalf("Best (%v) worse than Balance (%v) on %s", res.Cost["Best"], res.Cost["Balance"], res.SB.Name)
+			}
+			for _, n := range PrimaryNames {
+				if res.Cost["Best"] > res.Cost[n]+1e-9 {
+					t.Fatalf("Best (%v) worse than %s (%v) on %s", res.Cost["Best"], n, res.Cost[n], res.SB.Name)
+				}
+			}
+			if res.Trivial {
+				for _, n := range PrimaryNames {
+					if res.Cost[n] > tight+1e-9 {
+						t.Fatalf("trivial superblock %s has %s cost %v > bound %v", res.SB.Name, n, res.Cost[n], tight)
+					}
+				}
+			}
+		}
+	}
+	// The cache must return identical slices.
+	a, _ := r.Results(model.GP2())
+	b, _ := r.Results(model.GP2())
+	if &a[0] != &b[0] {
+		t.Error("results not cached")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	r := smallRunner()
+	tab, err := r.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3*len(r.Cfg.Machines) {
+		t.Errorf("table1 has %d rows, want %d", len(tab.Rows), 3*len(r.Cfg.Machines))
+	}
+	// CP must be the loosest bound: its Avg gap should be the largest.
+	text := tab.String()
+	if !strings.Contains(text, "GP2") || !strings.Contains(text, "Avg(%)") {
+		t.Errorf("table text malformed:\n%s", text)
+	}
+}
+
+func TestTable1CPWeakest(t *testing.T) {
+	r := smallRunner()
+	tab, err := r.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns: machine, metric, CP, Hu, RJ, LC, PW, TW. On the Avg rows the
+	// CP gap must be >= the LC gap, and PW/TW must have gap ~0... PW is the
+	// composition base of tightest, so its Avg gap must be the smallest or
+	// tied.
+	for i := 0; i < len(tab.Rows); i += 3 {
+		row := tab.Rows[i]
+		var cp, lc, pw, tw float64
+		mustParse(t, row[2], &cp)
+		mustParse(t, row[5], &lc)
+		mustParse(t, row[6], &pw)
+		mustParse(t, row[7], &tw)
+		if cp < lc {
+			t.Errorf("%s: CP gap %v below LC gap %v", row[0], cp, lc)
+		}
+		if pw > lc+1e-9 {
+			t.Errorf("%s: PW gap %v above LC gap %v", row[0], pw, lc)
+		}
+		if tw > 0.5 {
+			t.Errorf("%s: TW gap %v unexpectedly large", row[0], tw)
+		}
+	}
+}
+
+func mustParse(t *testing.T, s string, out *float64) {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("cannot parse %q: %v", s, err)
+	}
+	*out = v
+}
+
+func TestTables2Through7(t *testing.T) {
+	r := smallRunner()
+	t2, err := r.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t2.Rows) != 8 {
+		t.Errorf("table2 rows = %d, want 8", len(t2.Rows))
+	}
+	t3, err := r.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t3.Rows) != len(r.Cfg.Machines)+1 {
+		t.Errorf("table3 rows = %d", len(t3.Rows))
+	}
+	t4, err := r.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t4.Rows) != len(r.Cfg.Machines) {
+		t.Errorf("table4 rows = %d", len(t4.Rows))
+	}
+	t5, err := r.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t5.Rows) != len(r.Cfg.Machines)+1 {
+		t.Errorf("table5 rows = %d", len(t5.Rows))
+	}
+	t6, err := r.Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t6.Rows) != 7 {
+		t.Errorf("table6 rows = %d, want 7", len(t6.Rows))
+	}
+	t7, err := r.Table7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t7.Rows) != 2 {
+		t.Errorf("table7 rows = %d, want 2", len(t7.Rows))
+	}
+}
+
+func TestTable3ByBenchmark(t *testing.T) {
+	r := smallRunner()
+	tab, err := r.Table3ByBenchmark(model.GP2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(r.Suite.Order) {
+		t.Errorf("per-benchmark table has %d rows, want %d", len(tab.Rows), len(r.Suite.Order))
+	}
+	if !strings.Contains(tab.Title, "GP2") {
+		t.Errorf("title %q", tab.Title)
+	}
+}
+
+func TestFigure8(t *testing.T) {
+	r := NewRunner(Config{
+		Seed:     7,
+		Scale:    0.03,
+		Machines: []*model.Machine{model.FS4()},
+	})
+	d, err := r.Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Total == 0 {
+		t.Fatal("figure 8 counted no superblocks")
+	}
+	if len(d.Series) != 7 {
+		t.Fatalf("figure 8 has %d series, want 7", len(d.Series))
+	}
+	for _, s := range d.Series {
+		last := -1.0
+		for i, f := range s.Frac {
+			if f < last-1e-12 {
+				t.Fatalf("%s: CDF not monotone at %d", s.Name, i)
+			}
+			last = f
+			if f < 0 || f > 1 {
+				t.Fatalf("%s: fraction %v out of range", s.Name, f)
+			}
+		}
+		if s.Frac[len(s.Frac)-1] < 0.99 {
+			t.Errorf("%s: CDF does not reach 1 (%v)", s.Name, s.Frac[len(s.Frac)-1])
+		}
+	}
+	tab := d.Table()
+	if len(tab.Rows) != len(d.Thresholds) {
+		t.Errorf("figure 8 table rows = %d, want %d", len(tab.Rows), len(d.Thresholds))
+	}
+}
+
+func TestWorkedFigures(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 6} {
+		text, err := WorkedFigure(n, 0.25)
+		if err != nil {
+			t.Fatalf("figure %d: %v", n, err)
+		}
+		if !strings.Contains(text, "Balance") || !strings.Contains(text, "cost") {
+			t.Errorf("figure %d output incomplete:\n%s", n, text)
+		}
+	}
+	if _, err := WorkedFigure(5, 0.25); err == nil {
+		t.Error("WorkedFigure accepted figure 5")
+	}
+}
+
+func TestBenchmarkFilter(t *testing.T) {
+	r := NewRunner(Config{Seed: 3, Scale: 0.05, Benchmarks: []string{"gcc"},
+		Machines: []*model.Machine{model.GP2()}})
+	if len(r.Suite.Order) != 1 || r.Suite.Order[0] != "126.gcc" {
+		t.Fatalf("filter failed: %v", r.Suite.Order)
+	}
+}

@@ -1,0 +1,106 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"balance/internal/model"
+)
+
+// Figure8Series is one heuristic's cumulative distribution: Frac[i] is the
+// fraction of superblocks whose dynamic extra cycles above the tightest
+// bound are at most Thresholds[i].
+type Figure8Series struct {
+	Name string
+	Frac []float64
+}
+
+// Figure8Data holds the CDF of Figure 8 for one benchmark and machine.
+type Figure8Data struct {
+	Benchmark  string
+	Machine    string
+	Thresholds []float64 // log-spaced dynamic extra-cycle thresholds
+	Series     []Figure8Series
+	Total      int // superblocks counted
+}
+
+// Figure8 reproduces the paper's Figure 8: the fraction of gcc superblocks
+// (Y) scheduled within a given number of dynamic cycles above the tightest
+// lower bound (X, log scale) on the FS4 machine, for the six primary
+// heuristics and Best.
+func (r *Runner) Figure8() (*Figure8Data, error) {
+	return r.FigureCDF("126.gcc", model.FS4())
+}
+
+// FigureCDF computes the Figure-8 CDF for an arbitrary benchmark and
+// machine.
+func (r *Runner) FigureCDF(benchmark string, m *model.Machine) (*Figure8Data, error) {
+	results, err := r.Results(m)
+	if err != nil {
+		return nil, err
+	}
+	names := append(append([]string(nil), PrimaryNames...), "Best")
+	// Thresholds: 0 plus log-spaced points up to 10^6 dynamic cycles.
+	thresholds := []float64{0}
+	for e := 0.0; e <= 6.0; e += 0.5 {
+		thresholds = append(thresholds, math.Pow(10, e))
+	}
+
+	data := &Figure8Data{Benchmark: benchmark, Machine: m.Name, Thresholds: thresholds}
+	var extras = map[string][]float64{}
+	total := 0
+	for _, res := range results {
+		if res.Benchmark != benchmark && shortBench(res.Benchmark) != benchmark {
+			continue
+		}
+		total++
+		for _, n := range names {
+			extra := res.dynCycles(res.Cost[n]) - res.dynCycles(res.Bounds.Tightest)
+			if extra < 0 {
+				extra = 0
+			}
+			extras[n] = append(extras[n], extra)
+		}
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("eval: no superblocks for benchmark %q (have %v)", benchmark, r.Suite.Order)
+	}
+	data.Total = total
+	for _, n := range names {
+		xs := extras[n]
+		sort.Float64s(xs)
+		frac := make([]float64, len(thresholds))
+		for i, th := range thresholds {
+			cnt := sort.SearchFloat64s(xs, th+1e-9)
+			frac[i] = float64(cnt) / float64(total)
+		}
+		data.Series = append(data.Series, Figure8Series{Name: n, Frac: frac})
+	}
+	// Order the legend by decreasing fraction of optimally scheduled
+	// superblocks, as in the paper.
+	sort.SliceStable(data.Series, func(a, b int) bool {
+		return data.Series[a].Frac[0] > data.Series[b].Frac[0]
+	})
+	return data, nil
+}
+
+// Table renders the CDF as a text table (rows = thresholds).
+func (d *Figure8Data) Table() *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 8: fraction of %s superblocks within X dynamic cycles of the bound (%s, %d superblocks)", d.Benchmark, d.Machine, d.Total),
+		Header: []string{"extra cycles ≤"},
+	}
+	for _, s := range d.Series {
+		t.Header = append(t.Header, s.Name)
+	}
+	for i, th := range d.Thresholds {
+		row := []string{fmt.Sprintf("%.0f", th)}
+		for _, s := range d.Series {
+			row = append(row, fmt.Sprintf("%.4f", s.Frac[i]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes, "row 0 (zero extra cycles) is the fraction of optimally scheduled superblocks")
+	return t
+}

@@ -1,0 +1,76 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"balance/internal/bounds"
+	"balance/internal/core"
+	"balance/internal/exact"
+	"balance/internal/figures"
+	"balance/internal/heuristics"
+	"balance/internal/model"
+	"balance/internal/sched"
+)
+
+// WorkedFigure reproduces one of the paper's worked examples (Figures 1-4)
+// on GP2: it prints the per-branch bounds, the pairwise tradeoff when one
+// exists, the branch cycles and cost each heuristic achieves, and the exact
+// optimum.
+func WorkedFigure(n int, sideProb float64) (string, error) {
+	var sb *model.Superblock
+	switch n {
+	case 1:
+		sb = figures.Figure1(sideProb)
+	case 2:
+		sb = figures.Figure2(sideProb)
+	case 3:
+		sb = figures.Figure3(sideProb)
+	case 4:
+		sb = figures.Figure4(sideProb)
+	case 6:
+		sb = figures.Figure6()
+	default:
+		return "", fmt.Errorf("eval: no worked example for figure %d (have 1-4, 6)", n)
+	}
+	m := model.GP2()
+	var out strings.Builder
+	fmt.Fprintf(&out, "Figure %d reconstruction (%s, machine %s)\n", n, sb.Name, m.Name)
+	fmt.Fprintf(&out, "%d ops, %d exits, side probabilities %v\n\n", sb.G.NumOps(), sb.NumBranches(), sb.Prob)
+
+	set := bounds.Compute(sb, m, bounds.Options{Triplewise: true})
+	fmt.Fprintf(&out, "per-branch bounds  CP=%v Hu=%v RJ=%v LC=%v\n", set.CP, set.Hu, set.RJ, set.LC)
+	fmt.Fprintf(&out, "superblock bounds  naiveLC=%.4f pairwise=%.4f triplewise=%.4f tightest=%.4f\n",
+		set.LCVal, set.PairVal, set.TripleVal, set.Tightest)
+	for _, pr := range set.Pairs {
+		if pr.NoTradeoff {
+			fmt.Fprintf(&out, "pair (%d,%d): no tradeoff — both branches reach their bounds\n", pr.I, pr.J)
+			continue
+		}
+		fmt.Fprintf(&out, "pair (%d,%d): tradeoff curve (separation -> t_i, t_j):\n", pr.I, pr.J)
+		for s := pr.Lmin; s <= pr.Lmax; s++ {
+			fmt.Fprintf(&out, "  sep=%2d  t_i>=%2d  t_j>=%2d\n", s, pr.X(s), pr.Y(s))
+		}
+		fmt.Fprintf(&out, "  optimum point: t_i=%d t_j=%d (weighted value %.4f)\n", pr.Bi, pr.Bj, pr.Value)
+	}
+	out.WriteString("\n")
+
+	hs := []heuristics.Heuristic{
+		heuristics.SR(), heuristics.CP(), heuristics.GStar(),
+		heuristics.DHASY(), heuristics.Help(), core.Balance(core.DefaultConfig()),
+	}
+	for _, h := range hs {
+		s, _, err := h.Run(sb, m)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&out, "%-8s branches at %v  cost %.4f\n", h.Name, sched.BranchCycles(sb, s), sched.Cost(sb, s))
+	}
+	if sb.G.NumOps() <= 24 {
+		s, opt, err := exact.Optimal(sb, m, 0)
+		if err == nil {
+			fmt.Fprintf(&out, "%-8s branches at %v  cost %.4f\n", "OPTIMAL", sched.BranchCycles(sb, s), opt)
+		}
+	}
+	return out.String(), nil
+}

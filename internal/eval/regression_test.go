@@ -1,0 +1,145 @@
+package eval
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"balance/internal/model"
+)
+
+// TestQualitativeOrdering is the regression test for the paper's headline
+// results on a fixed mid-size corpus: Balance must beat every other primary
+// heuristic on average, Best must be at least as good as Balance, the
+// pairwise bound must dominate the naive ones, and the Figure-8 legend
+// order must hold.
+func TestQualitativeOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mid-size corpus")
+	}
+	r := NewRunner(Config{
+		Seed:       1999,
+		Scale:      0.1,
+		Machines:   []*model.Machine{model.GP1(), model.FS4()},
+		Triplewise: true,
+	})
+
+	// Aggregate slowdowns across machines.
+	names := append(append([]string(nil), PrimaryNames...), "Best")
+	slow := map[string]float64{}
+	for _, m := range r.Cfg.Machines {
+		results, err := r.Results(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, s := slowdownRows(results, names)
+		for _, n := range names {
+			slow[n] += s[n]
+		}
+	}
+	t.Logf("aggregate slowdowns: %v", slow)
+
+	if slow["Balance"] > slow["SR"] || slow["Balance"] > slow["CP"] {
+		t.Errorf("Balance (%v) worse than SR (%v) or CP (%v)", slow["Balance"], slow["SR"], slow["CP"])
+	}
+	if slow["Balance"] > slow["DHASY"]+1e-9 || slow["Balance"] > slow["G*"]+1e-9 {
+		t.Errorf("Balance (%v) worse than DHASY (%v) or G* (%v)", slow["Balance"], slow["DHASY"], slow["G*"])
+	}
+	if slow["Balance"] > slow["Help"]+1e-9 {
+		t.Errorf("Balance (%v) worse than Help (%v)", slow["Balance"], slow["Help"])
+	}
+	if slow["Best"] > slow["Balance"]+1e-9 {
+		t.Errorf("Best (%v) worse than Balance (%v)", slow["Best"], slow["Balance"])
+	}
+
+	// Bound dominance in Table 1 terms: CP's average gap is the largest,
+	// TW's the smallest, on each machine.
+	tab, err := r.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(tab.Rows); i += 3 {
+		row := tab.Rows[i] // Avg row: machine, metric, CP, Hu, RJ, LC, PW, TW
+		vals := make([]float64, 6)
+		for j := range vals {
+			v, err := strconv.ParseFloat(row[2+j], 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vals[j] = v
+		}
+		cp, hu, rj, lc, pw, tw := vals[0], vals[1], vals[2], vals[3], vals[4], vals[5]
+		if cp < hu || hu < rj || rj < lc || lc < pw || pw < tw {
+			t.Errorf("%s: bound gap ordering violated: %v", row[0], vals)
+		}
+	}
+
+	// Figure 8 legend order on FS4.
+	d, err := r.FigureCDF("126.gcc", model.FS4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	intercept := map[string]float64{}
+	for _, s := range d.Series {
+		intercept[s.Name] = s.Frac[0]
+	}
+	if intercept["Best"] < intercept["Balance"]-1e-9 ||
+		intercept["Balance"] < intercept["SR"]-1e-9 ||
+		intercept["Balance"] < intercept["CP"]-1e-9 {
+		order := make([]string, len(d.Series))
+		for i, s := range d.Series {
+			order[i] = s.Name
+		}
+		t.Errorf("figure 8 intercepts unexpected (%v): %v", intercept, strings.Join(order, " > "))
+	}
+}
+
+// TestCFGCorpus: the formation-pipeline corpus drives the full table suite
+// and preserves the central invariant (no heuristic beats the bound).
+func TestCFGCorpus(t *testing.T) {
+	r := NewRunner(Config{
+		Seed:       11,
+		Scale:      1,
+		CFGRegions: 3,
+		CFGCorpus:  true,
+		Machines:   []*model.Machine{model.FS4()},
+		Triplewise: true,
+	})
+	if len(r.Suite.Order) != 4 {
+		t.Fatalf("cfg corpus has %d pseudo-benchmarks, want 4", len(r.Suite.Order))
+	}
+	results, err := r.Results(model.FS4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no results")
+	}
+	for _, res := range results {
+		for name, cost := range res.Cost {
+			if cost < res.Bounds.Tightest-1e-9 {
+				t.Fatalf("%s beats the bound on %s", name, res.SB.Name)
+			}
+		}
+	}
+	if _, err := r.Table3(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeterminism: two runners with identical configs produce identical
+// tables.
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Seed: 5, Scale: 0.02, Machines: []*model.Machine{model.GP2()}}
+	a, err := NewRunner(cfg).Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRunner(cfg).Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("nondeterministic table:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -1,0 +1,486 @@
+package eval
+
+import (
+	"fmt"
+
+	"balance/internal/core"
+	"balance/internal/heuristics"
+	"balance/internal/model"
+	"balance/internal/sched"
+)
+
+// boundNames lists the bounds compared by Table 1, in paper order.
+var boundNames = []string{"CP", "Hu", "RJ", "LC", "PW", "TW"}
+
+// boundValue extracts a named superblock-level bound from a result.
+func boundValue(r *sbResult, name string) float64 {
+	switch name {
+	case "CP":
+		return r.Bounds.CPVal
+	case "Hu":
+		return r.Bounds.HuVal
+	case "RJ":
+		return r.Bounds.RJVal
+	case "LC":
+		return r.Bounds.LCVal
+	case "PW":
+		return r.Bounds.PairVal
+	case "TW":
+		return r.Bounds.TripleVal
+	}
+	panic("unknown bound " + name)
+}
+
+// Table1 reproduces the bound-quality comparison: for each machine and each
+// bound, the average and maximum percentage gap to the tightest bound, and
+// the percentage of superblocks on which the bound is not the tightest.
+func (r *Runner) Table1() (*Table, error) {
+	t := &Table{
+		Title:  "Table 1: performance of lower bounds relative to the tightest lower bound",
+		Header: []string{"machine", "metric", "CP", "Hu", "RJ", "LC", "PW", "TW"},
+	}
+	for _, m := range r.Cfg.Machines {
+		results, err := r.Results(m)
+		if err != nil {
+			return nil, err
+		}
+		avgRow := []string{m.Name, "Avg(%)"}
+		maxRow := []string{"", "Max(%)"}
+		numRow := []string{"", "Num(%)"}
+		for _, bn := range boundNames {
+			var gaps []float64
+			worse := 0
+			maxGap := 0.0
+			for _, res := range results {
+				tight := res.Bounds.Tightest
+				v := boundValue(res, bn)
+				gap := 0.0
+				if tight > 0 {
+					gap = (tight - v) / tight * 100
+				}
+				if gap < 0 {
+					gap = 0
+				}
+				gaps = append(gaps, gap)
+				if gap > maxGap {
+					maxGap = gap
+				}
+				if v < tight-1e-9 {
+					worse++
+				}
+			}
+			avgRow = append(avgRow, fmt.Sprintf("%.2f", mean(gaps)))
+			maxRow = append(maxRow, fmt.Sprintf("%.2f", maxGap))
+			numRow = append(numRow, fmt.Sprintf("%.2f", 100*float64(worse)/float64(len(results))))
+		}
+		t.Rows = append(t.Rows, avgRow, maxRow, numRow)
+	}
+	t.Notes = append(t.Notes, "Num = % of superblocks where the bound is below the tightest bound")
+	return t, nil
+}
+
+// Table2 reproduces the bound-complexity comparison: average and median
+// loop-trip counts of each bound algorithm across all superblocks and
+// machines.
+func (r *Runner) Table2() (*Table, error) {
+	algs := []string{"CP", "Hu", "RJ", "LC", "LC-original", "LC-reverse", "PW", "TW"}
+	trips := map[string][]float64{}
+	for _, m := range r.Cfg.Machines {
+		results, err := r.Results(m)
+		if err != nil {
+			return nil, err
+		}
+		for _, res := range results {
+			s := res.Bounds.Stats
+			trips["CP"] = append(trips["CP"], float64(s.CP.Trips))
+			trips["Hu"] = append(trips["Hu"], float64(s.Hu.Trips))
+			trips["RJ"] = append(trips["RJ"], float64(s.RJ.Trips))
+			trips["LC"] = append(trips["LC"], float64(s.LC.Trips))
+			trips["LC-original"] = append(trips["LC-original"], float64(s.LCOriginal.Trips))
+			trips["LC-reverse"] = append(trips["LC-reverse"], float64(s.LCReverse.Trips))
+			trips["PW"] = append(trips["PW"], float64(s.PW.Trips))
+			trips["TW"] = append(trips["TW"], float64(s.TW.Trips+s.TW.TripleSweeps))
+		}
+	}
+	t := &Table{
+		Title:  "Table 2: complexity of the bound algorithms (loop trip counts per superblock)",
+		Header: []string{"algorithm", "average", "median"},
+	}
+	for _, a := range algs {
+		t.Rows = append(t.Rows, []string{
+			a,
+			fmt.Sprintf("%.2f", mean(trips[a])),
+			fmt.Sprintf("%.0f", percentile(trips[a], 0.5)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"LC uses the Theorem-1 shortcut; LC-original does not",
+		"TW is the pairwise-curve combination bound (see DESIGN.md)")
+	return t, nil
+}
+
+// slowdownRows computes, for one machine, the Table-3 metrics: total bound
+// cycles, the fraction spent in trivial superblocks, and each heuristic's
+// slowdown on nontrivial superblocks.
+func slowdownRows(results []*sbResult, names []string) (boundCycles, trivialPct float64, slow map[string]float64) {
+	var totalBound, trivialBound float64
+	var nontrivBound float64
+	heurCycles := map[string]float64{}
+	for _, res := range results {
+		b := res.dynCycles(res.Bounds.Tightest)
+		totalBound += b
+		if res.Trivial {
+			trivialBound += b
+			continue
+		}
+		nontrivBound += b
+		for _, n := range names {
+			heurCycles[n] += res.dynCycles(res.Cost[n])
+		}
+	}
+	slow = map[string]float64{}
+	for _, n := range names {
+		if nontrivBound > 0 {
+			slow[n] = (heurCycles[n] - nontrivBound) / nontrivBound * 100
+		}
+	}
+	if totalBound > 0 {
+		trivialPct = trivialBound / totalBound * 100
+	}
+	return totalBound, trivialPct, slow
+}
+
+// Table3 reproduces the dynamic slowdown comparison relative to the
+// tightest lower bound, per machine, for the six primary heuristics and
+// Best.
+func (r *Runner) Table3() (*Table, error) {
+	names := append(append([]string(nil), PrimaryNames...), "Best")
+	t := &Table{
+		Title:  "Table 3: slowdown relative to the tightest lower bound (nontrivial superblocks)",
+		Header: append([]string{"machine", "bound cycles", "trivial(%)"}, names...),
+	}
+	var avgs = map[string][]float64{}
+	for _, m := range r.Cfg.Machines {
+		results, err := r.Results(m)
+		if err != nil {
+			return nil, err
+		}
+		bound, trivial, slow := slowdownRows(results, names)
+		row := []string{m.Name, fmt.Sprintf("%.3e", bound), fmt.Sprintf("%.2f", trivial)}
+		for _, n := range names {
+			row = append(row, fmt.Sprintf("%.2f%%", slow[n]))
+			avgs[n] = append(avgs[n], slow[n])
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	avgRow := []string{"Average", "", ""}
+	for _, n := range names {
+		avgRow = append(avgRow, fmt.Sprintf("%.2f%%", mean(avgs[n])))
+	}
+	t.Rows = append(t.Rows, avgRow)
+	t.Notes = append(t.Notes, "trivial = superblocks scheduled optimally by all six primary heuristics")
+	return t, nil
+}
+
+// Table3ByBenchmark breaks the Table-3 slowdowns down per benchmark on one
+// machine (the per-program view behind Figure 8).
+func (r *Runner) Table3ByBenchmark(m *model.Machine) (*Table, error) {
+	names := append(append([]string(nil), PrimaryNames...), "Best")
+	results, err := r.Results(m)
+	if err != nil {
+		return nil, err
+	}
+	byBench := map[string][]*sbResult{}
+	for _, res := range results {
+		byBench[res.Benchmark] = append(byBench[res.Benchmark], res)
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Table 3 (per benchmark, %s): slowdown on nontrivial superblocks", m.Name),
+		Header: append([]string{"benchmark", "superblocks", "trivial(%)"}, names...),
+	}
+	for _, bench := range r.Suite.Order {
+		rs := byBench[bench]
+		if len(rs) == 0 {
+			continue
+		}
+		_, trivial, slow := slowdownRows(rs, names)
+		row := []string{bench, fmt.Sprintf("%d", len(rs)), fmt.Sprintf("%.2f", trivial)}
+		for _, n := range names {
+			row = append(row, fmt.Sprintf("%.2f%%", slow[n]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Table4 reproduces the percentage of optimally scheduled nontrivial
+// superblocks per machine and heuristic.
+func (r *Runner) Table4() (*Table, error) {
+	names := append(append([]string(nil), PrimaryNames...), "Best")
+	t := &Table{
+		Title:  "Table 4: percentage of optimally scheduled nontrivial superblocks",
+		Header: append([]string{"machine", "nontrivial"}, names...),
+	}
+	for _, m := range r.Cfg.Machines {
+		results, err := r.Results(m)
+		if err != nil {
+			return nil, err
+		}
+		nontriv := 0
+		optimal := map[string]int{}
+		for _, res := range results {
+			if res.Trivial {
+				continue
+			}
+			nontriv++
+			for _, n := range names {
+				if res.Cost[n] <= res.Bounds.Tightest+1e-9 {
+					optimal[n]++
+				}
+			}
+		}
+		row := []string{m.Name, fmt.Sprintf("%d", nontriv)}
+		for _, n := range names {
+			pct := 0.0
+			if nontriv > 0 {
+				pct = 100 * float64(optimal[n]) / float64(nontriv)
+			}
+			row = append(row, fmt.Sprintf("%.2f%%", pct))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes, "optimal = schedule cost equals the tightest lower bound")
+	return t, nil
+}
+
+// Table5 reproduces the no-profile experiment: heuristics schedule with the
+// synthetic weights (last branch 1000, others 1) and are evaluated against
+// the real exit probabilities. Best keeps using the real probabilities to
+// select among its 127 schedules, as in the paper.
+func (r *Runner) Table5() (*Table, error) {
+	names := append(append([]string(nil), PrimaryNames...), "Best")
+	hs := primaries()
+	t := &Table{
+		Title:  "Table 5: average slowdown with no profiling data (last branch weight 1000)",
+		Header: append([]string{"machine", "trivial(%)"}, names...),
+	}
+	avgs := map[string][]float64{}
+	for _, m := range r.Cfg.Machines {
+		results, err := r.Results(m)
+		if err != nil {
+			return nil, err
+		}
+		var nontrivBound float64
+		var trivialBound, totalBound float64
+		heurCycles := map[string]float64{}
+		perSB := make([]map[string]float64, len(results))
+		err = parallelEach(len(results), func(i int) error {
+			res := results[i]
+			if res.Trivial {
+				return nil
+			}
+			noProf := res.SB.UniformWeights()
+			costs := make(map[string]float64, len(hs)+1)
+			bestCost := -1.0
+			for _, h := range hs {
+				s, _, err := h.Run(noProf, m)
+				if err != nil {
+					return fmt.Errorf("eval: table5 %s: %w", h.Name, err)
+				}
+				// Evaluate against the real probabilities.
+				cost := sched.Cost(res.SB, s)
+				costs[h.Name] = res.dynCycles(cost)
+				if bestCost < 0 || cost < bestCost {
+					bestCost = cost
+				}
+			}
+			// Best: the 127 schedules are built without profile data, but
+			// the paper's Best still selects with the real probabilities.
+			cpSched, _, err := crossProductSchedules(noProf, m)
+			if err != nil {
+				return err
+			}
+			for _, s := range cpSched {
+				if cost := sched.Cost(res.SB, s); cost < bestCost {
+					bestCost = cost
+				}
+			}
+			costs["Best"] = res.dynCycles(bestCost)
+			perSB[i] = costs
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, res := range results {
+			b := res.dynCycles(res.Bounds.Tightest)
+			totalBound += b
+			if res.Trivial {
+				trivialBound += b
+				continue
+			}
+			nontrivBound += b
+			for name, c := range perSB[i] {
+				heurCycles[name] += c
+			}
+		}
+		row := []string{m.Name}
+		if totalBound > 0 {
+			row = append(row, fmt.Sprintf("%.2f", trivialBound/totalBound*100))
+		} else {
+			row = append(row, "0.00")
+		}
+		for _, n := range names {
+			slow := 0.0
+			if nontrivBound > 0 {
+				slow = (heurCycles[n] - nontrivBound) / nontrivBound * 100
+			}
+			row = append(row, fmt.Sprintf("%.2f%%", slow))
+			avgs[n] = append(avgs[n], slow)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	avgRow := []string{"Average", ""}
+	for _, n := range names {
+		avgRow = append(avgRow, fmt.Sprintf("%.2f%%", mean(avgs[n])))
+	}
+	t.Rows = append(t.Rows, avgRow)
+	return t, nil
+}
+
+// Table6 reproduces the heuristic-complexity comparison: average and median
+// work counters per schedule for each heuristic, plus the Balance light-
+// update variant.
+func (r *Runner) Table6() (*Table, error) {
+	names := append(append([]string(nil), PrimaryNames...), "Balance-light")
+	light := core.DefaultConfig()
+	light.Update = core.UpdateLight
+	lightH := core.Balance(light)
+
+	work := map[string][]float64{}
+	for _, m := range r.Cfg.Machines {
+		results, err := r.Results(m)
+		if err != nil {
+			return nil, err
+		}
+		for _, res := range results {
+			for _, n := range PrimaryNames {
+				st := res.Stats[n]
+				work[n] = append(work[n], float64(st.Total()))
+			}
+			_, st, err := lightH.Run(res.SB, m)
+			if err != nil {
+				return nil, err
+			}
+			work["Balance-light"] = append(work["Balance-light"], float64(st.Total()))
+		}
+	}
+	t := &Table{
+		Title:  "Table 6: computational complexity of the scheduling heuristics (work counters per superblock)",
+		Header: []string{"heuristic", "average", "median"},
+	}
+	for _, n := range names {
+		t.Rows = append(t.Rows, []string{
+			n,
+			fmt.Sprintf("%.2f", mean(work[n])),
+			fmt.Sprintf("%.0f", percentile(work[n], 0.5)),
+		})
+	}
+	t.Notes = append(t.Notes, "Balance-light uses the incremental (light) dynamic-bound update")
+	return t, nil
+}
+
+// Table7 reproduces the Balance component ablation: slowdown on nontrivial
+// superblocks for each combination of {Help, HlpDel} × {Bound} × {Tradeoff}
+// under per-operation and per-cycle bound updates, averaged over machines.
+func (r *Runner) Table7() (*Table, error) {
+	type variant struct {
+		label string
+		cfg   core.Config
+	}
+	mk := func(helpDelay, useBounds, tradeoff bool, upd core.UpdateMode) core.Config {
+		return core.Config{HelpDelay: helpDelay, UseBounds: useBounds, Tradeoff: tradeoff, Update: upd}
+	}
+	columns := []struct {
+		label                string
+		helpDelay, useBounds bool
+		tradeoff             bool
+	}{
+		{"Help", false, false, false},
+		{"Help+Bound", false, true, false},
+		{"HlpDel+Bound", true, true, false},
+		{"HlpDel+Bound+Tradeoff (Balance)", true, true, true},
+	}
+	t := &Table{
+		Title:  "Table 7: impact of Balance components (avg slowdown on nontrivial superblocks, %)",
+		Header: []string{"update"},
+	}
+	for _, c := range columns {
+		t.Header = append(t.Header, c.label)
+	}
+	for _, upd := range []struct {
+		label string
+		mode  core.UpdateMode
+	}{{"per op", core.UpdatePerOp}, {"per cycle", core.UpdatePerCycle}} {
+		row := []string{upd.label}
+		for _, col := range columns {
+			v := variant{col.label, mk(col.helpDelay, col.useBounds, col.tradeoff, upd.mode)}
+			slowdowns, err := r.variantSlowdown(v.cfg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.2f%%", slowdowns))
+			_ = v
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// variantSlowdown runs one Balance variant over the whole corpus and
+// returns its average slowdown on nontrivial superblocks across machines.
+func (r *Runner) variantSlowdown(cfg core.Config) (float64, error) {
+	h := core.Balance(cfg)
+	var perMachine []float64
+	for _, m := range r.Cfg.Machines {
+		results, err := r.Results(m)
+		if err != nil {
+			return 0, err
+		}
+		costs := make([]float64, len(results))
+		err = parallelEach(len(results), func(i int) error {
+			res := results[i]
+			if res.Trivial {
+				return nil
+			}
+			s, _, err := h.Run(res.SB, m)
+			if err != nil {
+				return err
+			}
+			costs[i] = res.dynCycles(sched.Cost(res.SB, s))
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		var bound, cycles float64
+		for i, res := range results {
+			if res.Trivial {
+				continue
+			}
+			bound += res.dynCycles(res.Bounds.Tightest)
+			cycles += costs[i]
+		}
+		if bound > 0 {
+			perMachine = append(perMachine, (cycles-bound)/bound*100)
+		}
+	}
+	return mean(perMachine), nil
+}
+
+// crossProductSchedules returns all 121 cross-product schedules (used by
+// Table 5, which must select among them with different weights than they
+// were built with).
+func crossProductSchedules(sb *model.Superblock, m *model.Machine) ([]*sched.Schedule, sched.Stats, error) {
+	return heuristics.CrossProductAll(sb, m)
+}

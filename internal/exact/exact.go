@@ -1,0 +1,309 @@
+// Package exact finds provably optimal superblock schedules by exhaustive
+// branch-and-bound search. It exists as ground truth for tests and small
+// case studies: every lower bound must be ≤ the optimum it returns, and no
+// heuristic may beat it. It is exponential and intended for graphs of up to
+// roughly 20 operations.
+package exact
+
+import (
+	"errors"
+	"math"
+
+	"balance/internal/model"
+	"balance/internal/sched"
+)
+
+// ErrBudget is returned when the search exceeds its node budget.
+var ErrBudget = errors.New("exact: node budget exhausted")
+
+// DefaultMaxNodes is the default search budget.
+const DefaultMaxNodes = 5_000_000
+
+type solver struct {
+	sb *model.Superblock
+	m  *model.Machine
+	g  *model.Graph
+
+	maxNodes int
+	nodes    int
+	overrun  bool
+	horizon  int
+
+	best      float64
+	bestSched []int
+
+	issue     []int
+	predsLeft []int
+	readyAt   []int
+	usedStack [][]int // per cycle, per kind usage
+	dynEarly  []int   // scratch for the pruning bound
+}
+
+// Optimal returns a schedule minimizing the weighted completion time of the
+// superblock on the machine, together with its cost. maxNodes caps the
+// search (≤ 0 uses DefaultMaxNodes); ErrBudget is returned on overrun.
+func Optimal(sb *model.Superblock, m *model.Machine, maxNodes int) (*sched.Schedule, float64, error) {
+	if maxNodes <= 0 {
+		maxNodes = DefaultMaxNodes
+	}
+	n := sb.G.NumOps()
+	s := &solver{
+		sb:        sb,
+		m:         m,
+		g:         sb.G,
+		maxNodes:  maxNodes,
+		best:      math.Inf(1),
+		issue:     make([]int, n),
+		predsLeft: make([]int, n),
+		readyAt:   make([]int, n),
+		dynEarly:  make([]int, n),
+		horizon:   sched.Horizon(sb) + 1,
+	}
+	for v := 0; v < n; v++ {
+		s.issue[v] = -1
+		s.predsLeft[v] = len(sb.G.Preds(v))
+	}
+	// Seed the incumbent with a critical-path list schedule so pruning has
+	// a finite target from the start.
+	heights := sched.IntsToFloats(sb.G.Heights())
+	if seed, _, err := sched.ListSchedule(sb, m, heights); err == nil {
+		s.best = sched.Cost(sb, seed)
+		s.bestSched = append([]int(nil), seed.Cycle...)
+	}
+	s.dfs(0, 0, 0)
+	if s.bestSched == nil {
+		return nil, 0, errors.New("exact: no schedule found")
+	}
+	if s.overrun {
+		return &sched.Schedule{Cycle: s.bestSched}, s.best, ErrBudget
+	}
+	return &sched.Schedule{Cycle: s.bestSched}, s.best, nil
+}
+
+// branchesDone reports whether every exit branch has been issued.
+func (s *solver) branchesDone() bool {
+	for _, b := range s.sb.Branches {
+		if s.issue[b] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// completeRest finishes the partial schedule greedily (the cost is already
+// fixed once all branches are placed) and updates the incumbent.
+func (s *solver) completeRest(cycle int) {
+	cost := 0.0
+	for i, b := range s.sb.Branches {
+		cost += s.sb.Prob[i] * float64(s.issue[b]+model.BranchLatency)
+	}
+	if cost >= s.best {
+		return
+	}
+	n := s.g.NumOps()
+	issue := append([]int(nil), s.issue...)
+	predsLeft := append([]int(nil), s.predsLeft...)
+	readyAt := append([]int(nil), s.readyAt...)
+	used := make(map[int][]int)
+	usage := func(c int) []int {
+		if row, ok := used[c]; ok {
+			return row
+		}
+		row := make([]int, s.m.Kinds())
+		if c < len(s.usedStack) {
+			copy(row, s.usedStack[c])
+		}
+		used[c] = row
+		return row
+	}
+	remaining := 0
+	for v := 0; v < n; v++ {
+		if issue[v] < 0 {
+			remaining++
+		}
+	}
+	for c := cycle; remaining > 0; c++ {
+		for v := 0; v < n; v++ {
+			if issue[v] >= 0 || predsLeft[v] > 0 || readyAt[v] > c {
+				continue
+			}
+			cls := s.g.Op(v).Class
+			k := s.m.KindOf(cls)
+			occ := s.m.Occupancy(cls)
+			fits := true
+			for t := c; t < c+occ; t++ {
+				if usage(t)[k] >= s.m.Capacity(k) {
+					fits = false
+					break
+				}
+			}
+			if !fits {
+				continue
+			}
+			issue[v] = c
+			for t := c; t < c+occ; t++ {
+				usage(t)[k]++
+			}
+			remaining--
+			for _, e := range s.g.Succs(v) {
+				predsLeft[e.To]--
+				if t := c + e.Lat; t > readyAt[e.To] {
+					readyAt[e.To] = t
+				}
+			}
+		}
+	}
+	s.best = cost
+	s.bestSched = append(s.bestSched[:0], issue...)
+}
+
+// used returns the usage row for the given cycle, growing the stack lazily.
+func (s *solver) used(cycle int) []int {
+	for cycle >= len(s.usedStack) {
+		s.usedStack = append(s.usedStack, make([]int, s.m.Kinds()))
+	}
+	return s.usedStack[cycle]
+}
+
+// fitsOp reports whether op v can hold its unit from cycle through its
+// occupancy window.
+func (s *solver) fitsOp(v, cycle int) bool {
+	c := s.g.Op(v).Class
+	k := s.m.KindOf(c)
+	for t := cycle; t < cycle+s.m.Occupancy(c); t++ {
+		if s.used(t)[k] >= s.m.Capacity(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// holdOp marks v's occupancy window busy (delta +1) or free (delta -1).
+func (s *solver) holdOp(v, cycle, delta int) {
+	c := s.g.Op(v).Class
+	k := s.m.KindOf(c)
+	for t := cycle; t < cycle+s.m.Occupancy(c); t++ {
+		s.used(t)[k] += delta
+	}
+}
+
+// lowerBound computes a dependence-based lower bound on the final cost of
+// any completion of the current partial schedule: unscheduled ops issue no
+// earlier than max(cycle, dependence-ready time).
+func (s *solver) lowerBound(cycle int) float64 {
+	for _, v := range s.g.Topo() {
+		if s.issue[v] >= 0 {
+			s.dynEarly[v] = s.issue[v]
+			continue
+		}
+		e := cycle
+		if s.readyAt[v] > e {
+			e = s.readyAt[v]
+		}
+		for _, p := range s.g.Preds(v) {
+			if s.issue[p.To] < 0 {
+				if t := s.dynEarly[p.To] + p.Lat; t > e {
+					e = t
+				}
+			}
+		}
+		s.dynEarly[v] = e
+	}
+	total := 0.0
+	for i, b := range s.sb.Branches {
+		total += s.sb.Prob[i] * float64(s.dynEarly[b]+model.BranchLatency)
+	}
+	return total
+}
+
+// dfs explores all schedules. Within a cycle, ops are added in increasing
+// ID order (minID) to avoid enumerating permutations; "advance cycle" is
+// always an alternative so idle slots are explored too.
+func (s *solver) dfs(cycle, minID, done int) {
+	if s.overrun {
+		return
+	}
+	s.nodes++
+	if s.nodes > s.maxNodes {
+		s.overrun = true
+		return
+	}
+	if cycle > s.horizon {
+		// Every schedule has an equal-cost counterpart within the serial
+		// horizon, so deeper exploration cannot improve the incumbent.
+		return
+	}
+	n := s.g.NumOps()
+	if done == n {
+		cost := 0.0
+		for i, b := range s.sb.Branches {
+			cost += s.sb.Prob[i] * float64(s.issue[b]+model.BranchLatency)
+		}
+		if cost < s.best {
+			s.best = cost
+			s.bestSched = append(s.bestSched[:0], s.issue...)
+		}
+		return
+	}
+	if s.branchesDone() {
+		// Remaining ops cannot change the cost; complete greedily so the
+		// incumbent is a full legal schedule, then stop this subtree.
+		s.completeRest(cycle)
+		return
+	}
+	if s.lowerBound(cycle) >= s.best {
+		return
+	}
+	// Try scheduling each eligible op with ID ≥ minID in this cycle.
+	anyCandidate := false
+	for v := minID; v < n; v++ {
+		if s.issue[v] >= 0 || s.predsLeft[v] > 0 || s.readyAt[v] > cycle {
+			continue
+		}
+		if !s.fitsOp(v, cycle) {
+			continue
+		}
+		anyCandidate = true
+		// Place v.
+		s.issue[v] = cycle
+		s.holdOp(v, cycle, 1)
+		type undo struct{ to, prev int }
+		var undos [16]undo
+		un := undos[:0]
+		for _, e := range s.g.Succs(v) {
+			s.predsLeft[e.To]--
+			un = append(un, undo{e.To, s.readyAt[e.To]})
+			if t := cycle + e.Lat; t > s.readyAt[e.To] {
+				s.readyAt[e.To] = t
+			}
+		}
+		s.dfs(cycle, v+1, done+1)
+		// Unplace v.
+		for i := len(un) - 1; i >= 0; i-- {
+			s.readyAt[un[i].to] = un[i].prev
+			s.predsLeft[un[i].to]++
+		}
+		s.holdOp(v, cycle, -1)
+		s.issue[v] = -1
+	}
+	// Advance to the next cycle. Skipping ahead is only useful when work
+	// remains; recursion depth is bounded because readyAt of some
+	// unscheduled op always exceeds the current cycle eventually.
+	next := cycle + 1
+	if !anyCandidate && minID == 0 {
+		// Nothing can issue now: jump straight to the next cycle where
+		// something becomes ready to keep the search shallow.
+		soonest := -1
+		for v := 0; v < n; v++ {
+			if s.issue[v] < 0 && s.predsLeft[v] == 0 {
+				if soonest < 0 || s.readyAt[v] < soonest {
+					soonest = s.readyAt[v]
+				}
+			}
+		}
+		if soonest > next {
+			next = soonest
+		}
+	}
+	s.dfs(next, 0, done)
+}

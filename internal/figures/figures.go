@@ -1,0 +1,155 @@
+// Package figures reconstructs the worked examples of Figures 1-4 of the
+// paper. The published figures are only partially specified in the text, so
+// each graph here is rebuilt from the quantitative facts the paper states
+// about it (predecessor counts, dependence-chain lengths, resource bounds,
+// and the cycles the discussed schedules achieve); the accompanying tests
+// assert those facts against this implementation. All four examples target
+// the two-issue general-purpose machine (GP2).
+package figures
+
+import "balance/internal/model"
+
+// Figure1 is the running example of Sections 1-2: a two-block superblock
+// whose side exit (op 3) has three independent integer predecessors and
+// whose final exit (op 16) has 16 predecessors including a 7-cycle
+// dependence chain. On GP2:
+//
+//   - EarlyDC[br16] = 7, but resources force br16 ≥ 8 — a one-cycle gap
+//     "just large enough to schedule branch 3 early without delaying
+//     branch 16";
+//   - Critical Path scheduling issues br16 at 8 but delays br3 by 4 cycles
+//     (to cycle 6);
+//   - Successive Retirement achieves the optimum: br3 at 2 and br16 at 8.
+//
+// sideProb is the side exit's taken probability (the paper's examples leave
+// it symbolic).
+func Figure1(sideProb float64) *model.Superblock {
+	b := model.NewBuilder("figure1")
+	o0 := b.Int()
+	o1 := b.Int()
+	o2 := b.Int()
+	br3 := b.Branch(sideProb, o0, o1, o2) // op 3
+
+	// Chain c1..c7 = ops 4..10.
+	c1 := b.Int()
+	c2 := b.Int(c1)
+	c3 := b.Int(c2)
+	c4 := b.Int(c3)
+	c5 := b.Int(c4)
+	c6 := b.Int(c5)
+	c7 := b.Int(c6)
+	// Fillers with enough height that Critical Path prefers them over the
+	// first block: 11 -> c5, 12 -> c6, 13 -> c7.
+	f11 := b.Int()
+	b.Dep(f11, c5)
+	f12 := b.Int()
+	b.Dep(f12, c6)
+	f13 := b.Int()
+	b.Dep(f13, c7)
+	// Short fillers feeding the final exit directly.
+	f14 := b.Int()
+	f15 := b.Int()
+	br16 := b.Branch(0, c7, f14, f15) // op 16, absorbs remaining probability
+	_ = br3
+	_ = br16
+	return b.MustBuild()
+}
+
+// Figure2 is Observation 1's example: help-based heuristics give ops 0-2
+// top priority because they help both branches, but branch 6 specifically
+// needs op 4 in cycle 0 (it starts a three-cycle chain 4 -> 5 -> br6, with
+// a two-cycle latency on 4 -> 5). On GP2 the optimum issues br3 at 2 and
+// br6 at 3; scheduling {0,1} first delays br6 to 4.
+func Figure2(sideProb float64) *model.Superblock {
+	b := model.NewBuilder("figure2")
+	o0 := b.Int()
+	o1 := b.Int()
+	o2 := b.Int()
+	b.Branch(sideProb, o0, o1, o2) // op 3
+	o4 := b.Int()
+	o5 := b.AddOp(model.Int)
+	b.DepLatency(o4, o5, 2)
+	b.Branch(0, o5) // op 6
+	return b.MustBuild()
+}
+
+// Figure3 is Observation 2's example: the dependence-only distance from op
+// 4 to branch 9 is four cycles, but ops 6, 7 and 8 cannot share a cycle on
+// GP2, so the true minimum separation is five — branch 9 needs op 4 in
+// cycle 0 even though no dependence chain says so. EarlyRC[br9] = 5 and the
+// optimum issues br3 at 2 and br9 at 5.
+func Figure3(sideProb float64) *model.Superblock {
+	b := model.NewBuilder("figure3")
+	o0 := b.Int()
+	o1 := b.Int()
+	o2 := b.Int()
+	b.Branch(sideProb, o0, o1, o2) // op 3
+	o4 := b.Int()
+	o5 := b.AddOp(model.Int)
+	b.DepLatency(o4, o5, 2)
+	o6 := b.Int(o5)
+	o7 := b.Int(o5)
+	o8 := b.Int(o5)
+	b.Branch(0, o6, o7, o8) // op 9
+	return b.MustBuild()
+}
+
+// Figure4 is Observation 3's example: a variant of Figure 1 (ops 1 and 2
+// now form a chain with op 0, and the fillers feed the head of the long
+// chain) in which the two exits genuinely compete. On GP2:
+//
+//   - issuing br16 at its bound (cycle 8) forces br3 to cycle 5 or later;
+//   - issuing br3 at its bound (cycle 2) forces br16 to cycle 9 or later;
+//   - the optimal schedule therefore depends on the side exit probability
+//     P, with the crossover at P = w16/(w16+3·w3) = 25%.
+//
+// The pairwise bound exposes exactly this tradeoff.
+func Figure4(sideProb float64) *model.Superblock {
+	b := model.NewBuilder("figure4")
+	o0 := b.Int()
+	o1 := b.Int()
+	o2 := b.Int(o0, o1)
+	b.Branch(sideProb, o2) // op 3
+
+	c1 := b.Int()
+	c2 := b.Int(c1)
+	c3 := b.Int(c2)
+	c4 := b.Int(c3)
+	c5 := b.Int(c4)
+	c6 := b.Int(c5)
+	c7 := b.Int(c6)
+	// Fillers with tight deadlines at the head of the chain.
+	f11 := b.Int()
+	b.Dep(f11, c2)
+	f12 := b.Int()
+	b.Dep(f12, c3)
+	f13 := b.Int()
+	b.Dep(f13, c4)
+	f14 := b.Int()
+	f15 := b.Int()
+	b.Branch(0, c7, f14, f15) // op 16
+	return b.MustBuild()
+}
+
+// Figure6 is the ERC example of Section 5.1: branch 8 has eight
+// predecessors on GP2, so the flat ⌈8/2⌉ bound allows cycle 4, but five of
+// them must issue within the first two cycles (four slots), forcing branch
+// 8 to cycle 5. The paper's drawing is not reproduced in the text; this
+// graph preserves the stated property that a windowed elementary resource
+// constraint (ERC) is tighter than the flat count bound.
+//
+// Structure: op 0 feeds the branch directly; ops 1-5 all feed op 6, whose
+// chain 6 -> 7 -> br8 gives them a late time of 1 when br8 targets cycle 4.
+func Figure6() *model.Superblock {
+	b := model.NewBuilder("figure6")
+	o0 := b.Int()
+	o1 := b.Int()
+	o2 := b.Int()
+	o3 := b.Int()
+	o4 := b.Int()
+	o5 := b.Int()
+	o6 := b.Int(o1, o2, o3, o4, o5)
+	o7 := b.Int(o6)
+	b.Branch(0, o0, o7)
+	return b.MustBuild()
+}

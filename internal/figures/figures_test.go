@@ -1,0 +1,97 @@
+package figures
+
+import (
+	"testing"
+
+	"balance/internal/model"
+)
+
+func TestAllFiguresValid(t *testing.T) {
+	cases := []*model.Superblock{
+		Figure1(0.25), Figure2(0.3), Figure3(0.2), Figure4(0.26), Figure6(),
+	}
+	for _, sb := range cases {
+		if err := sb.Validate(); err != nil {
+			t.Errorf("%s: %v", sb.Name, err)
+		}
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	sb := Figure1(0.25)
+	if sb.G.NumOps() != 17 {
+		t.Errorf("figure 1 has %d ops, want 17", sb.G.NumOps())
+	}
+	if sb.NumBranches() != 2 {
+		t.Fatalf("figure 1 has %d exits", sb.NumBranches())
+	}
+	// The paper: br16 has 16 predecessors and a dependence height of 7.
+	last := sb.Branches[1]
+	if n := sb.G.PredClosure(last).Count(); n != 16 {
+		t.Errorf("final exit has %d predecessors, want 16", n)
+	}
+	if e := sb.G.EarlyDC()[last]; e != 7 {
+		t.Errorf("final exit dependence early = %d, want 7", e)
+	}
+	// The side exit has three independent predecessors.
+	side := sb.Branches[0]
+	if n := sb.G.PredClosure(side).Count(); n != 3 {
+		t.Errorf("side exit has %d predecessors, want 3", n)
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	sb := Figure2(0.3)
+	// Branch 6 has 6 predecessors; op 4 starts a 3-cycle chain to it.
+	last := sb.Branches[1]
+	if n := sb.G.PredClosure(last).Count(); n != 6 {
+		t.Errorf("final exit has %d predecessors, want 6", n)
+	}
+	dist := sb.G.LongestToTarget(last)
+	if dist[4] != 3 {
+		t.Errorf("chain 4->br6 = %d cycles, want 3", dist[4])
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	sb := Figure3(0.2)
+	last := sb.Branches[1]
+	if n := sb.G.PredClosure(last).Count(); n != 9 {
+		t.Errorf("final exit has %d predecessors, want 9", n)
+	}
+	// The paper: the longest dependence chain 4 -> br9 is only 4 cycles.
+	dist := sb.G.LongestToTarget(last)
+	if dist[4] != 4 {
+		t.Errorf("dependence distance 4->br9 = %d, want 4", dist[4])
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	sb := Figure4(0.26)
+	if sb.G.NumOps() != 17 {
+		t.Errorf("figure 4 has %d ops, want 17", sb.G.NumOps())
+	}
+	last := sb.Branches[1]
+	if n := sb.G.PredClosure(last).Count(); n != 16 {
+		t.Errorf("final exit has %d predecessors, want 16", n)
+	}
+	if e := sb.G.EarlyDC()[last]; e != 7 {
+		t.Errorf("final exit dependence early = %d, want 7", e)
+	}
+	// Block 1 is now a chain: EarlyDC of the side exit is still 2 but its
+	// three predecessors are no longer independent.
+	side := sb.Branches[0]
+	if e := sb.G.EarlyDC()[side]; e != 2 {
+		t.Errorf("side exit dependence early = %d, want 2", e)
+	}
+	if len(sb.G.Preds(2)) != 2 {
+		t.Errorf("op 2 should depend on ops 0 and 1")
+	}
+}
+
+func TestFigureProbabilities(t *testing.T) {
+	sb := Figure1(0.3)
+	if sb.Prob[0] != 0.3 || sb.Prob[1] != 0.7 {
+		t.Errorf("probabilities = %v", sb.Prob)
+	}
+}

@@ -1,0 +1,314 @@
+// Package gen synthesizes superblock corpora that stand in for the paper's
+// SPECint95 superblocks (produced there by the IMPACT/Elcor/LEGO tool
+// chain, which is not available). Each benchmark has a profile controlling
+// superblock counts, size and block-count distributions, operation mix,
+// dependence density and chain structure, side-exit probabilities, and
+// dynamic execution frequencies. Generation is fully deterministic given a
+// seed, so every table and figure of the evaluation is reproducible.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"balance/internal/model"
+)
+
+// Profile describes one synthetic benchmark.
+type Profile struct {
+	// Name of the benchmark ("gcc", "compress", ...).
+	Name string
+	// Count is the number of superblocks at scale 1.
+	Count int
+	// OpMean and OpSigma parameterize the lognormal distribution of
+	// non-branch operation counts; OpMax clamps the tail.
+	OpMean  float64
+	OpSigma float64
+	OpMax   int
+	// BlockMean is the mean number of basic blocks (exits) per superblock;
+	// MaxBranches clamps it.
+	BlockMean   float64
+	MaxBranches int
+	// MemFrac and FloatFrac give the fraction of memory and floating-point
+	// operations (SPECint95 is integer-dominated, so FloatFrac is small).
+	MemFrac   float64
+	FloatFrac float64
+	// DepGeom is the parameter of the recency-geometric used to pick
+	// dependence sources: larger values produce tighter, chainier graphs
+	// (less ILP); smaller values produce wide, parallel graphs.
+	DepGeom float64
+	// DepMean is the mean number of incoming dependences per operation.
+	DepMean float64
+	// SideTakenMean is the mean taken probability of a side exit.
+	SideTakenMean float64
+	// FreqAlpha is the Pareto shape of the dynamic execution frequency
+	// (smaller = heavier tail).
+	FreqAlpha float64
+	// SpineFrac is the fraction of each block's operations that join the
+	// block's "spine": a dependence chain that ends at the block's branch
+	// (the compare feeding the exit). Spines give every branch a realistic
+	// dependence height and make the block's work actually matter to it.
+	SpineFrac float64
+	// BranchFan is the number of additional non-spine operations the
+	// block-ending branch depends on (0-2).
+	BranchFan int
+}
+
+// SPECint95 returns the eight benchmark profiles, loosely calibrated to the
+// corpus statistics the paper reports (6615 superblocks across SPECint95,
+// integer-dominated, with a heavy tail of large superblocks). Counts are
+// scaled down by default; pass a larger scale to Generate for bigger runs.
+func SPECint95() []Profile {
+	return []Profile{
+		{Name: "099.go", Count: 110, OpMean: 26, OpSigma: 0.8, OpMax: 220, BlockMean: 3.4, MaxBranches: 24, MemFrac: 0.22, FloatFrac: 0.00, DepGeom: 0.35, DepMean: 1.3, SideTakenMean: 0.22, SpineFrac: 0.45, BranchFan: 2, FreqAlpha: 1.1},
+		{Name: "124.m88ksim", Count: 90, OpMean: 18, OpSigma: 0.7, OpMax: 140, BlockMean: 2.8, MaxBranches: 16, MemFrac: 0.28, FloatFrac: 0.01, DepGeom: 0.40, DepMean: 1.4, SideTakenMean: 0.18, SpineFrac: 0.5, BranchFan: 1, FreqAlpha: 1.0},
+		{Name: "126.gcc", Count: 210, OpMean: 30, OpSigma: 0.9, OpMax: 300, BlockMean: 3.8, MaxBranches: 32, MemFrac: 0.30, FloatFrac: 0.00, DepGeom: 0.32, DepMean: 1.3, SideTakenMean: 0.20, SpineFrac: 0.4, BranchFan: 2, FreqAlpha: 1.2},
+		{Name: "129.compress", Count: 45, OpMean: 14, OpSigma: 0.6, OpMax: 90, BlockMean: 2.4, MaxBranches: 10, MemFrac: 0.26, FloatFrac: 0.00, DepGeom: 0.45, DepMean: 1.5, SideTakenMean: 0.25, SpineFrac: 0.55, BranchFan: 1, FreqAlpha: 0.9},
+		{Name: "130.li", Count: 80, OpMean: 16, OpSigma: 0.7, OpMax: 120, BlockMean: 2.6, MaxBranches: 14, MemFrac: 0.32, FloatFrac: 0.00, DepGeom: 0.42, DepMean: 1.4, SideTakenMean: 0.20, SpineFrac: 0.5, BranchFan: 1, FreqAlpha: 1.0},
+		{Name: "132.ijpeg", Count: 85, OpMean: 24, OpSigma: 0.8, OpMax: 200, BlockMean: 2.9, MaxBranches: 18, MemFrac: 0.24, FloatFrac: 0.04, DepGeom: 0.30, DepMean: 1.2, SideTakenMean: 0.15, SpineFrac: 0.35, BranchFan: 2, FreqAlpha: 1.1},
+		{Name: "134.perl", Count: 100, OpMean: 22, OpSigma: 0.8, OpMax: 180, BlockMean: 3.2, MaxBranches: 20, MemFrac: 0.30, FloatFrac: 0.00, DepGeom: 0.36, DepMean: 1.4, SideTakenMean: 0.22, SpineFrac: 0.45, BranchFan: 2, FreqAlpha: 1.1},
+		{Name: "147.vortex", Count: 120, OpMean: 20, OpSigma: 0.8, OpMax: 160, BlockMean: 3.0, MaxBranches: 18, MemFrac: 0.34, FloatFrac: 0.00, DepGeom: 0.38, DepMean: 1.3, SideTakenMean: 0.18, SpineFrac: 0.5, BranchFan: 1, FreqAlpha: 1.2},
+	}
+}
+
+// ProfileByName returns the named SPECint95 profile.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range SPECint95() {
+		if p.Name == name || shortName(p.Name) == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("gen: unknown benchmark %q", name)
+}
+
+// shortName strips the SPEC number prefix ("126.gcc" -> "gcc").
+func shortName(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '.' {
+			return name[i+1:]
+		}
+	}
+	return name
+}
+
+// Generate produces the profile's superblocks at the given scale (scale 1 =
+// Profile.Count superblocks; 0 < scale). Generation is deterministic in
+// (profile name, seed, scale).
+func Generate(p Profile, seed int64, scale float64) []*model.Superblock {
+	if scale <= 0 {
+		scale = 1
+	}
+	count := int(math.Round(float64(p.Count) * scale))
+	if count < 1 {
+		count = 1
+	}
+	out := make([]*model.Superblock, 0, count)
+	base := rand.New(rand.NewSource(seed ^ int64(hashString(p.Name))))
+	for i := 0; i < count; i++ {
+		sbSeed := base.Int63()
+		out = append(out, generateOne(p, i, sbSeed))
+	}
+	return out
+}
+
+// Suite bundles the superblocks of several benchmarks.
+type Suite struct {
+	// Benchmarks maps benchmark name to its superblocks.
+	Benchmarks map[string][]*model.Superblock
+	// Order lists benchmark names in canonical order.
+	Order []string
+}
+
+// All returns every superblock of the suite in canonical order.
+func (s *Suite) All() []*model.Superblock {
+	var out []*model.Superblock
+	for _, name := range s.Order {
+		out = append(out, s.Benchmarks[name]...)
+	}
+	return out
+}
+
+// NumSuperblocks returns the total superblock count.
+func (s *Suite) NumSuperblocks() int {
+	n := 0
+	for _, sbs := range s.Benchmarks {
+		n += len(sbs)
+	}
+	return n
+}
+
+// GenerateSuite generates all eight SPECint95 profiles.
+func GenerateSuite(seed int64, scale float64) *Suite {
+	s := &Suite{Benchmarks: make(map[string][]*model.Superblock)}
+	for _, p := range SPECint95() {
+		s.Benchmarks[p.Name] = Generate(p, seed, scale)
+		s.Order = append(s.Order, p.Name)
+	}
+	return s
+}
+
+// generateOne builds one superblock.
+func generateOne(p Profile, index int, seed int64) *model.Superblock {
+	rng := rand.New(rand.NewSource(seed))
+	b := model.NewBuilder(fmt.Sprintf("%s/sb%04d", p.Name, index))
+
+	// Size: lognormal op count.
+	nOps := int(math.Exp(math.Log(p.OpMean) + p.OpSigma*rng.NormFloat64()))
+	if nOps < 2 {
+		nOps = 2
+	}
+	if nOps > p.OpMax {
+		nOps = p.OpMax
+	}
+	// Blocks: 1 + geometric with the given mean.
+	nBlocks := 1
+	for nBlocks < p.MaxBranches && rng.Float64() < 1-1/p.BlockMean {
+		nBlocks++
+	}
+	if nBlocks > nOps {
+		nBlocks = nOps
+	}
+
+	// Side-exit taken probabilities and the resulting exit probabilities:
+	// exit i is reached with probability Π_{j<i}(1-t_j), and taken with
+	// probability t_i.
+	reach := 1.0
+	exitProb := make([]float64, nBlocks)
+	for i := 0; i < nBlocks-1; i++ {
+		taken := p.SideTakenMean * rng.ExpFloat64()
+		if taken > 0.85 {
+			taken = 0.85
+		}
+		exitProb[i] = reach * taken
+		reach *= 1 - taken
+	}
+	exitProb[nBlocks-1] = reach
+
+	// Distribute ops over blocks, front-loaded slightly (superblock
+	// formation grows hot traces from the top).
+	opsPerBlock := make([]int, nBlocks)
+	left := nOps
+	for blk := 0; blk < nBlocks; blk++ {
+		share := left / (nBlocks - blk)
+		jitter := 0
+		if share > 1 {
+			jitter = rng.Intn(share)
+		}
+		n := share + jitter/2
+		if n < 1 {
+			n = 1
+		}
+		if blk == nBlocks-1 || n > left-(nBlocks-blk-1) {
+			n = left - (nBlocks - blk - 1)
+		}
+		opsPerBlock[blk] = n
+		left -= n
+	}
+
+	var ids []int
+	for blk := 0; blk < nBlocks; blk++ {
+		spine := -1 // most recent spine op of this block
+		for i := 0; i < opsPerBlock[blk]; i++ {
+			id := b.AddOp(sampleClass(rng, p))
+			// Incoming dependences: recency-geometric over earlier ops.
+			nDeps := 0
+			for nDeps < 3 && rng.Float64() < p.DepMean/(p.DepMean+1) {
+				nDeps++
+			}
+			for d := 0; d < nDeps && len(ids) > 0; d++ {
+				b.Dep(ids[pickRecency(rng, len(ids), p.DepGeom)], id)
+			}
+			// A fraction of each block's ops chain into the spine that
+			// ultimately feeds the block's branch.
+			if rng.Float64() < p.SpineFrac {
+				if spine >= 0 {
+					b.Dep(spine, id)
+				}
+				spine = id
+			}
+			ids = append(ids, id)
+		}
+		// The block-ending branch consumes the spine (its compare chain)
+		// plus a few other recent values.
+		var brDeps []int
+		if spine >= 0 {
+			brDeps = append(brDeps, spine)
+		}
+		fan := p.BranchFan
+		if fan <= 0 {
+			fan = 1
+		}
+		for d := 0; d < 1+rng.Intn(fan) && len(ids) > 0; d++ {
+			brDeps = append(brDeps, ids[pickRecency(rng, len(ids), 0.6)])
+		}
+		br := b.Branch(exitProb[blk], brDeps...)
+		ids = append(ids, br)
+	}
+
+	// Pareto-tailed dynamic execution frequency.
+	u := rng.Float64()
+	if u < 1e-9 {
+		u = 1e-9
+	}
+	freq := math.Pow(1/u, 1/p.FreqAlpha)
+	if freq > 1e6 {
+		freq = 1e6
+	}
+	b.SetFreq(freq)
+
+	sb, err := b.Build()
+	if err != nil {
+		// Generation parameters guarantee validity; a failure is a bug.
+		panic(fmt.Sprintf("gen: invalid superblock: %v", err))
+	}
+	return sb
+}
+
+// sampleClass picks an operation class per the profile's mix.
+func sampleClass(rng *rand.Rand, p Profile) model.Class {
+	r := rng.Float64()
+	switch {
+	case r < p.FloatFrac:
+		f := rng.Float64()
+		switch {
+		case f < 0.6:
+			return model.FloatAdd
+		case f < 0.9:
+			return model.FloatMul
+		default:
+			return model.FloatDiv
+		}
+	case r < p.FloatFrac+p.MemFrac:
+		if rng.Float64() < 0.65 {
+			return model.Load
+		}
+		return model.Store
+	default:
+		return model.Int
+	}
+}
+
+// pickRecency returns an index in [0, n) biased toward n-1 with geometric
+// parameter g (larger g = stronger recency bias).
+func pickRecency(rng *rand.Rand, n int, g float64) int {
+	back := 0
+	for back < n-1 && rng.Float64() > g {
+		back++
+	}
+	i := n - 1 - back
+	if i < 0 {
+		i = 0
+	}
+	return i
+}
+
+// hashString is a tiny FNV-1a for deterministic per-profile seeds.
+func hashString(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

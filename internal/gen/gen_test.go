@@ -1,0 +1,151 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"balance/internal/model"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	p, err := ProfileByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Generate(p, 1, 0.1)
+	b := Generate(p, 1, 0.1)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].G.NumOps() != b[i].G.NumOps() || a[i].Freq != b[i].Freq {
+			t.Fatalf("superblock %d differs between identical generations", i)
+		}
+		for v := 0; v < a[i].G.NumOps(); v++ {
+			if a[i].G.Op(v).Class != b[i].G.Op(v).Class {
+				t.Fatalf("superblock %d op %d class differs", i, v)
+			}
+		}
+	}
+	c := Generate(p, 2, 0.1)
+	same := true
+	for i := range a {
+		if i < len(c) && a[i].G.NumOps() != c[i].G.NumOps() {
+			same = false
+		}
+	}
+	if same && len(a) == len(c) {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestGeneratedSuperblocksValid(t *testing.T) {
+	s := GenerateSuite(7, 0.2)
+	if s.NumSuperblocks() == 0 {
+		t.Fatal("empty suite")
+	}
+	for name, sbs := range s.Benchmarks {
+		for _, sb := range sbs {
+			if err := sb.Validate(); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+	}
+}
+
+func TestGeneratedStatistics(t *testing.T) {
+	p, _ := ProfileByName("gcc")
+	sbs := Generate(p, 3, 1)
+	totalOps, totalBranches, maxOps, maxBr := 0, 0, 0, 0
+	floatOps, memOps, intOps := 0, 0, 0
+	for _, sb := range sbs {
+		n := sb.G.NumOps()
+		totalOps += n
+		totalBranches += sb.NumBranches()
+		if n > maxOps {
+			maxOps = n
+		}
+		if b := sb.NumBranches(); b > maxBr {
+			maxBr = b
+		}
+		for _, op := range sb.G.Ops() {
+			switch op.Class.Resource() {
+			case model.ResFloat:
+				floatOps++
+			case model.ResMem:
+				memOps++
+			case model.ResInt:
+				intOps++
+			}
+		}
+	}
+	avgOps := float64(totalOps) / float64(len(sbs))
+	if avgOps < 10 || avgOps > 80 {
+		t.Errorf("gcc average ops = %v, implausible", avgOps)
+	}
+	if maxBr < 4 {
+		t.Errorf("gcc max branches = %d, expected multi-exit superblocks", maxBr)
+	}
+	if floatOps > intOps/5 {
+		t.Errorf("SPECint-like corpus has too many float ops: %d float vs %d int", floatOps, intOps)
+	}
+	if memOps == 0 {
+		t.Error("no memory operations generated")
+	}
+}
+
+func TestExitProbabilitiesFormAChain(t *testing.T) {
+	p, _ := ProfileByName("go")
+	for _, sb := range Generate(p, 11, 0.3) {
+		sum := 0.0
+		for _, pr := range sb.Prob {
+			if pr < 0 {
+				t.Fatalf("negative exit probability in %s", sb.Name)
+			}
+			sum += pr
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("%s exit probabilities sum to %v", sb.Name, sum)
+		}
+	}
+}
+
+func TestFrequenciesHeavyTailed(t *testing.T) {
+	p, _ := ProfileByName("perl")
+	sbs := Generate(p, 5, 1)
+	min, max := math.Inf(1), 0.0
+	for _, sb := range sbs {
+		if sb.Freq < min {
+			min = sb.Freq
+		}
+		if sb.Freq > max {
+			max = sb.Freq
+		}
+	}
+	if max/min < 10 {
+		t.Errorf("frequency spread %v..%v too flat for a profiled corpus", min, max)
+	}
+}
+
+func TestProfileByNameForms(t *testing.T) {
+	if _, err := ProfileByName("126.gcc"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ProfileByName("gcc"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Error("accepted unknown benchmark")
+	}
+}
+
+func TestSuiteAllOrdering(t *testing.T) {
+	s := GenerateSuite(1, 0.05)
+	all := s.All()
+	if len(all) != s.NumSuperblocks() {
+		t.Errorf("All() returned %d, suite has %d", len(all), s.NumSuperblocks())
+	}
+	if len(s.Order) != 8 {
+		t.Errorf("suite has %d benchmarks, want 8", len(s.Order))
+	}
+}

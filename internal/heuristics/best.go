@@ -1,0 +1,138 @@
+package heuristics
+
+import (
+	"fmt"
+
+	"balance/internal/model"
+	"balance/internal/sched"
+)
+
+// CrossProductGrid is the per-axis resolution of the CP×SR mixing grid; the
+// paper invokes the list scheduler 121 times, which we reconstruct as the
+// 11×11 grid (α, β) ∈ {0,…,10}² with priority
+// normDHASY + (α/10)·normCP + (β/10)·normSR.
+const CrossProductGrid = 11
+
+// normalize rescales a key to [0, 1] (a constant key becomes all zeros).
+func normalize(key []float64) []float64 {
+	out := make([]float64, len(key))
+	if len(key) == 0 {
+		return out
+	}
+	min, max := key[0], key[0]
+	for _, v := range key {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	span := max - min
+	if span == 0 {
+		return out
+	}
+	for i, v := range key {
+		out[i] = (v - min) / span
+	}
+	return out
+}
+
+// crossKeys returns the three normalized single-float priority functions
+// combined by the cross product: CP (heights), SR (block-major, height
+// minor, flattened into one float), and DHASY.
+func crossKeys(sb *model.Superblock) (cp, sr, dh []float64) {
+	n := sb.G.NumOps()
+	heights := sb.G.Heights()
+	maxH := 0
+	for _, h := range heights {
+		if h > maxH {
+			maxH = h
+		}
+	}
+	cpKey := make([]float64, n)
+	srKey := make([]float64, n)
+	blocks := len(sb.Branches)
+	for v := 0; v < n; v++ {
+		cpKey[v] = float64(heights[v])
+		srKey[v] = float64(blocks-1-sb.Block[v])*float64(maxH+1) + float64(heights[v])
+	}
+	return normalize(cpKey), normalize(srKey), normalize(DHASYPriority(sb))
+}
+
+// CrossProductAll runs the 121 mixed-priority list schedules and returns
+// them all, with accumulated statistics.
+func CrossProductAll(sb *model.Superblock, m *model.Machine) ([]*sched.Schedule, sched.Stats, error) {
+	cpKey, srKey, dhKey := crossKeys(sb)
+	n := sb.G.NumOps()
+	mixed := make([]float64, n)
+	var total sched.Stats
+	out := make([]*sched.Schedule, 0, CrossProductGrid*CrossProductGrid)
+	for a := 0; a < CrossProductGrid; a++ {
+		for b := 0; b < CrossProductGrid; b++ {
+			alpha := float64(a) / float64(CrossProductGrid-1)
+			beta := float64(b) / float64(CrossProductGrid-1)
+			for v := 0; v < n; v++ {
+				mixed[v] = dhKey[v] + alpha*cpKey[v] + beta*srKey[v]
+			}
+			s, stats, err := sched.ListSchedule(sb, m, append([]float64(nil), mixed...))
+			total.Add(&stats)
+			if err != nil {
+				return nil, total, fmt.Errorf("cross product (α=%d β=%d): %w", a, b, err)
+			}
+			out = append(out, s)
+		}
+	}
+	return out, total, nil
+}
+
+// CrossProduct runs the 121 mixed-priority list schedules and returns the
+// cheapest, along with accumulated statistics.
+func CrossProduct(sb *model.Superblock, m *model.Machine) (*sched.Schedule, sched.Stats, error) {
+	all, total, err := CrossProductAll(sb, m)
+	if err != nil {
+		return nil, total, err
+	}
+	var best *sched.Schedule
+	bestCost := 0.0
+	for _, s := range all {
+		if cost := Cost(sb, s); best == nil || cost < bestCost {
+			best, bestCost = s, cost
+		}
+	}
+	return best, total, nil
+}
+
+// Cost is a convenience alias for sched.Cost.
+func Cost(sb *model.Superblock, s *sched.Schedule) float64 { return sched.Cost(sb, s) }
+
+// Best builds the "Best" meta-heuristic over the given primary heuristics:
+// it keeps the cheapest schedule among the primaries plus the 121
+// cross-product schedules (127 schedules when given the paper's six
+// primaries).
+func Best(primaries []Heuristic) Heuristic {
+	return Heuristic{Name: "Best", Run: func(sb *model.Superblock, m *model.Machine) (*sched.Schedule, sched.Stats, error) {
+		var total sched.Stats
+		var best *sched.Schedule
+		bestCost := 0.0
+		for _, h := range primaries {
+			s, stats, err := h.Run(sb, m)
+			total.Add(&stats)
+			if err != nil {
+				return nil, total, fmt.Errorf("best: %s: %w", h.Name, err)
+			}
+			if cost := sched.Cost(sb, s); best == nil || cost < bestCost {
+				best, bestCost = s, cost
+			}
+		}
+		s, stats, err := CrossProduct(sb, m)
+		total.Add(&stats)
+		if err != nil {
+			return nil, total, err
+		}
+		if cost := sched.Cost(sb, s); best == nil || cost < bestCost {
+			best = s
+		}
+		return best, total, nil
+	}}
+}

@@ -1,0 +1,178 @@
+package heuristics
+
+import (
+	"testing"
+
+	"balance/internal/model"
+	"balance/internal/sched"
+)
+
+// all returns the five package heuristics.
+func all() []Heuristic {
+	return []Heuristic{CP(), SR(), GStar(), DHASY(), Help()}
+}
+
+func TestSingleBranchSuperblock(t *testing.T) {
+	b := model.NewBuilder("lone")
+	b.Branch(0)
+	sb := b.MustBuild()
+	for _, m := range model.Machines() {
+		for _, h := range all() {
+			s := runOn(t, h, sb, m)
+			if s.Cycle[0] != 0 {
+				t.Errorf("%s on %s: lone branch at %d", h.Name, m.Name, s.Cycle[0])
+			}
+		}
+	}
+}
+
+func TestBranchOnlySuperblock(t *testing.T) {
+	// Five chained branches and nothing else: the control edges force one
+	// branch per cycle.
+	b := model.NewBuilder("brs")
+	for i := 0; i < 4; i++ {
+		b.Branch(0.1)
+	}
+	b.Branch(0)
+	sb := b.MustBuild()
+	for _, h := range all() {
+		s := runOn(t, h, sb, model.FS4())
+		for i, br := range sb.Branches {
+			if s.Cycle[br] != i {
+				t.Errorf("%s: branch %d at cycle %d", h.Name, i, s.Cycle[br])
+			}
+		}
+	}
+}
+
+func TestZeroProbabilitySideExits(t *testing.T) {
+	b := model.NewBuilder("zero")
+	o0 := b.Int()
+	b.Branch(0, o0) // never taken
+	o1 := b.Int()
+	b.Branch(0, o1)
+	sb := b.MustBuild()
+	for _, h := range all() {
+		s := runOn(t, h, sb, model.GP1())
+		// Cost counts only the final exit; any legal schedule with the
+		// final exit ASAP is optimal. Final exit: ops serialized on GP1.
+		if c := sched.Cost(sb, s); c < 3 {
+			t.Errorf("%s: impossible cost %v", h.Name, c)
+		}
+	}
+}
+
+func TestFloatHeavyOnFS(t *testing.T) {
+	// One float unit on FS4: divides serialize by latency pressure.
+	b := model.NewBuilder("float")
+	d0 := b.Op(model.FloatDiv)
+	d1 := b.Op(model.FloatDiv)
+	a := b.Op(model.FloatAdd, d0, d1)
+	b.Branch(0, a)
+	sb := b.MustBuild()
+	for _, h := range all() {
+		s := runOn(t, h, sb, model.FS4())
+		if s.Cycle[d0] == s.Cycle[d1] {
+			t.Errorf("%s: two divides share the single float unit", h.Name)
+		}
+	}
+	// On FS8 (two float units) they can co-issue.
+	s := runOn(t, CP(), sb, model.FS8())
+	if s.Cycle[d0] != s.Cycle[d1] {
+		t.Errorf("FS8: divides at %d and %d, want same cycle", s.Cycle[d0], s.Cycle[d1])
+	}
+}
+
+func TestGStarZeroProbabilities(t *testing.T) {
+	// All exits at probability zero except an implicit final exit with 1:
+	// rank denominators hit the epsilon path and must not blow up.
+	b := model.NewBuilder("eps")
+	o0 := b.Int()
+	b.Branch(0, o0)
+	o1 := b.Int()
+	b.Branch(0, o1)
+	o2 := b.Int()
+	b.Branch(0, o2) // final gets probability 1
+	sb := b.MustBuild()
+	runOn(t, GStar(), sb, model.GP2())
+}
+
+func TestDHASYWeighting(t *testing.T) {
+	// Two ops of equal height; one precedes both branches, one only the
+	// final exit. The former must have a strictly higher DHASY priority.
+	b := model.NewBuilder("weights")
+	both := b.Int()
+	b.Branch(0.5, both)
+	onlyLast := b.Int()
+	b.Branch(0, onlyLast)
+	sb := b.MustBuild()
+	prio := DHASYPriority(sb)
+	if prio[both] <= prio[onlyLast] {
+		t.Errorf("op helping both branches scored %v, op helping one %v", prio[both], prio[onlyLast])
+	}
+}
+
+func TestHelpPrefersSharedResourceOps(t *testing.T) {
+	// Figure-2 setup: Help gives ops 0-2 priority over op 4 because they
+	// help both branches (this is exactly the behavior Observation 1
+	// criticizes, so we assert it to keep Help faithful).
+	b := model.NewBuilder("obs1")
+	o0 := b.Int()
+	o1 := b.Int()
+	o2 := b.Int()
+	b.Branch(0.3, o0, o1, o2)
+	o4 := b.Int()
+	o5 := b.AddOp(model.Int)
+	b.DepLatency(o4, o5, 2)
+	b.Branch(0, o5)
+	sb := b.MustBuild()
+	s := runOn(t, Help(), sb, model.GP2())
+	if s.Cycle[o0] != 0 || s.Cycle[o1] != 0 {
+		t.Errorf("Help scheduled ops 0,1 at %d,%d, want 0,0", s.Cycle[o0], s.Cycle[o1])
+	}
+	if s.Cycle[sb.Branches[1]] != 4 {
+		t.Errorf("Help final exit at %d, want 4 (the published help-based schedule)", s.Cycle[sb.Branches[1]])
+	}
+}
+
+func TestBestIsMinimumOfParts(t *testing.T) {
+	b := model.NewBuilder("min")
+	o0 := b.Int()
+	o1 := b.Int(o0)
+	b.Branch(0.4, o1)
+	o2 := b.Int()
+	o3 := b.Int(o2)
+	b.Branch(0, o3)
+	sb := b.MustBuild()
+	m := model.GP2()
+	best := runOn(t, Best(all()), sb, m)
+	bc := sched.Cost(sb, best)
+	for _, h := range all() {
+		if c := sched.Cost(sb, runOn(t, h, sb, m)); c < bc-1e-9 {
+			t.Errorf("Best %v beaten by %s %v", bc, h.Name, c)
+		}
+	}
+	cp, _, err := CrossProduct(sb, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := sched.Cost(sb, cp); c < bc-1e-9 {
+		t.Errorf("Best %v beaten by cross product %v", bc, c)
+	}
+}
+
+func TestNormalizeEdgeCases(t *testing.T) {
+	if out := normalize(nil); len(out) != 0 {
+		t.Error("nil input")
+	}
+	out := normalize([]float64{3, 3, 3})
+	for _, v := range out {
+		if v != 0 {
+			t.Error("constant key must normalize to zeros")
+		}
+	}
+	out = normalize([]float64{-2, 0, 2})
+	if out[0] != 0 || out[2] != 1 || out[1] != 0.5 {
+		t.Errorf("normalize = %v", out)
+	}
+}

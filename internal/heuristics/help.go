@@ -1,0 +1,234 @@
+package heuristics
+
+import (
+	"balance/internal/model"
+	"balance/internal/sched"
+)
+
+// Help is a dynamic heuristic built from the main concepts of Speculative
+// Hedge (Deitrich & Hwu), as the paper's "Help" comparison point: before
+// every scheduling decision it estimates each unscheduled branch's earliest
+// completion from the partial schedule, determines which candidate
+// operations help which branches (by being on the branch's dynamic critical
+// path, or by consuming a resource that currently limits the branch), and
+// picks the candidate with the largest summed exit probability of helped
+// branches. Ties break on the number of helped branches, then the smallest
+// dynamic late time, then the operation ID.
+func Help() Heuristic {
+	return Heuristic{Name: "Help", Run: func(sb *model.Superblock, m *model.Machine) (*sched.Schedule, sched.Stats, error) {
+		return sched.Run(sb, m, newHelpPicker(sb, m))
+	}}
+}
+
+// helpPicker carries the static precomputation and per-run incremental
+// state of the Help heuristic.
+type helpPicker struct {
+	sb *model.Superblock
+	m  *model.Machine
+
+	dist     [][]int         // dist[bi][v] = longest dependence path v -> branch bi
+	closures []*model.Bitset // predecessor closure per branch
+
+	// remKind[bi][k] counts the unit-cycles (occupancy-weighted slots) that
+	// unscheduled predecessors (incl. the branch) of branch bi still need
+	// on resource kind k.
+	remKind    [][]int
+	branchDone []bool
+
+	dynEarly []int // per-op dynamic dependence early estimate, scratch
+}
+
+// newHelpPicker precomputes the static per-branch data.
+func newHelpPicker(sb *model.Superblock, m *model.Machine) *helpPicker {
+	g := sb.G
+	n := g.NumOps()
+	h := &helpPicker{
+		sb:         sb,
+		m:          m,
+		dist:       make([][]int, len(sb.Branches)),
+		closures:   make([]*model.Bitset, len(sb.Branches)),
+		remKind:    make([][]int, len(sb.Branches)),
+		branchDone: make([]bool, len(sb.Branches)),
+		dynEarly:   make([]int, n),
+	}
+	for bi, b := range sb.Branches {
+		h.dist[bi] = g.LongestToTarget(b)
+		h.closures[bi] = g.PredClosure(b)
+		h.remKind[bi] = make([]int, m.Kinds())
+		count := func(v int) {
+			c := g.Op(v).Class
+			h.remKind[bi][m.KindOf(c)] += m.Occupancy(c)
+		}
+		h.closures[bi].ForEach(count)
+		count(b)
+	}
+	return h
+}
+
+// observe folds the engine's last event into the incremental state.
+func (h *helpPicker) observe(st *sched.State) {
+	v := st.LastOp
+	if v < 0 {
+		return
+	}
+	c := h.sb.G.Op(v).Class
+	k := h.m.KindOf(c)
+	for bi := range h.sb.Branches {
+		if h.closures[bi].Has(v) || h.sb.Branches[bi] == v {
+			h.remKind[bi][k] -= h.m.Occupancy(c)
+		}
+		if h.sb.Branches[bi] == v {
+			h.branchDone[bi] = true
+		}
+	}
+}
+
+// updateDynEarly recomputes the dependence-based dynamic early estimate of
+// every unscheduled operation given the partial schedule.
+func (h *helpPicker) updateDynEarly(st *sched.State) {
+	g := h.sb.G
+	for _, v := range g.Topo() {
+		st.Stats.PriorityWork++
+		if st.IsScheduled(v) {
+			h.dynEarly[v] = st.IssueCycle[v]
+			continue
+		}
+		e := st.Cycle
+		if r := st.ReadyAt(v); r > e {
+			e = r
+		}
+		for _, p := range g.Preds(v) {
+			if !st.IsScheduled(p.To) {
+				if t := h.dynEarly[p.To] + p.Lat; t > e {
+					e = t
+				}
+			}
+		}
+		h.dynEarly[v] = e
+	}
+}
+
+// branchEstimate returns the dynamic completion estimate of branch bi and,
+// per resource kind, whether that kind currently limits the branch.
+func (h *helpPicker) branchEstimate(st *sched.State, bi int) (est int, critical []bool) {
+	b := h.sb.Branches[bi]
+	est = h.dynEarly[b]
+	critical = make([]bool, h.m.Kinds())
+	for k := 0; k < h.m.Kinds(); k++ {
+		cnt := h.remKind[bi][k]
+		if cnt == 0 {
+			continue
+		}
+		// Cycle in which the cnt-th remaining kind-k operation can issue,
+		// starting from the free slots of the current cycle.
+		free := st.FreeSlots(k)
+		var last int
+		if cnt <= free {
+			last = st.Cycle
+		} else {
+			last = st.Cycle + ceilDiv(cnt-free, h.m.Capacity(k))
+		}
+		// The branch itself is among the counted ops for its own kind; for
+		// other kinds it must follow the last predecessor by ≥ 1 cycle.
+		bound := last
+		if k != h.m.KindOf(h.sb.G.Op(b).Class) {
+			bound = last + 1
+		}
+		if bound > est {
+			est = bound
+		}
+	}
+	for k := 0; k < h.m.Kinds(); k++ {
+		cnt := h.remKind[bi][k]
+		if cnt == 0 {
+			continue
+		}
+		free := st.FreeSlots(k)
+		var last int
+		if cnt <= free {
+			last = st.Cycle
+		} else {
+			last = st.Cycle + ceilDiv(cnt-free, h.m.Capacity(k))
+		}
+		bound := last
+		if k != h.m.KindOf(h.sb.G.Op(h.sb.Branches[bi]).Class) {
+			bound = last + 1
+		}
+		critical[k] = bound >= est
+	}
+	return est, critical
+}
+
+// Pick implements sched.Picker.
+func (h *helpPicker) Pick(st *sched.State) int {
+	h.observe(st)
+	cands := append([]int(nil), st.Candidates()...)
+	if len(cands) == 0 {
+		return -1
+	}
+	h.updateDynEarly(st)
+	st.Stats.FullUpdates++
+
+	type branchInfo struct {
+		est      int
+		critical []bool
+	}
+	infos := make([]branchInfo, len(h.sb.Branches))
+	for bi := range h.sb.Branches {
+		if h.branchDone[bi] {
+			continue
+		}
+		est, crit := h.branchEstimate(st, bi)
+		infos[bi] = branchInfo{est, crit}
+	}
+
+	best := -1
+	var bestProb float64
+	var bestCount int
+	var bestLate int
+	for _, v := range cands {
+		prob := 0.0
+		count := 0
+		late := int(^uint(0) >> 1)
+		k := h.m.KindOf(h.sb.G.Op(v).Class)
+		for bi, b := range h.sb.Branches {
+			if h.branchDone[bi] {
+				continue
+			}
+			isPred := h.closures[bi].Has(v) || b == v
+			if !isPred {
+				continue
+			}
+			st.Stats.PriorityWork++
+			helps := false
+			// Dependence help: v sits on bi's dynamic critical path.
+			d := h.dist[bi][v]
+			if d >= 0 {
+				dynLate := infos[bi].est - d
+				if dynLate <= st.Cycle {
+					helps = true
+				}
+				if dynLate < late {
+					late = dynLate
+				}
+			}
+			// Resource help: v consumes a kind that limits bi.
+			if infos[bi].critical[k] {
+				helps = true
+			}
+			if helps {
+				prob += h.sb.Prob[bi]
+				count++
+			}
+		}
+		if best < 0 || prob > bestProb ||
+			(prob == bestProb && count > bestCount) ||
+			(prob == bestProb && count == bestCount && late < bestLate) {
+			best, bestProb, bestCount, bestLate = v, prob, count, late
+		}
+	}
+	return best
+}
+
+// ceilDiv returns ⌈a/b⌉ for a ≥ 0, b > 0.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

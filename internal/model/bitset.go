@@ -1,0 +1,69 @@
+package model
+
+import "math/bits"
+
+// Bitset is a fixed-capacity set of small non-negative integers, used to
+// represent predecessor closures of branches. The zero value of a Bitset is
+// not usable; allocate with NewBitset.
+type Bitset struct {
+	words []uint64
+	n     int
+}
+
+// NewBitset returns an empty bitset able to hold values in [0, n).
+func NewBitset(n int) *Bitset {
+	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity of the bitset (the n passed to NewBitset).
+func (b *Bitset) Len() int { return b.n }
+
+// Set adds i to the set.
+func (b *Bitset) Set(i int) { b.words[i>>6] |= 1 << uint(i&63) }
+
+// Clear removes i from the set.
+func (b *Bitset) Clear(i int) { b.words[i>>6] &^= 1 << uint(i&63) }
+
+// Has reports whether i is in the set.
+func (b *Bitset) Has(i int) bool { return b.words[i>>6]&(1<<uint(i&63)) != 0 }
+
+// Count returns the number of elements in the set.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Or adds every element of other to b.
+func (b *Bitset) Or(other *Bitset) {
+	for i, w := range other.words {
+		b.words[i] |= w
+	}
+}
+
+// Clone returns an independent copy of the set.
+func (b *Bitset) Clone() *Bitset {
+	c := &Bitset{words: make([]uint64, len(b.words)), n: b.n}
+	copy(c.words, b.words)
+	return c
+}
+
+// Reset empties the set.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// ForEach calls fn for every element of the set in increasing order.
+func (b *Bitset) ForEach(fn func(i int)) {
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			fn(wi*64 + bit)
+			w &= w - 1
+		}
+	}
+}

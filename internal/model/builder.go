@@ -1,0 +1,213 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Builder constructs a Superblock incrementally. Operations must be added
+// in program order; dependence edges may connect any earlier operation to a
+// later one. The Builder chains consecutive branches with control edges of
+// latency BranchLatency, as required by the superblock ordering invariant.
+//
+// The zero Builder is not usable; create one with NewBuilder.
+type Builder struct {
+	name     string
+	ops      []Op
+	succ     [][]Edge
+	pred     [][]Edge
+	branches []int
+	probs    []float64
+	blocks   []int
+	freq     float64
+	err      error
+}
+
+// NewBuilder returns a Builder for a superblock with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, freq: 1}
+}
+
+// SetFreq sets the superblock's dynamic execution frequency (default 1).
+func (b *Builder) SetFreq(f float64) *Builder {
+	b.freq = f
+	return b
+}
+
+// AddOp appends an operation of the given class with its default latency
+// and returns its ID.
+func (b *Builder) AddOp(c Class) int {
+	return b.AddOpLatency(c, c.Latency())
+}
+
+// AddOpLatency appends an operation with an explicit latency and returns
+// its ID.
+func (b *Builder) AddOpLatency(c Class, latency int) int {
+	id := len(b.ops)
+	b.ops = append(b.ops, Op{ID: id, Class: c, Latency: latency})
+	b.succ = append(b.succ, nil)
+	b.pred = append(b.pred, nil)
+	b.blocks = append(b.blocks, len(b.branches))
+	return id
+}
+
+// Int appends an integer operation depending on the given predecessors
+// (with the predecessors' latencies) and returns its ID.
+func (b *Builder) Int(preds ...int) int { return b.opWithDeps(Int, preds) }
+
+// Load appends a load operation depending on the given predecessors and
+// returns its ID.
+func (b *Builder) Load(preds ...int) int { return b.opWithDeps(Load, preds) }
+
+// Store appends a store operation depending on the given predecessors and
+// returns its ID.
+func (b *Builder) Store(preds ...int) int { return b.opWithDeps(Store, preds) }
+
+// Op appends an operation of class c depending on the given predecessors
+// and returns its ID.
+func (b *Builder) Op(c Class, preds ...int) int { return b.opWithDeps(c, preds) }
+
+func (b *Builder) opWithDeps(c Class, preds []int) int {
+	id := b.AddOp(c)
+	for _, p := range preds {
+		b.Dep(p, id)
+	}
+	return id
+}
+
+// Dep adds a dependence edge from -> to with the producing operation's
+// latency.
+func (b *Builder) Dep(from, to int) *Builder {
+	if from < 0 || from >= len(b.ops) {
+		b.fail(fmt.Errorf("model: dep source %d out of range", from))
+		return b
+	}
+	return b.DepLatency(from, to, b.ops[from].Latency)
+}
+
+// DepLatency adds a dependence edge with an explicit latency.
+func (b *Builder) DepLatency(from, to, lat int) *Builder {
+	if from < 0 || from >= len(b.ops) || to < 0 || to >= len(b.ops) {
+		b.fail(fmt.Errorf("model: dep %d->%d out of range", from, to))
+		return b
+	}
+	if from == to {
+		b.fail(fmt.Errorf("model: self dependence on op %d", from))
+		return b
+	}
+	b.succ[from] = append(b.succ[from], Edge{To: to, Lat: lat})
+	b.pred[to] = append(b.pred[to], Edge{To: from, Lat: lat})
+	return b
+}
+
+// Branch appends an exit branch with the given taken probability and data
+// dependences on preds, chains it after the previous branch with a control
+// edge, and returns its ID. The probability of the final exit is implied:
+// pass the fall-through remainder explicitly or use Build's normalization.
+func (b *Builder) Branch(prob float64, preds ...int) int {
+	id := b.AddOp(Branch)
+	b.blocks[id] = len(b.branches) // branch belongs to the block it ends
+	for _, p := range preds {
+		b.Dep(p, id)
+	}
+	if n := len(b.branches); n > 0 {
+		b.DepLatency(b.branches[n-1], id, BranchLatency)
+	}
+	b.branches = append(b.branches, id)
+	b.probs = append(b.probs, prob)
+	return id
+}
+
+// NumOps returns the number of operations added so far.
+func (b *Builder) NumOps() int { return len(b.ops) }
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Build finalizes and validates the superblock. If the recorded exit
+// probabilities do not sum to 1, the final exit's probability is adjusted to
+// absorb the remainder (the usual fall-through convention); Build fails if
+// that would make it negative.
+func (b *Builder) Build() (*Superblock, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.branches) == 0 {
+		return nil, fmt.Errorf("model: superblock %q has no exit branch", b.name)
+	}
+	probs := append([]float64(nil), b.probs...)
+	sum := 0.0
+	for _, p := range probs[:len(probs)-1] {
+		sum += p
+	}
+	if rest := 1 - sum; math.Abs(rest-probs[len(probs)-1]) > 1e-9 {
+		if rest < -1e-9 {
+			return nil, fmt.Errorf("model: superblock %q side exit probabilities sum to %v > 1", b.name, sum)
+		}
+		if rest < 0 {
+			rest = 0
+		}
+		probs[len(probs)-1] = rest
+	}
+	blocks := append([]int(nil), b.blocks...)
+	for v, blk := range blocks {
+		if blk >= len(b.branches) {
+			blocks[v] = len(b.branches) - 1
+		}
+	}
+	g := &Graph{ops: b.ops, succ: mergeParallel(b.succ), pred: mergeParallel(b.pred)}
+	g.sortEdges()
+	if !g.computeTopo() {
+		return nil, fmt.Errorf("model: superblock %q has a dependence cycle", b.name)
+	}
+	sb := &Superblock{
+		Name:     b.name,
+		G:        g,
+		Branches: append([]int(nil), b.branches...),
+		Prob:     probs,
+		Freq:     b.freq,
+		Block:    blocks,
+	}
+	sb.finish()
+	if err := sb.Validate(); err != nil {
+		return nil, err
+	}
+	return sb, nil
+}
+
+// mergeParallel collapses parallel edges between the same endpoints into a
+// single edge carrying the maximum latency (the binding constraint).
+func mergeParallel(adj [][]Edge) [][]Edge {
+	for v, es := range adj {
+		if len(es) < 2 {
+			continue
+		}
+		best := make(map[int]int, len(es))
+		for _, e := range es {
+			if lat, ok := best[e.To]; !ok || e.Lat > lat {
+				best[e.To] = e.Lat
+			}
+		}
+		if len(best) == len(es) {
+			continue
+		}
+		merged := es[:0]
+		for to, lat := range best {
+			merged = append(merged, Edge{To: to, Lat: lat})
+		}
+		adj[v] = merged
+	}
+	return adj
+}
+
+// MustBuild is Build that panics on error, for tests and examples.
+func (b *Builder) MustBuild() *Superblock {
+	sb, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return sb
+}

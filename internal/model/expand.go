@@ -1,0 +1,71 @@
+package model
+
+import "fmt"
+
+// ExpandOccupancy models a superblock for a machine with non-fully-
+// pipelined units using the Rim & Jain construction (Section 4.1 of the
+// paper): every operation whose class holds its unit for occ > 1 cycles is
+// replaced by a chain of occ unit-occupancy operations of the same class,
+// connected by unit-latency edges; outgoing dependences move to the chain
+// tail with their latency reduced by occ-1 (occupancy never exceeds
+// latency, so the reduction is non-negative and the original issue-to-issue
+// constraints are preserved exactly).
+//
+// The expanded superblock is fully pipelined by construction, so every
+// bound computed on it with the plain per-cycle capacities is a valid bound
+// for the original problem. The second result maps expanded op IDs back to
+// the original IDs (pseudo-ops map to the operation they expand).
+//
+// When the machine is fully pipelined the original superblock is returned
+// unchanged with an identity mapping of nil.
+func ExpandOccupancy(sb *Superblock, m *Machine) (*Superblock, []int) {
+	if m.FullyPipelined() {
+		return sb, nil
+	}
+	g := sb.G
+	n := g.NumOps()
+	b := NewBuilder(sb.Name)
+	b.SetFreq(sb.Freq)
+
+	first := make([]int, n) // original -> expanded primary op
+	last := make([]int, n)  // original -> tail of its occupancy chain
+	var origOf []int
+
+	nextBranch := 0
+	for v := 0; v < n; v++ {
+		op := g.Op(v)
+		var id int
+		if op.IsBranch() {
+			if nextBranch >= len(sb.Branches) || sb.Branches[nextBranch] != v {
+				panic(fmt.Sprintf("model: branches of %q are not in ascending ID order", sb.Name))
+			}
+			id = b.Branch(sb.Prob[nextBranch])
+			nextBranch++
+		} else {
+			id = b.AddOpLatency(op.Class, op.Latency)
+		}
+		first[v], last[v] = id, id
+		origOf = append(origOf, v)
+		for i := 1; i < m.Occupancy(op.Class); i++ {
+			p := b.AddOpLatency(op.Class, 1)
+			b.DepLatency(last[v], p, 1)
+			last[v] = p
+			origOf = append(origOf, v)
+		}
+	}
+	for v := 0; v < n; v++ {
+		occ := m.Occupancy(g.Op(v).Class)
+		for _, e := range g.Succs(v) {
+			lat := e.Lat - (occ - 1)
+			if lat < 0 {
+				lat = 0
+			}
+			b.DepLatency(last[v], first[e.To], lat)
+		}
+	}
+	out, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("model: occupancy expansion of %q failed: %v", sb.Name, err))
+	}
+	return out, origOf
+}

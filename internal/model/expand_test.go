@@ -1,0 +1,116 @@
+package model
+
+import "testing"
+
+// npMachine returns GP2 with non-pipelined float multiplies (occupancy 3)
+// and divides (occupancy 9).
+func npMachine() *Machine {
+	return GP2().WithOccupancy(FloatMul, 3).WithOccupancy(FloatDiv, 9)
+}
+
+func TestWithOccupancy(t *testing.T) {
+	m := npMachine()
+	if m.Occupancy(FloatMul) != 3 || m.Occupancy(FloatDiv) != 9 || m.Occupancy(Int) != 1 {
+		t.Fatalf("occupancies wrong: %d %d %d", m.Occupancy(FloatMul), m.Occupancy(FloatDiv), m.Occupancy(Int))
+	}
+	if m.FullyPipelined() {
+		t.Error("non-pipelined machine reported as fully pipelined")
+	}
+	if GP2().FullyPipelined() != true {
+		t.Error("GP2 must be fully pipelined")
+	}
+	// The base machine must be unaffected.
+	base := GP2()
+	_ = base.WithOccupancy(FloatMul, 2)
+	if base.Occupancy(FloatMul) != 1 {
+		t.Error("WithOccupancy mutated the receiver")
+	}
+}
+
+func TestWithOccupancyPanics(t *testing.T) {
+	cases := []func(){
+		func() { GP2().WithOccupancy(Int, 2) },      // occupancy > latency
+		func() { GP2().WithOccupancy(FloatMul, 0) }, // below 1
+		func() { GP2().WithOccupancy(FloatMul, 4) }, // above latency
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestExpandOccupancyIdentityWhenPipelined(t *testing.T) {
+	b := NewBuilder("x")
+	o := b.Int()
+	b.Branch(0, o)
+	sb := b.MustBuild()
+	got, m := ExpandOccupancy(sb, GP2())
+	if got != sb || m != nil {
+		t.Error("expansion of a fully pipelined machine must be the identity")
+	}
+}
+
+func TestExpandOccupancyStructure(t *testing.T) {
+	b := NewBuilder("np")
+	mul := b.Op(FloatMul) // occupancy 3 on npMachine
+	use := b.Int(mul)     // edge latency 3 (FloatMul latency)
+	b.Branch(0, use)
+	sb := b.MustBuild()
+
+	exp, origOf := ExpandOccupancy(sb, npMachine())
+	// mul expands to 3 ops: original count 3 + 2 pseudo = 5.
+	if exp.G.NumOps() != 5 {
+		t.Fatalf("expanded to %d ops, want 5", exp.G.NumOps())
+	}
+	if len(origOf) != 5 {
+		t.Fatalf("mapping has %d entries", len(origOf))
+	}
+	// origOf: mul, pseudo, pseudo, use, branch.
+	want := []int{0, 0, 0, 1, 2}
+	for i, w := range want {
+		if origOf[i] != w {
+			t.Errorf("origOf[%d] = %d, want %d", i, origOf[i], w)
+		}
+	}
+	// The chain edges are unit latency and the outgoing edge latency is
+	// reduced by occ-1 = 2 (3 -> 1).
+	early := exp.G.EarlyDC()
+	// mul at 0, pseudos at 1, 2; use ≥ tail + 1 = 3 (same as original).
+	origEarly := sb.G.EarlyDC()
+	if early[3] != origEarly[1] {
+		t.Errorf("dependence early of use changed: %d vs %d", early[3], origEarly[1])
+	}
+	if err := exp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if exp.NumBranches() != 1 || exp.Prob[0] != 1 {
+		t.Error("branch structure lost in expansion")
+	}
+}
+
+func TestExpandOccupancyPreservesProbabilitiesAndFreq(t *testing.T) {
+	b := NewBuilder("np2")
+	f := b.Op(FloatDiv)
+	b.Branch(0.4, f)
+	g := b.Int()
+	b.Branch(0, g)
+	b.SetFreq(17)
+	sb := b.MustBuild()
+	exp, _ := ExpandOccupancy(sb, npMachine())
+	if exp.Freq != 17 {
+		t.Errorf("freq = %v", exp.Freq)
+	}
+	if len(exp.Prob) != 2 || exp.Prob[0] != 0.4 {
+		t.Errorf("probs = %v", exp.Prob)
+	}
+	// FloatDiv occupancy 9 adds 8 pseudo-ops.
+	if exp.G.NumOps() != sb.G.NumOps()+8 {
+		t.Errorf("expanded to %d ops, want %d", exp.G.NumOps(), sb.G.NumOps()+8)
+	}
+}

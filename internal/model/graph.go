@@ -1,0 +1,235 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is a directed dependence between two operations. The latency is the
+// minimum number of cycles between the issue of the source and the issue of
+// the destination (issue-to-issue).
+type Edge struct {
+	// To (or From, for predecessor edges) is the other endpoint's ID.
+	To int
+	// Lat is the issue-to-issue latency of the dependence in cycles.
+	Lat int
+}
+
+// Graph is a dependence DAG over a dense set of operations. Graphs are
+// built with a Builder and are immutable afterwards; all scheduling and
+// bound computations treat them as read-only.
+type Graph struct {
+	ops  []Op
+	succ [][]Edge // succ[v] lists edges v -> w
+	pred [][]Edge // pred[v] lists edges u -> v as {From:u}
+
+	topo    []int     // a topological order of op IDs
+	closure []*Bitset // closure[v] = transitive predecessors of v (excluding v), lazily built
+}
+
+// NumOps returns the number of operations in the graph.
+func (g *Graph) NumOps() int { return len(g.ops) }
+
+// Op returns the operation with the given ID.
+func (g *Graph) Op(id int) Op { return g.ops[id] }
+
+// Ops returns the operations slice. Callers must not modify it.
+func (g *Graph) Ops() []Op { return g.ops }
+
+// Succs returns the outgoing dependence edges of v. Callers must not modify
+// the returned slice.
+func (g *Graph) Succs(v int) []Edge { return g.succ[v] }
+
+// Preds returns the incoming dependence edges of v, with Edge.To holding the
+// predecessor's ID. Callers must not modify the returned slice.
+func (g *Graph) Preds(v int) []Edge { return g.pred[v] }
+
+// NumEdges returns the total number of dependence edges.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, es := range g.succ {
+		n += len(es)
+	}
+	return n
+}
+
+// Topo returns a topological order of the operation IDs. Callers must not
+// modify the returned slice.
+func (g *Graph) Topo() []int { return g.topo }
+
+// computeTopo fills g.topo using Kahn's algorithm and reports whether the
+// graph is acyclic.
+func (g *Graph) computeTopo() bool {
+	n := len(g.ops)
+	indeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		for _, e := range g.succ[v] {
+			indeg[e.To]++
+		}
+	}
+	order := make([]int, 0, n)
+	queue := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, e := range g.succ[v] {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if len(order) != n {
+		return false
+	}
+	g.topo = order
+	return true
+}
+
+// PredClosure returns the set of transitive predecessors of v (excluding v
+// itself). The result is cached; callers must not modify it.
+func (g *Graph) PredClosure(v int) *Bitset {
+	if g.closure == nil {
+		g.buildClosures()
+	}
+	return g.closure[v]
+}
+
+// buildClosures computes all predecessor closures in one pass over a
+// topological order.
+func (g *Graph) buildClosures() {
+	n := len(g.ops)
+	g.closure = make([]*Bitset, n)
+	for _, v := range g.topo {
+		c := NewBitset(n)
+		for _, e := range g.pred[v] {
+			c.Set(e.To)
+			c.Or(g.closure[e.To])
+		}
+		g.closure[v] = c
+	}
+}
+
+// LongestToTarget returns, for every transitive predecessor v of target (and
+// target itself), the longest dependence-path latency dist(v -> target).
+// Entries for operations that do not precede target are -1.
+func (g *Graph) LongestToTarget(target int) []int {
+	n := len(g.ops)
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[target] = 0
+	// Walk the topological order backwards; only predecessors of target can
+	// gain a finite distance.
+	for i := len(g.topo) - 1; i >= 0; i-- {
+		v := g.topo[i]
+		if dist[v] < 0 {
+			continue
+		}
+		for _, e := range g.pred[v] {
+			if d := dist[v] + e.Lat; d > dist[e.To] {
+				dist[e.To] = d
+			}
+		}
+	}
+	return dist
+}
+
+// EarlyDC returns the dependence-constrained earliest issue cycle of every
+// operation (the paper's EarlyDC): the longest latency path from any source.
+func (g *Graph) EarlyDC() []int {
+	early := make([]int, len(g.ops))
+	for _, v := range g.topo {
+		for _, e := range g.succ[v] {
+			if t := early[v] + e.Lat; t > early[e.To] {
+				early[e.To] = t
+			}
+		}
+	}
+	return early
+}
+
+// CriticalPath returns the dependence-only critical path of the graph: the
+// maximum over operations v of EarlyDC[v] + latency(v), i.e. the earliest
+// cycle by which all results could complete ignoring resources.
+func (g *Graph) CriticalPath() int {
+	early := g.EarlyDC()
+	cp := 0
+	for v, t := range early {
+		if c := t + g.ops[v].Latency; c > cp {
+			cp = c
+		}
+	}
+	return cp
+}
+
+// Heights returns, for every operation, the longest latency path from the
+// operation to any sink (the classic critical-path priority).
+func (g *Graph) Heights() []int {
+	h := make([]int, len(g.ops))
+	for i := len(g.topo) - 1; i >= 0; i-- {
+		v := g.topo[i]
+		for _, e := range g.succ[v] {
+			if d := h[e.To] + e.Lat; d > h[v] {
+				h[v] = d
+			}
+		}
+	}
+	return h
+}
+
+// validate checks structural invariants: edge endpoints in range,
+// non-negative latencies, no self-edges, acyclicity.
+func (g *Graph) validate() error {
+	n := len(g.ops)
+	for v := 0; v < n; v++ {
+		if g.ops[v].ID != v {
+			return fmt.Errorf("model: op %d has mismatched ID %d", v, g.ops[v].ID)
+		}
+		if g.ops[v].Latency < 0 {
+			return fmt.Errorf("model: op %d has negative latency %d", v, g.ops[v].Latency)
+		}
+		for _, e := range g.succ[v] {
+			if e.To < 0 || e.To >= n {
+				return fmt.Errorf("model: edge %d->%d out of range", v, e.To)
+			}
+			if e.To == v {
+				return fmt.Errorf("model: self edge on op %d", v)
+			}
+			if e.Lat < 0 {
+				return fmt.Errorf("model: edge %d->%d has negative latency %d", v, e.To, e.Lat)
+			}
+		}
+	}
+	if g.topo == nil && !g.computeTopo() {
+		return fmt.Errorf("model: dependence graph has a cycle")
+	}
+	return nil
+}
+
+// sortEdges puts the edge lists in a deterministic order.
+func (g *Graph) sortEdges() {
+	for v := range g.succ {
+		es := g.succ[v]
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].To != es[j].To {
+				return es[i].To < es[j].To
+			}
+			return es[i].Lat < es[j].Lat
+		})
+		ps := g.pred[v]
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i].To != ps[j].To {
+				return ps[i].To < ps[j].To
+			}
+			return ps[i].Lat < ps[j].Lat
+		})
+	}
+}

@@ -1,0 +1,169 @@
+package model
+
+import "fmt"
+
+// Machine describes a fully pipelined VLIW machine as a set of per-cycle
+// issue capacities. Two families exist, mirroring Section 6 of the paper:
+//
+//   - General-purpose (GP) machines have Width identical units; every
+//     operation can issue on any unit, so the machine has a single resource
+//     kind with capacity Width.
+//   - Fully specialized (FS) machines have one unit kind per Resource
+//     (integer, memory, float, branch); each operation can only issue on a
+//     unit of its class's resource.
+//
+// All units are fully pipelined: an operation occupies a unit only in its
+// issue cycle.
+type Machine struct {
+	// Name is the configuration name ("GP2", "FS6", ...).
+	Name string
+
+	// kinds is the number of distinct resource kinds (1 for GP, 4 for FS).
+	kinds int
+	// cap[k] is the per-cycle issue capacity of resource kind k.
+	cap []int
+	// classKind maps an operation Class to its resource kind index.
+	classKind [numClasses]int
+	// occupancy[c] is the number of consecutive cycles an operation of
+	// class c holds its functional unit (1 = fully pipelined; 0 means 1).
+	occupancy [numClasses]int
+}
+
+// NewGP returns a general-purpose machine with width identical units.
+func NewGP(width int) *Machine {
+	if width < 1 {
+		panic(fmt.Sprintf("model: invalid GP width %d", width))
+	}
+	m := &Machine{
+		Name:  fmt.Sprintf("GP%d", width),
+		kinds: 1,
+		cap:   []int{width},
+	}
+	// classKind is all zeros: every class shares the single kind.
+	return m
+}
+
+// NewFS returns a fully specialized machine with the given unit mix
+// (#integer, #memory, #float, #branch units).
+func NewFS(intUnits, memUnits, floatUnits, branchUnits int) *Machine {
+	if intUnits < 1 || memUnits < 1 || floatUnits < 1 || branchUnits < 1 {
+		panic(fmt.Sprintf("model: invalid FS mix (%d,%d,%d,%d)", intUnits, memUnits, floatUnits, branchUnits))
+	}
+	m := &Machine{
+		Name:  fmt.Sprintf("FS%d", intUnits+memUnits+floatUnits+branchUnits),
+		kinds: NumResources,
+		cap:   []int{intUnits, memUnits, floatUnits, branchUnits},
+	}
+	for c := Class(0); c < numClasses; c++ {
+		m.classKind[c] = int(c.Resource())
+	}
+	return m
+}
+
+// GP1, GP2, GP4, FS4, FS6, FS8 construct the six machine configurations
+// evaluated in the paper. FS4 is (1,1,1,1); FS6 is (2,2,1,1); FS8 is
+// (3,2,2,1).
+func GP1() *Machine { return NewGP(1) }
+
+// GP2 returns the two-wide general-purpose configuration.
+func GP2() *Machine { return NewGP(2) }
+
+// GP4 returns the four-wide general-purpose configuration.
+func GP4() *Machine { return NewGP(4) }
+
+// FS4 returns the (1 int, 1 mem, 1 float, 1 branch) specialized configuration.
+func FS4() *Machine { return NewFS(1, 1, 1, 1) }
+
+// FS6 returns the (2 int, 2 mem, 1 float, 1 branch) specialized configuration.
+func FS6() *Machine { return NewFS(2, 2, 1, 1) }
+
+// FS8 returns the (3 int, 2 mem, 2 float, 1 branch) specialized configuration.
+func FS8() *Machine { return NewFS(3, 2, 2, 1) }
+
+// Machines returns the six configurations evaluated in the paper, in the
+// order used by its tables: GP1, GP2, GP4, FS4, FS6, FS8.
+func Machines() []*Machine {
+	return []*Machine{GP1(), GP2(), GP4(), FS4(), FS6(), FS8()}
+}
+
+// MachineByName returns the named standard configuration.
+func MachineByName(name string) (*Machine, error) {
+	for _, m := range Machines() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("model: unknown machine %q (want GP1, GP2, GP4, FS4, FS6 or FS8)", name)
+}
+
+// WithOccupancy returns a copy of the machine on which operations of class
+// c hold their functional unit for occ consecutive cycles (a non-fully-
+// pipelined unit). The paper supports such machines by the Rim & Jain
+// modeling (Sections 4.1 and 5): for bound computations the operation is
+// replaced by a chain of occ unit-occupancy pseudo-operations. occ must be
+// between 1 and the class latency (a unit is held at most until its result
+// is ready), and branches must stay fully pipelined.
+func (m *Machine) WithOccupancy(c Class, occ int) *Machine {
+	if occ < 1 || occ > c.Latency() {
+		panic(fmt.Sprintf("model: occupancy %d out of range for %v (latency %d)", occ, c, c.Latency()))
+	}
+	if c == Branch && occ != 1 {
+		panic("model: branches must be fully pipelined")
+	}
+	clone := *m
+	clone.cap = append([]int(nil), m.cap...)
+	clone.occupancy[c] = occ
+	if occ > 1 {
+		clone.Name = fmt.Sprintf("%s+%s*%d", m.Name, c, occ)
+	}
+	return &clone
+}
+
+// Occupancy returns the number of cycles an operation of class c holds its
+// unit (1 for fully pipelined units).
+func (m *Machine) Occupancy(c Class) int {
+	if o := m.occupancy[c]; o > 0 {
+		return o
+	}
+	return 1
+}
+
+// FullyPipelined reports whether every unit is fully pipelined.
+func (m *Machine) FullyPipelined() bool {
+	for c := Class(0); c < numClasses; c++ {
+		if m.Occupancy(c) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Kinds returns the number of distinct resource kinds on the machine.
+func (m *Machine) Kinds() int { return m.kinds }
+
+// Capacity returns the per-cycle issue capacity of resource kind k.
+func (m *Machine) Capacity(k int) int { return m.cap[k] }
+
+// KindOf returns the resource kind index the class issues on.
+func (m *Machine) KindOf(c Class) int { return m.classKind[c] }
+
+// IssueWidth returns the total number of functional units (the maximum
+// number of operations issued per cycle).
+func (m *Machine) IssueWidth() int {
+	w := 0
+	for _, c := range m.cap {
+		w += c
+	}
+	return w
+}
+
+// KindName returns a human-readable name for resource kind k.
+func (m *Machine) KindName(k int) string {
+	if m.kinds == 1 {
+		return "gp"
+	}
+	return Resource(k).String()
+}
+
+// String returns the configuration name.
+func (m *Machine) String() string { return m.Name }

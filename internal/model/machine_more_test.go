@@ -1,0 +1,106 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMachineConstructorPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewGP(0) },
+		func() { NewFS(0, 1, 1, 1) },
+		func() { NewFS(1, 1, 1, 0) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMachineKindNames(t *testing.T) {
+	gp := GP2()
+	if gp.KindName(0) != "gp" {
+		t.Errorf("GP kind name %q", gp.KindName(0))
+	}
+	fs := FS4()
+	want := []string{"int", "mem", "float", "branch"}
+	for k, w := range want {
+		if fs.KindName(k) != w {
+			t.Errorf("FS kind %d = %q, want %q", k, fs.KindName(k), w)
+		}
+	}
+}
+
+func TestMachineOccupancyNaming(t *testing.T) {
+	m := FS4().WithOccupancy(FloatMul, 3)
+	if !strings.Contains(m.Name, "fmul*3") {
+		t.Errorf("occupancy machine name %q", m.Name)
+	}
+	// Occupancy 1 must not rename.
+	same := FS4().WithOccupancy(FloatMul, 1)
+	if same.Name != "FS4" {
+		t.Errorf("unit occupancy renamed the machine: %q", same.Name)
+	}
+}
+
+func TestResourceAndClassStringFallbacks(t *testing.T) {
+	if s := Resource(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("resource fallback %q", s)
+	}
+	if s := Class(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("class fallback %q", s)
+	}
+}
+
+func TestBranchIsBranch(t *testing.T) {
+	if !(Op{Class: Branch}).IsBranch() || (Op{Class: Int}).IsBranch() {
+		t.Error("IsBranch wrong")
+	}
+}
+
+func TestGraphNumEdges(t *testing.T) {
+	b := NewBuilder("edges")
+	o0 := b.Int()
+	o1 := b.Int(o0)
+	b.Branch(0, o0, o1)
+	sb := b.MustBuild()
+	if got := sb.G.NumEdges(); got != 3 {
+		t.Errorf("NumEdges = %d, want 3", got)
+	}
+}
+
+func TestWithProbs(t *testing.T) {
+	b := NewBuilder("wp")
+	o := b.Int()
+	b.Branch(0.2, o)
+	b.Branch(0)
+	sb := b.MustBuild()
+	clone := sb.WithProbs([]float64{0.9, 0.1})
+	if clone.Prob[0] != 0.9 || sb.Prob[0] != 0.2 {
+		t.Error("WithProbs wrong or mutated original")
+	}
+	if err := clone.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedProbPrefix(t *testing.T) {
+	b := NewBuilder("prefix")
+	b.Branch(0.25)
+	b.Branch(0.25)
+	b.Branch(0)
+	sb := b.MustBuild()
+	pre := sb.WeightedProbPrefix()
+	want := []float64{0.25, 0.5, 1.0}
+	for i, w := range want {
+		if diff := pre[i] - w; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("prefix[%d] = %v, want %v", i, pre[i], w)
+		}
+	}
+}

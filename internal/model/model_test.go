@@ -1,0 +1,293 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClassLatencies(t *testing.T) {
+	want := map[Class]int{Int: 1, Load: 2, Store: 1, FloatAdd: 1, FloatMul: 3, FloatDiv: 9, Branch: 1}
+	for c, lat := range want {
+		if got := c.Latency(); got != lat {
+			t.Errorf("%v latency = %d, want %d", c, got, lat)
+		}
+	}
+}
+
+func TestClassStringRoundTrip(t *testing.T) {
+	for c := Class(0); c < numClasses; c++ {
+		back, err := ParseClass(c.String())
+		if err != nil {
+			t.Fatalf("ParseClass(%q): %v", c.String(), err)
+		}
+		if back != c {
+			t.Errorf("round trip of %v gave %v", c, back)
+		}
+	}
+	if _, err := ParseClass("bogus"); err == nil {
+		t.Error("ParseClass accepted an unknown class")
+	}
+}
+
+func TestClassResources(t *testing.T) {
+	cases := map[Class]Resource{
+		Int: ResInt, Load: ResMem, Store: ResMem,
+		FloatAdd: ResFloat, FloatMul: ResFloat, FloatDiv: ResFloat,
+		Branch: ResBranch,
+	}
+	for c, r := range cases {
+		if got := c.Resource(); got != r {
+			t.Errorf("%v resource = %v, want %v", c, got, r)
+		}
+	}
+}
+
+func TestMachineConfigs(t *testing.T) {
+	ms := Machines()
+	if len(ms) != 6 {
+		t.Fatalf("Machines() returned %d configs, want 6", len(ms))
+	}
+	widths := map[string]int{"GP1": 1, "GP2": 2, "GP4": 4, "FS4": 4, "FS6": 6, "FS8": 8}
+	for _, m := range ms {
+		if w := m.IssueWidth(); w != widths[m.Name] {
+			t.Errorf("%s issue width = %d, want %d", m.Name, w, widths[m.Name])
+		}
+	}
+	fs8, err := MachineByName("FS8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs8.Capacity(int(ResInt)) != 3 || fs8.Capacity(int(ResMem)) != 2 ||
+		fs8.Capacity(int(ResFloat)) != 2 || fs8.Capacity(int(ResBranch)) != 1 {
+		t.Errorf("FS8 mix wrong: %d/%d/%d/%d",
+			fs8.Capacity(0), fs8.Capacity(1), fs8.Capacity(2), fs8.Capacity(3))
+	}
+	if _, err := MachineByName("GP3"); err == nil {
+		t.Error("MachineByName accepted unknown config")
+	}
+	gp2 := GP2()
+	if gp2.Kinds() != 1 {
+		t.Errorf("GP2 kinds = %d, want 1", gp2.Kinds())
+	}
+	for c := Class(0); c < numClasses; c++ {
+		if gp2.KindOf(c) != 0 {
+			t.Errorf("GP2 kind of %v = %d, want 0", c, gp2.KindOf(c))
+		}
+	}
+}
+
+// buildDiamond returns a small two-exit superblock used by several tests:
+//
+//	0 -> 1 -> br3(0.3) ; 2 -> br4 ; 0 -> 2
+func buildDiamond(t *testing.T) *Superblock {
+	t.Helper()
+	b := NewBuilder("diamond")
+	o0 := b.Int()
+	o1 := b.Int(o0)
+	b.Branch(0.3, o1)
+	o2 := b.Int(o0) // second block
+	b.Branch(0, o2)
+	sb, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sb
+}
+
+func TestBuilderBasics(t *testing.T) {
+	sb := buildDiamond(t)
+	if sb.G.NumOps() != 5 {
+		t.Fatalf("got %d ops, want 5", sb.G.NumOps())
+	}
+	if got := sb.NumBranches(); got != 2 {
+		t.Fatalf("got %d branches, want 2", got)
+	}
+	if math.Abs(sb.Prob[0]-0.3) > 1e-12 || math.Abs(sb.Prob[1]-0.7) > 1e-12 {
+		t.Errorf("probabilities = %v, want [0.3 0.7]", sb.Prob)
+	}
+	// Control edge between the branches must exist.
+	if !sb.G.PredClosure(sb.Branches[1]).Has(sb.Branches[0]) {
+		t.Error("branch 0 does not precede branch 1")
+	}
+	if i, ok := sb.BranchIndex(sb.Branches[1]); !ok || i != 1 {
+		t.Errorf("BranchIndex = %d,%v", i, ok)
+	}
+	if _, ok := sb.BranchIndex(0); ok {
+		t.Error("op 0 reported as a branch")
+	}
+}
+
+func TestBuilderBlocks(t *testing.T) {
+	sb := buildDiamond(t)
+	// Ops 0,1 precede branch 0 -> block 0; op 3 (second Int) only precedes
+	// branch 1. Op IDs: 0,1, br=2, 3, br=4.
+	wantBlocks := []int{0, 0, 0, 1, 1}
+	for v, want := range wantBlocks {
+		if sb.Block[v] != want {
+			t.Errorf("block[%d] = %d, want %d", v, sb.Block[v], want)
+		}
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder("empty")
+	if _, err := b.Build(); err == nil {
+		t.Error("Build accepted a superblock with no branches")
+	}
+
+	b2 := NewBuilder("overprob")
+	o := b2.Int()
+	b2.Branch(0.8, o)
+	b2.Branch(0.9)
+	b2.Branch(0)
+	if _, err := b2.Build(); err == nil {
+		t.Error("Build accepted side probabilities summing over 1")
+	}
+
+	b3 := NewBuilder("badep")
+	o3 := b3.Int()
+	b3.Dep(o3, 99)
+	b3.Branch(0, o3)
+	if _, err := b3.Build(); err == nil {
+		t.Error("Build accepted an out-of-range dependence")
+	}
+
+	b4 := NewBuilder("selfdep")
+	o4 := b4.Int()
+	b4.Dep(o4, o4)
+	b4.Branch(0)
+	if _, err := b4.Build(); err == nil {
+		t.Error("Build accepted a self dependence")
+	}
+}
+
+func TestEarlyDCAndHeights(t *testing.T) {
+	b := NewBuilder("chain")
+	o0 := b.AddOp(Load) // latency 2
+	o1 := b.Int(o0)
+	o2 := b.Int(o1)
+	b.Branch(0, o2)
+	sb := b.MustBuild()
+
+	early := sb.G.EarlyDC()
+	want := []int{0, 2, 3, 4}
+	for v, w := range want {
+		if early[v] != w {
+			t.Errorf("EarlyDC[%d] = %d, want %d", v, early[v], w)
+		}
+	}
+	h := sb.G.Heights()
+	wantH := []int{4, 2, 1, 0}
+	for v, w := range wantH {
+		if h[v] != w {
+			t.Errorf("height[%d] = %d, want %d", v, h[v], w)
+		}
+	}
+	if cp := sb.G.CriticalPath(); cp != 5 {
+		t.Errorf("CriticalPath = %d, want 5 (branch completes at 4+1)", cp)
+	}
+}
+
+func TestLongestToTarget(t *testing.T) {
+	sb := buildDiamond(t)
+	br1 := sb.Branches[1]
+	dist := sb.G.LongestToTarget(br1)
+	// 0 -> 3 -> br = 2; also 0 -> 1 -> br -> br = 3.
+	if dist[0] != 3 {
+		t.Errorf("dist[0] = %d, want 3", dist[0])
+	}
+	if dist[3] != 1 {
+		t.Errorf("dist[3] = %d, want 1", dist[3])
+	}
+	if dist[br1] != 0 {
+		t.Errorf("dist[target] = %d, want 0", dist[br1])
+	}
+}
+
+func TestPredClosure(t *testing.T) {
+	sb := buildDiamond(t)
+	cl := sb.G.PredClosure(sb.Branches[1])
+	for _, v := range []int{0, 1, 3, sb.Branches[0]} {
+		if !cl.Has(v) {
+			t.Errorf("closure of last branch missing op %d", v)
+		}
+	}
+	if cl.Has(sb.Branches[1]) {
+		t.Error("closure contains the target itself")
+	}
+}
+
+func TestUniformWeights(t *testing.T) {
+	sb := buildDiamond(t)
+	u := sb.UniformWeights()
+	if math.Abs(u.Prob[1]/u.Prob[0]-1000) > 1e-9 {
+		t.Errorf("uniform weights ratio = %v, want 1000", u.Prob[1]/u.Prob[0])
+	}
+	sum := 0.0
+	for _, p := range u.Prob {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("uniform weights sum = %v", sum)
+	}
+	// Original must be untouched.
+	if sb.Prob[0] != 0.3 {
+		t.Error("UniformWeights mutated the original")
+	}
+}
+
+func TestBitset(t *testing.T) {
+	b := NewBitset(130)
+	b.Set(0)
+	b.Set(64)
+	b.Set(129)
+	if b.Count() != 3 {
+		t.Fatalf("count = %d, want 3", b.Count())
+	}
+	if !b.Has(64) || b.Has(63) {
+		t.Error("Has wrong")
+	}
+	var got []int
+	b.ForEach(func(i int) { got = append(got, i) })
+	want := []int{0, 64, 129}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach visited %v, want %v", got, want)
+		}
+	}
+	c := b.Clone()
+	c.Clear(64)
+	if !b.Has(64) || c.Has(64) {
+		t.Error("Clone is not independent")
+	}
+	other := NewBitset(130)
+	other.Set(5)
+	b.Or(other)
+	if !b.Has(5) {
+		t.Error("Or failed")
+	}
+	b.Reset()
+	if b.Count() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	sb := buildDiamond(t)
+	if err := sb.Validate(); err != nil {
+		t.Fatalf("valid superblock rejected: %v", err)
+	}
+	bad := *sb
+	bad.Prob = []float64{0.5, 0.2}
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted probabilities not summing to 1")
+	}
+	bad2 := *sb
+	bad2.Freq = math.NaN()
+	if err := bad2.Validate(); err == nil {
+		t.Error("Validate accepted NaN frequency")
+	}
+}

@@ -1,0 +1,141 @@
+// Package model defines the data model shared by every component of the
+// balance library: operations, dependence graphs, superblocks, and VLIW
+// machine descriptions.
+//
+// The model follows the conventions of Eichenberger & Meleis (MICRO 1999):
+// a superblock is a single-entry, multiple-exit dependence DAG whose exits
+// are branch operations ordered by control-flow edges; every operation is
+// fully pipelined and occupies one functional unit of its resource class in
+// its issue cycle.
+package model
+
+import "fmt"
+
+// Class identifies the kind of an operation. The class determines the
+// operation's default latency and, together with a Machine, the functional
+// unit (Resource) the operation issues on.
+type Class uint8
+
+const (
+	// Int is a single-cycle integer ALU operation.
+	Int Class = iota
+	// Load is a memory read with a two-cycle latency.
+	Load
+	// Store is a memory write with a single-cycle latency.
+	Store
+	// FloatAdd is a single-cycle floating-point add/sub/compare.
+	FloatAdd
+	// FloatMul is a three-cycle floating-point multiply.
+	FloatMul
+	// FloatDiv is a nine-cycle floating-point divide.
+	FloatDiv
+	// Branch is a conditional or unconditional exit branch with unit latency.
+	Branch
+
+	numClasses
+)
+
+// NumClasses is the number of distinct operation classes.
+const NumClasses = int(numClasses)
+
+// BranchLatency is the latency of every branch operation (the paper's l_br).
+const BranchLatency = 1
+
+var classNames = [numClasses]string{"int", "load", "store", "fadd", "fmul", "fdiv", "branch"}
+
+// String returns the lower-case mnemonic for the class ("int", "load", ...).
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// ParseClass converts a mnemonic produced by Class.String back to a Class.
+func ParseClass(s string) (Class, error) {
+	for i, n := range classNames {
+		if n == s {
+			return Class(i), nil
+		}
+	}
+	return 0, fmt.Errorf("model: unknown operation class %q", s)
+}
+
+// Latency returns the default result latency of the class, in cycles.
+// All operations are unit latency except loads (2), floating multiplies (3)
+// and floating divides (9), matching Section 6 of the paper.
+func (c Class) Latency() int {
+	switch c {
+	case Load:
+		return 2
+	case FloatMul:
+		return 3
+	case FloatDiv:
+		return 9
+	default:
+		return 1
+	}
+}
+
+// Resource identifies a functional-unit type on a fully specialized (FS)
+// machine. General-purpose (GP) machines collapse all resources into one.
+type Resource uint8
+
+const (
+	// ResInt is the integer ALU unit class.
+	ResInt Resource = iota
+	// ResMem is the memory (load/store) unit class.
+	ResMem
+	// ResFloat is the floating-point unit class.
+	ResFloat
+	// ResBranch is the branch unit class.
+	ResBranch
+
+	numResources
+)
+
+// NumResources is the number of specialized functional-unit types.
+const NumResources = int(numResources)
+
+var resourceNames = [numResources]string{"int", "mem", "float", "branch"}
+
+// String returns the lower-case name of the resource type.
+func (r Resource) String() string {
+	if int(r) < len(resourceNames) {
+		return resourceNames[r]
+	}
+	return fmt.Sprintf("resource(%d)", uint8(r))
+}
+
+// Resource returns the specialized functional-unit type the class issues on.
+func (c Class) Resource() Resource {
+	switch c {
+	case Int:
+		return ResInt
+	case Load, Store:
+		return ResMem
+	case FloatAdd, FloatMul, FloatDiv:
+		return ResFloat
+	case Branch:
+		return ResBranch
+	default:
+		return ResInt
+	}
+}
+
+// Op is a single operation in a dependence graph. Operations are identified
+// by their index in the owning Graph; IDs are dense and assigned in program
+// order by the Builder.
+type Op struct {
+	// ID is the operation's index within its Graph.
+	ID int
+	// Class is the operation kind.
+	Class Class
+	// Latency is the operation's result latency in cycles. The Builder
+	// initializes it to Class.Latency but callers may override it (the
+	// paper's examples use custom latencies on some edges).
+	Latency int
+}
+
+// IsBranch reports whether the operation is a branch.
+func (o Op) IsBranch() bool { return o.Class == Branch }

@@ -1,0 +1,195 @@
+package model_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"balance/internal/model"
+	"balance/internal/testutil"
+)
+
+var quickCfg = &quick.Config{MaxCount: 120}
+
+// TestQuickSuperblockInvariants: every generated superblock validates, its
+// topological order respects the edges, and derived quantities are
+// consistent.
+func TestQuickSuperblockInvariants(t *testing.T) {
+	prop := func(q testutil.QuickSB) bool {
+		sb := q.SB
+		if err := sb.Validate(); err != nil {
+			t.Logf("validate: %v", err)
+			return false
+		}
+		g := sb.G
+		pos := make([]int, g.NumOps())
+		for i, v := range g.Topo() {
+			pos[v] = i
+		}
+		for v := 0; v < g.NumOps(); v++ {
+			for _, e := range g.Succs(v) {
+				if pos[v] >= pos[e.To] {
+					t.Logf("topo violates edge %d->%d", v, e.To)
+					return false
+				}
+			}
+		}
+		// EarlyDC is consistent: early[w] >= early[v] + lat for every edge.
+		early := g.EarlyDC()
+		for v := 0; v < g.NumOps(); v++ {
+			for _, e := range g.Succs(v) {
+				if early[e.To] < early[v]+e.Lat {
+					return false
+				}
+			}
+		}
+		// Heights are consistent the other way.
+		h := g.Heights()
+		for v := 0; v < g.NumOps(); v++ {
+			for _, e := range g.Succs(v) {
+				if h[v] < h[e.To]+e.Lat {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPredClosureMatchesDistances: v is in the closure of target iff
+// the longest path distance is defined.
+func TestQuickPredClosureMatchesDistances(t *testing.T) {
+	prop := func(q testutil.QuickSB) bool {
+		g := q.SB.G
+		for _, b := range q.SB.Branches {
+			dist := g.LongestToTarget(b)
+			cl := g.PredClosure(b)
+			for v := 0; v < g.NumOps(); v++ {
+				inCl := cl.Has(v) || v == b
+				if inCl != (dist[v] >= 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBlocksMonotone: block indices never decrease along any edge that
+// stays within the derived block structure... more precisely, an op's block
+// is never later than the block of any branch it precedes.
+func TestQuickBlocksMonotone(t *testing.T) {
+	prop := func(q testutil.QuickSB) bool {
+		sb := q.SB
+		for v := 0; v < sb.G.NumOps(); v++ {
+			for bi, b := range sb.Branches {
+				if v == b {
+					continue
+				}
+				if sb.G.PredClosure(b).Has(v) && sb.Block[v] > bi {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickExpandOccupancyEquivalence: the expansion preserves the
+// dependence-only early times of the primary nodes and only ever adds
+// resource pressure.
+func TestQuickExpandOccupancyEquivalence(t *testing.T) {
+	prop := func(q testutil.QuickSB, qm testutil.QuickMachine) bool {
+		sb, m := q.SB, qm.M
+		exp, origOf := model.ExpandOccupancy(sb, m)
+		if origOf == nil {
+			return exp == sb
+		}
+		if err := exp.Validate(); err != nil {
+			t.Logf("expanded invalid: %v", err)
+			return false
+		}
+		primary := make([]int, sb.G.NumOps())
+		for i := range primary {
+			primary[i] = -1
+		}
+		for expID, orig := range origOf {
+			if primary[orig] < 0 {
+				primary[orig] = expID
+			}
+		}
+		origEarly := sb.G.EarlyDC()
+		expEarly := exp.G.EarlyDC()
+		for v := 0; v < sb.G.NumOps(); v++ {
+			if expEarly[primary[v]] != origEarly[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBitsetSemantics compares the bitset against a reference map
+// under random operation sequences.
+func TestQuickBitsetSemantics(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		bs := model.NewBitset(n)
+		ref := map[int]bool{}
+		for op := 0; op < 300; op++ {
+			i := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				bs.Set(i)
+				ref[i] = true
+			case 1:
+				bs.Clear(i)
+				delete(ref, i)
+			case 2:
+				if bs.Has(i) != ref[i] {
+					return false
+				}
+			}
+		}
+		if bs.Count() != len(ref) {
+			return false
+		}
+		var got []int
+		bs.ForEach(func(i int) { got = append(got, i) })
+		if len(got) != len(ref) {
+			return false
+		}
+		for _, i := range got {
+			if !ref[i] {
+				return false
+			}
+		}
+		// Or with a clone is idempotent.
+		before := bs.Count()
+		bs.Or(bs.Clone())
+		return bs.Count() == before
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Compile-time check that the generators implement quick.Generator.
+var (
+	_ = reflect.TypeOf(testutil.QuickSB{})
+	_ = reflect.TypeOf(testutil.QuickMachine{})
+)

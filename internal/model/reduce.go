@@ -1,0 +1,75 @@
+package model
+
+import "fmt"
+
+// ReduceEdges returns a copy of the superblock with redundant dependence
+// edges removed: an edge u→v of latency l is dropped when some other path
+// from u to v has total latency strictly greater than l, because the
+// transitive constraint already dominates it. (Edges matched exactly by an
+// alternate path are kept — dropping them would require proving the
+// alternate path does not include the edge itself.)
+//
+// Reduction never changes the set of legal schedules, so every bound and
+// every schedule cost is preserved; it only shrinks the graphs the
+// algorithms traverse.
+func ReduceEdges(sb *Superblock) *Superblock {
+	g := sb.G
+	n := g.NumOps()
+
+	b := NewBuilder(sb.Name)
+	b.SetFreq(sb.Freq)
+	nextBranch := 0
+	for v := 0; v < n; v++ {
+		op := g.Op(v)
+		if op.IsBranch() {
+			if nextBranch >= len(sb.Branches) || sb.Branches[nextBranch] != v {
+				panic(fmt.Sprintf("model: branches of %q are not in ascending ID order", sb.Name))
+			}
+			b.Branch(sb.Prob[nextBranch])
+			nextBranch++
+			continue
+		}
+		b.AddOpLatency(op.Class, op.Latency)
+	}
+
+	// dist[u→*] longest paths; recomputed per source over the topological
+	// order. dist[x] = longest latency path u→x, -1 if unreachable.
+	topo := g.Topo()
+	pos := make([]int, n)
+	for i, v := range topo {
+		pos[v] = i
+	}
+	dist := make([]int, n)
+	for _, u := range topo {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[u] = 0
+		for i := pos[u]; i < len(topo); i++ {
+			x := topo[i]
+			if dist[x] < 0 {
+				continue
+			}
+			for _, e := range g.Succs(x) {
+				if d := dist[x] + e.Lat; d > dist[e.To] {
+					dist[e.To] = d
+				}
+			}
+		}
+		for _, e := range g.Succs(u) {
+			// Keep the edge unless a strictly longer path dominates it.
+			if dist[e.To] > e.Lat {
+				// Skip implicit control edges between consecutive branches
+				// only if a longer path exists too — the Builder re-adds
+				// them regardless, and mergeParallel keeps the max latency.
+				continue
+			}
+			b.DepLatency(u, e.To, e.Lat)
+		}
+	}
+	out, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("model: edge reduction of %q failed: %v", sb.Name, err))
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package model_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"balance/internal/model"
+	"balance/internal/testutil"
+)
+
+func TestReduceEdgesDropsRedundant(t *testing.T) {
+	// 0 -> 1 -> 2 plus a redundant direct 0 -> 2 (latency 1 < path 2).
+	b := model.NewBuilder("red")
+	o0 := b.Int()
+	o1 := b.Int(o0)
+	o2 := b.Int(o1)
+	b.Dep(o0, o2)
+	b.Branch(0, o2)
+	sb := b.MustBuild()
+	if sb.G.NumEdges() != 4 {
+		t.Fatalf("fixture has %d edges, want 4", sb.G.NumEdges())
+	}
+	red := model.ReduceEdges(sb)
+	if red.G.NumEdges() != 3 {
+		t.Errorf("reduced to %d edges, want 3", red.G.NumEdges())
+	}
+	// The surviving structure must preserve all early times.
+	a, c := sb.G.EarlyDC(), red.G.EarlyDC()
+	for v := range a {
+		if a[v] != c[v] {
+			t.Errorf("EarlyDC[%d] changed: %d -> %d", v, a[v], c[v])
+		}
+	}
+}
+
+func TestReduceEdgesKeepsEqualLatencyPaths(t *testing.T) {
+	// Direct edge 0 -> 2 with latency 2 is matched (not exceeded) by the
+	// path through 1 — it must be kept (dropping needs strict dominance).
+	b := model.NewBuilder("eq")
+	o0 := b.Int()
+	o1 := b.Int(o0)
+	o2 := b.AddOp(model.Int)
+	b.Dep(o1, o2)
+	b.DepLatency(o0, o2, 2)
+	b.Branch(0, o2)
+	sb := b.MustBuild()
+	red := model.ReduceEdges(sb)
+	found := false
+	for _, e := range red.G.Succs(0) {
+		if e.To == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("equal-latency edge dropped")
+	}
+}
+
+// TestQuickReduceEdgesPreservesSemantics: reduction never changes early
+// times, heights, closures, or branch structure.
+func TestQuickReduceEdgesPreservesSemantics(t *testing.T) {
+	prop := func(q testutil.QuickSB) bool {
+		sb := q.SB
+		red := model.ReduceEdges(sb)
+		if err := red.Validate(); err != nil {
+			t.Logf("reduced invalid: %v", err)
+			return false
+		}
+		if red.G.NumEdges() > sb.G.NumEdges() {
+			return false
+		}
+		a, b := sb.G.EarlyDC(), red.G.EarlyDC()
+		for v := range a {
+			if a[v] != b[v] {
+				return false
+			}
+		}
+		ha, hb := sb.G.Heights(), red.G.Heights()
+		for v := range ha {
+			if ha[v] != hb[v] {
+				return false
+			}
+		}
+		for _, br := range sb.Branches {
+			ca, cb := sb.G.PredClosure(br), red.G.PredClosure(br)
+			if ca.Count() != cb.Count() {
+				return false
+			}
+		}
+		return len(red.Branches) == len(sb.Branches) && red.Freq == sb.Freq
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

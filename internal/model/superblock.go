@@ -1,0 +1,193 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Superblock is a dependence graph together with its ordered exit branches,
+// their exit probabilities, and the superblock's dynamic execution
+// frequency. Branches are totally ordered by control-flow edges (branch i
+// precedes branch i+1 with latency BranchLatency); the Builder inserts these
+// edges automatically.
+type Superblock struct {
+	// Name identifies the superblock (e.g. "gcc/sb0042").
+	Name string
+
+	// G is the dependence graph. The last branch in Branches is the final
+	// exit of the superblock.
+	G *Graph
+
+	// Branches holds the op IDs of the exit branches in program order.
+	Branches []int
+
+	// Prob[i] is the probability that execution exits through Branches[i].
+	// The probabilities are non-negative and sum to 1: the final exit
+	// absorbs the fall-through probability.
+	Prob []float64
+
+	// Freq is the superblock's dynamic execution frequency (number of times
+	// the superblock is entered during a profiled run). Used to weight
+	// per-superblock costs into dynamic cycle counts.
+	Freq float64
+
+	// Block[v] is the index of the basic block that operation v belongs to
+	// (block i ends at Branches[i]). Derived from predecessor relations if
+	// the source of the superblock does not record it.
+	Block []int
+
+	branchIndex map[int]int // op ID -> exit index
+}
+
+// NumBranches returns the number of exits.
+func (sb *Superblock) NumBranches() int { return len(sb.Branches) }
+
+// BranchIndex returns the exit index of the branch with the given op ID and
+// whether the op is a branch.
+func (sb *Superblock) BranchIndex(op int) (int, bool) {
+	i, ok := sb.branchIndex[op]
+	return i, ok
+}
+
+// Validate checks every superblock invariant:
+//
+//   - the graph is a valid DAG;
+//   - at least one branch exists, every Branches entry is a Branch op, and
+//     no other op is a Branch;
+//   - consecutive branches are ordered by a control edge;
+//   - probabilities are non-negative and sum to 1 (within 1e-6);
+//   - Block is a valid monotone block assignment.
+func (sb *Superblock) Validate() error {
+	if sb.G == nil {
+		return fmt.Errorf("model: superblock %q has no graph", sb.Name)
+	}
+	if err := sb.G.validate(); err != nil {
+		return fmt.Errorf("superblock %q: %w", sb.Name, err)
+	}
+	if len(sb.Branches) == 0 {
+		return fmt.Errorf("model: superblock %q has no exits", sb.Name)
+	}
+	if len(sb.Prob) != len(sb.Branches) {
+		return fmt.Errorf("model: superblock %q has %d probabilities for %d branches", sb.Name, len(sb.Prob), len(sb.Branches))
+	}
+	isBranch := make(map[int]bool, len(sb.Branches))
+	for i, b := range sb.Branches {
+		if b < 0 || b >= sb.G.NumOps() {
+			return fmt.Errorf("model: superblock %q branch %d out of range", sb.Name, b)
+		}
+		if !sb.G.Op(b).IsBranch() {
+			return fmt.Errorf("model: superblock %q exit %d (op %d) is not a branch op", sb.Name, i, b)
+		}
+		if isBranch[b] {
+			return fmt.Errorf("model: superblock %q lists op %d as an exit twice", sb.Name, b)
+		}
+		isBranch[b] = true
+	}
+	for v := 0; v < sb.G.NumOps(); v++ {
+		if sb.G.Op(v).IsBranch() && !isBranch[v] {
+			return fmt.Errorf("model: superblock %q op %d is a branch but not an exit", sb.Name, v)
+		}
+	}
+	// Branch ordering: each branch must be a transitive predecessor of the
+	// next (the Builder guarantees a direct control edge).
+	for i := 0; i+1 < len(sb.Branches); i++ {
+		if !sb.G.PredClosure(sb.Branches[i+1]).Has(sb.Branches[i]) {
+			return fmt.Errorf("model: superblock %q branch %d does not precede branch %d", sb.Name, i, i+1)
+		}
+	}
+	sum := 0.0
+	for i, p := range sb.Prob {
+		if p < 0 || math.IsNaN(p) {
+			return fmt.Errorf("model: superblock %q exit %d has invalid probability %v", sb.Name, i, p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("model: superblock %q exit probabilities sum to %v, want 1", sb.Name, sum)
+	}
+	if sb.Freq < 0 || math.IsNaN(sb.Freq) {
+		return fmt.Errorf("model: superblock %q has invalid frequency %v", sb.Name, sb.Freq)
+	}
+	if len(sb.Block) != sb.G.NumOps() {
+		return fmt.Errorf("model: superblock %q block assignment has %d entries for %d ops", sb.Name, len(sb.Block), sb.G.NumOps())
+	}
+	for v, blk := range sb.Block {
+		if blk < 0 || blk >= len(sb.Branches) {
+			return fmt.Errorf("model: superblock %q op %d assigned to invalid block %d", sb.Name, v, blk)
+		}
+	}
+	return nil
+}
+
+// finish derives the branch index map and, if absent, the block assignment.
+func (sb *Superblock) finish() {
+	sb.branchIndex = make(map[int]int, len(sb.Branches))
+	for i, b := range sb.Branches {
+		sb.branchIndex[b] = i
+	}
+	if sb.Block == nil {
+		sb.Block = DeriveBlocks(sb.G, sb.Branches)
+	}
+}
+
+// DeriveBlocks assigns each operation the index of the first branch it
+// transitively precedes (its own index for branches); operations preceding
+// no branch are assigned to the last block. This is the block structure the
+// Successive Retirement heuristic retires.
+func DeriveBlocks(g *Graph, branches []int) []int {
+	n := g.NumOps()
+	block := make([]int, n)
+	last := len(branches) - 1
+	for v := range block {
+		block[v] = last
+	}
+	// Later branches first so earlier branches overwrite with smaller index.
+	for i := len(branches) - 1; i >= 0; i-- {
+		b := branches[i]
+		block[b] = i
+		g.PredClosure(b).ForEach(func(v int) { block[v] = i })
+	}
+	// Branches keep their own index even though each precedes its
+	// successors' closures (handled by the loop order above: branch b was
+	// overwritten by earlier closures only if it precedes an earlier
+	// branch, which the ordering invariant forbids).
+	for i, b := range branches {
+		block[b] = i
+	}
+	return block
+}
+
+// WeightedProbPrefix returns prefix sums of exit probabilities:
+// out[i] = sum of Prob[0..i].
+func (sb *Superblock) WeightedProbPrefix() []float64 {
+	out := make([]float64, len(sb.Prob))
+	sum := 0.0
+	for i, p := range sb.Prob {
+		sum += p
+		out[i] = sum
+	}
+	return out
+}
+
+// UniformWeights returns a copy of the superblock with the "no profile"
+// weighting used by Table 5 of the paper: the last branch has weight 1000
+// and all other branches have unit weight, normalized to sum to 1.
+func (sb *Superblock) UniformWeights() *Superblock {
+	clone := *sb
+	probs := make([]float64, len(sb.Prob))
+	total := float64(len(probs)-1) + 1000
+	for i := range probs {
+		probs[i] = 1 / total
+	}
+	probs[len(probs)-1] = 1000 / total
+	clone.Prob = probs
+	return &clone
+}
+
+// WithProbs returns a shallow copy of the superblock using the given exit
+// probabilities (which must have one entry per branch and sum to 1).
+func (sb *Superblock) WithProbs(probs []float64) *Superblock {
+	clone := *sb
+	clone.Prob = probs
+	return &clone
+}

@@ -1,0 +1,46 @@
+package sbfile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"balance/internal/model"
+)
+
+// WriteDOT renders the superblock's dependence graph in Graphviz DOT
+// format: branches as doubled octagons annotated with their exit
+// probabilities, operations labeled with their class (and latency when it
+// differs from the class default), and dependence edges labeled with
+// non-unit latencies.
+func WriteDOT(w io.Writer, sb *model.Superblock) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n", sb.Name)
+	fmt.Fprintln(bw, "  rankdir=TB;")
+	fmt.Fprintln(bw, "  node [shape=box, fontname=\"monospace\"];")
+	g := sb.G
+	for v := 0; v < g.NumOps(); v++ {
+		op := g.Op(v)
+		if bi, ok := sb.BranchIndex(v); ok {
+			fmt.Fprintf(bw, "  n%d [shape=doubleoctagon, label=\"%d: branch\\np=%.3f\"];\n",
+				v, v, sb.Prob[bi])
+			continue
+		}
+		label := fmt.Sprintf("%d: %s", v, op.Class)
+		if op.Latency != op.Class.Latency() {
+			label += fmt.Sprintf("\\nlat=%d", op.Latency)
+		}
+		fmt.Fprintf(bw, "  n%d [label=\"%s\"];\n", v, label)
+	}
+	for v := 0; v < g.NumOps(); v++ {
+		for _, e := range g.Succs(v) {
+			if e.Lat != 1 {
+				fmt.Fprintf(bw, "  n%d -> n%d [label=\"%d\"];\n", v, e.To, e.Lat)
+			} else {
+				fmt.Fprintf(bw, "  n%d -> n%d;\n", v, e.To)
+			}
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

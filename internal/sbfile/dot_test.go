@@ -1,0 +1,59 @@
+package sbfile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"balance/internal/figures"
+	"balance/internal/model"
+)
+
+func TestWriteDOT(t *testing.T) {
+	b := model.NewBuilder("dot")
+	o0 := b.AddOpLatency(model.Int, 4)
+	l := b.Load()
+	b.Branch(0.3, o0)
+	b.Branch(0, l)
+	sb := b.MustBuild()
+
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, sb); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph \"dot\"",
+		"p=0.300",
+		"doubleoctagon",
+		"lat=4",
+		"n1 -> n3",      // load -> final branch
+		"[label=\"2\"]", // load edge latency
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Every op gets a node line.
+	for v := 0; v < sb.G.NumOps(); v++ {
+		if !strings.Contains(out, "n"+string(rune('0'+v))+" [") {
+			t.Errorf("node n%d missing", v)
+		}
+	}
+}
+
+func TestWriteDOTFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, figures.Figure1(0.25)); err != nil {
+		t.Fatal(err)
+	}
+	// 17 nodes, 2 branch shapes.
+	out := buf.String()
+	if got := strings.Count(out, "doubleoctagon"); got != 2 {
+		t.Errorf("%d branch nodes, want 2", got)
+	}
+	if got := strings.Count(out, "->"); got != figures.Figure1(0.25).G.NumEdges() {
+		t.Errorf("%d edges rendered, want %d", got, figures.Figure1(0.25).G.NumEdges())
+	}
+}

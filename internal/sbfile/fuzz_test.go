@@ -1,0 +1,46 @@
+package sbfile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"balance/internal/figures"
+)
+
+// FuzzRead exercises the .sb parser: it must never panic, and anything it
+// accepts must be a valid superblock that round-trips.
+func FuzzRead(f *testing.F) {
+	var seed bytes.Buffer
+	if err := Write(&seed, figures.Figure1(0.25), figures.Figure2(0.3)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("superblock x\nop 0 int\nbranch 1 0.5\nbranch 2 0\ndep 0 1\nend\n")
+	f.Add("# comment\n\nsuperblock y\nfreq 2.5\nop 0 load 7\nbranch 1 0\nend\n")
+	f.Add("superblock broken\nop 0 int\n")
+	f.Add("dep 1 2\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		sbs, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		for _, sb := range sbs {
+			if verr := sb.Validate(); verr != nil {
+				t.Fatalf("parser accepted an invalid superblock: %v", verr)
+			}
+			var buf bytes.Buffer
+			if werr := Write(&buf, sb); werr != nil {
+				t.Fatalf("cannot re-encode accepted superblock: %v", werr)
+			}
+			back, rerr := Read(&buf)
+			if rerr != nil {
+				t.Fatalf("round trip failed: %v\n%s", rerr, buf.String())
+			}
+			if len(back) != 1 || back[0].G.NumOps() != sb.G.NumOps() {
+				t.Fatal("round trip changed the superblock")
+			}
+		}
+	})
+}

@@ -1,0 +1,224 @@
+// Package sbfile implements a line-oriented text format for superblocks so
+// the command-line tools can exchange dependence graphs. The format:
+//
+//	# comment
+//	superblock <name>
+//	freq <float>                  (optional, default 1)
+//	op <id> <class> [<latency>]   (ids dense, in program order)
+//	branch <id> <prob> [<latency>]
+//	dep <from> <to> [<latency>]   (default: producer latency)
+//	end
+//
+// Several superblocks may appear in one file. The control edges between
+// consecutive branches are implicit (the reader inserts them; the writer
+// omits them).
+package sbfile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"balance/internal/model"
+)
+
+// Write encodes the superblocks to w.
+func Write(w io.Writer, sbs ...*model.Superblock) error {
+	bw := bufio.NewWriter(w)
+	for _, sb := range sbs {
+		if err := writeOne(bw, sb); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeOne(w *bufio.Writer, sb *model.Superblock) error {
+	fmt.Fprintf(w, "superblock %s\n", sb.Name)
+	if sb.Freq != 1 {
+		fmt.Fprintf(w, "freq %g\n", sb.Freq)
+	}
+	g := sb.G
+	for v := 0; v < g.NumOps(); v++ {
+		op := g.Op(v)
+		if bi, ok := sb.BranchIndex(v); ok {
+			fmt.Fprintf(w, "branch %d %g", v, sb.Prob[bi])
+			if op.Latency != op.Class.Latency() {
+				fmt.Fprintf(w, " %d", op.Latency)
+			}
+			fmt.Fprintln(w)
+			continue
+		}
+		fmt.Fprintf(w, "op %d %s", v, op.Class)
+		if op.Latency != op.Class.Latency() {
+			fmt.Fprintf(w, " %d", op.Latency)
+		}
+		fmt.Fprintln(w)
+	}
+	for v := 0; v < g.NumOps(); v++ {
+		for _, e := range g.Succs(v) {
+			// Skip the implicit control edge between consecutive branches.
+			if isControlEdge(sb, v, e) {
+				continue
+			}
+			if e.Lat != g.Op(v).Latency {
+				fmt.Fprintf(w, "dep %d %d %d\n", v, e.To, e.Lat)
+			} else {
+				fmt.Fprintf(w, "dep %d %d\n", v, e.To)
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "end")
+	return err
+}
+
+// isControlEdge reports whether the edge is the implicit branch-chain edge.
+func isControlEdge(sb *model.Superblock, from int, e model.Edge) bool {
+	bi, okFrom := sb.BranchIndex(from)
+	bj, okTo := sb.BranchIndex(e.To)
+	return okFrom && okTo && bj == bi+1 && e.Lat == model.BranchLatency
+}
+
+// Read parses every superblock in r.
+func Read(r io.Reader) ([]*model.Superblock, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var out []*model.Superblock
+	var b *model.Builder
+	var freq float64 = 1
+	nextID := 0
+	line := 0
+	type pendingDep struct{ from, to, lat int }
+	var deps []pendingDep
+
+	finish := func() error {
+		if b == nil {
+			return nil
+		}
+		for _, d := range deps {
+			if d.lat < 0 {
+				b.Dep(d.from, d.to)
+			} else {
+				b.DepLatency(d.from, d.to, d.lat)
+			}
+		}
+		b.SetFreq(freq)
+		sb, err := b.Build()
+		if err != nil {
+			return err
+		}
+		out = append(out, sb)
+		b = nil
+		deps = deps[:0]
+		freq = 1
+		nextID = 0
+		return nil
+	}
+
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		errf := func(format string, args ...interface{}) error {
+			return fmt.Errorf("sbfile: line %d: %s", line, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "superblock":
+			if b != nil {
+				return nil, errf("nested superblock (missing end?)")
+			}
+			if len(fields) < 2 {
+				return nil, errf("superblock needs a name")
+			}
+			b = model.NewBuilder(strings.Join(fields[1:], " "))
+		case "freq":
+			if b == nil || len(fields) != 2 {
+				return nil, errf("misplaced or malformed freq")
+			}
+			f, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, errf("bad freq: %v", err)
+			}
+			freq = f
+		case "op", "branch":
+			if b == nil || len(fields) < 3 {
+				return nil, errf("misplaced or malformed %s", fields[0])
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil || id != nextID {
+				return nil, errf("op ids must be dense and in order (got %q, want %d)", fields[1], nextID)
+			}
+			lat := -1
+			if len(fields) >= 4 {
+				lat, err = strconv.Atoi(fields[3])
+				if err != nil || lat < 0 {
+					return nil, errf("bad latency %q", fields[3])
+				}
+			}
+			if fields[0] == "op" {
+				c, err := model.ParseClass(fields[2])
+				if err != nil {
+					return nil, errf("%v", err)
+				}
+				if c == model.Branch {
+					return nil, errf("use the branch directive for branches")
+				}
+				if lat < 0 {
+					b.AddOp(c)
+				} else {
+					b.AddOpLatency(c, lat)
+				}
+			} else {
+				prob, err := strconv.ParseFloat(fields[2], 64)
+				if err != nil {
+					return nil, errf("bad probability %q", fields[2])
+				}
+				id := b.Branch(prob)
+				_ = id
+				if lat >= 0 {
+					return nil, errf("branch latency overrides are not supported")
+				}
+			}
+			nextID++
+		case "dep":
+			if b == nil || len(fields) < 3 {
+				return nil, errf("misplaced or malformed dep")
+			}
+			from, err1 := strconv.Atoi(fields[1])
+			to, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, errf("bad dep endpoints")
+			}
+			lat := -1
+			if len(fields) >= 4 {
+				var err error
+				lat, err = strconv.Atoi(fields[3])
+				if err != nil || lat < 0 {
+					return nil, errf("bad dep latency %q", fields[3])
+				}
+			}
+			deps = append(deps, pendingDep{from, to, lat})
+		case "end":
+			if b == nil {
+				return nil, errf("end without superblock")
+			}
+			if err := finish(); err != nil {
+				return nil, fmt.Errorf("sbfile: line %d: %w", line, err)
+			}
+		default:
+			return nil, errf("unknown directive %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sbfile: %w", err)
+	}
+	if b != nil {
+		return nil, fmt.Errorf("sbfile: unterminated superblock (missing end)")
+	}
+	return out, nil
+}

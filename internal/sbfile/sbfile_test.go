@@ -1,0 +1,144 @@
+package sbfile
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"balance/internal/figures"
+	"balance/internal/gen"
+	"balance/internal/model"
+	"balance/internal/testutil"
+)
+
+func roundTrip(t *testing.T, sb *model.Superblock) *model.Superblock {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, sb); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("read: %v\nfile:\n%s", err, buf.String())
+	}
+	if len(back) != 1 {
+		t.Fatalf("round trip returned %d superblocks", len(back))
+	}
+	return back[0]
+}
+
+func assertEqual(t *testing.T, a, b *model.Superblock) {
+	t.Helper()
+	if a.Name != b.Name || a.G.NumOps() != b.G.NumOps() || a.NumBranches() != b.NumBranches() {
+		t.Fatalf("shape mismatch: %s(%d ops) vs %s(%d ops)", a.Name, a.G.NumOps(), b.Name, b.G.NumOps())
+	}
+	if a.Freq != b.Freq {
+		t.Errorf("freq %v vs %v", a.Freq, b.Freq)
+	}
+	for v := 0; v < a.G.NumOps(); v++ {
+		oa, ob := a.G.Op(v), b.G.Op(v)
+		if oa.Class != ob.Class || oa.Latency != ob.Latency {
+			t.Fatalf("op %d differs: %v/%d vs %v/%d", v, oa.Class, oa.Latency, ob.Class, ob.Latency)
+		}
+		ea, eb := a.G.Succs(v), b.G.Succs(v)
+		if len(ea) != len(eb) {
+			t.Fatalf("op %d edge count differs: %d vs %d", v, len(ea), len(eb))
+		}
+		for i := range ea {
+			if ea[i] != eb[i] {
+				t.Fatalf("op %d edge %d differs: %v vs %v", v, i, ea[i], eb[i])
+			}
+		}
+	}
+	for i := range a.Prob {
+		if diff := a.Prob[i] - b.Prob[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("prob %d differs: %v vs %v", i, a.Prob[i], b.Prob[i])
+		}
+	}
+}
+
+func TestRoundTripFigures(t *testing.T) {
+	for _, sb := range []*model.Superblock{
+		figures.Figure1(0.25), figures.Figure2(0.3), figures.Figure3(0.2),
+		figures.Figure4(0.26), figures.Figure6(),
+	} {
+		assertEqual(t, sb, roundTrip(t, sb))
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 40; i++ {
+		sb := testutil.RandomSuperblock(rng, 40)
+		assertEqual(t, sb, roundTrip(t, sb))
+	}
+}
+
+func TestRoundTripGenerated(t *testing.T) {
+	p, _ := gen.ProfileByName("compress")
+	sbs := gen.Generate(p, 9, 0.3)
+	var buf bytes.Buffer
+	if err := Write(&buf, sbs...); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(sbs) {
+		t.Fatalf("got %d superblocks back, want %d", len(back), len(sbs))
+	}
+	for i := range sbs {
+		assertEqual(t, sbs[i], back[i])
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"unterminated":  "superblock x\nop 0 int\nbranch 1 0\n",
+		"nested":        "superblock x\nsuperblock y\n",
+		"sparse ids":    "superblock x\nop 2 int\nend\n",
+		"bad class":     "superblock x\nop 0 banana\nend\n",
+		"branch as op":  "superblock x\nop 0 branch\nend\n",
+		"bad dep":       "superblock x\nop 0 int\nbranch 1 0\ndep 0 zero\nend\n",
+		"end w/o start": "end\n",
+		"unknown":       "frobnicate 1 2\n",
+		"no branch":     "superblock x\nop 0 int\nend\n",
+		"freq outside":  "freq 2\n",
+	}
+	for name, text := range cases {
+		if _, err := Read(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: Read accepted invalid input", name)
+		}
+	}
+}
+
+func TestReadCommentsAndBlank(t *testing.T) {
+	text := `
+# a comment
+superblock demo
+
+# ops
+op 0 int
+op 1 load 5
+branch 2 0.4
+branch 3 0
+dep 0 2
+dep 1 3
+end
+`
+	sbs, err := Read(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sbs) != 1 || sbs[0].Name != "demo" {
+		t.Fatalf("parse failed: %+v", sbs)
+	}
+	if sbs[0].G.Op(1).Latency != 5 {
+		t.Errorf("latency override lost: %d", sbs[0].G.Op(1).Latency)
+	}
+	if sbs[0].Prob[0] != 0.4 {
+		t.Errorf("prob = %v", sbs[0].Prob[0])
+	}
+}

@@ -1,0 +1,84 @@
+package sched
+
+import "balance/internal/model"
+
+// Compact post-processes a legal schedule by moving operations to earlier
+// cycles where dependences and resources allow, processing ops in issue
+// order (so each op moves against an already-compacted prefix). The result
+// is legal and every operation's issue cycle is ≤ its original cycle, so
+// the weighted completion cost never increases. It returns the compacted
+// schedule and the number of operations that moved.
+func Compact(sb *model.Superblock, m *model.Machine, s *Schedule) (*Schedule, int) {
+	g := sb.G
+	n := g.NumOps()
+	order := make([]int, n)
+	for v := range order {
+		order[v] = v
+	}
+	// Issue order, ID tie-break: deterministic and prefix-consistent.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			if s.Cycle[a] < s.Cycle[b] || (s.Cycle[a] == s.Cycle[b] && a < b) {
+				break
+			}
+			order[j-1], order[j] = order[j], order[j-1]
+		}
+	}
+
+	out := NewSchedule(n)
+	busy := make([][]int, m.Kinds())
+	busyAt := func(k, t int) int {
+		if t < len(busy[k]) {
+			return busy[k][t]
+		}
+		return 0
+	}
+	hold := func(c model.Class, t int) {
+		k := m.KindOf(c)
+		for u := t; u < t+m.Occupancy(c); u++ {
+			for u >= len(busy[k]) {
+				busy[k] = append(busy[k], 0)
+			}
+			busy[k][u]++
+		}
+	}
+	fits := func(c model.Class, t int) bool {
+		k := m.KindOf(c)
+		for u := t; u < t+m.Occupancy(c); u++ {
+			if busyAt(k, u) >= m.Capacity(k) {
+				return false
+			}
+		}
+		return true
+	}
+
+	moved := 0
+	for _, v := range order {
+		ready := 0
+		for _, e := range g.Preds(v) {
+			if t := out.Cycle[e.To] + e.Lat; t > ready {
+				ready = t
+			}
+		}
+		c := ready
+		cls := g.Op(v).Class
+		for c < s.Cycle[v] && !fits(cls, c) {
+			c++
+		}
+		if c > s.Cycle[v] {
+			// Never move later than the original slot. No fit check is
+			// needed there: ops are processed in issue order and only ever
+			// move earlier, so for any cycle t ≥ v's original cycle the
+			// compacted prefix occupies at most what the original schedule
+			// did — which had room for v.
+			c = s.Cycle[v]
+		}
+		out.Cycle[v] = c
+		hold(cls, c)
+		if c < s.Cycle[v] {
+			moved++
+		}
+	}
+	return out, moved
+}

@@ -1,0 +1,96 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"balance/internal/model"
+	"balance/internal/testutil"
+)
+
+func TestCompactImprovesSparseSchedule(t *testing.T) {
+	// A deliberately bad (serial) schedule must compact substantially.
+	b := model.NewBuilder("sparse")
+	var ids []int
+	for i := 0; i < 6; i++ {
+		ids = append(ids, b.Int())
+	}
+	b.Branch(0, ids...)
+	sb := b.MustBuild()
+	m := model.GP2()
+	s := NewSchedule(sb.G.NumOps())
+	for v := range s.Cycle {
+		s.Cycle[v] = v * 2 // gappy serial schedule
+	}
+	if err := Verify(sb, m, s); err != nil {
+		t.Fatal(err)
+	}
+	out, moved := Compact(sb, m, s)
+	if err := Verify(sb, m, out); err != nil {
+		t.Fatalf("compacted schedule illegal: %v", err)
+	}
+	if moved == 0 {
+		t.Error("nothing moved")
+	}
+	if Cost(sb, out) >= Cost(sb, s) {
+		t.Errorf("compaction did not reduce cost: %v -> %v", Cost(sb, s), Cost(sb, out))
+	}
+	// Six ops on two units: all in cycles 0-2, branch at 3.
+	if out.Cycle[sb.Branches[0]] != 3 {
+		t.Errorf("branch at %d after compaction, want 3", out.Cycle[sb.Branches[0]])
+	}
+}
+
+func TestCompactIdempotentOnTightSchedules(t *testing.T) {
+	b := model.NewBuilder("tight")
+	o0 := b.Int()
+	o1 := b.Int(o0)
+	b.Branch(0, o1)
+	sb := b.MustBuild()
+	m := model.GP2()
+	s, _, err := ListSchedule(sb, m, IntsToFloats(sb.G.Heights()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, moved := Compact(sb, m, s)
+	if moved != 0 {
+		t.Errorf("moved %d ops on an already greedy schedule", moved)
+	}
+	for v := range out.Cycle {
+		if out.Cycle[v] != s.Cycle[v] {
+			t.Errorf("op %d moved from %d to %d", v, s.Cycle[v], out.Cycle[v])
+		}
+	}
+}
+
+// TestQuickCompactSafety: on arbitrary instances, machines (incl.
+// non-pipelined), and priority schedules, compaction keeps legality and
+// never increases any op's cycle or the cost.
+func TestQuickCompactSafety(t *testing.T) {
+	prop := func(q testutil.QuickSB, qm testutil.QuickMachine, rev bool) bool {
+		sb, m := q.SB, qm.M
+		key := IntsToFloats(sb.G.Heights())
+		if rev {
+			key = Negate(key)
+		}
+		s, _, err := ListSchedule(sb, m, key)
+		if err != nil {
+			return false
+		}
+		out, _ := Compact(sb, m, s)
+		if err := Verify(sb, m, out); err != nil {
+			t.Logf("illegal after compaction: %v", err)
+			return false
+		}
+		for v := range out.Cycle {
+			if out.Cycle[v] > s.Cycle[v] {
+				t.Logf("op %d moved later: %d -> %d", v, s.Cycle[v], out.Cycle[v])
+				return false
+			}
+		}
+		return Cost(sb, out) <= Cost(sb, s)+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,214 @@
+package sched
+
+import (
+	"fmt"
+
+	"balance/internal/model"
+)
+
+// Stats counts the work performed while constructing a schedule. The counts
+// mirror the "sum of each loop trip count" metric of Table 6 in the paper.
+type Stats struct {
+	// Decisions is the number of pick decisions (one per scheduled op).
+	Decisions int64
+	// CycleAdvances is the number of times the scheduler moved to the next
+	// cycle because nothing else fit in the current one.
+	CycleAdvances int64
+	// CandidateScans counts candidate operations examined across all picks.
+	CandidateScans int64
+	// PriorityWork counts heuristic-specific inner-loop trips (priority
+	// evaluations, bound updates, need computations, ...).
+	PriorityWork int64
+	// FullUpdates and LightUpdates count dynamic-bound recomputations in
+	// heuristics that maintain them (Help, Balance).
+	FullUpdates  int64
+	LightUpdates int64
+}
+
+// Total returns the sum of all counters (the scalar complexity statistic).
+func (s *Stats) Total() int64 {
+	return s.Decisions + s.CycleAdvances + s.CandidateScans + s.PriorityWork + s.FullUpdates + s.LightUpdates
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other *Stats) {
+	s.Decisions += other.Decisions
+	s.CycleAdvances += other.CycleAdvances
+	s.CandidateScans += other.CandidateScans
+	s.PriorityWork += other.PriorityWork
+	s.FullUpdates += other.FullUpdates
+	s.LightUpdates += other.LightUpdates
+}
+
+// State is the evolving state of a list-scheduling run. Pickers inspect it
+// to choose the next operation; the engine owns all mutations.
+type State struct {
+	// SB and M identify the problem instance.
+	SB *model.Superblock
+	M  *model.Machine
+
+	// Cycle is the cycle currently being filled.
+	Cycle int
+	// IssueCycle[v] is v's issue cycle, or -1 while unscheduled.
+	IssueCycle []int
+	// Scheduled is the number of operations issued so far.
+	Scheduled int
+	// LastOp is the operation scheduled by the previous decision, or -1 if
+	// the previous event was a cycle advance (used by light updates).
+	LastOp int
+	// Stats accumulates work counters.
+	Stats Stats
+
+	predsLeft []int   // unscheduled direct predecessors
+	readyAt   []int   // earliest dependence-ready cycle once predsLeft == 0
+	busy      [][]int // busy[k][cycle] = kind-k units held at cycle
+	candBuf   []int
+}
+
+// newState initializes engine state for one scheduling run.
+func newState(sb *model.Superblock, m *model.Machine) *State {
+	n := sb.G.NumOps()
+	st := &State{
+		SB:         sb,
+		M:          m,
+		IssueCycle: make([]int, n),
+		LastOp:     -1,
+		predsLeft:  make([]int, n),
+		readyAt:    make([]int, n),
+		busy:       make([][]int, m.Kinds()),
+	}
+	for v := 0; v < n; v++ {
+		st.IssueCycle[v] = -1
+		st.predsLeft[v] = len(sb.G.Preds(v))
+	}
+	return st
+}
+
+// IsScheduled reports whether v has been issued.
+func (st *State) IsScheduled(v int) bool { return st.IssueCycle[v] >= 0 }
+
+// DepReady reports whether all of v's dependences are satisfied by the
+// current cycle (v may still fail to fit a resource).
+func (st *State) DepReady(v int) bool {
+	return st.IssueCycle[v] < 0 && st.predsLeft[v] == 0 && st.readyAt[v] <= st.Cycle
+}
+
+// ReadyAt returns the earliest dependence-ready cycle of v, valid once all
+// of v's predecessors are scheduled.
+func (st *State) ReadyAt(v int) int { return st.readyAt[v] }
+
+// PredsLeft returns the number of v's unscheduled direct predecessors.
+func (st *State) PredsLeft(v int) int { return st.predsLeft[v] }
+
+// BusyAt returns the number of kind-k units already held at the given
+// cycle (by previously issued operations, including non-fully-pipelined
+// ones still occupying their unit).
+func (st *State) BusyAt(k, cycle int) int {
+	if cycle < len(st.busy[k]) {
+		return st.busy[k][cycle]
+	}
+	return 0
+}
+
+// FreeSlots returns the number of unused units of resource kind k in the
+// current cycle.
+func (st *State) FreeSlots(k int) int { return st.M.Capacity(k) - st.BusyAt(k, st.Cycle) }
+
+// FreeSlotsAt returns the number of unused kind-k units at an arbitrary
+// cycle.
+func (st *State) FreeSlotsAt(k, cycle int) int { return st.M.Capacity(k) - st.BusyAt(k, cycle) }
+
+// Fits reports whether v's resource kind has a free unit for v's whole
+// occupancy window starting at the current cycle.
+func (st *State) Fits(v int) bool {
+	c := st.SB.G.Op(v).Class
+	k := st.M.KindOf(c)
+	cap := st.M.Capacity(k)
+	for t := st.Cycle; t < st.Cycle+st.M.Occupancy(c); t++ {
+		if st.BusyAt(k, t) >= cap {
+			return false
+		}
+	}
+	return true
+}
+
+// Candidates returns the operations that can legally issue in the current
+// cycle (dependence-ready and resource-feasible). The returned slice is
+// reused across calls; callers must not retain it.
+func (st *State) Candidates() []int {
+	st.candBuf = st.candBuf[:0]
+	for v := 0; v < len(st.IssueCycle); v++ {
+		st.Stats.CandidateScans++
+		if st.DepReady(v) && st.Fits(v) {
+			st.candBuf = append(st.candBuf, v)
+		}
+	}
+	return st.candBuf
+}
+
+// place issues v in the current cycle.
+func (st *State) place(v int) {
+	st.IssueCycle[v] = st.Cycle
+	st.Scheduled++
+	c := st.SB.G.Op(v).Class
+	k := st.M.KindOf(c)
+	for t := st.Cycle; t < st.Cycle+st.M.Occupancy(c); t++ {
+		for t >= len(st.busy[k]) {
+			st.busy[k] = append(st.busy[k], 0)
+		}
+		st.busy[k][t]++
+	}
+	for _, e := range st.SB.G.Succs(v) {
+		st.predsLeft[e.To]--
+		if t := st.Cycle + e.Lat; t > st.readyAt[e.To] {
+			st.readyAt[e.To] = t
+		}
+	}
+	st.LastOp = v
+}
+
+// advance moves to the next cycle.
+func (st *State) advance() {
+	st.Cycle++
+	st.LastOp = -1
+	st.Stats.CycleAdvances++
+}
+
+// Picker selects the next operation to issue. Pick must return either an
+// operation from the current candidate set (dependence-ready and
+// resource-feasible in the current cycle) or -1 to advance to the next
+// cycle. The engine never calls Pick once all operations are scheduled.
+type Picker interface {
+	Pick(st *State) int
+}
+
+// PickerFunc adapts a function to the Picker interface.
+type PickerFunc func(st *State) int
+
+// Pick implements Picker.
+func (f PickerFunc) Pick(st *State) int { return f(st) }
+
+// Run executes list scheduling with the given picker and returns the
+// resulting schedule and the work statistics of the run.
+func Run(sb *model.Superblock, m *model.Machine, p Picker) (*Schedule, Stats, error) {
+	st := newState(sb, m)
+	n := sb.G.NumOps()
+	horizon := Horizon(sb) + n
+	for st.Scheduled < n {
+		if st.Cycle > horizon {
+			return nil, st.Stats, fmt.Errorf("sched: picker made no progress by cycle %d on %q", st.Cycle, sb.Name)
+		}
+		v := p.Pick(st)
+		st.Stats.Decisions++
+		if v < 0 {
+			st.advance()
+			continue
+		}
+		if v >= n || !st.DepReady(v) || !st.Fits(v) {
+			return nil, st.Stats, fmt.Errorf("sched: picker chose illegal op %d at cycle %d on %q", v, st.Cycle, sb.Name)
+		}
+		st.place(v)
+	}
+	s := &Schedule{Cycle: append([]int(nil), st.IssueCycle...)}
+	return s, st.Stats, nil
+}

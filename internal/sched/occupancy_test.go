@@ -1,0 +1,87 @@
+package sched
+
+import (
+	"testing"
+
+	"balance/internal/model"
+)
+
+// npGP2 is GP2 with a non-pipelined 3-cycle float multiplier.
+func npGP2() *model.Machine { return model.GP2().WithOccupancy(model.FloatMul, 3) }
+
+func TestOccupancySerializesUnit(t *testing.T) {
+	// Two independent fmuls on a machine whose two GP units are held for 3
+	// cycles each: they can run concurrently (2 units) but a third must
+	// wait until a unit frees.
+	b := model.NewBuilder("np")
+	m0 := b.Op(model.FloatMul)
+	m1 := b.Op(model.FloatMul)
+	m2 := b.Op(model.FloatMul)
+	b.Branch(0, m0, m1, m2)
+	sb := b.MustBuild()
+
+	s, _, err := ListSchedule(sb, npGP2(), IntsToFloats(sb.G.Heights()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(sb, npGP2(), s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Cycle[m0] != 0 || s.Cycle[m1] != 0 {
+		t.Errorf("first two fmuls at %d,%d, want 0,0", s.Cycle[m0], s.Cycle[m1])
+	}
+	if s.Cycle[m2] < 3 {
+		t.Errorf("third fmul at %d, want >= 3 (units held)", s.Cycle[m2])
+	}
+	// On the fully pipelined GP2 the third fmul issues at cycle 1.
+	s2, _, err := ListSchedule(sb, model.GP2(), IntsToFloats(sb.G.Heights()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Cycle[m2] != 1 {
+		t.Errorf("pipelined third fmul at %d, want 1", s2.Cycle[m2])
+	}
+}
+
+func TestVerifyCatchesOccupancyViolation(t *testing.T) {
+	b := model.NewBuilder("np")
+	m0 := b.Op(model.FloatMul)
+	m1 := b.Op(model.FloatMul)
+	m2 := b.Op(model.FloatMul)
+	br := b.Branch(0, m0, m1, m2)
+	sb := b.MustBuild()
+
+	s := NewSchedule(sb.G.NumOps())
+	s.Cycle[m0], s.Cycle[m1] = 0, 0
+	s.Cycle[m2] = 1 // overlaps both held units
+	s.Cycle[br] = 4
+	if err := Verify(sb, npGP2(), s); err == nil {
+		t.Error("Verify accepted an occupancy violation")
+	}
+	s.Cycle[m2] = 3
+	s.Cycle[br] = 6
+	if err := Verify(sb, npGP2(), s); err != nil {
+		t.Errorf("legal occupancy schedule rejected: %v", err)
+	}
+}
+
+func TestOccupancyDoesNotBlockOtherKinds(t *testing.T) {
+	// On FS4 a held float unit must not block integer issue.
+	m := model.FS4().WithOccupancy(model.FloatDiv, 9)
+	b := model.NewBuilder("np")
+	d := b.Op(model.FloatDiv)
+	i0 := b.Int()
+	i1 := b.Int()
+	b.Branch(0, d, i0, i1)
+	sb := b.MustBuild()
+	s, _, err := ListSchedule(sb, m, IntsToFloats(sb.G.Heights()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(sb, m, s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Cycle[i0] != 0 || s.Cycle[i1] != 1 {
+		t.Errorf("int ops at %d,%d, want 0,1", s.Cycle[i0], s.Cycle[i1])
+	}
+}

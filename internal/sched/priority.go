@@ -1,0 +1,164 @@
+package sched
+
+import "balance/internal/model"
+
+// KeyPicker is a static-priority picker: each operation has a vector of
+// priority keys, compared lexicographically (higher is better); ties are
+// broken by smaller operation ID, making every run deterministic.
+//
+// Each Keys[level] is a per-operation slice; level 0 is the primary key.
+type KeyPicker struct {
+	Keys [][]float64
+}
+
+// Pick implements Picker: it returns the highest-priority candidate that
+// can issue in the current cycle, or -1 if none exists.
+func (kp *KeyPicker) Pick(st *State) int {
+	best := -1
+	for _, v := range st.Candidates() {
+		st.Stats.PriorityWork++
+		if best < 0 || kp.less(best, v) {
+			best = v
+		}
+	}
+	return best
+}
+
+// less reports whether a has strictly lower priority than b.
+func (kp *KeyPicker) less(a, b int) bool {
+	for _, key := range kp.Keys {
+		if key[a] != key[b] {
+			return key[a] < key[b]
+		}
+	}
+	return b < a // prefer the smaller ID on full ties
+}
+
+// ListSchedule runs static-priority list scheduling with the given key
+// vectors and returns the schedule.
+func ListSchedule(sb *model.Superblock, m *model.Machine, keys ...[]float64) (*Schedule, Stats, error) {
+	return Run(sb, m, &KeyPicker{Keys: keys})
+}
+
+// IntsToFloats converts an integer key (e.g. heights) to a float64 key.
+func IntsToFloats(in []int) []float64 {
+	out := make([]float64, len(in))
+	for i, v := range in {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// Negate returns the negated key, turning a "smaller is better" metric into
+// a KeyPicker priority.
+func Negate(in []float64) []float64 {
+	out := make([]float64, len(in))
+	for i, v := range in {
+		out[i] = -v
+	}
+	return out
+}
+
+// AsapSchedule schedules the subgraph induced by the operations in include
+// (a bitset over op IDs, which must be predecessor-closed) using
+// critical-path list scheduling, and returns the issue cycle of target.
+// It is the "schedule the dependence graph rooted at b using a secondary
+// heuristic" primitive of the G* heuristic.
+func AsapSchedule(sb *model.Superblock, m *model.Machine, include *model.Bitset, target int) (int, Stats) {
+	g := sb.G
+	n := g.NumOps()
+	// Heights restricted to the included subgraph.
+	heights := make([]float64, n)
+	topo := g.Topo()
+	for i := len(topo) - 1; i >= 0; i-- {
+		v := topo[i]
+		if !include.Has(v) {
+			continue
+		}
+		for _, e := range g.Succs(v) {
+			if !include.Has(e.To) {
+				continue
+			}
+			if h := heights[e.To] + float64(e.Lat); h > heights[v] {
+				heights[v] = h
+			}
+		}
+	}
+
+	var stats Stats
+	predsLeft := make([]int, n)
+	readyAt := make([]int, n)
+	issue := make([]int, n)
+	remaining := 0
+	for v := 0; v < n; v++ {
+		issue[v] = -1
+		if !include.Has(v) {
+			continue
+		}
+		remaining++
+		for _, e := range g.Preds(v) {
+			if include.Has(e.To) {
+				predsLeft[v]++
+			}
+		}
+	}
+	busy := make([][]int, m.Kinds())
+	busyAt := func(k, t int) int {
+		if t < len(busy[k]) {
+			return busy[k][t]
+		}
+		return 0
+	}
+	hold := func(c model.Class, t int) {
+		k := m.KindOf(c)
+		for u := t; u < t+m.Occupancy(c); u++ {
+			for u >= len(busy[k]) {
+				busy[k] = append(busy[k], 0)
+			}
+			busy[k][u]++
+		}
+	}
+	fits := func(c model.Class, t int) bool {
+		k := m.KindOf(c)
+		for u := t; u < t+m.Occupancy(c); u++ {
+			if busyAt(k, u) >= m.Capacity(k) {
+				return false
+			}
+		}
+		return true
+	}
+	cycle := 0
+	for remaining > 0 {
+		best := -1
+		for v := 0; v < n; v++ {
+			stats.CandidateScans++
+			if !include.Has(v) || issue[v] >= 0 || predsLeft[v] > 0 || readyAt[v] > cycle {
+				continue
+			}
+			if !fits(g.Op(v).Class, cycle) {
+				continue
+			}
+			if best < 0 || heights[v] > heights[best] || (heights[v] == heights[best] && v < best) {
+				best = v
+			}
+		}
+		if best < 0 {
+			cycle++
+			stats.CycleAdvances++
+			continue
+		}
+		issue[best] = cycle
+		hold(g.Op(best).Class, cycle)
+		remaining--
+		stats.Decisions++
+		for _, e := range g.Succs(best) {
+			if include.Has(e.To) {
+				predsLeft[e.To]--
+				if t := cycle + e.Lat; t > readyAt[e.To] {
+					readyAt[e.To] = t
+				}
+			}
+		}
+	}
+	return issue[target], stats
+}

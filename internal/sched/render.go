@@ -1,0 +1,114 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"balance/internal/model"
+)
+
+// Render formats the schedule as a cycle-by-cycle listing: one line per
+// cycle with the operations issued in it, branches annotated with their
+// exit probability.
+func Render(sb *model.Superblock, s *Schedule) string {
+	byCycle := map[int][]int{}
+	maxC := 0
+	for v, c := range s.Cycle {
+		byCycle[c] = append(byCycle[c], v)
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	for c := 0; c <= maxC; c++ {
+		ops := byCycle[c]
+		sort.Ints(ops)
+		cells := make([]string, 0, len(ops))
+		for _, v := range ops {
+			if bi, ok := sb.BranchIndex(v); ok {
+				cells = append(cells, fmt.Sprintf("%d:branch(p=%.2f)", v, sb.Prob[bi]))
+				continue
+			}
+			cells = append(cells, fmt.Sprintf("%d:%s", v, sb.G.Op(v).Class))
+		}
+		fmt.Fprintf(&b, "cycle %3d  %s\n", c, strings.Join(cells, "  "))
+	}
+	return b.String()
+}
+
+// RenderGantt formats the schedule as a per-unit occupancy chart: one row
+// per functional unit, one column per cycle, with operation IDs in the
+// cycles the unit is held ('.' when idle). Operations are assigned to the
+// lowest-numbered free unit of their kind at issue time, matching any legal
+// unit binding.
+func RenderGantt(sb *model.Superblock, m *model.Machine, s *Schedule) string {
+	maxC := 0
+	for v, c := range s.Cycle {
+		if end := c + m.Occupancy(sb.G.Op(v).Class); end > maxC {
+			maxC = end
+		}
+	}
+	// rows[k][u][cycle] = op ID + 1 (0 = idle).
+	rows := make([][][]int, m.Kinds())
+	for k := range rows {
+		rows[k] = make([][]int, m.Capacity(k))
+		for u := range rows[k] {
+			rows[k][u] = make([]int, maxC)
+		}
+	}
+	// Assign ops to units in issue order for a deterministic, legal binding.
+	order := make([]int, len(s.Cycle))
+	for v := range order {
+		order[v] = v
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if s.Cycle[order[a]] != s.Cycle[order[b]] {
+			return s.Cycle[order[a]] < s.Cycle[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	for _, v := range order {
+		cls := sb.G.Op(v).Class
+		k := m.KindOf(cls)
+		occ := m.Occupancy(cls)
+		start := s.Cycle[v]
+		for u := range rows[k] {
+			free := true
+			for t := start; t < start+occ; t++ {
+				if rows[k][u][t] != 0 {
+					free = false
+					break
+				}
+			}
+			if !free {
+				continue
+			}
+			for t := start; t < start+occ; t++ {
+				rows[k][u][t] = v + 1
+			}
+			break
+		}
+	}
+	width := len(fmt.Sprintf("%d", sb.G.NumOps()-1))
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s", "cycle")
+	for c := 0; c < maxC; c++ {
+		fmt.Fprintf(&b, " %*d", width, c)
+	}
+	b.WriteString("\n")
+	for k := range rows {
+		for u := range rows[k] {
+			fmt.Fprintf(&b, "%-10s", fmt.Sprintf("%s[%d]", m.KindName(k), u))
+			for c := 0; c < maxC; c++ {
+				if id := rows[k][u][c]; id != 0 {
+					fmt.Fprintf(&b, " %*d", width, id-1)
+				} else {
+					fmt.Fprintf(&b, " %*s", width, ".")
+				}
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

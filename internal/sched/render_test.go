@@ -1,0 +1,103 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"balance/internal/model"
+)
+
+func renderFixture(t *testing.T) (*model.Superblock, *Schedule, *model.Machine) {
+	t.Helper()
+	b := model.NewBuilder("render")
+	o0 := b.Int()
+	o1 := b.Int(o0)
+	b.Branch(0.5, o1)
+	o2 := b.Int()
+	b.Branch(0, o2)
+	sb := b.MustBuild()
+	m := model.GP2()
+	s, _, err := ListSchedule(sb, m, IntsToFloats(sb.G.Heights()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sb, s, m
+}
+
+func TestRender(t *testing.T) {
+	sb, s, _ := renderFixture(t)
+	out := Render(sb, s)
+	if !strings.Contains(out, "cycle   0") {
+		t.Errorf("missing cycle 0:\n%s", out)
+	}
+	if !strings.Contains(out, "branch(p=0.50)") {
+		t.Errorf("missing branch annotation:\n%s", out)
+	}
+	if !strings.Contains(out, "0:int") {
+		t.Errorf("missing op listing:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines != s.Length(sb.G)-0 && lines < 3 {
+		t.Errorf("unexpected line count %d:\n%s", lines, out)
+	}
+}
+
+func TestRenderGantt(t *testing.T) {
+	sb, s, m := renderFixture(t)
+	out := RenderGantt(sb, m, s)
+	if !strings.Contains(out, "gp[0]") || !strings.Contains(out, "gp[1]") {
+		t.Errorf("missing unit rows:\n%s", out)
+	}
+	// Every op ID must appear exactly once per held cycle; with unit
+	// occupancy each appears once.
+	for v := 0; v < sb.G.NumOps(); v++ {
+		if !strings.Contains(out, " "+string(rune('0'+v))) {
+			t.Errorf("op %d missing from gantt:\n%s", v, out)
+		}
+	}
+}
+
+func TestRenderGanttOccupancy(t *testing.T) {
+	b := model.NewBuilder("np")
+	f := b.Op(model.FloatMul)
+	b.Branch(0, f)
+	sb := b.MustBuild()
+	m := model.GP1().WithOccupancy(model.FloatMul, 3)
+	s, _, err := ListSchedule(sb, m, IntsToFloats(sb.G.Heights()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderGantt(sb, m, s)
+	// The multiply (op 0) must occupy three consecutive columns.
+	row := ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "gp[0]") {
+			row = line
+		}
+	}
+	if got := strings.Count(row, " 0"); got != 3 {
+		t.Errorf("fmul occupies %d cycles in gantt, want 3:\n%s", got, out)
+	}
+	if err := Verify(sb, m, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderFS(t *testing.T) {
+	b := model.NewBuilder("fs")
+	l := b.Load()
+	i := b.Int(l)
+	b.Branch(0, i)
+	sb := b.MustBuild()
+	m := model.FS4()
+	s, _, err := ListSchedule(sb, m, IntsToFloats(sb.G.Heights()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderGantt(sb, m, s)
+	for _, unit := range []string{"int[0]", "mem[0]", "float[0]", "branch[0]"} {
+		if !strings.Contains(out, unit) {
+			t.Errorf("missing %s row:\n%s", unit, out)
+		}
+	}
+}

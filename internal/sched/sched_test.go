@@ -1,0 +1,205 @@
+package sched
+
+import (
+	"testing"
+
+	"balance/internal/model"
+)
+
+// twoBlock builds ops 0,1,2 -> br3(0.25); chain 4 -> 5 -> br6.
+func twoBlock(t *testing.T) *model.Superblock {
+	t.Helper()
+	b := model.NewBuilder("twoblock")
+	o0 := b.Int()
+	o1 := b.Int()
+	o2 := b.Int()
+	b.Branch(0.25, o0, o1, o2)
+	o4 := b.Int()
+	o5 := b.Int(o4)
+	b.Branch(0, o5)
+	return b.MustBuild()
+}
+
+func TestListScheduleLegality(t *testing.T) {
+	sb := twoBlock(t)
+	for _, m := range model.Machines() {
+		s, stats, err := ListSchedule(sb, m, IntsToFloats(sb.G.Heights()))
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if err := Verify(sb, m, s); err != nil {
+			t.Errorf("%s: illegal schedule: %v", m.Name, err)
+		}
+		if stats.Decisions == 0 {
+			t.Errorf("%s: no decisions recorded", m.Name)
+		}
+	}
+}
+
+func TestCostAndBranchCycles(t *testing.T) {
+	sb := twoBlock(t)
+	s := NewSchedule(sb.G.NumOps())
+	// Hand schedule on GP2: 0,4 / 1,2 / br3,5 / br6.
+	cycles := map[int]int{0: 0, 4: 0, 1: 1, 2: 1, 3: 2, 5: 2, 6: 3}
+	for v, c := range cycles {
+		s.Cycle[v] = c
+	}
+	if err := Verify(sb, model.GP2(), s); err != nil {
+		t.Fatalf("hand schedule rejected: %v", err)
+	}
+	// Cost = 0.25*(2+1) + 0.75*(3+1) = 3.75.
+	if got := Cost(sb, s); got != 3.75 {
+		t.Errorf("cost = %v, want 3.75", got)
+	}
+	bc := BranchCycles(sb, s)
+	if bc[0] != 2 || bc[1] != 3 {
+		t.Errorf("branch cycles = %v, want [2 3]", bc)
+	}
+	if l := s.Length(sb.G); l != 4 {
+		t.Errorf("length = %d, want 4", l)
+	}
+}
+
+func TestVerifyCatchesViolations(t *testing.T) {
+	sb := twoBlock(t)
+	m := model.GP2()
+	s := NewSchedule(sb.G.NumOps())
+	for v := range s.Cycle {
+		s.Cycle[v] = v // serial, legal on deps
+	}
+	if err := Verify(sb, m, s); err != nil {
+		t.Fatalf("serial schedule rejected: %v", err)
+	}
+
+	dep := s.Clone()
+	dep.Cycle[5] = 0 // 5 depends on 4 at cycle 4
+	if err := Verify(sb, m, dep); err == nil {
+		t.Error("Verify accepted dependence violation")
+	}
+
+	res := s.Clone()
+	res.Cycle[0], res.Cycle[1], res.Cycle[2] = 0, 0, 0 // 3 ops on 2-issue
+	if err := Verify(sb, m, res); err == nil {
+		t.Error("Verify accepted resource violation")
+	}
+
+	un := s.Clone()
+	un.Cycle[2] = -1
+	if err := Verify(sb, m, un); err == nil {
+		t.Error("Verify accepted unscheduled op")
+	}
+}
+
+func TestResourceKindsRespected(t *testing.T) {
+	// FS4 has one unit per kind: two loads can never share a cycle.
+	b := model.NewBuilder("mem")
+	l0 := b.Load()
+	l1 := b.Load()
+	b.Branch(0, l0, l1)
+	sb := b.MustBuild()
+	s, _, err := ListSchedule(sb, model.FS4(), IntsToFloats(sb.G.Heights()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cycle[l0] == s.Cycle[l1] {
+		t.Errorf("two loads share cycle %d on FS4", s.Cycle[l0])
+	}
+	if err := Verify(sb, model.FS4(), s); err != nil {
+		t.Error(err)
+	}
+	// On GP2 they can share a cycle.
+	s2, _, err := ListSchedule(sb, model.GP2(), IntsToFloats(sb.G.Heights()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Cycle[l0] != s2.Cycle[l1] {
+		t.Errorf("loads at %d and %d on GP2, want same cycle", s2.Cycle[l0], s2.Cycle[l1])
+	}
+}
+
+func TestLatenciesRespected(t *testing.T) {
+	b := model.NewBuilder("lat")
+	l := b.Load() // latency 2
+	o := b.Int(l)
+	f := b.Op(model.FloatMul, o) // latency 3
+	g := b.Int(f)
+	b.Branch(0, g)
+	sb := b.MustBuild()
+	s, _, err := ListSchedule(sb, model.GP4(), IntsToFloats(sb.G.Heights()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cycle[o]-s.Cycle[l] < 2 {
+		t.Error("load latency violated")
+	}
+	if s.Cycle[g]-s.Cycle[f] < 3 {
+		t.Error("fmul latency violated")
+	}
+}
+
+func TestKeyPickerTieBreaking(t *testing.T) {
+	// Two equal-priority ops: the smaller ID goes first.
+	b := model.NewBuilder("tie")
+	b.Int()
+	b.Int()
+	b.Branch(0)
+	sb := b.MustBuild()
+	s, _, err := ListSchedule(sb, model.GP1(), []float64{1, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cycle[0] != 0 || s.Cycle[1] != 1 {
+		t.Errorf("tie break wrong: op0@%d op1@%d", s.Cycle[0], s.Cycle[1])
+	}
+	// Secondary key flips the order.
+	s2, _, err := ListSchedule(sb, model.GP1(), []float64{1, 1, 0}, []float64{0, 5, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Cycle[1] != 0 {
+		t.Errorf("secondary key ignored: op1@%d", s2.Cycle[1])
+	}
+}
+
+func TestPickerErrorOnIllegalChoice(t *testing.T) {
+	sb := twoBlock(t)
+	bad := PickerFunc(func(st *State) int { return sb.Branches[1] }) // never ready first
+	if _, _, err := Run(sb, model.GP2(), bad); err == nil {
+		t.Error("engine accepted an illegal pick")
+	}
+}
+
+func TestAsapSchedule(t *testing.T) {
+	sb := twoBlock(t)
+	g := sb.G
+	n := g.NumOps()
+	include := model.NewBitset(n)
+	br := sb.Branches[0]
+	g.PredClosure(br).ForEach(include.Set)
+	include.Set(br)
+	cycle, _ := AsapSchedule(sb, model.GP2(), include, br)
+	// 3 predecessors on 2 units: preds at 0,0,1; branch at 2.
+	if cycle != 2 {
+		t.Errorf("ASAP cycle of br3 = %d, want 2", cycle)
+	}
+	cycleWide, _ := AsapSchedule(sb, model.GP4(), include, br)
+	if cycleWide != 1 {
+		t.Errorf("ASAP cycle of br3 on GP4 = %d, want 1", cycleWide)
+	}
+}
+
+func TestHorizon(t *testing.T) {
+	sb := twoBlock(t)
+	if h := Horizon(sb); h < sb.G.NumOps() {
+		t.Errorf("horizon %d below op count", h)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	a := Stats{Decisions: 1, CycleAdvances: 2, CandidateScans: 3, PriorityWork: 4, FullUpdates: 5, LightUpdates: 6}
+	b := a
+	a.Add(&b)
+	if a.Total() != 2*b.Total() {
+		t.Errorf("Add/Total wrong: %d vs %d", a.Total(), b.Total())
+	}
+}

@@ -1,0 +1,136 @@
+// Package sched provides the cycle-accurate scheduling substrate shared by
+// every heuristic: schedule representation, legality verification, weighted
+// completion cost, and a list-scheduling engine driven by pluggable pickers.
+//
+// Cycles are 0-indexed. A fully pipelined operation occupies one functional
+// unit of its resource kind during its issue cycle only; an operation issued
+// at cycle t with latency l produces its result at cycle t+l. The cost of a
+// superblock schedule is the exit-probability-weighted sum of branch
+// completion times, Σ_i w_i·(t_i + l_br), as in Section 2 of the paper.
+package sched
+
+import (
+	"fmt"
+
+	"balance/internal/model"
+)
+
+// Schedule assigns an issue cycle to every operation of a superblock.
+type Schedule struct {
+	// Cycle[v] is the issue cycle of operation v.
+	Cycle []int
+}
+
+// NewSchedule returns a schedule with every operation unscheduled (-1).
+func NewSchedule(n int) *Schedule {
+	s := &Schedule{Cycle: make([]int, n)}
+	for i := range s.Cycle {
+		s.Cycle[i] = -1
+	}
+	return s
+}
+
+// Clone returns an independent copy of the schedule.
+func (s *Schedule) Clone() *Schedule {
+	c := &Schedule{Cycle: make([]int, len(s.Cycle))}
+	copy(c.Cycle, s.Cycle)
+	return c
+}
+
+// Length returns the number of cycles until the last operation completes.
+func (s *Schedule) Length(g *model.Graph) int {
+	max := 0
+	for v, t := range s.Cycle {
+		if c := t + g.Op(v).Latency; c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// Cost returns the weighted completion time of the schedule:
+// Σ_i Prob[i]·(Cycle[branch_i] + l_br).
+func Cost(sb *model.Superblock, s *Schedule) float64 {
+	total := 0.0
+	for i, b := range sb.Branches {
+		total += sb.Prob[i] * float64(s.Cycle[b]+model.BranchLatency)
+	}
+	return total
+}
+
+// BranchCycles returns the issue cycle of each exit branch in order.
+func BranchCycles(sb *model.Superblock, s *Schedule) []int {
+	out := make([]int, len(sb.Branches))
+	for i, b := range sb.Branches {
+		out[i] = s.Cycle[b]
+	}
+	return out
+}
+
+// Verify checks that the schedule is legal on the machine: every operation
+// is scheduled at a non-negative cycle, every dependence latency is
+// honored, and no cycle over-subscribes a resource kind.
+func Verify(sb *model.Superblock, m *model.Machine, s *Schedule) error {
+	g := sb.G
+	n := g.NumOps()
+	if len(s.Cycle) != n {
+		return fmt.Errorf("sched: schedule has %d entries for %d ops", len(s.Cycle), n)
+	}
+	maxCycle := 0
+	for v := 0; v < n; v++ {
+		t := s.Cycle[v]
+		if t < 0 {
+			return fmt.Errorf("sched: op %d unscheduled", v)
+		}
+		if t > maxCycle {
+			maxCycle = t
+		}
+		for _, e := range g.Succs(v) {
+			if s.Cycle[e.To] < t+e.Lat {
+				return fmt.Errorf("sched: dependence %d->%d violated: %d < %d+%d",
+					v, e.To, s.Cycle[e.To], t, e.Lat)
+			}
+		}
+	}
+	// Occupancy can extend beyond the last issue cycle.
+	maxOcc := 1
+	for c := model.Class(0); int(c) < model.NumClasses; c++ {
+		if o := m.Occupancy(c); o > maxOcc {
+			maxOcc = o
+		}
+	}
+	used := make([][]int, m.Kinds())
+	for k := range used {
+		used[k] = make([]int, maxCycle+maxOcc)
+	}
+	for v := 0; v < n; v++ {
+		c := g.Op(v).Class
+		k := m.KindOf(c)
+		for t := s.Cycle[v]; t < s.Cycle[v]+m.Occupancy(c); t++ {
+			used[k][t]++
+		}
+	}
+	for k := range used {
+		for c, u := range used[k] {
+			if u > m.Capacity(k) {
+				return fmt.Errorf("sched: cycle %d uses %d %s units, capacity %d",
+					c, u, m.KindName(k), m.Capacity(k))
+			}
+		}
+	}
+	return nil
+}
+
+// Horizon returns a safe upper bound on the number of cycles any reasonable
+// schedule of the superblock needs: the serial schedule length.
+func Horizon(sb *model.Superblock) int {
+	h := 0
+	for _, op := range sb.G.Ops() {
+		l := op.Latency
+		if l < 1 {
+			l = 1
+		}
+		h += l
+	}
+	return h + 1
+}

@@ -1,0 +1,177 @@
+// Package stats computes descriptive statistics of superblock corpora:
+// size/branch histograms, operation mixes, dependence structure, available
+// instruction-level parallelism, and exit-probability summaries. It backs
+// the sbstat tool and lets users compare generated corpora against the
+// characteristics the paper reports for SPECint95.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"balance/internal/model"
+)
+
+// Corpus summarizes a set of superblocks.
+type Corpus struct {
+	// Superblocks is the number of superblocks summarized.
+	Superblocks int
+	// Ops aggregates per-superblock operation counts.
+	Ops Dist
+	// Branches aggregates per-superblock exit counts.
+	Branches Dist
+	// Edges aggregates per-superblock dependence-edge counts.
+	Edges Dist
+	// CriticalPath aggregates dependence-only critical paths.
+	CriticalPath Dist
+	// ILP aggregates ops/critical-path ratios (available parallelism).
+	ILP Dist
+	// SideExitProb aggregates side-exit probabilities (all but the final
+	// exit of each superblock).
+	SideExitProb Dist
+	// Freq aggregates dynamic execution frequencies.
+	Freq Dist
+	// ClassCounts counts operations by class across the corpus.
+	ClassCounts [model.NumClasses]int64
+}
+
+// Dist is a running summary of a scalar distribution.
+type Dist struct {
+	n       int
+	sum     float64
+	min     float64
+	max     float64
+	samples []float64
+}
+
+// Add records one observation.
+func (d *Dist) Add(x float64) {
+	if d.n == 0 || x < d.min {
+		d.min = x
+	}
+	if d.n == 0 || x > d.max {
+		d.max = x
+	}
+	d.n++
+	d.sum += x
+	d.samples = append(d.samples, x)
+}
+
+// N returns the number of observations.
+func (d *Dist) N() int { return d.n }
+
+// Mean returns the arithmetic mean (0 for empty).
+func (d *Dist) Mean() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	return d.sum / float64(d.n)
+}
+
+// Min and Max return the extremes (0 for empty).
+func (d *Dist) Min() float64 { return d.min }
+
+// Max returns the largest observation.
+func (d *Dist) Max() float64 { return d.max }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the observations.
+func (d *Dist) Quantile(q float64) float64 {
+	if d.n == 0 {
+		return 0
+	}
+	s := append([]float64(nil), d.samples...)
+	sort.Float64s(s)
+	idx := q * float64(len(s)-1)
+	lo := int(math.Floor(idx))
+	hi := int(math.Ceil(idx))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := idx - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Stddev returns the sample standard deviation.
+func (d *Dist) Stddev() float64 {
+	if d.n < 2 {
+		return 0
+	}
+	m := d.Mean()
+	ss := 0.0
+	for _, x := range d.samples {
+		ss += (x - m) * (x - m)
+	}
+	return math.Sqrt(ss / float64(d.n-1))
+}
+
+// Summarize computes the corpus statistics of the given superblocks.
+func Summarize(sbs []*model.Superblock) *Corpus {
+	c := &Corpus{Superblocks: len(sbs)}
+	for _, sb := range sbs {
+		n := sb.G.NumOps()
+		c.Ops.Add(float64(n))
+		c.Branches.Add(float64(sb.NumBranches()))
+		c.Edges.Add(float64(sb.G.NumEdges()))
+		cp := sb.G.CriticalPath()
+		c.CriticalPath.Add(float64(cp))
+		if cp > 0 {
+			c.ILP.Add(float64(n) / float64(cp))
+		}
+		for i := 0; i+1 < len(sb.Prob); i++ {
+			c.SideExitProb.Add(sb.Prob[i])
+		}
+		c.Freq.Add(sb.Freq)
+		for _, op := range sb.G.Ops() {
+			c.ClassCounts[op.Class]++
+		}
+	}
+	return c
+}
+
+// TotalOps returns the corpus-wide operation count.
+func (c *Corpus) TotalOps() int64 {
+	t := int64(0)
+	for _, n := range c.ClassCounts {
+		t += n
+	}
+	return t
+}
+
+// ClassFraction returns the fraction of operations with the given class.
+func (c *Corpus) ClassFraction(cl model.Class) float64 {
+	t := c.TotalOps()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.ClassCounts[cl]) / float64(t)
+}
+
+// String renders a human-readable report.
+func (c *Corpus) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "superblocks: %d (total ops %d)\n", c.Superblocks, c.TotalOps())
+	row := func(name string, d *Dist) {
+		fmt.Fprintf(&b, "%-14s mean %8.2f  sd %8.2f  min %6.0f  p50 %6.1f  p90 %7.1f  max %7.0f\n",
+			name, d.Mean(), d.Stddev(), d.Min(), d.Quantile(0.5), d.Quantile(0.9), d.Max())
+	}
+	row("ops", &c.Ops)
+	row("branches", &c.Branches)
+	row("edges", &c.Edges)
+	row("critical path", &c.CriticalPath)
+	fmt.Fprintf(&b, "%-14s mean %8.2f  sd %8.2f  min %6.2f  p50 %6.2f  p90 %7.2f  max %7.2f\n",
+		"ilp", c.ILP.Mean(), c.ILP.Stddev(), c.ILP.Min(), c.ILP.Quantile(0.5), c.ILP.Quantile(0.9), c.ILP.Max())
+	fmt.Fprintf(&b, "%-14s mean %8.3f  p50 %.3f  p90 %.3f  max %.3f\n",
+		"side-exit prob", c.SideExitProb.Mean(), c.SideExitProb.Quantile(0.5), c.SideExitProb.Quantile(0.9), c.SideExitProb.Max())
+	fmt.Fprintf(&b, "%-14s mean %8.1f  p50 %6.1f  max %.0f\n", "frequency", c.Freq.Mean(), c.Freq.Quantile(0.5), c.Freq.Max())
+	b.WriteString("op mix: ")
+	for cl := model.Class(0); int(cl) < model.NumClasses; cl++ {
+		if c.ClassCounts[cl] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s %.1f%%  ", cl, 100*c.ClassFraction(cl))
+	}
+	b.WriteString("\n")
+	return b.String()
+}

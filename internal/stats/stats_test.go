@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"balance/internal/gen"
+	"balance/internal/model"
+)
+
+func TestDistBasics(t *testing.T) {
+	var d Dist
+	for _, x := range []float64{4, 1, 3, 2, 5} {
+		d.Add(x)
+	}
+	if d.N() != 5 || d.Min() != 1 || d.Max() != 5 {
+		t.Fatalf("N/min/max wrong: %d %v %v", d.N(), d.Min(), d.Max())
+	}
+	if d.Mean() != 3 {
+		t.Errorf("mean = %v", d.Mean())
+	}
+	if q := d.Quantile(0.5); q != 3 {
+		t.Errorf("median = %v", q)
+	}
+	if q := d.Quantile(0); q != 1 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := d.Quantile(1); q != 5 {
+		t.Errorf("q1 = %v", q)
+	}
+	// Stddev of 1..5 is sqrt(2.5).
+	if sd := d.Stddev(); math.Abs(sd-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("stddev = %v", sd)
+	}
+	var empty Dist
+	if empty.Mean() != 0 || empty.Quantile(0.5) != 0 || empty.Stddev() != 0 {
+		t.Error("empty dist not zeroed")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	b := model.NewBuilder("one")
+	o0 := b.Load()
+	o1 := b.Int(o0)
+	b.Branch(0.25, o1)
+	o2 := b.Int()
+	b.Branch(0, o2)
+	sb := b.MustBuild()
+
+	c := Summarize([]*model.Superblock{sb})
+	if c.Superblocks != 1 {
+		t.Fatal("count wrong")
+	}
+	if c.Ops.Mean() != 5 {
+		t.Errorf("ops mean = %v", c.Ops.Mean())
+	}
+	if c.Branches.Mean() != 2 {
+		t.Errorf("branches mean = %v", c.Branches.Mean())
+	}
+	if c.ClassCounts[model.Load] != 1 || c.ClassCounts[model.Int] != 2 || c.ClassCounts[model.Branch] != 2 {
+		t.Errorf("class counts wrong: %v", c.ClassCounts)
+	}
+	if c.SideExitProb.N() != 1 || c.SideExitProb.Mean() != 0.25 {
+		t.Errorf("side exit prob wrong")
+	}
+	if f := c.ClassFraction(model.Int); math.Abs(f-0.4) > 1e-12 {
+		t.Errorf("int fraction = %v", f)
+	}
+	text := c.String()
+	for _, want := range []string{"superblocks: 1", "ops", "branches", "op mix"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestSummarizeGeneratedCorpusMatchesProfiles(t *testing.T) {
+	p, _ := gen.ProfileByName("gcc")
+	sbs := gen.Generate(p, 1999, 1)
+	c := Summarize(sbs)
+	if c.Superblocks != p.Count {
+		t.Fatalf("generated %d superblocks, want %d", c.Superblocks, p.Count)
+	}
+	// Memory fraction should be in the profile's neighborhood.
+	memFrac := c.ClassFraction(model.Load) + c.ClassFraction(model.Store)
+	if memFrac < p.MemFrac*0.5 || memFrac > p.MemFrac*1.5 {
+		t.Errorf("mem fraction %v far from profile %v", memFrac, p.MemFrac)
+	}
+	// ILP must be > 1 on average (superblocks expose parallelism) but far
+	// below the op count (they are not fully parallel).
+	if c.ILP.Mean() < 1 || c.ILP.Mean() > 10 {
+		t.Errorf("mean ILP %v implausible", c.ILP.Mean())
+	}
+	if int(c.Branches.Max()) > p.MaxBranches {
+		t.Errorf("max branches %v exceeds profile cap %d", c.Branches.Max(), p.MaxBranches)
+	}
+	if int(c.Ops.Max()) > p.OpMax+p.MaxBranches {
+		t.Errorf("max ops %v exceeds cap", c.Ops.Max())
+	}
+}

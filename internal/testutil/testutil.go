@@ -1,0 +1,106 @@
+// Package testutil provides shared helpers for the test suites: a seeded
+// random superblock generator small enough for the exact solver, used by
+// property-based tests across packages.
+package testutil
+
+import (
+	"math/rand"
+	"reflect"
+
+	"balance/internal/model"
+)
+
+// QuickSB wraps a random superblock for use with testing/quick: it
+// implements quick.Generator, so properties can take QuickSB parameters and
+// receive seeded random instances.
+type QuickSB struct {
+	SB *model.Superblock
+}
+
+// Generate implements quick.Generator.
+func (QuickSB) Generate(r *rand.Rand, size int) reflect.Value {
+	if size > 18 {
+		size = 18
+	}
+	if size < 4 {
+		size = 4
+	}
+	return reflect.ValueOf(QuickSB{SB: RandomSuperblock(r, size)})
+}
+
+// QuickMachine wraps a random machine configuration for testing/quick,
+// drawing from the six standard configurations plus non-fully-pipelined
+// variants.
+type QuickMachine struct {
+	M *model.Machine
+}
+
+// Generate implements quick.Generator.
+func (QuickMachine) Generate(r *rand.Rand, _ int) reflect.Value {
+	ms := model.Machines()
+	m := ms[r.Intn(len(ms))]
+	switch r.Intn(4) {
+	case 0:
+		m = m.WithOccupancy(model.FloatMul, 1+r.Intn(3))
+	case 1:
+		m = m.WithOccupancy(model.Load, 1+r.Intn(2))
+	}
+	return reflect.ValueOf(QuickMachine{M: m})
+}
+
+// RandomSuperblock builds a random superblock with at most maxOps
+// operations (including branches). The graph is a random forward DAG with
+// one to three blocks, a mixed operation population, and random edge
+// latencies taken from the producing operation.
+func RandomSuperblock(rng *rand.Rand, maxOps int) *model.Superblock {
+	if maxOps < 3 {
+		maxOps = 3
+	}
+	b := model.NewBuilder("random")
+	classes := []model.Class{
+		model.Int, model.Int, model.Int, model.Int,
+		model.Load, model.Store, model.FloatAdd, model.FloatMul,
+	}
+	blocks := 1 + rng.Intn(3)
+	budget := 2 + rng.Intn(maxOps-2)
+	var ids []int
+	remaining := budget
+	for blk := 0; blk < blocks; blk++ {
+		nOps := remaining / (blocks - blk)
+		if blk == blocks-1 {
+			nOps = remaining
+		}
+		if nOps < 1 && blk == 0 {
+			nOps = 1
+		}
+		remaining -= nOps
+		for i := 0; i < nOps; i++ {
+			c := classes[rng.Intn(len(classes))]
+			id := b.AddOp(c)
+			// Random dependences on earlier ops.
+			deps := rng.Intn(3)
+			for d := 0; d < deps && len(ids) > 0; d++ {
+				from := ids[rng.Intn(len(ids))]
+				b.Dep(from, id)
+			}
+			ids = append(ids, id)
+		}
+		prob := 0.0
+		if blk < blocks-1 {
+			prob = rng.Float64() * (0.9 / float64(blocks))
+		}
+		var brDeps []int
+		for d := 0; d < 1+rng.Intn(2) && len(ids) > 0; d++ {
+			brDeps = append(brDeps, ids[rng.Intn(len(ids))])
+		}
+		br := b.Branch(prob, brDeps...)
+		ids = append(ids, br)
+	}
+	return b.MustBuild()
+}
+
+// SmallMachines returns a cheap cross-section of machine configurations for
+// property tests.
+func SmallMachines() []*model.Machine {
+	return []*model.Machine{model.GP1(), model.GP2(), model.FS4()}
+}
