@@ -16,6 +16,10 @@
 //     the Balance heuristic (the paper's contribution), and the Best
 //     meta-heuristic;
 //   - an exact branch-and-bound scheduler for small superblocks;
+//   - a context-aware evaluation engine: name-keyed registries of the
+//     schedulers and bounds (HeuristicByName, SchedulerNames, BoundNames)
+//     and a streaming, cancellable evaluation pipeline over a bounded
+//     worker pool with per-superblock memoization (Run, CollectResults);
 //   - a deterministic synthetic SPECint95-like corpus generator and the
 //     evaluation harness that regenerates every table and figure of the
 //     paper (see package balance/internal/eval via the sbeval tool).
@@ -36,12 +40,15 @@
 package balance
 
 import (
+	"context"
+	"fmt"
 	"io"
 	"math/rand"
 
 	"balance/internal/bounds"
 	"balance/internal/cfg"
 	"balance/internal/core"
+	"balance/internal/engine"
 	"balance/internal/exact"
 	"balance/internal/gen"
 	"balance/internal/heuristics"
@@ -192,14 +199,26 @@ func DHASY() Heuristic { return heuristics.DHASY() }
 // Help returns the Speculative-Hedge-based Help heuristic.
 func Help() Heuristic { return heuristics.Help() }
 
-// Heuristics returns the paper's six primary heuristics in table order.
+// Heuristics returns the paper's six primary heuristics in table order,
+// resolved from the engine registry.
 func Heuristics() []Heuristic {
-	return []Heuristic{SR(), CP(), GStar(), DHASY(), Help(), Balance()}
+	insts := engine.PrimaryInstances(context.Background())
+	out := make([]Heuristic, len(insts))
+	for i, inst := range insts {
+		out[i] = Heuristic{Name: inst.Name, Run: inst.Run}
+	}
+	return out
 }
 
 // Best returns the meta-heuristic keeping the cheapest of the six primary
 // heuristics' schedules plus the 121 CP×SR×DHASY cross-product schedules.
-func Best() Heuristic { return heuristics.Best(Heuristics()) }
+func Best() Heuristic {
+	h, err := HeuristicByName("Best")
+	if err != nil {
+		panic(fmt.Sprintf("balance: Best not registered: %v", err))
+	}
+	return h
+}
 
 // Optimal finds a provably optimal schedule by branch and bound (intended
 // for superblocks of up to ~20 operations; maxNodes ≤ 0 uses the default
@@ -207,6 +226,84 @@ func Best() Heuristic { return heuristics.Best(Heuristics()) }
 func Optimal(sb *Superblock, m *Machine, maxNodes int) (*Schedule, float64, error) {
 	return exact.Optimal(sb, m, maxNodes)
 }
+
+// OptimalCtx is Optimal with cancellation: the branch-and-bound search is
+// abandoned with ctx's error once ctx is done.
+func OptimalCtx(ctx context.Context, sb *Superblock, m *Machine, maxNodes int) (*Schedule, float64, error) {
+	return exact.OptimalCtx(ctx, sb, m, maxNodes)
+}
+
+// Engine: name-keyed registries and the context-aware streaming evaluation
+// pipeline of internal/engine, re-exported as the documented programmatic
+// entry point for corpus-scale evaluation.
+type (
+	// EngineConfig configures a streaming evaluation run (see Run).
+	EngineConfig = engine.Config
+	// EngineJob is one unit of pipeline work: a superblock plus the
+	// benchmark it belongs to.
+	EngineJob = engine.Job
+	// EngineResult is the full evaluation of one superblock on one
+	// machine: bounds, per-heuristic costs and work statistics.
+	EngineResult = engine.Result
+	// EngineMemo caches per-superblock evaluations across Run calls,
+	// keyed by (graph digest, machine, bound options, scheduler set).
+	EngineMemo = engine.Memo
+	// SchedulerInfo describes one registered scheduling heuristic.
+	SchedulerInfo = engine.Scheduler
+	// BoundInfo describes one registered lower-bound algorithm.
+	BoundInfo = engine.Bound
+)
+
+// Run evaluates every job in cfg across a bounded worker pool and streams
+// the results in job order. Cancelling ctx aborts the run promptly; the
+// final result of an aborted run carries the error in its Err field. See
+// engine.Run for the full contract.
+func Run(ctx context.Context, cfg EngineConfig) (<-chan EngineResult, error) {
+	return engine.Run(ctx, cfg)
+}
+
+// CollectResults drains a Run stream into a slice, returning the error of
+// an aborted run.
+func CollectResults(ch <-chan EngineResult) ([]*EngineResult, error) { return engine.Collect(ch) }
+
+// NewEngineMemo returns a bounded evaluation cache to share across Run
+// calls (capacity ≤ 0 uses the default).
+func NewEngineMemo(capacity int) *EngineMemo { return engine.NewMemo(capacity) }
+
+// HeuristicByName resolves a scheduling heuristic from the engine registry
+// by canonical name or alias ("balance", "gstar", "Best", ...),
+// case-insensitively. The error for an unknown name lists every registered
+// heuristic.
+func HeuristicByName(name string) (Heuristic, error) {
+	return HeuristicByNameCtx(context.Background(), name)
+}
+
+// HeuristicByNameCtx is HeuristicByName with the heuristic's long-running
+// loops (e.g. Best's cross-product enumeration) bound to ctx.
+func HeuristicByNameCtx(ctx context.Context, name string) (Heuristic, error) {
+	s, err := engine.SchedulerByName(name)
+	if err != nil {
+		return Heuristic{}, err
+	}
+	inst := s.Instantiate(ctx)
+	return Heuristic{Name: inst.Name, Run: inst.Run}, nil
+}
+
+// SchedulerNames returns every registered heuristic's canonical name in
+// listing order.
+func SchedulerNames() []string { return engine.SchedulerNames() }
+
+// Schedulers returns every registered heuristic's description in listing
+// order.
+func Schedulers() []SchedulerInfo { return engine.AllSchedulers() }
+
+// BoundNames returns every registered lower bound's canonical name in
+// listing order (the Table 1 column order).
+func BoundNames() []string { return engine.BoundNames() }
+
+// Bounds returns every registered lower bound's description in listing
+// order.
+func Bounds() []BoundInfo { return engine.AllBounds() }
 
 // Corpus generation.
 

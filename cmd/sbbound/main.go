@@ -3,18 +3,24 @@
 // Usage:
 //
 //	sbbound [-machine GP2] [-triplewise] [-v] [file]
+//	sbbound -list
 //
 // With no file it reads stdin. For every superblock it prints the
-// per-branch CP/Hu/RJ/LC bounds and the superblock-level naive, pairwise,
-// triplewise, and tightest weighted-completion bounds. With -v the pairwise
-// tradeoff curves are printed too.
+// per-branch and superblock-level values of every bound in the engine
+// registry (sbbound -list prints the registry) plus the tightest
+// weighted-completion bound. With -v the pairwise tradeoff curves are
+// printed too. SIGINT cancels the run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 
 	"balance"
 )
@@ -24,7 +30,22 @@ func main() {
 	triple := flag.Bool("triplewise", true, "compute the triplewise bound")
 	verbose := flag.Bool("v", false, "print pairwise tradeoff curves")
 	dot := flag.Bool("dot", false, "emit Graphviz DOT of each dependence graph instead of bounds")
+	list := flag.Bool("list", false, "list the registered bound algorithms and exit")
 	flag.Parse()
+
+	if *list {
+		for _, b := range balance.Bounds() {
+			name := b.Name
+			if len(b.Aliases) > 0 {
+				name += " (" + strings.Join(b.Aliases, ", ") + ")"
+			}
+			fmt.Printf("%-24s %s\n", name, b.Description)
+		}
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	m, err := balance.MachineByName(*machine)
 	if err != nil {
@@ -44,6 +65,9 @@ func main() {
 		fatal(err)
 	}
 	for _, sb := range sbs {
+		if err := ctx.Err(); err != nil {
+			fatal(err)
+		}
 		if *dot {
 			if err := balance.WriteDOT(os.Stdout, sb); err != nil {
 				fatal(err)
@@ -52,9 +76,15 @@ func main() {
 		}
 		set := balance.ComputeBounds(sb, m, balance.BoundOptions{Triplewise: *triple, TripleMaxBranches: 16})
 		fmt.Printf("%s (%d ops, %d exits) on %s\n", sb.Name, sb.G.NumOps(), sb.NumBranches(), m.Name)
-		fmt.Printf("  per-branch   CP=%v Hu=%v RJ=%v LC=%v\n", set.CP, set.Hu, set.RJ, set.LC)
-		fmt.Printf("  superblock   CP=%.4f Hu=%.4f RJ=%.4f LC=%.4f PW=%.4f TW=%.4f tightest=%.4f\n",
-			set.CPVal, set.HuVal, set.RJVal, set.LCVal, set.PairVal, set.TripleVal, set.Tightest)
+		perBranch, level := "  per-branch  ", "  superblock  "
+		for _, b := range balance.Bounds() {
+			if b.PerBranch != nil {
+				perBranch += fmt.Sprintf(" %s=%v", b.Name, b.PerBranch(set))
+			}
+			level += fmt.Sprintf(" %s=%.4f", b.Name, b.Value(set))
+		}
+		fmt.Println(perBranch)
+		fmt.Printf("%s tightest=%.4f\n", level, set.Tightest)
 		if *verbose {
 			for _, pr := range set.Pairs {
 				if pr.NoTradeoff {

@@ -14,10 +14,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"balance/internal/eval"
@@ -66,7 +69,9 @@ func main() {
 	if *bench != "" {
 		cfg.Benchmarks = strings.Split(*bench, ",")
 	}
-	r := eval.NewRunner(cfg)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	r := eval.NewRunner(cfg).WithContext(ctx)
 	fmt.Fprintf(os.Stderr, "sbeval: corpus %d superblocks (seed %d, scale %g)\n",
 		r.Suite.NumSuperblocks(), *seed, *scale)
 

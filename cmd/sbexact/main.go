@@ -4,13 +4,18 @@
 // Usage:
 //
 //	sbexact [-machine GP2] [-max-nodes N] [-max-ops N] [file.sb]
+//
+// SIGINT cancels the search.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"balance"
 )
@@ -20,6 +25,9 @@ func main() {
 	maxNodes := flag.Int("max-nodes", 0, "search budget (0 = default)")
 	maxOps := flag.Int("max-ops", 24, "skip superblocks larger than this")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	m, err := balance.MachineByName(*machine)
 	if err != nil {
@@ -41,11 +49,14 @@ func main() {
 
 	solved, skipped := 0, 0
 	for _, sb := range sbs {
+		if err := ctx.Err(); err != nil {
+			fatal(err)
+		}
 		if sb.G.NumOps() > *maxOps {
 			skipped++
 			continue
 		}
-		s, opt, err := balance.Optimal(sb, m, *maxNodes)
+		s, opt, err := balance.OptimalCtx(ctx, sb, m, *maxNodes)
 		if err != nil {
 			fmt.Printf("%s: %v\n", sb.Name, err)
 			continue

@@ -9,11 +9,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"balance"
 	"balance/internal/cfg"
@@ -55,6 +58,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := ctx.Err(); err != nil {
+		fatal(err)
 	}
 
 	fc := balance.DefaultFormation()

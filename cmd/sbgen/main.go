@@ -9,10 +9,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"balance"
 )
@@ -40,8 +43,14 @@ func main() {
 		want[strings.TrimSpace(b)] = true
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	total := 0
 	for _, p := range balance.SPECint95Profiles() {
+		if err := ctx.Err(); err != nil {
+			fatal(err)
+		}
 		short := p.Name[strings.IndexByte(p.Name, '.')+1:]
 		if !all && !want[p.Name] && !want[short] {
 			continue

@@ -3,49 +3,49 @@
 // Usage:
 //
 //	sbsched [-machine GP2] [-heuristic balance] [-compare] [-schedule] [file]
+//	sbsched -list
 //
-// Heuristics: sr, cp, gstar, dhasy, help, balance, best. With -compare the
-// tool runs all of them and reports each cost next to the tightest lower
-// bound. With -schedule the full cycle-by-cycle schedule is printed.
+// Heuristics are resolved by name or alias from the engine registry
+// (sbsched -list prints them). With -compare the tool runs all of them and
+// reports each cost next to the tightest lower bound. With -schedule the
+// full cycle-by-cycle schedule is printed. SIGINT cancels the run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"balance"
 )
 
-func heuristicByName(name string) (balance.Heuristic, error) {
-	switch strings.ToLower(name) {
-	case "sr":
-		return balance.SR(), nil
-	case "cp":
-		return balance.CP(), nil
-	case "gstar", "g*":
-		return balance.GStar(), nil
-	case "dhasy":
-		return balance.DHASY(), nil
-	case "help":
-		return balance.Help(), nil
-	case "balance":
-		return balance.Balance(), nil
-	case "best":
-		return balance.Best(), nil
-	}
-	return balance.Heuristic{}, fmt.Errorf("unknown heuristic %q (want sr, cp, gstar, dhasy, help, balance or best)", name)
-}
-
 func main() {
 	machine := flag.String("machine", "GP2", "machine configuration (GP1,GP2,GP4,FS4,FS6,FS8)")
-	heur := flag.String("heuristic", "balance", "scheduling heuristic")
+	heur := flag.String("heuristic", "balance", "scheduling heuristic (see -list)")
 	compare := flag.Bool("compare", false, "run every heuristic and compare costs")
 	showSched := flag.Bool("schedule", false, "print the cycle-by-cycle schedule")
 	gantt := flag.Bool("gantt", false, "print the per-unit occupancy chart")
+	list := flag.Bool("list", false, "list the registered heuristics and exit")
 	flag.Parse()
+
+	if *list {
+		for _, s := range balance.Schedulers() {
+			name := s.Name
+			if len(s.Aliases) > 0 {
+				name += " (" + strings.Join(s.Aliases, ", ") + ")"
+			}
+			fmt.Printf("%-28s %s\n", name, s.Description)
+		}
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	m, err := balance.MachineByName(*machine)
 	if err != nil {
@@ -66,6 +66,9 @@ func main() {
 	}
 
 	for _, sb := range sbs {
+		if err := ctx.Err(); err != nil {
+			fatal(err)
+		}
 		fmt.Printf("%s (%d ops, %d exits) on %s\n", sb.Name, sb.G.NumOps(), sb.NumBranches(), m.Name)
 		if *compare {
 			set := balance.ComputeBounds(sb, m, balance.BoundOptions{Triplewise: true, TripleMaxBranches: 16})
@@ -85,7 +88,7 @@ func main() {
 			}
 			continue
 		}
-		h, err := heuristicByName(*heur)
+		h, err := balance.HeuristicByNameCtx(ctx, *heur)
 		if err != nil {
 			fatal(err)
 		}

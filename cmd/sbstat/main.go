@@ -10,11 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"balance"
 	"balance/internal/stats"
@@ -28,6 +31,9 @@ func main() {
 	perBench := flag.Bool("per-bench", false, "report each benchmark separately (with -gen)")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *genFlag {
 		all := *bench == "all" || *bench == ""
 		want := map[string]bool{}
@@ -36,6 +42,9 @@ func main() {
 		}
 		var combined []*balance.Superblock
 		for _, p := range balance.SPECint95Profiles() {
+			if err := ctx.Err(); err != nil {
+				fatal(err)
+			}
 			short := p.Name[strings.IndexByte(p.Name, '.')+1:]
 			if !all && !want[p.Name] && !want[short] {
 				continue

@@ -1,0 +1,71 @@
+package bounds
+
+// CatalogEntry describes one lower-bound algorithm: its table name, lookup
+// aliases, and how to extract its values from a computed Set. The catalog
+// is the single authoritative list of the bounds this package implements;
+// internal/engine mirrors it into its name-keyed registry at init, and
+// Table 1 derives its columns from it.
+type CatalogEntry struct {
+	Name        string
+	Aliases     []string
+	Description string
+	// Value extracts the superblock-level weighted-completion bound.
+	Value func(*Set) float64
+	// PerBranch extracts the per-branch issue-cycle bounds (nil when the
+	// bound has no per-branch form).
+	PerBranch func(*Set) PerBranch
+	// Trips extracts the algorithm's Table-2 loop-trip count from the
+	// per-superblock statistics.
+	Trips func(*AlgStats) float64
+}
+
+// Catalog returns the bound algorithms in the paper's Table 1 column order.
+func Catalog() []CatalogEntry {
+	return []CatalogEntry{
+		{
+			Name:        "CP",
+			Aliases:     []string{"critical-path"},
+			Description: "critical-path (dependence-only) bound",
+			Value:       func(s *Set) float64 { return s.CPVal },
+			PerBranch:   func(s *Set) PerBranch { return s.CP },
+			Trips:       func(s *AlgStats) float64 { return float64(s.CP.Trips) },
+		},
+		{
+			Name:        "Hu",
+			Description: "Hu's single-resource bound",
+			Value:       func(s *Set) float64 { return s.HuVal },
+			PerBranch:   func(s *Set) PerBranch { return s.Hu },
+			Trips:       func(s *AlgStats) float64 { return float64(s.Hu.Trips) },
+		},
+		{
+			Name:        "RJ",
+			Aliases:     []string{"rim-jain"},
+			Description: "Rim & Jain resource-constrained bound",
+			Value:       func(s *Set) float64 { return s.RJVal },
+			PerBranch:   func(s *Set) PerBranch { return s.RJ },
+			Trips:       func(s *AlgStats) float64 { return float64(s.RJ.Trips) },
+		},
+		{
+			Name:        "LC",
+			Aliases:     []string{"langevin-cerny"},
+			Description: "Langevin & Cerny recursion with the Theorem-1 shortcut",
+			Value:       func(s *Set) float64 { return s.LCVal },
+			PerBranch:   func(s *Set) PerBranch { return s.LC },
+			Trips:       func(s *AlgStats) float64 { return float64(s.LC.Trips) },
+		},
+		{
+			Name:        "PW",
+			Aliases:     []string{"pairwise"},
+			Description: "pairwise branch-tradeoff bound (Theorems 2-3)",
+			Value:       func(s *Set) float64 { return s.PairVal },
+			Trips:       func(s *AlgStats) float64 { return float64(s.PW.Trips) },
+		},
+		{
+			Name:        "TW",
+			Aliases:     []string{"triplewise"},
+			Description: "triplewise bound (Section 4.4 extension)",
+			Value:       func(s *Set) float64 { return s.TripleVal },
+			Trips:       func(s *AlgStats) float64 { return float64(s.TW.Trips + s.TW.TripleSweeps) },
+		},
+	}
+}

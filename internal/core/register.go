@@ -1,0 +1,35 @@
+package core
+
+import (
+	"context"
+
+	"balance/internal/engine"
+	"balance/internal/heuristics"
+)
+
+// init self-registers the paper's contribution (Balance, the sixth primary
+// column) and the Best meta-heuristic, which closes over whatever primaries
+// the registry holds at instantiation time.
+func init() {
+	engine.RegisterScheduler(engine.Scheduler{
+		Name:        "Balance",
+		Description: "Balance: dynamic bounds, compatible-branch selection, pairwise tradeoffs (the paper's heuristic)",
+		Order:       6,
+		Primary:     true,
+		New: func(context.Context) engine.ScheduleFunc {
+			return Balance(DefaultConfig()).Run
+		},
+	})
+	engine.RegisterScheduler(engine.Scheduler{
+		Name:        "Best",
+		Description: "Best: cheapest of the six primaries plus the 121 CP×SR×DHASY cross-product schedules",
+		Order:       100,
+		New: func(ctx context.Context) engine.ScheduleFunc {
+			var primaries []heuristics.Heuristic
+			for _, inst := range engine.PrimaryInstances(ctx) {
+				primaries = append(primaries, heuristics.Heuristic{Name: inst.Name, Run: inst.Run})
+			}
+			return heuristics.BestCtx(ctx, primaries).Run
+		},
+	})
+}

@@ -1,0 +1,195 @@
+// Package engine is the shared substrate every consumer of the scheduler
+// stack sits on. It provides:
+//
+//   - name-keyed registries of scheduling heuristics (Schedulers) and lower
+//     bounds (Bounds), so no consumer hardwires its own name→algorithm
+//     switch. Heuristics self-register from internal/heuristics and
+//     internal/core; the bound catalog is owned by internal/bounds
+//     (bounds.Catalog) and mirrored here at init.
+//   - a context-aware streaming evaluation pipeline (Run) with a bounded
+//     worker pool, deterministic corpus-order emission, and per-superblock
+//     memoization keyed by (graph digest, machine, bound options, scheduler
+//     set).
+//   - the shared worker-pool helper (ForEach) the evaluation harness builds
+//     on.
+//
+// Layering: engine imports only internal/model, internal/sched, and
+// internal/bounds. internal/heuristics and internal/core sit above it and
+// register themselves at init, so importing either (directly or through the
+// root balance facade or internal/eval) populates the scheduler registry.
+// The cross-product schedules behind the "Best" meta-column are injected
+// the same way (RegisterCrossProduct) to keep the import DAG acyclic.
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"balance/internal/bounds"
+	"balance/internal/model"
+	"balance/internal/sched"
+)
+
+// ScheduleFunc schedules a superblock on a machine. It is the engine-level
+// view of a heuristic's Run method.
+type ScheduleFunc = func(sb *model.Superblock, m *model.Machine) (*sched.Schedule, sched.Stats, error)
+
+// Scheduler is one registered scheduling heuristic.
+type Scheduler struct {
+	// Name is the canonical display name used in tables ("SR", "Balance").
+	Name string
+	// Aliases are additional lookup keys ("gstar" for "G*"). Lookup is
+	// case-insensitive for names and aliases alike.
+	Aliases []string
+	// Description is a one-line summary for -list output.
+	Description string
+	// Order fixes the listing position: the paper's column order for the
+	// six primaries, higher values for meta-heuristics.
+	Order int
+	// Primary marks one of the paper's six primary heuristics (the columns
+	// of Tables 3-5).
+	Primary bool
+	// New returns a fresh scheduling function. Heuristics may keep state
+	// across the operations of one run, so every worker goroutine needs its
+	// own instance. Implementations that contain long-running loops honor
+	// ctx between major phases.
+	New func(ctx context.Context) ScheduleFunc
+}
+
+// Instance is an instantiated scheduler: a name plus a ready-to-run
+// scheduling function (the engine-level analogue of heuristics.Heuristic).
+type Instance struct {
+	Name string
+	Run  ScheduleFunc
+}
+
+// Instantiate builds a fresh Instance bound to ctx.
+func (s Scheduler) Instantiate(ctx context.Context) Instance {
+	return Instance{Name: s.Name, Run: s.New(ctx)}
+}
+
+// Bound is one registered lower-bound algorithm. Bounds are computed
+// together by bounds.Compute; each entry knows how to extract its value
+// from the resulting set.
+type Bound struct {
+	// Name is the canonical short name used in tables ("CP", "PW").
+	Name string
+	// Aliases are additional lookup keys ("pairwise" for "PW").
+	Aliases []string
+	// Description is a one-line summary for -list output.
+	Description string
+	// Order fixes the listing position (the paper's Table 1 column order).
+	Order int
+	// Value extracts the superblock-level weighted-completion bound.
+	Value func(*bounds.Set) float64
+	// PerBranch extracts the per-branch issue-cycle bounds, or nil when the
+	// bound has no per-branch form.
+	PerBranch func(*bounds.Set) bounds.PerBranch
+	// Trips extracts the algorithm's loop-trip count (the Table 2 metric)
+	// from the per-superblock statistics.
+	Trips func(*bounds.AlgStats) float64
+}
+
+var (
+	schedulers = newRegistry[Scheduler]("heuristic")
+	boundsReg  = newRegistry[Bound]("bound")
+)
+
+// RegisterScheduler adds a scheduler to the registry. It panics on
+// duplicate names or aliases (registration is an init-time operation).
+func RegisterScheduler(s Scheduler) {
+	if s.New == nil {
+		panic(fmt.Sprintf("engine: scheduler %q has no constructor", s.Name))
+	}
+	schedulers.register(s.Name, s.Order, s.Aliases, s)
+}
+
+// RegisterBound adds a bound to the registry. It panics on duplicates.
+func RegisterBound(b Bound) {
+	if b.Value == nil {
+		panic(fmt.Sprintf("engine: bound %q has no value extractor", b.Name))
+	}
+	boundsReg.register(b.Name, b.Order, b.Aliases, b)
+}
+
+// SchedulerByName resolves a scheduler by canonical name or alias. The
+// error of an unknown name lists every registered scheduler.
+func SchedulerByName(name string) (Scheduler, error) { return schedulers.resolve(name) }
+
+// SchedulerNames returns the canonical scheduler names in listing order.
+func SchedulerNames() []string { return schedulers.names() }
+
+// AllSchedulers returns every registered scheduler in listing order.
+func AllSchedulers() []Scheduler { return schedulers.values() }
+
+// PrimarySchedulers returns the paper's primary heuristics in column order.
+func PrimarySchedulers() []Scheduler {
+	var out []Scheduler
+	for _, s := range schedulers.values() {
+		if s.Primary {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// PrimaryNames returns the primary heuristics' names in column order.
+func PrimaryNames() []string {
+	ps := PrimarySchedulers()
+	out := make([]string, len(ps))
+	for i, s := range ps {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// PrimaryInstances instantiates the primary heuristics, bound to ctx.
+func PrimaryInstances(ctx context.Context) []Instance {
+	ps := PrimarySchedulers()
+	out := make([]Instance, len(ps))
+	for i, s := range ps {
+		out[i] = s.Instantiate(ctx)
+	}
+	return out
+}
+
+// Instances resolves and instantiates the named schedulers in the given
+// order, bound to ctx.
+func Instances(ctx context.Context, names []string) ([]Instance, error) {
+	out := make([]Instance, len(names))
+	for i, name := range names {
+		s, err := SchedulerByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s.Instantiate(ctx)
+	}
+	return out, nil
+}
+
+// BoundByName resolves a bound by canonical name or alias. The error of an
+// unknown name lists every registered bound.
+func BoundByName(name string) (Bound, error) { return boundsReg.resolve(name) }
+
+// BoundNames returns the canonical bound names in listing order.
+func BoundNames() []string { return boundsReg.names() }
+
+// AllBounds returns every registered bound in listing order.
+func AllBounds() []Bound { return boundsReg.values() }
+
+// init mirrors the bound catalog owned by internal/bounds into the
+// registry. (Bounds sits below engine in the import DAG, so it exports a
+// catalog instead of importing engine to self-register.)
+func init() {
+	for i, e := range bounds.Catalog() {
+		RegisterBound(Bound{
+			Name:        e.Name,
+			Aliases:     e.Aliases,
+			Description: e.Description,
+			Order:       i + 1,
+			Value:       e.Value,
+			PerBranch:   e.PerBranch,
+			Trips:       e.Trips,
+		})
+	}
+}

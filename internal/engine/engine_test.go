@@ -1,0 +1,360 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"balance/internal/engine"
+	"balance/internal/gen"
+	"balance/internal/model"
+
+	// Registration side effects: the heuristics and the Best meta-heuristic
+	// self-register into the engine's scheduler registry at init.
+	_ "balance/internal/core"
+	_ "balance/internal/heuristics"
+)
+
+func TestSchedulerRegistry(t *testing.T) {
+	want := []string{"SR", "CP", "G*", "DHASY", "Help", "Balance"}
+	if got := engine.PrimaryNames(); strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("PrimaryNames() = %v, want %v", got, want)
+	}
+	all := engine.SchedulerNames()
+	if len(all) != 7 || all[len(all)-1] != "Best" {
+		t.Errorf("SchedulerNames() = %v, want the six primaries then Best", all)
+	}
+	for alias, canonical := range map[string]string{
+		"gstar":             "G*",
+		"GSTAR":             "G*",
+		"speculative-hedge": "Help",
+		"balance":           "Balance",
+		" CP ":              "CP",
+	} {
+		s, err := engine.SchedulerByName(alias)
+		if err != nil {
+			t.Fatalf("SchedulerByName(%q): %v", alias, err)
+		}
+		if s.Name != canonical {
+			t.Errorf("SchedulerByName(%q).Name = %q, want %q", alias, s.Name, canonical)
+		}
+	}
+	_, err := engine.SchedulerByName("nope")
+	if err == nil {
+		t.Fatal("SchedulerByName(nope) succeeded")
+	}
+	for _, name := range want {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-scheduler error %q does not list %q", err, name)
+		}
+	}
+}
+
+func TestBoundRegistry(t *testing.T) {
+	want := []string{"CP", "Hu", "RJ", "LC", "PW", "TW"}
+	if got := engine.BoundNames(); strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("BoundNames() = %v, want %v", got, want)
+	}
+	b, err := engine.BoundByName("pairwise")
+	if err != nil || b.Name != "PW" {
+		t.Errorf("BoundByName(pairwise) = %v, %v; want PW", b.Name, err)
+	}
+	if _, err := engine.BoundByName("simplex"); err == nil ||
+		!strings.Contains(err.Error(), "TW") {
+		t.Errorf("unknown-bound error = %v, want one listing the registry", err)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	ctx := context.Background()
+
+	t.Run("visits every index once", func(t *testing.T) {
+		const n = 100
+		var visits [n]int32
+		if err := engine.ForEach(ctx, 4, n, func(i int) error {
+			atomic.AddInt32(&visits[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("index %d visited %d times", i, v)
+			}
+		}
+	})
+
+	t.Run("returns first error in index order", func(t *testing.T) {
+		errBoom := errors.New("boom")
+		err := engine.ForEach(ctx, 4, 100, func(i int) error {
+			if i == 7 || i == 23 {
+				return fmt.Errorf("%w at %d", errBoom, i)
+			}
+			return nil
+		})
+		if !errors.Is(err, errBoom) {
+			t.Fatalf("err = %v, want boom", err)
+		}
+	})
+
+	t.Run("error stops the pool early", func(t *testing.T) {
+		var ran int32
+		errBoom := errors.New("boom")
+		err := engine.ForEach(ctx, 1, 1000, func(i int) error {
+			atomic.AddInt32(&ran, 1)
+			if i == 3 {
+				return errBoom
+			}
+			return nil
+		})
+		if !errors.Is(err, errBoom) {
+			t.Fatalf("err = %v, want boom", err)
+		}
+		if n := atomic.LoadInt32(&ran); n > 10 {
+			t.Errorf("pool ran %d jobs after an early error", n)
+		}
+	})
+
+	t.Run("cancellation wins over fn errors", func(t *testing.T) {
+		cctx, cancel := context.WithCancel(ctx)
+		err := engine.ForEach(cctx, 2, 100, func(i int) error {
+			cancel()
+			return errors.New("job error")
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	})
+
+	t.Run("empty range", func(t *testing.T) {
+		if err := engine.ForEach(ctx, 4, 0, func(int) error { return errors.New("never") }); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// testJobs builds a small deterministic corpus.
+func testJobs(t *testing.T, scale float64) []engine.Job {
+	t.Helper()
+	suite := gen.GenerateSuite(1999, scale)
+	var jobs []engine.Job
+	for _, name := range suite.Order {
+		for _, sb := range suite.Benchmarks[name] {
+			jobs = append(jobs, engine.Job{Benchmark: name, SB: sb})
+		}
+	}
+	if len(jobs) == 0 {
+		t.Fatal("empty corpus")
+	}
+	return jobs
+}
+
+func testMachine(t *testing.T) *model.Machine {
+	t.Helper()
+	m, err := model.MachineByName("GP2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRunStreamsInJobOrder(t *testing.T) {
+	jobs := testJobs(t, 0.05)
+	ch, err := engine.Run(context.Background(), engine.Config{
+		Jobs:    jobs,
+		Machine: testMachine(t),
+		Best:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := 0
+	for res := range ch {
+		if res.Err != nil {
+			t.Fatalf("result %d: %v", next, res.Err)
+		}
+		if res.Index != next {
+			t.Fatalf("result emitted out of order: got index %d, want %d", res.Index, next)
+		}
+		if res.Benchmark != jobs[next].Benchmark || res.SB != jobs[next].SB {
+			t.Fatalf("result %d carries the wrong job", next)
+		}
+		if res.Bounds == nil || res.Bounds.Tightest <= 0 {
+			t.Fatalf("result %d has no bounds", next)
+		}
+		for _, name := range append(engine.PrimaryNames(), "Best") {
+			cost, ok := res.Cost[name]
+			if !ok {
+				t.Fatalf("result %d missing cost for %s", next, name)
+			}
+			if cost < res.Bounds.Tightest-1e-9 {
+				t.Fatalf("result %d: %s cost %.6f beats the lower bound %.6f",
+					next, name, cost, res.Bounds.Tightest)
+			}
+		}
+		next++
+	}
+	if next != len(jobs) {
+		t.Fatalf("got %d results, want %d", next, len(jobs))
+	}
+}
+
+func TestRunConfigErrors(t *testing.T) {
+	if _, err := engine.Run(context.Background(), engine.Config{}); err == nil {
+		t.Error("Run without a machine succeeded")
+	}
+	_, err := engine.Run(context.Background(), engine.Config{
+		Jobs:       testJobs(t, 0.02)[:1],
+		Machine:    testMachine(t),
+		Schedulers: []string{"no-such-heuristic"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "Balance") {
+		t.Errorf("unknown-scheduler config error = %v, want one listing the registry", err)
+	}
+}
+
+func TestRunMemoSharing(t *testing.T) {
+	jobs := testJobs(t, 0.05)
+	memo := engine.NewMemo(0)
+	run := func() []*engine.Result {
+		ch, err := engine.Run(context.Background(), engine.Config{
+			Jobs:    jobs,
+			Machine: testMachine(t),
+			Best:    true,
+			Memo:    memo,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := engine.Collect(ch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+	first := run()
+	hits0, misses0, size0 := memo.Stats()
+	if size0 == 0 || misses0 == 0 {
+		t.Fatalf("memo empty after first run: hits=%d misses=%d size=%d", hits0, misses0, size0)
+	}
+	second := run()
+	hits1, _, _ := memo.Stats()
+	if hits1-hits0 != len(jobs) {
+		t.Errorf("second run scored %d memo hits, want %d", hits1-hits0, len(jobs))
+	}
+	for i := range first {
+		for name, cost := range first[i].Cost {
+			if second[i].Cost[name] != cost {
+				t.Fatalf("job %d %s: memoized cost %.6f != fresh cost %.6f",
+					i, name, second[i].Cost[name], cost)
+			}
+		}
+		if first[i].Trivial != second[i].Trivial {
+			t.Fatalf("job %d trivial flag changed across memo recall", i)
+		}
+	}
+}
+
+// TestRunCancellation cancels a scale-1 corpus run mid-stream and checks the
+// pipeline's cancellation contract: the stream ends promptly with ctx.Err()
+// and no worker goroutines are left behind.
+func TestRunCancellation(t *testing.T) {
+	jobs := testJobs(t, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	before := runtime.NumGoroutine()
+	ch, err := engine.Run(ctx, engine.Config{
+		Jobs:    jobs,
+		Machine: testMachine(t),
+		Best:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Let the pipeline produce a little, then pull the plug.
+	got := 0
+	for res := range ch {
+		if res.Err != nil {
+			t.Fatalf("premature error before cancellation: %v", res.Err)
+		}
+		got++
+		if got == 3 {
+			break
+		}
+	}
+	cancel()
+	start := time.Now()
+
+	var last engine.Result
+	sawErr := false
+	for res := range ch {
+		if res.Err != nil {
+			sawErr = true
+			last = res
+		}
+	}
+	elapsed := time.Since(start)
+
+	if !sawErr {
+		t.Fatal("cancelled run ended without a terminal error result")
+	}
+	if !errors.Is(last.Err, context.Canceled) {
+		t.Errorf("terminal Err = %v, want context.Canceled", last.Err)
+	}
+	if last.Index != -1 {
+		t.Errorf("terminal result Index = %d, want -1", last.Index)
+	}
+	limit := 100 * time.Millisecond
+	if raceEnabled {
+		limit = time.Second // the race detector slows single jobs well past their normal latency
+	}
+	if elapsed > limit {
+		t.Errorf("stream closed %v after cancellation, want <= %v", elapsed, limit)
+	}
+
+	// The pool and emitter goroutines must unwind.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutine leak: %d before Run, %d after cancellation", before, after)
+	}
+}
+
+func TestDigestSharing(t *testing.T) {
+	a := gen.GenerateSuite(7, 0.05).All()
+	b := gen.GenerateSuite(7, 0.05).All()
+	if len(a) != len(b) {
+		t.Fatalf("suite sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Digest() != b[i].Digest() {
+			t.Fatalf("superblock %d: identical generation produced different digests", i)
+		}
+	}
+	// Name and frequency are excluded from the digest by design.
+	clone := *a[0]
+	clone.Name, clone.Freq = "renamed", a[0].Freq*3+1
+	if clone.Digest() != a[0].Digest() {
+		t.Error("digest depends on Name or Freq")
+	}
+	// Different seeds must (overwhelmingly) produce different structures.
+	c := gen.GenerateSuite(8, 0.05).All()
+	same := 0
+	for i := range a {
+		if i < len(c) && a[i].Digest() == c[i].Digest() {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("digests are seed-insensitive")
+	}
+}

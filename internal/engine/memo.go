@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"strings"
+	"sync"
+
+	"balance/internal/bounds"
+	"balance/internal/sched"
+)
+
+// memoKey identifies one memoized evaluation: the superblock's structural
+// digest, the machine, the bound options, and the scheduler set (including
+// whether the Best meta-column was computed). bounds.Options is a flat
+// struct of scalars, so the key is comparable.
+type memoKey struct {
+	digest     uint64
+	machine    string
+	opts       bounds.Options
+	schedulers string
+}
+
+// memoVal holds the structure-dependent part of a Result. The superblock's
+// name and execution frequency are excluded from the digest, so a cached
+// value may be shared by superblocks that differ only in those fields; the
+// cached Bounds set retains the first-seen structurally identical
+// superblock.
+type memoVal struct {
+	bounds  *bounds.Set
+	cost    map[string]float64
+	stats   map[string]sched.Stats
+	trivial bool
+}
+
+// Memo is a bounded, concurrency-safe cache of per-superblock evaluations
+// keyed by (graph digest, machine, bound options, scheduler set). A single
+// Memo may be shared across Run invocations — the evaluation Runner uses
+// one to share work between machines and repeated table requests.
+type Memo struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[memoKey]memoVal
+	hits    int
+	misses  int
+}
+
+// DefaultMemoCapacity bounds a NewMemo(0) cache. At roughly a few KB per
+// superblock evaluation this keeps the default well under typical corpus
+// memory, while covering a full six-machine scale-1 run.
+const DefaultMemoCapacity = 1 << 16
+
+// NewMemo returns an empty memo holding at most capacity entries
+// (capacity ≤ 0 uses DefaultMemoCapacity). When full, an arbitrary entry
+// is evicted per insertion.
+func NewMemo(capacity int) *Memo {
+	if capacity <= 0 {
+		capacity = DefaultMemoCapacity
+	}
+	return &Memo{cap: capacity, entries: map[memoKey]memoVal{}}
+}
+
+// Stats reports the memo's lifetime hit/miss counts and current size.
+func (mc *Memo) Stats() (hits, misses, size int) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return mc.hits, mc.misses, len(mc.entries)
+}
+
+func (mc *Memo) lookup(k memoKey) (memoVal, bool) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	v, ok := mc.entries[k]
+	if ok {
+		mc.hits++
+	} else {
+		mc.misses++
+	}
+	return v, ok
+}
+
+func (mc *Memo) store(k memoKey, v memoVal) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	if len(mc.entries) >= mc.cap {
+		for victim := range mc.entries {
+			delete(mc.entries, victim)
+			break
+		}
+	}
+	mc.entries[k] = v
+}
+
+// schedulerSetKey canonicalizes the scheduler list (plus the Best flag)
+// into the memo key's scheduler component.
+func schedulerSetKey(names []string, best bool) string {
+	key := strings.Join(names, ",")
+	if best {
+		key += ",+Best"
+	}
+	return key
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package engine_test
+
+// raceEnabled relaxes wall-clock assertions when the race detector is on.
+const raceEnabled = false

@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// registry is a concurrency-safe, case-insensitive, name-keyed collection
+// with aliases and a deterministic listing order (Order, then canonical
+// name). It backs the exported Schedulers and Bounds registries.
+type registry[T any] struct {
+	kind string // "scheduler" or "bound", for error messages
+
+	mu      sync.RWMutex
+	byKey   map[string]*regEntry[T]
+	entries []*regEntry[T]
+}
+
+type regEntry[T any] struct {
+	name  string
+	order int
+	value T
+}
+
+func newRegistry[T any](kind string) *registry[T] {
+	return &registry[T]{kind: kind, byKey: map[string]*regEntry[T]{}}
+}
+
+// register adds a value under its canonical name and aliases. Registration
+// normally happens from package init functions; duplicate keys panic
+// because they are programming errors, not runtime conditions.
+func (r *registry[T]) register(name string, order int, aliases []string, v T) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := &regEntry[T]{name: name, order: order, value: v}
+	for _, key := range append([]string{name}, aliases...) {
+		k := strings.ToLower(key)
+		if _, dup := r.byKey[k]; dup {
+			panic(fmt.Sprintf("engine: duplicate %s registration %q", r.kind, key))
+		}
+		r.byKey[k] = e
+	}
+	r.entries = append(r.entries, e)
+	sort.SliceStable(r.entries, func(i, j int) bool {
+		if r.entries[i].order != r.entries[j].order {
+			return r.entries[i].order < r.entries[j].order
+		}
+		return r.entries[i].name < r.entries[j].name
+	})
+}
+
+// lookup resolves a canonical name or alias, case-insensitively.
+func (r *registry[T]) lookup(name string) (T, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.byKey[strings.ToLower(strings.TrimSpace(name))]
+	if !ok {
+		var zero T
+		return zero, false
+	}
+	return e.value, true
+}
+
+// resolve is lookup with a descriptive error naming every registered entry.
+func (r *registry[T]) resolve(name string) (T, error) {
+	v, ok := r.lookup(name)
+	if !ok {
+		return v, fmt.Errorf("unknown %s %q (available: %s)",
+			r.kind, name, strings.Join(r.names(), ", "))
+	}
+	return v, nil
+}
+
+// names returns the canonical names in listing order.
+func (r *registry[T]) names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, len(r.entries))
+	for i, e := range r.entries {
+		out[i] = e.name
+	}
+	return out
+}
+
+// values returns the registered values in listing order.
+func (r *registry[T]) values() []T {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]T, len(r.entries))
+	for i, e := range r.entries {
+		out[i] = e.value
+	}
+	return out
+}

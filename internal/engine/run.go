@@ -1,0 +1,241 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"balance/internal/bounds"
+	"balance/internal/model"
+	"balance/internal/sched"
+)
+
+// Job is one unit of pipeline work: a superblock and the benchmark it
+// belongs to.
+type Job struct {
+	Benchmark string
+	SB        *model.Superblock
+}
+
+// Config configures a streaming evaluation run on one machine.
+type Config struct {
+	// Jobs lists the superblocks to evaluate. Results are emitted in Jobs
+	// order regardless of worker interleaving.
+	Jobs []Job
+	// Machine is the configuration to evaluate on (required).
+	Machine *model.Machine
+	// Bounds configures the lower-bound computation for every job.
+	Bounds bounds.Options
+	// Schedulers names the registry schedulers to run per job (default:
+	// the primary heuristics in paper column order).
+	Schedulers []string
+	// Best additionally reports the "Best" meta-column: the cheapest cost
+	// among the configured schedulers' schedules and the 121 cross-product
+	// schedules (the paper's best-of-127 when run over the six primaries).
+	Best bool
+	// Workers bounds the worker pool (≤ 0 uses GOMAXPROCS).
+	Workers int
+	// Memo, when non-nil, caches evaluations across Run calls keyed by
+	// (graph digest, machine, bound options, scheduler set).
+	Memo *Memo
+}
+
+// Result is the full evaluation of one superblock on one machine. The Cost,
+// Stats, and Bounds fields may be shared with other results through the
+// memo cache and must be treated as read-only.
+type Result struct {
+	// Index is the job's position in Config.Jobs; results arrive in
+	// increasing Index order. The terminal error result (if any) has
+	// Index -1.
+	Index     int
+	Benchmark string
+	SB        *model.Superblock
+	// Bounds is the full lower-bound set.
+	Bounds *bounds.Set
+	// Cost[name] is the weighted completion time of each scheduler's
+	// schedule (plus "Best" when configured).
+	Cost map[string]float64
+	// Stats[name] records the scheduling work of each scheduler.
+	Stats map[string]sched.Stats
+	// Trivial is true when every configured scheduler achieved the
+	// tightest bound.
+	Trivial bool
+	// Err is non-nil only on the final result of an aborted run: the first
+	// evaluation error, or ctx.Err() after cancellation. No further
+	// results follow it.
+	Err error
+}
+
+// DynCycles converts a weighted completion time into the superblock's
+// dynamic cycle count.
+func (r *Result) DynCycles(cost float64) float64 { return r.SB.Freq * cost }
+
+// crossProductAll produces the cross-product schedules behind the Best
+// meta-column. It is injected by internal/heuristics at init: engine sits
+// below heuristics in the import DAG and cannot import it.
+var crossProductAll func(ctx context.Context, sb *model.Superblock, m *model.Machine) ([]*sched.Schedule, sched.Stats, error)
+
+// RegisterCrossProduct installs the cross-product schedule source used by
+// Config.Best.
+func RegisterCrossProduct(fn func(ctx context.Context, sb *model.Superblock, m *model.Machine) ([]*sched.Schedule, sched.Stats, error)) {
+	crossProductAll = fn
+}
+
+// Run evaluates every job on cfg.Machine across a bounded worker pool and
+// streams the results in job order. The channel is closed when the run
+// completes, fails, or is cancelled; an aborted run's last result carries
+// the error in Err (ctx.Err() after cancellation). The channel is fully
+// buffered, so Run never leaks goroutines even if the consumer stops
+// reading early — but a well-behaved consumer drains the channel or
+// cancels ctx.
+//
+// Configuration errors (no machine, unknown scheduler name, Best without a
+// registered cross-product source) are reported synchronously.
+func Run(ctx context.Context, cfg Config) (<-chan Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.Machine == nil {
+		return nil, errors.New("engine: Config.Machine is required")
+	}
+	names := cfg.Schedulers
+	if len(names) == 0 {
+		names = PrimaryNames()
+	}
+	scheds := make([]Scheduler, len(names))
+	canonical := make([]string, len(names))
+	for i, name := range names {
+		s, err := SchedulerByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+		scheds[i], canonical[i] = s, s.Name
+	}
+	if cfg.Best && crossProductAll == nil {
+		return nil, errors.New("engine: Best requires the cross-product source (import balance/internal/heuristics)")
+	}
+	setKey := schedulerSetKey(canonical, cfg.Best)
+
+	n := len(cfg.Jobs)
+	out := make(chan Result, n+1) // fully buffered: emission never blocks
+	slots := make([]Result, n)
+	completed := make(chan int, n)
+
+	poolErr := make(chan error, 1)
+	go func() {
+		defer close(completed)
+		poolErr <- ForEach(ctx, cfg.Workers, n, func(i int) error {
+			res, err := evaluateJob(ctx, &cfg, scheds, setKey, i)
+			if err != nil {
+				return err
+			}
+			slots[i] = res
+			completed <- i
+			return nil
+		})
+	}()
+
+	go func() {
+		defer close(out)
+		ready := make([]bool, n)
+		next := 0
+		for i := range completed {
+			ready[i] = true
+			for next < n && ready[next] && ctx.Err() == nil {
+				out <- slots[next]
+				next++
+			}
+		}
+		if err := <-poolErr; err != nil {
+			out <- Result{Index: -1, Err: err}
+		} else if next < n {
+			// The pool finished before the cancellation that suppressed
+			// the remaining emissions; never end a truncated stream
+			// silently.
+			out <- Result{Index: -1, Err: ctx.Err()}
+		}
+	}()
+	return out, nil
+}
+
+// Collect drains a Run result stream into a slice, returning the error of
+// an aborted run.
+func Collect(ch <-chan Result) ([]*Result, error) {
+	var out []*Result
+	for res := range ch {
+		if res.Err != nil {
+			return nil, res.Err
+		}
+		res := res
+		out = append(out, &res)
+	}
+	return out, nil
+}
+
+// evaluateJob computes (or recalls from the memo) the bounds and every
+// configured scheduler's schedule for one job.
+func evaluateJob(ctx context.Context, cfg *Config, scheds []Scheduler, setKey string, idx int) (Result, error) {
+	job := cfg.Jobs[idx]
+	res := Result{Index: idx, Benchmark: job.Benchmark, SB: job.SB}
+	var key memoKey
+	if cfg.Memo != nil {
+		key = memoKey{
+			digest:     job.SB.Digest(),
+			machine:    cfg.Machine.Name,
+			opts:       cfg.Bounds,
+			schedulers: setKey,
+		}
+		if v, ok := cfg.Memo.lookup(key); ok {
+			res.Bounds, res.Cost, res.Stats, res.Trivial = v.bounds, v.cost, v.stats, v.trivial
+			return res, nil
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+
+	set := bounds.Compute(job.SB, cfg.Machine, cfg.Bounds)
+	res.Bounds = set
+	res.Cost = make(map[string]float64, len(scheds)+1)
+	res.Stats = make(map[string]sched.Stats, len(scheds)+1)
+	trivial := true
+	var bestCost float64
+	var bestSet bool
+	for _, s := range scheds {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		inst := s.Instantiate(ctx)
+		sc, stats, err := inst.Run(job.SB, cfg.Machine)
+		if err != nil {
+			return res, fmt.Errorf("engine: %s on %s/%s: %w", inst.Name, job.SB.Name, cfg.Machine.Name, err)
+		}
+		cost := sched.Cost(job.SB, sc)
+		res.Cost[inst.Name] = cost
+		res.Stats[inst.Name] = stats
+		if cost > set.Tightest+1e-9 {
+			trivial = false
+		}
+		if !bestSet || cost < bestCost {
+			bestCost, bestSet = cost, true
+		}
+	}
+	if cfg.Best {
+		cps, cpStats, err := crossProductAll(ctx, job.SB, cfg.Machine)
+		if err != nil {
+			return res, fmt.Errorf("engine: cross product on %s/%s: %w", job.SB.Name, cfg.Machine.Name, err)
+		}
+		for _, s := range cps {
+			if c := sched.Cost(job.SB, s); !bestSet || c < bestCost {
+				bestCost, bestSet = c, true
+			}
+		}
+		res.Cost["Best"] = bestCost
+		res.Stats["Best"] = cpStats
+	}
+	res.Trivial = trivial
+	if cfg.Memo != nil {
+		cfg.Memo.store(key, memoVal{bounds: res.Bounds, cost: res.Cost, stats: res.Stats, trivial: res.Trivial})
+	}
+	return res, nil
+}

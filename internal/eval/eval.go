@@ -4,23 +4,24 @@
 // optimally scheduled superblocks (Table 4), profile-free scheduling
 // (Table 5), heuristic complexity (Table 6), the Balance component ablation
 // (Table 7), and the cumulative distribution of extra cycles (Figure 8).
+//
+// The heavy lifting — heuristic resolution, the bounded worker pool, the
+// per-superblock memoization, and cancellation — lives in internal/engine;
+// the Runner here is a thin view that generates the corpus, streams it
+// through engine.Run, and renders the result set as tables and figures.
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
-	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"balance/internal/bounds"
 	"balance/internal/cfg"
-	"balance/internal/core"
+	"balance/internal/engine"
 	"balance/internal/gen"
-	"balance/internal/heuristics"
 	"balance/internal/model"
-	"balance/internal/sched"
 )
 
 // Config controls an evaluation run.
@@ -64,40 +65,21 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// PrimaryNames lists the six primary heuristics in the paper's column
-// order.
-var PrimaryNames = []string{"SR", "CP", "G*", "DHASY", "Help", "Balance"}
-
-// primaries returns the paper's six primary heuristics.
-func primaries() []heuristics.Heuristic {
-	return []heuristics.Heuristic{
-		heuristics.SR(),
-		heuristics.CP(),
-		heuristics.GStar(),
-		heuristics.DHASY(),
-		heuristics.Help(),
-		core.Balance(core.DefaultConfig()),
+// boundOptions is the bound configuration every table shares.
+func (c Config) boundOptions() bounds.Options {
+	return bounds.Options{
+		Triplewise:        c.Triplewise,
+		TripleMaxBranches: c.TripleMaxBranches,
+		WithLCOriginal:    true,
 	}
 }
 
-// sbResult caches everything computed for one superblock on one machine.
-type sbResult struct {
-	SB        *model.Superblock
-	Benchmark string
-	Bounds    *bounds.Set
-	// Cost[name] is the weighted completion time of each heuristic's
-	// schedule (with real exit probabilities).
-	Cost map[string]float64
-	// Stats[name] records the scheduling work of each heuristic.
-	Stats map[string]sched.Stats
-	// Trivial is true when every primary heuristic achieved the tightest
-	// bound.
-	Trivial bool
-}
+// PrimaryNames lists the six primary heuristics in the paper's column
+// order, resolved from the engine registry.
+var PrimaryNames = engine.PrimaryNames()
 
-// dynCycles returns the superblock's dynamic cycle count for a given
-// weighted completion time.
-func (r *sbResult) dynCycles(cost float64) float64 { return r.SB.Freq * cost }
+// sbResult is the engine's per-superblock evaluation result.
+type sbResult = engine.Result
 
 // Runner generates the corpus lazily and caches per-machine results so the
 // tables share work.
@@ -105,6 +87,8 @@ type Runner struct {
 	Cfg   Config
 	Suite *gen.Suite
 
+	ctx   context.Context
+	memo  *engine.Memo
 	cache map[string][]*sbResult // machine name -> results
 }
 
@@ -129,7 +113,23 @@ func NewRunner(cfg Config) *Runner {
 		}
 		suite = filtered
 	}
-	return &Runner{Cfg: cfg, Suite: suite, cache: map[string][]*sbResult{}}
+	return &Runner{
+		Cfg:   cfg,
+		Suite: suite,
+		ctx:   context.Background(),
+		memo:  engine.NewMemo(0),
+		cache: map[string][]*sbResult{},
+	}
+}
+
+// WithContext binds the runner's long-running loops — corpus evaluation
+// and the per-table worker pools — to ctx, so cancellation aborts them
+// promptly with ctx.Err(). It returns the runner for chaining.
+func (r *Runner) WithContext(ctx context.Context) *Runner {
+	if ctx != nil {
+		r.ctx = ctx
+	}
+	return r
 }
 
 // cfgSuite builds a corpus through the profiled-CFG formation pipeline:
@@ -180,140 +180,41 @@ func shortBench(name string) string {
 }
 
 // Results returns (computing and caching on first use) the per-superblock
-// results for one machine. Superblocks are evaluated in parallel across
-// worker goroutines; the result order is deterministic (corpus order).
+// results for one machine, streamed through the engine pipeline. The
+// result order is deterministic (corpus order); cancellation of the
+// runner's context aborts the run with ctx.Err().
 func (r *Runner) Results(m *model.Machine) ([]*sbResult, error) {
 	if res, ok := r.cache[m.Name]; ok {
 		return res, nil
 	}
-	type job struct {
-		idx   int
-		bench string
-		sb    *model.Superblock
-	}
-	var jobs []job
+	var jobs []engine.Job
 	for _, bench := range r.Suite.Order {
 		for _, sb := range r.Suite.Benchmarks[bench] {
-			jobs = append(jobs, job{len(jobs), bench, sb})
+			jobs = append(jobs, engine.Job{Benchmark: bench, SB: sb})
 		}
 	}
-	out := make([]*sbResult, len(jobs))
-	errs := make([]error, len(jobs))
-
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(jobs) {
-		workers = len(jobs)
+	ch, err := engine.Run(r.ctx, engine.Config{
+		Jobs:    jobs,
+		Machine: m,
+		Bounds:  r.Cfg.boundOptions(),
+		Best:    true,
+		Memo:    r.memo,
+	})
+	if err != nil {
+		return nil, err
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	var next int64 = -1
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			hs := primaries() // heuristics are stateful per run; one set per worker
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= len(jobs) {
-					return
-				}
-				out[i], errs[i] = r.evaluateOne(jobs[i].bench, jobs[i].sb, m, hs)
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	out, err := engine.Collect(ch)
+	if err != nil {
+		return nil, err
 	}
 	r.cache[m.Name] = out
 	return out, nil
 }
 
-// evaluateOne computes the bounds and all heuristic schedules for one
-// superblock on one machine.
-func (r *Runner) evaluateOne(bench string, sb *model.Superblock, m *model.Machine, hs []heuristics.Heuristic) (*sbResult, error) {
-	set := bounds.Compute(sb, m, bounds.Options{
-		Triplewise:        r.Cfg.Triplewise,
-		TripleMaxBranches: r.Cfg.TripleMaxBranches,
-		WithLCOriginal:    true,
-	})
-	res := &sbResult{
-		SB:        sb,
-		Benchmark: bench,
-		Bounds:    set,
-		Cost:      make(map[string]float64, len(hs)+1),
-		Stats:     make(map[string]sched.Stats, len(hs)+1),
-	}
-	trivial := true
-	var bestCost float64
-	var bestSet bool
-	for _, h := range hs {
-		s, stats, err := h.Run(sb, m)
-		if err != nil {
-			return nil, fmt.Errorf("eval: %s on %s/%s: %w", h.Name, sb.Name, m.Name, err)
-		}
-		cost := sched.Cost(sb, s)
-		res.Cost[h.Name] = cost
-		res.Stats[h.Name] = stats
-		if cost > set.Tightest+1e-9 {
-			trivial = false
-		}
-		if !bestSet || cost < bestCost {
-			bestCost, bestSet = cost, true
-		}
-	}
-	// Best = best of the six primaries plus the 121 cross-product
-	// schedules.
-	cp, cpStats, err := heuristics.CrossProduct(sb, m)
-	if err != nil {
-		return nil, fmt.Errorf("eval: cross product on %s/%s: %w", sb.Name, m.Name, err)
-	}
-	if c := sched.Cost(sb, cp); c < bestCost {
-		bestCost = c
-	}
-	res.Cost["Best"] = bestCost
-	res.Stats["Best"] = cpStats
-	res.Trivial = trivial
-	return res, nil
-}
-
-// parallelEach runs fn for every index in [0, n) across GOMAXPROCS worker
-// goroutines and returns the first error.
-func parallelEach(n int, fn func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	errs := make([]error, n)
-	var next int64 = -1
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= n {
-					return
-				}
-				errs[i] = fn(i)
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+// parallelEach runs fn for every index in [0, n) on the engine's shared
+// worker pool, bound to the runner's context.
+func (r *Runner) parallelEach(n int, fn func(i int) error) error {
+	return engine.ForEach(r.ctx, 0, n, fn)
 }
 
 // Table is a rendered experiment result.

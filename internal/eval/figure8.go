@@ -56,7 +56,7 @@ func (r *Runner) FigureCDF(benchmark string, m *model.Machine) (*Figure8Data, er
 		}
 		total++
 		for _, n := range names {
-			extra := res.dynCycles(res.Cost[n]) - res.dynCycles(res.Bounds.Tightest)
+			extra := res.DynCycles(res.Cost[n]) - res.DynCycles(res.Bounds.Tightest)
 			if extra < 0 {
 				extra = 0
 			}

@@ -3,41 +3,22 @@ package eval
 import (
 	"fmt"
 
+	"balance/internal/bounds"
 	"balance/internal/core"
+	"balance/internal/engine"
 	"balance/internal/heuristics"
 	"balance/internal/model"
 	"balance/internal/sched"
 )
 
-// boundNames lists the bounds compared by Table 1, in paper order.
-var boundNames = []string{"CP", "Hu", "RJ", "LC", "PW", "TW"}
-
-// boundValue extracts a named superblock-level bound from a result.
-func boundValue(r *sbResult, name string) float64 {
-	switch name {
-	case "CP":
-		return r.Bounds.CPVal
-	case "Hu":
-		return r.Bounds.HuVal
-	case "RJ":
-		return r.Bounds.RJVal
-	case "LC":
-		return r.Bounds.LCVal
-	case "PW":
-		return r.Bounds.PairVal
-	case "TW":
-		return r.Bounds.TripleVal
-	}
-	panic("unknown bound " + name)
-}
-
 // Table1 reproduces the bound-quality comparison: for each machine and each
 // bound, the average and maximum percentage gap to the tightest bound, and
 // the percentage of superblocks on which the bound is not the tightest.
 func (r *Runner) Table1() (*Table, error) {
+	bnds := engine.AllBounds()
 	t := &Table{
 		Title:  "Table 1: performance of lower bounds relative to the tightest lower bound",
-		Header: []string{"machine", "metric", "CP", "Hu", "RJ", "LC", "PW", "TW"},
+		Header: append([]string{"machine", "metric"}, engine.BoundNames()...),
 	}
 	for _, m := range r.Cfg.Machines {
 		results, err := r.Results(m)
@@ -47,13 +28,13 @@ func (r *Runner) Table1() (*Table, error) {
 		avgRow := []string{m.Name, "Avg(%)"}
 		maxRow := []string{"", "Max(%)"}
 		numRow := []string{"", "Num(%)"}
-		for _, bn := range boundNames {
+		for _, bn := range bnds {
 			var gaps []float64
 			worse := 0
 			maxGap := 0.0
 			for _, res := range results {
 				tight := res.Bounds.Tightest
-				v := boundValue(res, bn)
+				v := bn.Value(res.Bounds)
 				gap := 0.0
 				if tight > 0 {
 					gap = (tight - v) / tight * 100
@@ -83,7 +64,22 @@ func (r *Runner) Table1() (*Table, error) {
 // loop-trip counts of each bound algorithm across all superblocks and
 // machines.
 func (r *Runner) Table2() (*Table, error) {
-	algs := []string{"CP", "Hu", "RJ", "LC", "LC-original", "LC-reverse", "PW", "TW"}
+	// The rows are the registered bounds plus the two LC complexity-only
+	// variants the paper reports right after LC.
+	type algRow struct {
+		name  string
+		trips func(*bounds.AlgStats) float64
+	}
+	var algs []algRow
+	for _, b := range engine.AllBounds() {
+		algs = append(algs, algRow{b.Name, b.Trips})
+		if b.Name == "LC" {
+			algs = append(algs,
+				algRow{"LC-original", func(s *bounds.AlgStats) float64 { return float64(s.LCOriginal.Trips) }},
+				algRow{"LC-reverse", func(s *bounds.AlgStats) float64 { return float64(s.LCReverse.Trips) }},
+			)
+		}
+	}
 	trips := map[string][]float64{}
 	for _, m := range r.Cfg.Machines {
 		results, err := r.Results(m)
@@ -91,15 +87,9 @@ func (r *Runner) Table2() (*Table, error) {
 			return nil, err
 		}
 		for _, res := range results {
-			s := res.Bounds.Stats
-			trips["CP"] = append(trips["CP"], float64(s.CP.Trips))
-			trips["Hu"] = append(trips["Hu"], float64(s.Hu.Trips))
-			trips["RJ"] = append(trips["RJ"], float64(s.RJ.Trips))
-			trips["LC"] = append(trips["LC"], float64(s.LC.Trips))
-			trips["LC-original"] = append(trips["LC-original"], float64(s.LCOriginal.Trips))
-			trips["LC-reverse"] = append(trips["LC-reverse"], float64(s.LCReverse.Trips))
-			trips["PW"] = append(trips["PW"], float64(s.PW.Trips))
-			trips["TW"] = append(trips["TW"], float64(s.TW.Trips+s.TW.TripleSweeps))
+			for _, a := range algs {
+				trips[a.name] = append(trips[a.name], a.trips(&res.Bounds.Stats))
+			}
 		}
 	}
 	t := &Table{
@@ -108,9 +98,9 @@ func (r *Runner) Table2() (*Table, error) {
 	}
 	for _, a := range algs {
 		t.Rows = append(t.Rows, []string{
-			a,
-			fmt.Sprintf("%.2f", mean(trips[a])),
-			fmt.Sprintf("%.0f", percentile(trips[a], 0.5)),
+			a.name,
+			fmt.Sprintf("%.2f", mean(trips[a.name])),
+			fmt.Sprintf("%.0f", percentile(trips[a.name], 0.5)),
 		})
 	}
 	t.Notes = append(t.Notes,
@@ -127,7 +117,7 @@ func slowdownRows(results []*sbResult, names []string) (boundCycles, trivialPct 
 	var nontrivBound float64
 	heurCycles := map[string]float64{}
 	for _, res := range results {
-		b := res.dynCycles(res.Bounds.Tightest)
+		b := res.DynCycles(res.Bounds.Tightest)
 		totalBound += b
 		if res.Trivial {
 			trivialBound += b
@@ -135,7 +125,7 @@ func slowdownRows(results []*sbResult, names []string) (boundCycles, trivialPct 
 		}
 		nontrivBound += b
 		for _, n := range names {
-			heurCycles[n] += res.dynCycles(res.Cost[n])
+			heurCycles[n] += res.DynCycles(res.Cost[n])
 		}
 	}
 	slow = map[string]float64{}
@@ -259,7 +249,7 @@ func (r *Runner) Table4() (*Table, error) {
 // select among its 127 schedules, as in the paper.
 func (r *Runner) Table5() (*Table, error) {
 	names := append(append([]string(nil), PrimaryNames...), "Best")
-	hs := primaries()
+	hs := engine.PrimaryInstances(r.ctx)
 	t := &Table{
 		Title:  "Table 5: average slowdown with no profiling data (last branch weight 1000)",
 		Header: append([]string{"machine", "trivial(%)"}, names...),
@@ -274,7 +264,7 @@ func (r *Runner) Table5() (*Table, error) {
 		var trivialBound, totalBound float64
 		heurCycles := map[string]float64{}
 		perSB := make([]map[string]float64, len(results))
-		err = parallelEach(len(results), func(i int) error {
+		err = r.parallelEach(len(results), func(i int) error {
 			res := results[i]
 			if res.Trivial {
 				return nil
@@ -289,14 +279,14 @@ func (r *Runner) Table5() (*Table, error) {
 				}
 				// Evaluate against the real probabilities.
 				cost := sched.Cost(res.SB, s)
-				costs[h.Name] = res.dynCycles(cost)
+				costs[h.Name] = res.DynCycles(cost)
 				if bestCost < 0 || cost < bestCost {
 					bestCost = cost
 				}
 			}
 			// Best: the 127 schedules are built without profile data, but
 			// the paper's Best still selects with the real probabilities.
-			cpSched, _, err := crossProductSchedules(noProf, m)
+			cpSched, _, err := heuristics.CrossProductAllCtx(r.ctx, noProf, m)
 			if err != nil {
 				return err
 			}
@@ -305,7 +295,7 @@ func (r *Runner) Table5() (*Table, error) {
 					bestCost = cost
 				}
 			}
-			costs["Best"] = res.dynCycles(bestCost)
+			costs["Best"] = res.DynCycles(bestCost)
 			perSB[i] = costs
 			return nil
 		})
@@ -313,7 +303,7 @@ func (r *Runner) Table5() (*Table, error) {
 			return nil, err
 		}
 		for i, res := range results {
-			b := res.dynCycles(res.Bounds.Tightest)
+			b := res.DynCycles(res.Bounds.Tightest)
 			totalBound += b
 			if res.Trivial {
 				trivialBound += b
@@ -448,7 +438,7 @@ func (r *Runner) variantSlowdown(cfg core.Config) (float64, error) {
 			return 0, err
 		}
 		costs := make([]float64, len(results))
-		err = parallelEach(len(results), func(i int) error {
+		err = r.parallelEach(len(results), func(i int) error {
 			res := results[i]
 			if res.Trivial {
 				return nil
@@ -457,7 +447,7 @@ func (r *Runner) variantSlowdown(cfg core.Config) (float64, error) {
 			if err != nil {
 				return err
 			}
-			costs[i] = res.dynCycles(sched.Cost(res.SB, s))
+			costs[i] = res.DynCycles(sched.Cost(res.SB, s))
 			return nil
 		})
 		if err != nil {
@@ -468,7 +458,7 @@ func (r *Runner) variantSlowdown(cfg core.Config) (float64, error) {
 			if res.Trivial {
 				continue
 			}
-			bound += res.dynCycles(res.Bounds.Tightest)
+			bound += res.DynCycles(res.Bounds.Tightest)
 			cycles += costs[i]
 		}
 		if bound > 0 {
@@ -476,11 +466,4 @@ func (r *Runner) variantSlowdown(cfg core.Config) (float64, error) {
 		}
 	}
 	return mean(perMachine), nil
-}
-
-// crossProductSchedules returns all 121 cross-product schedules (used by
-// Table 5, which must select among them with different weights than they
-// were built with).
-func crossProductSchedules(sb *model.Superblock, m *model.Machine) ([]*sched.Schedule, sched.Stats, error) {
-	return heuristics.CrossProductAll(sb, m)
 }

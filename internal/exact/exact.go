@@ -6,6 +6,7 @@
 package exact
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -19,15 +20,22 @@ var ErrBudget = errors.New("exact: node budget exhausted")
 // DefaultMaxNodes is the default search budget.
 const DefaultMaxNodes = 5_000_000
 
-type solver struct {
-	sb *model.Superblock
-	m  *model.Machine
-	g  *model.Graph
+// ctxCheckInterval is how many search nodes are expanded between context
+// polls: frequent enough for sub-millisecond cancellation, rare enough to
+// keep the poll off the hot path.
+const ctxCheckInterval = 4096
 
-	maxNodes int
-	nodes    int
-	overrun  bool
-	horizon  int
+type solver struct {
+	sb  *model.Superblock
+	m   *model.Machine
+	g   *model.Graph
+	ctx context.Context
+
+	maxNodes  int
+	nodes     int
+	overrun   bool
+	cancelled bool
+	horizon   int
 
 	best      float64
 	bestSched []int
@@ -43,6 +51,16 @@ type solver struct {
 // superblock on the machine, together with its cost. maxNodes caps the
 // search (≤ 0 uses DefaultMaxNodes); ErrBudget is returned on overrun.
 func Optimal(sb *model.Superblock, m *model.Machine, maxNodes int) (*sched.Schedule, float64, error) {
+	return OptimalCtx(context.Background(), sb, m, maxNodes)
+}
+
+// OptimalCtx is Optimal with cancellation: the branch-and-bound search
+// polls ctx every few thousand nodes and abandons the search with ctx's
+// error once it is done.
+func OptimalCtx(ctx context.Context, sb *model.Superblock, m *model.Machine, maxNodes int) (*sched.Schedule, float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if maxNodes <= 0 {
 		maxNodes = DefaultMaxNodes
 	}
@@ -51,6 +69,7 @@ func Optimal(sb *model.Superblock, m *model.Machine, maxNodes int) (*sched.Sched
 		sb:        sb,
 		m:         m,
 		g:         sb.G,
+		ctx:       ctx,
 		maxNodes:  maxNodes,
 		best:      math.Inf(1),
 		issue:     make([]int, n),
@@ -71,6 +90,9 @@ func Optimal(sb *model.Superblock, m *model.Machine, maxNodes int) (*sched.Sched
 		s.bestSched = append([]int(nil), seed.Cycle...)
 	}
 	s.dfs(0, 0, 0)
+	if s.cancelled {
+		return nil, 0, ctx.Err()
+	}
 	if s.bestSched == nil {
 		return nil, 0, errors.New("exact: no schedule found")
 	}
@@ -220,12 +242,16 @@ func (s *solver) lowerBound(cycle int) float64 {
 // ID order (minID) to avoid enumerating permutations; "advance cycle" is
 // always an alternative so idle slots are explored too.
 func (s *solver) dfs(cycle, minID, done int) {
-	if s.overrun {
+	if s.overrun || s.cancelled {
 		return
 	}
 	s.nodes++
 	if s.nodes > s.maxNodes {
 		s.overrun = true
+		return
+	}
+	if s.nodes%ctxCheckInterval == 0 && s.ctx.Err() != nil {
+		s.cancelled = true
 		return
 	}
 	if cycle > s.horizon {

@@ -1,6 +1,7 @@
 package heuristics
 
 import (
+	"context"
 	"fmt"
 
 	"balance/internal/model"
@@ -63,12 +64,21 @@ func crossKeys(sb *model.Superblock) (cp, sr, dh []float64) {
 // CrossProductAll runs the 121 mixed-priority list schedules and returns
 // them all, with accumulated statistics.
 func CrossProductAll(sb *model.Superblock, m *model.Machine) ([]*sched.Schedule, sched.Stats, error) {
+	return CrossProductAllCtx(context.Background(), sb, m)
+}
+
+// CrossProductAllCtx is CrossProductAll with cancellation: the grid
+// enumeration stops with ctx.Err() at the next grid row once ctx is done.
+func CrossProductAllCtx(ctx context.Context, sb *model.Superblock, m *model.Machine) ([]*sched.Schedule, sched.Stats, error) {
 	cpKey, srKey, dhKey := crossKeys(sb)
 	n := sb.G.NumOps()
 	mixed := make([]float64, n)
 	var total sched.Stats
 	out := make([]*sched.Schedule, 0, CrossProductGrid*CrossProductGrid)
 	for a := 0; a < CrossProductGrid; a++ {
+		if err := ctx.Err(); err != nil {
+			return nil, total, err
+		}
 		for b := 0; b < CrossProductGrid; b++ {
 			alpha := float64(a) / float64(CrossProductGrid-1)
 			beta := float64(b) / float64(CrossProductGrid-1)
@@ -89,7 +99,12 @@ func CrossProductAll(sb *model.Superblock, m *model.Machine) ([]*sched.Schedule,
 // CrossProduct runs the 121 mixed-priority list schedules and returns the
 // cheapest, along with accumulated statistics.
 func CrossProduct(sb *model.Superblock, m *model.Machine) (*sched.Schedule, sched.Stats, error) {
-	all, total, err := CrossProductAll(sb, m)
+	return CrossProductCtx(context.Background(), sb, m)
+}
+
+// CrossProductCtx is CrossProduct with cancellation.
+func CrossProductCtx(ctx context.Context, sb *model.Superblock, m *model.Machine) (*sched.Schedule, sched.Stats, error) {
+	all, total, err := CrossProductAllCtx(ctx, sb, m)
 	if err != nil {
 		return nil, total, err
 	}
@@ -111,11 +126,20 @@ func Cost(sb *model.Superblock, s *sched.Schedule) float64 { return sched.Cost(s
 // cross-product schedules (127 schedules when given the paper's six
 // primaries).
 func Best(primaries []Heuristic) Heuristic {
+	return BestCtx(context.Background(), primaries)
+}
+
+// BestCtx is Best bound to a context: the primary runs and the grid
+// enumeration are abandoned with ctx.Err() once ctx is done.
+func BestCtx(ctx context.Context, primaries []Heuristic) Heuristic {
 	return Heuristic{Name: "Best", Run: func(sb *model.Superblock, m *model.Machine) (*sched.Schedule, sched.Stats, error) {
 		var total sched.Stats
 		var best *sched.Schedule
 		bestCost := 0.0
 		for _, h := range primaries {
+			if err := ctx.Err(); err != nil {
+				return nil, total, err
+			}
 			s, stats, err := h.Run(sb, m)
 			total.Add(&stats)
 			if err != nil {
@@ -125,7 +149,7 @@ func Best(primaries []Heuristic) Heuristic {
 				best, bestCost = s, cost
 			}
 		}
-		s, stats, err := CrossProduct(sb, m)
+		s, stats, err := CrossProductCtx(ctx, sb, m)
 		total.Add(&stats)
 		if err != nil {
 			return nil, total, err

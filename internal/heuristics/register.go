@@ -1,0 +1,56 @@
+package heuristics
+
+import (
+	"context"
+
+	"balance/internal/engine"
+)
+
+// init self-registers the published baseline heuristics with the engine
+// registry, in the paper's column order, and installs the cross-product
+// schedule source behind the engine's "Best" meta-column.
+func init() {
+	ctxless := func(h func() Heuristic) func(context.Context) engine.ScheduleFunc {
+		return func(context.Context) engine.ScheduleFunc { return h().Run }
+	}
+	engine.RegisterScheduler(engine.Scheduler{
+		Name:        "SR",
+		Aliases:     []string{"successive-retirement"},
+		Description: "Successive Retirement: block-by-block, biased toward the first exit",
+		Order:       1,
+		Primary:     true,
+		New:         ctxless(SR),
+	})
+	engine.RegisterScheduler(engine.Scheduler{
+		Name:        "CP",
+		Aliases:     []string{"critical-path"},
+		Description: "Critical Path: longest dependence chains first, biased toward the last exit",
+		Order:       2,
+		Primary:     true,
+		New:         ctxless(CP),
+	})
+	engine.RegisterScheduler(engine.Scheduler{
+		Name:        "G*",
+		Aliases:     []string{"gstar"},
+		Description: "G*: successive-retirement grouping with Critical Path as secondary key",
+		Order:       3,
+		Primary:     true,
+		New:         ctxless(GStar),
+	})
+	engine.RegisterScheduler(engine.Scheduler{
+		Name:        "DHASY",
+		Description: "Dependence Height and Speculative Yield: exit-probability-weighted critical paths",
+		Order:       4,
+		Primary:     true,
+		New:         ctxless(DHASY),
+	})
+	engine.RegisterScheduler(engine.Scheduler{
+		Name:        "Help",
+		Aliases:     []string{"speculative-hedge"},
+		Description: "Help: Speculative-Hedge-based helped-branch accounting",
+		Order:       5,
+		Primary:     true,
+		New:         ctxless(Help),
+	})
+	engine.RegisterCrossProduct(CrossProductAllCtx)
+}

@@ -1,0 +1,39 @@
+package model
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// Digest returns a 64-bit FNV-1a hash of the superblock's scheduling
+// structure: operation classes, dependence edges with latencies, the exit
+// branch order, and the exit probabilities. The name and the dynamic
+// execution frequency are deliberately excluded: two superblocks with equal
+// digests admit exactly the same schedules, costs, and lower bounds on any
+// machine, so digest-keyed caches may share those results between them.
+func (sb *Superblock) Digest() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	n := sb.G.NumOps()
+	u64(uint64(n))
+	for v := 0; v < n; v++ {
+		u64(uint64(sb.G.Op(v).Class))
+		succs := sb.G.Succs(v)
+		u64(uint64(len(succs)))
+		for _, e := range succs {
+			u64(uint64(e.To))
+			u64(uint64(int64(e.Lat)))
+		}
+	}
+	u64(uint64(len(sb.Branches)))
+	for i, b := range sb.Branches {
+		u64(uint64(b))
+		u64(math.Float64bits(sb.Prob[i]))
+	}
+	return h.Sum64()
+}
