@@ -22,7 +22,10 @@
 //     worker pool with per-superblock memoization (Run, CollectResults);
 //   - a deterministic synthetic SPECint95-like corpus generator and the
 //     evaluation harness that regenerates every table and figure of the
-//     paper (see package balance/internal/eval via the sbeval tool).
+//     paper (see package balance/internal/eval via the sbeval tool);
+//   - a process-wide telemetry registry of counters, gauges, and latency
+//     histograms fed by the engine, bounds, scheduler, and exact solver,
+//     with optional span streaming (Telemetry, NewTelemetrySink).
 //
 // Quick start:
 //
@@ -55,6 +58,7 @@ import (
 	"balance/internal/model"
 	"balance/internal/sbfile"
 	"balance/internal/sched"
+	"balance/internal/telemetry"
 )
 
 // Core model types.
@@ -269,6 +273,35 @@ func CollectResults(ch <-chan EngineResult) ([]*EngineResult, error) { return en
 // NewEngineMemo returns a bounded evaluation cache to share across Run
 // calls (capacity ≤ 0 uses the default).
 func NewEngineMemo(capacity int) *EngineMemo { return engine.NewMemo(capacity) }
+
+// Observability: the process-wide telemetry registry of internal/telemetry,
+// which the engine pipeline, the bound catalog, the list scheduler, and the
+// exact solver all feed. Idle instrumentation costs nothing; attach a Sink
+// to also stream span/progress events.
+type (
+	// TelemetryRegistry holds named counters, gauges, and latency
+	// histograms, and fans span events out to an optional sink.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetrySnapshot is a point-in-time copy of a registry with
+	// deterministic JSON marshaling.
+	TelemetrySnapshot = telemetry.Snapshot
+	// TelemetrySink receives span and progress events (see
+	// telemetry.NewJSONLSink for a JSON-lines writer).
+	TelemetrySink = telemetry.Sink
+	// TelemetryEvent is one span or progress event delivered to a sink.
+	TelemetryEvent = telemetry.Event
+)
+
+// Telemetry returns the process-wide registry every instrumented subsystem
+// reports into. Read counters from its Snapshot, or SetSink to stream
+// events; the cmd tools' -metrics and -trace flags are thin wrappers over
+// exactly this.
+func Telemetry() *TelemetryRegistry { return telemetry.Default() }
+
+// NewTelemetrySink returns a sink writing one JSON object per event to w;
+// pass it to Telemetry().SetSink. SetSink(nil) detaches and restores the
+// zero-cost idle path.
+func NewTelemetrySink(w io.Writer) TelemetrySink { return telemetry.NewJSONLSink(w) }
 
 // HeuristicByName resolves a scheduling heuristic from the engine registry
 // by canonical name or alias ("balance", "gstar", "Best", ...),

@@ -5,6 +5,7 @@
 package balance_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -302,5 +303,30 @@ func BenchmarkCompact(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		balance.Compact(sb, m, s)
+	}
+}
+
+// BenchmarkEngineRun times the streaming evaluation pipeline end to end on
+// a reduced corpus: bounds plus every primary heuristic per superblock,
+// across the bounded worker pool, without memoization. It is the reference
+// benchmark for the engine's per-job overhead (telemetry included).
+func BenchmarkEngineRun(b *testing.B) {
+	suite := balance.GenerateSuite(1999, 0.02)
+	var jobs []balance.EngineJob
+	for _, name := range suite.Order {
+		for _, sb := range suite.Benchmarks[name] {
+			jobs = append(jobs, balance.EngineJob{Benchmark: name, SB: sb})
+		}
+	}
+	m := balance.GP2()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch, err := balance.Run(context.Background(), balance.EngineConfig{Jobs: jobs, Machine: m})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := balance.CollectResults(ch); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

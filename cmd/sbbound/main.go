@@ -9,7 +9,9 @@
 // per-branch and superblock-level values of every bound in the engine
 // registry (sbbound -list prints the registry) plus the tightest
 // weighted-completion bound. With -v the pairwise tradeoff curves are
-// printed too. SIGINT cancels the run.
+// printed too. SIGINT cancels the run (exit 130, after flushing the
+// -metrics summary). -metrics writes a JSON telemetry summary on exit;
+// -trace streams span events as JSON lines.
 package main
 
 import (
@@ -23,7 +25,10 @@ import (
 	"syscall"
 
 	"balance"
+	"balance/internal/cliutil"
 )
+
+var obs = cliutil.Flags("sbbound", false)
 
 func main() {
 	machine := flag.String("machine", "GP2", "machine configuration (GP1,GP2,GP4,FS4,FS6,FS8)")
@@ -44,6 +49,9 @@ func main() {
 		return
 	}
 
+	if err := obs.Start(); err != nil {
+		obs.Fatal(err)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -98,9 +106,9 @@ func main() {
 			}
 		}
 	}
+	obs.Close()
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sbbound:", err)
-	os.Exit(1)
-}
+// fatal flushes telemetry and exits: 130 after cancellation (SIGINT),
+// 1 on real failures.
+func fatal(err error) { obs.Fatal(err) }

@@ -11,6 +11,11 @@
 //	sbeval -table 3 -cfg-corpus     # formation-pipeline corpus
 //	sbeval -machines GP2,FS4        # machine subset
 //	sbeval -bench gcc               # benchmark subset
+//
+// Observability: -metrics writes a JSON telemetry summary (pipeline job
+// counts, memo hit rates, per-bound latencies) on exit — including after
+// SIGINT, which exits 130; -trace streams span events as JSON lines;
+// -debug-addr serves expvar and pprof for live profiling of long runs.
 package main
 
 import (
@@ -23,9 +28,12 @@ import (
 	"syscall"
 	"time"
 
+	"balance/internal/cliutil"
 	"balance/internal/eval"
 	"balance/internal/model"
 )
+
+var obs = cliutil.Flags("sbeval", true)
 
 func main() {
 	table := flag.Int("table", 0, "regenerate one table (1-7)")
@@ -45,6 +53,9 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if err := obs.Start(); err != nil {
+		obs.Fatal(err)
+	}
 
 	// Worked examples don't need a corpus.
 	if *figure >= 1 && *figure <= 6 && *figure != 5 && !*all {
@@ -53,6 +64,7 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(text)
+		obs.Close()
 		return
 	}
 
@@ -135,6 +147,7 @@ func main() {
 			run(n)
 		}
 		runFig8()
+		obs.Close()
 		return
 	}
 	if *table != 0 {
@@ -143,9 +156,9 @@ func main() {
 	if *figure == 8 {
 		runFig8()
 	}
+	obs.Close()
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sbeval:", err)
-	os.Exit(1)
-}
+// fatal flushes telemetry and exits: 130 after cancellation (SIGINT),
+// 1 on real failures.
+func fatal(err error) { obs.Fatal(err) }

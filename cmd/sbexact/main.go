@@ -4,12 +4,18 @@
 // Usage:
 //
 //	sbexact [-machine GP2] [-max-nodes N] [-max-ops N] [file.sb]
+//	sbexact -metrics - -trace solve.jsonl -debug-addr localhost:6060 file.sb
 //
-// SIGINT cancels the search.
+// SIGINT cancels the search: the tool flushes the -metrics summary and
+// exits 130. -metrics writes a JSON telemetry summary (solver node and
+// prune counters, per-bound latencies) on exit; -trace streams span and
+// solver-progress events as JSON lines; -debug-addr serves expvar and
+// pprof for live profiling of long solves.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -18,39 +24,45 @@ import (
 	"syscall"
 
 	"balance"
+	"balance/internal/cliutil"
 )
+
+var obs = cliutil.Flags("sbexact", true)
 
 func main() {
 	machine := flag.String("machine", "GP2", "machine configuration")
 	maxNodes := flag.Int("max-nodes", 0, "search budget (0 = default)")
 	maxOps := flag.Int("max-ops", 24, "skip superblocks larger than this")
 	flag.Parse()
+	if err := obs.Start(); err != nil {
+		obs.Fatal(err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	m, err := balance.MachineByName(*machine)
 	if err != nil {
-		fatal(err)
+		obs.Fatal(err)
 	}
 	var in io.Reader = os.Stdin
 	if flag.NArg() > 0 {
 		f, err := os.Open(flag.Arg(0))
 		if err != nil {
-			fatal(err)
+			obs.Fatal(err)
 		}
 		defer f.Close()
 		in = f
 	}
 	sbs, err := balance.ReadSuperblocks(in)
 	if err != nil {
-		fatal(err)
+		obs.Fatal(err)
 	}
 
 	solved, skipped := 0, 0
 	for _, sb := range sbs {
 		if err := ctx.Err(); err != nil {
-			fatal(err)
+			obs.Fatal(err)
 		}
 		if sb.G.NumOps() > *maxOps {
 			skipped++
@@ -58,6 +70,9 @@ func main() {
 		}
 		s, opt, err := balance.OptimalCtx(ctx, sb, m, *maxNodes)
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				obs.Fatal(err)
+			}
 			fmt.Printf("%s: %v\n", sb.Name, err)
 			continue
 		}
@@ -69,7 +84,7 @@ func main() {
 		for _, h := range append(balance.Heuristics(), balance.Best()) {
 			hs, _, err := h.Run(sb, m)
 			if err != nil {
-				fatal(err)
+				obs.Fatal(err)
 			}
 			cost := balance.Cost(sb, hs)
 			gap := cost - opt
@@ -81,9 +96,5 @@ func main() {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "sbexact: solved %d, skipped %d (> %d ops)\n", solved, skipped, *maxOps)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sbexact:", err)
-	os.Exit(1)
+	obs.Close()
 }

@@ -6,6 +6,9 @@
 //	sbform region.cfg > region.sb       # form superblocks from a .cfg file
 //	sbform -random -blocks 16 -o r.sb   # random profiled CFG demo
 //	sbform -min-prob 0.7 region.cfg     # stricter trace growing
+//
+// -metrics writes a JSON telemetry summary on exit (also after SIGINT,
+// which exits 130); -trace streams span events as JSON lines.
 package main
 
 import (
@@ -20,7 +23,10 @@ import (
 
 	"balance"
 	"balance/internal/cfg"
+	"balance/internal/cliutil"
 )
+
+var obs = cliutil.Flags("sbform", false)
 
 func main() {
 	random := flag.Bool("random", false, "generate a random profiled CFG instead of reading one")
@@ -32,6 +38,9 @@ func main() {
 	out := flag.String("o", "", "output .sb file (default stdout)")
 	dumpCFG := flag.Bool("dump-cfg", false, "with -random: write the generated .cfg to stderr")
 	flag.Parse()
+	if err := obs.Start(); err != nil {
+		obs.Fatal(err)
+	}
 
 	var g *balance.CFG
 	if *random {
@@ -88,9 +97,9 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "sbform: %d blocks -> %d superblocks\n", len(g.Blocks), len(sbs))
+	obs.Close()
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sbform:", err)
-	os.Exit(1)
-}
+// fatal flushes telemetry and exits: 130 after cancellation (SIGINT),
+// 1 on real failures.
+func fatal(err error) { obs.Fatal(err) }

@@ -5,7 +5,9 @@
 //
 //	sbgen [-bench gcc,go|all] [-seed N] [-scale F] [-o file]
 //
-// With no -o the corpus is written to stdout.
+// With no -o the corpus is written to stdout. -metrics writes a JSON
+// telemetry summary on exit (also after SIGINT, which exits 130); -trace
+// streams span events as JSON lines.
 package main
 
 import (
@@ -18,7 +20,10 @@ import (
 	"syscall"
 
 	"balance"
+	"balance/internal/cliutil"
 )
+
+var obs = cliutil.Flags("sbgen", false)
 
 func main() {
 	bench := flag.String("bench", "all", "comma-separated benchmark names (e.g. gcc,perl) or 'all'")
@@ -26,6 +31,9 @@ func main() {
 	scale := flag.Float64("scale", 1, "corpus scale factor")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
+	if err := obs.Start(); err != nil {
+		obs.Fatal(err)
+	}
 
 	w := os.Stdout
 	if *out != "" {
@@ -65,9 +73,9 @@ func main() {
 		fatal(fmt.Errorf("no benchmarks matched %q", *bench))
 	}
 	fmt.Fprintf(os.Stderr, "sbgen: wrote %d superblocks\n", total)
+	obs.Close()
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sbgen:", err)
-	os.Exit(1)
-}
+// fatal flushes telemetry and exits: 130 after cancellation (SIGINT),
+// 1 on real failures.
+func fatal(err error) { obs.Fatal(err) }

@@ -8,7 +8,9 @@
 // Heuristics are resolved by name or alias from the engine registry
 // (sbsched -list prints them). With -compare the tool runs all of them and
 // reports each cost next to the tightest lower bound. With -schedule the
-// full cycle-by-cycle schedule is printed. SIGINT cancels the run.
+// full cycle-by-cycle schedule is printed. SIGINT cancels the run (exit
+// 130, after flushing the -metrics summary). -metrics writes a JSON
+// telemetry summary on exit; -trace streams span events as JSON lines.
 package main
 
 import (
@@ -22,7 +24,10 @@ import (
 	"syscall"
 
 	"balance"
+	"balance/internal/cliutil"
 )
+
+var obs = cliutil.Flags("sbsched", false)
 
 func main() {
 	machine := flag.String("machine", "GP2", "machine configuration (GP1,GP2,GP4,FS4,FS6,FS8)")
@@ -42,6 +47,9 @@ func main() {
 			fmt.Printf("%-28s %s\n", name, s.Description)
 		}
 		return
+	}
+	if err := obs.Start(); err != nil {
+		obs.Fatal(err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -108,6 +116,7 @@ func main() {
 			fmt.Print(indent(balance.RenderGantt(sb, m, s)))
 		}
 	}
+	obs.Close()
 }
 
 func indent(s string) string {
@@ -120,7 +129,6 @@ func indent(s string) string {
 	return b.String()
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sbsched:", err)
-	os.Exit(1)
-}
+// fatal flushes telemetry and exits: 130 after cancellation (SIGINT),
+// 1 on real failures.
+func fatal(err error) { obs.Fatal(err) }

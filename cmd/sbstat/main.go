@@ -7,6 +7,9 @@
 //	sbstat file.sb            # statistics of a .sb file
 //	sbstat -gen -scale 1      # statistics of the generated SPECint95 suite
 //	sbstat -gen -bench gcc    # one generated benchmark
+//
+// -metrics writes a JSON telemetry summary on exit (also after SIGINT,
+// which exits 130); -trace streams span events as JSON lines.
 package main
 
 import (
@@ -20,8 +23,11 @@ import (
 	"syscall"
 
 	"balance"
+	"balance/internal/cliutil"
 	"balance/internal/stats"
 )
+
+var obs = cliutil.Flags("sbstat", false)
 
 func main() {
 	genFlag := flag.Bool("gen", false, "summarize the generated corpus instead of a file")
@@ -30,6 +36,9 @@ func main() {
 	scale := flag.Float64("scale", 1, "corpus scale (with -gen)")
 	perBench := flag.Bool("per-bench", false, "report each benchmark separately (with -gen)")
 	flag.Parse()
+	if err := obs.Start(); err != nil {
+		obs.Fatal(err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -59,6 +68,7 @@ func main() {
 			fatal(fmt.Errorf("no benchmarks matched %q", *bench))
 		}
 		fmt.Printf("== corpus ==\n%s", stats.Summarize(combined))
+		obs.Close()
 		return
 	}
 
@@ -76,9 +86,9 @@ func main() {
 		fatal(err)
 	}
 	fmt.Print(stats.Summarize(sbs))
+	obs.Close()
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sbstat:", err)
-	os.Exit(1)
-}
+// fatal flushes telemetry and exits: 130 after cancellation (SIGINT),
+// 1 on real failures.
+func fatal(err error) { obs.Fatal(err) }

@@ -1,6 +1,8 @@
 package bounds
 
 import (
+	"time"
+
 	"balance/internal/model"
 )
 
@@ -114,6 +116,7 @@ type Set struct {
 // the fully pipelined expansion, whose optima lower-bound the original
 // problem's.
 func Compute(sb *model.Superblock, m *model.Machine, opts Options) *Set {
+	computeStart := time.Now()
 	s := &Set{SB: sb, M: m, Expanded: sb}
 	work := sb
 	var origOf []int
@@ -122,33 +125,40 @@ func Compute(sb *model.Superblock, m *model.Machine, opts Options) *Set {
 		s.Expanded = work
 	}
 
-	s.CP = CP(work, &s.Stats.CP)
-	s.Hu = Hu(work, m, &s.Stats.Hu)
-	s.RJ = RJ(work, m, &s.Stats.RJ)
-	earlyRC := EarlyRC(work, m, &s.Stats.LC)
-	s.LC = make(PerBranch, len(work.Branches))
-	for i, b := range work.Branches {
-		s.LC[i] = earlyRC[b]
-	}
+	telCP.timed(func() { s.CP = CP(work, &s.Stats.CP) })
+	telHu.timed(func() { s.Hu = Hu(work, m, &s.Stats.Hu) })
+	telRJ.timed(func() { s.RJ = RJ(work, m, &s.Stats.RJ) })
+	var earlyRC []int
+	telLC.timed(func() {
+		earlyRC = EarlyRC(work, m, &s.Stats.LC)
+		s.LC = make(PerBranch, len(work.Branches))
+		for i, b := range work.Branches {
+			s.LC[i] = earlyRC[b]
+		}
+	})
 	if opts.WithLCOriginal {
 		EarlyRCOriginal(work, m, &s.Stats.LCOriginal)
 	}
 
 	seps := make([]Separation, len(work.Branches))
-	for i, b := range work.Branches {
-		seps[i] = SeparationRC(work, m, b, &s.Stats.LCReverse)
-	}
-	s.Pairs = PairwiseAll(work, m, earlyRC, seps, &s.Stats.PW)
-	if opts.Triplewise {
-		s.Triples = TriplewiseAll(work, s.Pairs, opts.TripleMaxBranches, &s.Stats.TW)
-		if opts.TriplewiseExact {
-			maxB := opts.TripleExactMaxBranches
-			if maxB == 0 {
-				maxB = 8
-			}
-			exact := TripleRelaxAll(work, m, earlyRC, seps, maxB, &s.Stats.TW)
-			s.Triples = mergeTriples(s.Triples, exact)
+	telPW.timed(func() {
+		for i, b := range work.Branches {
+			seps[i] = SeparationRC(work, m, b, &s.Stats.LCReverse)
 		}
+		s.Pairs = PairwiseAll(work, m, earlyRC, seps, &s.Stats.PW)
+	})
+	if opts.Triplewise {
+		telTW.timed(func() {
+			s.Triples = TriplewiseAll(work, s.Pairs, opts.TripleMaxBranches, &s.Stats.TW)
+			if opts.TriplewiseExact {
+				maxB := opts.TripleExactMaxBranches
+				if maxB == 0 {
+					maxB = 8
+				}
+				exact := TripleRelaxAll(work, m, earlyRC, seps, maxB, &s.Stats.TW)
+				s.Triples = mergeTriples(s.Triples, exact)
+			}
+		})
 	}
 
 	// Map the per-op arrays back to the original op IDs (identity when no
@@ -170,6 +180,8 @@ func Compute(sb *model.Superblock, m *model.Machine, opts Options) *Set {
 			s.Tightest = v
 		}
 	}
+	telCompute.dur.ObserveDuration(time.Since(computeStart))
+	telCompute.calls.Inc()
 	return s
 }
 

@@ -1,0 +1,42 @@
+package bounds
+
+import (
+	"time"
+
+	"balance/internal/telemetry"
+)
+
+// boundTel is the per-bound-kind instrument pair: invocation count and
+// wall-time histogram. Series names follow the catalog's canonical bound
+// names ("bounds.CP.calls", "bounds.CP.latency_ns", ...), so tooling can
+// join them against Catalog().
+type boundTel struct {
+	calls *telemetry.Counter
+	dur   *telemetry.Histogram
+}
+
+func newBoundTel(name string) boundTel {
+	r := telemetry.Default()
+	return boundTel{
+		calls: r.Counter("bounds." + name + ".calls"),
+		dur:   r.Histogram("bounds." + name + ".latency_ns"),
+	}
+}
+
+// timed runs fn and records one invocation plus its latency.
+func (t boundTel) timed(fn func()) {
+	start := time.Now()
+	fn()
+	t.dur.ObserveDuration(time.Since(start))
+	t.calls.Inc()
+}
+
+var (
+	telCP      = newBoundTel("CP")
+	telHu      = newBoundTel("Hu")
+	telRJ      = newBoundTel("RJ")
+	telLC      = newBoundTel("LC")
+	telPW      = newBoundTel("PW")
+	telTW      = newBoundTel("TW")
+	telCompute = newBoundTel("Compute")
+)

@@ -1,0 +1,124 @@
+// Package cliutil wires the telemetry layer into the cmd tools: the shared
+// -metrics / -trace / -debug-addr flags, metrics flushing on every exit
+// path, and cancellation-aware exit codes (SIGINT exits 130 with a clean
+// one-line message instead of a spurious failure report).
+package cliutil
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"balance/internal/telemetry"
+
+	// Serve live profiles at /debug/pprof/ on the -debug-addr server
+	// (handlers register on http.DefaultServeMux at import; /debug/vars
+	// comes with the expvar import inside internal/telemetry).
+	_ "net/http/pprof"
+)
+
+// Obs carries one tool's observability configuration. Create it with
+// Flags before flag.Parse; Start after; and route every exit through
+// Fatal/Close so an interrupted run still reports what it did.
+type Obs struct {
+	tool      string
+	metrics   string
+	trace     string
+	debugAddr string
+	traceFile *os.File
+}
+
+// Flags registers the observability flags on the default flag set and
+// returns the tool's Obs. withDebug additionally registers -debug-addr
+// (for the long-running tools: sbeval, sbexact).
+func Flags(tool string, withDebug bool) *Obs {
+	o := &Obs{tool: tool}
+	flag.StringVar(&o.metrics, "metrics", "",
+		"write a JSON telemetry summary on exit to `file` (- for stdout)")
+	flag.StringVar(&o.trace, "trace", "",
+		"write span and progress events as JSON lines to `file`")
+	if withDebug {
+		flag.StringVar(&o.debugAddr, "debug-addr", "",
+			"serve expvar and pprof for live profiling on `addr` (e.g. localhost:6060)")
+	}
+	return o
+}
+
+// Start opens the trace sink and the debug server, as configured. Call it
+// once, after flag.Parse.
+func (o *Obs) Start() error {
+	if o.trace != "" {
+		f, err := os.Create(o.trace)
+		if err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+		o.traceFile = f
+		telemetry.Default().SetSink(telemetry.NewJSONLSink(f))
+	}
+	if o.debugAddr != "" {
+		telemetry.PublishExpvar(telemetry.Default())
+		ln, err := net.Listen("tcp", o.debugAddr)
+		if err != nil {
+			return fmt.Errorf("-debug-addr: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: debug server at http://%s/debug/vars and /debug/pprof/\n",
+			o.tool, ln.Addr())
+		srv := &http.Server{}
+		go srv.Serve(ln) //nolint:errcheck // best-effort debug endpoint
+	}
+	return nil
+}
+
+// Flush writes the -metrics snapshot and closes the trace sink. Safe to
+// call on every exit path (it runs at most once).
+func (o *Obs) Flush() {
+	if o.metrics != "" {
+		w := os.Stdout
+		if o.metrics != "-" {
+			f, err := os.Create(o.metrics)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: -metrics: %v\n", o.tool, err)
+				o.metrics = ""
+				o.closeTrace()
+				return
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := telemetry.Default().Snapshot().WriteJSON(w); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: -metrics: %v\n", o.tool, err)
+		}
+		o.metrics = ""
+	}
+	o.closeTrace()
+}
+
+func (o *Obs) closeTrace() {
+	if o.traceFile != nil {
+		telemetry.Default().SetSink(nil)
+		o.traceFile.Close()
+		o.traceFile = nil
+	}
+}
+
+// Close flushes telemetry at the end of a successful run.
+func (o *Obs) Close() { o.Flush() }
+
+// Fatal flushes telemetry and exits. Cancellation (SIGINT/SIGTERM via
+// signal.NotifyContext, or a deadline) is not a failure: it prints a
+// one-line "interrupted" message and exits 130 (128+SIGINT), so scripts
+// can tell an interrupted run from a broken one — and the -metrics
+// summary still reports what the run did up to that point.
+func (o *Obs) Fatal(err error) {
+	o.Flush()
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "%s: interrupted\n", o.tool)
+		os.Exit(130)
+	}
+	fmt.Fprintf(os.Stderr, "%s: %v\n", o.tool, err)
+	os.Exit(1)
+}

@@ -3,6 +3,7 @@ package engine
 import (
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"balance/internal/bounds"
 	"balance/internal/sched"
@@ -35,12 +36,29 @@ type memoVal struct {
 // keyed by (graph digest, machine, bound options, scheduler set). A single
 // Memo may be shared across Run invocations — the evaluation Runner uses
 // one to share work between machines and repeated table requests.
+//
+// Concurrency contract:
+//
+//   - Stored values are immutable. A memoVal's maps and bound set are
+//     never mutated after store (Result documents the same read-only rule
+//     for consumers), so a value returned by lookup remains valid even if
+//     its entry is evicted immediately afterwards — eviction only affects
+//     future lookups, never data already handed out.
+//   - Hit/miss accounting is exact: every lookup increments exactly one of
+//     the two counters, and it increments the hit counter only when the
+//     lookup actually returned an entry (the value is copied out under the
+//     read lock, so a concurrent eviction cannot turn a counted hit into a
+//     miss). Stats sums are therefore equal to the number of lookups.
+//   - Two workers racing on the same absent key may both miss and both
+//     compute; the second store overwrites the first with an equivalent
+//     value. The counters report this faithfully as two misses (duplicate
+//     computation, not a correctness problem).
 type Memo struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	cap     int
 	entries map[memoKey]memoVal
-	hits    int
-	misses  int
+	hits    atomic.Int64
+	misses  atomic.Int64
 }
 
 // DefaultMemoCapacity bounds a NewMemo(0) cache. At roughly a few KB per
@@ -59,20 +77,22 @@ func NewMemo(capacity int) *Memo {
 }
 
 // Stats reports the memo's lifetime hit/miss counts and current size.
+// hits+misses equals the total number of lookups performed.
 func (mc *Memo) Stats() (hits, misses, size int) {
-	mc.mu.Lock()
-	defer mc.mu.Unlock()
-	return mc.hits, mc.misses, len(mc.entries)
+	mc.mu.RLock()
+	size = len(mc.entries)
+	mc.mu.RUnlock()
+	return int(mc.hits.Load()), int(mc.misses.Load()), size
 }
 
 func (mc *Memo) lookup(k memoKey) (memoVal, bool) {
-	mc.mu.Lock()
-	defer mc.mu.Unlock()
+	mc.mu.RLock()
 	v, ok := mc.entries[k]
+	mc.mu.RUnlock()
 	if ok {
-		mc.hits++
+		mc.hits.Add(1)
 	} else {
-		mc.misses++
+		mc.misses.Add(1)
 	}
 	return v, ok
 }
@@ -80,9 +100,10 @@ func (mc *Memo) lookup(k memoKey) (memoVal, bool) {
 func (mc *Memo) store(k memoKey, v memoVal) {
 	mc.mu.Lock()
 	defer mc.mu.Unlock()
-	if len(mc.entries) >= mc.cap {
+	if _, exists := mc.entries[k]; !exists && len(mc.entries) >= mc.cap {
 		for victim := range mc.entries {
 			delete(mc.entries, victim)
+			telMemoEvicts.Inc()
 			break
 		}
 	}

@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"balance/internal/bounds"
+)
+
+// TestMemoAccountingExact hammers a capacity-starved memo with concurrent
+// lookups and stores and checks the accounting contract: every lookup
+// increments exactly one of hits/misses, so the sums always equal the
+// lookup count — even while eviction is churning entries underneath.
+func TestMemoAccountingExact(t *testing.T) {
+	const (
+		workers = 8
+		rounds  = 2000
+		keys    = 64
+		cap     = 16 // far below the key population: constant eviction
+	)
+	m := NewMemo(cap)
+	key := func(i int) memoKey {
+		return memoKey{digest: uint64(i), machine: "GP2", opts: bounds.Options{}, schedulers: "CP"}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				k := key((w*31 + i) % keys)
+				if _, ok := m.lookup(k); !ok {
+					m.store(k, memoVal{trivial: true})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	hits, misses, size := m.Stats()
+	if total := hits + misses; total != workers*rounds {
+		t.Errorf("hits (%d) + misses (%d) = %d lookups, want exactly %d",
+			hits, misses, total, workers*rounds)
+	}
+	if size > cap {
+		t.Errorf("memo holds %d entries, capacity is %d", size, cap)
+	}
+	if hits == 0 || misses == 0 {
+		t.Errorf("degenerate run: hits=%d misses=%d — contention test exercised nothing", hits, misses)
+	}
+}
+
+// TestMemoStoreOverwriteKeepsCapacity checks that overwriting an existing
+// key at capacity does not evict an unrelated entry.
+func TestMemoStoreOverwriteKeepsCapacity(t *testing.T) {
+	m := NewMemo(2)
+	k1 := memoKey{digest: 1}
+	k2 := memoKey{digest: 2}
+	m.store(k1, memoVal{})
+	m.store(k2, memoVal{})
+	m.store(k1, memoVal{trivial: true}) // overwrite: must not evict k2
+	if v, ok := m.lookup(k1); !ok || !v.trivial {
+		t.Error("overwrite lost the new value for k1")
+	}
+	if _, ok := m.lookup(k2); !ok {
+		t.Error("overwriting k1 at capacity evicted k2")
+	}
+	if _, _, size := m.Stats(); size != 2 {
+		t.Errorf("size = %d after overwrite at capacity, want 2", size)
+	}
+}

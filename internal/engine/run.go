@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"balance/internal/bounds"
 	"balance/internal/model"
 	"balance/internal/sched"
+	"balance/internal/telemetry"
 )
 
 // Job is one unit of pipeline work: a superblock and the benchmark it
@@ -64,6 +66,10 @@ type Result struct {
 	// evaluation error, or ctx.Err() after cancellation. No further
 	// results follow it.
 	Err error
+
+	// memoHit records whether this result was recalled from the memo
+	// (telemetry only).
+	memoHit bool
 }
 
 // DynCycles converts a weighted completion time into the superblock's
@@ -122,13 +128,35 @@ func Run(ctx context.Context, cfg Config) (<-chan Result, error) {
 	completed := make(chan int, n)
 
 	poolErr := make(chan error, 1)
+	queuedAt := time.Now()
 	go func() {
 		defer close(completed)
 		poolErr <- ForEach(ctx, cfg.Workers, n, func(i int) error {
+			telJobsStarted.Inc()
+			telOccupancy.Add(1)
+			start := time.Now()
+			telQueueWait.ObserveDuration(start.Sub(queuedAt))
+			sp := telemetry.Default().StartSpan("engine.job")
 			res, err := evaluateJob(ctx, &cfg, scheds, setKey, i)
+			telCompute.ObserveDuration(time.Since(start))
+			telOccupancy.Add(-1)
+			if sp.Active() {
+				hit := int64(0)
+				if res.memoHit {
+					hit = 1
+				}
+				sp.End(
+					telemetry.String("benchmark", cfg.Jobs[i].Benchmark),
+					telemetry.String("sb", cfg.Jobs[i].SB.Name),
+					telemetry.Int("index", int64(i)),
+					telemetry.Int("memo_hit", hit),
+				)
+			}
 			if err != nil {
+				telJobsFailed.Inc()
 				return err
 			}
+			telJobsFinished.Inc()
 			slots[i] = res
 			completed <- i
 			return nil
@@ -186,9 +214,12 @@ func evaluateJob(ctx context.Context, cfg *Config, scheds []Scheduler, setKey st
 			schedulers: setKey,
 		}
 		if v, ok := cfg.Memo.lookup(key); ok {
+			telMemoHits.Inc()
 			res.Bounds, res.Cost, res.Stats, res.Trivial = v.bounds, v.cost, v.stats, v.trivial
+			res.memoHit = true
 			return res, nil
 		}
+		telMemoMisses.Inc()
 	}
 	if err := ctx.Err(); err != nil {
 		return res, err

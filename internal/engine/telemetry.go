@@ -1,0 +1,17 @@
+package engine
+
+import "balance/internal/telemetry"
+
+// Pipeline instruments, registered once in the default registry. See
+// DESIGN.md ("Observability") for what each series means.
+var (
+	telJobsStarted  = telemetry.Default().Counter("engine.jobs_started")
+	telJobsFinished = telemetry.Default().Counter("engine.jobs_finished")
+	telJobsFailed   = telemetry.Default().Counter("engine.jobs_failed")
+	telMemoHits     = telemetry.Default().Counter("engine.memo_hits")
+	telMemoMisses   = telemetry.Default().Counter("engine.memo_misses")
+	telMemoEvicts   = telemetry.Default().Counter("engine.memo_evictions")
+	telQueueWait    = telemetry.Default().Histogram("engine.job_queue_wait_ns")
+	telCompute      = telemetry.Default().Histogram("engine.job_compute_ns")
+	telOccupancy    = telemetry.Default().Gauge("engine.pool_occupancy")
+)

@@ -1,0 +1,120 @@
+package engine_test
+
+import (
+	"context"
+	"testing"
+
+	"balance/internal/engine"
+	"balance/internal/telemetry"
+)
+
+// counterDeltas samples the named counters in the default registry and
+// returns a closure reporting how much each has grown since the sample.
+func counterDeltas(names ...string) func() map[string]int64 {
+	r := telemetry.Default()
+	before := make(map[string]int64, len(names))
+	for _, n := range names {
+		before[n] = r.Counter(n).Value()
+	}
+	return func() map[string]int64 {
+		d := make(map[string]int64, len(names))
+		for _, n := range names {
+			d[n] = r.Counter(n).Value() - before[n]
+		}
+		return d
+	}
+}
+
+// TestRunTelemetryCounters runs the same corpus twice through engine.Run
+// with a shared memo and checks the pipeline's counters against the exact
+// job arithmetic: every job is started and finished, the first pass is all
+// memo misses, and the second pass is all memo hits.
+func TestRunTelemetryCounters(t *testing.T) {
+	jobs := testJobs(t, 0.05)
+	memo := engine.NewMemo(0)
+	run := func() {
+		ch, err := engine.Run(context.Background(), engine.Config{
+			Jobs:    jobs,
+			Machine: testMachine(t),
+			Best:    true,
+			Memo:    memo,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := engine.Collect(ch); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	names := []string{
+		"engine.jobs_started", "engine.jobs_finished", "engine.jobs_failed",
+		"engine.memo_hits", "engine.memo_misses",
+	}
+	n := int64(len(jobs))
+
+	delta := counterDeltas(names...)
+	run()
+	first := delta()
+	if first["engine.jobs_started"] != n || first["engine.jobs_finished"] != n {
+		t.Errorf("first pass started/finished = %d/%d jobs, want %d/%d",
+			first["engine.jobs_started"], first["engine.jobs_finished"], n, n)
+	}
+	if first["engine.jobs_failed"] != 0 {
+		t.Errorf("first pass failed %d jobs, want 0", first["engine.jobs_failed"])
+	}
+	if first["engine.memo_hits"] != 0 {
+		t.Errorf("first pass scored %d memo hits on an empty memo, want 0", first["engine.memo_hits"])
+	}
+	if first["engine.memo_misses"] != n {
+		t.Errorf("first pass scored %d memo misses, want %d", first["engine.memo_misses"], n)
+	}
+
+	delta = counterDeltas(names...)
+	run()
+	second := delta()
+	if second["engine.jobs_started"] != n || second["engine.jobs_finished"] != n {
+		t.Errorf("second pass started/finished = %d/%d jobs, want %d/%d",
+			second["engine.jobs_started"], second["engine.jobs_finished"], n, n)
+	}
+	if second["engine.memo_hits"] != n {
+		t.Errorf("second pass scored %d memo hits, want %d", second["engine.memo_hits"], n)
+	}
+	if second["engine.memo_misses"] != 0 {
+		t.Errorf("second pass scored %d memo misses, want 0", second["engine.memo_misses"])
+	}
+
+	// The telemetry counters and the memo's own accounting must agree.
+	hits, misses, _ := memo.Stats()
+	if int64(hits) != n || int64(misses) != n {
+		t.Errorf("memo.Stats() = %d hits, %d misses; want %d and %d", hits, misses, n, n)
+	}
+}
+
+// TestRunTelemetryQueueHistograms checks that a run feeds the queue-wait
+// and compute-time histograms once per job.
+func TestRunTelemetryQueueHistograms(t *testing.T) {
+	jobs := testJobs(t, 0.05)
+	r := telemetry.Default()
+	waitBefore := r.Histogram("engine.job_queue_wait_ns").Summary().Count
+	computeBefore := r.Histogram("engine.job_compute_ns").Summary().Count
+
+	ch, err := engine.Run(context.Background(), engine.Config{
+		Jobs:    jobs,
+		Machine: testMachine(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Collect(ch); err != nil {
+		t.Fatal(err)
+	}
+
+	n := int64(len(jobs))
+	if got := r.Histogram("engine.job_queue_wait_ns").Summary().Count - waitBefore; got != n {
+		t.Errorf("queue-wait histogram grew by %d observations, want %d", got, n)
+	}
+	if got := r.Histogram("engine.job_compute_ns").Summary().Count - computeBefore; got != n {
+		t.Errorf("compute histogram grew by %d observations, want %d", got, n)
+	}
+}

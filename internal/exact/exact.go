@@ -9,10 +9,20 @@ import (
 	"context"
 	"errors"
 	"math"
+	"time"
 
 	"balance/internal/model"
 	"balance/internal/sched"
+	"balance/internal/telemetry"
 )
+
+// boolInt converts a flag to a 0/1 event attribute.
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
 
 // ErrBudget is returned when the search exceeds its node budget.
 var ErrBudget = errors.New("exact: node budget exhausted")
@@ -36,6 +46,11 @@ type solver struct {
 	overrun   bool
 	cancelled bool
 	horizon   int
+
+	cnt          solveCounts
+	flushed      solveCounts
+	startTime    time.Time
+	lastProgress time.Time
 
 	best      float64
 	bestSched []int
@@ -82,21 +97,42 @@ func OptimalCtx(ctx context.Context, sb *model.Superblock, m *model.Machine, max
 		s.issue[v] = -1
 		s.predsLeft[v] = len(sb.G.Preds(v))
 	}
+	s.startTime = time.Now()
+	s.lastProgress = s.startTime
 	// Seed the incumbent with a critical-path list schedule so pruning has
 	// a finite target from the start.
 	heights := sched.IntsToFloats(sb.G.Heights())
 	if seed, _, err := sched.ListSchedule(sb, m, heights); err == nil {
 		s.best = sched.Cost(sb, seed)
 		s.bestSched = append([]int(nil), seed.Cycle...)
+		s.cnt.incumbents++
 	}
+	sp := telemetry.Default().StartSpan("exact.solve")
 	s.dfs(0, 0, 0)
+	s.flushTelemetry()
+	telSolves.Inc()
+	telSolveDur.ObserveDuration(time.Since(s.startTime))
+	if sp.Active() {
+		sp.End(
+			telemetry.String("sb", sb.Name),
+			telemetry.Int("ops", int64(n)),
+			telemetry.Int("nodes", int64(s.cnt.nodes)),
+			telemetry.Int("pruned_lower_bound", int64(s.cnt.pruneBound)),
+			telemetry.Int("incumbent_updates", int64(s.cnt.incumbents)),
+			telemetry.Float("best", s.best),
+			telemetry.Int("overrun", boolInt(s.overrun)),
+			telemetry.Int("cancelled", boolInt(s.cancelled)),
+		)
+	}
 	if s.cancelled {
+		telCancels.Inc()
 		return nil, 0, ctx.Err()
 	}
 	if s.bestSched == nil {
 		return nil, 0, errors.New("exact: no schedule found")
 	}
 	if s.overrun {
+		telOverruns.Inc()
 		return &sched.Schedule{Cycle: s.bestSched}, s.best, ErrBudget
 	}
 	return &sched.Schedule{Cycle: s.bestSched}, s.best, nil
@@ -177,6 +213,7 @@ func (s *solver) completeRest(cycle int) {
 	}
 	s.best = cost
 	s.bestSched = append(s.bestSched[:0], issue...)
+	s.cnt.incumbents++
 }
 
 // used returns the usage row for the given cycle, growing the stack lazily.
@@ -246,21 +283,27 @@ func (s *solver) dfs(cycle, minID, done int) {
 		return
 	}
 	s.nodes++
+	s.cnt.nodes++
 	if s.nodes > s.maxNodes {
 		s.overrun = true
 		return
 	}
-	if s.nodes%ctxCheckInterval == 0 && s.ctx.Err() != nil {
-		s.cancelled = true
-		return
+	if s.nodes%ctxCheckInterval == 0 {
+		if s.ctx.Err() != nil {
+			s.cancelled = true
+			return
+		}
+		s.maybeProgress()
 	}
 	if cycle > s.horizon {
 		// Every schedule has an equal-cost counterpart within the serial
 		// horizon, so deeper exploration cannot improve the incumbent.
+		s.cnt.pruneHorizon++
 		return
 	}
 	n := s.g.NumOps()
 	if done == n {
+		s.cnt.leaves++
 		cost := 0.0
 		for i, b := range s.sb.Branches {
 			cost += s.sb.Prob[i] * float64(s.issue[b]+model.BranchLatency)
@@ -268,16 +311,19 @@ func (s *solver) dfs(cycle, minID, done int) {
 		if cost < s.best {
 			s.best = cost
 			s.bestSched = append(s.bestSched[:0], s.issue...)
+			s.cnt.incumbents++
 		}
 		return
 	}
 	if s.branchesDone() {
 		// Remaining ops cannot change the cost; complete greedily so the
 		// incumbent is a full legal schedule, then stop this subtree.
+		s.cnt.branchesDone++
 		s.completeRest(cycle)
 		return
 	}
 	if s.lowerBound(cycle) >= s.best {
+		s.cnt.pruneBound++
 		return
 	}
 	// Try scheduling each eligible op with ID ≥ minID in this cycle.

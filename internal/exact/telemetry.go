@@ -1,0 +1,81 @@
+package exact
+
+import (
+	"time"
+
+	"balance/internal/telemetry"
+)
+
+// Branch-and-bound instruments. The solver accumulates counts locally (one
+// int increment per event) and flushes them to the registry at the context
+// poll interval and at the end of every solve, so the search loop pays no
+// atomic operations per node. The termination counters partition the
+// expanded nodes: every node either recurses or terminates through exactly
+// one of pruned_lower_bound, pruned_horizon, branches_complete,
+// leaf_schedules, or the budget overrun — see DESIGN.md.
+var (
+	telSolves       = telemetry.Default().Counter("exact.solves")
+	telNodes        = telemetry.Default().Counter("exact.nodes_expanded")
+	telPruneBound   = telemetry.Default().Counter("exact.pruned_lower_bound")
+	telPruneHorizon = telemetry.Default().Counter("exact.pruned_horizon")
+	telBranchesDone = telemetry.Default().Counter("exact.branches_complete")
+	telLeaves       = telemetry.Default().Counter("exact.leaf_schedules")
+	telIncumbents   = telemetry.Default().Counter("exact.incumbent_updates")
+	telOverruns     = telemetry.Default().Counter("exact.budget_overruns")
+	telCancels      = telemetry.Default().Counter("exact.cancellations")
+	telSolveDur     = telemetry.Default().Histogram("exact.solve_ns")
+)
+
+// ProgressInterval is the minimum spacing between "exact.progress" events
+// emitted to the active sink during a solve (tests lower it to exercise
+// the path; ≤ 0 emits at every context poll).
+var ProgressInterval = time.Second
+
+// solveCounts tallies the search events of one solve.
+type solveCounts struct {
+	nodes        int // expanded search nodes
+	pruneBound   int // subtrees cut by the dependence lower bound
+	pruneHorizon int // subtrees cut by the serial-horizon limit
+	branchesDone int // subtrees closed greedily once every branch issued
+	leaves       int // complete schedules reached
+	incumbents   int // best-schedule improvements (including the seed)
+}
+
+// flushTelemetry publishes the counts accumulated since the last flush.
+func (s *solver) flushTelemetry() {
+	d := s.cnt
+	f := s.flushed
+	telNodes.Add(int64(d.nodes - f.nodes))
+	telPruneBound.Add(int64(d.pruneBound - f.pruneBound))
+	telPruneHorizon.Add(int64(d.pruneHorizon - f.pruneHorizon))
+	telBranchesDone.Add(int64(d.branchesDone - f.branchesDone))
+	telLeaves.Add(int64(d.leaves - f.leaves))
+	telIncumbents.Add(int64(d.incumbents - f.incumbents))
+	s.flushed = d
+}
+
+// maybeProgress emits an "exact.progress" event (and flushes counters so
+// live expvar views advance) when a sink is active and ProgressInterval
+// has elapsed. Called from the search's context-poll points, so long
+// solves are never silent.
+func (s *solver) maybeProgress() {
+	reg := telemetry.Default()
+	if !reg.SinkActive() {
+		return
+	}
+	now := time.Now()
+	if now.Sub(s.lastProgress) < ProgressInterval {
+		return
+	}
+	s.lastProgress = now
+	s.flushTelemetry()
+	reg.Emit("exact.progress",
+		telemetry.String("sb", s.sb.Name),
+		telemetry.Int("nodes", int64(s.cnt.nodes)),
+		telemetry.Int("pruned_lower_bound", int64(s.cnt.pruneBound)),
+		telemetry.Int("pruned_horizon", int64(s.cnt.pruneHorizon)),
+		telemetry.Int("incumbent_updates", int64(s.cnt.incumbents)),
+		telemetry.Float("best", s.best),
+		telemetry.Int("elapsed_ms", now.Sub(s.startTime).Milliseconds()),
+	)
+}

@@ -1,0 +1,116 @@
+package exact
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"balance/internal/model"
+	"balance/internal/telemetry"
+)
+
+// countsSample snapshots the solver counters so tests can assert deltas.
+type countsSample struct {
+	solves, nodes, pruneBound, pruneHorizon, branchesDone, leaves, incumbents int64
+}
+
+func sampleCounts() countsSample {
+	return countsSample{
+		solves:       telSolves.Value(),
+		nodes:        telNodes.Value(),
+		pruneBound:   telPruneBound.Value(),
+		pruneHorizon: telPruneHorizon.Value(),
+		branchesDone: telBranchesDone.Value(),
+		leaves:       telLeaves.Value(),
+		incumbents:   telIncumbents.Value(),
+	}
+}
+
+// searchSB builds a superblock small enough to solve instantly but with
+// enough freedom that the search actually branches and prunes.
+func searchSB(t *testing.T) *model.Superblock {
+	t.Helper()
+	b := model.NewBuilder("tel")
+	o0 := b.Int()
+	o1 := b.Int()
+	o2 := b.Int(o0)
+	o3 := b.Int(o1)
+	b.Branch(0.4, o2)
+	o4 := b.Int(o2, o3)
+	b.Branch(0, o4)
+	return b.MustBuild()
+}
+
+// TestSolveCounterConsistency solves a small superblock and checks the
+// counter arithmetic: a solve is counted, nodes are expanded, and every
+// terminal outcome (prunes, leaves, greedy completions) is itself an
+// expanded node, so no termination counter can exceed the node count.
+func TestSolveCounterConsistency(t *testing.T) {
+	sb := searchSB(t)
+	before := sampleCounts()
+	if _, _, err := Optimal(sb, model.GP1(), 0); err != nil {
+		t.Fatal(err)
+	}
+	after := sampleCounts()
+
+	if after.solves-before.solves != 1 {
+		t.Errorf("solves grew by %d, want 1", after.solves-before.solves)
+	}
+	nodes := after.nodes - before.nodes
+	if nodes <= 0 {
+		t.Fatalf("nodes_expanded grew by %d, want > 0", nodes)
+	}
+	terminal := (after.pruneBound - before.pruneBound) +
+		(after.pruneHorizon - before.pruneHorizon) +
+		(after.branchesDone - before.branchesDone) +
+		(after.leaves - before.leaves)
+	if terminal > nodes {
+		t.Errorf("terminal outcomes (%d) exceed expanded nodes (%d)", terminal, nodes)
+	}
+	if incs := after.incumbents - before.incumbents; incs < 1 {
+		t.Errorf("incumbent_updates grew by %d, want >= 1 (the seed schedule)", incs)
+	}
+}
+
+// TestSolveSpanAndProgress lowers ProgressInterval to zero and attaches a
+// JSONL sink: a solve must emit an exact.solve span, and searches long
+// enough to hit a context poll must emit exact.progress events.
+func TestSolveSpanAndProgress(t *testing.T) {
+	var buf bytes.Buffer
+	reg := telemetry.Default()
+	reg.SetSink(telemetry.NewJSONLSink(&buf))
+	defer reg.SetSink(nil)
+	old := ProgressInterval
+	ProgressInterval = 0
+	defer func() { ProgressInterval = old }()
+
+	// Two parallel 10-op chains ending in equal-probability branches on the
+	// one-wide GP1: the dependence-only lower bound ignores the resource
+	// conflict, so the search must enumerate interleavings — well past one
+	// ctxCheckInterval of nodes, guaranteeing a progress poll. A node
+	// budget keeps the test fast; overrunning it is fine here.
+	b := model.NewBuilder("progress")
+	chain := func() int {
+		v := b.Int()
+		for i := 0; i < 9; i++ {
+			v = b.Int(v)
+		}
+		return v
+	}
+	b.Branch(0.5, chain())
+	b.Branch(0, chain())
+	if _, _, err := Optimal(b.MustBuild(), model.GP1(), 3*ctxCheckInterval); err != nil && err != ErrBudget {
+		t.Fatal(err)
+	}
+
+	out := buf.String()
+	if !strings.Contains(out, `"name":"exact.solve"`) {
+		t.Errorf("no exact.solve span in sink output:\n%s", out)
+	}
+	if !strings.Contains(out, `"name":"exact.progress"`) {
+		t.Errorf("no exact.progress event in sink output:\n%s", out)
+	}
+	if !strings.Contains(out, `"sb":"progress"`) {
+		t.Errorf("progress events missing the superblock attribute:\n%s", out)
+	}
+}

@@ -4,6 +4,17 @@ import (
 	"fmt"
 
 	"balance/internal/model"
+	"balance/internal/telemetry"
+)
+
+// List-scheduler instruments. Ready-queue sizes are observed once per
+// Candidates call (i.e. at least once per pick decision), so the histogram
+// tracks how much choice the pickers actually had.
+var (
+	telRuns       = telemetry.Default().Counter("sched.runs")
+	telOps        = telemetry.Default().Counter("sched.ops_scheduled")
+	telCycles     = telemetry.Default().Counter("sched.cycles_scheduled")
+	telReadyQueue = telemetry.Default().Histogram("sched.ready_queue_len")
 )
 
 // Stats counts the work performed while constructing a schedule. The counts
@@ -143,6 +154,7 @@ func (st *State) Candidates() []int {
 			st.candBuf = append(st.candBuf, v)
 		}
 	}
+	telReadyQueue.Observe(int64(len(st.candBuf)))
 	return st.candBuf
 }
 
@@ -209,6 +221,9 @@ func Run(sb *model.Superblock, m *model.Machine, p Picker) (*Schedule, Stats, er
 		}
 		st.place(v)
 	}
+	telRuns.Inc()
+	telOps.Add(int64(n))
+	telCycles.Add(int64(st.Cycle) + 1)
 	s := &Schedule{Cycle: append([]int(nil), st.IssueCycle...)}
 	return s, st.Stats, nil
 }

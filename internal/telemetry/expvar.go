@@ -1,0 +1,18 @@
+package telemetry
+
+import (
+	"expvar"
+	"sync"
+)
+
+var publishOnce sync.Once
+
+// PublishExpvar exposes the registry's live snapshot as the expvar
+// variable "telemetry" (served at /debug/vars once an HTTP server runs on
+// http.DefaultServeMux). Only the first call publishes; expvar names are
+// process-global, so one registry — normally Default() — owns the slot.
+func PublishExpvar(r *Registry) {
+	publishOnce.Do(func() {
+		expvar.Publish("telemetry", expvar.Func(func() any { return r.Snapshot() }))
+	})
+}

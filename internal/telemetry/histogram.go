@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets covers the full non-negative int64 range in power-of-two
+// buckets: bucket 0 holds values ≤ 0, bucket i (1 ≤ i ≤ 64) holds values
+// in [2^(i-1), 2^i).
+const numBuckets = 65
+
+// Histogram is a streaming log-bucket histogram. Observations land in
+// power-of-two buckets, so quantile estimates are upper bounds within a
+// factor of two — plenty for latency and queue-size distributions, and
+// cheap enough (a few atomic adds) for per-decision hot paths. All methods
+// are safe for concurrent use.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64
+	max     atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// bucketOf maps a non-negative value to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// Observe records one value. Negative values are clamped to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			break
+		}
+	}
+	for {
+		m := h.min.Load()
+		if v >= m || h.min.CompareAndSwap(m, v) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Max returns the largest observed value (0 when empty).
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Min returns the smallest observed value (0 when empty).
+func (h *Histogram) Min() int64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return h.min.Load()
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) as the upper bound of the
+// bucket containing the target rank, clamped to the observed maximum. The
+// estimate is deterministic for a fixed set of observations and never
+// below the true quantile's bucket lower bound. Returns 0 when empty.
+//
+// Concurrent observers may shift ranks mid-walk; the estimate is then
+// approximate but still within the observed range.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < numBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			upper := int64(0)
+			if i > 0 {
+				if i == 64 {
+					upper = math.MaxInt64
+				} else {
+					upper = int64(1)<<uint(i) - 1
+				}
+			}
+			if m := h.Max(); upper > m {
+				upper = m
+			}
+			return upper
+		}
+	}
+	return h.Max()
+}
+
+// Summary condenses the histogram for snapshots.
+func (h *Histogram) Summary() HistogramSummary {
+	return HistogramSummary{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+	}
+}

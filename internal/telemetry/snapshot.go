@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// GaugeValue is a gauge's level and high-watermark at snapshot time.
+type GaugeValue struct {
+	Value int64 `json:"value"`
+	Max   int64 `json:"max"`
+}
+
+// HistogramSummary condenses a histogram: exact count/sum/min/max plus
+// bucketed quantile estimates (see Histogram.Quantile).
+type HistogramSummary struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
+	P50   int64 `json:"p50"`
+	P95   int64 `json:"p95"`
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry. Its
+// JSON marshaling is deterministic (encoding/json emits map keys sorted),
+// so snapshots of identical runs are goldenable byte for byte.
+type Snapshot struct {
+	Counters   map[string]int64            `json:"counters"`
+	Gauges     map[string]GaugeValue       `json:"gauges"`
+	Histograms map[string]HistogramSummary `json:"histograms"`
+}
+
+// Snapshot copies every instrument's current value. Instruments mutated
+// concurrently are read atomically one by one; the snapshot is consistent
+// per instrument, not across instruments.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]GaugeValue, len(r.gauges)),
+		Histograms: make(map[string]HistogramSummary, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = GaugeValue{Value: g.Value(), Max: g.Max()}
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Summary()
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON followed by a newline.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// String renders the snapshot as sorted "name value" lines for logs and
+// golden tests.
+func (s *Snapshot) String() string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "counter %s %d\n", name, s.Counters[name])
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g := s.Gauges[name]
+		fmt.Fprintf(&b, "gauge %s %d max %d\n", name, g.Value, g.Max)
+	}
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		fmt.Fprintf(&b, "hist %s count %d sum %d min %d max %d p50 %d p95 %d\n",
+			name, h.Count, h.Sum, h.Min, h.Max, h.P50, h.P95)
+	}
+	return b.String()
+}

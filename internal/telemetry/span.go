@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value attribute of an event. Values are strings or
+// integers; Float formats through a string to keep Event allocation-free
+// of interface boxing.
+type Attr struct {
+	Key   string
+	Str   string
+	Int   int64
+	IsInt bool
+}
+
+// String returns a string-valued attribute.
+func String(k, v string) Attr { return Attr{Key: k, Str: v} }
+
+// Int returns an integer-valued attribute.
+func Int(k string, v int64) Attr { return Attr{Key: k, Int: v, IsInt: true} }
+
+// Float returns a float-valued attribute (formatted with %g precision).
+func Float(k string, v float64) Attr {
+	return Attr{Key: k, Str: strconv.FormatFloat(v, 'g', -1, 64)}
+}
+
+// Event is one span completion or instant event delivered to a Sink.
+type Event struct {
+	// Name identifies the event series ("engine.job", "exact.progress").
+	Name string
+	// Time is the completion (or emission) timestamp.
+	Time time.Time
+	// Dur is the span duration; zero for instant events.
+	Dur time.Duration
+	// Attrs carries optional event attributes in emission order.
+	Attrs []Attr
+}
+
+// Sink receives events. Implementations must be safe for concurrent use;
+// Emit is called from worker goroutines on hot paths and should return
+// quickly.
+type Sink interface {
+	Emit(Event)
+}
+
+// Span measures one timed region. The zero value (returned by StartSpan
+// when no sink is installed) is inert: End on it does nothing.
+type Span struct {
+	r     *Registry
+	name  string
+	start time.Time
+}
+
+// Active reports whether the span will emit on End. Callers use it to skip
+// building expensive attributes.
+func (s Span) Active() bool { return s.r != nil }
+
+// End completes the span and emits it to the registry's sink with the
+// given attributes. If the sink was removed since StartSpan, the event is
+// dropped.
+func (s Span) End(attrs ...Attr) {
+	if s.r == nil {
+		return
+	}
+	box := s.r.sink.Load()
+	if box == nil {
+		return
+	}
+	now := time.Now()
+	box.s.Emit(Event{Name: s.name, Time: now, Dur: now.Sub(s.start), Attrs: attrs})
+}
+
+// appendJSON appends the event as one JSON object. Attributes are nested
+// under "attrs" in emission order; duration is omitted for instant events.
+func (e *Event) appendJSON(b []byte) []byte {
+	b = append(b, `{"name":`...)
+	b = strconv.AppendQuote(b, e.Name)
+	b = append(b, `,"ts":`...)
+	b = strconv.AppendQuote(b, e.Time.UTC().Format(time.RFC3339Nano))
+	if e.Dur != 0 {
+		b = append(b, `,"dur_ns":`...)
+		b = strconv.AppendInt(b, int64(e.Dur), 10)
+	}
+	if len(e.Attrs) > 0 {
+		b = append(b, `,"attrs":{`...)
+		for i, a := range e.Attrs {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendQuote(b, a.Key)
+			b = append(b, ':')
+			if a.IsInt {
+				b = strconv.AppendInt(b, a.Int, 10)
+			} else {
+				b = strconv.AppendQuote(b, a.Str)
+			}
+		}
+		b = append(b, '}')
+	}
+	return append(b, '}')
+}
+
+// JSONLSink writes each event as one JSON object per line. It serializes
+// writers internally, so a single instance may be shared by every worker.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte
+}
+
+// NewJSONLSink returns a sink writing JSON lines to w. The caller owns w's
+// lifetime (close it after removing the sink from the registry).
+func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
+
+// Emit implements Sink. Write errors are dropped: telemetry must never
+// fail the computation it observes.
+func (s *JSONLSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buf = e.appendJSON(s.buf[:0])
+	s.buf = append(s.buf, '\n')
+	s.w.Write(s.buf) //nolint:errcheck
+}

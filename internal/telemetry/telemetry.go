@@ -1,0 +1,180 @@
+// Package telemetry is the zero-dependency instrumentation layer the
+// engine pipeline reports into: atomic counters and gauges, streaming
+// log-bucket histograms for durations and sizes, and lightweight spans
+// with a pluggable event sink.
+//
+// Design constraints, in order:
+//
+//   - Race-safe: every mutation is an atomic operation; instruments may be
+//     hammered from every worker goroutine concurrently.
+//   - Free when idle: with the default no-op sink, StartSpan/End performs
+//     no allocation and no system call; counters and histograms are a
+//     handful of uncontended atomic adds. Hot loops (the exact solver, the
+//     list scheduler) may batch locally and flush.
+//   - Deterministic output: Registry.Snapshot marshals with sorted keys so
+//     metric summaries are goldenable in tests.
+//
+// Instruments are created once (typically in package-level var blocks via
+// Default()) and are looked up by name from a Registry. Creating the same
+// name twice returns the same instrument, so independent packages can
+// share a series without coordinating.
+//
+// The root balance facade re-exports Default() so library users can attach
+// their own Sink or read Snapshots; the cmd tools expose the same registry
+// through -metrics, -trace, and -debug-addr (see internal/cliutil).
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be ≥ 0; counters are monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous level (e.g. worker-pool occupancy) that also
+// tracks its high-watermark.
+type Gauge struct {
+	v   atomic.Int64
+	max atomic.Int64
+}
+
+// Add moves the gauge by delta and returns the new value, updating the
+// high-watermark.
+func (g *Gauge) Add(delta int64) int64 {
+	v := g.v.Add(delta)
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return v
+		}
+	}
+}
+
+// Set replaces the gauge value, updating the high-watermark.
+func (g *Gauge) Set(v int64) {
+	g.v.Store(v)
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Max returns the high-watermark.
+func (g *Gauge) Max() int64 { return g.max.Load() }
+
+// Registry is a name-keyed set of instruments plus the event sink spans
+// report to. The zero value is not usable; use NewRegistry or Default.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	sink     atomic.Pointer[sinkBox]
+}
+
+// sinkBox wraps the Sink interface value so the registry can swap it with
+// a single atomic pointer load on the hot path.
+type sinkBox struct{ s Sink }
+
+// NewRegistry returns an empty registry with the no-op sink.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry every built-in instrument
+// registers into.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use. By
+// convention duration series end in "_ns" and record nanoseconds.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// SetSink installs the span/event sink (nil restores the no-op sink).
+// Spans started before the swap emit to the sink installed at their End.
+func (r *Registry) SetSink(s Sink) {
+	if s == nil {
+		r.sink.Store(nil)
+		return
+	}
+	r.sink.Store(&sinkBox{s: s})
+}
+
+// SinkActive reports whether a non-nil sink is installed. Hot paths use it
+// to skip building attributes for events nobody will see.
+func (r *Registry) SinkActive() bool { return r.sink.Load() != nil }
+
+// StartSpan begins a span. With the no-op sink it returns an inert span
+// and performs no allocation and no clock read.
+func (r *Registry) StartSpan(name string) Span {
+	if r.sink.Load() == nil {
+		return Span{}
+	}
+	return Span{r: r, name: name, start: time.Now()}
+}
+
+// Emit reports an instant (duration-less) event, e.g. solver progress.
+// With the no-op sink it is free.
+func (r *Registry) Emit(name string, attrs ...Attr) {
+	box := r.sink.Load()
+	if box == nil {
+		return
+	}
+	box.s.Emit(Event{Name: name, Time: time.Now(), Attrs: attrs})
+}

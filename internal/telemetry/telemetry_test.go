@@ -1,0 +1,308 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if r.Counter("x") != c {
+		t.Error("Counter(x) is not idempotent")
+	}
+}
+
+func TestGaugeTracksMax(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("occ")
+	const workers = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := g.Value(); v != 0 {
+		t.Errorf("gauge settled at %d, want 0", v)
+	}
+	if m := g.Max(); m < 1 || m > workers {
+		t.Errorf("gauge max = %d, want within [1, %d]", m, workers)
+	}
+	g.Set(-5)
+	if v := g.Value(); v != -5 {
+		t.Errorf("Set(-5) then Value = %d", v)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ns")
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(w*per + i))
+			}
+		}()
+	}
+	wg.Wait()
+	n := int64(workers * per)
+	if got := h.Count(); got != n {
+		t.Errorf("count = %d, want %d", got, n)
+	}
+	if got, want := h.Sum(), n*(n-1)/2; got != want {
+		t.Errorf("sum = %d, want %d", got, want)
+	}
+	if got := h.Min(); got != 0 {
+		t.Errorf("min = %d, want 0", got)
+	}
+	if got := h.Max(); got != n-1 {
+		t.Errorf("max = %d, want %d", got, n-1)
+	}
+	// The true p50 is ~n/2; the bucketed estimate may overshoot by at most
+	// 2x and never past the max.
+	p50 := h.Quantile(0.5)
+	if p50 < n/2 || p50 > n-1 {
+		t.Errorf("p50 = %d, want within [%d, %d]", p50, n/2, n-1)
+	}
+	if p100 := h.Quantile(1); p100 != n-1 {
+		t.Errorf("p100 = %d, want %d", p100, n-1)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	if h.Quantile(0.5) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	h.Observe(-7) // clamped to 0
+	h.Observe(0)
+	if h.Count() != 2 || h.Sum() != 0 || h.Quantile(1) != 0 {
+		t.Errorf("zero-bucket accounting wrong: count %d sum %d p100 %d",
+			h.Count(), h.Sum(), h.Quantile(1))
+	}
+	h.Observe(1)
+	h.Observe(1024)
+	if got := h.Quantile(1); got != 1024 {
+		t.Errorf("p100 = %d, want 1024", got)
+	}
+	if got := h.Quantile(0.25); got != 0 {
+		t.Errorf("p25 = %d, want 0", got)
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func() *Snapshot {
+		r := NewRegistry()
+		r.Counter("b.calls").Add(3)
+		r.Counter("a.calls").Add(7)
+		r.Gauge("pool").Set(2)
+		h := r.Histogram("wait_ns")
+		for _, v := range []int64{1, 2, 3, 100, 1000} {
+			h.Observe(v)
+		}
+		return r.Snapshot()
+	}
+	j1, err := json.Marshal(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.Marshal(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Errorf("identical registries marshal differently:\n%s\n%s", j1, j2)
+	}
+	const golden = `{"counters":{"a.calls":7,"b.calls":3},"gauges":{"pool":{"value":2,"max":2}},"histograms":{"wait_ns":{"count":5,"sum":1106,"min":1,"max":1000,"p50":3,"p95":1000}}}`
+	if string(j1) != golden {
+		t.Errorf("snapshot JSON:\n got %s\nwant %s", j1, golden)
+	}
+	wantText := "counter a.calls 7\n" +
+		"counter b.calls 3\n" +
+		"gauge pool 2 max 2\n" +
+		"hist wait_ns count 5 sum 1106 min 1 max 1000 p50 3 p95 1000\n"
+	if got := build().String(); got != wantText {
+		t.Errorf("snapshot text:\n got %q\nwant %q", got, wantText)
+	}
+}
+
+// TestNoopSinkZeroAlloc pins the idle cost of the instrumentation layer:
+// with no sink installed, spans, counters, gauges, and histograms must not
+// allocate on the hot path.
+func TestNoopSinkZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"span", func() { r.StartSpan("job").End() }},
+		{"emit", func() { r.Emit("progress") }},
+		{"counter", func() { c.Inc() }},
+		{"gauge", func() { g.Add(1) }},
+		{"histogram", func() { h.Observe(42) }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(1000, tc.fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op with no-op sink, want 0", tc.name, allocs)
+		}
+	}
+}
+
+type captureSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (s *captureSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, e)
+}
+
+func TestSpanEmitsToSink(t *testing.T) {
+	r := NewRegistry()
+	sink := &captureSink{}
+	r.SetSink(sink)
+	if !r.SinkActive() {
+		t.Fatal("SinkActive() = false after SetSink")
+	}
+	sp := r.StartSpan("engine.job")
+	if !sp.Active() {
+		t.Fatal("span inactive with a sink installed")
+	}
+	time.Sleep(time.Millisecond)
+	sp.End(String("sb", "blk1"), Int("ops", 12), Float("cost", 3.25))
+	r.Emit("exact.progress", Int("nodes", 4096))
+
+	r.SetSink(nil)
+	r.StartSpan("dropped").End()
+	r.Emit("dropped")
+
+	if len(sink.events) != 2 {
+		t.Fatalf("sink got %d events, want 2", len(sink.events))
+	}
+	e := sink.events[0]
+	if e.Name != "engine.job" || e.Dur < time.Millisecond {
+		t.Errorf("span event = %+v", e)
+	}
+	if len(e.Attrs) != 3 || e.Attrs[1].Int != 12 || e.Attrs[2].Str != "3.25" {
+		t.Errorf("span attrs = %+v", e.Attrs)
+	}
+	if p := sink.events[1]; p.Name != "exact.progress" || p.Dur != 0 {
+		t.Errorf("instant event = %+v", p)
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRegistry()
+	r.SetSink(NewJSONLSink(&buf))
+	r.StartSpan("engine.job").End(String("sb", `quo"ted`), Int("hit", 1))
+	r.Emit("exact.progress", Int("nodes", 123), Float("best", 7.5))
+
+	sc := bufio.NewScanner(&buf)
+	var lines []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSON lines, want 2", len(lines))
+	}
+	if lines[0]["name"] != "engine.job" {
+		t.Errorf("line 0 name = %v", lines[0]["name"])
+	}
+	if _, ok := lines[0]["dur_ns"]; !ok {
+		t.Error("span line missing dur_ns")
+	}
+	attrs := lines[0]["attrs"].(map[string]any)
+	if attrs["sb"] != `quo"ted` || attrs["hit"] != float64(1) {
+		t.Errorf("attrs = %v", attrs)
+	}
+	if _, ok := lines[1]["dur_ns"]; ok {
+		t.Error("instant event carries dur_ns")
+	}
+	if ts, ok := lines[1]["ts"].(string); !ok || !strings.Contains(ts, "T") {
+		t.Errorf("ts = %v", lines[1]["ts"])
+	}
+	if got := lines[1]["attrs"].(map[string]any)["best"]; got != "7.5" {
+		t.Errorf("float attr = %v, want \"7.5\"", got)
+	}
+}
+
+// TestSinkSwapConcurrent races sink swaps against span emission; the race
+// detector is the assertion.
+func TestSinkSwapConcurrent(t *testing.T) {
+	r := NewRegistry()
+	sink := &captureSink{}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				r.SetSink(sink)
+			} else {
+				r.SetSink(nil)
+			}
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				r.StartSpan("s").End(Int("i", int64(i)))
+				r.Emit("e")
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
