@@ -47,6 +47,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"time"
 
 	"balance/internal/bounds"
 	"balance/internal/cfg"
@@ -56,6 +57,7 @@ import (
 	"balance/internal/gen"
 	"balance/internal/heuristics"
 	"balance/internal/model"
+	"balance/internal/resilience"
 	"balance/internal/sbfile"
 	"balance/internal/sched"
 	"balance/internal/telemetry"
@@ -237,6 +239,31 @@ func OptimalCtx(ctx context.Context, sb *Superblock, m *Machine, maxNodes int) (
 	return exact.OptimalCtx(ctx, sb, m, maxNodes)
 }
 
+// Resilience: deadline budgets and anytime solving (see internal/resilience
+// and DESIGN.md "Fault tolerance").
+type (
+	// Budget is a sticky, race-safe wall-clock/node budget shared by the
+	// bound ladder and the exact solver.
+	Budget = resilience.Budget
+	// BudgetSpec describes a per-job budget (the zero value is unlimited).
+	BudgetSpec = resilience.Spec
+)
+
+// NewBudget starts a budget with the given wall-clock and node limits
+// (zero means unlimited for that axis; both zero returns nil, which every
+// budget consumer treats as unlimited).
+func NewBudget(wall time.Duration, nodes int64) *Budget {
+	return resilience.NewBudget(wall, nodes)
+}
+
+// OptimalBudget is the anytime form of OptimalCtx: when the budget expires
+// mid-search it returns the best incumbent found so far with truncated set
+// instead of an error. The schedule is always legal; its cost is an upper
+// bound on the optimum (and equals it when truncated is false).
+func OptimalBudget(ctx context.Context, sb *Superblock, m *Machine, maxNodes int, budget *Budget) (s *Schedule, cost float64, truncated bool, err error) {
+	return exact.OptimalBudget(ctx, sb, m, maxNodes, budget)
+}
+
 // Engine: name-keyed registries and the context-aware streaming evaluation
 // pipeline of internal/engine, re-exported as the documented programmatic
 // entry point for corpus-scale evaluation.
@@ -256,7 +283,29 @@ type (
 	SchedulerInfo = engine.Scheduler
 	// BoundInfo describes one registered lower-bound algorithm.
 	BoundInfo = engine.Bound
+	// ErrorPolicy selects how Run reacts to a failing job (see FailFast
+	// and KeepGoing).
+	ErrorPolicy = engine.ErrorPolicy
+	// EngineCheckpoint makes runs resumable (see EngineConfig.Checkpoint
+	// and OpenCheckpoint).
+	EngineCheckpoint = resilience.Checkpoint
 )
+
+// Error policies for EngineConfig.OnError.
+const (
+	// FailFast aborts the run at the first job error (the default).
+	FailFast = engine.FailFast
+	// KeepGoing isolates failures: failed jobs are emitted in stream order
+	// with Err set (panics as *resilience.PanicError) and the remaining
+	// jobs still run.
+	KeepGoing = engine.KeepGoing
+)
+
+// OpenCheckpoint opens (or creates) a JSONL evaluation checkpoint for
+// EngineConfig.Checkpoint. Flush it when the run completes.
+func OpenCheckpoint(path string) (*EngineCheckpoint, error) {
+	return resilience.OpenCheckpoint(path)
+}
 
 // Run evaluates every job in cfg across a bounded worker pool and streams
 // the results in job order. Cancelling ctx aborts the run promptly; the

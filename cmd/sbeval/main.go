@@ -11,6 +11,9 @@
 //	sbeval -table 3 -cfg-corpus     # formation-pipeline corpus
 //	sbeval -machines GP2,FS4        # machine subset
 //	sbeval -bench gcc               # benchmark subset
+//	sbeval -all -checkpoint run.jsonl  # resumable: rerun to pick up where it stopped
+//	sbeval -all -keep-going         # isolate per-superblock failures
+//	sbeval -all -job-budget 50ms    # degrade bounds instead of overrunning
 //
 // Observability: -metrics writes a JSON telemetry summary (pipeline job
 // counts, memo hit rates, per-bound latencies) on exit — including after
@@ -31,6 +34,7 @@ import (
 	"balance/internal/cliutil"
 	"balance/internal/eval"
 	"balance/internal/model"
+	"balance/internal/resilience"
 )
 
 var obs = cliutil.Flags("sbeval", true)
@@ -47,6 +51,12 @@ func main() {
 	noTriple := flag.Bool("no-triplewise", false, "skip the triplewise bound")
 	perBench := flag.Bool("per-bench", false, "with -table 3: break results down per benchmark")
 	cfgCorpus := flag.Bool("cfg-corpus", false, "use the profiled-CFG formation pipeline as the corpus source")
+	checkpoint := flag.String("checkpoint", "",
+		"stream completed evaluations to the JSONL `file` and resume from it on restart")
+	keepGoing := flag.Bool("keep-going", false,
+		"isolate per-superblock failures instead of aborting the run (failures are counted on stderr)")
+	jobBudget := flag.Duration("job-budget", 0,
+		"wall-clock budget per superblock; expired budgets degrade the bound ladder instead of failing")
 	flag.Parse()
 
 	if !*all && *table == 0 && *figure == 0 {
@@ -84,8 +94,33 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	r := eval.NewRunner(cfg).WithContext(ctx)
+	if *keepGoing {
+		r.WithKeepGoing()
+	}
+	if *jobBudget > 0 {
+		r.WithBudget(resilience.Spec{Wall: *jobBudget})
+	}
+	if *checkpoint != "" {
+		ck, err := resilience.OpenCheckpoint(*checkpoint)
+		if err != nil {
+			fatal(fmt.Errorf("-checkpoint: %w", err))
+		}
+		if ck.Len() > 0 {
+			fmt.Fprintf(os.Stderr, "sbeval: resuming from %s (%d completed evaluations)\n",
+				*checkpoint, ck.Len())
+		}
+		r.WithCheckpoint(ck)
+		// Flush on every exit path — including SIGINT and failures — so an
+		// interrupted run persists the jobs it completed.
+		obs.OnExit(ck.Flush)
+	}
 	fmt.Fprintf(os.Stderr, "sbeval: corpus %d superblocks (seed %d, scale %g)\n",
 		r.Suite.NumSuperblocks(), *seed, *scale)
+	defer func() {
+		if n := r.Failures(); n > 0 {
+			fmt.Fprintf(os.Stderr, "sbeval: %d superblock(s) failed and were excluded (-keep-going)\n", n)
+		}
+	}()
 
 	run := func(n int) {
 		start := time.Now()

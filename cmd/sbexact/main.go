@@ -4,6 +4,7 @@
 // Usage:
 //
 //	sbexact [-machine GP2] [-max-nodes N] [-max-ops N] [file.sb]
+//	sbexact -budget 100ms file.sb   # anytime: report the best schedule found in time
 //	sbexact -metrics - -trace solve.jsonl -debug-addr localhost:6060 file.sb
 //
 // SIGINT cancels the search: the tool flushes the -metrics summary and
@@ -33,6 +34,8 @@ func main() {
 	machine := flag.String("machine", "GP2", "machine configuration")
 	maxNodes := flag.Int("max-nodes", 0, "search budget (0 = default)")
 	maxOps := flag.Int("max-ops", 24, "skip superblocks larger than this")
+	budget := flag.Duration("budget", 0,
+		"wall-clock budget per superblock; an expired budget reports the best schedule found so far as truncated")
 	flag.Parse()
 	if err := obs.Start(); err != nil {
 		obs.Fatal(err)
@@ -59,7 +62,7 @@ func main() {
 		obs.Fatal(err)
 	}
 
-	solved, skipped := 0, 0
+	solved, truncations, skipped := 0, 0, 0
 	for _, sb := range sbs {
 		if err := ctx.Err(); err != nil {
 			obs.Fatal(err)
@@ -68,7 +71,7 @@ func main() {
 			skipped++
 			continue
 		}
-		s, opt, err := balance.OptimalCtx(ctx, sb, m, *maxNodes)
+		s, opt, truncated, err := balance.OptimalBudget(ctx, sb, m, *maxNodes, balance.NewBudget(*budget, 0))
 		if err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				obs.Fatal(err)
@@ -77,10 +80,15 @@ func main() {
 			continue
 		}
 		solved++
+		label := "optimal"
+		if truncated {
+			truncations++
+			label = "best found (budget expired)"
+		}
 		set := balance.ComputeBounds(sb, m, balance.BoundOptions{Triplewise: true, TriplewiseExact: true})
-		fmt.Printf("%s (%d ops): optimal %.4f at branches %v (tightest bound %.4f%s)\n",
-			sb.Name, sb.G.NumOps(), opt, balance.BranchCycles(sb, s), set.Tightest,
-			map[bool]string{true: ", bound tight", false: ""}[opt <= set.Tightest+1e-9])
+		fmt.Printf("%s (%d ops): %s %.4f at branches %v (tightest bound %.4f%s)\n",
+			sb.Name, sb.G.NumOps(), label, opt, balance.BranchCycles(sb, s), set.Tightest,
+			map[bool]string{true: ", bound tight", false: ""}[!truncated && opt <= set.Tightest+1e-9])
 		for _, h := range append(balance.Heuristics(), balance.Best()) {
 			hs, _, err := h.Run(sb, m)
 			if err != nil {
@@ -89,12 +97,16 @@ func main() {
 			cost := balance.Cost(sb, hs)
 			gap := cost - opt
 			mark := "optimal"
-			if gap > 1e-9 {
+			switch {
+			case truncated:
+				mark = fmt.Sprintf("%+.4f vs best found", gap)
+			case gap > 1e-9:
 				mark = fmt.Sprintf("+%.4f", gap)
 			}
 			fmt.Printf("  %-8s %.4f  (%s)\n", h.Name, cost, mark)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "sbexact: solved %d, skipped %d (> %d ops)\n", solved, skipped, *maxOps)
+	fmt.Fprintf(os.Stderr, "sbexact: solved %d (%d truncated by budget), skipped %d (> %d ops)\n",
+		solved, truncations, skipped, *maxOps)
 	obs.Close()
 }

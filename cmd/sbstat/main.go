@@ -7,6 +7,7 @@
 //	sbstat file.sb            # statistics of a .sb file
 //	sbstat -gen -scale 1      # statistics of the generated SPECint95 suite
 //	sbstat -gen -bench gcc    # one generated benchmark
+//	sbstat -checkpoint run.jsonl  # summarize an sbeval evaluation checkpoint
 //
 // -metrics writes a JSON telemetry summary on exit (also after SIGINT,
 // which exits 130); -trace streams span events as JSON lines.
@@ -14,16 +15,19 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 
 	"balance"
 	"balance/internal/cliutil"
+	"balance/internal/resilience"
 	"balance/internal/stats"
 )
 
@@ -35,9 +39,18 @@ func main() {
 	seed := flag.Int64("seed", 1999, "generation seed (with -gen)")
 	scale := flag.Float64("scale", 1, "corpus scale (with -gen)")
 	perBench := flag.Bool("per-bench", false, "report each benchmark separately (with -gen)")
+	checkpoint := flag.String("checkpoint", "", "summarize an sbeval evaluation checkpoint `file` instead of a corpus")
 	flag.Parse()
 	if err := obs.Start(); err != nil {
 		obs.Fatal(err)
+	}
+
+	if *checkpoint != "" {
+		if err := summarizeCheckpoint(*checkpoint); err != nil {
+			fatal(err)
+		}
+		obs.Close()
+		return
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -92,3 +105,57 @@ func main() {
 // fatal flushes telemetry and exits: 130 after cancellation (SIGINT),
 // 1 on real failures.
 func fatal(err error) { obs.Fatal(err) }
+
+// summarizeCheckpoint reports the contents of an sbeval -checkpoint file:
+// how many evaluations it holds per benchmark, and how many of them were
+// degraded by a job budget. Records are decoded structurally (any version-1
+// line with the expected fields counts), so the summary tolerates files
+// written by older runs with extra fields.
+func summarizeCheckpoint(path string) error {
+	ck, err := resilience.OpenCheckpoint(path)
+	if err != nil {
+		return err
+	}
+	type record struct {
+		SB        string             `json:"sb"`
+		Benchmark string             `json:"benchmark"`
+		Tightest  float64            `json:"tightest"`
+		Degraded  int                `json:"degraded"`
+		Cost      map[string]float64 `json:"cost"`
+	}
+	perBench := map[string]int{}
+	var order []string
+	total, degraded, undecodable := 0, 0, 0
+	ck.Range(func(key string, data json.RawMessage) bool {
+		var rec record
+		if err := json.Unmarshal(data, &rec); err != nil {
+			undecodable++
+			return true
+		}
+		total++
+		name := rec.Benchmark
+		if name == "" {
+			name = "(none)"
+		}
+		if _, seen := perBench[name]; !seen {
+			order = append(order, name)
+		}
+		perBench[name]++
+		if rec.Degraded != 0 {
+			degraded++
+		}
+		return true
+	})
+	sort.Strings(order)
+	fmt.Printf("checkpoint %s: %d evaluation(s)\n", path, total)
+	for _, name := range order {
+		fmt.Printf("  %-16s %d\n", name, perBench[name])
+	}
+	if degraded > 0 {
+		fmt.Printf("  degraded bound ladders: %d\n", degraded)
+	}
+	if undecodable > 0 {
+		fmt.Printf("  undecodable records: %d\n", undecodable)
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package bounds_test
+
+import (
+	"testing"
+	"time"
+
+	"balance/internal/bounds"
+	"balance/internal/gen"
+	"balance/internal/model"
+	"balance/internal/resilience"
+)
+
+// degradeCorpus returns superblocks with ≥ 3 branches so every ladder
+// stage has real work to shed.
+func degradeCorpus(t *testing.T) []*model.Superblock {
+	t.Helper()
+	var out []*model.Superblock
+	for _, sb := range gen.GenerateSuite(1999, 0.05).All() {
+		if len(sb.Branches) >= 3 {
+			out = append(out, sb)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("corpus has no multi-branch superblocks")
+	}
+	return out
+}
+
+// TestComputeBudgetLadder drives each degradation level explicitly and
+// checks the documented invariants: values stay true lower bounds at every
+// level, fallbacks equal the tightest completed value, and Degraded
+// records the cut.
+func TestComputeBudgetLadder(t *testing.T) {
+	m := model.GP2()
+	opts := bounds.Options{Triplewise: true}
+	for _, sb := range degradeCorpus(t)[:8] {
+		full := bounds.Compute(sb, m, opts)
+		if full.Degraded != bounds.DegradeNone {
+			t.Fatalf("%s: unbudgeted compute reported degradation %d", sb.Name, full.Degraded)
+		}
+
+		// A one-node budget expires after the basic bounds: level 2.
+		level2 := bounds.ComputeBudget(sb, m, opts, resilience.NewBudget(0, 1))
+		if level2.Degraded != bounds.DegradePairwise {
+			t.Fatalf("%s: tiny budget degraded to %d, want DegradePairwise", sb.Name, level2.Degraded)
+		}
+		if len(level2.Pairs) != 0 || len(level2.Triples) != 0 || len(level2.Seps) != 0 {
+			t.Errorf("%s: level-2 set still carries pairwise artifacts", sb.Name)
+		}
+		wantFallback := level2.CPVal
+		for _, v := range []float64{level2.HuVal, level2.RJVal, level2.LCVal} {
+			if v > wantFallback {
+				wantFallback = v
+			}
+		}
+		if level2.PairVal != wantFallback || level2.TripleVal != wantFallback {
+			t.Errorf("%s: level-2 fallback PairVal=%v TripleVal=%v, want %v",
+				sb.Name, level2.PairVal, level2.TripleVal, wantFallback)
+		}
+		if level2.Tightest != wantFallback {
+			t.Errorf("%s: level-2 Tightest=%v, want %v", sb.Name, level2.Tightest, wantFallback)
+		}
+
+		// A budget sized to survive the basics but not the pairwise stage
+		// expires before triplewise: level 1. Size it from the full run's
+		// own trip counts so the test tracks algorithm changes.
+		basics := full.Stats.CP.Trips + full.Stats.Hu.Trips + full.Stats.RJ.Trips + full.Stats.LC.Trips
+		level1 := bounds.ComputeBudget(sb, m, opts, resilience.NewBudget(0, basics+1))
+		if level1.Degraded != bounds.DegradeTriplewise {
+			t.Fatalf("%s: mid budget degraded to %d, want DegradeTriplewise", sb.Name, level1.Degraded)
+		}
+		if len(level1.Triples) != 0 {
+			t.Errorf("%s: level-1 set still carries triples", sb.Name)
+		}
+		if level1.PairVal != full.PairVal {
+			t.Errorf("%s: level-1 PairVal=%v, want the full pairwise value %v",
+				sb.Name, level1.PairVal, full.PairVal)
+		}
+		if level1.TripleVal != level1.PairVal {
+			t.Errorf("%s: level-1 TripleVal=%v, want the pairwise fallback %v",
+				sb.Name, level1.TripleVal, level1.PairVal)
+		}
+
+		// Degraded values never exceed the full ladder's (they are weaker,
+		// or equal, lower bounds — still sound).
+		for _, degraded := range []*bounds.Set{level1, level2} {
+			if degraded.Tightest > full.Tightest+1e-9 {
+				t.Errorf("%s: degraded Tightest %v exceeds full Tightest %v",
+					sb.Name, degraded.Tightest, full.Tightest)
+			}
+		}
+	}
+}
+
+// TestComputeBudgetUnlimited proves a generous or nil budget changes
+// nothing: same values, no degradation.
+func TestComputeBudgetUnlimited(t *testing.T) {
+	m := model.FS4()
+	opts := bounds.Options{Triplewise: true, WithLCOriginal: true}
+	for _, sb := range degradeCorpus(t)[:4] {
+		full := bounds.Compute(sb, m, opts)
+		roomy := bounds.ComputeBudget(sb, m, opts, resilience.NewBudget(time.Hour, 1<<40))
+		if roomy.Degraded != bounds.DegradeNone {
+			t.Fatalf("%s: roomy budget degraded to %d", sb.Name, roomy.Degraded)
+		}
+		if roomy.Tightest != full.Tightest || roomy.PairVal != full.PairVal || roomy.TripleVal != full.TripleVal {
+			t.Errorf("%s: budgeted values differ from unbudgeted: %v/%v vs %v/%v",
+				sb.Name, roomy.PairVal, roomy.TripleVal, full.PairVal, full.TripleVal)
+		}
+	}
+}
+
+// TestComputeBudgetWallClock exercises the wall-clock arm: an already
+// expired deadline must shed every optional stage.
+func TestComputeBudgetWallClock(t *testing.T) {
+	sb := degradeCorpus(t)[0]
+	b := resilience.NewBudget(time.Nanosecond, 0)
+	time.Sleep(time.Millisecond)
+	set := bounds.ComputeBudget(sb, model.GP2(), bounds.Options{Triplewise: true}, b)
+	if set.Degraded != bounds.DegradePairwise {
+		t.Fatalf("expired wall budget degraded to %d, want DegradePairwise", set.Degraded)
+	}
+	if set.Tightest <= 0 {
+		t.Error("degraded set lost the basic bounds")
+	}
+}

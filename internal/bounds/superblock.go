@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"balance/internal/model"
+	"balance/internal/resilience"
 )
 
 // NaiveValue composes per-branch issue bounds into a superblock-level lower
@@ -77,6 +78,25 @@ type Options struct {
 	WithLCOriginal bool
 }
 
+// Degradation levels of the bound ladder. When a job's budget expires the
+// computation sheds its most expensive remaining stage rather than failing:
+// first the triplewise bound, then the pairwise bound, leaving the basic
+// per-branch bounds (CP/Hu/RJ/LC), which always run. Every reported value
+// remains a true lower bound at every level — a skipped stage's value falls
+// back to the tightest value the completed stages produced, so Table-1
+// style aggregations stay sound on degraded sets.
+const (
+	// DegradeNone: the full ladder ran.
+	DegradeNone = 0
+	// DegradeTriplewise: the budget expired after the pairwise stage; the
+	// triplewise bound was skipped (TripleVal falls back to PairVal).
+	DegradeTriplewise = 1
+	// DegradePairwise: the budget expired after the basic bounds; both the
+	// pairwise and triplewise stages were skipped (PairVal and TripleVal
+	// fall back to the best naive composition).
+	DegradePairwise = 2
+)
+
 // Set is the full collection of lower bounds for one superblock on one
 // machine.
 type Set struct {
@@ -108,6 +128,11 @@ type Set struct {
 
 	// Stats records the work each algorithm performed.
 	Stats AlgStats
+
+	// Degraded records how far the bound ladder was cut by an expired
+	// budget (DegradeNone, DegradeTriplewise, or DegradePairwise). The
+	// engine pipeline surfaces it on every Result.
+	Degraded int
 }
 
 // Compute runs every bound algorithm on the superblock for the machine.
@@ -116,6 +141,20 @@ type Set struct {
 // the fully pipelined expansion, whose optima lower-bound the original
 // problem's.
 func Compute(sb *model.Superblock, m *model.Machine, opts Options) *Set {
+	return ComputeBudget(sb, m, opts, nil)
+}
+
+// ComputeBudget is Compute under a computation budget. The basic bounds
+// (CP, Hu, RJ, LC) always run; the expensive superblock stages poll the
+// budget at their boundaries and are shed in ladder order when it expires
+// — Triplewise first, then Pairwise (see DegradeNone/DegradeTriplewise/
+// DegradePairwise). A skipped stage's value falls back to the tightest
+// completed value, so every field of the returned Set remains a true lower
+// bound; Set.Degraded records how far the ladder was cut, and degraded
+// sets carry no Pairs/Seps/Triples for the skipped stages. Loop trips are
+// spent into the budget as each stage completes (a nil budget is
+// unlimited).
+func ComputeBudget(sb *model.Superblock, m *model.Machine, opts Options, budget *resilience.Budget) *Set {
 	computeStart := time.Now()
 	s := &Set{SB: sb, M: m, Expanded: sb}
 	work := sb
@@ -139,26 +178,43 @@ func Compute(sb *model.Superblock, m *model.Machine, opts Options) *Set {
 	if opts.WithLCOriginal {
 		EarlyRCOriginal(work, m, &s.Stats.LCOriginal)
 	}
+	budget.Spend(s.Stats.CP.Trips + s.Stats.Hu.Trips + s.Stats.RJ.Trips +
+		s.Stats.LC.Trips + s.Stats.LCOriginal.Trips)
 
 	seps := make([]Separation, len(work.Branches))
-	telPW.timed(func() {
-		for i, b := range work.Branches {
-			seps[i] = SeparationRC(work, m, b, &s.Stats.LCReverse)
-		}
-		s.Pairs = PairwiseAll(work, m, earlyRC, seps, &s.Stats.PW)
-	})
-	if opts.Triplewise {
-		telTW.timed(func() {
-			s.Triples = TriplewiseAll(work, s.Pairs, opts.TripleMaxBranches, &s.Stats.TW)
-			if opts.TriplewiseExact {
-				maxB := opts.TripleExactMaxBranches
-				if maxB == 0 {
-					maxB = 8
-				}
-				exact := TripleRelaxAll(work, m, earlyRC, seps, maxB, &s.Stats.TW)
-				s.Triples = mergeTriples(s.Triples, exact)
+	if budget.Expired() {
+		// Ladder level 2: only the basic bounds fit the budget.
+		s.Degraded = DegradePairwise
+		telDegradePW.Inc()
+		seps = seps[:0]
+	} else {
+		telPW.timed(func() {
+			for i, b := range work.Branches {
+				seps[i] = SeparationRC(work, m, b, &s.Stats.LCReverse)
 			}
+			s.Pairs = PairwiseAll(work, m, earlyRC, seps, &s.Stats.PW)
 		})
+		budget.Spend(s.Stats.LCReverse.Trips + s.Stats.PW.Trips + s.Stats.PW.PairSweeps)
+	}
+	if opts.Triplewise && s.Degraded == DegradeNone {
+		if budget.Expired() {
+			// Ladder level 1: the triplewise stage is shed.
+			s.Degraded = DegradeTriplewise
+			telDegradeTW.Inc()
+		} else {
+			telTW.timed(func() {
+				s.Triples = TriplewiseAll(work, s.Pairs, opts.TripleMaxBranches, &s.Stats.TW)
+				if opts.TriplewiseExact {
+					maxB := opts.TripleExactMaxBranches
+					if maxB == 0 {
+						maxB = 8
+					}
+					exact := TripleRelaxAll(work, m, earlyRC, seps, maxB, &s.Stats.TW)
+					s.Triples = mergeTriples(s.Triples, exact)
+				}
+			})
+			budget.Spend(s.Stats.TW.Trips + s.Stats.TW.TripleSweeps)
+		}
 	}
 
 	// Map the per-op arrays back to the original op IDs (identity when no
@@ -169,9 +225,13 @@ func Compute(sb *model.Superblock, m *model.Machine, opts Options) *Set {
 	s.HuVal = NaiveValue(work, s.Hu)
 	s.RJVal = NaiveValue(work, s.RJ)
 	s.LCVal = NaiveValue(work, s.LC)
-	s.PairVal = PairwiseValue(work, earlyRC, s.Pairs)
+	if s.Degraded >= DegradePairwise {
+		s.PairVal = maxFloat(s.CPVal, s.HuVal, s.RJVal, s.LCVal)
+	} else {
+		s.PairVal = PairwiseValue(work, earlyRC, s.Pairs)
+	}
 	s.TripleVal = s.PairVal
-	if opts.Triplewise {
+	if opts.Triplewise && s.Degraded == DegradeNone {
 		s.TripleVal = TriplewiseValue(work, earlyRC, s.Pairs, s.Triples)
 	}
 	s.Tightest = s.CPVal
@@ -183,6 +243,17 @@ func Compute(sb *model.Superblock, m *model.Machine, opts Options) *Set {
 	telCompute.dur.ObserveDuration(time.Since(computeStart))
 	telCompute.calls.Inc()
 	return s
+}
+
+// maxFloat returns the largest of its arguments.
+func maxFloat(vs ...float64) float64 {
+	out := vs[0]
+	for _, v := range vs[1:] {
+		if v > out {
+			out = v
+		}
+	}
+	return out
 }
 
 // mergeTriples keeps, for every triple present in either list, the larger

@@ -39,4 +39,9 @@ var (
 	telPW      = newBoundTel("PW")
 	telTW      = newBoundTel("TW")
 	telCompute = newBoundTel("Compute")
+
+	// Degradation counters: how often an expired budget cut the ladder at
+	// each level (see ComputeBudget).
+	telDegradeTW = telemetry.Default().Counter("bounds.degraded_triplewise")
+	telDegradePW = telemetry.Default().Counter("bounds.degraded_pairwise")
 )

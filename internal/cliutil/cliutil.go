@@ -30,6 +30,16 @@ type Obs struct {
 	trace     string
 	debugAddr string
 	traceFile *os.File
+	onExit    []func() error
+}
+
+// OnExit registers fn to run on every exit path — Close and Fatal both
+// route through it exactly once, before the -metrics snapshot is written.
+// The tools use it to flush evaluation checkpoints, so an interrupted or
+// failing run still persists the work it completed. Errors are reported to
+// stderr but do not change the exit code.
+func (o *Obs) OnExit(fn func() error) {
+	o.onExit = append(o.onExit, fn)
 }
 
 // Flags registers the observability flags on the default flag set and
@@ -73,9 +83,16 @@ func (o *Obs) Start() error {
 	return nil
 }
 
-// Flush writes the -metrics snapshot and closes the trace sink. Safe to
-// call on every exit path (it runs at most once).
+// Flush runs the OnExit hooks, writes the -metrics snapshot, and closes
+// the trace sink. Safe to call on every exit path (each step runs at most
+// once).
 func (o *Obs) Flush() {
+	for _, fn := range o.onExit {
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: on exit: %v\n", o.tool, err)
+		}
+	}
+	o.onExit = nil
 	if o.metrics != "" {
 		w := os.Stdout
 		if o.metrics != "-" {

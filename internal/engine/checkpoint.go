@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"fmt"
+
+	"balance/internal/bounds"
+	"balance/internal/model"
+	"balance/internal/sched"
+)
+
+// checkpointKey renders a memo key into the stable string form used as the
+// resilience.Checkpoint record key. It carries everything that determines
+// an evaluation's outcome — graph digest, machine, bound options, and the
+// scheduler-set string (which already embeds the job-budget spec) — so a
+// checkpoint written by one configuration is never misread by another.
+// bounds.Options is a flat struct of scalars, so %+v renders it
+// deterministically.
+func checkpointKey(k memoKey) string {
+	return fmt.Sprintf("%016x|%s|%+v|%s", k.digest, k.machine, k.opts, k.schedulers)
+}
+
+// checkpointRecord is the JSONL-persisted form of one completed Result —
+// exactly the structure-dependent scalars the reporting layer consumes
+// (catalog bound values, per-algorithm trip stats, scheduler costs and
+// stats, triviality, degradation). Per-branch vectors and pair/triple
+// artifacts are deliberately not persisted: a resumed Result carries a
+// bounds.Set with only the scalar values and statistics populated, which
+// is all the tables read. See DESIGN.md ("Checkpoint format") for the
+// file-level schema and versioning rules.
+type checkpointRecord struct {
+	SB        string                 `json:"sb"`
+	Benchmark string                 `json:"benchmark,omitempty"`
+	CPVal     float64                `json:"cp"`
+	HuVal     float64                `json:"hu"`
+	RJVal     float64                `json:"rj"`
+	LCVal     float64                `json:"lc"`
+	PairVal   float64                `json:"pw"`
+	TripleVal float64                `json:"tw"`
+	Tightest  float64                `json:"tightest"`
+	AlgStats  bounds.AlgStats        `json:"alg_stats"`
+	Cost      map[string]float64     `json:"cost"`
+	Stats     map[string]sched.Stats `json:"stats,omitempty"`
+	Trivial   bool                   `json:"trivial"`
+	Degraded  int                    `json:"degraded,omitempty"`
+}
+
+// recordOf extracts the persistable scalars from a completed result.
+func recordOf(res *Result) checkpointRecord {
+	s := res.Bounds
+	return checkpointRecord{
+		SB:        res.SB.Name,
+		Benchmark: res.Benchmark,
+		CPVal:     s.CPVal,
+		HuVal:     s.HuVal,
+		RJVal:     s.RJVal,
+		LCVal:     s.LCVal,
+		PairVal:   s.PairVal,
+		TripleVal: s.TripleVal,
+		Tightest:  s.Tightest,
+		AlgStats:  s.Stats,
+		Cost:      res.Cost,
+		Stats:     res.Stats,
+		Trivial:   res.Trivial,
+		Degraded:  res.Degraded,
+	}
+}
+
+// apply reconstitutes a resumed Result from a checkpoint record. The
+// rebuilt bound set holds the scalar values and statistics only; res keeps
+// its own SB and Benchmark (the digest excludes name and frequency, so the
+// record may have been written by a structural twin).
+func (rec *checkpointRecord) apply(res *Result, m *model.Machine) {
+	res.Bounds = &bounds.Set{
+		SB:        res.SB,
+		M:         m,
+		Expanded:  res.SB,
+		CPVal:     rec.CPVal,
+		HuVal:     rec.HuVal,
+		RJVal:     rec.RJVal,
+		LCVal:     rec.LCVal,
+		PairVal:   rec.PairVal,
+		TripleVal: rec.TripleVal,
+		Tightest:  rec.Tightest,
+		Stats:     rec.AlgStats,
+		Degraded:  rec.Degraded,
+	}
+	res.Cost = rec.Cost
+	res.Stats = rec.Stats
+	res.Trivial = rec.Trivial
+	res.Degraded = rec.Degraded
+	res.Resumed = true
+}

@@ -2,9 +2,12 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"balance/internal/resilience"
 )
 
 // ForEach runs fn(i) for every i in [0, n) across a bounded pool of worker
@@ -13,12 +16,42 @@ import (
 // any fn returns an error; in-flight calls finish first. When ctx is
 // cancelled, the returned error is ctx.Err() even if some fn also failed.
 //
+// Panic isolation: a panic in fn is recovered inside the worker (via
+// resilience.Protect) and reported as that index's error — a
+// *resilience.PanicError carrying the panic value and the goroutine stack.
+// The recovery happens before the worker's deferred wg.Done runs, so a
+// panicking fn can neither leak worker goroutines nor deadlock the
+// internal wg.Wait: the pool always drains and returns.
+//
 // This is the single worker-pool loop shared by Run and the evaluation
 // harness (it replaces the two near-identical pools that used to live in
 // internal/eval).
 func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	errs, ctxErr := forEach(ctx, workers, n, false, fn)
+	if ctxErr != nil {
+		return ctxErr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForEachKeepGoing is ForEach under the KeepGoing policy: a failing (or
+// panicking) fn does not stop the pool — every index is attempted, and the
+// returned slice holds each index's error (nil for the ones that
+// succeeded). The second return is ctx.Err(); when the context is
+// cancelled mid-run, unclaimed indices keep a nil error and are counted in
+// the engine.jobs_skipped telemetry.
+func ForEachKeepGoing(ctx context.Context, workers, n int, fn func(i int) error) ([]error, error) {
+	return forEach(ctx, workers, n, true, fn)
+}
+
+func forEach(ctx context.Context, workers, n int, keepGoing bool, fn func(i int) error) ([]error, error) {
 	if n <= 0 {
-		return ctx.Err()
+		return nil, ctx.Err()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -35,14 +68,19 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
-				if failed.Load() || ctx.Err() != nil {
+				if (!keepGoing && failed.Load()) || ctx.Err() != nil {
 					return
 				}
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				err := resilience.Protect(func() error { return fn(i) })
+				if err != nil {
+					var pe *resilience.PanicError
+					if errors.As(err, &pe) {
+						telJobsPanicked.Inc()
+					}
 					errs[i] = err
 					failed.Store(true)
 				}
@@ -50,13 +88,12 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return err
+	claimed := int(atomic.LoadInt64(&next)) + 1
+	if claimed > n {
+		claimed = n
 	}
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	if claimed < n {
+		telJobsSkipped.Add(int64(n - claimed))
 	}
-	return nil
+	return errs, ctx.Err()
 }

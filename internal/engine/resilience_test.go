@@ -1,0 +1,326 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"balance/internal/bounds"
+	"balance/internal/engine"
+	"balance/internal/resilience"
+	"balance/internal/telemetry"
+)
+
+// TestForEachPanicIsolation: a panic in fn is recovered into that index's
+// error (a *resilience.PanicError with the goroutine stack), the pool
+// drains without deadlocking wg.Wait, and no worker goroutine leaks.
+func TestForEachPanicIsolation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	err := engine.ForEach(context.Background(), 4, 50, func(i int) error {
+		if i == 17 {
+			panic(fmt.Sprintf("boom %d", i))
+		}
+		return nil
+	})
+	var pe *resilience.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *resilience.PanicError", err, err)
+	}
+	if !strings.Contains(pe.Error(), "boom 17") {
+		t.Errorf("PanicError message %q does not carry the panic value", pe.Error())
+	}
+	if !strings.Contains(string(pe.Stack), "resilience_test") {
+		t.Errorf("captured stack does not reach the panicking frame:\n%s", pe.Stack)
+	}
+	// The workers must all have exited — ForEach returning proves wg.Wait
+	// was not deadlocked; give the runtime a moment to retire them.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > before {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Errorf("goroutines grew from %d to %d after a panicking ForEach", before, now)
+	}
+}
+
+// TestForEachFirstErrorInIndexOrder: when two jobs fail concurrently, the
+// reported error is the lower-index one regardless of completion order.
+// The barrier guarantees both failures are in flight before either lands.
+func TestForEachFirstErrorInIndexOrder(t *testing.T) {
+	errLow := errors.New("fail 3")
+	errHigh := errors.New("fail 7")
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+	err := engine.ForEach(context.Background(), 8, 8, func(i int) error {
+		switch i {
+		case 3:
+			barrier.Done()
+			barrier.Wait()
+			return errLow
+		case 7:
+			barrier.Done()
+			barrier.Wait()
+			return errHigh
+		}
+		return nil
+	})
+	if err != errLow {
+		t.Fatalf("err = %v, want the lower-index failure %v", err, errLow)
+	}
+}
+
+// TestForEachKeepGoing: failures and panics do not stop the pool — every
+// index is attempted exactly once and each failure is reported in its own
+// slot.
+func TestForEachKeepGoing(t *testing.T) {
+	const n = 20
+	var visits [n]int32
+	errs, ctxErr := engine.ForEachKeepGoing(context.Background(), 4, n, func(i int) error {
+		atomic.AddInt32(&visits[i], 1)
+		if i%5 == 0 {
+			panic(fmt.Sprintf("boom %d", i))
+		}
+		if i == 7 || i == 14 {
+			return fmt.Errorf("err %d", i)
+		}
+		return nil
+	})
+	if ctxErr != nil {
+		t.Fatal(ctxErr)
+	}
+	if len(errs) != n {
+		t.Fatalf("got %d error slots, want %d", len(errs), n)
+	}
+	for i := 0; i < n; i++ {
+		if atomic.LoadInt32(&visits[i]) != 1 {
+			t.Errorf("index %d visited %d times, want 1", i, visits[i])
+		}
+		switch {
+		case i%5 == 0:
+			var pe *resilience.PanicError
+			if !errors.As(errs[i], &pe) {
+				t.Errorf("errs[%d] = %v, want a PanicError", i, errs[i])
+			}
+		case i == 7 || i == 14:
+			if errs[i] == nil || errors.As(errs[i], new(*resilience.PanicError)) {
+				t.Errorf("errs[%d] = %v, want a plain error", i, errs[i])
+			}
+		default:
+			if errs[i] != nil {
+				t.Errorf("errs[%d] = %v, want nil", i, errs[i])
+			}
+		}
+	}
+}
+
+// counterDelta reads a registry counter before/after a step.
+func counterDelta(before *telemetry.Snapshot, name string) int64 {
+	return telemetry.Default().Snapshot().Counters[name] - before.Counters[name]
+}
+
+// uniqueJobs filters the test corpus to structurally distinct superblocks,
+// so digest-keyed checkpoint assertions are exact (structural twins share
+// checkpoint records by design).
+func uniqueJobs(t *testing.T, scale float64, max int) []engine.Job {
+	t.Helper()
+	seen := map[uint64]bool{}
+	var out []engine.Job
+	for _, job := range testJobs(t, scale) {
+		d := job.SB.Digest()
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		out = append(out, job)
+		if len(out) == max {
+			break
+		}
+	}
+	return out
+}
+
+// TestRunKeepGoingChaosAndResume is the acceptance scenario: a seeded
+// chaos run (panics, transient errors, and delays injected into ~10% of
+// jobs) under KeepGoing completes every healthy job, reports the failures
+// in the result stream and the telemetry snapshot, and a second run
+// against the same checkpoint resumes, recomputing only the failed jobs.
+func TestRunKeepGoingChaosAndResume(t *testing.T) {
+	jobs := uniqueJobs(t, 0.05, 40)
+	n := len(jobs)
+	if n < 10 {
+		t.Fatalf("corpus too small: %d unique jobs", n)
+	}
+
+	// Pick a seed whose deterministic failure plan hits some, but not
+	// most, of the corpus (Plan is pure, so this scan is cheap and the
+	// chosen plan is reproducible).
+	chaos := &resilience.Chaos{PanicRate: 0.05, ErrorRate: 0.05, DelayRate: 0.10, Delay: 100 * time.Microsecond}
+	var want map[int]bool
+	for seed := int64(1); seed < 100; seed++ {
+		chaos.Seed = seed
+		if f := chaos.FailureSet(n); len(f) >= 2 && len(f) <= n/2 {
+			want = f
+			break
+		}
+	}
+	if want == nil {
+		t.Fatal("no seed produced a usable failure plan")
+	}
+
+	ckPath := filepath.Join(t.TempDir(), "run.ckpt.jsonl")
+	ck, err := resilience.OpenCheckpoint(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := engine.Config{
+		Jobs:       jobs,
+		Machine:    testMachine(t),
+		OnError:    engine.KeepGoing,
+		Inject:     chaos.Visit,
+		Checkpoint: ck,
+		Workers:    4,
+	}
+	before := telemetry.Default().Snapshot()
+	ch, err := engine.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := engine.Collect(ch)
+	if err != nil {
+		t.Fatalf("KeepGoing run aborted: %v", err)
+	}
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d (failures included)", len(results), n)
+	}
+	wantPanics := 0
+	for i, res := range results {
+		if res.Index != i {
+			t.Fatalf("result %d emitted out of order (index %d)", i, res.Index)
+		}
+		_, panics, _ := chaos.Plan(i)
+		if panics {
+			wantPanics++
+		}
+		if want[i] {
+			if res.Err == nil {
+				t.Errorf("job %d: chaos plan says fail, result has no error", i)
+			} else if panics && !errors.As(res.Err, new(*resilience.PanicError)) {
+				t.Errorf("job %d: injected panic surfaced as %T, want PanicError", i, res.Err)
+			}
+			continue
+		}
+		if res.Err != nil {
+			t.Errorf("healthy job %d failed: %v", i, res.Err)
+		}
+		if res.Bounds == nil || len(res.Cost) == 0 {
+			t.Errorf("healthy job %d has no evaluation", i)
+		}
+	}
+	if got := counterDelta(before, "engine.jobs_failed"); got != int64(len(want)) {
+		t.Errorf("engine.jobs_failed delta = %d, want %d", got, len(want))
+	}
+	if got := counterDelta(before, "engine.jobs_panicked"); got != int64(wantPanics) {
+		t.Errorf("engine.jobs_panicked delta = %d, want %d", got, wantPanics)
+	}
+	if err := ck.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: only the chaos victims are recomputed.
+	ck2, err := resilience.OpenCheckpoint(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck2.Len() != n-len(want) {
+		t.Fatalf("checkpoint holds %d records, want %d (healthy jobs only)", ck2.Len(), n-len(want))
+	}
+	cfg.Inject = nil
+	cfg.Checkpoint = ck2
+	before = telemetry.Default().Snapshot()
+	ch, err = engine.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err = engine.Collect(ch)
+	if err != nil {
+		t.Fatalf("resumed run aborted: %v", err)
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Errorf("resumed job %d failed: %v", i, res.Err)
+			continue
+		}
+		if res.Resumed == want[i] {
+			t.Errorf("job %d: Resumed = %v, want %v (only failures recompute)", i, res.Resumed, !want[i])
+		}
+		if res.Bounds == nil || res.Bounds.Tightest <= 0 || len(res.Cost) == 0 {
+			t.Errorf("resumed job %d is missing its evaluation", i)
+		}
+	}
+	if got := counterDelta(before, "engine.jobs_resumed"); got != int64(n-len(want)) {
+		t.Errorf("engine.jobs_resumed delta = %d, want %d", got, n-len(want))
+	}
+	if err := ck2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ck3, err := resilience.OpenCheckpoint(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck3.Len() != n {
+		t.Errorf("after the resumed run the checkpoint holds %d records, want %d", ck3.Len(), n)
+	}
+}
+
+// TestRunJobBudgetDegrades: a tiny per-job budget degrades the bound
+// ladder (surfaced on Result.Degraded) instead of failing, and budgeted
+// results never conflate with unbudgeted ones in a shared memo.
+func TestRunJobBudgetDegrades(t *testing.T) {
+	jobs := uniqueJobs(t, 0.05, 8)
+	memo := engine.NewMemo(0)
+	base := engine.Config{
+		Jobs:    jobs,
+		Machine: testMachine(t),
+		Memo:    memo,
+	}
+
+	budgeted := base
+	budgeted.JobBudget = resilience.Spec{Nodes: 1}
+	ch, err := engine.Run(context.Background(), budgeted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := engine.Collect(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range results {
+		if res.Degraded != bounds.DegradePairwise {
+			t.Errorf("%s: Degraded = %d, want DegradePairwise under a 1-node budget", res.SB.Name, res.Degraded)
+		}
+		if res.Bounds.Tightest <= 0 {
+			t.Errorf("%s: degraded result lost its basic bounds", res.SB.Name)
+		}
+	}
+
+	ch, err = engine.Run(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err = engine.Collect(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range results {
+		if res.Degraded != bounds.DegradeNone {
+			t.Errorf("%s: unbudgeted run recalled a degraded result (memo key conflation)", res.SB.Name)
+		}
+	}
+}

@@ -8,8 +8,25 @@ import (
 
 	"balance/internal/bounds"
 	"balance/internal/model"
+	"balance/internal/resilience"
 	"balance/internal/sched"
 	"balance/internal/telemetry"
+)
+
+// ErrorPolicy selects how Run reacts to a failing (or panicking) job.
+type ErrorPolicy int
+
+const (
+	// FailFast aborts the run at the first job error: the pool stops
+	// claiming jobs and the stream ends with a terminal Result (Index -1)
+	// carrying the error. This is the default.
+	FailFast ErrorPolicy = iota
+	// KeepGoing isolates failures: a failing job is emitted in stream
+	// order as a Result with its Index preserved and Err set (panics
+	// arrive as a *resilience.PanicError with the captured stack), and the
+	// remaining jobs still run. The stream only ends early on context
+	// cancellation.
+	KeepGoing
 )
 
 // Job is one unit of pipeline work: a superblock and the benchmark it
@@ -40,6 +57,27 @@ type Config struct {
 	// Memo, when non-nil, caches evaluations across Run calls keyed by
 	// (graph digest, machine, bound options, scheduler set).
 	Memo *Memo
+
+	// OnError selects the failure policy (default FailFast).
+	OnError ErrorPolicy
+	// JobBudget bounds each job's lower-bound computation. When the budget
+	// expires mid-job the bound ladder degrades instead of failing (see
+	// bounds.ComputeBudget); Result.Degraded reports the cut. The zero
+	// Spec is unlimited. The budget spec participates in the memo and
+	// checkpoint keys, so budgeted and unbudgeted evaluations never
+	// conflate.
+	JobBudget resilience.Spec
+	// Checkpoint, when non-nil, makes the run resumable: every completed
+	// job's result is recorded under a digest-derived key, and jobs whose
+	// key is already present are recalled instead of recomputed
+	// (Result.Resumed reports the recall). The caller owns the checkpoint
+	// lifecycle and must Flush it when the run completes.
+	Checkpoint *resilience.Checkpoint
+	// Inject, when non-nil, runs before each job inside the worker's
+	// panic-isolation scope — the fault-injection hook used by the chaos
+	// harness (resilience.Chaos.Visit). A returned error or panic is
+	// handled exactly like a job failure.
+	Inject func(i int) error
 }
 
 // Result is the full evaluation of one superblock on one machine. The Cost,
@@ -62,9 +100,18 @@ type Result struct {
 	// Trivial is true when every configured scheduler achieved the
 	// tightest bound.
 	Trivial bool
-	// Err is non-nil only on the final result of an aborted run: the first
-	// evaluation error, or ctx.Err() after cancellation. No further
-	// results follow it.
+	// Degraded reports how far the job's bound ladder was cut by an
+	// expired JobBudget (bounds.DegradeNone when the full ladder ran).
+	Degraded int
+	// Resumed is true when the result was recalled from Config.Checkpoint
+	// instead of recomputed.
+	Resumed bool
+	// Err reports a failure. Under FailFast it is non-nil only on the
+	// final result of an aborted run (Index -1): the first evaluation
+	// error, or ctx.Err() after cancellation; no further results follow
+	// it. Under KeepGoing, per-job failures are additionally emitted in
+	// stream order with their Index preserved and Err set — panics arrive
+	// as a *resilience.PanicError.
 	Err error
 
 	// memoHit records whether this result was recalled from the memo
@@ -121,6 +168,12 @@ func Run(ctx context.Context, cfg Config) (<-chan Result, error) {
 		return nil, errors.New("engine: Best requires the cross-product source (import balance/internal/heuristics)")
 	}
 	setKey := schedulerSetKey(canonical, cfg.Best)
+	if !cfg.JobBudget.IsZero() {
+		// A budgeted evaluation may be degraded, so it must never share a
+		// memo or checkpoint entry with an unbudgeted (or differently
+		// budgeted) one.
+		setKey += "|budget=" + cfg.JobBudget.String()
+	}
 
 	n := len(cfg.Jobs)
 	out := make(chan Result, n+1) // fully buffered: emission never blocks
@@ -137,7 +190,21 @@ func Run(ctx context.Context, cfg Config) (<-chan Result, error) {
 			start := time.Now()
 			telQueueWait.ObserveDuration(start.Sub(queuedAt))
 			sp := telemetry.Default().StartSpan("engine.job")
-			res, err := evaluateJob(ctx, &cfg, scheds, setKey, i)
+			var res Result
+			// The Protect scope covers the chaos hook and the evaluation,
+			// so injected or organic panics become this job's error
+			// instead of killing the process (ForEach would also recover
+			// them, but here KeepGoing must see them per-job).
+			err := resilience.Protect(func() error {
+				if cfg.Inject != nil {
+					if err := cfg.Inject(i); err != nil {
+						return err
+					}
+				}
+				var err error
+				res, err = evaluateJob(ctx, &cfg, scheds, setKey, i)
+				return err
+			})
 			telCompute.ObserveDuration(time.Since(start))
 			telOccupancy.Add(-1)
 			if sp.Active() {
@@ -154,6 +221,19 @@ func Run(ctx context.Context, cfg Config) (<-chan Result, error) {
 			}
 			if err != nil {
 				telJobsFailed.Inc()
+				if cfg.OnError == KeepGoing {
+					// The pool never sees this error, so account for the
+					// panic here; under FailFast the returned error is
+					// counted by the pool's own recovery bookkeeping.
+					var pe *resilience.PanicError
+					if errors.As(err, &pe) {
+						telJobsPanicked.Inc()
+					}
+					job := cfg.Jobs[i]
+					slots[i] = Result{Index: i, Benchmark: job.Benchmark, SB: job.SB, Err: err}
+					completed <- i
+					return nil
+				}
 				return err
 			}
 			telJobsFinished.Inc()
@@ -187,11 +267,13 @@ func Run(ctx context.Context, cfg Config) (<-chan Result, error) {
 }
 
 // Collect drains a Run result stream into a slice, returning the error of
-// an aborted run.
+// an aborted run. Per-job failures from a KeepGoing run (Err set, Index
+// ≥ 0) are kept in the slice; only the terminal error result (Index -1)
+// aborts the collection.
 func Collect(ch <-chan Result) ([]*Result, error) {
 	var out []*Result
 	for res := range ch {
-		if res.Err != nil {
+		if res.Err != nil && res.Index < 0 {
 			return nil, res.Err
 		}
 		res := res
@@ -206,17 +288,34 @@ func evaluateJob(ctx context.Context, cfg *Config, scheds []Scheduler, setKey st
 	job := cfg.Jobs[idx]
 	res := Result{Index: idx, Benchmark: job.Benchmark, SB: job.SB}
 	var key memoKey
-	if cfg.Memo != nil {
+	var ckKey string
+	if cfg.Memo != nil || cfg.Checkpoint != nil {
+		digest := job.SB.Digest()
 		key = memoKey{
-			digest:     job.SB.Digest(),
+			digest:     digest,
 			machine:    cfg.Machine.Name,
 			opts:       cfg.Bounds,
 			schedulers: setKey,
 		}
+		ckKey = checkpointKey(key)
+	}
+	if cfg.Checkpoint != nil {
+		var rec checkpointRecord
+		if cfg.Checkpoint.Lookup(ckKey, &rec) {
+			telJobsResumed.Inc()
+			rec.apply(&res, cfg.Machine)
+			return res, nil
+		}
+	}
+	if cfg.Memo != nil {
 		if v, ok := cfg.Memo.lookup(key); ok {
 			telMemoHits.Inc()
 			res.Bounds, res.Cost, res.Stats, res.Trivial = v.bounds, v.cost, v.stats, v.trivial
+			res.Degraded = v.bounds.Degraded
 			res.memoHit = true
+			if cfg.Checkpoint != nil {
+				cfg.Checkpoint.Put(ckKey, recordOf(&res))
+			}
 			return res, nil
 		}
 		telMemoMisses.Inc()
@@ -225,8 +324,9 @@ func evaluateJob(ctx context.Context, cfg *Config, scheds []Scheduler, setKey st
 		return res, err
 	}
 
-	set := bounds.Compute(job.SB, cfg.Machine, cfg.Bounds)
+	set := bounds.ComputeBudget(job.SB, cfg.Machine, cfg.Bounds, cfg.JobBudget.New())
 	res.Bounds = set
+	res.Degraded = set.Degraded
 	res.Cost = make(map[string]float64, len(scheds)+1)
 	res.Stats = make(map[string]sched.Stats, len(scheds)+1)
 	trivial := true
@@ -267,6 +367,9 @@ func evaluateJob(ctx context.Context, cfg *Config, scheds []Scheduler, setKey st
 	res.Trivial = trivial
 	if cfg.Memo != nil {
 		cfg.Memo.store(key, memoVal{bounds: res.Bounds, cost: res.Cost, stats: res.Stats, trivial: res.Trivial})
+	}
+	if cfg.Checkpoint != nil {
+		cfg.Checkpoint.Put(ckKey, recordOf(&res))
 	}
 	return res, nil
 }

@@ -8,6 +8,9 @@ var (
 	telJobsStarted  = telemetry.Default().Counter("engine.jobs_started")
 	telJobsFinished = telemetry.Default().Counter("engine.jobs_finished")
 	telJobsFailed   = telemetry.Default().Counter("engine.jobs_failed")
+	telJobsPanicked = telemetry.Default().Counter("engine.jobs_panicked")
+	telJobsSkipped  = telemetry.Default().Counter("engine.jobs_skipped")
+	telJobsResumed  = telemetry.Default().Counter("engine.jobs_resumed")
 	telMemoHits     = telemetry.Default().Counter("engine.memo_hits")
 	telMemoMisses   = telemetry.Default().Counter("engine.memo_misses")
 	telMemoEvicts   = telemetry.Default().Counter("engine.memo_evictions")

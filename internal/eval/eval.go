@@ -22,6 +22,7 @@ import (
 	"balance/internal/engine"
 	"balance/internal/gen"
 	"balance/internal/model"
+	"balance/internal/resilience"
 )
 
 // Config controls an evaluation run.
@@ -87,17 +88,28 @@ type Runner struct {
 	Cfg   Config
 	Suite *gen.Suite
 
-	ctx   context.Context
-	memo  *engine.Memo
-	cache map[string][]*sbResult // machine name -> results
+	ctx        context.Context
+	memo       *engine.Memo
+	cache      map[string][]*sbResult // machine name -> results
+	err        error                  // deferred corpus-construction error
+	checkpoint *resilience.Checkpoint
+	keepGoing  bool
+	budget     resilience.Spec
+	failures   int // per-job failures filtered out of cached results
 }
 
-// NewRunner creates a runner with the given configuration.
+// NewRunner creates a runner with the given configuration. Corpus
+// construction errors (CFG formation failures) are deferred: they are
+// returned by the first Results call rather than panicking here.
 func NewRunner(cfg Config) *Runner {
 	cfg = cfg.withDefaults()
 	var suite *gen.Suite
+	var err error
 	if cfg.CFGCorpus {
-		suite = cfgSuite(cfg)
+		suite, err = cfgSuite(cfg)
+		if err != nil {
+			suite = &gen.Suite{Benchmarks: map[string][]*model.Superblock{}}
+		}
 	} else {
 		suite = gen.GenerateSuite(cfg.Seed, cfg.Scale)
 	}
@@ -119,6 +131,7 @@ func NewRunner(cfg Config) *Runner {
 		ctx:   context.Background(),
 		memo:  engine.NewMemo(0),
 		cache: map[string][]*sbResult{},
+		err:   err,
 	}
 }
 
@@ -132,9 +145,44 @@ func (r *Runner) WithContext(ctx context.Context) *Runner {
 	return r
 }
 
+// WithCheckpoint makes the runner's evaluations resumable: completed jobs
+// stream to ck and already-checkpointed jobs are recalled instead of
+// recomputed (see engine.Config.Checkpoint). The caller owns ck and must
+// Flush it when done. Returns the runner for chaining.
+func (r *Runner) WithCheckpoint(ck *resilience.Checkpoint) *Runner {
+	r.checkpoint = ck
+	return r
+}
+
+// WithKeepGoing switches the runner to the engine's KeepGoing error
+// policy: a failing or panicking job no longer aborts the evaluation — it
+// is dropped from the table inputs and counted in Failures(). Returns the
+// runner for chaining.
+func (r *Runner) WithKeepGoing() *Runner {
+	r.keepGoing = true
+	return r
+}
+
+// WithBudget bounds each job's lower-bound computation; expired budgets
+// degrade the bound ladder instead of failing (see bounds.ComputeBudget).
+// Returns the runner for chaining.
+func (r *Runner) WithBudget(spec resilience.Spec) *Runner {
+	r.budget = spec
+	return r
+}
+
+// Failures reports how many per-job failures were filtered from the cached
+// results across all machines evaluated so far (always 0 without
+// WithKeepGoing).
+func (r *Runner) Failures() int { return r.failures }
+
+// formAll is the superblock-formation entry point; a package variable so
+// failure-path tests can substitute a failing implementation.
+var formAll = cfg.FormAll
+
 // cfgSuite builds a corpus through the profiled-CFG formation pipeline:
 // four pseudo-benchmarks with different region shapes.
-func cfgSuite(c Config) *gen.Suite {
+func cfgSuite(c Config) (*gen.Suite, error) {
 	regions := c.CFGRegions
 	if regions <= 0 {
 		regions = int(40 * c.Scale)
@@ -157,16 +205,16 @@ func cfgSuite(c Config) *gen.Suite {
 		var sbs []*model.Superblock
 		for r := 0; r < regions; r++ {
 			g := cfg.Random(fmt.Sprintf("%s/r%03d", shape.name, r), rng, shape.rc)
-			formed, err := cfg.FormAll(g, cfg.DefaultFormation())
+			formed, err := formAll(g, cfg.DefaultFormation())
 			if err != nil {
-				panic(fmt.Sprintf("eval: formation failed: %v", err))
+				return nil, fmt.Errorf("eval: formation of %s/r%03d failed: %w", shape.name, r, err)
 			}
 			sbs = append(sbs, formed...)
 		}
 		suite.Benchmarks[shape.name] = sbs
 		suite.Order = append(suite.Order, shape.name)
 	}
-	return suite
+	return suite, nil
 }
 
 // shortBench strips the SPEC number prefix.
@@ -184,6 +232,9 @@ func shortBench(name string) string {
 // result order is deterministic (corpus order); cancellation of the
 // runner's context aborts the run with ctx.Err().
 func (r *Runner) Results(m *model.Machine) ([]*sbResult, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
 	if res, ok := r.cache[m.Name]; ok {
 		return res, nil
 	}
@@ -193,19 +244,37 @@ func (r *Runner) Results(m *model.Machine) ([]*sbResult, error) {
 			jobs = append(jobs, engine.Job{Benchmark: bench, SB: sb})
 		}
 	}
+	policy := engine.FailFast
+	if r.keepGoing {
+		policy = engine.KeepGoing
+	}
 	ch, err := engine.Run(r.ctx, engine.Config{
-		Jobs:    jobs,
-		Machine: m,
-		Bounds:  r.Cfg.boundOptions(),
-		Best:    true,
-		Memo:    r.memo,
+		Jobs:       jobs,
+		Machine:    m,
+		Bounds:     r.Cfg.boundOptions(),
+		Best:       true,
+		Memo:       r.memo,
+		OnError:    policy,
+		JobBudget:  r.budget,
+		Checkpoint: r.checkpoint,
 	})
 	if err != nil {
 		return nil, err
 	}
-	out, err := engine.Collect(ch)
+	all, err := engine.Collect(ch)
 	if err != nil {
 		return nil, err
+	}
+	// Under KeepGoing the stream carries per-job failures; the tables can
+	// only aggregate completed evaluations, so drop the failures here and
+	// account for them in Failures().
+	out := all[:0]
+	for _, res := range all {
+		if res.Err != nil {
+			r.failures++
+			continue
+		}
+		out = append(out, res)
 	}
 	r.cache[m.Name] = out
 	return out, nil

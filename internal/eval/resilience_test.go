@@ -1,0 +1,107 @@
+package eval
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"balance/internal/cfg"
+	"balance/internal/model"
+	"balance/internal/resilience"
+	"balance/internal/telemetry"
+)
+
+// TestFormationFailureSurfaces: a CFG-formation failure no longer panics —
+// it is deferred by NewRunner and returned by Results with the failing
+// region named (the former behavior was panic("eval: formation failed")).
+func TestFormationFailureSurfaces(t *testing.T) {
+	boom := errors.New("synthetic formation fault")
+	orig := formAll
+	formAll = func(g *cfg.Graph, fc cfg.FormationConfig) ([]*model.Superblock, error) {
+		return nil, boom
+	}
+	defer func() { formAll = orig }()
+
+	r := NewRunner(Config{Seed: 11, Scale: 0.05, CFGCorpus: true, CFGRegions: 2})
+	_, err := r.Results(model.GP2())
+	if err == nil {
+		t.Fatal("Results succeeded despite a formation failure")
+	}
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want the formation cause wrapped", err)
+	}
+	if !strings.Contains(err.Error(), "formation") || !strings.Contains(err.Error(), "cfg.straight/r000") {
+		t.Errorf("err = %v, want the failing region named", err)
+	}
+	// The error is sticky: every table path reports it, none panics.
+	if _, err2 := r.Table1(); err2 == nil {
+		t.Error("Table1 succeeded on a runner with a broken corpus")
+	}
+}
+
+// TestRunnerCheckpointResume: a second runner pointed at the first's
+// flushed checkpoint recalls every job instead of recomputing.
+func TestRunnerCheckpointResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "eval.ckpt.jsonl")
+	ck, err := resilience.OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := model.GP2()
+	r1 := NewRunner(Config{Seed: 5, Scale: 0.05, Triplewise: true}).WithCheckpoint(ck)
+	first, err := r1.Results(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	ck2, err := resilience.OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := telemetry.Default().Snapshot().Counters["engine.jobs_resumed"]
+	r2 := NewRunner(Config{Seed: 5, Scale: 0.05, Triplewise: true}).WithCheckpoint(ck2)
+	second, err := r2.Results(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second) != len(first) {
+		t.Fatalf("resumed run returned %d results, want %d", len(second), len(first))
+	}
+	resumed := 0
+	for i, res := range second {
+		if res.Resumed {
+			resumed++
+		}
+		if res.Bounds.Tightest != first[i].Bounds.Tightest {
+			t.Errorf("job %d: resumed Tightest %v != computed %v", i, res.Bounds.Tightest, first[i].Bounds.Tightest)
+		}
+		for name, cost := range first[i].Cost {
+			if res.Cost[name] != cost {
+				t.Errorf("job %d: resumed %s cost %v != computed %v", i, name, res.Cost[name], cost)
+			}
+		}
+	}
+	if resumed != len(second) {
+		t.Errorf("%d of %d jobs resumed from the checkpoint, want all", resumed, len(second))
+	}
+	delta := telemetry.Default().Snapshot().Counters["engine.jobs_resumed"] - before
+	if delta != int64(len(second)) {
+		t.Errorf("engine.jobs_resumed delta = %d, want %d", delta, len(second))
+	}
+	if r2.Failures() != 0 {
+		t.Errorf("Failures() = %d on a clean run", r2.Failures())
+	}
+
+	// Resumed results still feed the tables (the checkpoint record carries
+	// everything the reporting layer reads).
+	if _, err := r2.Table1(); err != nil {
+		t.Errorf("Table1 on resumed results: %v", err)
+	}
+	if _, err := r2.Table2(); err != nil {
+		t.Errorf("Table2 on resumed results: %v", err)
+	}
+}

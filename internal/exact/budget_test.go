@@ -1,0 +1,109 @@
+package exact
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"balance/internal/model"
+	"balance/internal/resilience"
+	"balance/internal/sched"
+)
+
+// budgetTestSB builds a search-hostile superblock: n independent integer
+// ops feeding two branches. Independent same-class ops make the
+// dependence-only pruning bound weak, so the search needs far more than
+// one poll interval of nodes — big enough that a tiny budget cannot finish
+// the search, small enough that the unbudgeted search proves the optimum.
+func budgetTestSB(t *testing.T, n int, p float64) *model.Superblock {
+	t.Helper()
+	b := model.NewBuilder(fmt.Sprintf("hard-%d", n))
+	var ids []int
+	for i := 0; i < n; i++ {
+		ids = append(ids, b.Int())
+	}
+	b.Branch(p, ids[:n/2]...)
+	b.Branch(0, ids...)
+	return b.MustBuild()
+}
+
+// TestOptimalBudgetTruncation is the anytime contract: with a tiny budget
+// the solver returns a legal schedule whose cost is ≥ the true optimum
+// found with no budget, and the truncated flag is set.
+func TestOptimalBudgetTruncation(t *testing.T) {
+	m := model.GP2()
+	truncatedSeen := false
+	for _, n := range []int{8, 9, 10} {
+		seed := int64(n)
+		sb := budgetTestSB(t, n, 0.3)
+
+		_, opt, cut, err := OptimalBudget(context.Background(), sb, m, 0, nil)
+		if err != nil {
+			t.Fatalf("seed %d: unbudgeted solve: %v", seed, err)
+		}
+		if cut {
+			t.Fatalf("seed %d: unbudgeted solve reported truncation", seed)
+		}
+
+		// One budget node expires at the first poll: the incumbent at that
+		// point is the seeded list schedule or an early improvement.
+		s, cost, truncated, err := OptimalBudget(context.Background(), sb, m, 0, resilience.NewBudget(0, 1))
+		if err != nil {
+			t.Fatalf("seed %d: budgeted solve: %v", seed, err)
+		}
+		if s == nil {
+			t.Fatalf("seed %d: truncated solve returned no schedule", seed)
+		}
+		if verr := sched.Verify(sb, m, s); verr != nil {
+			t.Errorf("seed %d: truncated schedule is illegal: %v", seed, verr)
+		}
+		if cost < opt-1e-9 {
+			t.Errorf("seed %d: truncated cost %.6f beats the true optimum %.6f", seed, cost, opt)
+		}
+		if got := sched.Cost(sb, s); got != cost {
+			t.Errorf("seed %d: reported cost %.6f != schedule cost %.6f", seed, cost, got)
+		}
+		truncatedSeen = truncatedSeen || truncated
+		if !truncated && cost > opt+1e-9 {
+			t.Errorf("seed %d: suboptimal cost without the truncated flag", seed)
+		}
+	}
+	if !truncatedSeen {
+		t.Error("no seed produced a truncated solve; the corpus is too easy for the test")
+	}
+}
+
+// TestOptimalBudgetWallClock: an expired wall deadline truncates at the
+// first poll instead of erroring.
+func TestOptimalBudgetWallClock(t *testing.T) {
+	sb := budgetTestSB(t, 9, 0.4)
+	b := resilience.NewBudget(time.Nanosecond, 0)
+	time.Sleep(time.Millisecond)
+	s, _, truncated, err := OptimalBudget(context.Background(), sb, model.GP1(), 0, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == nil {
+		t.Fatal("no incumbent returned")
+	}
+	if !truncated {
+		t.Skip("search finished inside the first poll interval; nothing to truncate")
+	}
+	if verr := sched.Verify(sb, model.GP1(), s); verr != nil {
+		t.Errorf("truncated schedule is illegal: %v", verr)
+	}
+}
+
+// TestOptimalCtxBudgetCompat: the legacy entry point still reports node
+// overruns as ErrBudget with the incumbent attached.
+func TestOptimalCtxBudgetCompat(t *testing.T) {
+	sb := budgetTestSB(t, 8, 0.3)
+	s, cost, err := OptimalCtx(context.Background(), sb, model.GP2(), 10)
+	if err != ErrBudget {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if s == nil || cost <= 0 {
+		t.Fatal("ErrBudget without the best incumbent")
+	}
+}

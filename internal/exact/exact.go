@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"balance/internal/model"
+	"balance/internal/resilience"
 	"balance/internal/sched"
 	"balance/internal/telemetry"
 )
@@ -40,6 +41,10 @@ type solver struct {
 	m   *model.Machine
 	g   *model.Graph
 	ctx context.Context
+
+	budget    *resilience.Budget
+	spent     int // nodes already spent into the budget
+	budgetHit bool
 
 	maxNodes  int
 	nodes     int
@@ -71,8 +76,29 @@ func Optimal(sb *model.Superblock, m *model.Machine, maxNodes int) (*sched.Sched
 
 // OptimalCtx is Optimal with cancellation: the branch-and-bound search
 // polls ctx every few thousand nodes and abandons the search with ctx's
-// error once it is done.
+// error once it is done. On budget overrun it returns the best incumbent
+// alongside ErrBudget; callers that want anytime semantics without an
+// error use OptimalBudget.
 func OptimalCtx(ctx context.Context, sb *model.Superblock, m *model.Machine, maxNodes int) (*sched.Schedule, float64, error) {
+	s, cost, truncated, err := OptimalBudget(ctx, sb, m, maxNodes, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	if truncated {
+		return s, cost, ErrBudget
+	}
+	return s, cost, nil
+}
+
+// OptimalBudget is the anytime form of the solver: the search additionally
+// honors a resilience.Budget (wall clock + nodes; nil = unlimited),
+// spending one budget node per expanded search node in batches of the
+// context-poll interval. When the node cap or the budget expires, the best
+// incumbent found so far is returned as a legal schedule with truncated
+// set — its cost is an upper bound on the true optimum, not the optimum —
+// instead of an error. The error return is reserved for cancellation and
+// for graphs with no schedule at all.
+func OptimalBudget(ctx context.Context, sb *model.Superblock, m *model.Machine, maxNodes int, budget *resilience.Budget) (schedule *sched.Schedule, cost float64, truncated bool, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -85,6 +111,7 @@ func OptimalCtx(ctx context.Context, sb *model.Superblock, m *model.Machine, max
 		m:         m,
 		g:         sb.G,
 		ctx:       ctx,
+		budget:    budget,
 		maxNodes:  maxNodes,
 		best:      math.Inf(1),
 		issue:     make([]int, n),
@@ -110,6 +137,7 @@ func OptimalCtx(ctx context.Context, sb *model.Superblock, m *model.Machine, max
 	sp := telemetry.Default().StartSpan("exact.solve")
 	s.dfs(0, 0, 0)
 	s.flushTelemetry()
+	s.spendBudget()
 	telSolves.Inc()
 	telSolveDur.ObserveDuration(time.Since(s.startTime))
 	if sp.Active() {
@@ -121,21 +149,35 @@ func OptimalCtx(ctx context.Context, sb *model.Superblock, m *model.Machine, max
 			telemetry.Int("incumbent_updates", int64(s.cnt.incumbents)),
 			telemetry.Float("best", s.best),
 			telemetry.Int("overrun", boolInt(s.overrun)),
+			telemetry.Int("truncated_by_budget", boolInt(s.budgetHit)),
 			telemetry.Int("cancelled", boolInt(s.cancelled)),
 		)
 	}
 	if s.cancelled {
 		telCancels.Inc()
-		return nil, 0, ctx.Err()
+		return nil, 0, false, ctx.Err()
 	}
 	if s.bestSched == nil {
-		return nil, 0, errors.New("exact: no schedule found")
+		return nil, 0, false, errors.New("exact: no schedule found")
 	}
 	if s.overrun {
 		telOverruns.Inc()
-		return &sched.Schedule{Cycle: s.bestSched}, s.best, ErrBudget
+		if s.budgetHit {
+			telTruncations.Inc()
+		}
+		return &sched.Schedule{Cycle: s.bestSched}, s.best, true, nil
 	}
-	return &sched.Schedule{Cycle: s.bestSched}, s.best, nil
+	return &sched.Schedule{Cycle: s.bestSched}, s.best, false, nil
+}
+
+// spendBudget charges the search nodes expanded since the last charge to
+// the budget (batched so the per-node path stays free of atomics).
+func (s *solver) spendBudget() {
+	if s.budget == nil {
+		return
+	}
+	s.budget.Spend(int64(s.nodes - s.spent))
+	s.spent = s.nodes
 }
 
 // branchesDone reports whether every exit branch has been issued.
@@ -292,6 +334,14 @@ func (s *solver) dfs(cycle, minID, done int) {
 		if s.ctx.Err() != nil {
 			s.cancelled = true
 			return
+		}
+		if s.budget != nil {
+			s.spendBudget()
+			if s.budget.Expired() {
+				s.budgetHit = true
+				s.overrun = true
+				return
+			}
 		}
 		s.maybeProgress()
 	}

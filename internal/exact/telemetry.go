@@ -22,6 +22,7 @@ var (
 	telLeaves       = telemetry.Default().Counter("exact.leaf_schedules")
 	telIncumbents   = telemetry.Default().Counter("exact.incumbent_updates")
 	telOverruns     = telemetry.Default().Counter("exact.budget_overruns")
+	telTruncations  = telemetry.Default().Counter("exact.budget_truncations")
 	telCancels      = telemetry.Default().Counter("exact.cancellations")
 	telSolveDur     = telemetry.Default().Histogram("exact.solve_ns")
 )

@@ -1,0 +1,95 @@
+package resilience
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Spec is the declarative form of a per-job budget: a wall-clock limit
+// and/or an abstract node limit ("nodes" are whatever unit the spending
+// computation counts — bound-algorithm loop trips, solver search nodes).
+// The zero Spec means "no budget"; Spec.New then returns nil, which every
+// Budget method accepts.
+type Spec struct {
+	// Wall is the wall-clock limit (0 = unlimited).
+	Wall time.Duration
+	// Nodes is the abstract work-unit limit (0 = unlimited).
+	Nodes int64
+}
+
+// IsZero reports whether the spec imposes no limit at all.
+func (s Spec) IsZero() bool { return s.Wall <= 0 && s.Nodes <= 0 }
+
+// New starts a budget clock for one job, or returns nil for the zero spec.
+func (s Spec) New() *Budget {
+	if s.IsZero() {
+		return nil
+	}
+	return NewBudget(s.Wall, s.Nodes)
+}
+
+// String renders the spec canonically ("" for the zero spec). It is part
+// of the memo/checkpoint key: results computed under different budgets are
+// never conflated.
+func (s Spec) String() string {
+	if s.IsZero() {
+		return ""
+	}
+	return fmt.Sprintf("wall=%s,nodes=%d", s.Wall, s.Nodes)
+}
+
+// Budget is a shared, race-safe computation allowance: a wall-clock
+// deadline plus an abstract node limit. Stages of one job spend nodes into
+// it and poll Expired at their phase boundaries; expiry is sticky (time
+// only advances, the node count only grows), so once one stage observes
+// expiry every later stage does too.
+//
+// A nil *Budget is the unlimited budget: Spend is a no-op and Expired
+// reports false, so callers thread an optional budget without nil checks.
+type Budget struct {
+	deadline time.Time // zero = no wall limit
+	maxNodes int64     // ≤ 0 = no node limit
+	nodes    atomic.Int64
+}
+
+// NewBudget starts a budget with the given wall-clock allowance (0 =
+// unlimited) and node allowance (≤ 0 = unlimited). The wall clock starts
+// immediately.
+func NewBudget(wall time.Duration, nodes int64) *Budget {
+	b := &Budget{maxNodes: nodes}
+	if wall > 0 {
+		b.deadline = time.Now().Add(wall)
+	}
+	return b
+}
+
+// Spend records n abstract work units against the budget. Nil-safe.
+func (b *Budget) Spend(n int64) {
+	if b == nil || n <= 0 {
+		return
+	}
+	b.nodes.Add(n)
+}
+
+// Spent returns the nodes spent so far. Nil-safe.
+func (b *Budget) Spent() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.nodes.Load()
+}
+
+// Expired reports whether either allowance is exhausted. Nil-safe: a nil
+// budget never expires. Callers poll it at phase boundaries (bounds) or
+// batched node intervals (the exact solver), so the time syscall stays off
+// per-node hot paths.
+func (b *Budget) Expired() bool {
+	if b == nil {
+		return false
+	}
+	if b.maxNodes > 0 && b.nodes.Load() >= b.maxNodes {
+		return true
+	}
+	return !b.deadline.IsZero() && time.Now().After(b.deadline)
+}

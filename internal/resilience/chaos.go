@@ -1,0 +1,91 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrInjected marks a transient error injected by a Chaos harness; tests
+// match it with errors.Is.
+var ErrInjected = errors.New("resilience: injected transient error")
+
+// Chaos is a deterministic fault injector for the evaluation pipeline: a
+// seeded per-job decision of whether to delay, panic, or fail the job.
+// The decision depends only on (Seed, job index), so a chaos run is
+// exactly reproducible — the engine tests use that to predict which jobs
+// must fail and prove that the survivors complete, the failures surface in
+// the result stream, and a checkpointed re-run recomputes only the failed
+// jobs.
+//
+// Injection order per job: delay first (so a delayed job still exercises
+// the downstream fault), then panic, then transient error. The same job
+// can therefore be both delayed and failed.
+type Chaos struct {
+	// Seed drives every decision; two Chaos values with equal seeds and
+	// rates inject identical faults.
+	Seed int64
+	// PanicRate is the fraction of jobs that panic (0..1).
+	PanicRate float64
+	// ErrorRate is the fraction of jobs that return a transient error.
+	ErrorRate float64
+	// DelayRate is the fraction of jobs delayed by Delay.
+	DelayRate float64
+	// Delay is the injected latency for delayed jobs.
+	Delay time.Duration
+}
+
+// draw returns a uniform [0,1) value determined by (Seed, i, salt):
+// splitmix64-style finalization over the mixed inputs.
+func (c *Chaos) draw(i int, salt uint64) float64 {
+	h := uint64(c.Seed)*0x9E3779B97F4A7C15 + (uint64(i)+1)*0xBF58476D1CE4E5B9 + salt*0x94D049BB133111EB
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return float64(h>>11) / float64(1<<53)
+}
+
+// Plan reports, without acting, which faults Visit will inject for job i.
+// Tests use it to predict the exact failure set of a chaos run.
+func (c *Chaos) Plan(i int) (delays, panics, fails bool) {
+	delays = c.draw(i, 1) < c.DelayRate
+	panics = c.draw(i, 2) < c.PanicRate
+	fails = !panics && c.draw(i, 3) < c.ErrorRate
+	return
+}
+
+// Visit injects the planned faults for job i: sleeps for Delay, panics, or
+// returns an error wrapping ErrInjected. Jobs with no planned fault return
+// nil untouched. Visit is safe for concurrent use.
+func (c *Chaos) Visit(i int) error {
+	delays, panics, fails := c.Plan(i)
+	if delays {
+		telChaosDelays.Inc()
+		time.Sleep(c.Delay)
+	}
+	if panics {
+		telChaosPanics.Inc()
+		panic(fmt.Sprintf("chaos: injected panic in job %d (seed %d)", i, c.Seed))
+	}
+	if fails {
+		telChaosErrors.Inc()
+		return fmt.Errorf("chaos: job %d: %w", i, ErrInjected)
+	}
+	return nil
+}
+
+// FailureSet returns the indices in [0, n) that Visit will fail (panic or
+// transient error) — the jobs a KeepGoing run must report and a
+// checkpointed re-run must recompute.
+func (c *Chaos) FailureSet(n int) map[int]bool {
+	out := map[int]bool{}
+	for i := 0; i < n; i++ {
+		_, panics, fails := c.Plan(i)
+		if panics || fails {
+			out[i] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package resilience
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// CheckpointVersion is the record-format version written into every line.
+// Loading skips records from other versions (forward compatibility: an old
+// binary resuming a newer checkpoint recomputes rather than misreads).
+const CheckpointVersion = 1
+
+// DefaultFlushEvery is how many new records accumulate before Put flushes
+// the file automatically. A crash loses at most this many results.
+const DefaultFlushEvery = 64
+
+// checkpointLine is the on-disk form of one record: one JSON object per
+// line, `{"v":1,"key":"...","data":{...}}`. The payload schema is the
+// writer's business (the engine pipeline stores its result summaries; see
+// DESIGN.md "Checkpoint format").
+type checkpointLine struct {
+	V    int             `json:"v"`
+	Key  string          `json:"key"`
+	Data json.RawMessage `json:"data"`
+}
+
+// Checkpoint is a key-addressed JSONL result store for crash/SIGINT
+// recovery of long sweeps. All writes go through an atomic temp+rename of
+// the whole file, so the on-disk checkpoint is always a complete,
+// parseable prefix of the run — a reader never observes a half-written
+// line. Loading tolerates corrupt or foreign-version lines by skipping
+// them (counted in the "resilience.checkpoint_lines_skipped" telemetry
+// series), so a checkpoint truncated by a power cut still resumes.
+//
+// Checkpoint is safe for concurrent use by the worker pool.
+type Checkpoint struct {
+	// FlushEvery is how many Puts may accumulate before an automatic
+	// Flush (default DefaultFlushEvery; set before first Put).
+	FlushEvery int
+
+	mu    sync.Mutex
+	path  string
+	recs  map[string]json.RawMessage
+	order []string // insertion order, for deterministic files
+	dirty int      // Puts since the last flush
+}
+
+// OpenCheckpoint opens (creating if absent) the checkpoint at path and
+// loads every valid record already in it.
+func OpenCheckpoint(path string) (*Checkpoint, error) {
+	c := &Checkpoint{
+		FlushEvery: DefaultFlushEvery,
+		path:       path,
+		recs:       map[string]json.RawMessage{},
+	}
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("resilience: checkpoint: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec checkpointLine
+		if err := json.Unmarshal(line, &rec); err != nil || rec.V != CheckpointVersion || rec.Key == "" {
+			telCheckpointSkipped.Inc()
+			continue
+		}
+		if _, seen := c.recs[rec.Key]; !seen {
+			c.order = append(c.order, rec.Key)
+		}
+		c.recs[rec.Key] = rec.Data
+		telCheckpointLoaded.Inc()
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("resilience: checkpoint %s: %w", path, err)
+	}
+	return c, nil
+}
+
+// Len returns the number of records held.
+func (c *Checkpoint) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.recs)
+}
+
+// Lookup unmarshals the record stored under key into v, reporting whether
+// the key was present.
+func (c *Checkpoint) Lookup(key string, v any) bool {
+	c.mu.Lock()
+	data, ok := c.recs[key]
+	c.mu.Unlock()
+	if !ok {
+		return false
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return false
+	}
+	return true
+}
+
+// Put stores v under key (overwriting any previous record) and flushes the
+// file when FlushEvery new records have accumulated.
+func (c *Checkpoint) Put(key string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("resilience: checkpoint: %w", err)
+	}
+	c.mu.Lock()
+	if _, seen := c.recs[key]; !seen {
+		c.order = append(c.order, key)
+	}
+	c.recs[key] = data
+	c.dirty++
+	every := c.FlushEvery
+	if every <= 0 {
+		every = DefaultFlushEvery
+	}
+	needFlush := c.dirty >= every
+	c.mu.Unlock()
+	if needFlush {
+		return c.Flush()
+	}
+	return nil
+}
+
+// Range calls fn for every record in insertion order until fn returns
+// false. The data slice must not be retained or mutated.
+func (c *Checkpoint) Range(fn func(key string, data json.RawMessage) bool) {
+	c.mu.Lock()
+	order := append([]string(nil), c.order...)
+	recs := make(map[string]json.RawMessage, len(c.recs))
+	for k, v := range c.recs {
+		recs[k] = v
+	}
+	c.mu.Unlock()
+	for _, k := range order {
+		if !fn(k, recs[k]) {
+			return
+		}
+	}
+}
+
+// Flush writes every record to the checkpoint file atomically: the full
+// contents go to a temp file in the same directory, fsync'd, then renamed
+// over the target. A crash mid-flush leaves the previous complete file in
+// place.
+func (c *Checkpoint) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dirty == 0 {
+		return nil
+	}
+	dir := filepath.Dir(c.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(c.path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("resilience: checkpoint flush: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	w := bufio.NewWriter(tmp)
+	enc := json.NewEncoder(w)
+	for _, key := range c.order {
+		if err := enc.Encode(checkpointLine{V: CheckpointVersion, Key: key, Data: c.recs[key]}); err != nil {
+			tmp.Close()
+			return fmt.Errorf("resilience: checkpoint flush: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("resilience: checkpoint flush: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("resilience: checkpoint flush: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("resilience: checkpoint flush: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path); err != nil {
+		return fmt.Errorf("resilience: checkpoint flush: %w", err)
+	}
+	c.dirty = 0
+	telCheckpointFlushes.Inc()
+	return nil
+}

@@ -1,0 +1,203 @@
+package resilience
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type testRec struct {
+	Name string  `json:"name"`
+	Cost float64 `json:"cost"`
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	c, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("fresh checkpoint has %d records", c.Len())
+	}
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("job-%02d", i)
+		if err := c.Put(key, testRec{Name: key, Cost: float64(i) + 0.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 10 {
+		t.Fatalf("reloaded %d records, want 10", re.Len())
+	}
+	var rec testRec
+	if !re.Lookup("job-07", &rec) || rec.Cost != 7.5 {
+		t.Fatalf("Lookup(job-07) = %+v", rec)
+	}
+	if re.Lookup("job-99", &rec) {
+		t.Fatal("Lookup of an absent key succeeded")
+	}
+	// Overwrite keeps one record per key.
+	if err := re.Put("job-07", testRec{Name: "job-07", Cost: 70.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	again, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Len() != 10 {
+		t.Fatalf("overwrite grew the store to %d records", again.Len())
+	}
+	if !again.Lookup("job-07", &rec) || rec.Cost != 70.5 {
+		t.Fatalf("overwritten record = %+v", rec)
+	}
+}
+
+func TestCheckpointAtomicFlush(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	c, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("k", testRec{Name: "k"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("temp file %s left behind after flush", e.Name())
+		}
+	}
+	// Idempotent: flushing a clean checkpoint rewrites nothing.
+	before, _ := os.Stat(path)
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.Stat(path)
+	if before.ModTime() != after.ModTime() {
+		t.Error("clean Flush rewrote the file")
+	}
+}
+
+// TestCheckpointTolerantLoad proves a crash-truncated or corrupted file
+// still loads: valid lines are kept, garbage and foreign versions are
+// skipped.
+func TestCheckpointTolerantLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	content := `{"v":1,"key":"good-1","data":{"name":"good-1","cost":1}}
+not json at all
+{"v":99,"key":"future","data":{}}
+{"v":1,"key":"","data":{}}
+{"v":1,"key":"good-2","data":{"name":"good-2","cost":2}}
+{"v":1,"key":"truncated","data":{"name":"trunc`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("loaded %d records from a corrupted file, want 2", c.Len())
+	}
+	var rec testRec
+	if !c.Lookup("good-2", &rec) || rec.Cost != 2 {
+		t.Fatalf("good-2 = %+v", rec)
+	}
+	if c.Lookup("future", &rec) {
+		t.Error("foreign-version record was loaded")
+	}
+}
+
+func TestCheckpointAutoFlush(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	c, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.FlushEvery = 4
+	for i := 0; i < 3; i++ {
+		if err := c.Put(fmt.Sprintf("k%d", i), testRec{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := os.Stat(path); err == nil {
+		t.Fatal("file written before FlushEvery records accumulated")
+	}
+	if err := c.Put("k3", testRec{}); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 4 {
+		t.Fatalf("auto-flush persisted %d records, want 4", re.Len())
+	}
+}
+
+func TestCheckpointConcurrentPut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	c, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.FlushEvery = 8
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("w%d-j%d", w, i)
+				if err := c.Put(key, testRec{Name: key}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 400 {
+		t.Fatalf("reloaded %d records, want 400", re.Len())
+	}
+	seen := 0
+	re.Range(func(key string, data json.RawMessage) bool {
+		if len(data) == 0 {
+			t.Errorf("record %s has no data", key)
+		}
+		seen++
+		return true
+	})
+	if seen != 400 {
+		t.Fatalf("Range visited %d records, want 400", seen)
+	}
+}

@@ -1,0 +1,61 @@
+// Package resilience is the fault-tolerance substrate of the evaluation
+// pipeline. A production-scale sweep pushes thousands of superblocks
+// through the bounds, six heuristics, and an exponential exact solver; one
+// malformed input or pathologically slow instance must not kill or stall
+// the whole run. This package provides the four mechanisms the pipeline
+// composes to guarantee that:
+//
+//   - Protect / PanicError: run a job function with panic capture, turning
+//     a worker panic into an ordinary per-job error that carries the
+//     recovered value and the goroutine stack. internal/engine wraps every
+//     pool job in it, so a panic aborts one job, not the process.
+//   - Budget: a combined wall-clock + abstract-node budget that bound and
+//     solver computations poll. Expiry is sticky and race-safe, so a
+//     budget can be shared by every stage of one job. internal/bounds
+//     degrades its ladder (Triplewise → Pairwise → basic bounds) when the
+//     budget expires; internal/exact returns its best incumbent flagged
+//     Truncated instead of failing.
+//   - Checkpoint: a digest-keyed JSONL store with atomic temp+rename
+//     writes. The engine pipeline records every completed job and skips
+//     already-completed jobs on restart, making SIGINT/crash recovery free
+//     for long sweeps.
+//   - Chaos: a deterministic seeded fault injector (panics, delays,
+//     transient errors) used by the engine tests to prove all of the above
+//     under the race detector.
+//
+// Layering: resilience imports only the standard library and
+// internal/telemetry, so every layer of the pipeline (bounds, exact,
+// engine, eval, the cmd tools) can depend on it.
+package resilience
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError is a panic recovered from a protected job: the recovered
+// value plus the stack of the panicking goroutine, captured at recovery.
+type PanicError struct {
+	// Value is the value passed to panic().
+	Value any
+	// Stack is the formatted stack trace of the panicking goroutine.
+	Stack []byte
+}
+
+// Error summarizes the panic on one line; the full stack is in Stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v", e.Value)
+}
+
+// Protect runs fn, converting a panic into a *PanicError return. The
+// captured stack makes the failure debuggable even when the run carries
+// on past it (the engine's KeepGoing policy).
+func Protect(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			telPanicsRecovered.Inc()
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}

@@ -1,0 +1,158 @@
+package resilience
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProtectPassesThrough(t *testing.T) {
+	if err := Protect(func() error { return nil }); err != nil {
+		t.Fatalf("Protect(nil fn) = %v", err)
+	}
+	want := errors.New("plain failure")
+	if err := Protect(func() error { return want }); err != want {
+		t.Fatalf("Protect passed error %v, want %v", err, want)
+	}
+}
+
+func TestProtectCapturesPanic(t *testing.T) {
+	err := Protect(func() error { panic("boom at depth") })
+	if err == nil {
+		t.Fatal("Protect swallowed the panic")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Protect returned %T, want *PanicError", err)
+	}
+	if pe.Value != "boom at depth" {
+		t.Errorf("PanicError.Value = %v, want the panic value", pe.Value)
+	}
+	if !strings.Contains(err.Error(), "boom at depth") {
+		t.Errorf("Error() = %q, does not mention the panic value", err.Error())
+	}
+	// The stack must point at this test, not at the recovery plumbing only.
+	if !strings.Contains(string(pe.Stack), "TestProtectCapturesPanic") {
+		t.Errorf("captured stack does not include the panicking frame:\n%s", pe.Stack)
+	}
+}
+
+func TestBudgetNilIsUnlimited(t *testing.T) {
+	var b *Budget
+	b.Spend(1 << 40)
+	if b.Expired() {
+		t.Error("nil budget expired")
+	}
+	if b.Spent() != 0 {
+		t.Error("nil budget accumulated spend")
+	}
+}
+
+func TestBudgetNodes(t *testing.T) {
+	b := NewBudget(0, 100)
+	b.Spend(99)
+	if b.Expired() {
+		t.Fatal("budget expired below its node limit")
+	}
+	b.Spend(1)
+	if !b.Expired() {
+		t.Fatal("budget not expired at its node limit")
+	}
+	// Sticky: further polls still report expiry.
+	if !b.Expired() {
+		t.Fatal("expiry did not stick")
+	}
+	if b.Spent() != 100 {
+		t.Errorf("Spent() = %d, want 100", b.Spent())
+	}
+}
+
+func TestBudgetWallClock(t *testing.T) {
+	b := NewBudget(time.Millisecond, 0)
+	deadline := time.Now().Add(time.Second)
+	for !b.Expired() {
+		if time.Now().After(deadline) {
+			t.Fatal("wall budget never expired")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+func TestSpec(t *testing.T) {
+	if !(Spec{}).IsZero() || (Spec{}).New() != nil || (Spec{}).String() != "" {
+		t.Error("zero Spec is not the unlimited budget")
+	}
+	s := Spec{Wall: 5 * time.Millisecond, Nodes: 42}
+	if s.IsZero() {
+		t.Error("nonzero Spec reported zero")
+	}
+	if b := s.New(); b == nil {
+		t.Error("nonzero Spec produced a nil budget")
+	}
+	if got := s.String(); got != "wall=5ms,nodes=42" {
+		t.Errorf("Spec.String() = %q", got)
+	}
+}
+
+func TestChaosDeterminism(t *testing.T) {
+	a := &Chaos{Seed: 7, PanicRate: 0.05, ErrorRate: 0.05, DelayRate: 0.1}
+	b := &Chaos{Seed: 7, PanicRate: 0.05, ErrorRate: 0.05, DelayRate: 0.1}
+	for i := 0; i < 1000; i++ {
+		ad, ap, af := a.Plan(i)
+		bd, bp, bf := b.Plan(i)
+		if ad != bd || ap != bp || af != bf {
+			t.Fatalf("plan for job %d differs across equal seeds", i)
+		}
+	}
+	other := &Chaos{Seed: 8, PanicRate: 0.05, ErrorRate: 0.05, DelayRate: 0.1}
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if _, ap, af := a.Plan(i); func() bool { _, op, of := other.Plan(i); return ap == op && af == of }() {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Error("chaos plans are seed-insensitive")
+	}
+}
+
+func TestChaosRates(t *testing.T) {
+	c := &Chaos{Seed: 1999, PanicRate: 0.05, ErrorRate: 0.05}
+	const n = 10_000
+	failures := c.FailureSet(n)
+	// ~10% of jobs should fail; allow generous tolerance for a hash draw.
+	if got := float64(len(failures)) / n; got < 0.06 || got > 0.14 {
+		t.Errorf("failure fraction = %.3f, want ≈ 0.10", got)
+	}
+}
+
+func TestChaosVisit(t *testing.T) {
+	c := &Chaos{Seed: 3, PanicRate: 0.2, ErrorRate: 0.2, DelayRate: 0.2, Delay: time.Microsecond}
+	sawPanic, sawErr, sawClean := false, false, false
+	for i := 0; i < 200 && !(sawPanic && sawErr && sawClean); i++ {
+		err := Protect(func() error { return c.Visit(i) })
+		_, panics, fails := c.Plan(i)
+		switch {
+		case panics:
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("job %d: planned panic surfaced as %v", i, err)
+			}
+			sawPanic = true
+		case fails:
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("job %d: planned error surfaced as %v", i, err)
+			}
+			sawErr = true
+		default:
+			if err != nil {
+				t.Fatalf("job %d: unplanned fault %v", i, err)
+			}
+			sawClean = true
+		}
+	}
+	if !sawPanic || !sawErr || !sawClean {
+		t.Fatalf("chaos mix not exercised: panic=%v err=%v clean=%v", sawPanic, sawErr, sawClean)
+	}
+}

@@ -1,0 +1,15 @@
+package resilience
+
+import "balance/internal/telemetry"
+
+// Fault-tolerance instruments, registered once in the default registry.
+// See DESIGN.md ("Robustness") for what each series means.
+var (
+	telPanicsRecovered   = telemetry.Default().Counter("resilience.panics_recovered")
+	telCheckpointLoaded  = telemetry.Default().Counter("resilience.checkpoint_records_loaded")
+	telCheckpointSkipped = telemetry.Default().Counter("resilience.checkpoint_lines_skipped")
+	telCheckpointFlushes = telemetry.Default().Counter("resilience.checkpoint_flushes")
+	telChaosPanics       = telemetry.Default().Counter("resilience.chaos_panics")
+	telChaosErrors       = telemetry.Default().Counter("resilience.chaos_errors")
+	telChaosDelays       = telemetry.Default().Counter("resilience.chaos_delays")
+)
