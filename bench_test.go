@@ -24,6 +24,7 @@ func benchCfg(machines ...*model.Machine) eval.Config {
 }
 
 func BenchmarkTable1BoundQuality(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := eval.NewRunner(benchCfg())
 		if _, err := r.Table1(); err != nil {
@@ -33,6 +34,7 @@ func BenchmarkTable1BoundQuality(b *testing.B) {
 }
 
 func BenchmarkTable2BoundComplexity(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := eval.NewRunner(benchCfg())
 		if _, err := r.Table2(); err != nil {
@@ -42,6 +44,7 @@ func BenchmarkTable2BoundComplexity(b *testing.B) {
 }
 
 func BenchmarkTable3Slowdown(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := eval.NewRunner(benchCfg())
 		if _, err := r.Table3(); err != nil {
@@ -51,6 +54,7 @@ func BenchmarkTable3Slowdown(b *testing.B) {
 }
 
 func BenchmarkTable4OptimalPct(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := eval.NewRunner(benchCfg())
 		if _, err := r.Table4(); err != nil {
@@ -60,6 +64,7 @@ func BenchmarkTable4OptimalPct(b *testing.B) {
 }
 
 func BenchmarkTable5NoProfile(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := eval.NewRunner(benchCfg())
 		if _, err := r.Table5(); err != nil {
@@ -69,6 +74,7 @@ func BenchmarkTable5NoProfile(b *testing.B) {
 }
 
 func BenchmarkTable6HeuristicComplexity(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := eval.NewRunner(benchCfg())
 		if _, err := r.Table6(); err != nil {
@@ -78,6 +84,7 @@ func BenchmarkTable6HeuristicComplexity(b *testing.B) {
 }
 
 func BenchmarkTable7Ablation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := eval.NewRunner(benchCfg())
 		if _, err := r.Table7(); err != nil {
@@ -87,6 +94,7 @@ func BenchmarkTable7Ablation(b *testing.B) {
 }
 
 func BenchmarkFigure8CDF(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := eval.NewRunner(benchCfg(model.FS4()))
 		if _, err := r.Figure8(); err != nil {
@@ -96,6 +104,7 @@ func BenchmarkFigure8CDF(b *testing.B) {
 }
 
 func BenchmarkFigureExamples(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, n := range []int{1, 2, 3, 4, 6} {
 			if _, err := eval.WorkedFigure(n, 0.25); err != nil {
@@ -128,6 +137,7 @@ func midSB() *balance.Superblock {
 }
 
 func BenchmarkBoundsPairwise(b *testing.B) {
+	b.ReportAllocs()
 	sb := midSB()
 	m := balance.FS4()
 	b.ResetTimer()
@@ -137,6 +147,7 @@ func BenchmarkBoundsPairwise(b *testing.B) {
 }
 
 func BenchmarkBoundsTriplewise(b *testing.B) {
+	b.ReportAllocs()
 	sb := midSB()
 	m := balance.FS4()
 	b.ResetTimer()
@@ -146,6 +157,7 @@ func BenchmarkBoundsTriplewise(b *testing.B) {
 }
 
 func BenchmarkBalanceSchedule(b *testing.B) {
+	b.ReportAllocs()
 	sb := midSB()
 	m := balance.FS4()
 	h := balance.Balance()
@@ -158,6 +170,7 @@ func BenchmarkBalanceSchedule(b *testing.B) {
 }
 
 func BenchmarkHelpSchedule(b *testing.B) {
+	b.ReportAllocs()
 	sb := midSB()
 	m := balance.FS4()
 	h := balance.Help()
@@ -170,6 +183,7 @@ func BenchmarkHelpSchedule(b *testing.B) {
 }
 
 func BenchmarkDHASYSchedule(b *testing.B) {
+	b.ReportAllocs()
 	sb := midSB()
 	m := balance.FS4()
 	h := balance.DHASY()
@@ -182,6 +196,7 @@ func BenchmarkDHASYSchedule(b *testing.B) {
 }
 
 func BenchmarkExactFigure4(b *testing.B) {
+	b.ReportAllocs()
 	sb := figures.Figure4(0.25)
 	m := balance.GP2()
 	b.ResetTimer()
@@ -212,28 +227,33 @@ func benchBalanceCfg(b *testing.B, cfg balance.BalanceConfig) {
 }
 
 func BenchmarkAblationBalanceFull(b *testing.B) {
+	b.ReportAllocs()
 	benchBalanceCfg(b, balance.DefaultBalanceConfig())
 }
 
 func BenchmarkAblationBalanceLightUpdate(b *testing.B) {
+	b.ReportAllocs()
 	cfg := balance.DefaultBalanceConfig()
 	cfg.Update = balance.UpdateLight
 	benchBalanceCfg(b, cfg)
 }
 
 func BenchmarkAblationBalancePerCycle(b *testing.B) {
+	b.ReportAllocs()
 	cfg := balance.DefaultBalanceConfig()
 	cfg.Update = balance.UpdatePerCycle
 	benchBalanceCfg(b, cfg)
 }
 
 func BenchmarkAblationBalanceNoTradeoff(b *testing.B) {
+	b.ReportAllocs()
 	cfg := balance.DefaultBalanceConfig()
 	cfg.Tradeoff = false
 	benchBalanceCfg(b, cfg)
 }
 
 func BenchmarkAblationBalanceNoBounds(b *testing.B) {
+	b.ReportAllocs()
 	cfg := balance.DefaultBalanceConfig()
 	cfg.UseBounds = false
 	cfg.Tradeoff = false
@@ -243,14 +263,17 @@ func BenchmarkAblationBalanceNoBounds(b *testing.B) {
 // BenchmarkAblationTheorem1 contrasts the Langevin & Cerny recursion with
 // and without the Theorem-1 shortcut.
 func BenchmarkAblationTheorem1(b *testing.B) {
+	b.ReportAllocs()
 	sb := midSB()
 	m := balance.FS4()
 	b.Run("with", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			balance.ComputeBounds(sb, m, balance.BoundOptions{})
 		}
 	})
 	b.Run("without", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			balance.ComputeBounds(sb, m, balance.BoundOptions{WithLCOriginal: true})
 		}
@@ -260,14 +283,17 @@ func BenchmarkAblationTheorem1(b *testing.B) {
 // BenchmarkAblationTriplewise contrasts the curve-combination triplewise
 // bound with the direct two-edge relaxation.
 func BenchmarkAblationTriplewise(b *testing.B) {
+	b.ReportAllocs()
 	sb := midSB()
 	m := balance.FS4()
 	b.Run("combination", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			balance.ComputeBounds(sb, m, balance.BoundOptions{Triplewise: true})
 		}
 	})
 	b.Run("exact", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			balance.ComputeBounds(sb, m, balance.BoundOptions{Triplewise: true, TriplewiseExact: true})
 		}
@@ -277,6 +303,7 @@ func BenchmarkAblationTriplewise(b *testing.B) {
 // BenchmarkCFGFormation times the profiled-CFG superblock formation
 // pipeline.
 func BenchmarkCFGFormation(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(5))
 	graphs := make([]*balance.CFG, 20)
 	for i := range graphs {
@@ -294,6 +321,7 @@ func BenchmarkCFGFormation(b *testing.B) {
 
 // BenchmarkCompact times the schedule-compaction post-pass.
 func BenchmarkCompact(b *testing.B) {
+	b.ReportAllocs()
 	sb := midSB()
 	m := balance.FS4()
 	s, _, err := balance.SR().Run(sb, m)
@@ -311,6 +339,7 @@ func BenchmarkCompact(b *testing.B) {
 // across the bounded worker pool, without memoization. It is the reference
 // benchmark for the engine's per-job overhead (telemetry included).
 func BenchmarkEngineRun(b *testing.B) {
+	b.ReportAllocs()
 	suite := balance.GenerateSuite(1999, 0.02)
 	var jobs []balance.EngineJob
 	for _, name := range suite.Order {

@@ -1,0 +1,141 @@
+// Command benchgate compares a `go test -json` benchmark log against a
+// committed baseline log and fails when performance regresses.
+//
+// Both inputs are the JSON event streams `go test -json -bench ...` emits
+// (the format of BENCH_baseline.json). Benchmark result lines may be split
+// across output events, so each file's output is reassembled before
+// parsing. When a file holds several samples of one benchmark (-count=N),
+// the median ns/op is used. The gate computes the geometric mean of the
+// current/baseline ns/op ratios over the benchmarks common to both files
+// and exits non-zero when it exceeds the threshold.
+//
+// The gate is a regression tripwire, not a precision benchstat replacement:
+// run the current side with -count=6 or more so the median damps scheduler
+// noise, and keep the threshold loose (the default fails only on a >10%
+// geomean slowdown).
+//
+//	benchgate -baseline BENCH_baseline.json -current bench.json [-threshold 1.10] [-filter regex]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// event is the subset of the go test -json event schema benchgate reads.
+type event struct {
+	Output string `json:"Output"`
+}
+
+// benchLine matches one benchmark result line. The -N suffix on the name is
+// GOMAXPROCS decoration and is stripped so runs from different machines
+// compare.
+var benchLine = regexp.MustCompile(`(?m)^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseLog extracts per-benchmark ns/op samples from a go test -json stream.
+func parseLog(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var text strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		text.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string][]float64{}
+	for _, m := range benchLine.FindAllStringSubmatch(text.String(), -1) {
+		var ns float64
+		if _, err := fmt.Sscanf(m[2], "%g", &ns); err != nil {
+			return nil, fmt.Errorf("%s: bad ns/op %q: %w", path, m[2], err)
+		}
+		out[m[1]] = append(out[m[1]], ns)
+	}
+	return out, nil
+}
+
+// median returns the median of a non-empty sample set.
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func run() error {
+	baseline := flag.String("baseline", "BENCH_baseline.json", "baseline go test -json benchmark log")
+	current := flag.String("current", "", "current go test -json benchmark log")
+	threshold := flag.Float64("threshold", 1.10, "maximum allowed geomean current/baseline ns/op ratio")
+	filter := flag.String("filter", "", "optional regexp restricting which benchmarks are gated")
+	flag.Parse()
+	if *current == "" {
+		return fmt.Errorf("missing -current")
+	}
+	var keep *regexp.Regexp
+	if *filter != "" {
+		var err error
+		if keep, err = regexp.Compile(*filter); err != nil {
+			return fmt.Errorf("bad -filter: %w", err)
+		}
+	}
+
+	base, err := parseLog(*baseline)
+	if err != nil {
+		return err
+	}
+	cur, err := parseLog(*current)
+	if err != nil {
+		return err
+	}
+
+	var names []string
+	for name := range base {
+		if _, ok := cur[name]; ok && (keep == nil || keep.MatchString(name)) {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("no common benchmarks between %s and %s", *baseline, *current)
+	}
+	sort.Strings(names)
+
+	logSum := 0.0
+	for _, name := range names {
+		b, c := median(base[name]), median(cur[name])
+		ratio := c / b
+		logSum += math.Log(ratio)
+		fmt.Printf("%-52s %12.0f -> %12.0f ns/op  %5.2fx\n", name, b, c, ratio)
+	}
+	geomean := math.Exp(logSum / float64(len(names)))
+	fmt.Printf("geomean current/baseline over %d benchmarks: %.3f (threshold %.3f)\n", len(names), geomean, *threshold)
+	if geomean > *threshold {
+		return fmt.Errorf("geomean ns/op regression %.3f exceeds threshold %.3f", geomean, *threshold)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeLog emits a synthetic go test -json stream. The second benchmark's
+// result line is split across output events, mimicking what the test runner
+// actually produces.
+func writeLog(t *testing.T, name string, fooNs, barNs []string) string {
+	t.Helper()
+	var body string
+	for _, ns := range fooNs {
+		body += `{"Action":"output","Output":"BenchmarkFoo-8   \t       1\t` + ns + ` ns/op\n"}` + "\n"
+	}
+	for _, ns := range barNs {
+		body += `{"Action":"output","Output":"BenchmarkBar/sub-8   \t"}` + "\n"
+		body += `{"Action":"output","Output":"       1\t` + ns + ` ns/op\t  12 B/op\n"}` + "\n"
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseLog(t *testing.T) {
+	path := writeLog(t, "log.json", []string{"100", "300", "200"}, []string{"50"})
+	got, err := parseLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+	if m := median(got["BenchmarkFoo"]); m != 200 {
+		t.Fatalf("BenchmarkFoo median = %v, want 200 (samples %v)", m, got["BenchmarkFoo"])
+	}
+	if m := median(got["BenchmarkBar/sub"]); m != 50 {
+		t.Fatalf("BenchmarkBar/sub median = %v, want 50 (samples %v)", m, got["BenchmarkBar/sub"])
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	if m := median([]float64{400, 100, 200, 300}); m != 250 {
+		t.Fatalf("median = %v, want 250", m)
+	}
+}

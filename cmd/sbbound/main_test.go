@@ -1,0 +1,100 @@
+package main
+
+// Smoke tests for the sbbound CLI. The test binary re-execs itself as the
+// tool (TestMain dispatches on an env var), so the real flag parsing,
+// stdin/file input, and -metrics exit path run end to end without a
+// separate build step.
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const reexecEnv = "SBBOUND_RUN_MAIN"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(reexecEnv) == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runTool re-execs the test binary as sbbound and returns its stdout.
+func runTool(t *testing.T, stdin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), reexecEnv+"=1")
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	var out, errb strings.Builder
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("sbbound %v: %v\nstderr:\n%s", args, err, errb.String())
+	}
+	return out.String()
+}
+
+func TestList(t *testing.T) {
+	out := runTool(t, "", "-list")
+	for _, want := range []string{"critical-path", "rim-jain", "pairwise", "triplewise"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBoundsOnFixture(t *testing.T) {
+	out := runTool(t, "", "-v", filepath.Join("testdata", "small.sb"))
+	for _, want := range []string{"129.compress/sb0000", "per-branch", "tightest=", "pair ("} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBoundsFromStdin(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "small.sb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := runTool(t, string(data))
+	if !strings.Contains(out, "tightest=") {
+		t.Errorf("stdin run missing bounds:\n%s", out)
+	}
+}
+
+func TestMetricsSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	runTool(t, "", "-metrics", path, filepath.Join("testdata", "small.sb"))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("-metrics wrote invalid JSON: %v\n%s", err, data)
+	}
+	if snap.Counters["bounds.Compute.calls"] < 1 {
+		t.Errorf("bounds.Compute.calls = %d, want >= 1", snap.Counters["bounds.Compute.calls"])
+	}
+	for _, key := range []string{"bounds.pairs_pruned", "bounds.kernel_reuse"} {
+		if _, ok := snap.Counters[key]; !ok {
+			t.Errorf("-metrics snapshot missing counter %q", key)
+		}
+	}
+}
+
+func TestMetricsStdout(t *testing.T) {
+	out := runTool(t, "", "-metrics", "-", filepath.Join("testdata", "small.sb"))
+	if !strings.Contains(out, `"counters"`) {
+		t.Errorf("-metrics - did not write a snapshot to stdout:\n%s", out)
+	}
+}

@@ -1,0 +1,84 @@
+package main
+
+// Smoke tests for the sbsched CLI. The test binary re-execs itself as the
+// tool (TestMain dispatches on an env var), so the real flag parsing,
+// heuristic registry lookup, schedule verification, and -metrics exit path
+// run end to end without a separate build step.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const reexecEnv = "SBSCHED_RUN_MAIN"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(reexecEnv) == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runTool re-execs the test binary as sbsched and returns its stdout.
+func runTool(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), reexecEnv+"=1")
+	var out, errb strings.Builder
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("sbsched %v: %v\nstderr:\n%s", args, err, errb.String())
+	}
+	return out.String()
+}
+
+func TestList(t *testing.T) {
+	out := runTool(t, "-list")
+	for _, want := range []string{"Balance", "DHASY", "speculative-hedge", "Best"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestScheduleOnFixture runs the default heuristic; the tool verifies the
+// schedule against the machine model itself, so a clean exit means a legal
+// schedule was produced.
+func TestScheduleOnFixture(t *testing.T) {
+	out := runTool(t, "-schedule", filepath.Join("testdata", "small.sb"))
+	for _, want := range []string{"129.compress/sb0000", "Balance cost", "decisions", "cycle   0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	out := runTool(t, "-compare", filepath.Join("testdata", "small.sb"))
+	if !strings.Contains(out, "tightest lower bound:") {
+		t.Errorf("-compare output missing the bound line:\n%s", out)
+	}
+	for _, h := range []string{"SR", "CP", "G*", "DHASY", "Help", "Balance", "Best"} {
+		if !strings.Contains(out, h+" ") {
+			t.Errorf("-compare output missing heuristic %q:\n%s", h, out)
+		}
+	}
+}
+
+func TestHeuristicByAlias(t *testing.T) {
+	out := runTool(t, "-heuristic", "dhasy", filepath.Join("testdata", "small.sb"))
+	if !strings.Contains(out, "DHASY cost") {
+		t.Errorf("alias lookup output:\n%s", out)
+	}
+}
+
+func TestMetricsStdout(t *testing.T) {
+	out := runTool(t, "-metrics", "-", filepath.Join("testdata", "small.sb"))
+	if !strings.Contains(out, `"counters"`) || !strings.Contains(out, "sched.") {
+		t.Errorf("-metrics - did not write a scheduler snapshot to stdout:\n%s", out)
+	}
+}

@@ -1,0 +1,137 @@
+package bounds
+
+import (
+	"slices"
+	"sync"
+)
+
+// rjScratch is the reusable working set of a Rim & Jain relaxation: the
+// sorted placement order, packed sort keys, and per-kind cycle-occupancy
+// rows. It makes repeated relaxations (the pairwise sweep solves one per
+// separation value) allocation-free in steady state.
+//
+// Occupancy rows are epoch-stamped instead of zeroed: begin() bumps a
+// generation counter, and a cell whose stamp lags the generation reads as
+// zero. A full clear only happens on the (practically unreachable) uint32
+// wrap. A scratch is owned by exactly one goroutine between get and put;
+// the parallel pair fan-out gives every worker its own.
+type rjScratch struct {
+	order []int
+	keys  []uint64
+	used  [][]int32
+	stamp [][]uint32
+	gen   uint32
+}
+
+var rjPool = sync.Pool{New: func() any { return new(rjScratch) }}
+
+func getRJScratch() *rjScratch   { return rjPool.Get().(*rjScratch) }
+func putRJScratch(sc *rjScratch) { rjPool.Put(sc) }
+
+// begin readies the scratch for one relaxation over the given number of
+// resource kinds: all occupancy cells read as zero afterwards.
+func (sc *rjScratch) begin(kinds int) {
+	for len(sc.used) < kinds {
+		sc.used = append(sc.used, nil)
+		sc.stamp = append(sc.stamp, nil)
+	}
+	sc.gen++
+	if sc.gen == 0 {
+		for _, st := range sc.stamp {
+			clear(st)
+		}
+		sc.gen = 1
+	}
+}
+
+// at reads the occupancy of kind k at cycle c (zero when untouched this
+// generation).
+func (sc *rjScratch) at(k, c int) int {
+	u := sc.used[k]
+	if c >= len(u) || sc.stamp[k][c] != sc.gen {
+		return 0
+	}
+	return int(u[c])
+}
+
+// inc bumps the occupancy of kind k at cycle c, growing the row as needed.
+func (sc *rjScratch) inc(k, c int) {
+	u, st := sc.used[k], sc.stamp[k]
+	for c >= len(u) {
+		u = append(u, 0)
+		st = append(st, 0)
+	}
+	sc.used[k], sc.stamp[k] = u, st
+	if st[c] != sc.gen {
+		st[c] = sc.gen
+		u[c] = 0
+	}
+	u[c]++
+}
+
+// Field widths of the packed sort key: (late, early, id) ascending. The
+// ranges are checked per call; anything wider falls back to a comparator
+// sort with the identical ordering.
+const (
+	rjIDBits    = 20
+	rjEarlyBits = 20
+	rjLateBits  = 64 - rjIDBits - rjEarlyBits
+)
+
+// sortedOrder copies include into the scratch order buffer and sorts it by
+// (late, early, id) ascending — the placement order rimJain requires. The
+// fast path packs the three fields into one uint64 per op and sorts the
+// keys; the orderings are identical because each field is range-shifted to
+// be non-negative and fits its bit width.
+func (sc *rjScratch) sortedOrder(include []int, early, late []int) []int {
+	sc.order = append(sc.order[:0], include...)
+	order := sc.order
+	if len(order) < 2 {
+		return order
+	}
+	minLate, maxLate := late[order[0]], late[order[0]]
+	minEarly, maxEarly := early[order[0]], early[order[0]]
+	maxID := order[0]
+	for _, v := range order[1:] {
+		if late[v] < minLate {
+			minLate = late[v]
+		}
+		if late[v] > maxLate {
+			maxLate = late[v]
+		}
+		if early[v] < minEarly {
+			minEarly = early[v]
+		}
+		if early[v] > maxEarly {
+			maxEarly = early[v]
+		}
+		if v > maxID {
+			maxID = v
+		}
+	}
+	if maxLate-minLate < 1<<rjLateBits && maxEarly-minEarly < 1<<rjEarlyBits && maxID < 1<<rjIDBits {
+		keys := sc.keys[:0]
+		for _, v := range order {
+			keys = append(keys,
+				uint64(late[v]-minLate)<<(rjEarlyBits+rjIDBits)|
+					uint64(early[v]-minEarly)<<rjIDBits|
+					uint64(v))
+		}
+		sc.keys = keys
+		slices.Sort(keys)
+		for i, k := range keys {
+			order[i] = int(k & (1<<rjIDBits - 1))
+		}
+		return order
+	}
+	slices.SortFunc(order, func(a, b int) int {
+		if late[a] != late[b] {
+			return late[a] - late[b]
+		}
+		if early[a] != early[b] {
+			return early[a] - early[b]
+		}
+		return a - b
+	})
+	return order
+}

@@ -82,20 +82,23 @@ func RJ(sb *model.Superblock, m *model.Machine, st *Stats) PerBranch {
 	g := sb.G
 	d := forwardDag(g, m)
 	early := g.EarlyDC()
+	sc := getRJScratch()
+	defer putRJScratch(sc)
 	out := make(PerBranch, len(sb.Branches))
+	late := make([]int, g.NumOps())
+	var include []int
 	for bi, b := range sb.Branches {
 		dist := g.LongestToTarget(b)
 		st.Trips += int64(g.NumOps())
 		eb := early[b]
-		late := make([]int, g.NumOps())
-		include := make([]int, 0, g.PredClosure(b).Count()+1)
+		include = include[:0]
 		g.PredClosure(b).ForEach(func(v int) {
 			late[v] = eb - dist[v]
 			include = append(include, v)
 		})
 		late[b] = eb
 		include = append(include, b)
-		out[bi] = eb + d.rimJain(include, early, late, st)
+		out[bi] = eb + d.rimJain(sc, include, early, late, st)
 	}
 	return out
 }

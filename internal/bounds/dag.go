@@ -11,8 +11,6 @@
 package bounds
 
 import (
-	"sort"
-
 	"balance/internal/model"
 )
 
@@ -175,46 +173,27 @@ func (d *dag) distToTarget(target int, st *Stats) []int {
 // early[v], processing ops in order of increasing late time. A delay of d
 // means the relaxation's target must slip d cycles beyond the early value
 // its late times were derived from.
-func (d *dag) rimJain(include []int, early, late []int, st *Stats) int {
+//
+// All working state lives in sc, so repeated relaxations allocate nothing
+// in steady state (the pairwise sweep solves one per separation value).
+func (d *dag) rimJain(sc *rjScratch, include []int, early, late []int, st *Stats) int {
 	st.RJRuns++
-	order := make([]int, len(include))
-	copy(order, include)
-	sort.Slice(order, func(a, b int) bool {
-		va, vb := order[a], order[b]
-		if late[va] != late[vb] {
-			return late[va] < late[vb]
-		}
-		if early[va] != early[vb] {
-			return early[va] < early[vb]
-		}
-		return va < vb
-	})
-
-	// used[k][c] counts kind-k units consumed at cycle c.
-	used := make([][]int, d.m.Kinds())
+	order := sc.sortedOrder(include, early, late)
+	sc.begin(d.m.Kinds())
 	delay := 0
 	for _, v := range order {
 		st.Trips++
 		k := d.kind[v]
-		if used[k] == nil {
-			used[k] = make([]int, 0, 64)
-		}
 		c := early[v]
 		if c < 0 {
 			c = 0
 		}
 		cap := d.m.Capacity(k)
-		for {
-			for c >= len(used[k]) {
-				used[k] = append(used[k], 0)
-			}
-			if used[k][c] < cap {
-				break
-			}
+		for sc.at(k, c) >= cap {
 			c++
 			st.Trips++
 		}
-		used[k][c]++
+		sc.inc(k, c)
 		if sl := c - late[v]; sl > delay {
 			delay = sl
 		}

@@ -1,0 +1,313 @@
+package bounds
+
+import (
+	"context"
+	"sync"
+
+	"balance/internal/model"
+)
+
+// Kernel is the per-(graph, machine) bound kernel: every weight-independent
+// artifact of the bound computation — the occupancy expansion, the forward
+// dag view, the basic per-branch bounds, the LC early vector, the per-branch
+// separation vectors, and the pairwise relaxation curves — computed once and
+// shared by every Compute call, scheduler picker, and re-weighted view
+// (UniformWeights/WithProbs clones share the graph pointer, so Table 5's
+// no-profile runs hit the same kernel as the profiled ones).
+//
+// Exit probabilities never change the curves, only which point of each
+// curve is optimal, so per-call work reduces to re-binding cached templates
+// (see pairTemplate.bind). Each artifact records the bounds.Stats it cost
+// to build; accessor calls replay that recording into the caller's Stats,
+// keeping Table-2 trip counts and budget accounting identical on every
+// call, cached or not.
+//
+// Lifetime: kernels live in a bounded FIFO cache keyed by (graph, machine)
+// pointer identity (see KernelFor). All cached slices are shared across
+// callers and must be treated as immutable.
+type Kernel struct {
+	sb *model.Superblock // representative; weight-independent uses only
+	m  *model.Machine
+
+	expandOnce sync.Once
+	work       *model.Superblock // occupancy expansion (== sb when fully pipelined)
+	origOf     []int             // expanded op -> original op (nil when not expanded)
+	primary    []int             // original op -> first expanded op (nil when not expanded)
+	d          *dag              // forward dag of work
+
+	cpOnce  sync.Once
+	cp      PerBranch
+	cpStats Stats
+
+	huOnce  sync.Once
+	hu      PerBranch
+	huStats Stats
+
+	rjOnce  sync.Once
+	rj      PerBranch
+	rjStats Stats
+
+	lcOnce  sync.Once
+	earlyRC []int // on expanded op IDs
+	lc      PerBranch
+	lcStats Stats
+
+	lcOrigOnce  sync.Once
+	lcOrigStats Stats
+
+	sepsOnce  sync.Once
+	seps      []Separation // on expanded op IDs, per branch index
+	sepsStats Stats
+
+	// The pair build is guarded by a mutex plus done flag rather than a
+	// sync.Once: a build cancelled by ctx must not latch a partial result,
+	// and the next caller retries.
+	pairMu      sync.Mutex
+	pairsDone   bool
+	pairTmpls   []pairTemplate
+	pairStats   Stats
+	pairsPruned int64
+
+	projEarlyOnce sync.Once
+	projEarly     []int // earlyRC projected onto original op IDs
+
+	projSepsOnce sync.Once
+	projSeps     []Separation // seps projected onto original op IDs
+}
+
+// kernelKey identifies the weight-independent bound inputs by pointer:
+// the dependence graph and the machine.
+type kernelKey struct {
+	g *model.Graph
+	m *model.Machine
+}
+
+// kernelCacheCap bounds the kernel cache; eviction is FIFO (the corpus is
+// streamed in order, so old graphs are the least likely to return).
+const kernelCacheCap = 1024
+
+var kernelCache = struct {
+	sync.Mutex
+	entries map[kernelKey]*Kernel
+	order   []kernelKey
+}{entries: map[kernelKey]*Kernel{}}
+
+// KernelFor returns the shared bound kernel for the superblock's graph on
+// the machine, creating and caching it on first use. Every re-weighted
+// clone of a superblock (same G pointer) maps to the same kernel; cache
+// hits count into the bounds.kernel_reuse telemetry series.
+func KernelFor(sb *model.Superblock, m *model.Machine) *Kernel {
+	key := kernelKey{sb.G, m}
+	kernelCache.Lock()
+	if k, ok := kernelCache.entries[key]; ok {
+		kernelCache.Unlock()
+		telKernelReuse.Inc()
+		return k
+	}
+	k := &Kernel{sb: sb, m: m}
+	if len(kernelCache.order) >= kernelCacheCap {
+		old := kernelCache.order[0]
+		n := copy(kernelCache.order, kernelCache.order[1:])
+		kernelCache.order = kernelCache.order[:n]
+		delete(kernelCache.entries, old)
+	}
+	kernelCache.entries[key] = k
+	kernelCache.order = append(kernelCache.order, key)
+	kernelCache.Unlock()
+	return k
+}
+
+// KernelCacheReset drops every cached kernel (tests and benchmarks that
+// must measure cold builds).
+func KernelCacheReset() {
+	kernelCache.Lock()
+	kernelCache.entries = map[kernelKey]*Kernel{}
+	kernelCache.order = nil
+	kernelCache.Unlock()
+}
+
+// ensureExpand builds the occupancy expansion and the shared dag view.
+func (k *Kernel) ensureExpand() {
+	k.expandOnce.Do(func() {
+		k.work = k.sb
+		if !k.m.FullyPipelined() {
+			k.work, k.origOf = model.ExpandOccupancy(k.sb, k.m)
+			n := k.sb.G.NumOps()
+			k.primary = make([]int, n)
+			for i := range k.primary {
+				k.primary[i] = -1
+			}
+			for expID, orig := range k.origOf {
+				if k.primary[orig] < 0 {
+					k.primary[orig] = expID
+				}
+			}
+		}
+		k.d = forwardDag(k.work.G, k.m)
+	})
+}
+
+// Expansion returns the cached occupancy expansion and the expanded->original
+// op mapping (nil when the machine is fully pipelined). The expansion
+// carries the representative's exit probabilities; weight-sensitive callers
+// must re-wrap it with their own (model.Superblock.WithProbs).
+func (k *Kernel) Expansion() (*model.Superblock, []int) {
+	k.ensureExpand()
+	return k.work, k.origOf
+}
+
+// CPBound returns the critical-path bound per branch, replaying the build's
+// stats into st.
+func (k *Kernel) CPBound(st *Stats) PerBranch {
+	k.cpOnce.Do(func() {
+		k.ensureExpand()
+		k.cp = CP(k.work, &k.cpStats)
+	})
+	st.Add(&k.cpStats)
+	return k.cp
+}
+
+// HuBound returns the Hu-style resource bound per branch.
+func (k *Kernel) HuBound(st *Stats) PerBranch {
+	k.huOnce.Do(func() {
+		k.ensureExpand()
+		k.hu = Hu(k.work, k.m, &k.huStats)
+	})
+	st.Add(&k.huStats)
+	return k.hu
+}
+
+// RJBound returns the Rim & Jain relaxation bound per branch.
+func (k *Kernel) RJBound(st *Stats) PerBranch {
+	k.rjOnce.Do(func() {
+		k.ensureExpand()
+		k.rj = RJ(k.work, k.m, &k.rjStats)
+	})
+	st.Add(&k.rjStats)
+	return k.rj
+}
+
+// LCBound returns the Langevin & Cerny early vector (on expanded op IDs)
+// and the per-branch LC bound.
+func (k *Kernel) LCBound(st *Stats) ([]int, PerBranch) {
+	k.ensureLC()
+	st.Add(&k.lcStats)
+	return k.earlyRC, k.lc
+}
+
+func (k *Kernel) ensureLC() {
+	k.lcOnce.Do(func() {
+		k.ensureExpand()
+		k.earlyRC = lcOnDag(k.d, true, &k.lcStats)
+		k.lc = make(PerBranch, len(k.work.Branches))
+		for i, b := range k.work.Branches {
+			k.lc[i] = k.earlyRC[b]
+		}
+	})
+}
+
+// LCOriginalStats replays (building once) the stats of the LC recursion
+// without the Theorem-1 shortcut — a complexity datapoint only.
+func (k *Kernel) LCOriginalStats(st *Stats) {
+	k.lcOrigOnce.Do(func() {
+		k.ensureExpand()
+		EarlyRCOriginal(k.work, k.m, &k.lcOrigStats)
+	})
+	st.Add(&k.lcOrigStats)
+}
+
+// SepsRC returns the per-branch separation vectors (on expanded op IDs).
+func (k *Kernel) SepsRC(st *Stats) []Separation {
+	k.ensureSeps()
+	st.Add(&k.sepsStats)
+	return k.seps
+}
+
+func (k *Kernel) ensureSeps() {
+	k.sepsOnce.Do(func() {
+		k.ensureExpand()
+		k.seps = make([]Separation, len(k.work.Branches))
+		for i, b := range k.work.Branches {
+			k.seps[i] = SeparationRC(k.work, k.m, b, &k.sepsStats)
+		}
+	})
+}
+
+// Pairs returns the pairwise bounds for every branch pair under the given
+// exit probabilities, building the weight-independent curve templates on
+// first use (with up to workers-wide fan-out; ≤ 1 is serial) and re-binding
+// them afterwards. sepsSt and pairSt receive the separation (LC-reverse)
+// and pairwise stats respectively. A ctx cancellation during the first
+// build returns the error without caching, so a later call can retry.
+func (k *Kernel) Pairs(ctx context.Context, workers int, probs []float64, sepsSt, pairSt *Stats) ([]*PairBound, error) {
+	if err := k.ensurePairs(ctx, workers); err != nil {
+		return nil, err
+	}
+	k.ensureSeps()
+	sepsSt.Add(&k.sepsStats)
+	pairSt.Add(&k.pairStats)
+	return bindPairs(k.pairTmpls, probs), nil
+}
+
+func (k *Kernel) ensurePairs(ctx context.Context, workers int) error {
+	k.pairMu.Lock()
+	defer k.pairMu.Unlock()
+	if k.pairsDone {
+		return nil
+	}
+	k.ensureLC()
+	k.ensureSeps()
+	tmpls, pruned, err := buildPairTemplates(ctx, k.d, k.work, k.m, k.earlyRC, k.seps, workers, &k.pairStats)
+	if err != nil {
+		// Discard the partial stats so a retry starts clean.
+		k.pairStats = Stats{}
+		return err
+	}
+	k.pairTmpls, k.pairsPruned = tmpls, pruned
+	k.pairsDone = true
+	telPairsPruned.Add(pruned)
+	return nil
+}
+
+// ProjectedEarlyRC returns the LC early vector on original op IDs (the
+// expansion's primary-node projection; identical to the expanded vector
+// when no expansion happened). Callers must not modify it.
+func (k *Kernel) ProjectedEarlyRC(st *Stats) []int {
+	earlyRC, _ := k.LCBound(st)
+	k.projEarlyOnce.Do(func() {
+		if k.origOf == nil {
+			k.projEarly = earlyRC
+			return
+		}
+		n := k.sb.G.NumOps()
+		out := make([]int, n)
+		for v := 0; v < n; v++ {
+			out[v] = earlyRC[k.primary[v]]
+		}
+		k.projEarly = out
+	})
+	return k.projEarly
+}
+
+// ProjectedSeps returns the separation vectors on original op IDs. Callers
+// must not modify them.
+func (k *Kernel) ProjectedSeps(st *Stats) []Separation {
+	seps := k.SepsRC(st)
+	k.projSepsOnce.Do(func() {
+		if k.origOf == nil {
+			k.projSeps = seps
+			return
+		}
+		n := k.sb.G.NumOps()
+		out := make([]Separation, len(seps))
+		for i, sep := range seps {
+			o := make(Separation, n)
+			for v := 0; v < n; v++ {
+				o[v] = sep[k.primary[v]]
+			}
+			out[i] = o
+		}
+		k.projSeps = out
+	})
+	return k.projSeps
+}

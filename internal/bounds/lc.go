@@ -19,6 +19,8 @@ func lcOnDag(d *dag, useTheorem1 bool, st *Stats) []int {
 	dist := make([]int, d.n) // longest path u -> v, reused per v
 	include := make([]int, 0, d.n)
 	late := make([]int, d.n)
+	sc := getRJScratch()
+	defer putRJScratch(sc)
 
 	for _, v := range d.topo {
 		st.Trips++
@@ -67,7 +69,7 @@ func lcOnDag(d *dag, useTheorem1 bool, st *Stats) []int {
 			late[u] = depEarly - dist[u]
 		}
 		late[v] = depEarly
-		earlyRC[v] = depEarly + d.rimJain(include, earlyRC, late, st)
+		earlyRC[v] = depEarly + d.rimJain(sc, include, earlyRC, late, st)
 	}
 	return earlyRC
 }

@@ -1,6 +1,10 @@
 package bounds
 
 import (
+	"context"
+	"sync"
+
+	"balance/internal/conc"
 	"balance/internal/model"
 )
 
@@ -17,7 +21,9 @@ type PairBound struct {
 	Ei, Ej int
 	// Lmin and Lmax delimit the explicitly evaluated separation range;
 	// Xs[s-Lmin] and Ys[s-Lmin] hold the relaxation values. Outside the
-	// range the curve extrapolates exactly (see X and Y).
+	// range the curve extrapolates exactly (see X and Y). Xs and Ys may be
+	// shared with other PairBound views of the same pair (the curves are
+	// weight-independent); callers must not modify them.
 	Lmin, Lmax int
 	Xs, Ys     []int
 	// Bi and Bj are the components of the optimal tradeoff point and Value
@@ -77,8 +83,44 @@ func (p *PairBound) MinIGivenJ(tj int) int {
 	return best
 }
 
+// pairTemplate is the weight-independent part of a pairwise bound: the
+// relaxation curves. Exit probabilities only pick the optimal tradeoff
+// point (Value/Bi/Bj), so the kernel caches templates per (graph, machine)
+// and re-binds them per weighting — see bind.
+type pairTemplate struct {
+	i, j       int
+	ei, ej     int
+	lmin, lmax int
+	xs, ys     []int
+	noTradeoff bool
+}
+
+// bind composes the template with branch weights, producing the full
+// PairBound. The minimization mirrors the pre-kernel loop exactly (first
+// minimal point wins), so Value/Bi/Bj are byte-identical to computing the
+// pair directly under these weights.
+func (t *pairTemplate) bind(wi, wj float64) *PairBound {
+	pb := &PairBound{
+		I: t.i, J: t.j, Ei: t.ei, Ej: t.ej,
+		Lmin: t.lmin, Lmax: t.lmax, Xs: t.xs, Ys: t.ys,
+		NoTradeoff: t.noTradeoff,
+	}
+	best := -1
+	for idx := range pb.Xs {
+		v := wi*float64(pb.Xs[idx]) + wj*float64(pb.Ys[idx])
+		if best < 0 || v < pb.Value {
+			best = idx
+			pb.Value = v
+		}
+	}
+	pb.Bi, pb.Bj = pb.Xs[best], pb.Ys[best]
+	return pb
+}
+
 // pairwiseComputer holds the per-superblock inputs shared by all pair
-// computations.
+// computations, plus the scratch that makes the inner eval loop
+// allocation-free. A computer is single-goroutine; the parallel fan-out
+// creates one per worker over the shared (read-only) dag.
 type pairwiseComputer struct {
 	sb      *model.Superblock
 	m       *model.Machine
@@ -88,23 +130,38 @@ type pairwiseComputer struct {
 
 	early []int // scratch early array (copy of earlyRC with target override)
 	late  []int
+	sc    *rjScratch
 }
 
-// NewPairwise prepares pairwise-bound computation given precomputed EarlyRC
-// values and per-branch separation bounds (from SeparationRC).
+// newPairwiseComputer prepares pairwise-bound computation given precomputed
+// EarlyRC values and per-branch separation bounds (from SeparationRC).
 func newPairwiseComputer(sb *model.Superblock, m *model.Machine, earlyRC []int, seps []Separation) *pairwiseComputer {
+	return newPairwiseComputerOn(forwardDag(sb.G, m), sb, m, earlyRC, seps)
+}
+
+// newPairwiseComputerOn is newPairwiseComputer over an existing dag view
+// (the kernel's cached one).
+func newPairwiseComputerOn(d *dag, sb *model.Superblock, m *model.Machine, earlyRC []int, seps []Separation) *pairwiseComputer {
 	n := sb.G.NumOps()
 	pc := &pairwiseComputer{
 		sb:      sb,
 		m:       m,
-		d:       forwardDag(sb.G, m),
+		d:       d,
 		earlyRC: earlyRC,
 		seps:    seps,
 		early:   make([]int, n),
 		late:    make([]int, n),
+		sc:      getRJScratch(),
 	}
 	copy(pc.early, earlyRC)
 	return pc
+}
+
+// release returns the computer's scratch to the pool; the computer must not
+// be used afterwards.
+func (pc *pairwiseComputer) release() {
+	putRJScratch(pc.sc)
+	pc.sc = nil
 }
 
 // eval solves the relaxation for pair (bi, bj) with separation latency L and
@@ -129,26 +186,78 @@ func (pc *pairwiseComputer) eval(i, j int, include []int, L int, st *Stats) (x, 
 	}
 	pc.late[bj] = earlyJ
 	pc.early[bj] = earlyJ
-	delay := pc.d.rimJain(include, pc.early, pc.late, st)
+	delay := pc.d.rimJain(pc.sc, include, pc.early, pc.late, st)
 	pc.early[bj] = pc.earlyRC[bj]
 	y = earlyJ + delay
 	return y - L, y
 }
 
-// pair computes the pairwise bound for branch indices i < j using the
+// singleDelay solves the relaxation toward branch j alone (no separation
+// constraint from another branch): the Rim & Jain delay of j's closure with
+// Late[v] = Ej - sep_j(v). A zero delay certifies that Ej is achievable in
+// the relaxation — the precondition of the pair dominance prune.
+func (pc *pairwiseComputer) singleDelay(j int, include []int, st *Stats) int {
+	bj := pc.sb.Branches[j]
+	sepJ := pc.seps[j]
+	ej := pc.earlyRC[bj]
+	for _, v := range include {
+		st.Trips++
+		pc.late[v] = ej - sepJ[v]
+	}
+	pc.late[bj] = ej
+	return pc.d.rimJain(pc.sc, include, pc.early, pc.late, st)
+}
+
+// prunable reports whether pair (i, j) is dominated: at the natural
+// separation L = Ej - Ei the relaxation provably yields exactly (Ei, Ej),
+// so the Figure-5 sweep would visit the single point (L, Ei, Ej) and stop.
+// That holds when (a) L is a legal separation (≥ l_br), (b) branch j's
+// single-target relaxation has zero delay (delayJ, precomputed per j), and
+// (c) branch i's separation constraints are everywhere slack at L:
+// sep_i(v) + L ≤ sep_j(v) for every v preceding j that also precedes i —
+// then eval's Late array equals singleDelay's exactly, so its delay is the
+// same zero. The pruned result is byte-identical to the sweep's.
+func (pc *pairwiseComputer) prunable(i, j int, include []int, delayJ int, st *Stats) bool {
+	bi, bj := pc.sb.Branches[i], pc.sb.Branches[j]
+	ei, ej := pc.earlyRC[bi], pc.earlyRC[bj]
+	lbr := pc.sb.G.Op(bi).Latency
+	if ej-ei < lbr || delayJ != 0 {
+		return false
+	}
+	L := ej - ei
+	sepI, sepJ := pc.seps[i], pc.seps[j]
+	for _, v := range include {
+		st.Trips++
+		if si := sepI[v]; si >= 0 && si+L > sepJ[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// prunedTemplate builds the single-point template the sweep would produce
+// for a prunable pair.
+func (pc *pairwiseComputer) prunedTemplate(i, j int) pairTemplate {
+	bi, bj := pc.sb.Branches[i], pc.sb.Branches[j]
+	ei, ej := pc.earlyRC[bi], pc.earlyRC[bj]
+	L := ej - ei
+	return pairTemplate{
+		i: i, j: j, ei: ei, ej: ej,
+		lmin: L, lmax: L,
+		xs: []int{ei}, ys: []int{ej},
+		noTradeoff: true,
+	}
+}
+
+// template computes the pairwise curves for branch indices i < j using the
 // Figure-5 sweep: probe the natural separation first; if branch j cannot
 // reach its individual bound, decrease the separation until it can; then
 // increase the separation until branch i reaches its individual bound.
-func (pc *pairwiseComputer) pair(i, j int, st *Stats) *PairBound {
+func (pc *pairwiseComputer) template(i, j int, include []int, st *Stats) pairTemplate {
 	sb := pc.sb
 	bi, bj := sb.Branches[i], sb.Branches[j]
 	ei, ej := pc.earlyRC[bi], pc.earlyRC[bj]
 	lbr := sb.G.Op(bi).Latency
-	wi, wj := sb.Prob[i], sb.Prob[j]
-
-	include := make([]int, 0, sb.G.PredClosure(bj).Count()+1)
-	sb.G.PredClosure(bj).ForEach(func(v int) { include = append(include, v) })
-	include = append(include, bj)
 
 	l0 := ej - ei
 	if l0 < lbr {
@@ -181,56 +290,141 @@ func (pc *pairwiseComputer) pair(i, j int, st *Stats) *PairBound {
 		}
 	}
 
-	pb := &PairBound{I: i, J: j, Ei: ei, Ej: ej}
-	pb.Lmin, pb.Lmax = pts[0].l, pts[0].l
+	tpl := pairTemplate{i: i, j: j, ei: ei, ej: ej}
+	tpl.lmin, tpl.lmax = pts[0].l, pts[0].l
 	for _, p := range pts {
-		if p.l < pb.Lmin {
-			pb.Lmin = p.l
+		if p.l < tpl.lmin {
+			tpl.lmin = p.l
 		}
-		if p.l > pb.Lmax {
-			pb.Lmax = p.l
+		if p.l > tpl.lmax {
+			tpl.lmax = p.l
 		}
 	}
-	pb.Xs = make([]int, pb.Lmax-pb.Lmin+1)
-	pb.Ys = make([]int, pb.Lmax-pb.Lmin+1)
-	for i := range pb.Xs {
-		pb.Xs[i] = -1
+	tpl.xs = make([]int, tpl.lmax-tpl.lmin+1)
+	tpl.ys = make([]int, tpl.lmax-tpl.lmin+1)
+	for i := range tpl.xs {
+		tpl.xs[i] = -1
 	}
 	for _, p := range pts {
-		pb.Xs[p.l-pb.Lmin] = p.x
-		pb.Ys[p.l-pb.Lmin] = p.y
+		tpl.xs[p.l-tpl.lmin] = p.x
+		tpl.ys[p.l-tpl.lmin] = p.y
 	}
 	// The sweep visits a contiguous range, so no holes remain; guard anyway.
-	for idx := range pb.Xs {
-		if pb.Xs[idx] < 0 {
-			x, y := pc.eval(i, j, include, pb.Lmin+idx, st)
-			pb.Xs[idx], pb.Ys[idx] = x, y
+	for idx := range tpl.xs {
+		if tpl.xs[idx] < 0 {
+			x, y := pc.eval(i, j, include, tpl.lmin+idx, st)
+			tpl.xs[idx], tpl.ys[idx] = x, y
 		}
 	}
-	best := -1
-	for idx := range pb.Xs {
-		v := wi*float64(pb.Xs[idx]) + wj*float64(pb.Ys[idx])
-		if best < 0 || v < pb.Value {
-			best = idx
-			pb.Value = v
+	tpl.noTradeoff = p0.x == ei && p0.y == ej
+	return tpl
+}
+
+// buildPairTemplates computes the weight-independent pairwise curves for
+// every branch pair, applying the dominance prune and (optionally) fanning
+// the independent per-pair evaluations across a bounded worker pool.
+// It returns the templates in (i, j) lexicographic order, the number of
+// pruned pairs, and ctx.Err() if the build was cancelled mid-way (in which
+// case the templates are incomplete and must be discarded). Stats across
+// workers merge by summation, so the totals are deterministic regardless of
+// scheduling.
+func buildPairTemplates(ctx context.Context, d *dag, sb *model.Superblock, m *model.Machine, earlyRC []int, seps []Separation, workers int, st *Stats) ([]pairTemplate, int64, error) {
+	b := len(sb.Branches)
+	npairs := b * (b - 1) / 2
+	if npairs == 0 {
+		return nil, 0, ctx.Err()
+	}
+
+	// Per-branch closures (as index lists) and single-target delays are
+	// shared by every pair with that j; compute them serially up front.
+	includes := make([][]int, b)
+	delays := make([]int, b)
+	{
+		pc := newPairwiseComputerOn(d, sb, m, earlyRC, seps)
+		defer pc.release()
+		for j, bj := range sb.Branches {
+			inc := sb.G.PredClosure(bj).AppendTo(make([]int, 0, sb.G.PredClosure(bj).Count()+1))
+			includes[j] = append(inc, bj)
+			delays[j] = pc.singleDelay(j, includes[j], st)
+		}
+		if workers <= 1 {
+			out := make([]pairTemplate, 0, npairs)
+			var pruned int64
+			for i := 0; i < b; i++ {
+				for j := i + 1; j < b; j++ {
+					if err := ctx.Err(); err != nil {
+						return nil, pruned, err
+					}
+					if prunesEnabled && pc.prunable(i, j, includes[j], delays[j], st) {
+						out = append(out, pc.prunedTemplate(i, j))
+						pruned++
+						continue
+					}
+					out = append(out, pc.template(i, j, includes[j], st))
+				}
+			}
+			return out, pruned, nil
 		}
 	}
-	pb.Bi, pb.Bj = pb.Xs[best], pb.Ys[best]
-	pb.NoTradeoff = p0.x == ei && p0.y == ej
-	return pb
+
+	// Parallel fan-out: every worker draws a computer (own scratch) from a
+	// pool; stats accumulate per pair and merge under a lock.
+	type pairTask struct{ i, j int }
+	tasks := make([]pairTask, 0, npairs)
+	for i := 0; i < b; i++ {
+		for j := i + 1; j < b; j++ {
+			tasks = append(tasks, pairTask{i, j})
+		}
+	}
+	out := make([]pairTemplate, npairs)
+	var pruned int64
+	var mu sync.Mutex
+	cpool := sync.Pool{New: func() any {
+		return newPairwiseComputerOn(d, sb, m, earlyRC, seps)
+	}}
+	err := conc.ForEach(ctx, workers, npairs, func(idx int) error {
+		t := tasks[idx]
+		pc := cpool.Get().(*pairwiseComputer)
+		defer cpool.Put(pc)
+		var local Stats
+		var tpl pairTemplate
+		var wasPruned bool
+		if prunesEnabled && pc.prunable(t.i, t.j, includes[t.j], delays[t.j], &local) {
+			tpl = pc.prunedTemplate(t.i, t.j)
+			wasPruned = true
+		} else {
+			tpl = pc.template(t.i, t.j, includes[t.j], &local)
+		}
+		mu.Lock()
+		out[idx] = tpl
+		st.Add(&local)
+		if wasPruned {
+			pruned++
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, pruned, err
+	}
+	return out, pruned, nil
 }
 
 // PairwiseAll computes the pairwise bound for every branch pair of the
 // superblock. earlyRC must come from EarlyRC and seps[i] from
 // SeparationRC(sb, m, Branches[i]).
 func PairwiseAll(sb *model.Superblock, m *model.Machine, earlyRC []int, seps []Separation, st *Stats) []*PairBound {
-	pc := newPairwiseComputer(sb, m, earlyRC, seps)
-	b := len(sb.Branches)
-	out := make([]*PairBound, 0, b*(b-1)/2)
-	for i := 0; i < b; i++ {
-		for j := i + 1; j < b; j++ {
-			out = append(out, pc.pair(i, j, st))
-		}
+	tmpls, pruned, _ := buildPairTemplates(context.Background(), forwardDag(sb.G, m), sb, m, earlyRC, seps, 0, st)
+	telPairsPruned.Add(pruned)
+	return bindPairs(tmpls, sb.Prob)
+}
+
+// bindPairs composes every template with the given branch weights.
+func bindPairs(tmpls []pairTemplate, probs []float64) []*PairBound {
+	out := make([]*PairBound, len(tmpls))
+	for idx := range tmpls {
+		t := &tmpls[idx]
+		out[idx] = t.bind(probs[t.i], probs[t.j])
 	}
 	return out
 }

@@ -1,0 +1,7 @@
+package bounds
+
+// prunesEnabled gates the pairwise and triplewise dominance prunes. It is
+// always true in production; the differential tests flip it off to compute
+// reference values along the un-pruned path and prove the prunes never
+// change a bound value.
+var prunesEnabled = true

@@ -1,0 +1,215 @@
+package bounds
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"balance/internal/gen"
+	"balance/internal/model"
+)
+
+// diffCorpus returns a deterministic random corpus of generated superblocks
+// paired with every machine model (the six paper machines plus one
+// non-fully-pipelined variant that forces the occupancy expansion).
+func diffCorpus(t *testing.T) (sbs []*model.Superblock, machines []*model.Machine) {
+	t.Helper()
+	for _, spec := range []struct {
+		profile string
+		seed    int64
+		scale   float64
+	}{
+		{"129.compress", 1, 0.25},
+		{"132.ijpeg", 2, 0.10},
+	} {
+		p, err := gen.ProfileByName(spec.profile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sbs = append(sbs, gen.Generate(p, spec.seed, spec.scale)...)
+	}
+	machines = append(machines, model.Machines()...)
+	machines = append(machines, model.GP2().WithOccupancy(model.FloatMul, 3))
+	return sbs, machines
+}
+
+// expandFor mirrors Compute's handling of non-fully-pipelined machines: the
+// reference computations run on the occupancy expansion.
+func expandFor(sb *model.Superblock, m *model.Machine) *model.Superblock {
+	if m.FullyPipelined() {
+		return sb
+	}
+	work, _ := model.ExpandOccupancy(sb, m)
+	return work
+}
+
+func staticInputs(work *model.Superblock, m *model.Machine) ([]int, []Separation) {
+	var st Stats
+	earlyRC := EarlyRC(work, m, &st)
+	seps := make([]Separation, len(work.Branches))
+	for i, b := range work.Branches {
+		seps[i] = SeparationRC(work, m, b, &st)
+	}
+	return earlyRC, seps
+}
+
+func pairsEqual(a, b []*PairBound) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("pair count %d vs %d", len(a), len(b))
+	}
+	for idx := range a {
+		x, y := a[idx], b[idx]
+		if x.I != y.I || x.J != y.J || x.Ei != y.Ei || x.Ej != y.Ej ||
+			x.Lmin != y.Lmin || x.Lmax != y.Lmax ||
+			x.Bi != y.Bi || x.Bj != y.Bj || x.Value != y.Value ||
+			x.NoTradeoff != y.NoTradeoff ||
+			!reflect.DeepEqual(x.Xs, y.Xs) || !reflect.DeepEqual(x.Ys, y.Ys) {
+			return fmt.Errorf("pair (%d,%d): %+v vs %+v", x.I, x.J, *x, *y)
+		}
+	}
+	return nil
+}
+
+func tripleValuesEqual(a, b []*TripleBound) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("triple count %d vs %d", len(a), len(b))
+	}
+	for idx := range a {
+		x, y := a[idx], b[idx]
+		if x.I != y.I || x.J != y.J || x.K != y.K || x.Value != y.Value {
+			return fmt.Errorf("triple (%d,%d,%d): value %v vs %v", x.I, x.J, x.K, x.Value, y.Value)
+		}
+	}
+	return nil
+}
+
+// TestPruneDifferential proves the dominance prunes are value-preserving:
+// across the generated corpus and every machine model, the pairwise bounds,
+// the curve-combination triples, and the exact triple relaxation computed
+// with prunes enabled are identical to the un-pruned reference path.
+func TestPruneDifferential(t *testing.T) {
+	defer func() { prunesEnabled = true }()
+	sbs, machines := diffCorpus(t)
+	for _, m := range machines {
+		for _, sb := range sbs {
+			work := expandFor(sb, m)
+			earlyRC, seps := staticInputs(work, m)
+			var stRef, stGot Stats
+
+			prunesEnabled = false
+			refPairs := PairwiseAll(work, m, earlyRC, seps, &stRef)
+			refTriples := TriplewiseAll(work, refPairs, 0, &stRef)
+			refExact := TripleRelaxAll(work, m, earlyRC, seps, 8, &stRef)
+
+			prunesEnabled = true
+			gotPairs := PairwiseAll(work, m, earlyRC, seps, &stGot)
+			gotTriples := TriplewiseAll(work, gotPairs, 0, &stGot)
+			gotExact := TripleRelaxAll(work, m, earlyRC, seps, 8, &stGot)
+
+			if err := pairsEqual(refPairs, gotPairs); err != nil {
+				t.Fatalf("%s on %s: pairwise: %v", sb.Name, m, err)
+			}
+			if err := tripleValuesEqual(refTriples, gotTriples); err != nil {
+				t.Fatalf("%s on %s: triplewise: %v", sb.Name, m, err)
+			}
+			if err := tripleValuesEqual(refExact, gotExact); err != nil {
+				t.Fatalf("%s on %s: exact triples: %v", sb.Name, m, err)
+			}
+			if stGot.PairSweeps > stRef.PairSweeps || stGot.TripleSweeps > stRef.TripleSweeps {
+				t.Fatalf("%s on %s: pruned path did more work than reference", sb.Name, m)
+			}
+		}
+	}
+}
+
+// TestKernelDifferential proves the kernel cache is transparent: a warm
+// Compute returns values and replayed statistics identical to the cold one,
+// and the cold one matches the direct (kernel-free) static computation.
+func TestKernelDifferential(t *testing.T) {
+	sbs, machines := diffCorpus(t)
+	opts := Options{Triplewise: true, TriplewiseExact: true}
+	for _, m := range machines {
+		for _, sb := range sbs {
+			KernelCacheReset()
+			cold := Compute(sb, m, opts)
+			warm := Compute(sb, m, opts)
+
+			if !reflect.DeepEqual(cold.EarlyRC, warm.EarlyRC) ||
+				!reflect.DeepEqual(cold.Seps, warm.Seps) ||
+				!reflect.DeepEqual(cold.CP, warm.CP) ||
+				!reflect.DeepEqual(cold.Hu, warm.Hu) ||
+				!reflect.DeepEqual(cold.RJ, warm.RJ) ||
+				!reflect.DeepEqual(cold.LC, warm.LC) {
+				t.Fatalf("%s on %s: warm kernel changed a static bound", sb.Name, m)
+			}
+			if err := pairsEqual(cold.Pairs, warm.Pairs); err != nil {
+				t.Fatalf("%s on %s: warm kernel pairwise: %v", sb.Name, m, err)
+			}
+			if err := tripleValuesEqual(cold.Triples, warm.Triples); err != nil {
+				t.Fatalf("%s on %s: warm kernel triples: %v", sb.Name, m, err)
+			}
+			if cold.CPVal != warm.CPVal || cold.HuVal != warm.HuVal ||
+				cold.RJVal != warm.RJVal || cold.LCVal != warm.LCVal ||
+				cold.PairVal != warm.PairVal || cold.TripleVal != warm.TripleVal ||
+				cold.Tightest != warm.Tightest {
+				t.Fatalf("%s on %s: warm kernel changed a composed value", sb.Name, m)
+			}
+			if cold.Stats != warm.Stats {
+				t.Fatalf("%s on %s: stats replay diverged:\ncold %+v\nwarm %+v", sb.Name, m, cold.Stats, warm.Stats)
+			}
+
+			// Direct reference for the static inputs, bypassing the kernel.
+			work := expandFor(sb, m)
+			earlyRC, seps := staticInputs(work, m)
+			var st Stats
+			refPairs := PairwiseAll(work, m, earlyRC, seps, &st)
+			if err := pairsEqual(refPairs, cold.Pairs); err != nil {
+				t.Fatalf("%s on %s: kernel vs direct pairwise: %v", sb.Name, m, err)
+			}
+			if m.FullyPipelined() {
+				if !reflect.DeepEqual(earlyRC, cold.EarlyRC) {
+					t.Fatalf("%s on %s: kernel vs direct EarlyRC", sb.Name, m)
+				}
+				if !reflect.DeepEqual(seps, cold.Seps) {
+					t.Fatalf("%s on %s: kernel vs direct Seps", sb.Name, m)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelPairTemplates proves the parallel pair fan-out is
+// deterministic: templates, prune counts, and summed statistics match the
+// serial build at any worker width.
+func TestParallelPairTemplates(t *testing.T) {
+	sbs, machines := diffCorpus(t)
+	ctx := context.Background()
+	for _, m := range machines {
+		for _, sb := range sbs {
+			if len(sb.Branches) < 2 {
+				continue
+			}
+			work := expandFor(sb, m)
+			earlyRC, seps := staticInputs(work, m)
+			var stSer, stPar Stats
+			serial, prunedSer, err := buildPairTemplates(ctx, forwardDag(work.G, m), work, m, earlyRC, seps, 0, &stSer)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, prunedPar, err := buildPairTemplates(ctx, forwardDag(work.G, m), work, m, earlyRC, seps, 4, &stPar)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(serial, par) {
+				t.Fatalf("%s on %s: parallel templates diverge from serial", sb.Name, m)
+			}
+			if prunedSer != prunedPar {
+				t.Fatalf("%s on %s: prune count %d (serial) vs %d (parallel)", sb.Name, m, prunedSer, prunedPar)
+			}
+			if stSer != stPar {
+				t.Fatalf("%s on %s: stats diverge:\nserial %+v\nparallel %+v", sb.Name, m, stSer, stPar)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package bounds
 
 import (
+	"context"
 	"time"
 
 	"balance/internal/model"
@@ -76,6 +77,11 @@ type Options struct {
 	// WithLCOriginal additionally runs the LC recursion without the
 	// Theorem-1 shortcut, for complexity comparisons only.
 	WithLCOriginal bool
+	// PairWorkers bounds the intra-superblock fan-out of the pairwise
+	// curve build across a worker pool (0 or 1 = serial). The curves are
+	// cached per (graph, machine), so the fan-out only affects the first
+	// computation; results are identical at any width.
+	PairWorkers int
 }
 
 // Degradation levels of the bound ladder. When a job's budget expires the
@@ -155,49 +161,70 @@ func Compute(sb *model.Superblock, m *model.Machine, opts Options) *Set {
 // spent into the budget as each stage completes (a nil budget is
 // unlimited).
 func ComputeBudget(sb *model.Superblock, m *model.Machine, opts Options, budget *resilience.Budget) *Set {
+	return ComputeBudgetCtx(context.Background(), sb, m, opts, budget)
+}
+
+// ComputeBudgetCtx is ComputeBudget bound to a context: cancellation is
+// treated exactly like an expired budget — the remaining ladder stages are
+// shed (Triplewise first, then Pairwise) rather than the call failing, so
+// a cancelled computation still returns true lower bounds.
+//
+// The weight-independent artifacts (expansion, dag, basic bounds,
+// separations, pairwise curves) come from the shared per-(graph, machine)
+// kernel (see KernelFor), so repeated computations — re-weighted clones
+// included — only pay for weight binding and the triple stage. Recorded
+// build stats are replayed into s.Stats on every call, keeping trip counts
+// and budget accounting identical whether or not the kernel was warm.
+func ComputeBudgetCtx(ctx context.Context, sb *model.Superblock, m *model.Machine, opts Options, budget *resilience.Budget) *Set {
 	computeStart := time.Now()
+	k := KernelFor(sb, m)
 	s := &Set{SB: sb, M: m, Expanded: sb}
-	work := sb
-	var origOf []int
-	if !m.FullyPipelined() {
-		work, origOf = model.ExpandOccupancy(sb, m)
+	work, origOf := k.Expansion()
+	if origOf == nil {
+		work = sb
+	} else {
+		// The cached expansion baked in the representative's exit
+		// probabilities; re-bind the caller's.
+		work = work.WithProbs(sb.Prob)
 		s.Expanded = work
 	}
 
-	telCP.timed(func() { s.CP = CP(work, &s.Stats.CP) })
-	telHu.timed(func() { s.Hu = Hu(work, m, &s.Stats.Hu) })
-	telRJ.timed(func() { s.RJ = RJ(work, m, &s.Stats.RJ) })
+	telCP.timed(func() { s.CP = k.CPBound(&s.Stats.CP) })
+	telHu.timed(func() { s.Hu = k.HuBound(&s.Stats.Hu) })
+	telRJ.timed(func() { s.RJ = k.RJBound(&s.Stats.RJ) })
 	var earlyRC []int
-	telLC.timed(func() {
-		earlyRC = EarlyRC(work, m, &s.Stats.LC)
-		s.LC = make(PerBranch, len(work.Branches))
-		for i, b := range work.Branches {
-			s.LC[i] = earlyRC[b]
-		}
-	})
+	telLC.timed(func() { earlyRC, s.LC = k.LCBound(&s.Stats.LC) })
 	if opts.WithLCOriginal {
-		EarlyRCOriginal(work, m, &s.Stats.LCOriginal)
+		k.LCOriginalStats(&s.Stats.LCOriginal)
 	}
 	budget.Spend(s.Stats.CP.Trips + s.Stats.Hu.Trips + s.Stats.RJ.Trips +
 		s.Stats.LC.Trips + s.Stats.LCOriginal.Trips)
 
-	seps := make([]Separation, len(work.Branches))
-	if budget.Expired() {
+	var seps []Separation
+	if budget.Expired() || ctx.Err() != nil {
 		// Ladder level 2: only the basic bounds fit the budget.
 		s.Degraded = DegradePairwise
 		telDegradePW.Inc()
-		seps = seps[:0]
 	} else {
+		var pairErr error
 		telPW.timed(func() {
-			for i, b := range work.Branches {
-				seps[i] = SeparationRC(work, m, b, &s.Stats.LCReverse)
+			var pairs []*PairBound
+			pairs, pairErr = k.Pairs(ctx, opts.PairWorkers, work.Prob, &s.Stats.LCReverse, &s.Stats.PW)
+			if pairErr == nil {
+				seps = k.seps
+				s.Pairs = pairs
 			}
-			s.Pairs = PairwiseAll(work, m, earlyRC, seps, &s.Stats.PW)
 		})
-		budget.Spend(s.Stats.LCReverse.Trips + s.Stats.PW.Trips + s.Stats.PW.PairSweeps)
+		if pairErr != nil {
+			// Cancelled mid-build: shed the stage like an expired budget.
+			s.Degraded = DegradePairwise
+			telDegradePW.Inc()
+		} else {
+			budget.Spend(s.Stats.LCReverse.Trips + s.Stats.PW.Trips + s.Stats.PW.PairSweeps)
+		}
 	}
 	if opts.Triplewise && s.Degraded == DegradeNone {
-		if budget.Expired() {
+		if budget.Expired() || ctx.Err() != nil {
 			// Ladder level 1: the triplewise stage is shed.
 			s.Degraded = DegradeTriplewise
 			telDegradeTW.Inc()
@@ -217,9 +244,15 @@ func ComputeBudget(sb *model.Superblock, m *model.Machine, opts Options, budget 
 		}
 	}
 
-	// Map the per-op arrays back to the original op IDs (identity when no
-	// expansion happened).
-	s.EarlyRC, s.Seps = mapToOriginal(sb, work, origOf, earlyRC, seps)
+	// Per-op arrays on original op IDs (identity when no expansion
+	// happened); shared kernel slices — treat as immutable.
+	var scratch Stats // projections replay stats already accounted above
+	s.EarlyRC = k.ProjectedEarlyRC(&scratch)
+	if s.Degraded >= DegradePairwise {
+		s.Seps = []Separation{}
+	} else {
+		s.Seps = k.ProjectedSeps(&scratch)
+	}
 
 	s.CPVal = NaiveValue(work, s.CP)
 	s.HuVal = NaiveValue(work, s.Hu)
@@ -280,37 +313,6 @@ func mergeTriples(a, b []*TripleBound) []*TripleBound {
 		out = append(out, idx[[3]int{t.I, t.J, t.K}])
 	}
 	return out
-}
-
-// mapToOriginal projects expanded per-op arrays onto the original op IDs
-// via the primary (first) expanded node of each original op.
-func mapToOriginal(sb, work *model.Superblock, origOf []int, earlyRC []int, seps []Separation) ([]int, []Separation) {
-	if origOf == nil {
-		return earlyRC, seps
-	}
-	n := sb.G.NumOps()
-	primary := make([]int, n)
-	for i := range primary {
-		primary[i] = -1
-	}
-	for expID, orig := range origOf {
-		if primary[orig] < 0 {
-			primary[orig] = expID
-		}
-	}
-	outEarly := make([]int, n)
-	for v := 0; v < n; v++ {
-		outEarly[v] = earlyRC[primary[v]]
-	}
-	outSeps := make([]Separation, len(seps))
-	for i, sep := range seps {
-		o := make(Separation, n)
-		for v := 0; v < n; v++ {
-			o[v] = sep[primary[v]]
-		}
-		outSeps[i] = o
-	}
-	return outEarly, outSeps
 }
 
 // PairFor returns the pairwise bound for branch indices (i, j) with i < j,

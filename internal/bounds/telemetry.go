@@ -44,4 +44,12 @@ var (
 	// each level (see ComputeBudget).
 	telDegradeTW = telemetry.Default().Counter("bounds.degraded_triplewise")
 	telDegradePW = telemetry.Default().Counter("bounds.degraded_pairwise")
+
+	// Kernel counters: pair/triple evaluations skipped by the dominance
+	// prunes and bound-kernel cache hits (see KernelFor). They are bumped
+	// at most once per pair, triple, or kernel lookup — never per sweep
+	// step or lattice point — so observability stays off the hot path.
+	telPairsPruned   = telemetry.Default().Counter("bounds.pairs_pruned")
+	telTriplesPruned = telemetry.Default().Counter("bounds.triples_pruned")
+	telKernelReuse   = telemetry.Default().Counter("bounds.kernel_reuse")
 )

@@ -89,6 +89,16 @@ func tripleValue(pij, pjk, pik *PairBound, wi, wj, wk float64, st *Stats) *Tripl
 	tkSeed := tkFor(s1seed, s2seed)
 	best := wi*float64(tkSeed-s1seed-s2seed) + wj*float64(tkSeed-s2seed) + wk*float64(tkSeed)
 	tb.Points++
+	if prunesEnabled && best <= naive {
+		// Dominance prune: at every lattice point tk ≥ max(ek, ei+s1+s2,
+		// ej+s2), so the objective is ≥ wi·ei + wj·ej + wk·ek = naive
+		// (rounding is monotone and both expressions associate
+		// identically). The seed already attained the floor, so no sweep
+		// point can improve it.
+		tb.Value = best
+		telTriplesPruned.Inc()
+		return tb
+	}
 
 	// floorTk lower-bounds tk at a lattice point using only terms that are
 	// provably non-decreasing in both separations, so the loop breaks below

@@ -47,7 +47,7 @@ func (pc *pairwiseComputer) evalTriple(i, j, k int, include []int, l1, l2 int, s
 	savedJ, savedK := pc.early[bj], pc.early[bk]
 	pc.early[bj] = earlyJ
 	pc.early[bk] = earlyK
-	delay := pc.d.rimJain(include, pc.early, pc.late, st)
+	delay := pc.d.rimJain(pc.sc, include, pc.early, pc.late, st)
 	pc.early[bj], pc.early[bk] = savedJ, savedK
 	return earlyK + delay
 }
@@ -64,6 +64,7 @@ func TripleRelaxAll(sb *model.Superblock, m *model.Machine, earlyRC []int, seps 
 		return nil
 	}
 	pc := newPairwiseComputer(sb, m, earlyRC, seps)
+	defer pc.release()
 	out := make([]*TripleBound, 0, b*(b-1)*(b-2)/6)
 	for i := 0; i < b; i++ {
 		for j := i + 1; j < b; j++ {
@@ -109,6 +110,15 @@ func (pc *pairwiseComputer) tripleRelax(i, j, k int, st *Stats) *TripleBound {
 	zSeed := pc.evalTriple(i, j, k, include, s1seed, s2seed, st)
 	best := wi*float64(zSeed-s1seed-s2seed) + wj*float64(zSeed-s2seed) + wk*float64(zSeed)
 	tb.Points++
+	if prunesEnabled && best <= naive {
+		// Dominance prune: the objective at every lattice point is ≥ the
+		// naive floor (z ≥ max(ek, ei+s1+s2, ej+s2) and rounding is
+		// monotone), so the seed attaining it ends the search (see the
+		// identical prune in tripleValue).
+		tb.Value = best
+		telTriplesPruned.Inc()
+		return tb
+	}
 
 	floorZ := func(s1, s2 int) int {
 		z := ek

@@ -1,0 +1,111 @@
+// Package conc provides the bounded worker-pool primitive shared by the
+// evaluation pipeline (internal/engine) and the bound kernel's
+// intra-superblock fan-out (internal/bounds). It lives below both so the
+// bound layer can parallelize pair evaluations without importing the
+// engine (which imports bounds for its registry).
+//
+// The pool preserves the engine's telemetry contract: worker panics and
+// skipped indices are counted under the existing "engine.jobs_panicked"
+// and "engine.jobs_skipped" series (the registry is name-idempotent, so
+// the instruments are shared with internal/engine).
+package conc
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"balance/internal/resilience"
+	"balance/internal/telemetry"
+)
+
+var (
+	telJobsPanicked = telemetry.Default().Counter("engine.jobs_panicked")
+	telJobsSkipped  = telemetry.Default().Counter("engine.jobs_skipped")
+)
+
+// ForEach runs fn(i) for every i in [0, n) across a bounded pool of worker
+// goroutines and returns the first error in index order. workers ≤ 0 uses
+// GOMAXPROCS. The pool stops claiming new indices once ctx is cancelled or
+// any fn returns an error; in-flight calls finish first. When ctx is
+// cancelled, the returned error is ctx.Err() even if some fn also failed.
+//
+// Panic isolation: a panic in fn is recovered inside the worker (via
+// resilience.Protect) and reported as that index's error — a
+// *resilience.PanicError carrying the panic value and the goroutine stack.
+// The recovery happens before the worker's deferred wg.Done runs, so a
+// panicking fn can neither leak worker goroutines nor deadlock the
+// internal wg.Wait: the pool always drains and returns.
+func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	errs, ctxErr := forEach(ctx, workers, n, false, fn)
+	if ctxErr != nil {
+		return ctxErr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForEachKeepGoing is ForEach under the KeepGoing policy: a failing (or
+// panicking) fn does not stop the pool — every index is attempted, and the
+// returned slice holds each index's error (nil for the ones that
+// succeeded). The second return is ctx.Err(); when the context is
+// cancelled mid-run, unclaimed indices keep a nil error and are counted in
+// the engine.jobs_skipped telemetry.
+func ForEachKeepGoing(ctx context.Context, workers, n int, fn func(i int) error) ([]error, error) {
+	return forEach(ctx, workers, n, true, fn)
+}
+
+func forEach(ctx context.Context, workers, n int, keepGoing bool, fn func(i int) error) ([]error, error) {
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next int64 = -1
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if (!keepGoing && failed.Load()) || ctx.Err() != nil {
+					return
+				}
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				err := resilience.Protect(func() error { return fn(i) })
+				if err != nil {
+					var pe *resilience.PanicError
+					if errors.As(err, &pe) {
+						telJobsPanicked.Inc()
+					}
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	claimed := int(atomic.LoadInt64(&next)) + 1
+	if claimed > n {
+		claimed = n
+	}
+	if claimed < n {
+		telJobsSkipped.Add(int64(n - claimed))
+	}
+	return errs, ctx.Err()
+}

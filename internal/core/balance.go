@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"balance/internal/bounds"
@@ -101,22 +102,30 @@ type Picker struct {
 	sb  *model.Superblock
 	m   *model.Machine
 
-	earlyRC  []int
-	seps     []bounds.Separation
-	pairs    map[[2]int]*bounds.PairBound
-	closures []*model.Bitset
+	earlyRC     []int
+	seps        []bounds.Separation
+	pairs       map[[2]int]*bounds.PairBound
+	closures    []*model.Bitset
+	closureList [][]int // closure members as ascending op-ID lists
 
 	dynEarly []int
 	br       []*branchState
 	baseOrd  []int // branch indices by decreasing exit probability
 
 	// scratch buffers
-	itemBuf   [][3]int
-	lateBuf   []int
-	weightBuf []int
-	kindCnt   []int
-	inSet     []bool
-	takeMark  []bool
+	kindLates   [][]int // per-kind (late, occupancy) lists of one full update
+	kindWeights [][]int
+	kindCnt     []int
+	inSet       []bool
+	takeMark    []bool
+
+	// freeSum[k] holds prefix sums of the positive free kind-k issue slots
+	// from the current cycle, shared by every branch's full update within one
+	// refresh; (freeSched, freeCycle) version the cache against issues and
+	// cycle advances.
+	freeSum              [][]int
+	freeSched, freeCycle int
+	freeValid            bool
 
 	lastCycle int
 	started   bool
@@ -131,42 +140,62 @@ func NewPicker(sb *model.Superblock, m *model.Machine, cfg Config) *Picker {
 	g := sb.G
 	n := g.NumOps()
 	p := &Picker{
-		cfg:      cfg,
-		sb:       sb,
-		m:        m,
-		closures: make([]*model.Bitset, len(sb.Branches)),
-		dynEarly: make([]int, n),
-		kindCnt:  make([]int, m.Kinds()),
-		inSet:    make([]bool, n),
-		takeMark: make([]bool, n),
+		cfg:         cfg,
+		sb:          sb,
+		m:           m,
+		closures:    make([]*model.Bitset, len(sb.Branches)),
+		dynEarly:    make([]int, n),
+		kindLates:   make([][]int, m.Kinds()),
+		kindWeights: make([][]int, m.Kinds()),
+		freeSum:     make([][]int, m.Kinds()),
+		kindCnt:     make([]int, m.Kinds()),
+		inSet:       make([]bool, n),
+		takeMark:    make([]bool, n),
 	}
 	// Static bounds. Non-fully-pipelined machines are handled via the
 	// Rim & Jain occupancy expansion; the results are projected back onto
 	// the original op IDs through each op's primary expanded node.
-	work := sb
-	var origOf []int
-	if !m.FullyPipelined() {
-		work, origOf = model.ExpandOccupancy(sb, m)
-	}
+	//
+	// The resource-aware configuration serves everything from the shared
+	// per-(graph, machine) bound kernel: the expansion, EarlyRC, separation
+	// vectors, and pairwise curve templates are built once and reused by
+	// every ablation variant and re-weighted run over the same graph. The
+	// dependence-only configuration (UseBounds=false) keeps the inline
+	// computation — its bounds differ from the kernel's.
 	var bst bounds.Stats
-	var earlyRC []int
 	if cfg.UseBounds {
-		earlyRC = bounds.EarlyRC(work, m, &bst)
+		k := bounds.KernelFor(sb, m)
+		p.earlyRC = k.ProjectedEarlyRC(&bst)
+		p.seps = k.ProjectedSeps(&bst)
+		if cfg.Tradeoff {
+			prs, _ := k.Pairs(context.Background(), 0, sb.Prob, &bst, &bst)
+			p.pairs = make(map[[2]int]*bounds.PairBound, len(prs))
+			for _, pr := range prs {
+				p.pairs[[2]int{pr.I, pr.J}] = pr
+			}
+		}
 	} else {
-		earlyRC = work.G.EarlyDC()
+		work := sb
+		var origOf []int
+		if !m.FullyPipelined() {
+			work, origOf = model.ExpandOccupancy(sb, m)
+		}
+		earlyRC := work.G.EarlyDC()
+		seps := staticSeparations(work, m, false, &bst)
+		if cfg.Tradeoff {
+			prs := bounds.PairwiseAll(work, m, earlyRC, seps, &bst)
+			p.pairs = make(map[[2]int]*bounds.PairBound, len(prs))
+			for _, pr := range prs {
+				p.pairs[[2]int{pr.I, pr.J}] = pr
+			}
+		}
+		p.earlyRC, p.seps = projectStatic(sb, origOf, earlyRC, seps)
 	}
-	seps := staticSeparations(work, m, cfg.UseBounds, &bst)
+	p.closureList = make([][]int, len(sb.Branches))
 	for i, b := range sb.Branches {
 		p.closures[i] = g.PredClosure(b)
+		p.closureList[i] = p.closures[i].AppendTo(make([]int, 0, p.closures[i].Count()))
 	}
-	if cfg.Tradeoff {
-		prs := bounds.PairwiseAll(work, m, earlyRC, seps, &bst)
-		p.pairs = make(map[[2]int]*bounds.PairBound, len(prs))
-		for _, pr := range prs {
-			p.pairs[[2]int{pr.I, pr.J}] = pr
-		}
-	}
-	p.earlyRC, p.seps = projectStatic(sb, origOf, earlyRC, seps)
 	p.br = make([]*branchState, len(sb.Branches))
 	for i, b := range sb.Branches {
 		p.br[i] = &branchState{idx: i, op: b, late: make([]int, n)}

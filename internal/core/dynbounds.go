@@ -65,103 +65,128 @@ type branchState struct {
 // branch's issue used for this run (resource-aware when cfg.UseBounds).
 func (p *Picker) sep(bi, v int) int { return p.seps[bi][v] }
 
+// availThrough returns the free kind-k issue slots in [st.Cycle, c],
+// accounting for units still held by issued non-pipelined ops. The counts
+// are served from per-kind prefix sums shared by every branch's full update
+// within one refresh; the cache is versioned by (Scheduled, Cycle), the only
+// state whose change can alter the busy profile.
+func (p *Picker) availThrough(st *sched.State, k, c int) int {
+	if !p.freeValid || p.freeSched != st.Scheduled || p.freeCycle != st.Cycle {
+		for i := range p.freeSum {
+			p.freeSum[i] = p.freeSum[i][:0]
+		}
+		p.freeSched, p.freeCycle, p.freeValid = st.Scheduled, st.Cycle, true
+	}
+	idx := c - st.Cycle + 1 // prefix length covering [Cycle, c]
+	if idx <= 0 {
+		return 0
+	}
+	fs := p.freeSum[k]
+	if len(fs) == 0 {
+		fs = append(fs, 0)
+	}
+	for len(fs) <= idx {
+		t := st.Cycle + len(fs) - 1
+		f := st.FreeSlotsAt(k, t)
+		if f < 0 {
+			f = 0
+		}
+		fs = append(fs, fs[len(fs)-1]+f)
+	}
+	p.freeSum[k] = fs
+	return fs[idx]
+}
+
 // fullUpdate recomputes E, the late times, the ERCs, and the needs of
 // branch b from scratch (Steps 1-4 of Section 5.1 plus Section 5.2).
 func (p *Picker) fullUpdate(st *sched.State, b *branchState) {
 	st.Stats.FullUpdates++
 	g := p.sb.G
 	m := p.m
+	members := p.closureList[b.idx]
 
 	// Step 1: dependence-based early, tightened by separation bounds.
 	e := p.dynEarly[b.op]
-	p.closures[b.idx].ForEach(func(v int) {
+	for _, v := range members {
 		st.Stats.PriorityWork++
 		if st.IsScheduled(v) {
-			return
+			continue
 		}
 		if t := p.dynEarly[v] + p.sep(b.idx, v); t > e {
 			e = t
 		}
-	})
+	}
 
 	// Steps 2-3: elementary resource constraints; a window overflow delays
-	// the branch by the cycles needed to drain the excess.
-	// Gather (kind, late, occupancy) of unscheduled predecessors, incl. b.
-	items := p.itemBuf[:0]
+	// the branch by the cycles needed to drain the excess. The unscheduled
+	// predecessors (incl. b) are grouped per resource kind as parallel
+	// (late, occupancy) lists, sorted by late once; the delay pass and the
+	// ERC pass below sweep the same lists (a uniform late shift preserves
+	// the order, and equal-late entries are summed, so their relative order
+	// never matters).
+	for k := range p.kindLates {
+		p.kindLates[k] = p.kindLates[k][:0]
+		p.kindWeights[k] = p.kindWeights[k][:0]
+	}
 	collect := func(v int) {
 		if st.IsScheduled(v) {
 			return
 		}
 		c := g.Op(v).Class
-		items = append(items, [3]int{m.KindOf(c), e - p.sep(b.idx, v), m.Occupancy(c)})
+		k := m.KindOf(c)
+		p.kindLates[k] = append(p.kindLates[k], e-p.sep(b.idx, v))
+		p.kindWeights[k] = append(p.kindWeights[k], m.Occupancy(c))
 	}
-	p.closures[b.idx].ForEach(collect)
+	for _, v := range members {
+		collect(v)
+	}
 	collect(b.op)
-	p.itemBuf = items
-
-	// availThrough returns the free kind-k issue slots in [cycle, c],
-	// accounting for units still held by issued non-pipelined ops.
-	availThrough := func(k, c int) int {
-		avail := 0
-		for t := st.Cycle; t <= c; t++ {
-			if f := st.FreeSlotsAt(k, t); f > 0 {
-				avail += f
-			}
+	for k := range p.kindLates {
+		if len(p.kindLates[k]) > 1 {
+			sortByLate(p.kindLates[k], p.kindWeights[k])
 		}
-		return avail
 	}
-	computeDelay := func() int {
-		delay := 0
-		for k := 0; k < m.Kinds(); k++ {
-			// Sweep distinct late cutoffs in increasing order; each item
-			// contributes its occupancy in slots.
-			lates := p.lateBuf[:0]
-			weights := p.weightBuf[:0]
-			for _, it := range items {
-				if it[0] == k {
-					lates = append(lates, it[1])
-					weights = append(weights, it[2])
-				}
+	delay := 0
+	for k := 0; k < m.Kinds(); k++ {
+		lates, weights := p.kindLates[k], p.kindWeights[k]
+		if len(lates) == 0 {
+			continue
+		}
+		cap := m.Capacity(k)
+		need := 0
+		for i := 0; i < len(lates); {
+			c := lates[i]
+			for i < len(lates) && lates[i] == c {
+				need += weights[i]
+				i++
 			}
-			p.lateBuf, p.weightBuf = lates, weights
-			if len(lates) == 0 {
-				continue
-			}
-			sortByLate(lates, weights)
-			cap := m.Capacity(k)
-			need := 0
-			for i := 0; i < len(lates); {
-				c := lates[i]
-				for i < len(lates) && lates[i] == c {
-					need += weights[i]
-					i++
-				}
-				st.Stats.PriorityWork++
-				avail := availThrough(k, c)
-				if need > avail {
-					if d := ceilDiv(need-avail, cap); d > delay {
-						delay = d
-					}
+			st.Stats.PriorityWork++
+			avail := p.availThrough(st, k, c)
+			if need > avail {
+				if d := ceilDiv(need-avail, cap); d > delay {
+					delay = d
 				}
 			}
 		}
-		return delay
 	}
-	if d := computeDelay(); d > 0 {
-		e += d
-		for i := range items {
-			items[i][1] += d
+	if delay > 0 {
+		e += delay
+		for k := range p.kindLates {
+			lates := p.kindLates[k]
+			for i := range lates {
+				lates[i] += delay
+			}
 		}
-		// Shifting every late time by d adds cap·d slots to every window
-		// that was overflowing, which is at least the excess, so a single
-		// adjustment reaches the fixpoint.
+		// Shifting every late time by delay adds cap·delay slots to every
+		// window that was overflowing, which is at least the excess, so a
+		// single adjustment reaches the fixpoint.
 	}
 	b.E = e
 
 	// Late times for need computation.
-	p.closures[b.idx].ForEach(func(v int) {
+	for _, v := range members {
 		b.late[v] = e - p.sep(b.idx, v)
-	})
+	}
 	b.late[b.op] = e
 
 	// Step 4 + Section 5.2: ERC empty slots and the branch's needs.
@@ -171,19 +196,10 @@ func (p *Picker) fullUpdate(st *sched.State, b *branchState) {
 	b.needOneKind = -1
 	bestC, bestK := -1, -1
 	for k := 0; k < m.Kinds(); k++ {
-		lates := p.lateBuf[:0]
-		weights := p.weightBuf[:0]
-		for _, it := range items {
-			if it[0] == k {
-				lates = append(lates, it[1])
-				weights = append(weights, it[2])
-			}
-		}
-		p.lateBuf, p.weightBuf = lates, weights
+		lates, weights := p.kindLates[k], p.kindWeights[k]
 		if len(lates) == 0 {
 			continue
 		}
-		sortByLate(lates, weights)
 		need := 0
 		for i := 0; i < len(lates); {
 			c := lates[i]
@@ -191,7 +207,7 @@ func (p *Picker) fullUpdate(st *sched.State, b *branchState) {
 				need += weights[i]
 				i++
 			}
-			avail := availThrough(k, c)
+			avail := p.availThrough(st, k, c)
 			b.ercs = append(b.ercs, erc{Kind: k, C: c, Need: need, Avail: avail})
 			if avail-need == 0 && (bestC < 0 || c < bestC) {
 				bestC, bestK = c, k
@@ -206,20 +222,24 @@ func (p *Picker) fullUpdate(st *sched.State, b *branchState) {
 			b.needEach = append(b.needEach, v)
 		}
 	}
-	p.closures[b.idx].ForEach(appendNeedEach)
+	for _, v := range members {
+		appendNeedEach(v)
+	}
 	appendNeedEach(b.op)
 
 	// NeedOne: members of the most constraining zero-empty-slot ERC.
 	if bestC >= 0 {
-		members := make([]int, 0, 8)
+		group := make([]int, 0, 8)
 		addMember := func(v int) {
 			if !st.IsScheduled(v) && m.KindOf(g.Op(v).Class) == bestK && b.late[v] <= bestC {
-				members = append(members, v)
+				group = append(group, v)
 			}
 		}
-		p.closures[b.idx].ForEach(addMember)
+		for _, v := range members {
+			addMember(v)
+		}
 		addMember(b.op)
-		b.needOne = members
+		b.needOne = group
 		b.needOneKind = bestK
 	}
 	b.updatedAt = st.Cycle
@@ -269,13 +289,16 @@ func (p *Picker) lightUpdate(st *sched.State, b *branchState) bool {
 		}
 	}
 	// Refresh needs from the (still valid) late times.
+	members := p.closureList[b.idx]
 	b.needEach = b.needEach[:0]
 	appendNeedEach := func(v int) {
 		if !st.IsScheduled(v) && b.late[v] <= st.Cycle {
 			b.needEach = append(b.needEach, v)
 		}
 	}
-	p.closures[b.idx].ForEach(appendNeedEach)
+	for _, v := range members {
+		appendNeedEach(v)
+	}
 	appendNeedEach(b.op)
 
 	b.needOne = nil
@@ -287,15 +310,17 @@ func (p *Picker) lightUpdate(st *sched.State, b *branchState) bool {
 	}
 	b.needOneKind = -1
 	if bestC >= 0 {
-		members := make([]int, 0, 8)
+		group := make([]int, 0, 8)
 		addMember := func(v int) {
 			if !st.IsScheduled(v) && p.m.KindOf(p.sb.G.Op(v).Class) == bestK && b.late[v] <= bestC {
-				members = append(members, v)
+				group = append(group, v)
 			}
 		}
-		p.closures[b.idx].ForEach(addMember)
+		for _, v := range members {
+			addMember(v)
+		}
 		addMember(b.op)
-		b.needOne = members
+		b.needOne = group
 		b.needOneKind = bestK
 	}
 	return true

@@ -2,98 +2,24 @@ package engine
 
 import (
 	"context"
-	"errors"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
-	"balance/internal/resilience"
+	"balance/internal/conc"
 )
 
 // ForEach runs fn(i) for every i in [0, n) across a bounded pool of worker
-// goroutines and returns the first error in index order. workers ≤ 0 uses
-// GOMAXPROCS. The pool stops claiming new indices once ctx is cancelled or
-// any fn returns an error; in-flight calls finish first. When ctx is
-// cancelled, the returned error is ctx.Err() even if some fn also failed.
-//
-// Panic isolation: a panic in fn is recovered inside the worker (via
-// resilience.Protect) and reported as that index's error — a
-// *resilience.PanicError carrying the panic value and the goroutine stack.
-// The recovery happens before the worker's deferred wg.Done runs, so a
-// panicking fn can neither leak worker goroutines nor deadlock the
-// internal wg.Wait: the pool always drains and returns.
-//
-// This is the single worker-pool loop shared by Run and the evaluation
-// harness (it replaces the two near-identical pools that used to live in
-// internal/eval).
+// goroutines and returns the first error in index order; workers ≤ 0 uses
+// GOMAXPROCS. It delegates to conc.ForEach — the single worker-pool loop
+// shared by Run, the evaluation harness, and the bound kernel's pair
+// fan-out (see internal/conc for the panic-isolation and telemetry
+// contract).
 func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
-	errs, ctxErr := forEach(ctx, workers, n, false, fn)
-	if ctxErr != nil {
-		return ctxErr
-	}
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return conc.ForEach(ctx, workers, n, fn)
 }
 
 // ForEachKeepGoing is ForEach under the KeepGoing policy: a failing (or
 // panicking) fn does not stop the pool — every index is attempted, and the
 // returned slice holds each index's error (nil for the ones that
-// succeeded). The second return is ctx.Err(); when the context is
-// cancelled mid-run, unclaimed indices keep a nil error and are counted in
-// the engine.jobs_skipped telemetry.
+// succeeded). The second return is ctx.Err(). See conc.ForEachKeepGoing.
 func ForEachKeepGoing(ctx context.Context, workers, n int, fn func(i int) error) ([]error, error) {
-	return forEach(ctx, workers, n, true, fn)
-}
-
-func forEach(ctx context.Context, workers, n int, keepGoing bool, fn func(i int) error) ([]error, error) {
-	if n <= 0 {
-		return nil, ctx.Err()
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	errs := make([]error, n)
-	var next int64 = -1
-	var failed atomic.Bool
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				if (!keepGoing && failed.Load()) || ctx.Err() != nil {
-					return
-				}
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= n {
-					return
-				}
-				err := resilience.Protect(func() error { return fn(i) })
-				if err != nil {
-					var pe *resilience.PanicError
-					if errors.As(err, &pe) {
-						telJobsPanicked.Inc()
-					}
-					errs[i] = err
-					failed.Store(true)
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	claimed := int(atomic.LoadInt64(&next)) + 1
-	if claimed > n {
-		claimed = n
-	}
-	if claimed < n {
-		telJobsSkipped.Add(int64(n - claimed))
-	}
-	return errs, ctx.Err()
+	return conc.ForEachKeepGoing(ctx, workers, n, fn)
 }

@@ -324,7 +324,7 @@ func evaluateJob(ctx context.Context, cfg *Config, scheds []Scheduler, setKey st
 		return res, err
 	}
 
-	set := bounds.ComputeBudget(job.SB, cfg.Machine, cfg.Bounds, cfg.JobBudget.New())
+	set := bounds.ComputeBudgetCtx(ctx, job.SB, cfg.Machine, cfg.Bounds, cfg.JobBudget.New())
 	res.Bounds = set
 	res.Degraded = set.Degraded
 	res.Cost = make(map[string]float64, len(scheds)+1)

@@ -85,7 +85,10 @@ func CrossProductAllCtx(ctx context.Context, sb *model.Superblock, m *model.Mach
 			for v := 0; v < n; v++ {
 				mixed[v] = dhKey[v] + alpha*cpKey[v] + beta*srKey[v]
 			}
-			s, stats, err := sched.ListSchedule(sb, m, append([]float64(nil), mixed...))
+			// ListSchedule runs synchronously and the picker does not
+			// retain its key slices, so one mixed buffer serves every
+			// grid point.
+			s, stats, err := sched.ListSchedule(sb, m, mixed)
 			total.Add(&stats)
 			if err != nil {
 				return nil, total, fmt.Errorf("cross product (α=%d β=%d): %w", a, b, err)

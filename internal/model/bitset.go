@@ -57,6 +57,20 @@ func (b *Bitset) Reset() {
 	}
 }
 
+// AppendTo appends every element of the set to dst in increasing order and
+// returns the extended slice. It is the allocation-free counterpart of
+// ForEach for callers that collect the members into a reusable buffer.
+func (b *Bitset) AppendTo(dst []int) []int {
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			dst = append(dst, wi*64+bit)
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
 // ForEach calls fn for every element of the set in increasing order.
 func (b *Bitset) ForEach(fn func(i int)) {
 	for wi, w := range b.words {

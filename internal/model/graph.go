@@ -3,6 +3,7 @@ package model
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Edge is a directed dependence between two operations. The latency is the
@@ -25,6 +26,9 @@ type Graph struct {
 
 	topo    []int     // a topological order of op IDs
 	closure []*Bitset // closure[v] = transitive predecessors of v (excluding v), lazily built
+
+	distMu sync.Mutex
+	distTo map[int][]int // target -> LongestToTarget vector, lazily built
 }
 
 // NumOps returns the number of operations in the graph.
@@ -119,7 +123,26 @@ func (g *Graph) buildClosures() {
 // LongestToTarget returns, for every transitive predecessor v of target (and
 // target itself), the longest dependence-path latency dist(v -> target).
 // Entries for operations that do not precede target are -1.
+//
+// The vector is cached per target (bound and heuristic code asks for the
+// same targets — typically the branches — over and over); callers must not
+// modify the returned slice.
 func (g *Graph) LongestToTarget(target int) []int {
+	g.distMu.Lock()
+	defer g.distMu.Unlock()
+	if d, ok := g.distTo[target]; ok {
+		return d
+	}
+	if g.distTo == nil {
+		g.distTo = make(map[int][]int)
+	}
+	d := g.longestToTarget(target)
+	g.distTo[target] = d
+	return d
+}
+
+// longestToTarget computes the LongestToTarget vector (uncached).
+func (g *Graph) longestToTarget(target int) []int {
 	n := len(g.ops)
 	dist := make([]int, n)
 	for i := range dist {

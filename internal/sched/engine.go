@@ -2,20 +2,28 @@ package sched
 
 import (
 	"fmt"
+	"slices"
+	"sync"
 
 	"balance/internal/model"
 	"balance/internal/telemetry"
 )
 
-// List-scheduler instruments. Ready-queue sizes are observed once per
-// Candidates call (i.e. at least once per pick decision), so the histogram
-// tracks how much choice the pickers actually had.
+// List-scheduler instruments. Ready-queue sizes are sampled one Candidates
+// call in readyQueueSampleEvery (observing every call put the histogram's
+// atomics on the scheduler's hottest path), so the histogram tracks how
+// much choice the pickers had at a 1-in-N granularity.
 var (
 	telRuns       = telemetry.Default().Counter("sched.runs")
 	telOps        = telemetry.Default().Counter("sched.ops_scheduled")
 	telCycles     = telemetry.Default().Counter("sched.cycles_scheduled")
 	telReadyQueue = telemetry.Default().Histogram("sched.ready_queue_len")
 )
+
+// readyQueueSampleEvery is the Candidates-call sampling stride of the
+// sched.ready_queue_len histogram (a power of two keeps the check to one
+// increment and mask).
+const readyQueueSampleEvery = 16
 
 // Stats counts the work performed while constructing a schedule. The counts
 // mirror the "sum of each loop trip count" metric of Table 6 in the paper.
@@ -74,25 +82,101 @@ type State struct {
 	readyAt   []int   // earliest dependence-ready cycle once predsLeft == 0
 	busy      [][]int // busy[k][cycle] = kind-k units held at cycle
 	candBuf   []int
+
+	// Incremental ready set: ready holds the unscheduled ops whose
+	// dependences are satisfied at the current cycle (resource feasibility
+	// is checked per Candidates call), kept sorted ascending by op ID so
+	// Candidates never sorts. pendAt[c] buckets ops that become
+	// dependence-ready at cycle c — advance() splices the next bucket
+	// instead of rescanning all ops.
+	ready    []int
+	pendAt   [][]int
+	kind     []int // resource kind per op (memoized m.KindOf)
+	occ      []int // occupancy per op (memoized m.Occupancy)
+	kcap     []int // capacity per kind (memoized m.Capacity)
+	candTick uint  // Candidates-call counter for histogram sampling
+}
+
+// statePool recycles run states: grid searches (the cross product runs the
+// list scheduler 121 times per superblock) would otherwise allocate ~10
+// op-sized slices per run.
+var statePool = sync.Pool{New: func() any { return new(State) }}
+
+// resized returns s with length n, reusing its backing array when possible.
+func resized(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
 }
 
 // newState initializes engine state for one scheduling run.
 func newState(sb *model.Superblock, m *model.Machine) *State {
 	n := sb.G.NumOps()
-	st := &State{
-		SB:         sb,
-		M:          m,
-		IssueCycle: make([]int, n),
-		LastOp:     -1,
-		predsLeft:  make([]int, n),
-		readyAt:    make([]int, n),
-		busy:       make([][]int, m.Kinds()),
+	kinds := m.Kinds()
+	st := statePool.Get().(*State)
+	st.SB, st.M = sb, m
+	st.Cycle, st.Scheduled = 0, 0
+	st.LastOp = -1
+	st.Stats = Stats{}
+	st.IssueCycle = resized(st.IssueCycle, n)
+	st.predsLeft = resized(st.predsLeft, n)
+	st.readyAt = resized(st.readyAt, n)
+	st.kind = resized(st.kind, n)
+	st.occ = resized(st.occ, n)
+	st.kcap = resized(st.kcap, kinds)
+	if cap(st.busy) < kinds {
+		st.busy = make([][]int, kinds)
 	}
+	st.busy = st.busy[:kinds]
+	for k := 0; k < kinds; k++ {
+		st.busy[k] = st.busy[k][:0]
+		st.kcap[k] = m.Capacity(k)
+	}
+	for i := range st.pendAt {
+		st.pendAt[i] = st.pendAt[i][:0]
+	}
+	st.ready = st.ready[:0]
 	for v := 0; v < n; v++ {
 		st.IssueCycle[v] = -1
 		st.predsLeft[v] = len(sb.G.Preds(v))
+		st.readyAt[v] = 0
+		c := sb.G.Op(v).Class
+		st.kind[v] = m.KindOf(c)
+		st.occ[v] = m.Occupancy(c)
+	}
+	// Source ops are dependence-ready at cycle 0 (ascending scan keeps the
+	// ready list sorted).
+	for v := 0; v < n; v++ {
+		if st.predsLeft[v] == 0 {
+			st.ready = append(st.ready, v)
+		}
 	}
 	return st
+}
+
+// release returns the state to the pool for reuse by a later run.
+func (st *State) release() {
+	st.SB, st.M = nil, nil
+	statePool.Put(st)
+}
+
+// pushReady inserts v into the sorted ready set (its dependences are
+// satisfied at the current cycle).
+func (st *State) pushReady(v int) {
+	pos, _ := slices.BinarySearch(st.ready, v)
+	st.ready = append(st.ready, 0)
+	copy(st.ready[pos+1:], st.ready[pos:])
+	st.ready[pos] = v
+}
+
+// dropReady removes v from the sorted ready set if present.
+func (st *State) dropReady(v int) {
+	pos, ok := slices.BinarySearch(st.ready, v)
+	if !ok {
+		return
+	}
+	st.ready = append(st.ready[:pos], st.ready[pos+1:]...)
 }
 
 // IsScheduled reports whether v has been issued.
@@ -132,11 +216,22 @@ func (st *State) FreeSlotsAt(k, cycle int) int { return st.M.Capacity(k) - st.Bu
 // Fits reports whether v's resource kind has a free unit for v's whole
 // occupancy window starting at the current cycle.
 func (st *State) Fits(v int) bool {
-	c := st.SB.G.Op(v).Class
-	k := st.M.KindOf(c)
-	cap := st.M.Capacity(k)
-	for t := st.Cycle; t < st.Cycle+st.M.Occupancy(c); t++ {
-		if st.BusyAt(k, t) >= cap {
+	k := st.kind[v]
+	cap := st.kcap[k]
+	if cap <= 0 {
+		return false
+	}
+	busy := st.busy[k]
+	c := st.Cycle
+	if st.occ[v] == 1 { // fully-pipelined fast path: one cycle to check
+		return c >= len(busy) || busy[c] < cap
+	}
+	for t := c; t < c+st.occ[v]; t++ {
+		b := 0
+		if t < len(busy) {
+			b = busy[t]
+		}
+		if b >= cap {
 			return false
 		}
 	}
@@ -144,17 +239,25 @@ func (st *State) Fits(v int) bool {
 }
 
 // Candidates returns the operations that can legally issue in the current
-// cycle (dependence-ready and resource-feasible). The returned slice is
-// reused across calls; callers must not retain it.
+// cycle (dependence-ready and resource-feasible) in ascending ID order.
+// The returned slice is reused across calls; callers must not retain it.
+//
+// The scan covers only the incremental ready set — ops whose dependences
+// are already satisfied — rather than every op, so a call costs O(ready),
+// not O(n).
 func (st *State) Candidates() []int {
 	st.candBuf = st.candBuf[:0]
-	for v := 0; v < len(st.IssueCycle); v++ {
+	// The ready list is sorted, so the filtered scan yields the ascending-ID
+	// order that pickers keeping the first-seen op on priority ties rely on.
+	for _, v := range st.ready {
 		st.Stats.CandidateScans++
-		if st.DepReady(v) && st.Fits(v) {
+		if st.Fits(v) {
 			st.candBuf = append(st.candBuf, v)
 		}
 	}
-	telReadyQueue.Observe(int64(len(st.candBuf)))
+	if st.candTick++; st.candTick%readyQueueSampleEvery == 0 {
+		telReadyQueue.Observe(int64(len(st.candBuf)))
+	}
 	return st.candBuf
 }
 
@@ -162,28 +265,47 @@ func (st *State) Candidates() []int {
 func (st *State) place(v int) {
 	st.IssueCycle[v] = st.Cycle
 	st.Scheduled++
-	c := st.SB.G.Op(v).Class
-	k := st.M.KindOf(c)
-	for t := st.Cycle; t < st.Cycle+st.M.Occupancy(c); t++ {
+	st.dropReady(v)
+	k := st.kind[v]
+	for t := st.Cycle; t < st.Cycle+st.occ[v]; t++ {
 		for t >= len(st.busy[k]) {
 			st.busy[k] = append(st.busy[k], 0)
 		}
 		st.busy[k][t]++
 	}
 	for _, e := range st.SB.G.Succs(v) {
-		st.predsLeft[e.To]--
-		if t := st.Cycle + e.Lat; t > st.readyAt[e.To] {
-			st.readyAt[e.To] = t
+		w := e.To
+		st.predsLeft[w]--
+		if t := st.Cycle + e.Lat; t > st.readyAt[w] {
+			st.readyAt[w] = t
+		}
+		if st.predsLeft[w] == 0 {
+			// readyAt[w] is final now that every predecessor has issued.
+			if r := st.readyAt[w]; r <= st.Cycle {
+				st.pushReady(w)
+			} else {
+				for r >= len(st.pendAt) {
+					st.pendAt = append(st.pendAt, nil)
+				}
+				st.pendAt[r] = append(st.pendAt[r], w)
+			}
 		}
 	}
 	st.LastOp = v
 }
 
-// advance moves to the next cycle.
+// advance moves to the next cycle, promoting ops that become
+// dependence-ready in it.
 func (st *State) advance() {
 	st.Cycle++
 	st.LastOp = -1
 	st.Stats.CycleAdvances++
+	if st.Cycle < len(st.pendAt) {
+		for _, v := range st.pendAt[st.Cycle] {
+			st.pushReady(v)
+		}
+		st.pendAt[st.Cycle] = st.pendAt[st.Cycle][:0]
+	}
 }
 
 // Picker selects the next operation to issue. Pick must return either an
@@ -204,6 +326,7 @@ func (f PickerFunc) Pick(st *State) int { return f(st) }
 // resulting schedule and the work statistics of the run.
 func Run(sb *model.Superblock, m *model.Machine, p Picker) (*Schedule, Stats, error) {
 	st := newState(sb, m)
+	defer st.release()
 	n := sb.G.NumOps()
 	horizon := Horizon(sb) + n
 	for st.Scheduled < n {

@@ -67,6 +67,9 @@ func Negate(in []float64) []float64 {
 func AsapSchedule(sb *model.Superblock, m *model.Machine, include *model.Bitset, target int) (int, Stats) {
 	g := sb.G
 	n := g.NumOps()
+	// The included ops as an ascending list: the candidate scans below walk
+	// the members only, not all n ops.
+	members := include.AppendTo(make([]int, 0, include.Count()))
 	// Heights restricted to the included subgraph.
 	heights := make([]float64, n)
 	topo := g.Topo()
@@ -92,9 +95,8 @@ func AsapSchedule(sb *model.Superblock, m *model.Machine, include *model.Bitset,
 	remaining := 0
 	for v := 0; v < n; v++ {
 		issue[v] = -1
-		if !include.Has(v) {
-			continue
-		}
+	}
+	for _, v := range members {
 		remaining++
 		for _, e := range g.Preds(v) {
 			if include.Has(e.To) {
@@ -130,9 +132,9 @@ func AsapSchedule(sb *model.Superblock, m *model.Machine, include *model.Bitset,
 	cycle := 0
 	for remaining > 0 {
 		best := -1
-		for v := 0; v < n; v++ {
+		for _, v := range members {
 			stats.CandidateScans++
-			if !include.Has(v) || issue[v] >= 0 || predsLeft[v] > 0 || readyAt[v] > cycle {
+			if issue[v] >= 0 || predsLeft[v] > 0 || readyAt[v] > cycle {
 				continue
 			}
 			if !fits(g.Op(v).Class, cycle) {
