@@ -359,3 +359,43 @@ func BenchmarkEngineRun(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkTraceOff pins the cost of the PR-5 instrumentation with no
+// sink installed — the shipping configuration for every benchmark above.
+// The pairwise and schedule sub-benchmarks run the real hot paths through
+// their traced entry points; hooks measures the bare disabled
+// instrumentation sequence those paths execute (span open/close plus an
+// instant), which must stay at 0 allocs/op and low single-digit
+// nanoseconds. All three are gated by cmd/benchgate in CI.
+func BenchmarkTraceOff(b *testing.B) {
+	reg := balance.Telemetry()
+	if reg.SinkActive() {
+		b.Fatal("a telemetry sink is installed; trace-off benchmarks need the disabled path")
+	}
+	sb := midSB()
+	m := balance.FS4()
+	b.Run("pairwise", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			balance.ComputeBounds(sb, m, balance.BoundOptions{})
+		}
+	})
+	b.Run("schedule", func(b *testing.B) {
+		b.ReportAllocs()
+		h := balance.Balance()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := h.Run(sb, m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hooks", func(b *testing.B) {
+		b.ReportAllocs()
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			sp, sctx := reg.StartSpanCtx(ctx, "bounds.PW")
+			reg.EmitCtx(sctx, "bounds.degraded")
+			sp.End()
+		}
+	})
+}

@@ -1,0 +1,156 @@
+package main
+
+// End-to-end tests for the sbeval CLI's tracing exit paths: the test
+// binary re-execs itself as the tool, so the real flag parsing, signal
+// handling, and cliutil teardown order run exactly as shipped.
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+const reexecEnv = "SBEVAL_RUN_MAIN"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(reexecEnv) == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// traceDoc mirrors the Chrome trace-event fields the tests inspect.
+type traceDoc struct {
+	TraceEvents []struct {
+		Name string `json:"name"`
+		Ph   string `json:"ph"`
+		Args struct {
+			Span   uint64 `json:"span"`
+			Parent uint64 `json:"parent"`
+		} `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func readTrace(t *testing.T, path string) traceDoc {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	return doc
+}
+
+// TestTraceNestedSpans runs a small evaluation with -trace and checks the
+// exported span tree: engine.run encloses engine.job, which encloses
+// bounds.compute, which carries the kernel build/reuse markers.
+func TestTraceNestedSpans(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "run.json")
+	cmd := exec.Command(os.Args[0], "-table", "1", "-scale", "0.1", "-trace", trace)
+	cmd.Env = append(os.Environ(), reexecEnv+"=1")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("sbeval: %v\n%s", err, out)
+	}
+	doc := readTrace(t, trace)
+
+	spanName := map[uint64]string{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" && e.Args.Span != 0 {
+			spanName[e.Args.Span] = e.Name
+		}
+	}
+	// For each child kind, some instance must have a parent of the
+	// expected enclosing kind.
+	wantNesting := map[string]string{
+		"engine.job":     "engine.run",
+		"engine.sched":   "engine.job",
+		"bounds.compute": "engine.job",
+		"bounds.CP":      "bounds.compute",
+	}
+	seen := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" || e.Args.Parent == 0 {
+			continue
+		}
+		if spanName[e.Args.Parent] == wantNesting[e.Name] {
+			seen[e.Name] = true
+		}
+	}
+	for child, parent := range wantNesting {
+		if !seen[child] {
+			t.Errorf("no %s span nested under %s", child, parent)
+		}
+	}
+	kernel := false
+	for _, e := range doc.TraceEvents {
+		if e.Name == "bounds.kernel" && e.Ph == "i" && spanName[e.Args.Parent] == "bounds.compute" {
+			kernel = true
+			break
+		}
+	}
+	if !kernel {
+		t.Error("no bounds.kernel instant parented to a bounds.compute span")
+	}
+}
+
+// TestInterruptFlushesTrace interrupts a long evaluation after it has
+// started and asserts the regression fixed in cliutil: the SIGINT exit
+// path (exit 130) must still run the trace-writer teardown, leaving a
+// complete, parseable trace-event file and a metrics snapshot.
+func TestInterruptFlushesTrace(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "run.json")
+	metrics := filepath.Join(dir, "metrics.json")
+	cmd := exec.Command(os.Args[0], "-all", "-trace", trace, "-metrics", metrics)
+	cmd.Env = append(os.Environ(), reexecEnv+"=1")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the corpus banner so the interrupt lands mid-evaluation,
+	// then let a few jobs complete before pulling the plug.
+	sc := bufio.NewScanner(stderr)
+	if !sc.Scan() || !strings.Contains(sc.Text(), "corpus") {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("unexpected first stderr line: %q", sc.Text())
+	}
+	time.Sleep(300 * time.Millisecond)
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for sc.Scan() { // drain so the child never blocks on stderr
+		}
+	}()
+	err = cmd.Wait()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 130 {
+		t.Fatalf("after SIGINT: err = %v, want exit status 130", err)
+	}
+
+	doc := readTrace(t, trace)
+	if len(doc.TraceEvents) < 4 {
+		t.Errorf("interrupted trace holds %d events, want at least the metadata", len(doc.TraceEvents))
+	}
+	mraw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatalf("metrics snapshot missing after SIGINT: %v", err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(mraw, &m); err != nil {
+		t.Fatalf("metrics snapshot is not valid JSON: %v", err)
+	}
+}

@@ -1,0 +1,304 @@
+// Command sbexplain schedules one superblock with the Balance heuristic
+// and renders the decision-explain channel: an annotated per-cycle table
+// showing, for every scheduling decision, the dynamic branch bounds, the
+// compatible-branch selection, the pairwise tradeoffs that shaped it,
+// and the final pick — followed by a weighted-cost attribution table
+// tying each branch's delay beyond its bound back to the decisions.
+//
+// Usage:
+//
+//	sbexplain -figure 1 [-p 0.25]         # a worked example (Figures 1-4, 6)
+//	sbexplain [-machine GP2] [-index 0] [file.sb]
+//	sbexplain -json ...                   # raw Decision records, one JSON object per line
+//
+// The -update / -no-tradeoff flags select the Table-7 ablation variants;
+// -v additionally prints every branch's NeedEach/NeedOne sets and ERC
+// windows at each decision. -metrics and -trace behave as in the other
+// tools (a .json trace opens in ui.perfetto.dev).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+
+	"balance"
+	"balance/internal/bounds"
+	"balance/internal/cliutil"
+	"balance/internal/core"
+	"balance/internal/figures"
+	"balance/internal/model"
+	"balance/internal/sched"
+)
+
+var obs = cliutil.Flags("sbexplain", false)
+
+func main() {
+	machine := flag.String("machine", "GP2", "machine configuration (GP1,GP2,GP4,FS4,FS6,FS8)")
+	figure := flag.Int("figure", 0, "explain a worked example (1-4, 6) instead of reading a .sb file")
+	sideProb := flag.Float64("p", 0.25, "side-exit probability for worked examples")
+	index := flag.Int("index", 0, "superblock index within the .sb input")
+	update := flag.String("update", "per-op", "dynamic-bound update policy: per-op, light, cycle")
+	noTradeoff := flag.Bool("no-tradeoff", false, "disable the pairwise-bound tradeoffs (Table-7 ablation)")
+	jsonOut := flag.Bool("json", false, "emit the raw decision records as JSON lines instead of the table")
+	verbose := flag.Bool("v", false, "print each branch's need sets and ERC windows at every decision")
+	flag.Parse()
+
+	if err := obs.Start(); err != nil {
+		obs.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	m, err := balance.MachineByName(*machine)
+	if err != nil {
+		fatal(err)
+	}
+	sb, err := pickSuperblock(*figure, *sideProb, *index)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Tradeoff = !*noTradeoff
+	switch *update {
+	case "per-op":
+		cfg.Update = core.UpdatePerOp
+	case "light":
+		cfg.Update = core.UpdateLight
+	case "cycle":
+		cfg.Update = core.UpdatePerCycle
+	default:
+		fatal(fmt.Errorf("unknown -update policy %q (per-op, light, cycle)", *update))
+	}
+
+	p := core.NewPicker(sb, m, cfg)
+	var decs []*core.Decision
+	p.Explain(func(d *core.Decision) { decs = append(decs, d) })
+	s, stats, err := sched.RunCtx(ctx, sb, m, p)
+	if err != nil {
+		fatal(err)
+	}
+	if err := balance.Verify(sb, m, s); err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range decs {
+			if err := enc.Encode(d); err != nil {
+				fatal(err)
+			}
+		}
+		obs.Close()
+		return
+	}
+
+	set := bounds.Compute(sb, m, bounds.Options{})
+	render(os.Stdout, sb, m, set, decs, s, stats, *verbose)
+	obs.Close()
+}
+
+// pickSuperblock resolves the input: a worked example or a .sb file
+// (stdin when no file argument is given).
+func pickSuperblock(figure int, sideProb float64, index int) (*model.Superblock, error) {
+	if figure != 0 {
+		switch figure {
+		case 1:
+			return figures.Figure1(sideProb), nil
+		case 2:
+			return figures.Figure2(sideProb), nil
+		case 3:
+			return figures.Figure3(sideProb), nil
+		case 4:
+			return figures.Figure4(sideProb), nil
+		case 6:
+			return figures.Figure6(), nil
+		default:
+			return nil, fmt.Errorf("no worked example for figure %d (have 1-4, 6)", figure)
+		}
+	}
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		in = f
+	}
+	sbs, err := balance.ReadSuperblocks(in)
+	if err != nil {
+		return nil, err
+	}
+	if index < 0 || index >= len(sbs) {
+		return nil, fmt.Errorf("-index %d out of range (input has %d superblocks)", index, len(sbs))
+	}
+	return sbs[index], nil
+}
+
+// render prints the annotated per-cycle decision table and the final
+// weighted-cost attribution.
+func render(w io.Writer, sb *model.Superblock, m *model.Machine, set *bounds.Set,
+	decs []*core.Decision, s *sched.Schedule, stats sched.Stats, verbose bool) {
+	fmt.Fprintf(w, "%s (%d ops, %d exits) on %s — Balance decision explain\n",
+		sb.Name, sb.G.NumOps(), sb.NumBranches(), m.Name)
+	fmt.Fprintf(w, "branches:")
+	for i, b := range sb.Branches {
+		fmt.Fprintf(w, "  b%d=op%d p=%.4g", i, b, sb.Prob[i])
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "static per-branch issue bounds: CP=%v Hu=%v RJ=%v LC=%v\n",
+		set.CP, set.Hu, set.RJ, set.LC)
+	for _, pr := range set.Pairs {
+		if pr.NoTradeoff {
+			fmt.Fprintf(w, "pair (b%d,b%d): no tradeoff\n", pr.I, pr.J)
+		} else {
+			fmt.Fprintf(w, "pair (b%d,b%d): optimum t_%d=%d t_%d=%d (weighted %.4f; individual bounds %d, %d)\n",
+				pr.I, pr.J, pr.I, pr.Bi, pr.J, pr.Bj, pr.Value, pr.Ei, pr.Ej)
+		}
+	}
+	fmt.Fprintln(w)
+
+	lastCycle := -1
+	for _, d := range decs {
+		if d.Cycle != lastCycle {
+			fmt.Fprintf(w, "cycle %d\n", d.Cycle)
+			lastCycle = d.Cycle
+		}
+		fmt.Fprintf(w, "  #%-3d %-18s", d.Seq, fmt.Sprintf("cands=%v", d.Candidates))
+		if len(d.Outcomes) > 0 {
+			fmt.Fprintf(w, " sel=[%s]", outcomeCodes(d.Outcomes))
+			fmt.Fprintf(w, " E=%s", branchEs(d.Branches))
+			if len(d.TakeEach) > 0 {
+				fmt.Fprintf(w, " each=%v", d.TakeEach)
+			}
+			if len(d.TakeOne) > 0 {
+				fmt.Fprintf(w, " one=%v", d.TakeOne)
+			}
+			fmt.Fprintf(w, " rank=%.3f", d.Rank)
+		}
+		if d.Picked < 0 {
+			fmt.Fprintf(w, " -> advance\n")
+		} else if d.HelpedProb > 0 {
+			fmt.Fprintf(w, " -> pick %d (helps %.4g: %s)\n", d.Picked, d.HelpedProb, branchList(d.HelpedBranches))
+		} else {
+			fmt.Fprintf(w, " -> pick %d\n", d.Picked)
+		}
+		for _, t := range d.Tradeoffs {
+			fmt.Fprintf(w, "       tradeoff(pass %d): delay of b%d blessed for b%d — pair optimum B=%d > individual E=%d (value %.4f)\n",
+				t.Pass, t.Delayed, t.Selected, t.OptB, t.IndivE, t.PairValue)
+		}
+		for _, sw := range d.Swaps {
+			kept := "rejected"
+			if sw.Kept {
+				kept = "kept"
+			}
+			fmt.Fprintf(w, "       swap(iter %d): b%d<->b%d rank %.3f -> %.3f (%s)\n",
+				sw.Iter, sw.Selected, sw.Delayed, sw.RankBefore, sw.RankAfter, kept)
+		}
+		if verbose {
+			for _, b := range d.Branches {
+				if b.Done {
+					fmt.Fprintf(w, "       b%d done\n", b.Branch)
+					continue
+				}
+				fmt.Fprintf(w, "       b%d p=%.4g E=%d needEach=%v", b.Branch, b.Prob, b.E, b.NeedEach)
+				if b.NeedOne != nil {
+					fmt.Fprintf(w, " needOne=%v(kind %d)", b.NeedOne, b.NeedOneKind)
+				}
+				if len(b.ERCs) > 0 {
+					parts := make([]string, len(b.ERCs))
+					for i, e := range b.ERCs {
+						parts[i] = fmt.Sprintf("k%d@%d %d/%d", e.Kind, e.C, e.Need, e.Avail)
+					}
+					fmt.Fprintf(w, " ercs=[%s]", strings.Join(parts, " "))
+				}
+				fmt.Fprintln(w)
+			}
+		}
+	}
+
+	// Attribution: each branch's issue cycle vs its tightest static
+	// bound, weighted by exit probability — the per-branch decomposition
+	// of the schedule's weighted cost.
+	cycles := sched.BranchCycles(sb, s)
+	cost := sched.Cost(sb, s)
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "branch  prob     bound  issued  delta  weighted-delta\n")
+	floor := 0.0
+	for i := range sb.Branches {
+		bound := maxInt(set.CP[i], set.Hu[i], set.RJ[i], set.LC[i])
+		delta := cycles[i] - bound
+		floor += sb.Prob[i] * float64(bound+model.BranchLatency)
+		fmt.Fprintf(w, "b%-5d  %-7.4g  %-5d  %-6d  %-5d  %+.4f\n",
+			i, sb.Prob[i], bound, cycles[i], delta, sb.Prob[i]*float64(delta))
+	}
+	fmt.Fprintf(w, "\ncost %.4f  per-branch floor %.4f  gap %+.4f  (%d decisions)\n",
+		cost, floor, cost-floor, stats.Decisions)
+}
+
+// outcomeCodes compacts outcome names: S selected, D delayed, D* blessed
+// delay, . ignored.
+func outcomeCodes(outcomes []string) string {
+	codes := make([]string, len(outcomes))
+	for i, o := range outcomes {
+		switch o {
+		case "selected":
+			codes[i] = "S"
+		case "delayed":
+			codes[i] = "D"
+		case "delayed-ok":
+			codes[i] = "D*"
+		default:
+			codes[i] = "."
+		}
+	}
+	return strings.Join(codes, " ")
+}
+
+// branchEs renders each live branch's dynamic early bound ("-" once the
+// branch has issued).
+func branchEs(branches []core.BranchSnap) string {
+	parts := make([]string, len(branches))
+	for i, b := range branches {
+		if b.Done {
+			parts[i] = "-"
+		} else {
+			parts[i] = fmt.Sprintf("%d", b.E)
+		}
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// branchList renders branch indices as "b0+b2".
+func branchList(bs []int) string {
+	sorted := append([]int(nil), bs...)
+	sort.Ints(sorted)
+	parts := make([]string, len(sorted))
+	for i, b := range sorted {
+		parts[i] = fmt.Sprintf("b%d", b)
+	}
+	return strings.Join(parts, "+")
+}
+
+func maxInt(vs ...int) int {
+	out := vs[0]
+	for _, v := range vs[1:] {
+		if v > out {
+			out = v
+		}
+	}
+	return out
+}
+
+// fatal flushes telemetry and exits: 130 after cancellation (SIGINT),
+// 1 on real failures.
+func fatal(err error) { obs.Fatal(err) }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"balance/internal/model"
+	"balance/internal/telemetry"
 )
 
 // Kernel is the per-(graph, machine) bound kernel: every weight-independent
@@ -97,12 +98,20 @@ var kernelCache = struct {
 // clone of a superblock (same G pointer) maps to the same kernel; cache
 // hits count into the bounds.kernel_reuse telemetry series.
 func KernelFor(sb *model.Superblock, m *model.Machine) *Kernel {
+	k, _ := kernelFor(sb, m)
+	return k
+}
+
+// kernelFor additionally reports whether the kernel was recalled from
+// the cache, so tracing callers can tag the lookup without a second
+// cache probe.
+func kernelFor(sb *model.Superblock, m *model.Machine) (*Kernel, bool) {
 	key := kernelKey{sb.G, m}
 	kernelCache.Lock()
 	if k, ok := kernelCache.entries[key]; ok {
 		kernelCache.Unlock()
 		telKernelReuse.Inc()
-		return k
+		return k, true
 	}
 	k := &Kernel{sb: sb, m: m}
 	if len(kernelCache.order) >= kernelCacheCap {
@@ -114,7 +123,7 @@ func KernelFor(sb *model.Superblock, m *model.Machine) *Kernel {
 	kernelCache.entries[key] = k
 	kernelCache.order = append(kernelCache.order, key)
 	kernelCache.Unlock()
-	return k
+	return k, false
 }
 
 // KernelCacheReset drops every cached kernel (tests and benchmarks that
@@ -257,6 +266,10 @@ func (k *Kernel) ensurePairs(ctx context.Context, workers int) error {
 	}
 	k.ensureLC()
 	k.ensureSeps()
+	// The curve-template build is the expensive, once-per-(graph, machine)
+	// part of the kernel; give it its own slice in the trace so a cold
+	// job's extra latency is attributable.
+	sp, ctx := telemetry.Default().StartSpanCtx(ctx, "bounds.kernel.pairs")
 	tmpls, pruned, err := buildPairTemplates(ctx, k.d, k.work, k.m, k.earlyRC, k.seps, workers, &k.pairStats)
 	if err != nil {
 		// Discard the partial stats so a retry starts clean.
@@ -266,6 +279,12 @@ func (k *Kernel) ensurePairs(ctx context.Context, workers int) error {
 	k.pairTmpls, k.pairsPruned = tmpls, pruned
 	k.pairsDone = true
 	telPairsPruned.Add(pruned)
+	if sp.Active() {
+		sp.End(
+			telemetry.Int("templates", int64(len(tmpls))),
+			telemetry.Int("pruned", pruned),
+		)
+	}
 	return nil
 }
 

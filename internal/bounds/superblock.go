@@ -6,6 +6,7 @@ import (
 
 	"balance/internal/model"
 	"balance/internal/resilience"
+	"balance/internal/telemetry"
 )
 
 // NaiveValue composes per-branch issue bounds into a superblock-level lower
@@ -177,7 +178,19 @@ func ComputeBudget(sb *model.Superblock, m *model.Machine, opts Options, budget 
 // and budget accounting identical whether or not the kernel was warm.
 func ComputeBudgetCtx(ctx context.Context, sb *model.Superblock, m *model.Machine, opts Options, budget *resilience.Budget) *Set {
 	computeStart := time.Now()
-	k := KernelFor(sb, m)
+	// Root of the bound computation's span subtree: rung spans
+	// (bounds.CP … bounds.TW), the kernel build, and degradation events
+	// all parent to it through ctx.
+	csp, ctx := telemetry.Default().StartSpanCtx(ctx, "bounds.compute")
+	k, reused := kernelFor(sb, m)
+	if csp.Active() {
+		reuse := int64(0)
+		if reused {
+			reuse = 1
+		}
+		telemetry.Default().EmitCtx(ctx, "bounds.kernel",
+			telemetry.Int("reuse", reuse))
+	}
 	s := &Set{SB: sb, M: m, Expanded: sb}
 	work, origOf := k.Expansion()
 	if origOf == nil {
@@ -189,11 +202,11 @@ func ComputeBudgetCtx(ctx context.Context, sb *model.Superblock, m *model.Machin
 		s.Expanded = work
 	}
 
-	telCP.timed(func() { s.CP = k.CPBound(&s.Stats.CP) })
-	telHu.timed(func() { s.Hu = k.HuBound(&s.Stats.Hu) })
-	telRJ.timed(func() { s.RJ = k.RJBound(&s.Stats.RJ) })
+	telCP.timedCtx(ctx, func() { s.CP = k.CPBound(&s.Stats.CP) })
+	telHu.timedCtx(ctx, func() { s.Hu = k.HuBound(&s.Stats.Hu) })
+	telRJ.timedCtx(ctx, func() { s.RJ = k.RJBound(&s.Stats.RJ) })
 	var earlyRC []int
-	telLC.timed(func() { earlyRC, s.LC = k.LCBound(&s.Stats.LC) })
+	telLC.timedCtx(ctx, func() { earlyRC, s.LC = k.LCBound(&s.Stats.LC) })
 	if opts.WithLCOriginal {
 		k.LCOriginalStats(&s.Stats.LCOriginal)
 	}
@@ -205,9 +218,11 @@ func ComputeBudgetCtx(ctx context.Context, sb *model.Superblock, m *model.Machin
 		// Ladder level 2: only the basic bounds fit the budget.
 		s.Degraded = DegradePairwise
 		telDegradePW.Inc()
+		telemetry.Default().EmitCtx(ctx, "bounds.degraded",
+			telemetry.Int("level", DegradePairwise))
 	} else {
 		var pairErr error
-		telPW.timed(func() {
+		telPW.timedCtx(ctx, func() {
 			var pairs []*PairBound
 			pairs, pairErr = k.Pairs(ctx, opts.PairWorkers, work.Prob, &s.Stats.LCReverse, &s.Stats.PW)
 			if pairErr == nil {
@@ -219,6 +234,8 @@ func ComputeBudgetCtx(ctx context.Context, sb *model.Superblock, m *model.Machin
 			// Cancelled mid-build: shed the stage like an expired budget.
 			s.Degraded = DegradePairwise
 			telDegradePW.Inc()
+			telemetry.Default().EmitCtx(ctx, "bounds.degraded",
+				telemetry.Int("level", DegradePairwise))
 		} else {
 			budget.Spend(s.Stats.LCReverse.Trips + s.Stats.PW.Trips + s.Stats.PW.PairSweeps)
 		}
@@ -228,8 +245,10 @@ func ComputeBudgetCtx(ctx context.Context, sb *model.Superblock, m *model.Machin
 			// Ladder level 1: the triplewise stage is shed.
 			s.Degraded = DegradeTriplewise
 			telDegradeTW.Inc()
+			telemetry.Default().EmitCtx(ctx, "bounds.degraded",
+				telemetry.Int("level", DegradeTriplewise))
 		} else {
-			telTW.timed(func() {
+			telTW.timedCtx(ctx, func() {
 				s.Triples = TriplewiseAll(work, s.Pairs, opts.TripleMaxBranches, &s.Stats.TW)
 				if opts.TriplewiseExact {
 					maxB := opts.TripleExactMaxBranches
@@ -275,6 +294,13 @@ func ComputeBudgetCtx(ctx context.Context, sb *model.Superblock, m *model.Machin
 	}
 	telCompute.dur.ObserveDuration(time.Since(computeStart))
 	telCompute.calls.Inc()
+	if csp.Active() {
+		csp.End(
+			telemetry.String("sb", sb.Name),
+			telemetry.Int("degraded", int64(s.Degraded)),
+			telemetry.Float("tightest", s.Tightest),
+		)
+	}
 	return s
 }
 

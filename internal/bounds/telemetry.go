@@ -1,6 +1,7 @@
 package bounds
 
 import (
+	"context"
 	"time"
 
 	"balance/internal/telemetry"
@@ -11,6 +12,7 @@ import (
 // names ("bounds.CP.calls", "bounds.CP.latency_ns", ...), so tooling can
 // join them against Catalog().
 type boundTel struct {
+	span  string
 	calls *telemetry.Counter
 	dur   *telemetry.Histogram
 }
@@ -18,6 +20,7 @@ type boundTel struct {
 func newBoundTel(name string) boundTel {
 	r := telemetry.Default()
 	return boundTel{
+		span:  "bounds." + name,
 		calls: r.Counter("bounds." + name + ".calls"),
 		dur:   r.Histogram("bounds." + name + ".latency_ns"),
 	}
@@ -29,6 +32,19 @@ func (t boundTel) timed(fn func()) {
 	fn()
 	t.dur.ObserveDuration(time.Since(start))
 	t.calls.Inc()
+}
+
+// timedCtx is timed plus a "bounds.<name>" span parented to ctx, so each
+// ladder rung shows up as its own slice under the enclosing
+// bounds.compute span. With no sink installed it costs exactly what
+// timed costs.
+func (t boundTel) timedCtx(ctx context.Context, fn func()) {
+	sp, _ := telemetry.Default().StartSpanCtx(ctx, t.span)
+	start := time.Now()
+	fn()
+	t.dur.ObserveDuration(time.Since(start))
+	t.calls.Inc()
+	sp.End()
 }
 
 var (

@@ -12,6 +12,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 
 	"balance/internal/telemetry"
 
@@ -29,7 +30,6 @@ type Obs struct {
 	metrics   string
 	trace     string
 	debugAddr string
-	traceFile *os.File
 	onExit    []func() error
 }
 
@@ -50,7 +50,7 @@ func Flags(tool string, withDebug bool) *Obs {
 	flag.StringVar(&o.metrics, "metrics", "",
 		"write a JSON telemetry summary on exit to `file` (- for stdout)")
 	flag.StringVar(&o.trace, "trace", "",
-		"write span and progress events as JSON lines to `file`")
+		"write span and progress events to `file` (.json: Chrome trace-event for ui.perfetto.dev; otherwise JSON lines)")
 	if withDebug {
 		flag.StringVar(&o.debugAddr, "debug-addr", "",
 			"serve expvar and pprof for live profiling on `addr` (e.g. localhost:6060)")
@@ -60,14 +60,38 @@ func Flags(tool string, withDebug bool) *Obs {
 
 // Start opens the trace sink and the debug server, as configured. Call it
 // once, after flag.Parse.
+//
+// The trace writer's teardown (remove the sink, finalize the exporter,
+// close the file) is registered as the first OnExit hook, so every exit
+// path — Close, Fatal, and in particular SIGINT routed through Fatal —
+// leaves a complete, parseable trace file behind. A ".json" path selects
+// the Chrome trace-event exporter (load the file at ui.perfetto.dev);
+// any other extension (conventionally ".jsonl") selects the line-
+// delimited event stream.
 func (o *Obs) Start() error {
 	if o.trace != "" {
 		f, err := os.Create(o.trace)
 		if err != nil {
 			return fmt.Errorf("-trace: %w", err)
 		}
-		o.traceFile = f
-		telemetry.Default().SetSink(telemetry.NewJSONLSink(f))
+		if strings.HasSuffix(o.trace, ".json") {
+			sink := telemetry.NewTraceEventSink(f)
+			telemetry.Default().SetSink(sink)
+			o.OnExit(func() error {
+				telemetry.Default().SetSink(nil)
+				err := sink.Close()
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+				return err
+			})
+		} else {
+			telemetry.Default().SetSink(telemetry.NewJSONLSink(f))
+			o.OnExit(func() error {
+				telemetry.Default().SetSink(nil)
+				return f.Close()
+			})
+		}
 	}
 	if o.debugAddr != "" {
 		telemetry.PublishExpvar(telemetry.Default())
@@ -83,8 +107,9 @@ func (o *Obs) Start() error {
 	return nil
 }
 
-// Flush runs the OnExit hooks, writes the -metrics snapshot, and closes
-// the trace sink. Safe to call on every exit path (each step runs at most
+// Flush runs the OnExit hooks (trace teardown first, then whatever the
+// tool registered, e.g. checkpoint flushes) and writes the -metrics
+// snapshot. Safe to call on every exit path (each step runs at most
 // once).
 func (o *Obs) Flush() {
 	for _, fn := range o.onExit {
@@ -100,7 +125,6 @@ func (o *Obs) Flush() {
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "%s: -metrics: %v\n", o.tool, err)
 				o.metrics = ""
-				o.closeTrace()
 				return
 			}
 			defer f.Close()
@@ -110,15 +134,6 @@ func (o *Obs) Flush() {
 			fmt.Fprintf(os.Stderr, "%s: -metrics: %v\n", o.tool, err)
 		}
 		o.metrics = ""
-	}
-	o.closeTrace()
-}
-
-func (o *Obs) closeTrace() {
-	if o.traceFile != nil {
-		telemetry.Default().SetSink(nil)
-		o.traceFile.Close()
-		o.traceFile = nil
 	}
 }
 

@@ -54,13 +54,21 @@ func DefaultConfig() Config {
 
 // Balance returns the Balance heuristic with the given configuration.
 func Balance(cfg Config) heuristics.Heuristic {
+	return BalanceCtx(context.Background(), cfg)
+}
+
+// BalanceCtx is Balance bound to a context for trace parentage: each
+// schedule runs through sched.RunCtx, so its "sched.run" span nests
+// under the span carried by ctx (the engine's per-heuristic span when
+// instantiated from the registry).
+func BalanceCtx(ctx context.Context, cfg Config) heuristics.Heuristic {
 	name := "Balance"
 	if !cfg.HelpDelay || !cfg.Tradeoff || !cfg.UseBounds || cfg.Update != UpdatePerOp {
 		name = "Balance[" + variantName(cfg) + "]"
 	}
 	return heuristics.Heuristic{Name: name, Run: func(sb *model.Superblock, m *model.Machine) (*sched.Schedule, sched.Stats, error) {
 		p := NewPicker(sb, m, cfg)
-		return sched.Run(sb, m, p)
+		return sched.RunCtx(ctx, sb, m, p)
 	}}
 }
 
@@ -129,6 +137,11 @@ type Picker struct {
 
 	lastCycle int
 	started   bool
+
+	// exp, when non-nil, records one Decision per Pick for the explain
+	// channel (see Explain). Every hook on the pick path is gated on a
+	// nil check, so scheduling with no recorder does no explain work.
+	exp *explainRec
 }
 
 // NewPicker precomputes the static bounds and returns a Balance picker for
@@ -266,18 +279,34 @@ func (p *Picker) refresh(st *sched.State) {
 func (p *Picker) Pick(st *sched.State) int {
 	p.refresh(st)
 	cands := st.Candidates()
+	if p.exp != nil {
+		p.beginDecision(st, cands)
+	}
 	if len(cands) == 0 {
+		if p.exp != nil {
+			p.finishDecision(-1)
+		}
 		return -1
 	}
+	var v int
 	if !p.cfg.HelpDelay {
-		return p.pickByNeeds(st, cands, nil)
+		v = p.pickByNeeds(st, cands, nil)
+	} else {
+		sel := p.selectCompatible(st)
+		if p.exp != nil {
+			p.noteSelection(sel)
+		}
+		allowed := p.allowedSet(st, sel)
+		if len(allowed) == 0 {
+			v = p.pickByNeeds(st, cands, sel)
+		} else {
+			v = p.pickByNeeds(st, allowed, sel)
+		}
 	}
-	sel := p.selectCompatible(st)
-	allowed := p.allowedSet(st, sel)
-	if len(allowed) == 0 {
-		return p.pickByNeeds(st, cands, sel)
+	if p.exp != nil {
+		p.finishDecision(v)
 	}
-	return p.pickByNeeds(st, allowed, sel)
+	return v
 }
 
 // allowedSet intersects TakeEach ∪ TakeOne with the current candidates.

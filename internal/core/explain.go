@@ -1,0 +1,238 @@
+package core
+
+import (
+	"balance/internal/sched"
+)
+
+// ExplainVersion identifies the Decision record schema. It follows the
+// checkpoint-schema convention (see internal/resilience): bump it on any
+// incompatible change to Decision or its nested records, so downstream
+// consumers (cmd/sbexplain, archived explain dumps) can detect records
+// they do not understand.
+const ExplainVersion = 1
+
+// ERC is the explain-channel snapshot of one elementary resource
+// constraint (Section 5.1, Step 4): the branch's unscheduled kind-Kind
+// predecessors with dynamic late time ≤ C need Need issue slots of the
+// Avail available through cycle C. Avail == Need means the window has no
+// spare slot: one member must issue in the current decision.
+type ERC struct {
+	Kind  int `json:"kind"`
+	C     int `json:"c"`
+	Need  int `json:"need"`
+	Avail int `json:"avail"`
+}
+
+// BranchSnap is one branch's dynamic-bound state at a decision, captured
+// after the refresh that precedes the pick.
+type BranchSnap struct {
+	// Branch is the branch index; Op its branch operation's ID.
+	Branch int     `json:"branch"`
+	Op     int     `json:"op"`
+	Prob   float64 `json:"prob"`
+	Done   bool    `json:"done"`
+	// E is the branch's dynamic earliest issue cycle.
+	E int `json:"e"`
+	// NeedEach lists the operations that must all issue this cycle for
+	// the branch to meet E; NeedOne the members of the tightest
+	// zero-slack ERC, one of which must be chosen in this decision
+	// (nil when no resource need). NeedOneKind is NeedOne's resource
+	// kind (-1 when NeedOne is nil).
+	NeedEach    []int `json:"need_each,omitempty"`
+	NeedOne     []int `json:"need_one,omitempty"`
+	NeedOneKind int   `json:"need_one_kind"`
+	// ERCs snapshots the branch's elementary resource constraints.
+	ERCs []ERC `json:"ercs,omitempty"`
+}
+
+// TradeoffNote records one pairwise-bound blessing (Section 5.4,
+// Observation 3): the delayed branch's outcome was revised to delayedOK
+// because the pair's optimal tradeoff point itself delays it past its
+// individual bound for the selected partner's benefit.
+type TradeoffNote struct {
+	// Pass is the selection pass (0 = initial order, k = after the k-th
+	// order swap) the blessing happened in.
+	Pass int `json:"pass"`
+	// Delayed and Selected are the branch indices involved.
+	Delayed  int `json:"delayed"`
+	Selected int `json:"selected"`
+	// OptB is the delayed branch's issue bound at the pair's optimal
+	// tradeoff point; IndivE its individual EarlyRC bound. OptB > IndivE
+	// is the blessing condition: the optimum itself delays the branch.
+	OptB   int `json:"opt_b"`
+	IndivE int `json:"indiv_e"`
+	// PairValue is the pair's weighted optimal value.
+	PairValue float64 `json:"pair_value"`
+}
+
+// SwapNote records one order-swap retry: the pairwise bound said the
+// selected branch should have been the delayed one, so the selection
+// pass reran with the two branches' order positions exchanged.
+type SwapNote struct {
+	// Iter is the retry iteration (0-based).
+	Iter int `json:"iter"`
+	// Selected and Delayed are the branch indices whose positions were
+	// swapped (Selected was processed earlier and won; the bound says it
+	// should yield).
+	Selected int `json:"selected"`
+	Delayed  int `json:"delayed"`
+	// RankBefore and RankAfter compare the selections; the swap is kept
+	// only when RankAfter improves.
+	RankBefore float64 `json:"rank_before"`
+	RankAfter  float64 `json:"rank_after"`
+	Kept       bool    `json:"kept"`
+}
+
+// Decision is one structured explain record: everything the Balance
+// picker knew and chose in one scheduling decision. Records are emitted
+// in decision order through the recorder installed with Picker.Explain.
+type Decision struct {
+	// Version is ExplainVersion, stamped on every record.
+	Version int `json:"v"`
+	// Seq numbers the decisions of one run from 0; Cycle is the issue
+	// cycle the decision was made in.
+	Seq   int `json:"seq"`
+	Cycle int `json:"cycle"`
+	// Candidates lists the dependence-ready ops that fit a free slot
+	// this cycle (the picker chooses among these or advances).
+	Candidates []int `json:"candidates,omitempty"`
+	// Branches snapshots every branch's dynamic bounds after refresh.
+	Branches []BranchSnap `json:"branches,omitempty"`
+	// Outcomes[bi] is branch bi's final selection outcome: "ignored",
+	// "selected", "delayed", or "delayed-ok". Empty when the
+	// compatible-branch selection is disabled (HelpDelay=false).
+	Outcomes []string `json:"outcomes,omitempty"`
+	// TakeEach and TakeOne are the winning selection's issue sets
+	// (Section 5.3); Rank its Σw(selected)+Σw(delayedOK)-Σw(delayed).
+	TakeEach []int   `json:"take_each,omitempty"`
+	TakeOne  []int   `json:"take_one,omitempty"`
+	Rank     float64 `json:"rank"`
+	// Tradeoffs and Swaps record the pairwise-bound interventions that
+	// shaped the winning selection.
+	Tradeoffs []TradeoffNote `json:"tradeoffs,omitempty"`
+	Swaps     []SwapNote     `json:"swaps,omitempty"`
+	// Picked is the chosen op (-1: no candidate, the scheduler advances
+	// to the next cycle). HelpedProb is the summed exit probability of
+	// the branches the pick helps (appears in their NeedEach/NeedOne);
+	// HelpedBranches lists them.
+	Picked         int     `json:"picked"`
+	HelpedProb     float64 `json:"helped_prob"`
+	HelpedBranches []int   `json:"helped_branches,omitempty"`
+}
+
+// explainRec is the per-run recorder state. It exists only while a
+// recorder is installed; every hook in the pick path is gated on
+// p.exp != nil, so the explain channel costs nothing when off.
+type explainRec struct {
+	fn   func(*Decision)
+	seq  int
+	pass int // current selection pass (for TradeoffNote.Pass)
+	cur  *Decision
+}
+
+// Explain installs fn as the decision recorder: it is invoked once per
+// scheduling decision (including cycle advances) with a fully populated
+// record the callee owns. Install before the run starts; a nil fn turns
+// recording off. Recording is strictly off-path — with no recorder the
+// pick path performs no explain work and no allocations.
+func (p *Picker) Explain(fn func(*Decision)) {
+	if fn == nil {
+		p.exp = nil
+		return
+	}
+	p.exp = &explainRec{fn: fn}
+}
+
+// beginDecision opens the record for one Pick call, snapshotting the
+// refreshed branch states.
+func (p *Picker) beginDecision(st *sched.State, cands []int) {
+	e := p.exp
+	e.pass = 0
+	d := &Decision{
+		Version:    ExplainVersion,
+		Seq:        e.seq,
+		Cycle:      st.Cycle,
+		Candidates: append([]int(nil), cands...),
+		Picked:     -1,
+	}
+	e.seq++
+	d.Branches = make([]BranchSnap, len(p.br))
+	for bi, b := range p.br {
+		snap := BranchSnap{
+			Branch:      bi,
+			Op:          b.op,
+			Prob:        p.sb.Prob[bi],
+			Done:        b.done,
+			NeedOneKind: -1,
+		}
+		if !b.done {
+			snap.E = b.E
+			snap.NeedEach = append([]int(nil), b.needEach...)
+			if b.needOne != nil {
+				snap.NeedOne = append([]int(nil), b.needOne...)
+				snap.NeedOneKind = b.needOneKind
+			}
+			for _, c := range b.ercs {
+				snap.ERCs = append(snap.ERCs, ERC{Kind: c.Kind, C: c.C, Need: c.Need, Avail: c.Avail})
+			}
+		}
+		d.Branches[bi] = snap
+	}
+	e.cur = d
+}
+
+// noteSelection copies the winning selection into the open record.
+func (p *Picker) noteSelection(sel *selection) {
+	d := p.exp.cur
+	d.Outcomes = make([]string, len(sel.outcome))
+	for bi, oc := range sel.outcome {
+		d.Outcomes[bi] = oc.String()
+	}
+	d.TakeEach = append([]int(nil), sel.takeEach...)
+	d.TakeOne = append([]int(nil), sel.takeOne...)
+	d.Rank = sel.rank
+}
+
+// finishDecision completes the record with the final pick and hands it
+// to the recorder.
+func (p *Picker) finishDecision(v int) {
+	e := p.exp
+	d := e.cur
+	e.cur = nil
+	d.Picked = v
+	if v >= 0 {
+		for bi, b := range p.br {
+			if b.done {
+				continue
+			}
+			if containsOp(b.needEach, v) || containsOp(b.needOne, v) {
+				d.HelpedProb += p.sb.Prob[bi]
+				d.HelpedBranches = append(d.HelpedBranches, bi)
+			}
+		}
+	}
+	e.fn(d)
+}
+
+func containsOp(ops []int, v int) bool {
+	for _, u := range ops {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// String names an outcome for the explain channel.
+func (o outcome) String() string {
+	switch o {
+	case outcomeSelected:
+		return "selected"
+	case outcomeDelayed:
+		return "delayed"
+	case outcomeDelayedOK:
+		return "delayed-ok"
+	default:
+		return "ignored"
+	}
+}

@@ -16,8 +16,8 @@ func init() {
 		Description: "Balance: dynamic bounds, compatible-branch selection, pairwise tradeoffs (the paper's heuristic)",
 		Order:       6,
 		Primary:     true,
-		New: func(context.Context) engine.ScheduleFunc {
-			return Balance(DefaultConfig()).Run
+		New: func(ctx context.Context) engine.ScheduleFunc {
+			return BalanceCtx(ctx, DefaultConfig()).Run
 		},
 	})
 	engine.RegisterScheduler(engine.Scheduler{

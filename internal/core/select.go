@@ -28,6 +28,9 @@ type selection struct {
 // the delayed one. The highest-ranked selection wins.
 func (p *Picker) selectCompatible(st *sched.State) *selection {
 	order := append([]int(nil), p.baseOrd...)
+	if p.exp != nil {
+		p.exp.pass = 0
+	}
 	best := p.passOnce(st, order)
 	p.applyTradeoffs(best)
 	best.rank = p.rankOf(best)
@@ -39,11 +42,26 @@ func (p *Picker) selectCompatible(st *sched.State) *selection {
 		if i < 0 {
 			break
 		}
+		selBr, delBr := order[i], order[j]
 		order[i], order[j] = order[j], order[i]
+		if p.exp != nil {
+			p.exp.pass = iter + 1
+		}
 		cand := p.passOnce(st, order)
 		p.applyTradeoffs(cand)
 		cand.rank = p.rankOf(cand)
-		if cand.rank > best.rank {
+		kept := cand.rank > best.rank
+		if p.exp != nil {
+			p.exp.cur.Swaps = append(p.exp.cur.Swaps, SwapNote{
+				Iter:       iter,
+				Selected:   selBr,
+				Delayed:    delBr,
+				RankBefore: best.rank,
+				RankAfter:  cand.rank,
+				Kept:       kept,
+			})
+		}
+		if kept {
 			best = cand
 		} else {
 			break
@@ -84,6 +102,20 @@ func (p *Picker) applyTradeoffs(sel *selection) {
 			if pr, delayedIsI := p.pairOf(di, si); pr != nil {
 				if (delayedIsI && pr.Bi > pr.Ei) || (!delayedIsI && pr.Bj > pr.Ej) {
 					sel.outcome[di] = outcomeDelayedOK
+					if p.exp != nil {
+						optB, indivE := pr.Bi, pr.Ei
+						if !delayedIsI {
+							optB, indivE = pr.Bj, pr.Ej
+						}
+						p.exp.cur.Tradeoffs = append(p.exp.cur.Tradeoffs, TradeoffNote{
+							Pass:      p.exp.pass,
+							Delayed:   di,
+							Selected:  si,
+							OptB:      optB,
+							IndivE:    indivE,
+							PairValue: pr.Value,
+						})
+					}
 					break
 				}
 			}

@@ -175,6 +175,11 @@ func Run(ctx context.Context, cfg Config) (<-chan Result, error) {
 		setKey += "|budget=" + cfg.JobBudget.String()
 	}
 
+	// The run's root span: every job span (and, through the job context,
+	// every bounds/sched/solver span below it) parents back to it, so a
+	// trace viewer shows one tree per Run call.
+	runSpan, ctx := telemetry.Default().StartSpanCtx(ctx, "engine.run")
+
 	n := len(cfg.Jobs)
 	out := make(chan Result, n+1) // fully buffered: emission never blocks
 	slots := make([]Result, n)
@@ -189,7 +194,7 @@ func Run(ctx context.Context, cfg Config) (<-chan Result, error) {
 			telOccupancy.Add(1)
 			start := time.Now()
 			telQueueWait.ObserveDuration(start.Sub(queuedAt))
-			sp := telemetry.Default().StartSpan("engine.job")
+			sp, jobCtx := telemetry.Default().StartSpanCtx(ctx, "engine.job")
 			var res Result
 			// The Protect scope covers the chaos hook and the evaluation,
 			// so injected or organic panics become this job's error
@@ -202,7 +207,7 @@ func Run(ctx context.Context, cfg Config) (<-chan Result, error) {
 					}
 				}
 				var err error
-				res, err = evaluateJob(ctx, &cfg, scheds, setKey, i)
+				res, err = evaluateJob(jobCtx, &cfg, scheds, setKey, i)
 				return err
 			})
 			telCompute.ObserveDuration(time.Since(start))
@@ -254,7 +259,15 @@ func Run(ctx context.Context, cfg Config) (<-chan Result, error) {
 				next++
 			}
 		}
-		if err := <-poolErr; err != nil {
+		err := <-poolErr
+		if runSpan.Active() {
+			runSpan.End(
+				telemetry.String("machine", cfg.Machine.Name),
+				telemetry.Int("jobs", int64(n)),
+				telemetry.Int("emitted", int64(next)),
+			)
+		}
+		if err != nil {
 			out <- Result{Index: -1, Err: err}
 		} else if next < n {
 			// The pool finished before the cancellation that suppressed
@@ -336,12 +349,19 @@ func evaluateJob(ctx context.Context, cfg *Config, scheds []Scheduler, setKey st
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
-		inst := s.Instantiate(ctx)
+		ssp, schedCtx := telemetry.Default().StartSpanCtx(ctx, "engine.sched")
+		inst := s.Instantiate(schedCtx)
 		sc, stats, err := inst.Run(job.SB, cfg.Machine)
 		if err != nil {
 			return res, fmt.Errorf("engine: %s on %s/%s: %w", inst.Name, job.SB.Name, cfg.Machine.Name, err)
 		}
 		cost := sched.Cost(job.SB, sc)
+		if ssp.Active() {
+			ssp.End(
+				telemetry.String("heuristic", inst.Name),
+				telemetry.Float("cost", cost),
+			)
+		}
 		res.Cost[inst.Name] = cost
 		res.Stats[inst.Name] = stats
 		if cost > set.Tightest+1e-9 {

@@ -56,6 +56,9 @@ type solver struct {
 	flushed      solveCounts
 	startTime    time.Time
 	lastProgress time.Time
+	// span is the identity of the enclosing exact.solve span, so batched
+	// progress events parent to it without re-deriving from the context.
+	span telemetry.SpanContext
 
 	best      float64
 	bestSched []int
@@ -134,7 +137,8 @@ func OptimalBudget(ctx context.Context, sb *model.Superblock, m *model.Machine, 
 		s.bestSched = append([]int(nil), seed.Cycle...)
 		s.cnt.incumbents++
 	}
-	sp := telemetry.Default().StartSpan("exact.solve")
+	sp, _ := telemetry.Default().StartSpanCtx(ctx, "exact.solve")
+	s.span = sp.Context()
 	s.dfs(0, 0, 0)
 	s.flushTelemetry()
 	s.spendBudget()

@@ -70,7 +70,7 @@ func (s *solver) maybeProgress() {
 	}
 	s.lastProgress = now
 	s.flushTelemetry()
-	reg.Emit("exact.progress",
+	reg.EmitSpan(s.span, "exact.progress",
 		telemetry.String("sb", s.sb.Name),
 		telemetry.Int("nodes", int64(s.cnt.nodes)),
 		telemetry.Int("pruned_lower_bound", int64(s.cnt.pruneBound)),

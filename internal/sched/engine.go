@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"sync"
@@ -325,6 +326,16 @@ func (f PickerFunc) Pick(st *State) int { return f(st) }
 // Run executes list scheduling with the given picker and returns the
 // resulting schedule and the work statistics of the run.
 func Run(sb *model.Superblock, m *model.Machine, p Picker) (*Schedule, Stats, error) {
+	return RunCtx(context.Background(), sb, m, p)
+}
+
+// RunCtx is Run parented into a trace: when a telemetry sink is
+// installed, the run emits a "sched.run" span under the span carried by
+// ctx (the engine's per-heuristic span, or a tool's root). The context
+// is used for trace parentage only — list scheduling is fast and is
+// never cancelled mid-run.
+func RunCtx(ctx context.Context, sb *model.Superblock, m *model.Machine, p Picker) (*Schedule, Stats, error) {
+	sp, _ := telemetry.Default().StartSpanCtx(ctx, "sched.run")
 	st := newState(sb, m)
 	defer st.release()
 	n := sb.G.NumOps()
@@ -347,6 +358,14 @@ func Run(sb *model.Superblock, m *model.Machine, p Picker) (*Schedule, Stats, er
 	telRuns.Inc()
 	telOps.Add(int64(n))
 	telCycles.Add(int64(st.Cycle) + 1)
+	if sp.Active() {
+		sp.End(
+			telemetry.String("sb", sb.Name),
+			telemetry.Int("ops", int64(n)),
+			telemetry.Int("cycles", int64(st.Cycle)+1),
+			telemetry.Int("decisions", st.Stats.Decisions),
+		)
+	}
 	s := &Schedule{Cycle: append([]int(nil), st.IssueCycle...)}
 	return s, st.Stats, nil
 }

@@ -38,6 +38,12 @@ type Event struct {
 	Dur time.Duration
 	// Attrs carries optional event attributes in emission order.
 	Attrs []Attr
+	// Trace, Span, and Parent link the event into a span tree (see
+	// SpanContext). All three are zero for events emitted outside a
+	// trace (StartSpan/Emit without a context).
+	Trace  uint64
+	Span   uint64
+	Parent uint64
 }
 
 // Sink receives events. Implementations must be safe for concurrent use;
@@ -50,14 +56,20 @@ type Sink interface {
 // Span measures one timed region. The zero value (returned by StartSpan
 // when no sink is installed) is inert: End on it does nothing.
 type Span struct {
-	r     *Registry
-	name  string
-	start time.Time
+	r      *Registry
+	name   string
+	start  time.Time
+	sc     SpanContext
+	parent uint64
 }
 
 // Active reports whether the span will emit on End. Callers use it to skip
 // building expensive attributes.
 func (s Span) Active() bool { return s.r != nil }
+
+// Context returns the span's identity for parenting descendants started
+// outside a context.Context flow. Zero for inert spans.
+func (s Span) Context() SpanContext { return s.sc }
 
 // End completes the span and emits it to the registry's sink with the
 // given attributes. If the sink was removed since StartSpan, the event is
@@ -71,7 +83,15 @@ func (s Span) End(attrs ...Attr) {
 		return
 	}
 	now := time.Now()
-	box.s.Emit(Event{Name: s.name, Time: now, Dur: now.Sub(s.start), Attrs: attrs})
+	box.s.Emit(Event{
+		Name:   s.name,
+		Time:   now,
+		Dur:    now.Sub(s.start),
+		Attrs:  attrs,
+		Trace:  s.sc.Trace,
+		Span:   s.sc.Span,
+		Parent: s.parent,
+	})
 }
 
 // appendJSON appends the event as one JSON object. Attributes are nested
@@ -84,6 +104,16 @@ func (e *Event) appendJSON(b []byte) []byte {
 	if e.Dur != 0 {
 		b = append(b, `,"dur_ns":`...)
 		b = strconv.AppendInt(b, int64(e.Dur), 10)
+	}
+	if e.Trace != 0 {
+		b = append(b, `,"trace":`...)
+		b = strconv.AppendUint(b, e.Trace, 10)
+		b = append(b, `,"span":`...)
+		b = strconv.AppendUint(b, e.Span, 10)
+		if e.Parent != 0 {
+			b = append(b, `,"parent":`...)
+			b = strconv.AppendUint(b, e.Parent, 10)
+		}
 	}
 	if len(e.Attrs) > 0 {
 		b = append(b, `,"attrs":{`...)

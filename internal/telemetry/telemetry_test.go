@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"sync"
@@ -167,12 +168,16 @@ func TestNoopSinkZeroAlloc(t *testing.T) {
 	c := r.Counter("c")
 	g := r.Gauge("g")
 	h := r.Histogram("h")
+	ctx := context.Background()
 	cases := []struct {
 		name string
 		fn   func()
 	}{
 		{"span", func() { r.StartSpan("job").End() }},
 		{"emit", func() { r.Emit("progress") }},
+		{"span-ctx", func() { sp, _ := r.StartSpanCtx(ctx, "job"); sp.End() }},
+		{"emit-ctx", func() { r.EmitCtx(ctx, "progress") }},
+		{"emit-span", func() { r.EmitSpan(SpanContext{}, "progress") }},
 		{"counter", func() { c.Inc() }},
 		{"gauge", func() { g.Add(1) }},
 		{"histogram", func() { h.Observe(42) }},

@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// SpanContext identifies a live span so descendants started in other
+// packages (or other goroutines) can parent themselves to it. The zero
+// value means "no enclosing span".
+type SpanContext struct {
+	// Trace groups every span descending from one root (one engine.Run,
+	// one exact solve, one CLI invocation). All spans in a tree share it.
+	Trace uint64
+	// Span is the identifier of the span itself, unique within the
+	// process lifetime.
+	Span uint64
+}
+
+// Valid reports whether the context names a real span.
+func (sc SpanContext) Valid() bool { return sc.Span != 0 }
+
+// spanCtxKey keys the SpanContext stored in a context.Context.
+type spanCtxKey struct{}
+
+// ContextWithSpan returns a context carrying sc. Callers normally get
+// this from StartSpanCtx rather than calling it directly.
+func ContextWithSpan(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, sc)
+}
+
+// SpanFromContext returns the span context carried by ctx, or the zero
+// SpanContext if none is.
+func SpanFromContext(ctx context.Context) SpanContext {
+	sc, _ := ctx.Value(spanCtxKey{}).(SpanContext)
+	return sc
+}
+
+// spanIDs allocates process-unique span identifiers. IDs start at 1 so 0
+// stays reserved for "absent".
+var spanIDs atomic.Uint64
+
+func nextSpanID() uint64 { return spanIDs.Add(1) }
+
+// StartSpanCtx begins a span parented to the span carried by ctx (if
+// any) and returns a derived context carrying the new span, for passing
+// to child work. With the no-op sink it returns an inert span and ctx
+// unchanged: no allocation, no clock read, no context wrapping.
+func (r *Registry) StartSpanCtx(ctx context.Context, name string) (Span, context.Context) {
+	if r.sink.Load() == nil {
+		return Span{}, ctx
+	}
+	parent := SpanFromContext(ctx)
+	sc := SpanContext{Trace: parent.Trace, Span: nextSpanID()}
+	if sc.Trace == 0 {
+		sc.Trace = sc.Span // new root: the trace is named after it
+	}
+	sp := Span{r: r, name: name, start: time.Now(), sc: sc, parent: parent.Span}
+	return sp, ContextWithSpan(ctx, sc)
+}
+
+// EmitCtx reports an instant event parented to the span carried by ctx,
+// so exporters can place it on the right lane of the span tree. With the
+// no-op sink it is free.
+func (r *Registry) EmitCtx(ctx context.Context, name string, attrs ...Attr) {
+	box := r.sink.Load()
+	if box == nil {
+		return
+	}
+	r.EmitSpan(SpanFromContext(ctx), name, attrs...)
+}
+
+// EmitSpan reports an instant event parented to an explicit span
+// context. Hot loops that already hold a SpanContext (e.g. the exact
+// solver's batched progress reporter) use this to avoid re-deriving it
+// from a context.Context.
+func (r *Registry) EmitSpan(sc SpanContext, name string, attrs ...Attr) {
+	box := r.sink.Load()
+	if box == nil {
+		return
+	}
+	box.s.Emit(Event{
+		Name:   name,
+		Time:   time.Now(),
+		Attrs:  attrs,
+		Trace:  sc.Trace,
+		Span:   nextSpanID(),
+		Parent: sc.Span,
+	})
+}

@@ -1,0 +1,250 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStartSpanCtxParentage verifies the causal links: a root span names
+// its own trace, children inherit it and point at their parent, and
+// instants emitted through a context land under the enclosing span.
+func TestStartSpanCtxParentage(t *testing.T) {
+	r := NewRegistry()
+	sink := &captureSink{}
+	r.SetSink(sink)
+
+	root, ctx := r.StartSpanCtx(context.Background(), "engine.run")
+	if !root.Active() {
+		t.Fatal("root span inactive with a sink installed")
+	}
+	child, cctx := r.StartSpanCtx(ctx, "engine.job")
+	r.EmitCtx(cctx, "bounds.degraded", Int("level", 1))
+	child.End()
+	root.End()
+
+	if len(sink.events) != 3 {
+		t.Fatalf("sink got %d events, want 3", len(sink.events))
+	}
+	instant, childEv, rootEv := sink.events[0], sink.events[1], sink.events[2]
+	if rootEv.Trace == 0 || rootEv.Trace != rootEv.Span {
+		t.Errorf("root: trace %d span %d, want trace named after root span", rootEv.Trace, rootEv.Span)
+	}
+	if rootEv.Parent != 0 {
+		t.Errorf("root has parent %d, want 0", rootEv.Parent)
+	}
+	if childEv.Trace != rootEv.Trace || childEv.Parent != rootEv.Span {
+		t.Errorf("child: trace %d parent %d, want trace %d parent %d",
+			childEv.Trace, childEv.Parent, rootEv.Trace, rootEv.Span)
+	}
+	if instant.Trace != rootEv.Trace || instant.Parent != childEv.Span {
+		t.Errorf("instant: trace %d parent %d, want trace %d parent %d",
+			instant.Trace, instant.Parent, rootEv.Trace, childEv.Span)
+	}
+	if instant.Span == 0 || instant.Span == childEv.Span {
+		t.Errorf("instant span %d must be fresh", instant.Span)
+	}
+
+	// Span.Context parents work started outside the ctx flow (EmitSpan).
+	r.EmitSpan(child.Context(), "exact.progress", Int("nodes", 7))
+	late := sink.events[len(sink.events)-1]
+	if late.Parent != childEv.Span || late.Trace != rootEv.Trace {
+		t.Errorf("EmitSpan event: trace %d parent %d, want trace %d parent %d",
+			late.Trace, late.Parent, rootEv.Trace, childEv.Span)
+	}
+}
+
+// traceFixture is a synthetic span forest with fixed times and IDs: a
+// root, two concurrent jobs (the second must open a new lane), a nested
+// bound computation with an instant marker, and one untraced stray.
+func traceFixture() []Event {
+	base := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	at := func(us int64) time.Time { return base.Add(time.Duration(us) * time.Microsecond) }
+	span := func(name string, startUS, endUS int64, sp, parent uint64, attrs ...Attr) Event {
+		return Event{Name: name, Time: at(endUS), Dur: time.Duration(endUS-startUS) * time.Microsecond,
+			Attrs: attrs, Trace: 1, Span: sp, Parent: parent}
+	}
+	return []Event{
+		span("engine.run", 0, 100, 1, 0, Int("jobs", 2)),
+		{Name: "stray", Time: at(5)}, // untraced: lane 0
+		span("engine.job", 10, 60, 2, 1),
+		span("bounds.compute", 15, 40, 4, 2, String("sb", "blk1")),
+		{Name: "bounds.kernel", Time: at(18), Trace: 1, Span: 5, Parent: 4,
+			Attrs: []Attr{Int("reuse", 1)}},
+		span("engine.job", 20, 70, 3, 1), // concurrent with span 2: new lane
+	}
+}
+
+// TestTraceEventGolden locks the exporter output byte-for-byte: sort
+// order, lane (tid) packing, microsecond timestamps, and args field
+// order. Regenerate with
+//
+//	UPDATE_TRACE_GOLDEN=1 go test ./internal/telemetry -run TestTraceEventGolden
+func TestTraceEventGolden(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewTraceEventSink(&buf)
+	for _, e := range traceFixture() {
+		s.Emit(e)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(got, &doc); err != nil {
+		t.Fatalf("exporter output is not valid JSON: %v\n%s", err, got)
+	}
+	if len(doc.TraceEvents) != 4+len(traceFixture()) { // process + 3 thread metadata
+		t.Errorf("got %d trace events, want %d", len(doc.TraceEvents), 4+len(traceFixture()))
+	}
+
+	const goldenPath = "testdata/trace_golden.json"
+	if update() {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("trace-event output drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func update() bool { return os.Getenv("UPDATE_TRACE_GOLDEN") == "1" }
+
+// TestTraceEventDeterministic feeds the fixture in reverse emission
+// order: the rendered document must not change, since lane packing and
+// ordering depend only on event times and span IDs.
+func TestTraceEventDeterministic(t *testing.T) {
+	render := func(events []Event) []byte {
+		var buf bytes.Buffer
+		s := NewTraceEventSink(&buf)
+		for _, e := range events {
+			s.Emit(e)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	fwd := render(traceFixture())
+	rev := traceFixture()
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	if got := render(rev); !bytes.Equal(fwd, got) {
+		t.Errorf("emission order changed the rendered trace:\n--- forward ---\n%s\n--- reversed ---\n%s", fwd, got)
+	}
+}
+
+// TestTraceEventLanes pins the goroutine-simulation lane packing on the
+// fixture: nested spans share their parent's lane, the concurrent second
+// job opens a new one, instants ride their parent's lane, and untraced
+// events collect on lane 0.
+func TestTraceEventLanes(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewTraceEventSink(&buf)
+	for _, e := range traceFixture() {
+		s.Emit(e)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Tid  float64 `json:"tid"`
+			Args struct {
+				Span uint64 `json:"span"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	tidOf := map[uint64]float64{}
+	var strayTid float64 = -1
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" {
+			continue
+		}
+		if e.Name == "stray" {
+			strayTid = e.Tid
+			continue
+		}
+		tidOf[e.Args.Span] = e.Tid
+	}
+	if strayTid != 0 {
+		t.Errorf("untraced event on tid %v, want 0", strayTid)
+	}
+	for _, same := range [][2]uint64{{1, 2}, {2, 4}, {4, 5}} {
+		if tidOf[same[0]] != tidOf[same[1]] {
+			t.Errorf("spans %d and %d on tids %v and %v, want same lane",
+				same[0], same[1], tidOf[same[0]], tidOf[same[1]])
+		}
+	}
+	if tidOf[3] == tidOf[2] {
+		t.Errorf("concurrent jobs share tid %v, want distinct lanes", tidOf[3])
+	}
+}
+
+// TestJSONLSinkConcurrent hammers one shared JSONL sink from many
+// goroutines: under -race this is the data-race assertion, and afterwards
+// every output line must still parse as one complete JSON object (no
+// torn or interleaved lines).
+func TestJSONLSinkConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRegistry()
+	r.SetSink(NewJSONLSink(&buf))
+
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; i < per; i++ {
+				sp, sctx := r.StartSpanCtx(ctx, "engine.job")
+				r.EmitCtx(sctx, "exact.progress", Int("worker", int64(w)), Int("i", int64(i)))
+				sp.End(String("sb", fmt.Sprintf("blk%d", w)), Int("i", int64(i)))
+			}
+		}()
+	}
+	wg.Wait()
+	r.SetSink(nil)
+
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lines := 0
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("torn line %d: %v\n%s", lines, err, sc.Text())
+		}
+		if m["name"] != "engine.job" && m["name"] != "exact.progress" {
+			t.Fatalf("line %d: unexpected name %v", lines, m["name"])
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if want := workers * per * 2; lines != want {
+		t.Errorf("got %d JSON lines, want %d", lines, want)
+	}
+}

@@ -1,0 +1,225 @@
+package telemetry
+
+import (
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// TraceEventSink buffers events and, on Close, writes them as Chrome
+// trace-event JSON (the format ui.perfetto.dev and chrome://tracing
+// load). Spans become "X" (complete) slices, instant events become "i"
+// markers, and concurrent span subtrees — one per worker-pool goroutine —
+// are packed onto separate tids so nested slices render as a flame
+// graph per worker.
+//
+// Events are held in memory until Close; the sink is meant for bounded
+// diagnostic runs, not unbounded production streams (use JSONLSink for
+// those). Emit is safe for concurrent use.
+type TraceEventSink struct {
+	mu     sync.Mutex
+	w      io.Writer
+	events []Event
+	closed bool
+}
+
+// NewTraceEventSink returns a sink buffering events for w. Nothing is
+// written until Close.
+func NewTraceEventSink(w io.Writer) *TraceEventSink { return &TraceEventSink{w: w} }
+
+// Emit implements Sink. Events arriving after Close are dropped.
+func (s *TraceEventSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	// Copy attrs: callers may reuse the backing array after Emit returns.
+	if len(e.Attrs) > 0 {
+		e.Attrs = append([]Attr(nil), e.Attrs...)
+	}
+	s.events = append(s.events, e)
+}
+
+// Close renders the buffered events and writes the JSON document. It
+// must be called after the sink is removed from the registry; later
+// Emits are dropped. Close is idempotent (the second call is a no-op).
+func (s *TraceEventSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	_, err := s.w.Write(renderTraceEvents(s.events))
+	return err
+}
+
+// laneEntry is one open span on a lane's nesting stack.
+type laneEntry struct {
+	span uint64
+	end  time.Time
+}
+
+// renderTraceEvents lays events out on lanes (tids) and marshals the
+// trace-event JSON document with a deterministic field order, so output
+// for fixed input events is byte-stable (goldenable).
+func renderTraceEvents(events []Event) []byte {
+	// Order by start time; longer spans first on ties so parents are
+	// placed before the children they enclose; span id as final tiebreak.
+	ordered := make([]int, len(events))
+	for i := range ordered {
+		ordered[i] = i
+	}
+	start := func(e *Event) time.Time { return e.Time.Add(-e.Dur) }
+	sort.SliceStable(ordered, func(a, b int) bool {
+		ea, eb := &events[ordered[a]], &events[ordered[b]]
+		sa, sb := start(ea), start(eb)
+		if !sa.Equal(sb) {
+			return sa.Before(sb)
+		}
+		if ea.Dur != eb.Dur {
+			return ea.Dur > eb.Dur
+		}
+		return ea.Span < eb.Span
+	})
+
+	// Greedy lane assignment simulating the worker goroutines: a span
+	// joins the lane whose innermost open span is its parent; otherwise
+	// it claims an idle lane (or opens a new one). Instants ride the
+	// lane of their parent span. Untraced events (Trace == 0) share
+	// lane 0.
+	var lanes [][]laneEntry
+	spanLane := map[uint64]int{}
+	laneOf := make([]int, len(events))
+	for _, idx := range ordered {
+		e := &events[idx]
+		if e.Trace == 0 {
+			laneOf[idx] = 0
+			continue
+		}
+		es := start(e)
+		if e.Dur == 0 { // instant: follow the parent's lane
+			if l, ok := spanLane[e.Parent]; ok {
+				laneOf[idx] = l
+			} else {
+				laneOf[idx] = 1
+			}
+			if e.Span != 0 {
+				spanLane[e.Span] = laneOf[idx]
+			}
+			continue
+		}
+		pop := func(l int) []laneEntry {
+			st := lanes[l]
+			for len(st) > 0 && !st[len(st)-1].end.After(es) {
+				st = st[:len(st)-1]
+			}
+			lanes[l] = st
+			return st
+		}
+		chosen := -1
+		// Prefer the lane whose stack top is our parent (same goroutine).
+		for l := range lanes {
+			st := pop(l)
+			if len(st) > 0 && st[len(st)-1].span == e.Parent {
+				chosen = l
+				break
+			}
+		}
+		if chosen < 0 {
+			// A fresh goroutine: reuse an idle lane or open a new one.
+			for l := range lanes {
+				if len(lanes[l]) == 0 {
+					chosen = l
+					break
+				}
+			}
+			if chosen < 0 {
+				lanes = append(lanes, nil)
+				chosen = len(lanes) - 1
+			}
+		}
+		lanes[chosen] = append(lanes[chosen], laneEntry{span: e.Span, end: e.Time})
+		laneOf[idx] = chosen + 1 // lane 0 is reserved for untraced events
+		spanLane[e.Span] = laneOf[idx]
+	}
+	nLanes := len(lanes) + 1
+
+	// Timestamps are microseconds relative to the earliest event start.
+	var epoch time.Time
+	for i := range events {
+		es := start(&events[i])
+		if epoch.IsZero() || es.Before(epoch) {
+			epoch = es
+		}
+	}
+
+	b := []byte(`{"displayTimeUnit":"ms","traceEvents":[` + "\n")
+	b = append(b, `{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"balance"}}`...)
+	for tid := 0; tid < nLanes; tid++ {
+		b = append(b, ",\n"...)
+		b = append(b, `{"name":"thread_name","ph":"M","pid":1,"tid":`...)
+		b = strconv.AppendInt(b, int64(tid), 10)
+		if tid == 0 {
+			b = append(b, `,"args":{"name":"untraced"}}`...)
+		} else {
+			b = append(b, `,"args":{"name":"worker-`...)
+			b = strconv.AppendInt(b, int64(tid), 10)
+			b = append(b, `"}}`...)
+		}
+	}
+	appendMicros := func(b []byte, d time.Duration) []byte {
+		return strconv.AppendFloat(b, float64(d.Nanoseconds())/1e3, 'f', 3, 64)
+	}
+	for _, idx := range ordered {
+		e := &events[idx]
+		b = append(b, ",\n"...)
+		b = append(b, `{"name":`...)
+		b = strconv.AppendQuote(b, e.Name)
+		if e.Dur != 0 {
+			b = append(b, `,"ph":"X","ts":`...)
+			b = appendMicros(b, start(e).Sub(epoch))
+			b = append(b, `,"dur":`...)
+			b = appendMicros(b, e.Dur)
+		} else {
+			b = append(b, `,"ph":"i","s":"t","ts":`...)
+			b = appendMicros(b, e.Time.Sub(epoch))
+		}
+		b = append(b, `,"pid":1,"tid":`...)
+		b = strconv.AppendInt(b, int64(laneOf[idx]), 10)
+		b = append(b, `,"args":{`...)
+		first := true
+		field := func(k string, v uint64) {
+			if v == 0 {
+				return
+			}
+			if !first {
+				b = append(b, ',')
+			}
+			first = false
+			b = strconv.AppendQuote(b, k)
+			b = append(b, ':')
+			b = strconv.AppendUint(b, v, 10)
+		}
+		field("span", e.Span)
+		field("parent", e.Parent)
+		for _, a := range e.Attrs {
+			if !first {
+				b = append(b, ',')
+			}
+			first = false
+			b = strconv.AppendQuote(b, a.Key)
+			b = append(b, ':')
+			if a.IsInt {
+				b = strconv.AppendInt(b, a.Int, 10)
+			} else {
+				b = strconv.AppendQuote(b, a.Str)
+			}
+		}
+		b = append(b, `}}`...)
+	}
+	return append(b, "\n]}\n"...)
+}
