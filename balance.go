@@ -25,7 +25,11 @@
 //     paper (see package balance/internal/eval via the sbeval tool);
 //   - a process-wide telemetry registry of counters, gauges, and latency
 //     histograms fed by the engine, bounds, scheduler, and exact solver,
-//     with optional span streaming (Telemetry, NewTelemetrySink).
+//     with optional span streaming (Telemetry, NewTelemetrySink);
+//   - a batching, backpressured HTTP scheduling service (NewService; the
+//     sbserve daemon and the sbload soak driver are thin wrappers) with a
+//     shared, size-bounded result cache, in-flight request coalescing, and
+//     deadline-to-budget degradation.
 //
 // Quick start:
 //
@@ -60,7 +64,9 @@ import (
 	"balance/internal/resilience"
 	"balance/internal/sbfile"
 	"balance/internal/sched"
+	"balance/internal/service"
 	"balance/internal/telemetry"
+	"balance/internal/wire"
 )
 
 // Core model types.
@@ -476,4 +482,48 @@ func ExpandOccupancy(sb *Superblock, m *Machine) (*Superblock, []int) {
 // dependences and resources allow; the cost never increases.
 func Compact(sb *Superblock, m *Machine, s *Schedule) (*Schedule, int) {
 	return sched.Compact(sb, m, s)
+}
+
+// Service: the pipeline as a long-running, backpressured HTTP service (the
+// layer behind cmd/sbserve; drive it with cmd/sbload). See internal/service
+// for the admission, deadline, and caching semantics and internal/wire for
+// the JSON vocabulary.
+type (
+	// Service is the scheduling service: an http.Handler plus admission
+	// control, the shared result cache, and drain lifecycle.
+	Service = service.Server
+	// ServiceConfig configures NewService; the zero value serves with
+	// sensible defaults.
+	ServiceConfig = service.Config
+	// CacheStats is the result cache's accounting: hits, misses, coalesced
+	// waiters, evictions, and occupancy.
+	CacheStats = engine.CacheStats
+
+	// ScheduleRequest/ScheduleResponse are the POST /v1/schedule bodies.
+	ScheduleRequest  = wire.ScheduleRequest
+	ScheduleResponse = wire.ScheduleResponse
+	// BoundsRequest/BoundsResponse are the POST /v1/bounds bodies.
+	BoundsRequest  = wire.BoundsRequest
+	BoundsResponse = wire.BoundsResponse
+	// ExplainRequest/ExplainResponse are the POST /v1/explain bodies.
+	ExplainRequest  = wire.ExplainRequest
+	ExplainResponse = wire.ExplainResponse
+	// ServiceHealth is the GET /healthz body.
+	ServiceHealth = wire.Health
+)
+
+// NewService returns a Service ready to mount: serve its Handler(), stop
+// with Drain.
+func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// BudgetTierSpec quantizes a remaining deadline onto a discrete ladder of
+// budget tiers (the largest tier not exceeding it), so deadline-carrying
+// requests with similar headroom share cache entries and coalesce. Below
+// the smallest tier the exact remainder is used — correctness over
+// cacheability. Nil tiers use the service's default ladder.
+func BudgetTierSpec(remaining time.Duration, tiers []time.Duration) BudgetSpec {
+	if tiers == nil {
+		tiers = service.DefaultBudgetTiers
+	}
+	return resilience.TierSpec(remaining, tiers)
 }

@@ -120,6 +120,10 @@ func main() {
 		if n := r.Failures(); n > 0 {
 			fmt.Fprintf(os.Stderr, "sbeval: %d superblock(s) failed and were excluded (-keep-going)\n", n)
 		}
+		if s := r.CacheStats(); s.Hits+s.Misses > 0 {
+			fmt.Fprintf(os.Stderr, "sbeval: result cache %d hits / %d misses / %d coalesced / %d evicted (%d resident)\n",
+				s.Hits, s.Misses, s.Coalesced, s.Evictions, s.Size)
+		}
 	}()
 
 	run := func(n int) {

@@ -1,0 +1,354 @@
+// Command sbload drives a running sbserve with sustained load and gates on
+// the outcome: it is both a benchmark client and the soak check CI runs
+// against the service.
+//
+// Usage:
+//
+//	sbload -addr localhost:8080 -duration 30s -concurrency 16
+//	sbload -distinct 8 -deadline 500ms       # cache-friendly mix
+//	sbload -mix schedule=8,bounds=1,explain=1
+//	sbload -min-rps 1000 -max-error-ratio 0.01 -max-goroutine-growth 20
+//	sbload -out soak.json                    # JSON summary
+//
+// The corpus is generated (gen package, deterministic in -seed), so client
+// and server need no shared files. 429 responses count as rejected — the
+// backpressure contract working — not as errors; the error ratio gates on
+// 5xx and transport failures only. Goroutine growth is sampled from the
+// server's /healthz between warmup and the end of the run, so a leaky
+// handler fails the gate even when throughput looks healthy.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"balance/internal/gen"
+	"balance/internal/sbfile"
+	"balance/internal/wire"
+)
+
+// summary is the machine-readable result written by -out.
+type summary struct {
+	DurationSec     float64            `json:"duration_sec"`
+	Requests        int64              `json:"requests"`
+	OK              int64              `json:"ok"`
+	Rejected        int64              `json:"rejected"` // 429: backpressure, not failure
+	Deadline        int64              `json:"deadline"` // 504: deadline expiry
+	ClientErrors    int64              `json:"client_errors"`
+	ServerErrors    int64              `json:"server_errors"`
+	TransportErrors int64              `json:"transport_errors"`
+	RPS             float64            `json:"rps"`
+	LatencyMS       map[string]float64 `json:"latency_ms"`
+	Cached          int64              `json:"cached"`
+	Coalesced       int64              `json:"coalesced"`
+	GoroutineStart  int                `json:"goroutine_start"`
+	GoroutineEnd    int                `json:"goroutine_end"`
+	Cache           wire.CacheHealth   `json:"cache"`
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "sbserve address (host:port)")
+	duration := flag.Duration("duration", 30*time.Second, "how long to drive load")
+	concurrency := flag.Int("concurrency", 16, "concurrent client connections")
+	distinct := flag.Int("distinct", 8, "distinct superblocks in the request mix")
+	maxOps := flag.Int("max-ops", 0, "0 = profile default; otherwise drop generated superblocks larger than this")
+	seed := flag.Int64("seed", 1999, "corpus seed")
+	machine := flag.String("machine", "GP2", "machine configuration requests name")
+	deadline := flag.Duration("deadline", 2*time.Second, "per-request deadline sent to the server")
+	mix := flag.String("mix", "schedule=8,bounds=1,explain=1", "endpoint weights")
+	out := flag.String("out", "", "write the JSON summary to `file` (- or empty for stdout)")
+	maxErrorRatio := flag.Float64("max-error-ratio", -1, "fail if (5xx+transport)/requests exceeds this (-1 = no gate)")
+	maxGoroutineGrowth := flag.Int("max-goroutine-growth", -1, "fail if server goroutines grow by more than this (-1 = no gate)")
+	minRPS := flag.Float64("min-rps", -1, "fail if sustained requests/sec fall below this (-1 = no gate)")
+	flag.Parse()
+
+	weights, err := parseMix(*mix)
+	if err != nil {
+		fatal(err)
+	}
+	inputs := corpus(*seed, *distinct, *maxOps)
+	base := "http://" + *addr
+	hc := &http.Client{Timeout: *deadline + 10*time.Second}
+	ctx := context.Background()
+
+	// Warm up: one request per input primes the cache and proves the
+	// server is reachable before the measured window starts.
+	var health wire.Health
+	if _, _, err := wire.Get(ctx, hc, base+"/healthz", &health); err != nil {
+		fatal(fmt.Errorf("server not reachable at %s: %w", base, err))
+	}
+	for _, in := range inputs {
+		wire.Post(ctx, hc, base+"/v1/schedule", &wire.ScheduleRequest{ //nolint:errcheck // warmup
+			Superblock: in, Machine: *machine, DeadlineMS: deadlineMS(*deadline),
+		}, nil)
+	}
+	if _, _, err := wire.Get(ctx, hc, base+"/healthz", &health); err != nil {
+		fatal(fmt.Errorf("healthz after warmup: %w", err))
+	}
+	goroutineStart := health.Goroutines
+
+	var (
+		requests, okCount, rejected, deadlined atomic.Int64
+		clientErrs, serverErrs, transportErrs  atomic.Int64
+		cached, coalesced                      atomic.Int64
+		latMu                                  sync.Mutex
+		latencies                              []time.Duration
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < *concurrency; c++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(worker)))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				in := inputs[rng.Intn(len(inputs))]
+				t0 := time.Now()
+				code, resp := oneRequest(ctx, hc, base, weights, rng, in, *machine, *deadline)
+				elapsed := time.Since(t0)
+				requests.Add(1)
+				switch {
+				case code >= 200 && code < 300:
+					okCount.Add(1)
+					latMu.Lock()
+					latencies = append(latencies, elapsed)
+					latMu.Unlock()
+					if resp != nil {
+						if resp.Cached {
+							cached.Add(1)
+						}
+						if resp.Coalesced {
+							coalesced.Add(1)
+						}
+					}
+				case code == http.StatusTooManyRequests:
+					rejected.Add(1)
+					// Honor the backpressure contract: back off briefly.
+					time.Sleep(10 * time.Millisecond)
+				case code == http.StatusGatewayTimeout:
+					deadlined.Add(1)
+				case code >= 400 && code < 500:
+					clientErrs.Add(1)
+				case code >= 500:
+					serverErrs.Add(1)
+				default:
+					transportErrs.Add(1)
+				}
+			}
+		}(c)
+	}
+	time.Sleep(*duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if _, _, err := wire.Get(ctx, hc, base+"/healthz", &health); err != nil {
+		fatal(fmt.Errorf("healthz after run: %w", err))
+	}
+
+	s := summary{
+		DurationSec:     elapsed.Seconds(),
+		Requests:        requests.Load(),
+		OK:              okCount.Load(),
+		Rejected:        rejected.Load(),
+		Deadline:        deadlined.Load(),
+		ClientErrors:    clientErrs.Load(),
+		ServerErrors:    serverErrs.Load(),
+		TransportErrors: transportErrs.Load(),
+		RPS:             float64(requests.Load()) / elapsed.Seconds(),
+		LatencyMS:       quantiles(latencies),
+		Cached:          cached.Load(),
+		Coalesced:       coalesced.Load(),
+		GoroutineStart:  goroutineStart,
+		GoroutineEnd:    health.Goroutines,
+		Cache:           health.Cache,
+	}
+	writeSummary(*out, s)
+	fmt.Fprintf(os.Stderr, "sbload: %d requests in %v (%.0f req/s): %d ok, %d rejected, %d deadline, %d errors; p95 %.2fms\n",
+		s.Requests, elapsed.Round(time.Millisecond), s.RPS,
+		s.OK, s.Rejected, s.Deadline, s.ClientErrors+s.ServerErrors+s.TransportErrors, s.LatencyMS["p95"])
+
+	failed := false
+	if *maxErrorRatio >= 0 && s.Requests > 0 {
+		ratio := float64(s.ServerErrors+s.TransportErrors) / float64(s.Requests)
+		if ratio > *maxErrorRatio {
+			fmt.Fprintf(os.Stderr, "sbload: FAIL error ratio %.4f > %.4f\n", ratio, *maxErrorRatio)
+			failed = true
+		}
+	}
+	if *maxGoroutineGrowth >= 0 {
+		if growth := s.GoroutineEnd - s.GoroutineStart; growth > *maxGoroutineGrowth {
+			fmt.Fprintf(os.Stderr, "sbload: FAIL goroutine growth %d > %d\n", growth, *maxGoroutineGrowth)
+			failed = true
+		}
+	}
+	if *minRPS >= 0 && s.RPS < *minRPS {
+		fmt.Fprintf(os.Stderr, "sbload: FAIL %.0f req/s < %.0f\n", s.RPS, *minRPS)
+		failed = true
+	}
+	if s.ClientErrors > 0 {
+		// 4xx under a well-formed workload means the client and server
+		// disagree about the wire contract; always fatal.
+		fmt.Fprintf(os.Stderr, "sbload: FAIL %d client errors (4xx)\n", s.ClientErrors)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// oneRequest picks an endpoint by mix weight and performs it, returning the
+// status code (0 on transport failure) and, for schedule requests, the
+// decoded response for cache accounting.
+func oneRequest(ctx context.Context, hc *http.Client, base string, weights mixWeights, rng *rand.Rand,
+	sb, machine string, deadline time.Duration) (int, *wire.ScheduleResponse) {
+	ms := deadlineMS(deadline)
+	switch weights.pick(rng) {
+	case "bounds":
+		code, _, _ := wire.Post(ctx, hc, base+"/v1/bounds", &wire.BoundsRequest{
+			Superblock: sb, Machine: machine, DeadlineMS: ms,
+		}, nil)
+		return code, nil
+	case "explain":
+		code, _, _ := wire.Post(ctx, hc, base+"/v1/explain", &wire.ExplainRequest{
+			Superblock: sb, Machine: machine, DeadlineMS: ms,
+		}, nil)
+		return code, nil
+	default:
+		var resp wire.ScheduleResponse
+		code, _, _ := wire.Post(ctx, hc, base+"/v1/schedule", &wire.ScheduleRequest{
+			Superblock: sb, Machine: machine, DeadlineMS: ms,
+		}, &resp)
+		return code, &resp
+	}
+}
+
+// corpus renders distinct generated superblocks as .sb text, drawn from the
+// gcc profile (the paper's most varied benchmark).
+func corpus(seed int64, distinct, maxOps int) []string {
+	p, err := gen.ProfileByName("gcc")
+	if err != nil {
+		fatal(err)
+	}
+	var out []string
+	for scale := 0.05; len(out) < distinct && scale < 8; scale *= 2 {
+		sbs := gen.Generate(p, seed, scale)
+		out = out[:0]
+		for _, sb := range sbs {
+			if maxOps > 0 && sb.G.NumOps() > maxOps {
+				continue
+			}
+			var buf strings.Builder
+			if err := sbfile.Write(&buf, sb); err != nil {
+				fatal(err)
+			}
+			out = append(out, buf.String())
+			if len(out) == distinct {
+				break
+			}
+		}
+	}
+	if len(out) < distinct {
+		fatal(fmt.Errorf("could not generate %d superblocks under -max-ops %d", distinct, maxOps))
+	}
+	return out
+}
+
+// mixWeights is a cumulative-weight endpoint table.
+type mixWeights struct {
+	names []string
+	cum   []int
+	total int
+}
+
+func parseMix(s string) (mixWeights, error) {
+	var w mixWeights
+	for _, part := range strings.Split(s, ",") {
+		name, val, found := strings.Cut(strings.TrimSpace(part), "=")
+		if !found {
+			return w, fmt.Errorf("-mix: want name=weight, got %q", part)
+		}
+		switch name {
+		case "schedule", "bounds", "explain":
+		default:
+			return w, fmt.Errorf("-mix: unknown endpoint %q (want schedule, bounds, explain)", name)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 0 {
+			return w, fmt.Errorf("-mix: bad weight %q", val)
+		}
+		if n == 0 {
+			continue
+		}
+		w.total += n
+		w.names = append(w.names, name)
+		w.cum = append(w.cum, w.total)
+	}
+	if w.total == 0 {
+		return w, fmt.Errorf("-mix: no positive weights in %q", s)
+	}
+	return w, nil
+}
+
+func (w mixWeights) pick(rng *rand.Rand) string {
+	n := rng.Intn(w.total)
+	for i, c := range w.cum {
+		if n < c {
+			return w.names[i]
+		}
+	}
+	return w.names[len(w.names)-1]
+}
+
+func quantiles(lat []time.Duration) map[string]float64 {
+	out := map[string]float64{"p50": 0, "p95": 0, "p99": 0}
+	if len(lat) == 0 {
+		return out
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(lat)-1))
+		return float64(lat[i].Microseconds()) / 1000
+	}
+	out["p50"], out["p95"], out["p99"] = at(0.50), at(0.95), at(0.99)
+	return out
+}
+
+func deadlineMS(d time.Duration) int64 { return d.Milliseconds() }
+
+func writeSummary(path string, s summary) {
+	w := os.Stdout
+	if path != "" && path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(fmt.Errorf("-out: %w", err))
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s) //nolint:errcheck // summary write is best-effort to stdout
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "sbload: %v\n", err)
+	os.Exit(1)
+}

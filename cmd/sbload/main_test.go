@@ -1,0 +1,114 @@
+package main
+
+// Smoke tests for the sbload driver: the test hosts a real service
+// in-process and re-execs the test binary as the tool against it.
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"balance/internal/service"
+)
+
+const reexecEnv = "SBLOAD_RUN_MAIN"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(reexecEnv) == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runTool(t *testing.T, args ...string) (stdout string, err error) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), reexecEnv+"=1")
+	var out, errb strings.Builder
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err = cmd.Run()
+	if err != nil {
+		t.Logf("sbload %v stderr:\n%s", args, errb.String())
+	}
+	return out.String(), err
+}
+
+func TestLoadAgainstService(t *testing.T) {
+	ts := httptest.NewServer(service.New(service.Config{Workers: 2}).Handler())
+	defer ts.Close()
+	addr := strings.TrimPrefix(ts.URL, "http://")
+
+	stdout, err := runTool(t,
+		"-addr", addr, "-duration", "1s", "-concurrency", "4",
+		"-distinct", "2", "-deadline", "5s", "-seed", "7",
+		"-max-error-ratio", "0", "-min-rps", "1", "-max-goroutine-growth", "100",
+		"-out", "-")
+	if err != nil {
+		t.Fatalf("sbload failed: %v", err)
+	}
+	var s summary
+	if err := json.Unmarshal([]byte(stdout), &s); err != nil {
+		t.Fatalf("summary not JSON: %v\n%s", err, stdout)
+	}
+	if s.Requests == 0 || s.OK == 0 {
+		t.Errorf("no traffic recorded: %+v", s)
+	}
+	if s.ServerErrors+s.TransportErrors+s.ClientErrors > 0 {
+		t.Errorf("errors against a healthy server: %+v", s)
+	}
+	if s.LatencyMS["p95"] <= 0 {
+		t.Errorf("no p95 in summary: %+v", s.LatencyMS)
+	}
+	if s.Cache.Misses == 0 {
+		t.Errorf("server cache accounting missing from summary: %+v", s.Cache)
+	}
+}
+
+// TestGateFails: an unreachable -min-rps must fail the run with exit 1.
+func TestGateFails(t *testing.T) {
+	ts := httptest.NewServer(service.New(service.Config{Workers: 1}).Handler())
+	defer ts.Close()
+	addr := strings.TrimPrefix(ts.URL, "http://")
+
+	_, err := runTool(t,
+		"-addr", addr, "-duration", "300ms", "-concurrency", "2",
+		"-distinct", "1", "-deadline", "5s", "-min-rps", "1000000", "-out", "-")
+	var ee *exec.ExitError
+	if err == nil || !asExitError(err, &ee) || ee.ExitCode() != 1 {
+		t.Fatalf("gate violation exit = %v, want status 1", err)
+	}
+}
+
+func asExitError(err error, out **exec.ExitError) bool {
+	ee, ok := err.(*exec.ExitError)
+	if ok {
+		*out = ee
+	}
+	return ok
+}
+
+func TestParseMix(t *testing.T) {
+	w, err := parseMix("schedule=8,bounds=1,explain=1")
+	if err != nil || w.total != 10 || len(w.names) != 3 {
+		t.Fatalf("parseMix: %+v err=%v", w, err)
+	}
+	if _, err := parseMix("schedule=8,bogus=1"); err == nil {
+		t.Error("unknown endpoint accepted")
+	}
+	if _, err := parseMix("schedule=0"); err == nil {
+		t.Error("all-zero mix accepted")
+	}
+	rng := rand.New(rand.NewSource(1))
+	counts := map[string]int{}
+	for i := 0; i < 1000; i++ {
+		counts[w.pick(rng)]++
+	}
+	if counts["schedule"] < 600 || counts["bounds"] == 0 || counts["explain"] == 0 {
+		t.Errorf("pick distribution off: %v", counts)
+	}
+}

@@ -1,0 +1,108 @@
+// Command sbserve runs the scheduling pipeline as a long-running HTTP
+// service: POST .sb text, get bounds, schedule costs, or explained
+// decisions back as JSON.
+//
+// Usage:
+//
+//	sbserve                          # serve on localhost:8080
+//	sbserve -addr :9000 -workers 8   # wider compute pool
+//	sbserve -max-deadline 5s         # clamp per-request deadlines
+//	sbserve -metrics out.json -trace trace.json
+//
+// Endpoints: POST /v1/schedule, /v1/bounds, /v1/explain (see internal/wire
+// for the request vocabulary), GET /healthz, and /debug/vars + /debug/pprof/
+// on the same port. Requests beyond the admission window are rejected with
+// 429 and a Retry-After estimate. SIGINT/SIGTERM stop admission, drain
+// in-flight requests, flush telemetry, and exit 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"balance/internal/cliutil"
+	"balance/internal/service"
+)
+
+var obs = cliutil.Flags("sbserve", false)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "listen address (host:port; :0 picks a free port)")
+	workers := flag.Int("workers", 0, "concurrent evaluations (default GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "admitted-but-waiting requests beyond -workers (default 4x workers)")
+	cacheCap := flag.Int("cache", 0, "result cache capacity in entries (default engine default)")
+	defaultDeadline := flag.Duration("default-deadline", 0, "deadline for requests that carry none (0 = unlimited)")
+	maxDeadline := flag.Duration("max-deadline", 0, "clamp applied to every request deadline (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	flag.Parse()
+
+	// The drain sequence registers as the first exit hook so every exit
+	// path — including SIGINT routed through obs — finishes in-flight
+	// requests before the trace sink closes and the metrics snapshot is
+	// written. It is filled in once the server exists.
+	var shutdown func() error
+	obs.OnExit(func() error {
+		if shutdown == nil {
+			return nil
+		}
+		return shutdown()
+	})
+	if err := obs.Start(); err != nil {
+		obs.Fatal(err)
+	}
+
+	srv := service.New(service.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheCapacity:   *cacheCap,
+		DefaultDeadline: *defaultDeadline,
+		MaxDeadline:     *maxDeadline,
+		Debug:           cliutil.DebugHandler(),
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		obs.Fatal(fmt.Errorf("-addr: %w", err))
+	}
+	fmt.Fprintf(os.Stderr, "sbserve: listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	shutdown = func() error {
+		fmt.Fprintln(os.Stderr, "sbserve: draining")
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "sbserve: shutdown: %v\n", err)
+		}
+		err := srv.Drain(ctx)
+		if s := srv.CacheStats(); s.Hits+s.Misses > 0 {
+			fmt.Fprintf(os.Stderr, "sbserve: result cache %d hits / %d misses / %d coalesced / %d evicted (%d resident)\n",
+				s.Hits, s.Misses, s.Coalesced, s.Evictions, s.Size)
+		}
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		if !errors.Is(err, http.ErrServerClosed) {
+			obs.Fatal(err)
+		}
+	case <-ctx.Done():
+		stop()
+	}
+	// Close runs the exit hooks: drain first, then trace teardown and the
+	// -metrics snapshot. A clean SIGINT therefore exits 0 with everything
+	// flushed.
+	obs.Close()
+}

@@ -1,0 +1,109 @@
+package main
+
+// Smoke tests for the sbserve daemon. The test binary re-execs itself as
+// the tool (TestMain dispatches on an env var), so flag parsing, the
+// listen/serve path, and the SIGINT drain sequence run end to end.
+
+import (
+	"bufio"
+	"context"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"balance/internal/sbfile"
+	"balance/internal/testutil"
+	"balance/internal/wire"
+)
+
+const reexecEnv = "SBSERVE_RUN_MAIN"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(reexecEnv) == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// TestServeAndDrain boots the daemon on a free port, performs one request
+// per endpoint, then sends SIGINT and requires a clean exit (status 0)
+// with the drain message on stderr.
+func TestServeAndDrain(t *testing.T) {
+	metrics := t.TempDir() + "/metrics.json"
+	cmd := exec.Command(os.Args[0], "-addr", "localhost:0", "-workers", "2", "-metrics", metrics)
+	cmd.Env = append(os.Environ(), reexecEnv+"=1")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill() //nolint:errcheck // cleanup on test failure
+
+	// The daemon announces its resolved address on stderr; everything it
+	// prints afterwards is collected for the drain assertion.
+	sc := bufio.NewScanner(stderr)
+	var base string
+	for sc.Scan() {
+		if _, addr, found := strings.Cut(sc.Text(), "listening on "); found {
+			base = addr
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("no listen line on stderr (scan err %v)", sc.Err())
+	}
+	rest := make(chan string, 1)
+	go func() {
+		var b strings.Builder
+		for sc.Scan() {
+			b.WriteString(sc.Text())
+			b.WriteString("\n")
+		}
+		rest <- b.String()
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	hc := &http.Client{}
+
+	var h wire.Health
+	if code, _, err := wire.Get(ctx, hc, base+"/healthz", &h); err != nil || code != 200 || h.Status != "ok" {
+		t.Fatalf("healthz: code=%d health=%+v err=%v", code, h, err)
+	}
+
+	var buf strings.Builder
+	if err := sbfile.Write(&buf, testutil.RandomSuperblock(rand.New(rand.NewSource(1)), 10)); err != nil {
+		t.Fatal(err)
+	}
+	var resp wire.ScheduleResponse
+	code, _, err := wire.Post(ctx, hc, base+"/v1/schedule", &wire.ScheduleRequest{
+		Superblock: buf.String(), Machine: "GP2", DeadlineMS: 10000,
+	}, &resp)
+	if err != nil || code != 200 || len(resp.Costs) == 0 {
+		t.Fatalf("schedule: code=%d resp=%+v err=%v", code, resp, err)
+	}
+	if code, _, _ := wire.Get(ctx, hc, base+"/debug/vars", nil); code != 200 {
+		t.Errorf("/debug/vars: code=%d", code)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("SIGINT exit: %v (want status 0)", err)
+	}
+	if tail := <-rest; !strings.Contains(tail, "draining") || !strings.Contains(tail, "result cache") {
+		t.Errorf("drain stderr missing drain/cache lines:\n%s", tail)
+	}
+	if data, err := os.ReadFile(metrics); err != nil || !strings.Contains(string(data), "service.requests") {
+		t.Errorf("metrics snapshot after SIGINT: err=%v, has service.requests=%v", err, strings.Contains(string(data), "service.requests"))
+	}
+}

@@ -22,6 +22,18 @@ import (
 	_ "net/http/pprof"
 )
 
+// DebugHandler returns the process debug surface — expvar (including the
+// live telemetry snapshot) at /debug/vars and pprof at /debug/pprof/ — for
+// mounting on a service mux. The handlers live on http.DefaultServeMux
+// (registered by the expvar and pprof imports); publishing the telemetry
+// bridge here keeps callers from having to know that detail. sbserve
+// mounts this under /debug/ so one port serves both the API and the
+// profiling surface; -debug-addr remains available for a separate port.
+func DebugHandler() http.Handler {
+	telemetry.PublishExpvar(telemetry.Default())
+	return http.DefaultServeMux
+}
+
 // Obs carries one tool's observability configuration. Create it with
 // Flags before flag.Parse; Start after; and route every exit through
 // Fatal/Close so an interrupted run still reports what it did.

@@ -1,0 +1,266 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func cacheKey(i int) memoKey {
+	return memoKey{digest: uint64(i), machine: "GP2", schedulers: "CP"}
+}
+
+// TestCacheDoCoalesces checks the singleflight contract under concurrency:
+// many goroutines asking for the same absent key share exactly one compute
+// call, and the stats report one miss plus N-1 coalesced waits.
+func TestCacheDoCoalesces(t *testing.T) {
+	const waiters = 16
+	m := NewMemo(8)
+	var computes atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	vals := make([]memoVal, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := m.Do(context.Background(), cacheKey(1), func() (memoVal, error) {
+				close(started) // only the single leader ever gets here
+				<-release
+				computes.Add(1)
+				return memoVal{trivial: true}, nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			vals[i] = v
+		}(i)
+	}
+	<-started
+	// Every non-leader is either blocked on the flight or about to join it;
+	// give them a moment so the coalesced count is exercised meaningfully.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want exactly 1", n)
+	}
+	for i, v := range vals {
+		if !v.trivial {
+			t.Fatalf("waiter %d got a zero value", i)
+		}
+	}
+	s := m.CacheStats()
+	if s.Misses != 1 {
+		t.Errorf("misses = %d, want 1", s.Misses)
+	}
+	if s.Hits+s.Coalesced != waiters-1 {
+		t.Errorf("hits (%d) + coalesced (%d) = %d, want %d non-leader callers accounted",
+			s.Hits, s.Coalesced, s.Hits+s.Coalesced, waiters-1)
+	}
+	if s.Coalesced == 0 {
+		t.Error("no caller coalesced onto the in-flight computation")
+	}
+}
+
+// TestCacheDoLeaderErrorNotCached checks that a failing compute is never
+// stored, that waiters retry (one becomes the new leader), and that a
+// later Do recomputes.
+func TestCacheDoLeaderErrorNotCached(t *testing.T) {
+	m := NewMemo(8)
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	_, _, err := m.Do(context.Background(), cacheKey(2), func() (memoVal, error) {
+		calls.Add(1)
+		return memoVal{}, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("leader error = %v, want boom", err)
+	}
+	if s := m.CacheStats(); s.Size != 0 {
+		t.Fatalf("errored value was cached (size %d)", s.Size)
+	}
+	v, _, err := m.Do(context.Background(), cacheKey(2), func() (memoVal, error) {
+		calls.Add(1)
+		return memoVal{trivial: true}, nil
+	})
+	if err != nil || !v.trivial {
+		t.Fatalf("retry after error: v=%+v err=%v", v, err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("compute calls = %d, want 2", calls.Load())
+	}
+}
+
+// TestCacheDoLeaderPanicReleasesWaiters checks that a panicking leader
+// wakes its waiters (who retry and recompute) instead of deadlocking them,
+// and that the panic still propagates to the leader's caller.
+func TestCacheDoLeaderPanicReleasesWaiters(t *testing.T) {
+	m := NewMemo(8)
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		m.Do(context.Background(), cacheKey(3), func() (memoVal, error) { //nolint:errcheck
+			close(leaderIn)
+			<-release
+			panic("injected")
+		})
+	}()
+	<-leaderIn
+
+	var wg sync.WaitGroup
+	var recomputes atomic.Int64
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := m.Do(context.Background(), cacheKey(3), func() (memoVal, error) {
+				recomputes.Add(1)
+				return memoVal{trivial: true}, nil
+			})
+			if err != nil || !v.trivial {
+				t.Errorf("waiter after leader panic: v=%+v err=%v", v, err)
+			}
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	close(release)
+	if r := <-done; r == nil {
+		t.Fatal("leader panic did not propagate")
+	}
+	wg.Wait()
+	if recomputes.Load() == 0 {
+		t.Error("no waiter recomputed after the leader panicked")
+	}
+}
+
+// TestCacheDoWaiterCancellation checks that a waiter whose context is
+// cancelled while it blocks on another caller's computation returns the
+// context error without disturbing the leader.
+func TestCacheDoWaiterCancellation(t *testing.T) {
+	m := NewMemo(8)
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		m.Do(context.Background(), cacheKey(4), func() (memoVal, error) { //nolint:errcheck
+			close(leaderIn)
+			<-release
+			return memoVal{trivial: true}, nil
+		})
+	}()
+	<-leaderIn
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := m.Do(ctx, cacheKey(4), func() (memoVal, error) {
+			t.Error("cancelled waiter must not compute")
+			return memoVal{}, nil
+		})
+		errc <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter error = %v, want context.Canceled", err)
+	}
+	close(release)
+	v, _, err := m.Do(context.Background(), cacheKey(4), func() (memoVal, error) {
+		t.Error("resident value must not recompute")
+		return memoVal{}, nil
+	})
+	if err != nil || !v.trivial {
+		t.Fatalf("leader value lost after waiter cancellation: v=%+v err=%v", v, err)
+	}
+}
+
+// TestCacheEvictionExactAtCapacity checks LRU eviction accounting: filling
+// a cache of capacity C with C+K distinct keys evicts exactly K entries in
+// least-recently-used order, overwrites never evict, and the stats add up.
+func TestCacheEvictionExactAtCapacity(t *testing.T) {
+	const cap, extra = 8, 5
+	m := NewMemo(cap)
+	for i := 0; i < cap; i++ {
+		m.store(cacheKey(i), memoVal{})
+	}
+	if s := m.CacheStats(); s.Evictions != 0 || s.Size != cap {
+		t.Fatalf("after fill: evictions=%d size=%d, want 0/%d", s.Evictions, s.Size, cap)
+	}
+	// Touch key 0 so it becomes most-recently-used and survives the
+	// overflow below.
+	if _, ok := m.lookup(cacheKey(0)); !ok {
+		t.Fatal("key 0 missing after fill")
+	}
+	// Overwriting a resident key at capacity must not evict.
+	m.store(cacheKey(1), memoVal{trivial: true})
+	if s := m.CacheStats(); s.Evictions != 0 || s.Size != cap {
+		t.Fatalf("after overwrite: evictions=%d size=%d, want 0/%d", s.Evictions, s.Size, cap)
+	}
+	for i := 0; i < extra; i++ {
+		m.store(cacheKey(100+i), memoVal{})
+	}
+	s := m.CacheStats()
+	if s.Evictions != extra {
+		t.Errorf("evictions = %d, want exactly %d", s.Evictions, extra)
+	}
+	if s.Size != cap {
+		t.Errorf("size = %d, want %d", s.Size, cap)
+	}
+	if s.Capacity != cap {
+		t.Errorf("capacity = %d, want %d", s.Capacity, cap)
+	}
+	// The recently-touched keys survived; the LRU victims (2..6) are gone.
+	for _, want := range []int{0, 1} {
+		if _, ok := m.lookup(cacheKey(want)); !ok {
+			t.Errorf("recently-used key %d was evicted", want)
+		}
+	}
+	for _, gone := range []int{2, 3, 4} {
+		if _, ok := m.lookup(cacheKey(gone)); ok {
+			t.Errorf("LRU victim key %d still resident", gone)
+		}
+	}
+}
+
+// TestCacheDoConcurrentDistinctKeys hammers Do with a mixed workload of
+// distinct and shared keys under the race detector and checks the global
+// accounting invariant: every Do call lands in exactly one of
+// hits/misses/coalesced.
+func TestCacheDoConcurrentDistinctKeys(t *testing.T) {
+	const workers, rounds, keys = 8, 500, 16
+	m := NewMemo(keys) // no eviction: resident set covers the key space
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				k := cacheKey((w + i) % keys)
+				_, _, err := m.Do(context.Background(), k, func() (memoVal, error) {
+					return memoVal{trivial: true}, nil
+				})
+				if err != nil {
+					t.Errorf("Do: %v", err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := m.CacheStats()
+	if total := s.Hits + s.Misses + s.Coalesced; total != workers*rounds {
+		t.Errorf("hits(%d)+misses(%d)+coalesced(%d) = %d calls, want %d",
+			s.Hits, s.Misses, s.Coalesced, total, workers*rounds)
+	}
+	if s.Misses < keys {
+		t.Errorf("misses = %d, want ≥ %d (every key computed at least once)", s.Misses, keys)
+	}
+}

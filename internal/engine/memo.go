@@ -1,6 +1,9 @@
 package engine
 
 import (
+	"container/list"
+	"context"
+	"errors"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -32,10 +35,33 @@ type memoVal struct {
 	trivial bool
 }
 
-// Memo is a bounded, concurrency-safe cache of per-superblock evaluations
-// keyed by (graph digest, machine, bound options, scheduler set). A single
-// Memo may be shared across Run invocations — the evaluation Runner uses
-// one to share work between machines and repeated table requests.
+// memoEntry is one resident cache entry (the LRU element value).
+type memoEntry struct {
+	key memoKey
+	val memoVal
+}
+
+// errLeaderAborted marks an in-flight computation whose leader failed,
+// panicked, or was cancelled before producing a value. Waiters never see it
+// directly: Do retries (and may become the new leader) when the flight it
+// waited on carries any error.
+var errLeaderAborted = errors.New("engine: in-flight computation aborted")
+
+// flight is one in-flight computation shared by coalesced Do callers. The
+// leader closes done exactly once; val/err are written before the close and
+// only read after it.
+type flight struct {
+	done chan struct{}
+	val  memoVal
+	err  error
+}
+
+// Memo is a bounded, concurrency-safe, LRU-evicting cache of per-superblock
+// evaluations keyed by (graph digest, machine, bound options, scheduler
+// set), with in-flight coalescing. A single Memo may be shared across Run
+// invocations and across concurrent service requests — the evaluation
+// Runner uses one to share work between machines and repeated table
+// requests, and the scheduling service uses one as its shared result cache.
 //
 // Concurrency contract:
 //
@@ -47,18 +73,27 @@ type memoVal struct {
 //   - Hit/miss accounting is exact: every lookup increments exactly one of
 //     the two counters, and it increments the hit counter only when the
 //     lookup actually returned an entry (the value is copied out under the
-//     read lock, so a concurrent eviction cannot turn a counted hit into a
-//     miss). Stats sums are therefore equal to the number of lookups.
-//   - Two workers racing on the same absent key may both miss and both
-//     compute; the second store overwrites the first with an equivalent
-//     value. The counters report this faithfully as two misses (duplicate
-//     computation, not a correctness problem).
+//     lock, so a concurrent eviction cannot turn a counted hit into a
+//     miss). Hits+misses therefore equals the number of lookups; Do calls
+//     that wait on another caller's computation are counted separately as
+//     coalesced (neither hit nor miss).
+//   - Do coalesces concurrent callers of the same absent key onto one
+//     computation (singleflight): exactly one caller runs compute, the
+//     rest block until it finishes and share its value. A leader that
+//     fails, panics, or is cancelled never publishes a value; its waiters
+//     retry and one of them becomes the new leader, so transient failures
+//     (one request's cancellation) cannot poison or starve the key.
 type Memo struct {
-	mu      sync.RWMutex
-	cap     int
-	entries map[memoKey]memoVal
-	hits    atomic.Int64
-	misses  atomic.Int64
+	mu       sync.Mutex
+	cap      int
+	entries  map[memoKey]*list.Element // -> *memoEntry, resident values
+	lru      list.List                 // front = most recently used
+	inflight map[memoKey]*flight
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	evictions atomic.Int64
 }
 
 // DefaultMemoCapacity bounds a NewMemo(0) cache. At roughly a few KB per
@@ -67,47 +102,173 @@ type Memo struct {
 const DefaultMemoCapacity = 1 << 16
 
 // NewMemo returns an empty memo holding at most capacity entries
-// (capacity ≤ 0 uses DefaultMemoCapacity). When full, an arbitrary entry
-// is evicted per insertion.
+// (capacity ≤ 0 uses DefaultMemoCapacity). When full, the least recently
+// used entry is evicted per insertion.
 func NewMemo(capacity int) *Memo {
 	if capacity <= 0 {
 		capacity = DefaultMemoCapacity
 	}
-	return &Memo{cap: capacity, entries: map[memoKey]memoVal{}}
+	return &Memo{
+		cap:      capacity,
+		entries:  map[memoKey]*list.Element{},
+		inflight: map[memoKey]*flight{},
+	}
+}
+
+// CacheStats is a point-in-time view of a Memo's lifetime accounting.
+type CacheStats struct {
+	// Hits and Misses count lookups that found / did not find a resident
+	// entry. Hits+Misses equals the total number of lookups.
+	Hits, Misses int64
+	// Coalesced counts Do callers that shared another caller's in-flight
+	// computation instead of performing their own lookup+compute.
+	Coalesced int64
+	// Evictions counts entries dropped to make room at capacity.
+	Evictions int64
+	// Size and Capacity describe the resident entry population.
+	Size, Capacity int
+}
+
+// CacheStats reports the memo's lifetime hit/miss/coalesced/eviction counts
+// and the current size and capacity.
+func (mc *Memo) CacheStats() CacheStats {
+	mc.mu.Lock()
+	size := len(mc.entries)
+	mc.mu.Unlock()
+	return CacheStats{
+		Hits:      mc.hits.Load(),
+		Misses:    mc.misses.Load(),
+		Coalesced: mc.coalesced.Load(),
+		Evictions: mc.evictions.Load(),
+		Size:      size,
+		Capacity:  mc.cap,
+	}
 }
 
 // Stats reports the memo's lifetime hit/miss counts and current size.
 // hits+misses equals the total number of lookups performed.
 func (mc *Memo) Stats() (hits, misses, size int) {
-	mc.mu.RLock()
-	size = len(mc.entries)
-	mc.mu.RUnlock()
-	return int(mc.hits.Load()), int(mc.misses.Load()), size
+	s := mc.CacheStats()
+	return int(s.Hits), int(s.Misses), s.Size
 }
 
+// memoSource reports how Do obtained its value.
+type memoSource int
+
+const (
+	memoComputed  memoSource = iota // this caller ran compute
+	memoHit                         // resident cache entry
+	memoCoalesced                   // waited on another caller's computation
+)
+
+// Do returns the value for k, computing it at most once across concurrent
+// callers: a resident entry is returned immediately (a hit); an in-flight
+// computation is joined (coalesced — the caller blocks until the leader
+// finishes or ctx is done); otherwise the caller becomes the leader, runs
+// compute, stores a successful value, and wakes the waiters. compute runs
+// without the memo lock held. A leader's error (or panic — it propagates
+// to the leader's caller after the waiters are released) is never cached;
+// its waiters retry, and one becomes the new leader, so a deterministic
+// failure costs at most one compute per caller, exactly like the uncached
+// path.
+func (mc *Memo) Do(ctx context.Context, k memoKey, compute func() (memoVal, error)) (memoVal, memoSource, error) {
+	for {
+		mc.mu.Lock()
+		if el, ok := mc.entries[k]; ok {
+			mc.lru.MoveToFront(el)
+			v := el.Value.(*memoEntry).val
+			mc.mu.Unlock()
+			mc.hits.Add(1)
+			telMemoHits.Inc()
+			return v, memoHit, nil
+		}
+		if fl, ok := mc.inflight[k]; ok {
+			mc.mu.Unlock()
+			mc.coalesced.Add(1)
+			telMemoCoalesce.Inc()
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				return memoVal{}, memoCoalesced, ctx.Err()
+			}
+			if fl.err == nil {
+				return fl.val, memoCoalesced, nil
+			}
+			continue // leader aborted: race to become the new leader
+		}
+		fl := &flight{done: make(chan struct{}), err: errLeaderAborted}
+		mc.inflight[k] = fl
+		mc.mu.Unlock()
+		mc.misses.Add(1)
+		telMemoMisses.Inc()
+		return mc.lead(k, fl, compute)
+	}
+}
+
+// lead runs compute as the flight's leader and publishes the outcome. The
+// cleanup runs via defer so that a panicking compute still removes the
+// flight and wakes the waiters (with fl.err left at errLeaderAborted)
+// before the panic propagates to the leader's own panic isolation.
+func (mc *Memo) lead(k memoKey, fl *flight, compute func() (memoVal, error)) (memoVal, memoSource, error) {
+	defer func() {
+		mc.mu.Lock()
+		delete(mc.inflight, k)
+		if fl.err == nil {
+			mc.insert(k, fl.val)
+		}
+		mc.mu.Unlock()
+		close(fl.done)
+	}()
+	v, err := compute()
+	fl.val, fl.err = v, err
+	return v, memoComputed, err
+}
+
+// lookup is the non-coalescing read path (hit/miss accounting only).
 func (mc *Memo) lookup(k memoKey) (memoVal, bool) {
-	mc.mu.RLock()
-	v, ok := mc.entries[k]
-	mc.mu.RUnlock()
+	mc.mu.Lock()
+	el, ok := mc.entries[k]
+	var v memoVal
+	if ok {
+		mc.lru.MoveToFront(el)
+		v = el.Value.(*memoEntry).val
+	}
+	mc.mu.Unlock()
 	if ok {
 		mc.hits.Add(1)
+		telMemoHits.Inc()
 	} else {
 		mc.misses.Add(1)
+		telMemoMisses.Inc()
 	}
 	return v, ok
 }
 
+// store inserts (or overwrites) an entry, evicting the least recently used
+// entry when the insertion would exceed capacity.
 func (mc *Memo) store(k memoKey, v memoVal) {
 	mc.mu.Lock()
-	defer mc.mu.Unlock()
-	if _, exists := mc.entries[k]; !exists && len(mc.entries) >= mc.cap {
-		for victim := range mc.entries {
-			delete(mc.entries, victim)
+	mc.insert(k, v)
+	mc.mu.Unlock()
+}
+
+// insert adds or refreshes an entry; the caller holds mc.mu.
+func (mc *Memo) insert(k memoKey, v memoVal) {
+	if el, ok := mc.entries[k]; ok {
+		el.Value.(*memoEntry).val = v
+		mc.lru.MoveToFront(el)
+		return
+	}
+	if len(mc.entries) >= mc.cap {
+		if back := mc.lru.Back(); back != nil {
+			victim := back.Value.(*memoEntry)
+			delete(mc.entries, victim.key)
+			mc.lru.Remove(back)
+			mc.evictions.Add(1)
 			telMemoEvicts.Inc()
-			break
 		}
 	}
-	mc.entries[k] = v
+	mc.entries[k] = mc.lru.PushFront(&memoEntry{key: k, val: v})
 }
 
 // schedulerSetKey canonicalizes the scheduler list (plus the Best flag)

@@ -29,7 +29,13 @@ func TestMemoAccountingExact(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < rounds; i++ {
-				k := key((w*31 + i) % keys)
+				// Alternate between a hot set that fits the capacity (so the
+				// LRU produces hits) and a cold cyclic sweep (so eviction
+				// churns underneath the accounting).
+				k := key(i % (cap / 2))
+				if i%2 == 1 {
+					k = key((w*31 + i) % keys)
+				}
 				if _, ok := m.lookup(k); !ok {
 					m.store(k, memoVal{trivial: true})
 				}

@@ -106,6 +106,12 @@ type Result struct {
 	// Resumed is true when the result was recalled from Config.Checkpoint
 	// instead of recomputed.
 	Resumed bool
+	// Cached is true when the result was recalled from Config.Memo;
+	// Coalesced is true when it was obtained by joining another caller's
+	// in-flight computation of the same key (singleflight). At most one of
+	// the two is set; both false means this job ran the computation.
+	Cached    bool
+	Coalesced bool
 	// Err reports a failure. Under FailFast it is non-nil only on the
 	// final result of an aborted run (Index -1): the first evaluation
 	// error, or ctx.Err() after cancellation; no further results follow
@@ -113,10 +119,6 @@ type Result struct {
 	// stream order with their Index preserved and Err set — panics arrive
 	// as a *resilience.PanicError.
 	Err error
-
-	// memoHit records whether this result was recalled from the memo
-	// (telemetry only).
-	memoHit bool
 }
 
 // DynCycles converts a weighted completion time into the superblock's
@@ -214,7 +216,7 @@ func Run(ctx context.Context, cfg Config) (<-chan Result, error) {
 			telOccupancy.Add(-1)
 			if sp.Active() {
 				hit := int64(0)
-				if res.memoHit {
+				if res.Cached || res.Coalesced {
 					hit = 1
 				}
 				sp.End(
@@ -295,8 +297,12 @@ func Collect(ch <-chan Result) ([]*Result, error) {
 	return out, nil
 }
 
-// evaluateJob computes (or recalls from the memo) the bounds and every
-// configured scheduler's schedule for one job.
+// evaluateJob computes (or recalls from the memo / checkpoint) the bounds
+// and every configured scheduler's schedule for one job. With a memo
+// configured, concurrent evaluations of the same key — whether workers of
+// one Run or requests across Runs sharing the memo — coalesce onto a
+// single computation (Memo.Do); Result.Cached/Coalesced report how the
+// value was obtained.
 func evaluateJob(ctx context.Context, cfg *Config, scheds []Scheduler, setKey string, idx int) (Result, error) {
 	job := cfg.Jobs[idx]
 	res := Result{Index: idx, Benchmark: job.Benchmark, SB: job.SB}
@@ -320,40 +326,57 @@ func evaluateJob(ctx context.Context, cfg *Config, scheds []Scheduler, setKey st
 			return res, nil
 		}
 	}
+	var v memoVal
 	if cfg.Memo != nil {
-		if v, ok := cfg.Memo.lookup(key); ok {
-			telMemoHits.Inc()
-			res.Bounds, res.Cost, res.Stats, res.Trivial = v.bounds, v.cost, v.stats, v.trivial
-			res.Degraded = v.bounds.Degraded
-			res.memoHit = true
-			if cfg.Checkpoint != nil {
-				cfg.Checkpoint.Put(ckKey, recordOf(&res))
-			}
-			return res, nil
+		var src memoSource
+		var err error
+		v, src, err = cfg.Memo.Do(ctx, key, func() (memoVal, error) {
+			return computeEval(ctx, cfg, scheds, job)
+		})
+		if err != nil {
+			return res, err
 		}
-		telMemoMisses.Inc()
+		res.Cached = src == memoHit
+		res.Coalesced = src == memoCoalesced
+	} else {
+		var err error
+		v, err = computeEval(ctx, cfg, scheds, job)
+		if err != nil {
+			return res, err
+		}
 	}
-	if err := ctx.Err(); err != nil {
-		return res, err
+	res.Bounds, res.Cost, res.Stats, res.Trivial = v.bounds, v.cost, v.stats, v.trivial
+	res.Degraded = v.bounds.Degraded
+	if cfg.Checkpoint != nil {
+		cfg.Checkpoint.Put(ckKey, recordOf(&res))
 	}
+	return res, nil
+}
 
+// computeEval is the uncached evaluation: the bound ladder under the job
+// budget, then every configured scheduler, then the optional Best
+// cross-product meta-column.
+func computeEval(ctx context.Context, cfg *Config, scheds []Scheduler, job Job) (memoVal, error) {
+	var v memoVal
+	if err := ctx.Err(); err != nil {
+		return v, err
+	}
 	set := bounds.ComputeBudgetCtx(ctx, job.SB, cfg.Machine, cfg.Bounds, cfg.JobBudget.New())
-	res.Bounds = set
-	res.Degraded = set.Degraded
-	res.Cost = make(map[string]float64, len(scheds)+1)
-	res.Stats = make(map[string]sched.Stats, len(scheds)+1)
-	trivial := true
+	v.bounds = set
+	v.cost = make(map[string]float64, len(scheds)+1)
+	v.stats = make(map[string]sched.Stats, len(scheds)+1)
+	v.trivial = true
 	var bestCost float64
 	var bestSet bool
 	for _, s := range scheds {
 		if err := ctx.Err(); err != nil {
-			return res, err
+			return v, err
 		}
 		ssp, schedCtx := telemetry.Default().StartSpanCtx(ctx, "engine.sched")
 		inst := s.Instantiate(schedCtx)
 		sc, stats, err := inst.Run(job.SB, cfg.Machine)
 		if err != nil {
-			return res, fmt.Errorf("engine: %s on %s/%s: %w", inst.Name, job.SB.Name, cfg.Machine.Name, err)
+			return v, fmt.Errorf("engine: %s on %s/%s: %w", inst.Name, job.SB.Name, cfg.Machine.Name, err)
 		}
 		cost := sched.Cost(job.SB, sc)
 		if ssp.Active() {
@@ -362,10 +385,10 @@ func evaluateJob(ctx context.Context, cfg *Config, scheds []Scheduler, setKey st
 				telemetry.Float("cost", cost),
 			)
 		}
-		res.Cost[inst.Name] = cost
-		res.Stats[inst.Name] = stats
+		v.cost[inst.Name] = cost
+		v.stats[inst.Name] = stats
 		if cost > set.Tightest+1e-9 {
-			trivial = false
+			v.trivial = false
 		}
 		if !bestSet || cost < bestCost {
 			bestCost, bestSet = cost, true
@@ -374,22 +397,15 @@ func evaluateJob(ctx context.Context, cfg *Config, scheds []Scheduler, setKey st
 	if cfg.Best {
 		cps, cpStats, err := crossProductAll(ctx, job.SB, cfg.Machine)
 		if err != nil {
-			return res, fmt.Errorf("engine: cross product on %s/%s: %w", job.SB.Name, cfg.Machine.Name, err)
+			return v, fmt.Errorf("engine: cross product on %s/%s: %w", job.SB.Name, cfg.Machine.Name, err)
 		}
 		for _, s := range cps {
 			if c := sched.Cost(job.SB, s); !bestSet || c < bestCost {
 				bestCost, bestSet = c, true
 			}
 		}
-		res.Cost["Best"] = bestCost
-		res.Stats["Best"] = cpStats
+		v.cost["Best"] = bestCost
+		v.stats["Best"] = cpStats
 	}
-	res.Trivial = trivial
-	if cfg.Memo != nil {
-		cfg.Memo.store(key, memoVal{bounds: res.Bounds, cost: res.Cost, stats: res.Stats, trivial: res.Trivial})
-	}
-	if cfg.Checkpoint != nil {
-		cfg.Checkpoint.Put(ckKey, recordOf(&res))
-	}
-	return res, nil
+	return v, nil
 }

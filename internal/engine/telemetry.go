@@ -14,6 +14,7 @@ var (
 	telMemoHits     = telemetry.Default().Counter("engine.memo_hits")
 	telMemoMisses   = telemetry.Default().Counter("engine.memo_misses")
 	telMemoEvicts   = telemetry.Default().Counter("engine.memo_evictions")
+	telMemoCoalesce = telemetry.Default().Counter("engine.memo_coalesced")
 	telQueueWait    = telemetry.Default().Histogram("engine.job_queue_wait_ns")
 	telCompute      = telemetry.Default().Histogram("engine.job_compute_ns")
 	telOccupancy    = telemetry.Default().Gauge("engine.pool_occupancy")

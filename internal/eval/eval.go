@@ -176,6 +176,11 @@ func (r *Runner) WithBudget(spec resilience.Spec) *Runner {
 // WithKeepGoing).
 func (r *Runner) Failures() int { return r.failures }
 
+// CacheStats reports the runner's shared result cache accounting: hits,
+// misses, in-flight coalescing, and evictions across every table and
+// machine evaluated so far. sbeval summarizes it on stderr at exit.
+func (r *Runner) CacheStats() engine.CacheStats { return r.memo.CacheStats() }
+
 // formAll is the superblock-formation entry point; a package variable so
 // failure-path tests can substitute a failing implementation.
 var formAll = cfg.FormAll

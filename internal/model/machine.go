@@ -1,6 +1,9 @@
 package model
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Machine describes a fully pipelined VLIW machine as a set of per-cycle
 // issue capacities. Two families exist, mirroring Section 6 of the paper:
@@ -86,14 +89,28 @@ func Machines() []*Machine {
 	return []*Machine{GP1(), GP2(), GP4(), FS4(), FS6(), FS8()}
 }
 
-// MachineByName returns the named standard configuration.
+// MachineByName returns the named standard configuration,
+// case-insensitively. The error for an unknown name lists every valid
+// name, so surfaces that relay it verbatim (CLI usage errors, the
+// service's 400 responses) are self-describing.
 func MachineByName(name string) (*Machine, error) {
+	want := strings.TrimSpace(name)
 	for _, m := range Machines() {
-		if m.Name == name {
+		if strings.EqualFold(m.Name, want) {
 			return m, nil
 		}
 	}
-	return nil, fmt.Errorf("model: unknown machine %q (want GP1, GP2, GP4, FS4, FS6 or FS8)", name)
+	return nil, fmt.Errorf("model: unknown machine %q (available: %s)", name, strings.Join(MachineNames(), ", "))
+}
+
+// MachineNames returns the standard configuration names in table order.
+func MachineNames() []string {
+	ms := Machines()
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		names[i] = m.Name
+	}
+	return names
 }
 
 // WithOccupancy returns a copy of the machine on which operations of class

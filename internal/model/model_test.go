@@ -2,6 +2,7 @@ package model
 
 import (
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -64,6 +65,17 @@ func TestMachineConfigs(t *testing.T) {
 	}
 	if _, err := MachineByName("GP3"); err == nil {
 		t.Error("MachineByName accepted unknown config")
+	} else {
+		// The error is relayed verbatim by CLI usage errors and service 400
+		// responses, so it must name every valid configuration.
+		for _, name := range MachineNames() {
+			if !strings.Contains(err.Error(), name) {
+				t.Errorf("MachineByName error %q does not list %s", err, name)
+			}
+		}
+	}
+	if m, err := MachineByName(" fs6 "); err != nil || m.Name != "FS6" {
+		t.Errorf("MachineByName(%q) = %v, %v; want case-insensitive FS6", " fs6 ", m, err)
 	}
 	gp2 := GP2()
 	if gp2.Kinds() != 1 {

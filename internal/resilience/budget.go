@@ -39,6 +39,34 @@ func (s Spec) String() string {
 	return fmt.Sprintf("wall=%s,nodes=%d", s.Wall, s.Nodes)
 }
 
+// TierSpec quantizes a per-request deadline onto a discrete wall-clock
+// budget ladder: it returns a Spec whose Wall is the largest tier that fits
+// within remaining. Quantization is what lets a result cache coalesce and
+// share work across requests with different-but-similar deadlines —
+// Spec.String participates in the cache key, so only requests in the same
+// tier share entries, and a result degraded under one tier is never served
+// to a more patient caller from a higher tier.
+//
+// A non-positive remaining (no deadline) or an empty ladder returns the
+// zero Spec (unlimited). A deadline below the smallest tier returns the
+// un-quantized Spec{Wall: remaining}: correctness over cacheability for
+// callers in a real hurry.
+func TierSpec(remaining time.Duration, tiers []time.Duration) Spec {
+	if remaining <= 0 || len(tiers) == 0 {
+		return Spec{}
+	}
+	var best time.Duration
+	for _, t := range tiers {
+		if t > 0 && t <= remaining && t > best {
+			best = t
+		}
+	}
+	if best == 0 {
+		return Spec{Wall: remaining}
+	}
+	return Spec{Wall: best}
+}
+
 // Budget is a shared, race-safe computation allowance: a wall-clock
 // deadline plus an abstract node limit. Stages of one job spend nodes into
 // it and poll Expired at their phase boundaries; expiry is sticky (time

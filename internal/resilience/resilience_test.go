@@ -156,3 +156,32 @@ func TestChaosVisit(t *testing.T) {
 		t.Fatalf("chaos mix not exercised: panic=%v err=%v clean=%v", sawPanic, sawErr, sawClean)
 	}
 }
+
+func TestTierSpec(t *testing.T) {
+	tiers := []time.Duration{25 * time.Millisecond, 100 * time.Millisecond, 500 * time.Millisecond}
+	cases := []struct {
+		remaining time.Duration
+		want      Spec
+	}{
+		{0, Spec{}},            // no deadline: unlimited
+		{-time.Second, Spec{}}, // already expired upstream
+		{time.Second, Spec{Wall: 500 * time.Millisecond}}, // largest tier that fits
+		{500 * time.Millisecond, Spec{Wall: 500 * time.Millisecond}},
+		{120 * time.Millisecond, Spec{Wall: 100 * time.Millisecond}},
+		{25 * time.Millisecond, Spec{Wall: 25 * time.Millisecond}},
+		{10 * time.Millisecond, Spec{Wall: 10 * time.Millisecond}}, // below the ladder: un-quantized
+	}
+	for _, c := range cases {
+		if got := TierSpec(c.remaining, tiers); got != c.want {
+			t.Errorf("TierSpec(%v) = %+v, want %+v", c.remaining, got, c.want)
+		}
+	}
+	if got := TierSpec(time.Second, nil); !got.IsZero() {
+		t.Errorf("TierSpec with no ladder = %+v, want zero", got)
+	}
+	// Unsorted ladders work: the largest fitting tier wins regardless of order.
+	unsorted := []time.Duration{500 * time.Millisecond, 25 * time.Millisecond, 100 * time.Millisecond}
+	if got := TierSpec(200*time.Millisecond, unsorted); got.Wall != 100*time.Millisecond {
+		t.Errorf("TierSpec(200ms, unsorted) = %+v, want wall=100ms", got)
+	}
+}

@@ -1,0 +1,331 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"runtime"
+	"time"
+
+	"balance/internal/bounds"
+	"balance/internal/core"
+	"balance/internal/engine"
+	"balance/internal/model"
+	"balance/internal/sched"
+	"balance/internal/telemetry"
+	"balance/internal/wire"
+)
+
+// finish records the common per-request epilogue: the status-class
+// counter, the request-latency histogram, and the span end. Every handler
+// routes its exit through it exactly once, so status → counter
+// classification lives in exactly one place: 429 and 503 are backpressure
+// and lifecycle rejections, 504 a deadline expiry, remaining 4xx caller
+// errors, remaining 5xx server failures.
+func finish(endpoint string, start time.Time, sp telemetry.Span, status int) {
+	switch {
+	case status >= 200 && status < 300:
+		telOK.Inc()
+	case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+		telRejected.Inc()
+	case status == http.StatusGatewayTimeout:
+		telDeadline.Inc()
+	case status >= 500:
+		telFailed.Inc()
+	default:
+		telBadReq.Inc()
+	}
+	telServeNS.ObserveDuration(time.Since(start))
+	if sp.Active() {
+		sp.End(
+			telemetry.String("endpoint", endpoint),
+			telemetry.Int("status", int64(status)),
+		)
+	}
+}
+
+// writeRunError maps an evaluation failure to a response status: deadline
+// expiry (despite the degradation ladder — e.g. it struck between the
+// bound stage and the schedulers) is 504, client disconnect 503, anything
+// else a 500 carrying the error text.
+func writeRunError(w http.ResponseWriter, err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		wire.WriteError(w, http.StatusGatewayTimeout, "deadline exceeded during evaluation")
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		wire.WriteError(w, http.StatusServiceUnavailable, "request cancelled")
+		return http.StatusServiceUnavailable
+	default:
+		wire.WriteError(w, http.StatusInternalServerError, "evaluation failed: %v", err)
+		return http.StatusInternalServerError
+	}
+}
+
+// handleSchedule is POST /v1/schedule: the full evaluation — bound ladder
+// under the deadline budget, every requested scheduler, optional Best
+// meta-column — through the shared result cache with in-flight coalescing.
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	telRequests.Inc()
+	sp, ctx := telemetry.Default().StartSpanCtx(r.Context(), "service.request")
+	status := http.StatusOK
+	defer func() { finish("schedule", start, sp, status) }()
+
+	var req wire.ScheduleRequest
+	if err := wire.DecodeJSON(http.MaxBytesReader(w, r.Body, wire.MaxBodyBytes), &req); err != nil {
+		status = http.StatusBadRequest
+		wire.WriteError(w, status, "decode request: %v", err)
+		return
+	}
+	sb, m, err := resolveInput(req.Superblock, req.Index, req.Machine)
+	if err != nil {
+		status = http.StatusBadRequest
+		wire.WriteError(w, status, "%v", err)
+		return
+	}
+	schedulers := req.Schedulers
+	if len(schedulers) == 0 {
+		schedulers = s.cfg.Schedulers
+	}
+
+	// The deadline wraps the context before admission so it also covers
+	// time spent queued: a request that waits out its whole deadline in
+	// the queue is answered 504 without ever computing.
+	if d := s.deadline(req.DeadlineMS); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	release, reject := s.admit(ctx, w)
+	if reject != 0 {
+		status = reject
+		return
+	}
+	defer release()
+
+	ch, err := engine.Run(ctx, engine.Config{
+		Jobs:       []engine.Job{{Benchmark: "service", SB: sb}},
+		Machine:    m,
+		Bounds:     bounds.Options{Triplewise: req.Triplewise},
+		Schedulers: schedulers,
+		Best:       req.Best,
+		Workers:    1,
+		Memo:       s.memo,
+		JobBudget:  s.budget(ctx),
+	})
+	if err != nil {
+		// Synchronous Run errors are configuration errors — an unknown
+		// scheduler name's message lists every registered heuristic.
+		status = http.StatusBadRequest
+		wire.WriteError(w, status, "%v", err)
+		return
+	}
+	results, err := engine.Collect(ch)
+	if err != nil {
+		status = writeRunError(w, err)
+		return
+	}
+	res := results[0]
+	resp := wire.ScheduleResponse{
+		Name:      sb.Name,
+		Machine:   m.Name,
+		Costs:     res.Cost,
+		Tightest:  res.Bounds.Tightest,
+		Degraded:  res.Degraded,
+		Trivial:   res.Trivial,
+		Cached:    res.Cached,
+		Coalesced: res.Coalesced,
+	}
+	if req.IncludeSchedule {
+		detail, err := scheduleDetail(ctx, res.Cost, sb, m)
+		if err != nil {
+			status = writeRunError(w, err)
+			return
+		}
+		resp.Schedule = detail
+	}
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	wire.WriteJSON(w, http.StatusOK, resp)
+}
+
+// scheduleDetail re-runs the cheapest evaluated heuristic to materialize
+// its issue-cycle assignment. Schedules are not memoized (only costs are),
+// so this is the one deliberately uncached piece of the response.
+func scheduleDetail(ctx context.Context, costs map[string]float64, sb *model.Superblock, m *model.Machine) (*wire.ScheduleDetail, error) {
+	bestName := ""
+	bestCost := 0.0
+	for name, c := range costs {
+		if name == "Best" {
+			continue // the meta-column's schedule is not a single heuristic's
+		}
+		if bestName == "" || c < bestCost {
+			bestName, bestCost = name, c
+		}
+	}
+	sched0, err := engine.SchedulerByName(bestName)
+	if err != nil {
+		return nil, err
+	}
+	inst := sched0.Instantiate(ctx)
+	sc, _, err := inst.Run(sb, m)
+	if err != nil {
+		return nil, err
+	}
+	return &wire.ScheduleDetail{
+		Heuristic: bestName,
+		Cost:      sched.Cost(sb, sc),
+		Cycles:    sc.Cycle,
+	}, nil
+}
+
+// handleBounds is POST /v1/bounds: the lower-bound set only. The bound
+// kernel's per-(graph, machine) cache already dedups the heavy artifacts,
+// so this endpoint skips the result cache and runs the ladder directly
+// under the deadline budget.
+func (s *Server) handleBounds(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	telRequests.Inc()
+	sp, ctx := telemetry.Default().StartSpanCtx(r.Context(), "service.request")
+	status := http.StatusOK
+	defer func() { finish("bounds", start, sp, status) }()
+
+	var req wire.BoundsRequest
+	if err := wire.DecodeJSON(http.MaxBytesReader(w, r.Body, wire.MaxBodyBytes), &req); err != nil {
+		status = http.StatusBadRequest
+		wire.WriteError(w, status, "decode request: %v", err)
+		return
+	}
+	sb, m, err := resolveInput(req.Superblock, req.Index, req.Machine)
+	if err != nil {
+		status = http.StatusBadRequest
+		wire.WriteError(w, status, "%v", err)
+		return
+	}
+
+	if d := s.deadline(req.DeadlineMS); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	release, reject := s.admit(ctx, w)
+	if reject != 0 {
+		status = reject
+		return
+	}
+	defer release()
+
+	set := bounds.ComputeBudgetCtx(ctx, sb, m,
+		bounds.Options{Triplewise: req.Triplewise},
+		s.budget(ctx).New())
+	resp := wire.BoundsResponse{
+		Name:    sb.Name,
+		Machine: m.Name,
+		Bounds: map[string]float64{
+			"CP":       set.CPVal,
+			"Hu":       set.HuVal,
+			"RJ":       set.RJVal,
+			"LC":       set.LCVal,
+			"Pairwise": set.PairVal,
+		},
+		Tightest:  set.Tightest,
+		Degraded:  set.Degraded,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	if req.Triplewise {
+		resp.Bounds["Triplewise"] = set.TripleVal
+	}
+	wire.WriteJSON(w, http.StatusOK, resp)
+}
+
+// handleExplain is POST /v1/explain: one Balance run with the
+// decision-explain channel attached, returning the versioned per-decision
+// records (the HTTP form of cmd/sbexplain -json).
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	telRequests.Inc()
+	sp, ctx := telemetry.Default().StartSpanCtx(r.Context(), "service.request")
+	status := http.StatusOK
+	defer func() { finish("explain", start, sp, status) }()
+
+	var req wire.ExplainRequest
+	if err := wire.DecodeJSON(http.MaxBytesReader(w, r.Body, wire.MaxBodyBytes), &req); err != nil {
+		status = http.StatusBadRequest
+		wire.WriteError(w, status, "decode request: %v", err)
+		return
+	}
+	sb, m, err := resolveInput(req.Superblock, req.Index, req.Machine)
+	if err != nil {
+		status = http.StatusBadRequest
+		wire.WriteError(w, status, "%v", err)
+		return
+	}
+	cfg := core.DefaultConfig()
+	cfg.Tradeoff = !req.NoTradeoff
+	switch req.Update {
+	case "", "per-op":
+		cfg.Update = core.UpdatePerOp
+	case "light":
+		cfg.Update = core.UpdateLight
+	case "cycle":
+		cfg.Update = core.UpdatePerCycle
+	default:
+		status = http.StatusBadRequest
+		wire.WriteError(w, status, "unknown update policy %q (available: per-op, light, cycle)", req.Update)
+		return
+	}
+
+	if d := s.deadline(req.DeadlineMS); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	release, reject := s.admit(ctx, w)
+	if reject != 0 {
+		status = reject
+		return
+	}
+	defer release()
+
+	p := core.NewPicker(sb, m, cfg)
+	var decs []core.Decision
+	p.Explain(func(dec *core.Decision) { decs = append(decs, *dec) })
+	sc, _, err := sched.RunCtx(ctx, sb, m, p)
+	if err != nil {
+		status = writeRunError(w, err)
+		return
+	}
+	wire.WriteJSON(w, http.StatusOK, wire.ExplainResponse{
+		Name:      sb.Name,
+		Machine:   m.Name,
+		Cost:      sched.Cost(sb, sc),
+		Decisions: decs,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+// handleHealth is GET /healthz: liveness plus the load and cache gauges a
+// load balancer or soak driver watches. It bypasses admission control —
+// health checks must answer during overload; that is the point.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	st := "ok"
+	if s.draining.Load() {
+		st = "draining"
+	}
+	cs := s.memo.CacheStats()
+	wire.WriteJSON(w, http.StatusOK, wire.Health{
+		Status:     st,
+		InFlight:   s.inflight.Load(),
+		Queued:     s.admitted.Load(),
+		Goroutines: runtime.NumGoroutine(),
+		Cache: wire.CacheHealth{
+			Hits:      cs.Hits,
+			Misses:    cs.Misses,
+			Coalesced: cs.Coalesced,
+			Evictions: cs.Evictions,
+			Size:      cs.Size,
+			Capacity:  cs.Capacity,
+		},
+		UptimeMS: s.uptimeMS(),
+	})
+}

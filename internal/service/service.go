@@ -1,0 +1,281 @@
+// Package service turns the evaluation pipeline into a long-running,
+// backpressured scheduling service: the request path behind cmd/sbserve.
+//
+// The layering is deliberate — service owns everything request-shaped and
+// nothing compute-shaped:
+//
+//   - Admission control: a bounded queue in front of a fixed pool of
+//     compute slots. Requests beyond Workers wait; requests beyond
+//     Workers+QueueDepth are rejected immediately with 429 and a
+//     Retry-After estimate derived from the live latency histogram, so
+//     overload degrades into fast, honest rejections instead of timeouts.
+//   - Deadlines: a per-request deadline becomes both a context deadline
+//     (hard abort) and a quantized resilience budget (soft degradation of
+//     the bound ladder — see resilience.TierSpec and bounds.ComputeBudget).
+//   - Caching: one shared engine.Memo serves every request; identical
+//     in-flight requests coalesce onto a single computation (singleflight).
+//   - Observability: each request is one span tree (service.request at the
+//     root, the engine/bounds/sched spans below it), plus counters and
+//     latency histograms under the service.* prefix.
+//   - Lifecycle: Drain stops admission and waits for in-flight requests,
+//     so SIGINT leaves no half-written responses or leaked goroutines.
+package service
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"balance/internal/engine"
+	"balance/internal/model"
+	"balance/internal/resilience"
+	"balance/internal/sbfile"
+	"balance/internal/telemetry"
+	"balance/internal/wire"
+)
+
+// Config configures a Server. The zero value serves with sensible
+// defaults: GOMAXPROCS compute slots, a 4× queue, the default cache
+// capacity, and the standard budget ladder.
+type Config struct {
+	// Workers bounds concurrent evaluations (≤ 0 uses GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds admitted-but-waiting requests beyond Workers
+	// (≤ 0 uses 4×Workers). Requests past the limit are rejected with 429.
+	QueueDepth int
+	// Cache, when non-nil, is the shared result cache (so several servers
+	// or a server plus an eval Runner can share one). Nil creates a cache
+	// of CacheCapacity entries (≤ 0: engine.DefaultMemoCapacity).
+	Cache         *engine.Memo
+	CacheCapacity int
+	// DefaultDeadline applies when a request carries none (0 = unlimited).
+	// MaxDeadline, when set, clamps every request's deadline.
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// BudgetTiers is the quantized budget ladder deadlines map onto (see
+	// resilience.TierSpec). Nil uses DefaultBudgetTiers; quantization keeps
+	// the result cache shareable across requests with similar deadlines.
+	BudgetTiers []time.Duration
+	// Schedulers is the default scheduler set for requests that name none
+	// (nil: the engine registry's primary heuristics).
+	Schedulers []string
+	// Debug, when non-nil, is mounted at /debug/ (expvar + pprof — see
+	// cliutil.DebugHandler).
+	Debug http.Handler
+}
+
+// DefaultBudgetTiers is the standard deadline-quantization ladder.
+var DefaultBudgetTiers = []time.Duration{
+	25 * time.Millisecond,
+	100 * time.Millisecond,
+	500 * time.Millisecond,
+	2 * time.Second,
+	10 * time.Second,
+}
+
+// Server is the scheduling service: an http.Handler plus the admission,
+// cache, and lifecycle state behind it. Create with New, serve
+// Handler(), stop with Drain.
+type Server struct {
+	cfg   Config
+	memo  *engine.Memo
+	start time.Time
+
+	slots    chan struct{} // compute-slot tokens (capacity = Workers)
+	limit    int64         // admission limit: Workers + QueueDepth
+	admitted atomic.Int64  // requests holding admission (waiting + running)
+	inflight atomic.Int64  // requests holding a compute slot
+	draining atomic.Bool
+	wg       sync.WaitGroup
+
+	handler http.Handler
+}
+
+// Service instruments, registered once in the default registry.
+var (
+	telRequests  = telemetry.Default().Counter("service.requests")
+	telOK        = telemetry.Default().Counter("service.requests_ok")
+	telBadReq    = telemetry.Default().Counter("service.requests_bad")
+	telRejected  = telemetry.Default().Counter("service.requests_rejected")
+	telDeadline  = telemetry.Default().Counter("service.requests_deadline")
+	telFailed    = telemetry.Default().Counter("service.requests_failed")
+	telQueueWait = telemetry.Default().Histogram("service.queue_wait_ns")
+	telServeNS   = telemetry.Default().Histogram("service.request_ns")
+	telQueued    = telemetry.Default().Gauge("service.queued")
+	telInflight  = telemetry.Default().Gauge("service.inflight")
+)
+
+// New returns a Server ready to serve Handler().
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	if cfg.BudgetTiers == nil {
+		cfg.BudgetTiers = DefaultBudgetTiers
+	}
+	memo := cfg.Cache
+	if memo == nil {
+		memo = engine.NewMemo(cfg.CacheCapacity)
+	}
+	s := &Server{
+		cfg:   cfg,
+		memo:  memo,
+		start: time.Now(),
+		slots: make(chan struct{}, cfg.Workers),
+		limit: int64(cfg.Workers + cfg.QueueDepth),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
+	mux.HandleFunc("POST /v1/bounds", s.handleBounds)
+	mux.HandleFunc("POST /v1/explain", s.handleExplain)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	if cfg.Debug != nil {
+		mux.Handle("/debug/", cfg.Debug)
+	}
+	s.handler = mux
+	return s
+}
+
+// Handler returns the service's HTTP surface.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// CacheStats reports the shared result cache's accounting.
+func (s *Server) CacheStats() engine.CacheStats { return s.memo.CacheStats() }
+
+// Drain stops admitting new requests (they are rejected with 503) and
+// waits until every in-flight request has finished, or ctx expires.
+// Callers stop the http.Server first (no new connections), then Drain.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain: %d request(s) still in flight: %w",
+			s.admitted.Load(), ctx.Err())
+	}
+}
+
+// admit applies admission control for one compute request. On success the
+// caller runs with a compute slot held and must call the returned release
+// (reject = 0). On rejection admit writes the response itself and returns
+// the status it wrote: 503 while draining, 429 with Retry-After past the
+// admission limit, 504 when the request's deadline (ctx) expires while
+// queued — rejected requests never compute.
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter) (release func(), reject int) {
+	if s.draining.Load() {
+		wire.WriteError(w, http.StatusServiceUnavailable, "server is draining")
+		return nil, http.StatusServiceUnavailable
+	}
+	if n := s.admitted.Add(1); n > s.limit {
+		s.admitted.Add(-1)
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		wire.WriteError(w, http.StatusTooManyRequests,
+			"admission queue full (%d waiting or running, limit %d)", n-1, s.limit)
+		return nil, http.StatusTooManyRequests
+	}
+	telQueued.Set(s.admitted.Load())
+	s.wg.Add(1)
+	enqueued := time.Now()
+	select {
+	case s.slots <- struct{}{}:
+	case <-ctx.Done():
+		s.admitted.Add(-1)
+		s.wg.Done()
+		wire.WriteError(w, http.StatusGatewayTimeout,
+			"deadline expired while queued (%v)", ctx.Err())
+		return nil, http.StatusGatewayTimeout
+	}
+	telQueueWait.ObserveDuration(time.Since(enqueued))
+	telInflight.Set(s.inflight.Add(1))
+	return func() {
+		<-s.slots
+		telInflight.Set(s.inflight.Add(-1))
+		s.admitted.Add(-1)
+		s.wg.Done()
+	}, 0
+}
+
+// budget maps the request's remaining deadline onto the quantized budget
+// ladder (see resilience.TierSpec). Measured after admission, so time
+// spent queued has already been charged against it.
+func (s *Server) budget(ctx context.Context) resilience.Spec {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return resilience.Spec{}
+	}
+	return resilience.TierSpec(time.Until(dl), s.cfg.BudgetTiers)
+}
+
+// retryAfterSeconds estimates when a rejected client should retry: the
+// current backlog divided by the pool width, scaled by the live median
+// request latency. Always at least 1 second — the resolution of the
+// Retry-After header.
+func (s *Server) retryAfterSeconds() int {
+	p50 := time.Duration(telServeNS.Quantile(0.5))
+	if p50 <= 0 {
+		p50 = 100 * time.Millisecond
+	}
+	backlog := float64(s.admitted.Load()) / float64(s.cfg.Workers)
+	secs := int(math.Ceil(backlog * p50.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// deadline resolves a request's effective deadline from its deadline_ms
+// field and the server defaults (0 = unlimited).
+func (s *Server) deadline(deadlineMS int64) time.Duration {
+	d := time.Duration(deadlineMS) * time.Millisecond
+	if d <= 0 {
+		d = s.cfg.DefaultDeadline
+	}
+	if s.cfg.MaxDeadline > 0 && (d <= 0 || d > s.cfg.MaxDeadline) {
+		d = s.cfg.MaxDeadline
+	}
+	return d
+}
+
+// resolveInput parses the request's .sb text and machine name. A non-nil
+// error carries the HTTP status to report (always 400 — both error paths
+// list what would have been valid: the parser its line/column, the machine
+// lookup every configuration name).
+func resolveInput(sbText string, index int, machine string) (*model.Superblock, *model.Machine, error) {
+	if strings.TrimSpace(sbText) == "" {
+		return nil, nil, fmt.Errorf("empty superblock field (want .sb text)")
+	}
+	sbs, err := sbfile.Read(strings.NewReader(sbText))
+	if err != nil {
+		return nil, nil, fmt.Errorf("parse superblock: %v", err)
+	}
+	if index < 0 || index >= len(sbs) {
+		return nil, nil, fmt.Errorf("index %d out of range (input has %d superblocks)", index, len(sbs))
+	}
+	m, err := model.MachineByName(machine)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sbs[index], m, nil
+}
+
+// uptimeMS reports the server's age for /healthz.
+func (s *Server) uptimeMS() int64 { return time.Since(s.start).Milliseconds() }

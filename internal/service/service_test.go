@@ -1,0 +1,345 @@
+package service
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"balance/internal/model"
+	"balance/internal/sbfile"
+	"balance/internal/testutil"
+	"balance/internal/wire"
+)
+
+// sbText renders a seeded random superblock as .sb text, the form requests
+// carry it in.
+func sbText(t *testing.T, seed int64, maxOps int) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	sb := testutil.RandomSuperblock(rng, maxOps)
+	var buf strings.Builder
+	if err := sbfile.Write(&buf, sb); err != nil {
+		t.Fatalf("sbfile.Write: %v", err)
+	}
+	return buf.String()
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func TestScheduleEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	ctx := context.Background()
+	req := &wire.ScheduleRequest{
+		Superblock:      sbText(t, 1, 14),
+		Machine:         "GP2",
+		DeadlineMS:      5000,
+		IncludeSchedule: true,
+	}
+	var resp wire.ScheduleResponse
+	code, _, err := wire.Post(ctx, ts.Client(), ts.URL+"/v1/schedule", req, &resp)
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("schedule: code=%d err=%v", code, err)
+	}
+	if len(resp.Costs) == 0 || resp.Tightest <= 0 {
+		t.Fatalf("schedule: empty result %+v", resp)
+	}
+	for name, c := range resp.Costs {
+		if c < resp.Tightest-1e-9 {
+			t.Errorf("%s cost %v below lower bound %v", name, c, resp.Tightest)
+		}
+	}
+	if resp.Schedule == nil || len(resp.Schedule.Cycles) == 0 || resp.Schedule.Heuristic == "" {
+		t.Fatalf("include_schedule: missing detail %+v", resp.Schedule)
+	}
+	if resp.Cached || resp.Coalesced {
+		t.Errorf("first request reported cached=%v coalesced=%v", resp.Cached, resp.Coalesced)
+	}
+
+	// The identical request again must be served from the result cache.
+	var again wire.ScheduleResponse
+	if code, _, err = wire.Post(ctx, ts.Client(), ts.URL+"/v1/schedule", req, &again); err != nil || code != http.StatusOK {
+		t.Fatalf("repeat: code=%d err=%v", code, err)
+	}
+	if !again.Cached {
+		t.Errorf("repeat request not served from cache: %+v", again)
+	}
+	if again.Costs["Balance"] != resp.Costs["Balance"] {
+		t.Errorf("cached cost %v != computed %v", again.Costs["Balance"], resp.Costs["Balance"])
+	}
+	if st := s.CacheStats(); st.Hits < 1 || st.Misses < 1 {
+		t.Errorf("cache stats after hit: %+v", st)
+	}
+}
+
+// TestScheduleCoalescing drives identical concurrent requests and requires
+// the cache accounting to show exactly one computation: every other
+// request either coalesced onto the in-flight leader or hit the resident
+// entry it published.
+func TestScheduleCoalescing(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 8, QueueDepth: 64})
+	req := &wire.ScheduleRequest{
+		Superblock: sbText(t, 2, 16),
+		Machine:    "FS6",
+		DeadlineMS: 5000,
+	}
+	const n = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var resp wire.ScheduleResponse
+			if code, _, err := wire.Post(context.Background(), ts.Client(), ts.URL+"/v1/schedule", req, &resp); err != nil || code != http.StatusOK {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent request failed: %v", err)
+	}
+	st := s.CacheStats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want exactly 1 computation for identical requests", st.Misses)
+	}
+	if st.Hits+st.Coalesced != n-1 {
+		t.Errorf("hits(%d) + coalesced(%d) = %d, want %d", st.Hits, st.Coalesced, st.Hits+st.Coalesced, n-1)
+	}
+}
+
+func TestBoundsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	var resp wire.BoundsResponse
+	code, _, err := wire.Post(context.Background(), ts.Client(), ts.URL+"/v1/bounds", &wire.BoundsRequest{
+		Superblock: sbText(t, 3, 12),
+		Machine:    "GP4",
+		Triplewise: true,
+		DeadlineMS: 5000,
+	}, &resp)
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("bounds: code=%d err=%v", code, err)
+	}
+	for _, name := range []string{"CP", "Hu", "RJ", "LC", "Pairwise", "Triplewise"} {
+		if _, present := resp.Bounds[name]; !present {
+			t.Errorf("bound %q missing from %v", name, resp.Bounds)
+		}
+	}
+	if resp.Tightest <= 0 {
+		t.Errorf("tightest = %v", resp.Tightest)
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	var resp wire.ExplainResponse
+	code, _, err := wire.Post(context.Background(), ts.Client(), ts.URL+"/v1/explain", &wire.ExplainRequest{
+		Superblock: sbText(t, 4, 12),
+		Machine:    "GP2",
+		Update:     "light",
+	}, &resp)
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("explain: code=%d err=%v", code, err)
+	}
+	if len(resp.Decisions) == 0 || resp.Cost <= 0 {
+		t.Fatalf("explain: empty result %+v", resp)
+	}
+}
+
+// TestBadRequests checks that every caller error is a 400 whose body says
+// what would have been valid.
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	ctx := context.Background()
+	sb := sbText(t, 5, 8)
+	cases := []struct {
+		name string
+		url  string
+		req  any
+		want string // substring of the error body
+	}{
+		{"unknown machine", "/v1/schedule", &wire.ScheduleRequest{Superblock: sb, Machine: "none"}, "available:"},
+		{"machine names listed", "/v1/schedule", &wire.ScheduleRequest{Superblock: sb, Machine: "none"}, "GP2"},
+		{"empty superblock", "/v1/schedule", &wire.ScheduleRequest{Machine: "GP2"}, "superblock"},
+		{"malformed sb text", "/v1/schedule", &wire.ScheduleRequest{Superblock: "superblock x\nbogus\n", Machine: "GP2"}, "parse superblock"},
+		{"index out of range", "/v1/schedule", &wire.ScheduleRequest{Superblock: sb, Index: 9, Machine: "GP2"}, "out of range"},
+		{"unknown scheduler", "/v1/schedule", &wire.ScheduleRequest{Superblock: sb, Machine: "GP2", Schedulers: []string{"none"}}, "none"},
+		{"unknown update policy", "/v1/explain", &wire.ExplainRequest{Superblock: sb, Machine: "GP2", Update: "eager"}, "per-op"},
+		{"misspelled field", "/v1/bounds", &struct {
+			Superblock string `json:"superblock"`
+			Machine    string `json:"machine"`
+			Bogus      bool   `json:"bogus"`
+		}{sb, "GP2", true}, "bogus"},
+	}
+	for _, tc := range cases {
+		code, _, err := wire.Post(ctx, ts.Client(), ts.URL+tc.url, tc.req, nil)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: code = %d, want 400 (err %v)", tc.name, code, err)
+			continue
+		}
+		var se *wire.StatusError
+		if !asStatusError(err, &se) || !strings.Contains(se.Msg, tc.want) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func asStatusError(err error, out **wire.StatusError) bool {
+	se, ok := err.(*wire.StatusError)
+	if ok {
+		*out = se
+	}
+	return ok
+}
+
+// TestOverloadReturns429 fills the admission window by hand (one held
+// compute slot plus a full queue) and requires the next request to be
+// rejected immediately with 429 and a Retry-After estimate.
+func TestOverloadReturns429(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	s.slots <- struct{}{} // occupy the only compute slot
+	s.admitted.Store(s.limit)
+	defer func() {
+		<-s.slots
+		s.admitted.Store(0)
+	}()
+
+	code, hdr, err := wire.Post(context.Background(), ts.Client(), ts.URL+"/v1/schedule", &wire.ScheduleRequest{
+		Superblock: sbText(t, 6, 8),
+		Machine:    "GP2",
+	}, nil)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("overload: code = %d, want 429 (err %v)", code, err)
+	}
+	var se *wire.StatusError
+	if !asStatusError(err, &se) || !strings.Contains(se.Msg, "queue full") {
+		t.Errorf("overload error = %v", err)
+	}
+	if ra := hdr.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Errorf("Retry-After = %q, want a positive estimate", ra)
+	}
+}
+
+// TestQueuedDeadlineReturns504: a request whose deadline expires while it
+// waits for a compute slot is answered 504 without computing.
+func TestQueuedDeadlineReturns504(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	s.slots <- struct{}{} // occupy the only compute slot so the request queues
+	defer func() { <-s.slots }()
+
+	code, _, err := wire.Post(context.Background(), ts.Client(), ts.URL+"/v1/schedule", &wire.ScheduleRequest{
+		Superblock: sbText(t, 7, 8),
+		Machine:    "GP2",
+		DeadlineMS: 30,
+	}, nil)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("queued deadline: code = %d, want 504 (err %v)", code, err)
+	}
+	var se *wire.StatusError
+	if !asStatusError(err, &se) || !strings.Contains(se.Msg, "queued") {
+		t.Errorf("queued deadline error = %v", err)
+	}
+}
+
+func TestDrainRejectsAndWaits(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain with no traffic: %v", err)
+	}
+	code, _, _ := wire.Post(context.Background(), ts.Client(), ts.URL+"/v1/schedule", &wire.ScheduleRequest{
+		Superblock: sbText(t, 8, 8),
+		Machine:    "GP2",
+	}, nil)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain request: code = %d, want 503", code)
+	}
+	var h wire.Health
+	if code, _, err := wire.Get(context.Background(), ts.Client(), ts.URL+"/healthz", &h); err != nil || code != http.StatusOK {
+		t.Fatalf("healthz during drain: code=%d err=%v", code, err)
+	}
+	if h.Status != "draining" {
+		t.Errorf("health status = %q, want draining", h.Status)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, CacheCapacity: 32})
+	var h wire.Health
+	code, _, err := wire.Get(context.Background(), ts.Client(), ts.URL+"/healthz", &h)
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("healthz: code=%d err=%v", code, err)
+	}
+	if h.Status != "ok" || h.Goroutines <= 0 || h.Cache.Capacity != 32 {
+		t.Errorf("healthz body: %+v", h)
+	}
+}
+
+// TestDeadlineResolution covers the default/clamp ladder in isolation.
+func TestDeadlineResolution(t *testing.T) {
+	s := New(Config{
+		Workers:         1,
+		DefaultDeadline: 2 * time.Second,
+		MaxDeadline:     10 * time.Second,
+	})
+	cases := []struct {
+		ms   int64
+		want time.Duration
+	}{
+		{0, 2 * time.Second}, // default applies
+		{500, 500 * time.Millisecond},
+		{60000, 10 * time.Second}, // clamped to max
+	}
+	for _, tc := range cases {
+		if got := s.deadline(tc.ms); got != tc.want {
+			t.Errorf("deadline(%d) = %v, want %v", tc.ms, got, tc.want)
+		}
+	}
+	unlimited := New(Config{Workers: 1})
+	if got := unlimited.deadline(0); got != 0 {
+		t.Errorf("deadline(0) with no defaults = %v, want 0", got)
+	}
+}
+
+// TestSharedCacheAcrossServers: two servers constructed over one Memo see
+// each other's results — the Config.Cache contract.
+func TestSharedCacheAcrossServers(t *testing.T) {
+	s1, ts1 := newTestServer(t, Config{Workers: 1})
+	_, ts2 := newTestServer(t, Config{Workers: 1, Cache: s1.memo})
+	req := &wire.ScheduleRequest{Superblock: sbText(t, 9, 10), Machine: "GP1", DeadlineMS: 5000}
+	ctx := context.Background()
+	if code, _, err := wire.Post(ctx, ts1.Client(), ts1.URL+"/v1/schedule", req, nil); err != nil || code != 200 {
+		t.Fatalf("first server: code=%d err=%v", code, err)
+	}
+	var resp wire.ScheduleResponse
+	if code, _, err := wire.Post(ctx, ts2.Client(), ts2.URL+"/v1/schedule", req, &resp); err != nil || code != 200 {
+		t.Fatalf("second server: code=%d err=%v", code, err)
+	}
+	if !resp.Cached {
+		t.Errorf("second server did not hit the shared cache: %+v", resp)
+	}
+}
+
+func TestMachineCaseAndWhitespace(t *testing.T) {
+	_, _, err := resolveInput(sbText(t, 10, 8), 0, " fs6 ")
+	if err != nil {
+		t.Errorf("resolveInput with ' fs6 ': %v", err)
+	}
+	_, _, err = resolveInput(sbText(t, 10, 8), 0, "bogus")
+	if err == nil || !strings.Contains(err.Error(), model.MachineNames()[0]) {
+		t.Errorf("unknown machine error should list names, got %v", err)
+	}
+}

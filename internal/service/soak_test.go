@@ -1,0 +1,118 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"balance/internal/telemetry"
+	"balance/internal/wire"
+)
+
+// TestSoak drives the service under sustained concurrent load for a short
+// window and asserts the properties the 30-second CI soak checks at scale:
+// no server failures, identical requests coalescing onto distinct-key
+// computations, a live p95 in the request-latency histogram, and zero
+// goroutine growth once the server has drained.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	baseline := runtime.NumGoroutine()
+
+	const distinct = 4
+	inputs := make([]string, distinct)
+	for i := range inputs {
+		inputs[i] = sbText(t, 100+int64(i), 16)
+	}
+
+	s := New(Config{Workers: 4, QueueDepth: 64})
+	ts := httptest.NewServer(s.Handler())
+
+	const clients = 8
+	duration := 1500 * time.Millisecond
+	deadlineMS := int64(30000) // stays inside one budget tier for the whole run
+
+	var ok, rejected, failed atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			hc := ts.Client()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				req := &wire.ScheduleRequest{
+					Superblock: inputs[(c+i)%distinct],
+					Machine:    "GP2",
+					DeadlineMS: deadlineMS,
+				}
+				code, _, _ := wire.Post(context.Background(), hc, ts.URL+"/v1/schedule", req, nil)
+				switch {
+				case code == http.StatusOK:
+					ok.Add(1)
+				case code == http.StatusTooManyRequests:
+					rejected.Add(1)
+				default:
+					failed.Add(1)
+				}
+			}
+		}(c)
+	}
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+
+	if failed.Load() > 0 {
+		t.Errorf("soak: %d requests failed (neither 200 nor 429)", failed.Load())
+	}
+	if ok.Load() < 100 {
+		t.Errorf("soak: only %d successful requests in %v", ok.Load(), duration)
+	}
+
+	// Every 200 went through the cache exactly once: the accounting must
+	// add up, with one computation per distinct input and everything else
+	// served shared (resident hit or in-flight coalesce).
+	st := s.CacheStats()
+	if st.Misses != distinct {
+		t.Errorf("soak: %d computations for %d distinct inputs", st.Misses, distinct)
+	}
+	if st.Hits+st.Coalesced+st.Misses != ok.Load() {
+		t.Errorf("soak: cache accounting %d hits + %d coalesced + %d misses != %d ok responses",
+			st.Hits, st.Coalesced, st.Misses, ok.Load())
+	}
+
+	if p95 := telemetry.Default().Histogram("service.request_ns").Quantile(0.95); p95 <= 0 {
+		t.Errorf("soak: request-latency histogram has no p95")
+	}
+
+	// Drain, close, and require the goroutine count to return to baseline.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("soak: drain: %v", err)
+	}
+	ts.CloseClientConnections()
+	ts.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("soak: goroutines %d > baseline %d after drain", runtime.NumGoroutine(), baseline)
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

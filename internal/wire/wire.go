@@ -1,0 +1,264 @@
+// Package wire defines the JSON request/response vocabulary of the
+// scheduling service and the encode/decode helpers shared by the server
+// (internal/service behind cmd/sbserve) and its clients (cmd/sbload, test
+// drivers). Superblocks travel as .sb text (see internal/sbfile) embedded
+// in a JSON string, so both sides reuse the fuzz-hardened parser instead
+// of a second structural encoding.
+package wire
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"balance/internal/core"
+)
+
+// MaxBodyBytes bounds a decoded request or response body. Superblocks of a
+// few thousand operations encode well under this; anything larger is a
+// malformed or hostile request.
+const MaxBodyBytes = 4 << 20
+
+// ScheduleRequest asks for a full evaluation of one superblock: lower
+// bounds plus every requested scheduler's cost.
+type ScheduleRequest struct {
+	// Superblock is the .sb-format text of the input. When it contains
+	// several superblocks, Index selects one (default 0).
+	Superblock string `json:"superblock"`
+	Index      int    `json:"index,omitempty"`
+	// Machine names the configuration (GP1, GP2, GP4, FS4, FS6, FS8).
+	Machine string `json:"machine"`
+	// Schedulers lists registry heuristics to run (default: the paper's
+	// six primaries). Best additionally reports the best-of-127 meta-column.
+	Schedulers []string `json:"schedulers,omitempty"`
+	Best       bool     `json:"best,omitempty"`
+	// Triplewise enables the triplewise bound stage.
+	Triplewise bool `json:"triplewise,omitempty"`
+	// DeadlineMS is the per-request deadline in milliseconds (0 uses the
+	// server default). The server maps it onto a quantized computation
+	// budget: an expired budget degrades the bound ladder instead of
+	// failing the request.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// IncludeSchedule additionally returns the cheapest heuristic's full
+	// issue-cycle assignment (computed fresh, outside the result cache).
+	IncludeSchedule bool `json:"include_schedule,omitempty"`
+}
+
+// ScheduleDetail is one schedule's issue-cycle assignment.
+type ScheduleDetail struct {
+	Heuristic string  `json:"heuristic"`
+	Cost      float64 `json:"cost"`
+	// Cycles[v] is the issue cycle of operation v.
+	Cycles []int `json:"cycles"`
+}
+
+// ScheduleResponse is the evaluation of one superblock on one machine.
+type ScheduleResponse struct {
+	Name    string `json:"name"`
+	Machine string `json:"machine"`
+	// Costs maps heuristic name to the weighted completion time of its
+	// schedule (plus "Best" when requested).
+	Costs map[string]float64 `json:"costs"`
+	// Tightest is the best lower bound; Degraded how far the bound ladder
+	// was cut by the deadline budget (0 = full ladder).
+	Tightest float64 `json:"tightest"`
+	Degraded int     `json:"degraded"`
+	// Trivial is true when every scheduler achieved the tightest bound.
+	Trivial bool `json:"trivial"`
+	// Cached: served from the shared result cache. Coalesced: shared an
+	// identical in-flight computation (singleflight). Both false: this
+	// request ran the computation.
+	Cached    bool `json:"cached"`
+	Coalesced bool `json:"coalesced"`
+	// ElapsedMS is the server-side handling time, queue wait included.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Schedule is present when IncludeSchedule was set.
+	Schedule *ScheduleDetail `json:"schedule,omitempty"`
+}
+
+// BoundsRequest asks for the lower-bound set only.
+type BoundsRequest struct {
+	Superblock string `json:"superblock"`
+	Index      int    `json:"index,omitempty"`
+	Machine    string `json:"machine"`
+	Triplewise bool   `json:"triplewise,omitempty"`
+	DeadlineMS int64  `json:"deadline_ms,omitempty"`
+}
+
+// BoundsResponse reports every superblock-level lower bound.
+type BoundsResponse struct {
+	Name    string `json:"name"`
+	Machine string `json:"machine"`
+	// Bounds maps bound name (CP, Hu, RJ, LC, Pairwise, Triplewise) to its
+	// weighted-completion value; Tightest is their maximum.
+	Bounds    map[string]float64 `json:"bounds"`
+	Tightest  float64            `json:"tightest"`
+	Degraded  int                `json:"degraded"`
+	ElapsedMS float64            `json:"elapsed_ms"`
+}
+
+// ExplainRequest asks for a Balance run with the decision-explain channel
+// attached.
+type ExplainRequest struct {
+	Superblock string `json:"superblock"`
+	Index      int    `json:"index,omitempty"`
+	Machine    string `json:"machine"`
+	// Update selects the dynamic-bound update policy: "per-op" (default),
+	// "light", or "cycle". NoTradeoff disables the pairwise tradeoffs
+	// (the Table-7 ablation).
+	Update     string `json:"update,omitempty"`
+	NoTradeoff bool   `json:"no_tradeoff,omitempty"`
+	DeadlineMS int64  `json:"deadline_ms,omitempty"`
+}
+
+// ExplainResponse carries the schedule cost and the versioned per-decision
+// records (see core.Decision for the schema).
+type ExplainResponse struct {
+	Name      string          `json:"name"`
+	Machine   string          `json:"machine"`
+	Cost      float64         `json:"cost"`
+	Decisions []core.Decision `json:"decisions"`
+	ElapsedMS float64         `json:"elapsed_ms"`
+}
+
+// CacheHealth is the shared result cache's accounting, as exposed by
+// /healthz.
+type CacheHealth struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	Evictions int64 `json:"evictions"`
+	Size      int   `json:"size"`
+	Capacity  int   `json:"capacity"`
+}
+
+// Health is the /healthz body.
+type Health struct {
+	// Status is "ok" while serving, "draining" once shutdown began.
+	Status string `json:"status"`
+	// InFlight counts requests holding a compute slot; Queued counts
+	// admitted requests (waiting + running) against the admission limit.
+	InFlight int64 `json:"in_flight"`
+	Queued   int64 `json:"queued"`
+	// Goroutines is runtime.NumGoroutine — load drivers watch it for leak
+	// detection across a soak.
+	Goroutines int         `json:"goroutines"`
+	Cache      CacheHealth `json:"cache"`
+	UptimeMS   int64       `json:"uptime_ms"`
+}
+
+// Error is the body of every non-2xx response.
+type Error struct {
+	Error string `json:"error"`
+}
+
+// StatusError is the client-side form of a non-2xx response: the HTTP
+// status code plus the decoded Error body.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("server returned %d: %s", e.Code, e.Msg)
+}
+
+// DecodeJSON strictly decodes one JSON value from r into v: unknown fields
+// are rejected (so typos in request bodies produce self-describing 400s
+// instead of silently-ignored options), trailing garbage is an error, and
+// reads are capped at MaxBodyBytes.
+func DecodeJSON(r io.Reader, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r, MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("wire: trailing data after JSON body")
+	}
+	return nil
+}
+
+// WriteJSON writes v as the JSON body of an HTTP response with the given
+// status code.
+func WriteJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v) //nolint:errcheck // the connection owns delivery
+}
+
+// WriteError writes a formatted Error body with the given status code.
+func WriteError(w http.ResponseWriter, code int, format string, args ...any) {
+	WriteJSON(w, code, Error{Error: fmt.Sprintf(format, args...)})
+}
+
+// Post sends in as a JSON POST to url and decodes the 2xx response body
+// into out (out may be nil to discard it). Non-2xx responses decode the
+// Error body and return it as a *StatusError alongside the status code and
+// response headers (Retry-After for 429s); transport and decoding failures
+// return a zero status.
+func Post(ctx context.Context, hc *http.Client, url string, in, out any) (int, http.Header, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, nil, fmt.Errorf("wire: encode request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e Error
+		if derr := DecodeJSON(resp.Body, &e); derr != nil || e.Error == "" {
+			e.Error = resp.Status
+		}
+		return resp.StatusCode, resp.Header, &StatusError{Code: resp.StatusCode, Msg: e.Error}
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+		return resp.StatusCode, resp.Header, nil
+	}
+	if err := DecodeJSON(resp.Body, out); err != nil {
+		return resp.StatusCode, resp.Header, fmt.Errorf("wire: decode response: %w", err)
+	}
+	return resp.StatusCode, resp.Header, nil
+}
+
+// Get fetches url and decodes the 2xx JSON body into out, with the same
+// error contract as Post.
+func Get(ctx context.Context, hc *http.Client, url string, out any) (int, http.Header, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e Error
+		if derr := DecodeJSON(resp.Body, &e); derr != nil || e.Error == "" {
+			e.Error = resp.Status
+		}
+		return resp.StatusCode, resp.Header, &StatusError{Code: resp.StatusCode, Msg: e.Error}
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+		return resp.StatusCode, resp.Header, nil
+	}
+	if err := DecodeJSON(resp.Body, out); err != nil {
+		return resp.StatusCode, resp.Header, fmt.Errorf("wire: decode response: %w", err)
+	}
+	return resp.StatusCode, resp.Header, nil
+}

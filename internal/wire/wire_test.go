@@ -1,0 +1,123 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"balance/internal/core"
+)
+
+// TestRoundTrip encodes every wire type through its JSON form and back and
+// requires the result to be identical — the contract that lets sbserve and
+// sbload (and any other client) share these structs.
+func TestRoundTrip(t *testing.T) {
+	cases := []any{
+		&ScheduleRequest{
+			Superblock: "superblock x\nop 0 Int\nbranch 0 0.3 after 0\n",
+			Index:      1, Machine: "GP2",
+			Schedulers: []string{"Balance", "CP"}, Best: true,
+			Triplewise: true, DeadlineMS: 250, IncludeSchedule: true,
+		},
+		&ScheduleResponse{
+			Name: "x", Machine: "GP2",
+			Costs:    map[string]float64{"Balance": 12.5, "Best": 12},
+			Tightest: 11.75, Degraded: 1, Trivial: false,
+			Cached: true, Coalesced: false, ElapsedMS: 3.25,
+			Schedule: &ScheduleDetail{Heuristic: "Balance", Cost: 12.5, Cycles: []int{0, 1, 1, 3}},
+		},
+		&BoundsRequest{Superblock: "sb", Machine: "FS6", Triplewise: true, DeadlineMS: 50},
+		&BoundsResponse{
+			Name: "x", Machine: "FS6",
+			Bounds:   map[string]float64{"CP": 9, "Pairwise": 11.5},
+			Tightest: 11.5, Degraded: 2, ElapsedMS: 0.5,
+		},
+		&ExplainRequest{Superblock: "sb", Machine: "GP4", Update: "light", NoTradeoff: true},
+		&ExplainResponse{
+			Name: "x", Machine: "GP4", Cost: 7,
+			Decisions: []core.Decision{{Version: core.ExplainVersion, Seq: 0, Cycle: 2, Picked: 3, Rank: 1.5}},
+			ElapsedMS: 1,
+		},
+		&Health{
+			Status: "ok", InFlight: 3, Queued: 7, Goroutines: 42,
+			Cache:    CacheHealth{Hits: 10, Misses: 2, Coalesced: 5, Evictions: 1, Size: 2, Capacity: 64},
+			UptimeMS: 1234,
+		},
+		&Error{Error: "unknown machine"},
+	}
+	for _, in := range cases {
+		rec := httptest.NewRecorder()
+		WriteJSON(rec, http.StatusOK, in)
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%T: Content-Type = %q", in, ct)
+		}
+		out := reflect.New(reflect.TypeOf(in).Elem()).Interface()
+		if err := DecodeJSON(rec.Body, out); err != nil {
+			t.Errorf("%T: decode: %v", in, err)
+			continue
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Errorf("%T round trip:\n in: %+v\nout: %+v", in, in, out)
+		}
+	}
+}
+
+func TestDecodeStrictness(t *testing.T) {
+	var req ScheduleRequest
+	if err := DecodeJSON(strings.NewReader(`{"machine":"GP2","dedline_ms":5}`), &req); err == nil {
+		t.Error("misspelled field was silently ignored")
+	}
+	if err := DecodeJSON(strings.NewReader(`{"machine":"GP2"} trailing`), &req); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+	if err := DecodeJSON(strings.NewReader(`{"machine":"GP2"}`), &req); err != nil {
+		t.Errorf("valid body rejected: %v", err)
+	}
+}
+
+func TestPostErrorContract(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/ok":
+			var req ScheduleRequest
+			if err := DecodeJSON(r.Body, &req); err != nil {
+				WriteError(w, http.StatusBadRequest, "decode: %v", err)
+				return
+			}
+			WriteJSON(w, http.StatusOK, ScheduleResponse{Name: "x", Machine: req.Machine})
+		case "/busy":
+			w.Header().Set("Retry-After", "2")
+			WriteError(w, http.StatusTooManyRequests, "queue full")
+		default:
+			WriteError(w, http.StatusNotFound, "no such endpoint %s", r.URL.Path)
+		}
+	}))
+	defer srv.Close()
+	ctx := context.Background()
+
+	var resp ScheduleResponse
+	code, _, err := Post(ctx, srv.Client(), srv.URL+"/ok", &ScheduleRequest{Machine: "GP2"}, &resp)
+	if err != nil || code != http.StatusOK || resp.Machine != "GP2" {
+		t.Fatalf("Post ok: code=%d resp=%+v err=%v", code, resp, err)
+	}
+
+	code, hdr, err := Post(ctx, srv.Client(), srv.URL+"/busy", &ScheduleRequest{}, nil)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("busy: code = %d, want 429", code)
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests || !strings.Contains(se.Msg, "queue full") {
+		t.Fatalf("busy: err = %v, want StatusError{429, queue full}", err)
+	}
+	if hdr.Get("Retry-After") != "2" {
+		t.Errorf("busy: Retry-After = %q, want 2", hdr.Get("Retry-After"))
+	}
+
+	if _, _, err := Get(ctx, srv.Client(), srv.URL+"/gone", nil); err == nil {
+		t.Error("Get on 404 returned nil error")
+	}
+}
