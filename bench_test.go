@@ -399,3 +399,27 @@ func BenchmarkTraceOff(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkWindowedObserve pins the cost of the rolling-window record
+// path against the plain lifetime histogram it wraps. The windowed path
+// is on every service request (and any hot loop that opts in), so it must
+// stay allocation-free and within small constant factors — roughly 2x —
+// of Histogram.Observe: one extra epoch load, shard select, and a second
+// bucket update. Both are gated by cmd/benchgate in CI.
+func BenchmarkWindowedObserve(b *testing.B) {
+	reg := balance.Telemetry()
+	b.Run("plain", func(b *testing.B) {
+		b.ReportAllocs()
+		h := reg.Histogram("bench.plain_ns")
+		for i := 0; i < b.N; i++ {
+			h.Observe(int64(i))
+		}
+	})
+	b.Run("windowed", func(b *testing.B) {
+		b.ReportAllocs()
+		h := reg.WindowedHistogram("bench.windowed_ns")
+		for i := 0; i < b.N; i++ {
+			h.Observe(int64(i))
+		}
+	})
+}

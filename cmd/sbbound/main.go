@@ -28,7 +28,7 @@ import (
 	"balance/internal/cliutil"
 )
 
-var obs = cliutil.Flags("sbbound", false)
+var obs = cliutil.Flags("sbbound")
 
 func main() {
 	machine := flag.String("machine", "GP2", "machine configuration (GP1,GP2,GP4,FS4,FS6,FS8)")

@@ -37,7 +37,7 @@ import (
 	"balance/internal/resilience"
 )
 
-var obs = cliutil.Flags("sbeval", true)
+var obs = cliutil.Flags("sbeval")
 
 func main() {
 	table := flag.Int("table", 0, "regenerate one table (1-7)")

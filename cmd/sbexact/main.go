@@ -28,7 +28,7 @@ import (
 	"balance/internal/cliutil"
 )
 
-var obs = cliutil.Flags("sbexact", true)
+var obs = cliutil.Flags("sbexact")
 
 func main() {
 	machine := flag.String("machine", "GP2", "machine configuration")

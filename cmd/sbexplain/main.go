@@ -38,7 +38,7 @@ import (
 	"balance/internal/sched"
 )
 
-var obs = cliutil.Flags("sbexplain", false)
+var obs = cliutil.Flags("sbexplain")
 
 func main() {
 	machine := flag.String("machine", "GP2", "machine configuration (GP1,GP2,GP4,FS4,FS6,FS8)")

@@ -26,7 +26,7 @@ import (
 	"balance/internal/cliutil"
 )
 
-var obs = cliutil.Flags("sbform", false)
+var obs = cliutil.Flags("sbform")
 
 func main() {
 	random := flag.Bool("random", false, "generate a random profiled CFG instead of reading one")

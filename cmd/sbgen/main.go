@@ -23,7 +23,7 @@ import (
 	"balance/internal/cliutil"
 )
 
-var obs = cliutil.Flags("sbgen", false)
+var obs = cliutil.Flags("sbgen")
 
 func main() {
 	bench := flag.String("bench", "all", "comma-separated benchmark names (e.g. gcc,perl) or 'all'")

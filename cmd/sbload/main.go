@@ -8,6 +8,7 @@
 //	sbload -distinct 8 -deadline 500ms       # cache-friendly mix
 //	sbload -mix schedule=8,bounds=1,explain=1
 //	sbload -min-rps 1000 -max-error-ratio 0.01 -max-goroutine-growth 20
+//	sbload -max-burn 1.0                     # gate on the server's SLO burn
 //	sbload -out soak.json                    # JSON summary
 //
 // The corpus is generated (gen package, deterministic in -seed), so client
@@ -55,6 +56,11 @@ type summary struct {
 	GoroutineStart  int                `json:"goroutine_start"`
 	GoroutineEnd    int                `json:"goroutine_end"`
 	Cache           wire.CacheHealth   `json:"cache"`
+	// Window and SLO mirror the server's own rolling-window view from the
+	// final /healthz poll — the server-side latency quantiles alongside the
+	// client-side ones above, and the burn rate -max-burn gates on.
+	Window *wire.WindowHealth `json:"server_window,omitempty"`
+	SLO    []wire.SLOHealth   `json:"server_slo,omitempty"`
 }
 
 func main() {
@@ -71,6 +77,7 @@ func main() {
 	maxErrorRatio := flag.Float64("max-error-ratio", -1, "fail if (5xx+transport)/requests exceeds this (-1 = no gate)")
 	maxGoroutineGrowth := flag.Int("max-goroutine-growth", -1, "fail if server goroutines grow by more than this (-1 = no gate)")
 	minRPS := flag.Float64("min-rps", -1, "fail if sustained requests/sec fall below this (-1 = no gate)")
+	maxBurn := flag.Float64("max-burn", -1, "fail if any server SLO's long-window burn rate exceeds this (-1 = no gate; needs sbserve -slo)")
 	flag.Parse()
 
 	weights, err := parseMix(*mix)
@@ -179,6 +186,8 @@ func main() {
 		GoroutineStart:  goroutineStart,
 		GoroutineEnd:    health.Goroutines,
 		Cache:           health.Cache,
+		Window:          health.Window,
+		SLO:             health.SLO,
 	}
 	writeSummary(*out, s)
 	fmt.Fprintf(os.Stderr, "sbload: %d requests in %v (%.0f req/s): %d ok, %d rejected, %d deadline, %d errors; p95 %.2fms\n",
@@ -202,6 +211,18 @@ func main() {
 	if *minRPS >= 0 && s.RPS < *minRPS {
 		fmt.Fprintf(os.Stderr, "sbload: FAIL %.0f req/s < %.0f\n", s.RPS, *minRPS)
 		failed = true
+	}
+	if *maxBurn >= 0 {
+		if len(s.SLO) == 0 {
+			fmt.Fprintln(os.Stderr, "sbload: FAIL -max-burn set but the server reports no SLOs (run sbserve with -slo)")
+			failed = true
+		}
+		for _, o := range s.SLO {
+			if o.BurnLong > *maxBurn {
+				fmt.Fprintf(os.Stderr, "sbload: FAIL slo %s: long-window burn %.2f > %.2f\n", o.Objective, o.BurnLong, *maxBurn)
+				failed = true
+			}
+		}
 	}
 	if s.ClientErrors > 0 {
 		// 4xx under a well-formed workload means the client and server

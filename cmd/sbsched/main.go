@@ -27,7 +27,7 @@ import (
 	"balance/internal/cliutil"
 )
 
-var obs = cliutil.Flags("sbsched", false)
+var obs = cliutil.Flags("sbsched")
 
 func main() {
 	machine := flag.String("machine", "GP2", "machine configuration (GP1,GP2,GP4,FS4,FS6,FS8)")

@@ -8,12 +8,15 @@
 //	sbserve -addr :9000 -workers 8   # wider compute pool
 //	sbserve -max-deadline 5s         # clamp per-request deadlines
 //	sbserve -metrics out.json -trace trace.json
+//	sbserve -slo "p95<25ms,err<1%"   # track burn rates in /healthz and /metrics
+//	sbserve -access-log access.log -access-sample 0.05
 //
 // Endpoints: POST /v1/schedule, /v1/bounds, /v1/explain (see internal/wire
-// for the request vocabulary), GET /healthz, and /debug/vars + /debug/pprof/
-// on the same port. Requests beyond the admission window are rejected with
-// 429 and a Retry-After estimate. SIGINT/SIGTERM stop admission, drain
-// in-flight requests, flush telemetry, and exit 0.
+// for the request vocabulary), GET /healthz and /metrics (Prometheus), and
+// /debug/vars + /debug/pprof/ on the same port. Requests beyond the
+// admission window are rejected with 429 and a Retry-After estimate.
+// SIGINT/SIGTERM stop admission, drain in-flight requests, flush
+// telemetry, and exit 0. Watch a running server with cmd/sbtop.
 package main
 
 import (
@@ -32,7 +35,7 @@ import (
 	"balance/internal/service"
 )
 
-var obs = cliutil.Flags("sbserve", false)
+var obs = cliutil.Flags("sbserve")
 
 func main() {
 	addr := flag.String("addr", "localhost:8080", "listen address (host:port; :0 picks a free port)")
@@ -42,7 +45,15 @@ func main() {
 	defaultDeadline := flag.Duration("default-deadline", 0, "deadline for requests that carry none (0 = unlimited)")
 	maxDeadline := flag.Duration("max-deadline", 0, "clamp applied to every request deadline (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	sloSpec := flag.String("slo", "", "service objectives tracked over the rolling window (e.g. \"p95<25ms,err<1%\")")
+	accessLog := flag.String("access-log", "", "write sampled JSON access logs to `file` (- for stderr)")
+	accessSample := flag.Float64("access-sample", 1, "fraction of healthy requests kept in the access log (errors and slow-tail requests are always kept)")
 	flag.Parse()
+
+	slo, err := service.ParseSLO(*sloSpec)
+	if err != nil {
+		obs.Fatal(fmt.Errorf("-slo: %w", err))
+	}
 
 	// The drain sequence registers as the first exit hook so every exit
 	// path — including SIGINT routed through obs — finishes in-flight
@@ -59,14 +70,30 @@ func main() {
 		obs.Fatal(err)
 	}
 
-	srv := service.New(service.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		CacheCapacity:   *cacheCap,
-		DefaultDeadline: *defaultDeadline,
-		MaxDeadline:     *maxDeadline,
-		Debug:           cliutil.DebugHandler(),
-	})
+	cfg := service.Config{
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheCapacity:    *cacheCap,
+		DefaultDeadline:  *defaultDeadline,
+		MaxDeadline:      *maxDeadline,
+		Debug:            cliutil.DebugHandler(),
+		SLO:              slo,
+		AccessSampleRate: *accessSample,
+	}
+	if *accessLog == "-" {
+		cfg.AccessLog = os.Stderr
+	} else if *accessLog != "" {
+		f, err := os.Create(*accessLog)
+		if err != nil {
+			obs.Fatal(fmt.Errorf("-access-log: %w", err))
+		}
+		// Closed after the drain hook (hooks run in registration order and
+		// the drain was registered first), so every request that finished
+		// during shutdown still has its line on disk.
+		obs.OnExit(f.Close)
+		cfg.AccessLog = f
+	}
+	srv := service.New(cfg)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		obs.Fatal(fmt.Errorf("-addr: %w", err))

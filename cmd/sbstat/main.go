@@ -31,7 +31,7 @@ import (
 	"balance/internal/stats"
 )
 
-var obs = cliutil.Flags("sbstat", false)
+var obs = cliutil.Flags("sbstat")
 
 func main() {
 	genFlag := flag.Bool("gen", false, "summarize the generated corpus instead of a file")

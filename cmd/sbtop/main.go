@@ -1,0 +1,216 @@
+// Command sbtop is a terminal dashboard for a running sbserve: it polls
+// GET /healthz and GET /metrics and renders live throughput, rolling
+// latency quantiles, queue and slot occupancy, cache rates, the request
+// outcome mix, and SLO burn — the operator's one-screen view of the
+// service.
+//
+// Usage:
+//
+//	sbtop                          # watch localhost:8080, refresh every 2s
+//	sbtop -addr :9000 -interval 1s
+//	sbtop -once                    # print one frame and exit
+//	sbtop -check -max-burn 1.0     # CI gate: lint /metrics, gate SLO burn
+//
+// -check fetches one snapshot, structurally lints the Prometheus
+// exposition (see telemetry.LintExposition), and fails (exit 1) on any
+// lint violation or any SLO objective whose long-window burn rate exceeds
+// -max-burn. The soak job in CI runs exactly this against a draining
+// server.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"balance/internal/telemetry"
+	"balance/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "sbserve address (host:port or full URL)")
+	interval := flag.Duration("interval", 2*time.Second, "refresh interval")
+	once := flag.Bool("once", false, "print one frame and exit")
+	check := flag.Bool("check", false, "lint /metrics and gate SLO burn, then exit (implies -once)")
+	maxBurn := flag.Float64("max-burn", 1.0, "with -check: fail when any objective's long-window burn exceeds this")
+	flag.Parse()
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	hc := &http.Client{Timeout: 10 * time.Second}
+
+	if *check {
+		failures, err := runCheck(ctx, hc, base, *maxBurn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sbtop: %v\n", err)
+			os.Exit(1)
+		}
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "sbtop: check: %s\n", f)
+		}
+		if len(failures) > 0 {
+			os.Exit(1)
+		}
+		fmt.Println("sbtop: check ok")
+		return
+	}
+
+	for {
+		snap, err := fetch(ctx, hc, base)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "sbtop: %v\n", err)
+			os.Exit(1)
+		}
+		if !*once {
+			// Clear and home, so the frame repaints in place.
+			fmt.Print("\x1b[2J\x1b[H")
+		}
+		render(os.Stdout, base, snap)
+		if *once {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(*interval):
+		}
+	}
+}
+
+// snapshot is one poll of both observability endpoints.
+type snapshot struct {
+	health   wire.Health
+	points   map[string]telemetry.PromPoint // keyed by PromPoint.Key()
+	lintErrs []error
+}
+
+// fetch polls /healthz (typed, via wire.Get) and /metrics (raw, so the
+// body can be linted as well as parsed).
+func fetch(ctx context.Context, hc *http.Client, base string) (*snapshot, error) {
+	snap := &snapshot{points: map[string]telemetry.PromPoint{}}
+	if _, _, err := wire.Get(ctx, hc, base+"/healthz", &snap.health); err != nil {
+		return nil, fmt.Errorf("healthz: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, wire.MaxBodyBytes))
+	if err != nil {
+		return nil, fmt.Errorf("metrics: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics: server returned %s", resp.Status)
+	}
+	pts, parseErrs := telemetry.ParseExposition(body)
+	for _, p := range pts {
+		snap.points[p.Key()] = p
+	}
+	snap.lintErrs = append(parseErrs, telemetry.LintExposition(body)...)
+	return snap, nil
+}
+
+// metric returns a sample's value by series key, 0 when absent.
+func (s *snapshot) metric(key string) float64 { return s.points[key].Value }
+
+// render paints one frame.
+func render(w io.Writer, base string, s *snapshot) {
+	h := s.health
+	fmt.Fprintf(w, "sbtop — %s  status %s  up %s  goroutines %d\n",
+		base, h.Status, (time.Duration(h.UptimeMS) * time.Millisecond).Round(time.Second), h.Goroutines)
+
+	if win := h.Window; win != nil {
+		fmt.Fprintf(w, "window   %8.1f req/s   p50 %s  p95 %s  p99 %s   err %.2f%%   (%d reqs)\n",
+			win.RatePerSec, fmtMS(win.P50MS), fmtMS(win.P95MS), fmtMS(win.P99MS),
+			win.ErrorRatio*100, win.Count)
+	}
+	fmt.Fprintf(w, "slots    %d/%d busy   queued %d (admit limit %d)\n",
+		h.InFlight, h.Workers, h.Queued, h.AdmitLimit)
+
+	c := h.Cache
+	hitPct := 0.0
+	if lookups := c.Hits + c.Misses; lookups > 0 {
+		hitPct = 100 * float64(c.Hits) / float64(lookups)
+	}
+	fmt.Fprintf(w, "cache    %d hits (%.1f%%)  %d misses  %d coalesced  %d evicted  %d/%d resident\n",
+		c.Hits, hitPct, c.Misses, c.Coalesced, c.Evictions, c.Size, c.Capacity)
+
+	fmt.Fprintf(w, "mix      ok %.0f (%.0f degraded)  bad %.0f  rejected %.0f  deadline %.0f  failed %.0f\n",
+		s.metric("service_requests_ok_total"),
+		s.metric("service_requests_degraded_total"),
+		s.metric("service_requests_bad_total"),
+		s.metric("service_requests_rejected_total"),
+		s.metric("service_requests_deadline_total"),
+		s.metric("service_requests_failed_total"))
+
+	for i, o := range h.SLO {
+		label := "slo"
+		if i > 0 {
+			label = "   "
+		}
+		verdict := "OK"
+		if !o.OK {
+			verdict = "BREACH"
+		}
+		fmt.Fprintf(w, "%s      %-12s burn long %.2f  fast %.2f  %s\n",
+			label, o.Objective, o.BurnLong, o.BurnFast, verdict)
+	}
+	if len(s.lintErrs) > 0 {
+		fmt.Fprintf(w, "metrics  %d exposition lint error(s) — run sbtop -check\n", len(s.lintErrs))
+	}
+}
+
+// fmtMS renders a millisecond quantity with its unit, compactly.
+func fmtMS(ms float64) string {
+	switch {
+	case ms >= 1000:
+		return fmt.Sprintf("%.1fs", ms/1000)
+	case ms >= 1:
+		return fmt.Sprintf("%.1fms", ms)
+	default:
+		return fmt.Sprintf("%.0fµs", ms*1000)
+	}
+}
+
+// runCheck is the CI gate: one snapshot, every lint violation and every
+// over-budget objective reported as a failure.
+func runCheck(ctx context.Context, hc *http.Client, base string, maxBurn float64) ([]string, error) {
+	snap, err := fetch(ctx, hc, base)
+	if err != nil {
+		return nil, err
+	}
+	var failures []string
+	for _, lintErr := range snap.lintErrs {
+		failures = append(failures, fmt.Sprintf("metrics lint: %v", lintErr))
+	}
+	for _, o := range snap.health.SLO {
+		if o.BurnLong > maxBurn {
+			failures = append(failures, fmt.Sprintf(
+				"slo %s: long-window burn %.2f exceeds %.2f", o.Objective, o.BurnLong, maxBurn))
+		}
+	}
+	sort.Strings(failures)
+	return failures, nil
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"balance/internal/wire"
+)
+
+// fixture boots an httptest server speaking the two endpoints sbtop
+// polls.
+func fixture(t *testing.T, health wire.Health, metrics string) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		wire.WriteJSON(w, http.StatusOK, health)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(metrics)) //nolint:errcheck
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+const goodMetrics = `# TYPE service_requests_ok counter
+service_requests_ok_total 41
+# TYPE service_requests_degraded counter
+service_requests_degraded_total 2
+# TYPE service_requests_failed counter
+service_requests_failed_total 1
+# EOF
+`
+
+func testHealth() wire.Health {
+	return wire.Health{
+		Status:   "ok",
+		InFlight: 2, Workers: 4, Queued: 3, AdmitLimit: 20,
+		Goroutines: 17,
+		Cache:      wire.CacheHealth{Hits: 30, Misses: 10, Size: 10, Capacity: 64},
+		Window: &wire.WindowHealth{
+			RatePerSec: 12.5, Count: 42,
+			P50MS: 1.5, P95MS: 9.2, P99MS: 15.0, ErrorRatio: 0.024,
+		},
+		SLO: []wire.SLOHealth{
+			{Objective: "p95<25ms", BurnLong: 0.4, BurnFast: 0.1, OK: true},
+			{Objective: "err<1%", BurnLong: 2.4, BurnFast: 3.1, OK: false},
+		},
+		UptimeMS: 61_000,
+	}
+}
+
+func TestFetchAndRender(t *testing.T) {
+	ts := fixture(t, testHealth(), goodMetrics)
+	snap, err := fetch(context.Background(), ts.Client(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.lintErrs) != 0 {
+		t.Fatalf("fixture exposition flagged: %v", snap.lintErrs)
+	}
+	var b strings.Builder
+	render(&b, ts.URL, snap)
+	out := b.String()
+	for _, want := range []string{
+		"status ok",
+		"12.5 req/s",
+		"p95 9.2ms",
+		"err 2.40%",
+		"2/4 busy",
+		"queued 3 (admit limit 20)",
+		"30 hits (75.0%)",
+		"ok 41 (2 degraded)",
+		"failed 1",
+		"p95<25ms",
+		"burn long 0.40",
+		"err<1%",
+		"BREACH",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCheckGatesBurn: -check must fail an objective burning past the
+// threshold and pass once the threshold admits it.
+func TestCheckGatesBurn(t *testing.T) {
+	ts := fixture(t, testHealth(), goodMetrics)
+	failures, err := runCheck(context.Background(), ts.Client(), ts.URL, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 1 || !strings.Contains(failures[0], "err<1%") {
+		t.Errorf("failures = %v, want exactly the err<1%% breach", failures)
+	}
+	failures, err = runCheck(context.Background(), ts.Client(), ts.URL, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 0 {
+		t.Errorf("failures with generous threshold = %v, want none", failures)
+	}
+}
+
+// TestCheckGatesLint: a malformed exposition fails -check even when every
+// SLO is within budget.
+func TestCheckGatesLint(t *testing.T) {
+	h := testHealth()
+	h.SLO = nil
+	broken := "# TYPE c counter\nc 1\n" // wrong suffix, no EOF
+	ts := fixture(t, h, broken)
+	failures, err := runCheck(context.Background(), ts.Client(), ts.URL, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) == 0 {
+		t.Fatal("malformed exposition passed -check")
+	}
+	for _, f := range failures {
+		if !strings.HasPrefix(f, "metrics lint:") {
+			t.Errorf("unexpected failure kind: %s", f)
+		}
+	}
+}
+
+func TestFmtMS(t *testing.T) {
+	cases := map[float64]string{0.25: "250µs", 1.5: "1.5ms", 2500: "2.5s"}
+	for in, want := range cases {
+		if got := fmtMS(in); got != want {
+			t.Errorf("fmtMS(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"sync"
 
 	"balance/internal/telemetry"
 
@@ -23,16 +24,24 @@ import (
 )
 
 // DebugHandler returns the process debug surface — expvar (including the
-// live telemetry snapshot) at /debug/vars and pprof at /debug/pprof/ — for
-// mounting on a service mux. The handlers live on http.DefaultServeMux
-// (registered by the expvar and pprof imports); publishing the telemetry
-// bridge here keeps callers from having to know that detail. sbserve
-// mounts this under /debug/ so one port serves both the API and the
-// profiling surface; -debug-addr remains available for a separate port.
+// live telemetry snapshot) at /debug/vars, pprof at /debug/pprof/, and
+// the Prometheus exposition at /metrics — for mounting on a service mux.
+// The expvar/pprof handlers live on http.DefaultServeMux (registered by
+// the expvar and pprof imports); publishing the telemetry bridge here
+// keeps callers from having to know that detail. sbserve mounts this
+// under /debug/ so one port serves both the API and the profiling
+// surface; -debug-addr remains available for a separate port.
 func DebugHandler() http.Handler {
 	telemetry.PublishExpvar(telemetry.Default())
+	registerMetricsOnce()
 	return http.DefaultServeMux
 }
+
+// registerMetricsOnce mounts /metrics on the default mux exactly once
+// (DebugHandler and Start may both run in one process).
+var registerMetricsOnce = sync.OnceFunc(func() {
+	http.Handle("GET /metrics", telemetry.PromWriter{}.Handler())
+})
 
 // Obs carries one tool's observability configuration. Create it with
 // Flags before flag.Parse; Start after; and route every exit through
@@ -54,19 +63,18 @@ func (o *Obs) OnExit(fn func() error) {
 	o.onExit = append(o.onExit, fn)
 }
 
-// Flags registers the observability flags on the default flag set and
-// returns the tool's Obs. withDebug additionally registers -debug-addr
-// (for the long-running tools: sbeval, sbexact).
-func Flags(tool string, withDebug bool) *Obs {
+// Flags registers the observability flags — -metrics, -trace, and
+// -debug-addr — on the default flag set and returns the tool's Obs.
+// Every tool gets -debug-addr: a stuck batch run is exactly when an
+// operator wants live pprof and a /metrics scrape.
+func Flags(tool string) *Obs {
 	o := &Obs{tool: tool}
 	flag.StringVar(&o.metrics, "metrics", "",
 		"write a JSON telemetry summary on exit to `file` (- for stdout)")
 	flag.StringVar(&o.trace, "trace", "",
 		"write span and progress events to `file` (.json: Chrome trace-event for ui.perfetto.dev; otherwise JSON lines)")
-	if withDebug {
-		flag.StringVar(&o.debugAddr, "debug-addr", "",
-			"serve expvar and pprof for live profiling on `addr` (e.g. localhost:6060)")
-	}
+	flag.StringVar(&o.debugAddr, "debug-addr", "",
+		"serve expvar, pprof, and Prometheus /metrics on `addr` (e.g. localhost:6060)")
 	return o
 }
 
@@ -107,11 +115,12 @@ func (o *Obs) Start() error {
 	}
 	if o.debugAddr != "" {
 		telemetry.PublishExpvar(telemetry.Default())
+		registerMetricsOnce()
 		ln, err := net.Listen("tcp", o.debugAddr)
 		if err != nil {
 			return fmt.Errorf("-debug-addr: %w", err)
 		}
-		fmt.Fprintf(os.Stderr, "%s: debug server at http://%s/debug/vars and /debug/pprof/\n",
+		fmt.Fprintf(os.Stderr, "%s: debug server at http://%s/metrics, /debug/vars, and /debug/pprof/\n",
 			o.tool, ln.Addr())
 		srv := &http.Server{}
 		go srv.Serve(ln) //nolint:errcheck // best-effort debug endpoint

@@ -1,0 +1,136 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Structured access logs with tail sampling.
+//
+// One JSON line per kept request. Healthy responses are head-sampled (a
+// deterministic 1-in-N) so a soak's log stays proportional to load, but
+// every request an operator would actually chase — a 5xx, a 429
+// rejection, a 504 deadline expiry, or a latency outlier beyond the
+// rolling p99 — is always written, with the keep reason flagged on the
+// line. The trace field carries the request's span-tree ID (when a trace
+// sink is active), so a flagged line links into the Perfetto export the
+// same way a metric exemplar does.
+
+// accessRecord is one access-log line.
+type accessRecord struct {
+	Time     string `json:"ts"`
+	Endpoint string `json:"endpoint"`
+	Status   int    `json:"status"`
+	// Outcome is the status class as counted by the service metrics:
+	// ok, bad_request, rejected, deadline, or failed.
+	Outcome string `json:"outcome"`
+	// Keep says why the line survived sampling: "sample" (head-sampled
+	// healthy request), or the always-kept flags "error", "rejected",
+	// "deadline", "slow" (beyond the rolling p99).
+	Keep    string  `json:"keep"`
+	TotalMS float64 `json:"total_ms"`
+	// QueueMS is time spent waiting for a compute slot; ComputeMS the
+	// remainder (parse + evaluation + encode).
+	QueueMS   float64 `json:"queue_ms"`
+	ComputeMS float64 `json:"compute_ms"`
+	// Cached/Coalesced/Degraded carry the evaluation provenance for
+	// endpoints that report it: result-cache hit, singleflight share, and
+	// how many bound-ladder stages the deadline budget cut.
+	Cached    bool `json:"cached,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	Degraded  int  `json:"degraded,omitempty"`
+	// TierMS is the quantized budget tier the request's deadline mapped
+	// onto (0: no deadline or an endpoint without the bound ladder).
+	TierMS int64  `json:"tier_ms,omitempty"`
+	Trace  string `json:"trace,omitempty"`
+}
+
+// accessLogger serializes access-log writes and owns the sampling
+// counter.
+type accessLogger struct {
+	mu        sync.Mutex
+	w         io.Writer
+	keepEvery int64 // healthy requests kept: 1 in keepEvery
+	healthy   atomic.Int64
+}
+
+// newAccessLogger wraps w (nil: no logging). rate is the fraction of
+// healthy requests kept: 0.05 keeps 1 in 20; 0 or ≥1 keeps every line.
+func newAccessLogger(w io.Writer, rate float64) *accessLogger {
+	if w == nil {
+		return nil
+	}
+	keep := int64(1)
+	if rate > 0 && rate < 1 {
+		keep = int64(math.Round(1 / rate))
+		if keep < 1 {
+			keep = 1
+		}
+	}
+	return &accessLogger{w: w, keepEvery: keep}
+}
+
+// keepHealthy is the head-sampling decision for one healthy request:
+// deterministic 1-in-keepEvery, starting with the first.
+func (al *accessLogger) keepHealthy() bool {
+	return (al.healthy.Add(1)-1)%al.keepEvery == 0
+}
+
+// log writes one record as a JSON line. Write errors are dropped:
+// observability must never fail the request it observes.
+func (al *accessLogger) log(rec *accessRecord) {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	al.mu.Lock()
+	defer al.mu.Unlock()
+	al.w.Write(line) //nolint:errcheck
+}
+
+// record classifies one finished request and writes it if kept. slowNS
+// is the current slow-tail bar (the rolling p99 at finish time, 0 when
+// the window is empty).
+func (al *accessLogger) record(o *reqObs, outcome string, total time.Duration, slowNS int64) {
+	keep := ""
+	switch outcome {
+	case "failed":
+		keep = "error"
+	case "rejected":
+		keep = "rejected"
+	case "deadline":
+		keep = "deadline"
+	default:
+		if slowNS > 0 && int64(total) > slowNS {
+			keep = "slow"
+		} else if al.keepHealthy() {
+			keep = "sample"
+		} else {
+			return
+		}
+	}
+	rec := &accessRecord{
+		Time:      o.start.UTC().Format(time.RFC3339Nano),
+		Endpoint:  o.endpoint,
+		Status:    o.status,
+		Outcome:   outcome,
+		Keep:      keep,
+		TotalMS:   float64(total.Microseconds()) / 1000,
+		QueueMS:   float64(o.queueWait.Microseconds()) / 1000,
+		ComputeMS: float64((total - o.queueWait).Microseconds()) / 1000,
+		Cached:    o.cached,
+		Coalesced: o.coalesced,
+		Degraded:  o.degraded,
+		TierMS:    o.tierMS,
+	}
+	if trace := o.sp.Context().Trace; trace != 0 {
+		rec.Trace = fmt.Sprintf("%016x", trace)
+	}
+	al.log(rec)
+}

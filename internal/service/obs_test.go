@@ -1,0 +1,274 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"balance/internal/telemetry"
+	"balance/internal/wire"
+)
+
+func TestParseSLO(t *testing.T) {
+	objs, err := ParseSLO("p95<25ms, err<1%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 {
+		t.Fatalf("parsed %d objectives, want 2: %+v", len(objs), objs)
+	}
+	if o := objs[0]; o.Quantile != 0.95 || o.Threshold != 25*time.Millisecond || o.Raw != "p95<25ms" {
+		t.Errorf("latency objective = %+v", o)
+	}
+	if o := objs[1]; o.MaxErrorRatio != 0.01 || o.Raw != "err<1%" {
+		t.Errorf("error objective = %+v", o)
+	}
+	if objs, err := ParseSLO("err<0.005"); err != nil || objs[0].MaxErrorRatio != 0.005 {
+		t.Errorf("fractional ratio: %+v, %v", objs, err)
+	}
+	if objs, err := ParseSLO(""); err != nil || len(objs) != 0 {
+		t.Errorf("empty spec: %+v, %v", objs, err)
+	}
+	for _, bad := range []string{"p95", "p0<1ms", "p100<1ms", "p95<bogus", "err<0", "err<2", "cpu<50%"} {
+		if _, err := ParseSLO(bad); err == nil {
+			t.Errorf("ParseSLO(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRetryAfterDecays is the regression test for the rolling-window
+// Retry-After estimate: a burst of slow requests inflates it, and once
+// those age out of the window the estimate must fall back to the recent
+// (fast) latency — the lifetime median stays inflated forever and is
+// exactly what the estimate must NOT track.
+func TestRetryAfterDecays(t *testing.T) {
+	clk := clockAt(int64(time.Hour))
+	h := telemetry.NewWindowedHistogram(4, time.Second, clk.now)
+
+	// An incident: 150 requests at 2s (more than the fast traffic below,
+	// so the lifetime median stays pinned to the burst).
+	for i := 0; i < 150; i++ {
+		h.Observe(int64(2 * time.Second))
+	}
+	slow := retryAfterFrom(time.Duration(h.WindowQuantile(0.5, 0)), 16, 4)
+	if slow < 8 {
+		t.Fatalf("retry-after during the slow burst = %ds, want ≥8s (4x backlog × ~2s median)", slow)
+	}
+
+	// The incident ages out of the ring; traffic is now fast.
+	clk.advance(5 * time.Second)
+	for i := 0; i < 100; i++ {
+		h.Observe(int64(5 * time.Millisecond))
+	}
+	decayed := retryAfterFrom(time.Duration(h.WindowQuantile(0.5, 0)), 16, 4)
+	if decayed != 1 {
+		t.Errorf("retry-after after decay = %ds, want 1s (4x backlog × ~5ms median)", decayed)
+	}
+	// The lifetime median still remembers the incident — the window is
+	// what makes the estimate honest again.
+	lifetime := retryAfterFrom(time.Duration(h.Lifetime().Quantile(0.5)), 16, 4)
+	if lifetime <= decayed {
+		t.Errorf("lifetime-based estimate = %ds, want > %ds (still inflated by the burst)", lifetime, decayed)
+	}
+}
+
+// clockAt builds a test clock (the telemetry fakeClock is not exported).
+type testClock struct{ ns int64 }
+
+func clockAt(ns int64) *testClock            { return &testClock{ns: ns} }
+func (c *testClock) now() int64              { return c.ns }
+func (c *testClock) advance(d time.Duration) { c.ns += int64(d) }
+
+// TestHealthzEnriched checks the /healthz additions: pool geometry, the
+// rolling window summary, and SLO burn rates.
+func TestHealthzEnriched(t *testing.T) {
+	slo, err := ParseSLO("p50<1ns,p95<10h,err<99%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Workers: 3, QueueDepth: 5, SLO: slo})
+	ctx := context.Background()
+	if code, _, err := wire.Post(ctx, ts.Client(), ts.URL+"/v1/bounds", &wire.BoundsRequest{
+		Superblock: sbText(t, 20, 10), Machine: "GP2", DeadlineMS: 5000,
+	}, nil); err != nil || code != http.StatusOK {
+		t.Fatalf("bounds: code=%d err=%v", code, err)
+	}
+
+	var h wire.Health
+	if code, _, err := wire.Get(ctx, ts.Client(), ts.URL+"/healthz", &h); err != nil || code != http.StatusOK {
+		t.Fatalf("healthz: code=%d err=%v", code, err)
+	}
+	if h.Workers != 3 || h.AdmitLimit != 8 {
+		t.Errorf("pool geometry: workers=%d admit_limit=%d, want 3/8", h.Workers, h.AdmitLimit)
+	}
+	if h.Window == nil {
+		t.Fatal("healthz window missing")
+	}
+	if h.Window.Count < 1 || h.Window.RatePerSec <= 0 || h.Window.P95MS < h.Window.P50MS {
+		t.Errorf("window summary: %+v", h.Window)
+	}
+	if len(h.SLO) != 3 {
+		t.Fatalf("slo entries = %+v, want 3", h.SLO)
+	}
+	// Every request takes longer than 1ns, so p50<1ns burns at 1/(1-0.5) =
+	// 2x budget; nothing takes 10 hours, so p95<10h is clean.
+	if b := h.SLO[0]; b.Objective != "p50<1ns" || b.BurnLong < 1.9 || b.OK {
+		t.Errorf("p50<1ns burn = %+v, want ~2.0 and not OK", b)
+	}
+	if b := h.SLO[1]; b.BurnLong != 0 || !b.OK {
+		t.Errorf("p95<10h burn = %+v, want 0 and OK", b)
+	}
+}
+
+// TestMetricsEndpoint scrapes the live /metrics and holds it to the same
+// structural lint CI applies, plus the presence of the windowed service
+// series and the SLO burn gauges.
+func TestMetricsEndpoint(t *testing.T) {
+	slo, err := ParseSLO("p95<10h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Workers: 2, SLO: slo})
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != telemetry.ContentType {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	for _, lintErr := range telemetry.LintExposition(body) {
+		t.Errorf("lint: %v", lintErr)
+	}
+	for _, want := range []string{
+		"service_requests_total",
+		"service_request_ns_bucket",
+		"service_request_ns_window_p99",
+		"service_requests_window_rate",
+		`slo_burn_rate{objective="p95<10h",window="long"}`,
+		`slo_burn_rate{objective="p95<10h",window="fast"}`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+}
+
+// TestAccessLogSampling drives healthy traffic through a sampling logger
+// and a rejection past it, and checks the head-sampling arithmetic and
+// the always-keep rule.
+func TestAccessLogSampling(t *testing.T) {
+	var buf bytes.Buffer
+	s, ts := newTestServer(t, Config{
+		Workers: 2, QueueDepth: 2,
+		AccessLog: &buf, AccessSampleRate: 0.5,
+	})
+	ctx := context.Background()
+	req := &wire.BoundsRequest{Superblock: sbText(t, 21, 10), Machine: "GP2", DeadlineMS: 5000}
+	for i := 0; i < 6; i++ {
+		if code, _, err := wire.Post(ctx, ts.Client(), ts.URL+"/v1/bounds", req, nil); err != nil || code != http.StatusOK {
+			t.Fatalf("bounds %d: code=%d err=%v", i, code, err)
+		}
+	}
+	// Saturate admission so the next request is rejected — rejections are
+	// always logged, regardless of sampling.
+	s.admitted.Store(s.limit)
+	code, _, _ := wire.Post(ctx, ts.Client(), ts.URL+"/v1/bounds", req, nil)
+	s.admitted.Store(0)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("saturated request: code=%d, want 429", code)
+	}
+
+	var samples, rejected int
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec accessRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad access-log line %q: %v", line, err)
+		}
+		if rec.Endpoint != "bounds" || rec.TotalMS <= 0 || rec.QueueMS < 0 {
+			t.Errorf("suspicious record: %+v", rec)
+		}
+		switch rec.Keep {
+		case "sample":
+			samples++
+			if rec.Status != http.StatusOK || rec.Outcome != "ok" {
+				t.Errorf("healthy sample with status %d outcome %s", rec.Status, rec.Outcome)
+			}
+			// The 5s deadline quantizes down onto the 2s budget tier.
+			if rec.TierMS != 2000 {
+				t.Errorf("sample tier_ms = %d, want 2000", rec.TierMS)
+			}
+		case "rejected":
+			rejected++
+			if rec.Status != http.StatusTooManyRequests {
+				t.Errorf("rejected record with status %d", rec.Status)
+			}
+		case "slow":
+			// Latency-dependent; possible but not asserted either way.
+		default:
+			t.Errorf("unexpected keep reason %q", rec.Keep)
+		}
+	}
+	// Rate 0.5 keeps half the healthy requests deterministically (1st,
+	// 3rd, 5th of six).
+	if samples != 3 {
+		t.Errorf("head-sampled lines = %d, want 3 of 6 at rate 0.5", samples)
+	}
+	if rejected != 1 {
+		t.Errorf("rejected lines = %d, want 1 (always kept)", rejected)
+	}
+}
+
+// TestAccessLogAlwaysKeepsTails unit-tests the keep decision: errors,
+// rejections, deadline expiries, and slow-tail requests must survive even
+// a 1-in-a-million sampling rate.
+func TestAccessLogAlwaysKeepsTails(t *testing.T) {
+	var buf bytes.Buffer
+	al := newAccessLogger(&buf, 1e-6)
+	s := &Server{}
+	obs := &reqObs{s: s, endpoint: "bounds", start: time.Now(), queueWait: time.Millisecond}
+
+	cases := []struct {
+		outcome string
+		total   time.Duration
+		slowNS  int64
+		keep    string
+	}{
+		// Head sampling always keeps the very first healthy request…
+		{"ok", time.Millisecond, 0, "sample"},
+		// …and drops the next ~million at this rate.
+		{"ok", time.Millisecond, int64(10 * time.Millisecond), ""},
+		{"failed", time.Millisecond, 0, "error"},
+		{"rejected", time.Millisecond, 0, "rejected"},
+		{"deadline", time.Millisecond, 0, "deadline"},
+		{"ok", 50 * time.Millisecond, int64(10 * time.Millisecond), "slow"},
+		{"ok", time.Millisecond, int64(10 * time.Millisecond), ""},
+	}
+	for _, tc := range cases {
+		buf.Reset()
+		obs.status = http.StatusOK
+		al.record(obs, tc.outcome, tc.total, tc.slowNS)
+		if tc.keep == "" {
+			if buf.Len() != 0 {
+				t.Errorf("%s/%v: logged %q, want sampled out", tc.outcome, tc.total, buf.String())
+			}
+			continue
+		}
+		var rec accessRecord
+		if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+			t.Fatalf("%s: bad line %q: %v", tc.outcome, buf.String(), err)
+		}
+		if rec.Keep != tc.keep {
+			t.Errorf("%s: keep = %q, want %q", tc.outcome, rec.Keep, tc.keep)
+		}
+	}
+}

@@ -16,31 +16,81 @@ import (
 	"balance/internal/wire"
 )
 
+// reqObs carries one request's observability state from entry to
+// epilogue: identity (endpoint, span), outcome (status), and the
+// provenance fields the access log reports (queue wait, cache/coalesce,
+// budget degradation). Handlers create it first thing with begin and
+// route their exit through finish exactly once.
+type reqObs struct {
+	s        *Server
+	endpoint string
+	start    time.Time
+	sp       telemetry.Span
+	status   int
+
+	queueWait time.Duration
+	cached    bool
+	coalesced bool
+	degraded  int
+	tierMS    int64
+}
+
+// begin opens one request's span and observation record.
+func (s *Server) begin(r *http.Request, endpoint string) (*reqObs, context.Context) {
+	telRequests.Inc()
+	sp, ctx := telemetry.Default().StartSpanCtx(r.Context(), "service.request")
+	return &reqObs{
+		s:        s,
+		endpoint: endpoint,
+		start:    time.Now(),
+		sp:       sp,
+		status:   http.StatusOK,
+	}, ctx
+}
+
 // finish records the common per-request epilogue: the status-class
-// counter, the request-latency histogram, and the span end. Every handler
-// routes its exit through it exactly once, so status → counter
-// classification lives in exactly one place: 429 and 503 are backpressure
-// and lifecycle rejections, 504 a deadline expiry, remaining 4xx caller
-// errors, remaining 5xx server failures.
-func finish(endpoint string, start time.Time, sp telemetry.Span, status int) {
+// counter, the request-latency histogram (with the trace ID as the
+// bucket exemplar), the span end, and the access-log line. The status →
+// counter classification lives in exactly one place: 429 and 503 are
+// backpressure and lifecycle rejections, 504 a deadline expiry,
+// remaining 4xx caller errors, remaining 5xx server failures.
+func (o *reqObs) finish() {
+	outcome := "ok"
 	switch {
-	case status >= 200 && status < 300:
+	case o.status >= 200 && o.status < 300:
 		telOK.Inc()
-	case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+		if o.degraded > 0 {
+			telDegraded.Inc()
+		}
+	case o.status == http.StatusTooManyRequests || o.status == http.StatusServiceUnavailable:
+		outcome = "rejected"
 		telRejected.Inc()
-	case status == http.StatusGatewayTimeout:
+	case o.status == http.StatusGatewayTimeout:
+		outcome = "deadline"
 		telDeadline.Inc()
-	case status >= 500:
+	case o.status >= 500:
+		outcome = "failed"
 		telFailed.Inc()
 	default:
+		outcome = "bad_request"
 		telBadReq.Inc()
 	}
-	telServeNS.ObserveDuration(time.Since(start))
-	if sp.Active() {
-		sp.End(
-			telemetry.String("endpoint", endpoint),
-			telemetry.Int("status", int64(status)),
+	// Read the slow-tail bar before this request's own observation moves
+	// it, so "slow" means slow against the traffic that preceded it.
+	var slowNS int64
+	if o.s.access != nil {
+		slowNS = telServeNS.WindowQuantile(0.99, 0)
+	}
+	total := time.Since(o.start)
+	telServeNS.ObserveTrace(int64(total), o.sp.Context().Trace)
+	if o.sp.Active() {
+		o.sp.End(
+			telemetry.String("endpoint", o.endpoint),
+			telemetry.Int("status", int64(o.status)),
 		)
+	}
+	if o.s.access != nil {
+		o.s.access.record(o, outcome, total, slowNS)
 	}
 }
 
@@ -66,22 +116,19 @@ func writeRunError(w http.ResponseWriter, err error) int {
 // under the deadline budget, every requested scheduler, optional Best
 // meta-column — through the shared result cache with in-flight coalescing.
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	telRequests.Inc()
-	sp, ctx := telemetry.Default().StartSpanCtx(r.Context(), "service.request")
-	status := http.StatusOK
-	defer func() { finish("schedule", start, sp, status) }()
+	obs, ctx := s.begin(r, "schedule")
+	defer obs.finish()
 
 	var req wire.ScheduleRequest
 	if err := wire.DecodeJSON(http.MaxBytesReader(w, r.Body, wire.MaxBodyBytes), &req); err != nil {
-		status = http.StatusBadRequest
-		wire.WriteError(w, status, "decode request: %v", err)
+		obs.status = http.StatusBadRequest
+		wire.WriteError(w, obs.status, "decode request: %v", err)
 		return
 	}
 	sb, m, err := resolveInput(req.Superblock, req.Index, req.Machine)
 	if err != nil {
-		status = http.StatusBadRequest
-		wire.WriteError(w, status, "%v", err)
+		obs.status = http.StatusBadRequest
+		wire.WriteError(w, obs.status, "%v", err)
 		return
 	}
 	schedulers := req.Schedulers
@@ -97,13 +144,15 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, d)
 		defer cancel()
 	}
-	release, reject := s.admit(ctx, w)
+	release, reject := s.admit(ctx, w, obs)
 	if reject != 0 {
-		status = reject
+		obs.status = reject
 		return
 	}
 	defer release()
 
+	spec := s.budget(ctx)
+	obs.tierMS = spec.Wall.Milliseconds()
 	ch, err := engine.Run(ctx, engine.Config{
 		Jobs:       []engine.Job{{Benchmark: "service", SB: sb}},
 		Machine:    m,
@@ -112,21 +161,22 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		Best:       req.Best,
 		Workers:    1,
 		Memo:       s.memo,
-		JobBudget:  s.budget(ctx),
+		JobBudget:  spec,
 	})
 	if err != nil {
 		// Synchronous Run errors are configuration errors — an unknown
 		// scheduler name's message lists every registered heuristic.
-		status = http.StatusBadRequest
-		wire.WriteError(w, status, "%v", err)
+		obs.status = http.StatusBadRequest
+		wire.WriteError(w, obs.status, "%v", err)
 		return
 	}
 	results, err := engine.Collect(ch)
 	if err != nil {
-		status = writeRunError(w, err)
+		obs.status = writeRunError(w, err)
 		return
 	}
 	res := results[0]
+	obs.cached, obs.coalesced, obs.degraded = res.Cached, res.Coalesced, res.Degraded
 	resp := wire.ScheduleResponse{
 		Name:      sb.Name,
 		Machine:   m.Name,
@@ -140,12 +190,12 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	if req.IncludeSchedule {
 		detail, err := scheduleDetail(ctx, res.Cost, sb, m)
 		if err != nil {
-			status = writeRunError(w, err)
+			obs.status = writeRunError(w, err)
 			return
 		}
 		resp.Schedule = detail
 	}
-	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	resp.ElapsedMS = float64(time.Since(obs.start).Microseconds()) / 1000
 	wire.WriteJSON(w, http.StatusOK, resp)
 }
 
@@ -184,22 +234,19 @@ func scheduleDetail(ctx context.Context, costs map[string]float64, sb *model.Sup
 // so this endpoint skips the result cache and runs the ladder directly
 // under the deadline budget.
 func (s *Server) handleBounds(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	telRequests.Inc()
-	sp, ctx := telemetry.Default().StartSpanCtx(r.Context(), "service.request")
-	status := http.StatusOK
-	defer func() { finish("bounds", start, sp, status) }()
+	obs, ctx := s.begin(r, "bounds")
+	defer obs.finish()
 
 	var req wire.BoundsRequest
 	if err := wire.DecodeJSON(http.MaxBytesReader(w, r.Body, wire.MaxBodyBytes), &req); err != nil {
-		status = http.StatusBadRequest
-		wire.WriteError(w, status, "decode request: %v", err)
+		obs.status = http.StatusBadRequest
+		wire.WriteError(w, obs.status, "decode request: %v", err)
 		return
 	}
 	sb, m, err := resolveInput(req.Superblock, req.Index, req.Machine)
 	if err != nil {
-		status = http.StatusBadRequest
-		wire.WriteError(w, status, "%v", err)
+		obs.status = http.StatusBadRequest
+		wire.WriteError(w, obs.status, "%v", err)
 		return
 	}
 
@@ -208,16 +255,19 @@ func (s *Server) handleBounds(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, d)
 		defer cancel()
 	}
-	release, reject := s.admit(ctx, w)
+	release, reject := s.admit(ctx, w, obs)
 	if reject != 0 {
-		status = reject
+		obs.status = reject
 		return
 	}
 	defer release()
 
+	spec := s.budget(ctx)
+	obs.tierMS = spec.Wall.Milliseconds()
 	set := bounds.ComputeBudgetCtx(ctx, sb, m,
 		bounds.Options{Triplewise: req.Triplewise},
-		s.budget(ctx).New())
+		spec.New())
+	obs.degraded = set.Degraded
 	resp := wire.BoundsResponse{
 		Name:    sb.Name,
 		Machine: m.Name,
@@ -230,7 +280,7 @@ func (s *Server) handleBounds(w http.ResponseWriter, r *http.Request) {
 		},
 		Tightest:  set.Tightest,
 		Degraded:  set.Degraded,
-		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		ElapsedMS: float64(time.Since(obs.start).Microseconds()) / 1000,
 	}
 	if req.Triplewise {
 		resp.Bounds["Triplewise"] = set.TripleVal
@@ -242,22 +292,19 @@ func (s *Server) handleBounds(w http.ResponseWriter, r *http.Request) {
 // decision-explain channel attached, returning the versioned per-decision
 // records (the HTTP form of cmd/sbexplain -json).
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	telRequests.Inc()
-	sp, ctx := telemetry.Default().StartSpanCtx(r.Context(), "service.request")
-	status := http.StatusOK
-	defer func() { finish("explain", start, sp, status) }()
+	obs, ctx := s.begin(r, "explain")
+	defer obs.finish()
 
 	var req wire.ExplainRequest
 	if err := wire.DecodeJSON(http.MaxBytesReader(w, r.Body, wire.MaxBodyBytes), &req); err != nil {
-		status = http.StatusBadRequest
-		wire.WriteError(w, status, "decode request: %v", err)
+		obs.status = http.StatusBadRequest
+		wire.WriteError(w, obs.status, "decode request: %v", err)
 		return
 	}
 	sb, m, err := resolveInput(req.Superblock, req.Index, req.Machine)
 	if err != nil {
-		status = http.StatusBadRequest
-		wire.WriteError(w, status, "%v", err)
+		obs.status = http.StatusBadRequest
+		wire.WriteError(w, obs.status, "%v", err)
 		return
 	}
 	cfg := core.DefaultConfig()
@@ -270,8 +317,8 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	case "cycle":
 		cfg.Update = core.UpdatePerCycle
 	default:
-		status = http.StatusBadRequest
-		wire.WriteError(w, status, "unknown update policy %q (available: per-op, light, cycle)", req.Update)
+		obs.status = http.StatusBadRequest
+		wire.WriteError(w, obs.status, "unknown update policy %q (available: per-op, light, cycle)", req.Update)
 		return
 	}
 
@@ -280,9 +327,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, d)
 		defer cancel()
 	}
-	release, reject := s.admit(ctx, w)
+	release, reject := s.admit(ctx, w, obs)
 	if reject != 0 {
-		status = reject
+		obs.status = reject
 		return
 	}
 	defer release()
@@ -292,7 +339,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	p.Explain(func(dec *core.Decision) { decs = append(decs, *dec) })
 	sc, _, err := sched.RunCtx(ctx, sb, m, p)
 	if err != nil {
-		status = writeRunError(w, err)
+		obs.status = writeRunError(w, err)
 		return
 	}
 	wire.WriteJSON(w, http.StatusOK, wire.ExplainResponse{
@@ -300,23 +347,37 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		Machine:   m.Name,
 		Cost:      sched.Cost(sb, sc),
 		Decisions: decs,
-		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		ElapsedMS: float64(time.Since(obs.start).Microseconds()) / 1000,
 	})
 }
 
-// handleHealth is GET /healthz: liveness plus the load and cache gauges a
-// load balancer or soak driver watches. It bypasses admission control —
-// health checks must answer during overload; that is the point.
+// handleHealth is GET /healthz: liveness plus the load, cache, rolling
+// window, and SLO state a load balancer or soak driver watches. It
+// bypasses admission control — health checks must answer during
+// overload; that is the point.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	st := "ok"
 	if s.draining.Load() {
 		st = "draining"
 	}
 	cs := s.memo.CacheStats()
-	wire.WriteJSON(w, http.StatusOK, wire.Health{
+	ws := telServeNS.WindowSummary(0)
+	win := &wire.WindowHealth{
+		RatePerSec: ws.RatePerSec,
+		Count:      ws.Count,
+		P50MS:      float64(ws.P50) / 1e6,
+		P95MS:      float64(ws.P95) / 1e6,
+		P99MS:      float64(ws.P99) / 1e6,
+	}
+	if reqs := telRequests.WindowCount(0); reqs > 0 {
+		win.ErrorRatio = float64(telFailed.WindowCount(0)) / float64(reqs)
+	}
+	h := wire.Health{
 		Status:     st,
 		InFlight:   s.inflight.Load(),
 		Queued:     s.admitted.Load(),
+		Workers:    s.cfg.Workers,
+		AdmitLimit: s.limit,
 		Goroutines: runtime.NumGoroutine(),
 		Cache: wire.CacheHealth{
 			Hits:      cs.Hits,
@@ -326,6 +387,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			Size:      cs.Size,
 			Capacity:  cs.Capacity,
 		},
+		Window:   win,
 		UptimeMS: s.uptimeMS(),
-	})
+	}
+	for _, b := range s.sloBurns() {
+		h.SLO = append(h.SLO, wire.SLOHealth{
+			Objective: b.obj.Raw,
+			BurnLong:  b.long,
+			BurnFast:  b.fast,
+			OK:        b.long <= 1,
+		})
+	}
+	wire.WriteJSON(w, http.StatusOK, h)
 }

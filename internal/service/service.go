@@ -7,16 +7,20 @@
 //   - Admission control: a bounded queue in front of a fixed pool of
 //     compute slots. Requests beyond Workers wait; requests beyond
 //     Workers+QueueDepth are rejected immediately with 429 and a
-//     Retry-After estimate derived from the live latency histogram, so
-//     overload degrades into fast, honest rejections instead of timeouts.
+//     Retry-After estimate derived from the rolling-window median latency,
+//     so overload degrades into fast, honest rejections instead of
+//     timeouts.
 //   - Deadlines: a per-request deadline becomes both a context deadline
 //     (hard abort) and a quantized resilience budget (soft degradation of
 //     the bound ladder — see resilience.TierSpec and bounds.ComputeBudget).
 //   - Caching: one shared engine.Memo serves every request; identical
 //     in-flight requests coalesce onto a single computation (singleflight).
 //   - Observability: each request is one span tree (service.request at the
-//     root, the engine/bounds/sched spans below it), plus counters and
-//     latency histograms under the service.* prefix.
+//     root, the engine/bounds/sched spans below it), counters and latency
+//     histograms under the service.* prefix — the request flow on rolling
+//     windows so /healthz, Retry-After, and SLO burn rates see "the last
+//     minute" — a Prometheus exposition at /metrics with trace exemplars,
+//     and tail-sampled JSON access logs (see accesslog.go, slo.go).
 //   - Lifecycle: Drain stops admission and waits for in-flight requests,
 //     so SIGINT leaves no half-written responses or leaked goroutines.
 package service
@@ -24,6 +28,7 @@ package service
 import (
 	"context"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"runtime"
@@ -69,6 +74,16 @@ type Config struct {
 	// Debug, when non-nil, is mounted at /debug/ (expvar + pprof — see
 	// cliutil.DebugHandler).
 	Debug http.Handler
+	// SLO lists the objectives evaluated over the rolling request window
+	// (see ParseSLO). Burn rates surface in /healthz and as slo_burn_rate
+	// series on /metrics.
+	SLO []Objective
+	// AccessLog, when non-nil, receives one JSON line per kept request
+	// (see accesslog.go). AccessSampleRate is the fraction of healthy
+	// requests kept (0 or ≥1: all); errors, rejections, deadline expiries,
+	// and slow-tail requests are always kept.
+	AccessLog        io.Writer
+	AccessSampleRate float64
 }
 
 // DefaultBudgetTiers is the standard deadline-quantization ladder.
@@ -95,19 +110,26 @@ type Server struct {
 	draining atomic.Bool
 	wg       sync.WaitGroup
 
+	access  *accessLogger
 	handler http.Handler
 }
 
-// Service instruments, registered once in the default registry.
+// Service instruments, registered once in the default registry. The
+// request flow (count, 5xx failures, latency) uses rolling-window
+// instruments: /healthz, Retry-After, and SLO burn rates all want "the
+// last minute", not "since boot". The remaining status-class counters
+// stay plain — their windowed views are derivable from the windowed
+// three, and every windowed shard ring costs memory.
 var (
-	telRequests  = telemetry.Default().Counter("service.requests")
+	telRequests  = telemetry.Default().WindowedCounter("service.requests")
 	telOK        = telemetry.Default().Counter("service.requests_ok")
 	telBadReq    = telemetry.Default().Counter("service.requests_bad")
 	telRejected  = telemetry.Default().Counter("service.requests_rejected")
 	telDeadline  = telemetry.Default().Counter("service.requests_deadline")
-	telFailed    = telemetry.Default().Counter("service.requests_failed")
+	telFailed    = telemetry.Default().WindowedCounter("service.requests_failed")
+	telDegraded  = telemetry.Default().Counter("service.requests_degraded")
 	telQueueWait = telemetry.Default().Histogram("service.queue_wait_ns")
-	telServeNS   = telemetry.Default().Histogram("service.request_ns")
+	telServeNS   = telemetry.Default().WindowedHistogram("service.request_ns")
 	telQueued    = telemetry.Default().Gauge("service.queued")
 	telInflight  = telemetry.Default().Gauge("service.inflight")
 )
@@ -128,22 +150,48 @@ func New(cfg Config) *Server {
 		memo = engine.NewMemo(cfg.CacheCapacity)
 	}
 	s := &Server{
-		cfg:   cfg,
-		memo:  memo,
-		start: time.Now(),
-		slots: make(chan struct{}, cfg.Workers),
-		limit: int64(cfg.Workers + cfg.QueueDepth),
+		cfg:    cfg,
+		memo:   memo,
+		start:  time.Now(),
+		slots:  make(chan struct{}, cfg.Workers),
+		limit:  int64(cfg.Workers + cfg.QueueDepth),
+		access: newAccessLogger(cfg.AccessLog, cfg.AccessSampleRate),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
 	mux.HandleFunc("POST /v1/bounds", s.handleBounds)
 	mux.HandleFunc("POST /v1/explain", s.handleExplain)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.Handle("GET /metrics", telemetry.PromWriter{Extra: s.promExtra}.Handler())
 	if cfg.Debug != nil {
 		mux.Handle("/debug/", cfg.Debug)
 	}
 	s.handler = mux
 	return s
+}
+
+// promExtra publishes the SLO burn rates as labelled slo_burn_rate
+// series alongside the registry instruments on /metrics.
+func (s *Server) promExtra() []telemetry.PromSeries {
+	burns := s.sloBurns()
+	out := make([]telemetry.PromSeries, 0, 2*len(burns))
+	for _, b := range burns {
+		for _, w := range []struct {
+			name string
+			v    float64
+		}{{"long", b.long}, {"fast", b.fast}} {
+			out = append(out, telemetry.PromSeries{
+				Name: "slo_burn_rate",
+				Help: "error-budget burn rate per objective and window (>1: budget spending faster than it accrues)",
+				Labels: []telemetry.PromLabel{
+					{Key: "objective", Value: b.obj.Raw},
+					{Key: "window", Value: w.name},
+				},
+				Value: w.v,
+			})
+		}
+	}
+	return out
 }
 
 // Handler returns the service's HTTP surface.
@@ -176,8 +224,9 @@ func (s *Server) Drain(ctx context.Context) error {
 // (reject = 0). On rejection admit writes the response itself and returns
 // the status it wrote: 503 while draining, 429 with Retry-After past the
 // admission limit, 504 when the request's deadline (ctx) expires while
-// queued — rejected requests never compute.
-func (s *Server) admit(ctx context.Context, w http.ResponseWriter) (release func(), reject int) {
+// queued — rejected requests never compute. The slot wait lands in obs as
+// the request's queue-wait share.
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter, obs *reqObs) (release func(), reject int) {
 	if s.draining.Load() {
 		wire.WriteError(w, http.StatusServiceUnavailable, "server is draining")
 		return nil, http.StatusServiceUnavailable
@@ -201,7 +250,9 @@ func (s *Server) admit(ctx context.Context, w http.ResponseWriter) (release func
 			"deadline expired while queued (%v)", ctx.Err())
 		return nil, http.StatusGatewayTimeout
 	}
-	telQueueWait.ObserveDuration(time.Since(enqueued))
+	wait := time.Since(enqueued)
+	obs.queueWait = wait
+	telQueueWait.ObserveDuration(wait)
 	telInflight.Set(s.inflight.Add(1))
 	return func() {
 		<-s.slots
@@ -222,17 +273,28 @@ func (s *Server) budget(ctx context.Context) resilience.Spec {
 	return resilience.TierSpec(time.Until(dl), s.cfg.BudgetTiers)
 }
 
-// retryAfterSeconds estimates when a rejected client should retry: the
-// current backlog divided by the pool width, scaled by the live median
-// request latency. Always at least 1 second — the resolution of the
-// Retry-After header.
+// retryAfterSeconds estimates when a rejected client should retry from
+// the rolling-window median latency — not the lifetime one, so a slow
+// warm-up or a past incident stops inflating the estimate once it ages
+// out of the window. A cold window (e.g. the first requests after an idle
+// minute) falls back to the lifetime median.
 func (s *Server) retryAfterSeconds() int {
-	p50 := time.Duration(telServeNS.Quantile(0.5))
+	p50 := time.Duration(telServeNS.WindowQuantile(0.5, 0))
+	if p50 <= 0 {
+		p50 = time.Duration(telServeNS.Lifetime().Quantile(0.5))
+	}
+	return retryAfterFrom(p50, s.admitted.Load(), int64(s.cfg.Workers))
+}
+
+// retryAfterFrom computes the Retry-After estimate: the backlog divided
+// by the pool width, scaled by the median request latency, clamped to
+// [1, 60] seconds (1s is the header's resolution).
+func retryAfterFrom(p50 time.Duration, backlog, workers int64) int {
 	if p50 <= 0 {
 		p50 = 100 * time.Millisecond
 	}
-	backlog := float64(s.admitted.Load()) / float64(s.cfg.Workers)
-	secs := int(math.Ceil(backlog * p50.Seconds()))
+	load := float64(backlog) / float64(workers)
+	secs := int(math.Ceil(load * p50.Seconds()))
 	if secs < 1 {
 		secs = 1
 	}

@@ -1,0 +1,154 @@
+package service
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// SLO objectives and burn rates.
+//
+// An objective states how much badness the service budget allows over the
+// rolling window: "p95<25ms" allows 5% of requests to exceed 25ms,
+// "err<1%" allows 1% of requests to fail with a 5xx. The burn rate is the
+// ratio of actual badness to that budget — 1.0 means the budget is being
+// consumed exactly as fast as it accrues, >1.0 means the objective will be
+// violated if the rate holds. Burn is evaluated over two windows (the
+// classic multi-window alert pattern): the full rolling ring ("long",
+// 60s with the default geometry) for sustained breach, and the most
+// recent couple of intervals ("fast", ~10s) so a fresh regression is
+// visible before the long window turns.
+//
+// Error ratio deliberately counts only 5xx failures — matching sbload's
+// accounting: 429s are backpressure working as designed and 504s are the
+// client's own deadline, neither an error budget spend.
+
+// Objective is one parsed SLO term.
+type Objective struct {
+	// Raw is the term as written ("p95<25ms"), used as the metric label
+	// and /healthz identifier.
+	Raw string
+	// Quantile and Threshold define a latency objective: at most (1 −
+	// Quantile) of requests may exceed Threshold. Quantile is zero for
+	// error-ratio terms.
+	Quantile  float64
+	Threshold time.Duration
+	// MaxErrorRatio defines an error objective: at most this fraction of
+	// requests may fail with a 5xx. Zero for latency terms.
+	MaxErrorRatio float64
+}
+
+// ParseSLO parses a comma-separated objective spec, the -slo flag syntax:
+//
+//	p95<25ms,p50<2ms,err<1%
+//
+// Latency terms are pNN<duration with NN a percentile in (0, 100);
+// error terms are err<ratio, the ratio a percentage ("1%") or a fraction
+// ("0.01").
+func ParseSLO(spec string) ([]Objective, error) {
+	var out []Objective
+	for _, term := range strings.Split(spec, ",") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		lhs, rhs, found := strings.Cut(term, "<")
+		if !found {
+			return nil, fmt.Errorf("slo term %q: want percentile<bound (e.g. p95<25ms) or err<ratio (e.g. err<1%%)", term)
+		}
+		obj := Objective{Raw: term}
+		switch {
+		case lhs == "err":
+			ratio, err := parseRatio(rhs)
+			if err != nil {
+				return nil, fmt.Errorf("slo term %q: %v", term, err)
+			}
+			if ratio <= 0 || ratio >= 1 {
+				return nil, fmt.Errorf("slo term %q: error ratio must be in (0, 1)", term)
+			}
+			obj.MaxErrorRatio = ratio
+		case strings.HasPrefix(lhs, "p"):
+			pct, err := strconv.ParseFloat(lhs[1:], 64)
+			if err != nil || pct <= 0 || pct >= 100 {
+				return nil, fmt.Errorf("slo term %q: percentile must be in (0, 100)", term)
+			}
+			d, err := time.ParseDuration(rhs)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("slo term %q: bad latency bound %q (want e.g. 25ms)", term, rhs)
+			}
+			obj.Quantile = pct / 100
+			obj.Threshold = d
+		default:
+			return nil, fmt.Errorf("slo term %q: unknown objective %q (want pNN or err)", term, lhs)
+		}
+		out = append(out, obj)
+	}
+	return out, nil
+}
+
+// parseRatio accepts "1%" or "0.01".
+func parseRatio(s string) (float64, error) {
+	if pct, found := strings.CutSuffix(s, "%"); found {
+		v, err := strconv.ParseFloat(pct, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad percentage %q", s)
+		}
+		return v / 100, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad ratio %q", s)
+	}
+	return v, nil
+}
+
+// fastBurnShards is the "fast" burn window's width in ring intervals:
+// 2 × 5s ≈ the last 10 seconds with the default window geometry.
+const fastBurnShards = 2
+
+// sloBurn is one objective's evaluated burn rates.
+type sloBurn struct {
+	obj        Objective
+	long, fast float64
+}
+
+// sloBurns evaluates every configured objective over the long (full ring)
+// and fast (last fastBurnShards intervals) windows. An empty window burns
+// nothing — a just-booted or idle server is not out of budget.
+func (s *Server) sloBurns() []sloBurn {
+	burns := make([]sloBurn, 0, len(s.cfg.SLO))
+	for _, obj := range s.cfg.SLO {
+		b := sloBurn{obj: obj}
+		if obj.MaxErrorRatio > 0 {
+			b.long = errorBurn(obj.MaxErrorRatio, 0)
+			b.fast = errorBurn(obj.MaxErrorRatio, fastBurnShards)
+		} else {
+			b.long = latencyBurn(obj, 0)
+			b.fast = latencyBurn(obj, fastBurnShards)
+		}
+		burns = append(burns, b)
+	}
+	return burns
+}
+
+// latencyBurn is (fraction of window requests slower than the threshold)
+// over (the fraction the objective allows), computed from the request
+// histogram's rolling buckets over the last k intervals.
+func latencyBurn(obj Objective, k int) float64 {
+	over, total := telServeNS.WindowCountOver(int64(obj.Threshold), k)
+	if total == 0 {
+		return 0
+	}
+	budget := 1 - obj.Quantile
+	return (float64(over) / float64(total)) / budget
+}
+
+// errorBurn is (window 5xx ratio) over (the allowed ratio).
+func errorBurn(maxRatio float64, k int) float64 {
+	total := telRequests.WindowCount(k)
+	if total == 0 {
+		return 0
+	}
+	return (float64(telFailed.WindowCount(k)) / float64(total)) / maxRatio
+}

@@ -92,8 +92,14 @@ func TestSoak(t *testing.T) {
 			st.Hits, st.Coalesced, st.Misses, ok.Load())
 	}
 
-	if p95 := telemetry.Default().Histogram("service.request_ns").Quantile(0.95); p95 <= 0 {
-		t.Errorf("soak: request-latency histogram has no p95")
+	// The request-latency instrument is windowed: both the lifetime view
+	// and the rolling window must have a live p95 right after the run.
+	reqNS := telemetry.Default().WindowedHistogram("service.request_ns")
+	if p95 := reqNS.Lifetime().Quantile(0.95); p95 <= 0 {
+		t.Errorf("soak: request-latency histogram has no lifetime p95")
+	}
+	if p95 := reqNS.WindowQuantile(0.95, 0); p95 <= 0 {
+		t.Errorf("soak: request-latency histogram has no rolling-window p95")
 	}
 
 	// Drain, close, and require the goroutine count to return to baseline.

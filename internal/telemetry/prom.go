@@ -1,0 +1,359 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format exposition, dependency-free.
+//
+// PromWriter renders a Registry in the OpenMetrics-flavoured text format:
+// counters as <name>_total, gauges as <name> (+ <name>_max for the
+// high-watermark), histograms as cumulative <name>_bucket/_sum/_count
+// with power-of-two `le` bounds matching the log-bucket layout of
+// Histogram, and rolling-window instruments additionally as
+// <name>_window_{rate,count,p50,p95,p99} gauges. Trace-ID exemplars
+// captured by WindowedHistogram.ObserveTrace are attached to the tail
+// buckets in OpenMetrics exemplar syntax, so a slow bucket links straight
+// into the Perfetto span tree.
+//
+// Output is deterministic for a fixed registry state: families sort by
+// metric name, series within a family emit in a fixed order, and label
+// values are escaped — all golden-tested, and checked structurally by
+// LintExposition (which CI also runs against the live /metrics of a
+// soaking sbserve).
+
+// PromLabel is one label pair on an injected series.
+type PromLabel struct{ Key, Value string }
+
+// PromSeries is one externally computed sample for PromWriter.Extra —
+// the hook services use to publish labelled series (e.g. slo_burn_rate
+// per objective and window) that have no registry instrument behind them.
+type PromSeries struct {
+	// Name is the family name (sanitized by the writer).
+	Name   string
+	Labels []PromLabel
+	Value  float64
+	// Type is the family TYPE ("gauge" when empty).
+	Type string
+	// Help is the family HELP text (optional).
+	Help string
+}
+
+// PromWriter renders a registry (plus optional extra series) as
+// Prometheus/OpenMetrics text.
+type PromWriter struct {
+	// Registry is the instrument source (nil: Default()).
+	Registry *Registry
+	// Extra, when non-nil, is called per Write for series computed outside
+	// the registry. Series sharing a Name form one family and keep their
+	// given order.
+	Extra func() []PromSeries
+}
+
+// ContentType is the value /metrics responses carry. The exposition uses
+// OpenMetrics syntax (exemplars, terminating # EOF) but stays parseable
+// by classic Prometheus text-format consumers that ignore comments.
+const ContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// promFamily is one metric family being assembled for output.
+type promFamily struct {
+	name  string
+	typ   string
+	help  string
+	lines []string
+}
+
+// Write renders the exposition to w.
+func (pw PromWriter) Write(w io.Writer) error {
+	r := pw.Registry
+	if r == nil {
+		r = Default()
+	}
+
+	// Snapshot the instrument maps under the registry lock, then render
+	// outside it (instrument reads are atomic).
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	fgauges := make(map[string]*FloatGauge, len(r.fgauges))
+	for k, v := range r.fgauges {
+		fgauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	winHists := make(map[string]*WindowedHistogram, len(r.winHists))
+	for k, v := range r.winHists {
+		winHists[k] = v
+	}
+	winCounters := make(map[string]*WindowedCounter, len(r.winCounters))
+	for k, v := range r.winCounters {
+		winCounters[k] = v
+	}
+	r.mu.Unlock()
+
+	var fams []promFamily
+	for name, c := range counters {
+		fams = append(fams, counterFamily(name, c.Value()))
+	}
+	for name, c := range winCounters {
+		fams = append(fams, counterFamily(name, c.Value()))
+		fams = append(fams, windowCounterFamilies(name, c)...)
+	}
+	for name, g := range gauges {
+		n := sanitizeMetricName(name)
+		fams = append(fams,
+			promFamily{name: n, typ: "gauge", help: "live level of " + name,
+				lines: []string{n + " " + formatInt(g.Value())}},
+			promFamily{name: n + "_max", typ: "gauge", help: "high-watermark of " + name,
+				lines: []string{n + "_max " + formatInt(g.Max())}})
+	}
+	for name, g := range fgauges {
+		n := sanitizeMetricName(name)
+		fams = append(fams, promFamily{name: n, typ: "gauge", help: "live level of " + name,
+			lines: []string{n + " " + formatFloat(g.Value())}})
+	}
+	for name, h := range hists {
+		fams = append(fams, histogramFamily(name, h, nil))
+	}
+	for name, h := range winHists {
+		fams = append(fams, histogramFamily(name, h.Lifetime(), h))
+		fams = append(fams, windowHistFamilies(name, h)...)
+	}
+	if pw.Extra != nil {
+		fams = append(fams, extraFamilies(pw.Extra())...)
+	}
+
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	var b strings.Builder
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, line := range f.lines {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	b.WriteString("# EOF\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler serves the exposition over HTTP (the /metrics endpoint).
+func (pw PromWriter) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		pw.Write(w) //nolint:errcheck // the connection owns delivery
+	})
+}
+
+func counterFamily(name string, v int64) promFamily {
+	n := sanitizeMetricName(name)
+	return promFamily{name: n, typ: "counter", help: "cumulative count of " + name,
+		lines: []string{n + "_total " + formatInt(v)}}
+}
+
+// tailExemplarBuckets bounds how many of the highest buckets carry
+// exemplars: the tail is where an operator chases outliers, and keeping
+// the set small keeps the exposition compact.
+const tailExemplarBuckets = 4
+
+// histogramFamily renders the cumulative _bucket/_sum/_count triplet.
+// Bucket `le` bounds are the inclusive upper bounds of the log buckets
+// (0, 1, 3, 7, ..., 2^i-1, +Inf) up to the bucket holding the observed
+// maximum — deterministic for a fixed set of observations. wh, when
+// non-nil, supplies tail-bucket exemplars.
+func histogramFamily(name string, h *Histogram, wh *WindowedHistogram) promFamily {
+	n := sanitizeMetricName(name)
+	maxBucket := bucketOf(h.Max())
+	// Read the bucket array once; _count is the +Inf cumulative so the
+	// triplet is self-consistent even under concurrent observers.
+	var counts [numBuckets]int64
+	var total int64
+	for i := 0; i < numBuckets; i++ {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	// Pick the tail buckets that carry exemplars: the highest few emitted
+	// buckets with a recorded traced observation.
+	exemplar := map[int]*Exemplar{}
+	if wh != nil {
+		for i, picked := maxBucket, 0; i >= 0 && picked < tailExemplarBuckets; i-- {
+			if ex := wh.BucketExemplar(i); ex != nil {
+				exemplar[i] = ex
+				picked++
+			}
+		}
+	}
+	f := promFamily{name: n, typ: "histogram", help: "log-bucket histogram of " + name}
+	var cum int64
+	for i := 0; i <= maxBucket && i < numBuckets; i++ {
+		cum += counts[i]
+		line := fmt.Sprintf("%s_bucket{le=\"%s\"} %d", n, leBound(i), cum)
+		if ex := exemplar[i]; ex != nil {
+			line += fmt.Sprintf(" # {trace_id=\"%016x\"} %d %.3f",
+				ex.Trace, ex.Value, float64(ex.Time.UnixNano())/1e9)
+		}
+		f.lines = append(f.lines, line)
+	}
+	f.lines = append(f.lines,
+		fmt.Sprintf("%s_bucket{le=\"+Inf\"} %d", n, total),
+		fmt.Sprintf("%s_sum %d", n, h.Sum()),
+		fmt.Sprintf("%s_count %d", n, total))
+	return f
+}
+
+// leBound formats bucket i's inclusive upper bound for the le label.
+func leBound(i int) string {
+	if i >= 64 {
+		return "+Inf"
+	}
+	return strconv.FormatInt(bucketUpper(i), 10)
+}
+
+// windowHistFamilies renders a windowed histogram's rolling view as
+// gauges: per-second rate, live count, and quantiles over the full ring.
+func windowHistFamilies(name string, h *WindowedHistogram) []promFamily {
+	n := sanitizeMetricName(name)
+	s := h.WindowSummary(0)
+	span := h.Window().Span().String()
+	gauge := func(suffix, help string, value string) promFamily {
+		return promFamily{name: n + suffix, typ: "gauge",
+			help:  help + " of " + name + " over the rolling " + span + " window",
+			lines: []string{n + suffix + " " + value}}
+	}
+	return []promFamily{
+		gauge("_window_rate", "per-second rate", formatFloat(s.RatePerSec)),
+		gauge("_window_count", "observation count", formatInt(s.Count)),
+		gauge("_window_p50", "p50", formatInt(s.P50)),
+		gauge("_window_p95", "p95", formatInt(s.P95)),
+		gauge("_window_p99", "p99", formatInt(s.P99)),
+	}
+}
+
+// windowCounterFamilies renders a windowed counter's rolling view.
+func windowCounterFamilies(name string, c *WindowedCounter) []promFamily {
+	n := sanitizeMetricName(name)
+	span := c.Window().Span().String()
+	return []promFamily{
+		{name: n + "_window_rate", typ: "gauge",
+			help:  "per-second rate of " + name + " over the rolling " + span + " window",
+			lines: []string{n + "_window_rate " + formatFloat(c.WindowRate(0))}},
+		{name: n + "_window_count", typ: "gauge",
+			help:  "count of " + name + " over the rolling " + span + " window",
+			lines: []string{n + "_window_count " + formatInt(c.WindowCount(0))}},
+	}
+}
+
+// extraFamilies groups injected series by family name, preserving each
+// family's series order.
+func extraFamilies(series []PromSeries) []promFamily {
+	byName := map[string]*promFamily{}
+	var order []string
+	for _, s := range series {
+		n := sanitizeMetricName(s.Name)
+		f, ok := byName[n]
+		if !ok {
+			typ := s.Type
+			if typ == "" {
+				typ = "gauge"
+			}
+			f = &promFamily{name: n, typ: typ, help: s.Help}
+			byName[n] = f
+			order = append(order, n)
+		}
+		var lb strings.Builder
+		lb.WriteString(n)
+		if len(s.Labels) > 0 {
+			lb.WriteByte('{')
+			for i, l := range s.Labels {
+				if i > 0 {
+					lb.WriteByte(',')
+				}
+				lb.WriteString(sanitizeLabelName(l.Key))
+				lb.WriteString("=\"")
+				lb.WriteString(escapeLabelValue(l.Value))
+				lb.WriteString("\"")
+			}
+			lb.WriteByte('}')
+		}
+		lb.WriteByte(' ')
+		lb.WriteString(formatFloat(s.Value))
+		f.lines = append(f.lines, lb.String())
+	}
+	out := make([]promFamily, 0, len(order))
+	for _, n := range order {
+		out = append(out, *byName[n])
+	}
+	return out
+}
+
+// sanitizeMetricName maps an instrument name onto the Prometheus metric
+// charset: [a-zA-Z0-9_:], with the registry's dotted namespaces becoming
+// underscores ("service.request_ns" → "service_request_ns").
+func sanitizeMetricName(s string) string {
+	var b strings.Builder
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// sanitizeLabelName is sanitizeMetricName without the colon (colons are
+// reserved for recording rules).
+func sanitizeLabelName(s string) string {
+	return strings.ReplaceAll(sanitizeMetricName(s), ":", "_")
+}
+
+// escapeLabelValue escapes backslash, double-quote, and newline per the
+// exposition-format rules.
+func escapeLabelValue(s string) string {
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes backslash and newline in HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatInt(v int64) string { return strconv.FormatInt(v, 10) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

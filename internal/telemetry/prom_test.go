@@ -1,0 +1,275 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promGoldenRegistry assembles a registry with every instrument kind in a
+// deterministic state: fixed fake clock, directly stored exemplar (so no
+// wall-clock timestamp leaks into the exposition).
+func promGoldenRegistry() *Registry {
+	clk := &fakeClock{}
+	clk.ns.Store(int64(time.Hour) + int64(2500*time.Millisecond))
+
+	r := NewRegistry()
+	r.Counter("sched.calls").Add(7)
+	r.Gauge("pool.workers").Set(3)
+	r.FloatGauge("slo.ok").Set(0.5)
+	h := r.Histogram("solve.ns")
+	h.Observe(1)
+	h.Observe(5)
+	h.Observe(5)
+
+	wh := NewWindowedHistogram(4, 5*time.Second, clk.now)
+	wh.Observe(100)
+	wh.Observe(1000)
+	wh.exemplars[bucketOf(1000)].Store(&Exemplar{
+		Value: 1000, Trace: 0xabc, Time: time.Unix(1700000000, 0),
+	})
+	wc := NewWindowedCounter(4, 5*time.Second, clk.now)
+	wc.Add(4)
+
+	r.mu.Lock()
+	r.winHists["service.request_ns"] = wh
+	r.winCounters["service.requests"] = wc
+	r.mu.Unlock()
+	return r
+}
+
+const promGolden = `# HELP pool_workers live level of pool.workers
+# TYPE pool_workers gauge
+pool_workers 3
+# HELP pool_workers_max high-watermark of pool.workers
+# TYPE pool_workers_max gauge
+pool_workers_max 3
+# HELP sched_calls cumulative count of sched.calls
+# TYPE sched_calls counter
+sched_calls_total 7
+# HELP service_request_ns log-bucket histogram of service.request_ns
+# TYPE service_request_ns histogram
+service_request_ns_bucket{le="0"} 0
+service_request_ns_bucket{le="1"} 0
+service_request_ns_bucket{le="3"} 0
+service_request_ns_bucket{le="7"} 0
+service_request_ns_bucket{le="15"} 0
+service_request_ns_bucket{le="31"} 0
+service_request_ns_bucket{le="63"} 0
+service_request_ns_bucket{le="127"} 1
+service_request_ns_bucket{le="255"} 1
+service_request_ns_bucket{le="511"} 1
+service_request_ns_bucket{le="1023"} 2 # {trace_id="0000000000000abc"} 1000 1700000000.000
+service_request_ns_bucket{le="+Inf"} 2
+service_request_ns_sum 1100
+service_request_ns_count 2
+# HELP service_request_ns_window_count observation count of service.request_ns over the rolling 20s window
+# TYPE service_request_ns_window_count gauge
+service_request_ns_window_count 2
+# HELP service_request_ns_window_p50 p50 of service.request_ns over the rolling 20s window
+# TYPE service_request_ns_window_p50 gauge
+service_request_ns_window_p50 127
+# HELP service_request_ns_window_p95 p95 of service.request_ns over the rolling 20s window
+# TYPE service_request_ns_window_p95 gauge
+service_request_ns_window_p95 1023
+# HELP service_request_ns_window_p99 p99 of service.request_ns over the rolling 20s window
+# TYPE service_request_ns_window_p99 gauge
+service_request_ns_window_p99 1023
+# HELP service_request_ns_window_rate per-second rate of service.request_ns over the rolling 20s window
+# TYPE service_request_ns_window_rate gauge
+service_request_ns_window_rate 0.8
+# HELP service_requests cumulative count of service.requests
+# TYPE service_requests counter
+service_requests_total 4
+# HELP service_requests_window_count count of service.requests over the rolling 20s window
+# TYPE service_requests_window_count gauge
+service_requests_window_count 4
+# HELP service_requests_window_rate per-second rate of service.requests over the rolling 20s window
+# TYPE service_requests_window_rate gauge
+service_requests_window_rate 1.6
+# HELP slo_burn_rate error-budget burn over the rolling window
+# TYPE slo_burn_rate gauge
+slo_burn_rate{objective="p95<25ms",window="long"} 0.5
+slo_burn_rate{objective="q\"n\nv\\s",window="fast"} 2
+# HELP slo_ok live level of slo.ok
+# TYPE slo_ok gauge
+slo_ok 0.5
+# HELP solve_ns log-bucket histogram of solve.ns
+# TYPE solve_ns histogram
+solve_ns_bucket{le="0"} 0
+solve_ns_bucket{le="1"} 1
+solve_ns_bucket{le="3"} 1
+solve_ns_bucket{le="7"} 3
+solve_ns_bucket{le="+Inf"} 3
+solve_ns_sum 11
+solve_ns_count 3
+# EOF
+`
+
+func goldenWriter() PromWriter {
+	return PromWriter{
+		Registry: promGoldenRegistry(),
+		Extra: func() []PromSeries {
+			return []PromSeries{
+				{
+					Name: "slo_burn_rate",
+					Help: "error-budget burn over the rolling window",
+					Labels: []PromLabel{
+						{Key: "objective", Value: "p95<25ms"}, {Key: "window", Value: "long"},
+					},
+					Value: 0.5,
+				},
+				{
+					Name: "slo_burn_rate",
+					Labels: []PromLabel{
+						{Key: "objective", Value: "q\"n\nv\\s"}, {Key: "window", Value: "fast"},
+					},
+					Value: 2,
+				},
+			}
+		},
+	}
+}
+
+// TestPromWriterGolden pins the exposition byte for byte: family sort
+// order, deterministic le bounds, escaped label values, exemplar syntax.
+func TestPromWriterGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenWriter().Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != promGolden {
+		t.Errorf("exposition drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, promGolden)
+	}
+}
+
+// TestPromWriterSelfLints runs the structural linter over the writer's own
+// output — the same check CI applies to a live scrape.
+func TestPromWriterSelfLints(t *testing.T) {
+	var b strings.Builder
+	if err := goldenWriter().Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, err := range LintExposition([]byte(b.String())) {
+		t.Errorf("lint: %v", err)
+	}
+}
+
+func TestPromHandlerContentType(t *testing.T) {
+	rec := httptest.NewRecorder()
+	PromWriter{Registry: NewRegistry()}.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != ContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, ContentType)
+	}
+	if !strings.HasSuffix(rec.Body.String(), "# EOF\n") {
+		t.Errorf("body does not terminate with # EOF:\n%s", rec.Body.String())
+	}
+}
+
+func TestParseExposition(t *testing.T) {
+	pts, errs := ParseExposition([]byte(promGolden))
+	if len(errs) != 0 {
+		t.Fatalf("parse errors: %v", errs)
+	}
+	byKey := map[string]PromPoint{}
+	for _, p := range pts {
+		byKey[p.Key()] = p
+	}
+	if p := byKey["sched_calls_total"]; p.Value != 7 {
+		t.Errorf("sched_calls_total = %+v, want 7", p)
+	}
+	p, ok := byKey[`service_request_ns_bucket{le="1023"}`]
+	if !ok || p.Value != 2 {
+		t.Fatalf("bucket le=1023 = %+v", p)
+	}
+	if !strings.Contains(p.Exemplar, `trace_id="0000000000000abc"`) {
+		t.Errorf("exemplar not captured: %q", p.Exemplar)
+	}
+	if p := byKey[`slo_burn_rate{objective="q\"n\nv\\s",window="fast"}`]; p.Value != 2 {
+		t.Errorf("escaped label round-trip failed: %+v (keys: %v)", p, len(byKey))
+	}
+}
+
+func TestLintCatchesMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want string // substring of at least one error
+	}{
+		{"no-type", "foo_total 1\n# EOF\n", "no # TYPE"},
+		{"no-eof", "# TYPE foo counter\nfoo_total 1\n", "# EOF"},
+		{"counter-suffix", "# TYPE foo counter\nfoo 1\n# EOF\n", "_total suffix"},
+		{"negative-counter", "# TYPE foo counter\nfoo_total -1\n# EOF\n", "negative"},
+		{"dup-series", "# TYPE foo gauge\nfoo 1\nfoo 2\n# EOF\n", "duplicate series"},
+		{"dup-family", "# TYPE foo gauge\n# TYPE foo gauge\nfoo 1\n# EOF\n", "already declared"},
+		{"bad-name", "# TYPE foo gauge\nfoo 1\nbad-name 2\n# EOF\n", "naming conventions"},
+		{
+			"non-cumulative",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"3\"} 4\nh_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 5\n# EOF\n",
+			"not cumulative",
+		},
+		{
+			"le-out-of-order",
+			"# TYPE h histogram\nh_bucket{le=\"3\"} 1\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n# EOF\n",
+			"out of order",
+		},
+		{
+			"missing-inf",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n# EOF\n",
+			"+Inf",
+		},
+		{
+			"inf-count-mismatch",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 2\n# EOF\n",
+			"!= _count",
+		},
+		{
+			"missing-sum",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n# EOF\n",
+			"missing _sum",
+		},
+		{
+			"bad-exemplar",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1 # {trace_id=\"x\" 9\nh_sum 1\nh_count 1\n# EOF\n",
+			"exemplar",
+		},
+	}
+	for _, tc := range cases {
+		errs := LintExposition([]byte(tc.body))
+		found := false
+		for _, err := range errs {
+			if strings.Contains(err.Error(), tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no error containing %q in %v", tc.name, tc.want, errs)
+		}
+	}
+}
+
+func TestLintAcceptsWellFormed(t *testing.T) {
+	body := "# TYPE ok gauge\nok{a=\"1\"} 1\nok{a=\"2\"} 2\n" +
+		"# TYPE c counter\nc_total 3\n# EOF\n"
+	if errs := LintExposition([]byte(body)); len(errs) != 0 {
+		t.Errorf("well-formed body flagged: %v", errs)
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"service.request_ns": "service_request_ns",
+		"9lives":             "_9lives",
+		"a-b c":              "a_b_c",
+		"ns:rule":            "ns:rule",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := sanitizeLabelName("ns:rule"); got != "ns_rule" {
+		t.Errorf("sanitizeLabelName(ns:rule) = %q, want ns_rule (no colons in labels)", got)
+	}
+}

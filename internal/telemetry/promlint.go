@@ -1,0 +1,351 @@
+package telemetry
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Exposition parsing and linting.
+//
+// ParseExposition is the minimal text-format reader sbtop uses to scrape
+// a live /metrics; LintExposition layers the structural checks CI gates
+// the soak's scrapes on: metric/label naming conventions, TYPE
+// declarations preceding their series, counter naming, monotone
+// cumulative buckets, and _bucket/_sum/_count consistency. Both are
+// dependency-free and understand exactly the dialect PromWriter emits
+// (plus the classic format's laxer corners, so hand-written fixtures
+// lint too).
+
+// PromPoint is one parsed sample.
+type PromPoint struct {
+	// Name is the full series name (e.g. "service_request_ns_bucket").
+	Name string
+	// Labels holds the series' label pairs (nil when unlabelled).
+	Labels map[string]string
+	// Value is the sample value.
+	Value float64
+	// Exemplar is the raw exemplar text after the series (without the
+	// leading "# "), empty when none.
+	Exemplar string
+}
+
+// Key renders the series identity (name plus sorted labels) for lookups.
+func (p PromPoint) Key() string {
+	if len(p.Labels) == 0 {
+		return p.Name
+	}
+	keys := make([]string, 0, len(p.Labels))
+	for k := range p.Labels {
+		keys = append(keys, k)
+	}
+	// Insertion sort: label sets are tiny.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	var b strings.Builder
+	b.WriteString(p.Name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, p.Labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var promNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// promTypeDecl is one "# TYPE <family> <kind>" declaration, recorded in
+// stream order.
+type promTypeDecl struct {
+	family string
+	kind   string
+	line   int
+}
+
+// parsedExposition is the full decode of one exposition body.
+type parsedExposition struct {
+	points []PromPoint
+	types  []promTypeDecl
+	eof    bool
+	errs   []error
+}
+
+// ParseExposition decodes a Prometheus/OpenMetrics text body into its
+// samples. Malformed lines are reported, not fatal: the slice holds
+// every sample that did parse.
+func ParseExposition(data []byte) ([]PromPoint, []error) {
+	p := parseExposition(data)
+	return p.points, p.errs
+}
+
+func parseExposition(data []byte) parsedExposition {
+	var out parsedExposition
+	for i, line := range strings.Split(string(data), "\n") {
+		n := i + 1
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if line == "# EOF" {
+				out.eof = true
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				out.types = append(out.types, promTypeDecl{family: fields[2], kind: fields[3], line: n})
+			}
+			continue
+		}
+		pt, err := parseSeriesLine(line)
+		if err != nil {
+			out.errs = append(out.errs, fmt.Errorf("line %d: %w", n, err))
+			continue
+		}
+		out.points = append(out.points, pt)
+	}
+	return out
+}
+
+// parseSeriesLine decodes `name{k="v",...} value [# exemplar]`.
+func parseSeriesLine(line string) (PromPoint, error) {
+	var pt PromPoint
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return pt, fmt.Errorf("no value on series line %q", line)
+	} else {
+		pt.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		labels, tail, err := parseLabels(rest)
+		if err != nil {
+			return pt, err
+		}
+		pt.Labels = labels
+		rest = tail
+	}
+	rest = strings.TrimLeft(rest, " ")
+	valueText := rest
+	if i := strings.Index(rest, " # "); i >= 0 {
+		valueText = rest[:i]
+		pt.Exemplar = strings.TrimSpace(rest[i+3:])
+	}
+	// A classic-format sample may carry a trailing timestamp; take the
+	// first field as the value.
+	fields := strings.Fields(valueText)
+	if len(fields) == 0 {
+		return pt, fmt.Errorf("no value on series line %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return pt, fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	pt.Value = v
+	return pt, nil
+}
+
+// parseLabels decodes a `{k="v",...}` block, honoring escaped quotes,
+// and returns the remainder of the line.
+func parseLabels(s string) (map[string]string, string, error) {
+	labels := map[string]string{}
+	rest := s[1:] // past '{'
+	for {
+		rest = strings.TrimLeft(rest, ", ")
+		if strings.HasPrefix(rest, "}") {
+			return labels, rest[1:], nil
+		}
+		eq := strings.Index(rest, "=")
+		if eq < 0 {
+			return nil, "", fmt.Errorf("unterminated label block in %q", s)
+		}
+		key := strings.TrimSpace(rest[:eq])
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return nil, "", fmt.Errorf("label %q value is not quoted", key)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		for {
+			if rest == "" {
+				return nil, "", fmt.Errorf("unterminated label value for %q", key)
+			}
+			c := rest[0]
+			if c == '\\' && len(rest) >= 2 {
+				switch rest[1] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[1])
+				}
+				rest = rest[2:]
+				continue
+			}
+			if c == '"' {
+				rest = rest[1:]
+				break
+			}
+			val.WriteByte(c)
+			rest = rest[1:]
+		}
+		labels[key] = val.String()
+	}
+}
+
+// exemplarRE matches the OpenMetrics exemplar tail: a label set, a
+// value, and an optional timestamp.
+var exemplarRE = regexp.MustCompile(`^\{[^}]*\} [0-9.eE+-]+( [0-9.eE+-]+)?$`)
+
+// LintExposition structurally checks one exposition body and returns
+// every violation found (empty: well-formed). Checks:
+//
+//   - metric and label names match the Prometheus charset;
+//   - every series belongs to a family declared with # TYPE before its
+//     first sample, and no family is declared twice;
+//   - counter samples use the _total suffix;
+//   - histogram buckets are cumulative (monotone non-decreasing in
+//     emission order), include le="+Inf", and agree with _count;
+//     _sum and _count are present;
+//   - no duplicate series (same name and labels);
+//   - exemplars parse; the body terminates with # EOF.
+func LintExposition(data []byte) []error {
+	p := parseExposition(data)
+	errs := append([]error(nil), p.errs...)
+
+	declared := map[string]promTypeDecl{}
+	for _, d := range p.types {
+		if !promNameRE.MatchString(d.family) {
+			errs = append(errs, fmt.Errorf("line %d: family name %q violates naming conventions", d.line, d.family))
+		}
+		if prev, dup := declared[d.family]; dup {
+			errs = append(errs, fmt.Errorf("line %d: family %q already declared at line %d", d.line, d.family, prev.line))
+			continue
+		}
+		declared[d.family] = d
+	}
+
+	type histState struct {
+		lastCum    float64
+		lastLe     float64
+		infValue   float64
+		hasInf     bool
+		count      float64
+		hasCount   bool
+		hasSum     bool
+		hasBuckets bool
+	}
+	hists := map[string]*histState{}
+	seen := map[string]bool{}
+	for _, pt := range p.points {
+		if !promNameRE.MatchString(pt.Name) {
+			errs = append(errs, fmt.Errorf("series name %q violates naming conventions", pt.Name))
+		}
+		for k := range pt.Labels {
+			if !promNameRE.MatchString(k) || strings.Contains(k, ":") {
+				errs = append(errs, fmt.Errorf("series %s: label name %q violates naming conventions", pt.Name, k))
+			}
+		}
+		if key := pt.Key(); seen[key] {
+			errs = append(errs, fmt.Errorf("duplicate series %s", key))
+		} else {
+			seen[key] = true
+		}
+		if pt.Exemplar != "" && !exemplarRE.MatchString(pt.Exemplar) {
+			errs = append(errs, fmt.Errorf("series %s: malformed exemplar %q", pt.Name, pt.Exemplar))
+		}
+
+		family, suffix := familyOf(pt.Name, declared)
+		d, ok := declared[family]
+		if !ok {
+			errs = append(errs, fmt.Errorf("series %s has no # TYPE declaration", pt.Name))
+			continue
+		}
+		switch d.kind {
+		case "counter":
+			if suffix != "_total" {
+				errs = append(errs, fmt.Errorf("counter series %s must use the _total suffix", pt.Name))
+			}
+			if pt.Value < 0 {
+				errs = append(errs, fmt.Errorf("counter series %s is negative (%g)", pt.Name, pt.Value))
+			}
+		case "histogram":
+			st := hists[family]
+			if st == nil {
+				st = &histState{lastLe: -1}
+				hists[family] = st
+			}
+			switch suffix {
+			case "_bucket":
+				st.hasBuckets = true
+				le := pt.Labels["le"]
+				if le == "+Inf" {
+					st.hasInf, st.infValue = true, pt.Value
+				} else {
+					b, err := strconv.ParseFloat(le, 64)
+					if err != nil {
+						errs = append(errs, fmt.Errorf("histogram %s: bad le %q", family, le))
+						break
+					}
+					if b < st.lastLe {
+						errs = append(errs, fmt.Errorf("histogram %s: le %g out of order after %g", family, b, st.lastLe))
+					}
+					st.lastLe = b
+				}
+				if pt.Value < st.lastCum {
+					errs = append(errs, fmt.Errorf("histogram %s: bucket counts not cumulative (%g after %g)", family, pt.Value, st.lastCum))
+				}
+				st.lastCum = pt.Value
+			case "_sum":
+				st.hasSum = true
+			case "_count":
+				st.hasCount, st.count = true, pt.Value
+			default:
+				errs = append(errs, fmt.Errorf("histogram family %s has stray series %s", family, pt.Name))
+			}
+		}
+	}
+	for family, st := range hists {
+		if !st.hasBuckets {
+			continue
+		}
+		if !st.hasInf {
+			errs = append(errs, fmt.Errorf("histogram %s missing le=\"+Inf\" bucket", family))
+		}
+		if !st.hasSum {
+			errs = append(errs, fmt.Errorf("histogram %s missing _sum", family))
+		}
+		if !st.hasCount {
+			errs = append(errs, fmt.Errorf("histogram %s missing _count", family))
+		} else if st.hasInf && st.infValue != st.count {
+			errs = append(errs, fmt.Errorf("histogram %s: +Inf bucket %g != _count %g", family, st.infValue, st.count))
+		}
+	}
+	if !p.eof {
+		errs = append(errs, fmt.Errorf("exposition does not terminate with # EOF"))
+	}
+	return errs
+}
+
+// familyOf resolves a series name to its declared family: for counters
+// and histograms the family name is the series name minus the
+// convention suffix.
+func familyOf(name string, declared map[string]promTypeDecl) (family, suffix string) {
+	if _, ok := declared[name]; ok {
+		return name, ""
+	}
+	for _, s := range []string{"_total", "_bucket", "_sum", "_count"} {
+		if base, found := strings.CutSuffix(name, s); found {
+			if _, ok := declared[base]; ok {
+				return base, s
+			}
+		}
+	}
+	return name, ""
+}

@@ -32,6 +32,11 @@ type Snapshot struct {
 	Counters   map[string]int64            `json:"counters"`
 	Gauges     map[string]GaugeValue       `json:"gauges"`
 	Histograms map[string]HistogramSummary `json:"histograms"`
+	// FloatGauges and Windows cover the rolling-window instruments; both
+	// are omitted when no windowed instrument exists so snapshots of
+	// registries without them stay byte-identical to earlier releases.
+	FloatGauges map[string]float64       `json:"float_gauges,omitempty"`
+	Windows     map[string]WindowSummary `json:"windows,omitempty"`
 }
 
 // Snapshot copies every instrument's current value. Instruments mutated
@@ -41,9 +46,11 @@ func (r *Registry) Snapshot() *Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := &Snapshot{
-		Counters:   make(map[string]int64, len(r.counters)),
-		Gauges:     make(map[string]GaugeValue, len(r.gauges)),
-		Histograms: make(map[string]HistogramSummary, len(r.hists)),
+		Counters:    make(map[string]int64, len(r.counters)+len(r.winCounters)),
+		Gauges:      make(map[string]GaugeValue, len(r.gauges)),
+		Histograms:  make(map[string]HistogramSummary, len(r.hists)+len(r.winHists)),
+		FloatGauges: make(map[string]float64, len(r.fgauges)),
+		Windows:     make(map[string]WindowSummary, len(r.winHists)+len(r.winCounters)),
 	}
 	for name, c := range r.counters {
 		s.Counters[name] = c.Value()
@@ -51,8 +58,22 @@ func (r *Registry) Snapshot() *Snapshot {
 	for name, g := range r.gauges {
 		s.Gauges[name] = GaugeValue{Value: g.Value(), Max: g.Max()}
 	}
+	for name, g := range r.fgauges {
+		s.FloatGauges[name] = g.Value()
+	}
 	for name, h := range r.hists {
 		s.Histograms[name] = h.Summary()
+	}
+	// Windowed instruments contribute their lifetime view to the ordinary
+	// sections and their rolling view to Windows, so one snapshot carries
+	// both "since boot" and "right now".
+	for name, h := range r.winHists {
+		s.Histograms[name] = h.Lifetime().Summary()
+		s.Windows[name] = h.WindowSummary(0)
+	}
+	for name, c := range r.winCounters {
+		s.Counters[name] = c.Value()
+		s.Windows[name] = c.win.summarize(0)
 	}
 	return s
 }
@@ -88,6 +109,14 @@ func (s *Snapshot) String() string {
 	for _, name := range names {
 		g := s.Gauges[name]
 		fmt.Fprintf(&b, "gauge %s %d max %d\n", name, g.Value, g.Max)
+	}
+	names = names[:0]
+	for name := range s.FloatGauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "fgauge %s %g\n", name, s.FloatGauges[name])
 	}
 	names = names[:0]
 	for name := range s.Histograms {

@@ -25,6 +25,7 @@
 package telemetry
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -80,14 +81,30 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // Max returns the high-watermark.
 func (g *Gauge) Max() int64 { return g.max.Load() }
 
+// FloatGauge is an instantaneous float-valued level (ratios, burn rates).
+// Unlike Gauge it tracks no watermark: its producers recompute it from
+// other instruments (e.g. SLO burn from a rolling window) on read paths.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current level.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
 // Registry is a name-keyed set of instruments plus the event sink spans
 // report to. The zero value is not usable; use NewRegistry or Default.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
-	sink     atomic.Pointer[sinkBox]
+	mu          sync.Mutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	fgauges     map[string]*FloatGauge
+	hists       map[string]*Histogram
+	winHists    map[string]*WindowedHistogram
+	winCounters map[string]*WindowedCounter
+	sink        atomic.Pointer[sinkBox]
 }
 
 // sinkBox wraps the Sink interface value so the registry can swap it with
@@ -97,9 +114,12 @@ type sinkBox struct{ s Sink }
 // NewRegistry returns an empty registry with the no-op sink.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: map[string]*Counter{},
-		gauges:   map[string]*Gauge{},
-		hists:    map[string]*Histogram{},
+		counters:    map[string]*Counter{},
+		gauges:      map[string]*Gauge{},
+		fgauges:     map[string]*FloatGauge{},
+		hists:       map[string]*Histogram{},
+		winHists:    map[string]*WindowedHistogram{},
+		winCounters: map[string]*WindowedCounter{},
 	}
 }
 
@@ -144,6 +164,47 @@ func (r *Registry) Histogram(name string) *Histogram {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// FloatGauge returns the named float gauge, creating it on first use.
+func (r *Registry) FloatGauge(name string) *FloatGauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.fgauges[name]
+	if !ok {
+		g = &FloatGauge{}
+		r.fgauges[name] = g
+	}
+	return g
+}
+
+// WindowedHistogram returns the named rolling-window histogram with the
+// default geometry (12 shards × 5s), creating it on first use. The name
+// space is shared with plain histograms: creating both kinds under one
+// name would render duplicate Prometheus series, so pick one kind per
+// name.
+func (r *Registry) WindowedHistogram(name string) *WindowedHistogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.winHists[name]
+	if !ok {
+		h = NewWindowedHistogram(DefaultWindowShards, DefaultWindowInterval, nil)
+		r.winHists[name] = h
+	}
+	return h
+}
+
+// WindowedCounter returns the named rolling-window counter with the
+// default geometry, creating it on first use.
+func (r *Registry) WindowedCounter(name string) *WindowedCounter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.winCounters[name]
+	if !ok {
+		c = NewWindowedCounter(DefaultWindowShards, DefaultWindowInterval, nil)
+		r.winCounters[name] = c
+	}
+	return c
 }
 
 // SetSink installs the span/event sink (nil restores the no-op sink).

@@ -1,0 +1,443 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Rolling-window instruments.
+//
+// A Window is a ring of per-interval shards (default 12 shards of 5s:
+// one minute of history). Writers land observations in the shard owned
+// by the current interval; a shard whose interval has lapped the ring is
+// drained into an "expired" accumulator and reused. The design goals, in
+// order:
+//
+//   - Conservation: every observation is counted in exactly one of
+//     {a live shard, the expired accumulator}. Rotation moves counts with
+//     atomic Swap, so at quiescence
+//     lifetime count == sum(shard counts) + expired count, exactly —
+//     the invariant TestWindowRotationConservation pins under -race.
+//   - Zero-alloc, lock-free recording: the record path is a cached-clock
+//     load, an epoch check, and three atomic adds on top of the lifetime
+//     histogram. No mutexes, no allocation, no kernel clock read (pinned
+//     by TestWindowedObserveZeroAlloc and the benchgate-tracked
+//     BenchmarkWindowedObserve).
+//   - Readers never block writers: a snapshot mid-rotation may attribute
+//     an observation to the adjacent interval or see it in flight between
+//     a shard and the expired accumulator, but never loses it, and the
+//     merged bucket view is always internally consistent (quantile ranks
+//     are computed against the merged totals, not a separately read
+//     count).
+//
+// Geometry is fixed at construction. The clock is replaceable for tests
+// (see newWindow); production windows read the wall clock.
+
+// Default window geometry: 12 shards × 5s = 60s of rolling history.
+const (
+	DefaultWindowShards   = 12
+	DefaultWindowInterval = 5 * time.Second
+)
+
+// windowShard holds one interval's observations. epoch is the interval
+// number the data belongs to; epochDraining marks a shard mid-drain and
+// epochEmpty a shard that has never been claimed.
+type windowShard struct {
+	epoch   atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+const (
+	epochDraining = -1
+	epochEmpty    = -2
+)
+
+// Window is the rotation machinery shared by WindowedHistogram and
+// WindowedCounter: the shard ring, the expired accumulator, and the
+// clock.
+type Window struct {
+	intervalNS int64
+	shards     []windowShard
+	// expiredCount/expiredSum accumulate observations rotated out of the
+	// ring, preserving the conservation invariant for tests and accounting.
+	expiredCount atomic.Int64
+	expiredSum   atomic.Int64
+	nowNanos     func() int64
+}
+
+// procBase anchors the production clock. Epochs only need a monotonic
+// scale — absolute wall time never matters, only which interval an
+// observation falls in.
+var procBase = time.Now()
+
+// The production clock is cached: a process-lifetime goroutine refreshes
+// an atomic every coarseTick, and the record path reads that atomic
+// instead of the kernel clock. A real clock read costs more than the
+// rest of the record sequence combined; the cache is what keeps the
+// windowed Observe within ~2x of the plain one. Staleness is bounded by
+// coarseTick — 2% of the default 5s interval — which at worst attributes
+// an observation to the adjacent epoch, the same tolerance the rotation
+// machinery already grants racing writers.
+const coarseTick = 100 * time.Millisecond
+
+var coarseClock struct {
+	once sync.Once
+	now  atomic.Int64
+}
+
+// startCoarseClock seeds the cached clock and begins the background
+// refresh. Run once, from the first real-clocked newWindow, so processes
+// that never build a window never pay for the goroutine.
+func startCoarseClock() {
+	coarseClock.now.Store(int64(time.Since(procBase)))
+	go func() {
+		for range time.Tick(coarseTick) {
+			coarseClock.now.Store(int64(time.Since(procBase)))
+		}
+	}()
+}
+
+// wallNanos is the production clock: cached monotonic nanoseconds since
+// process start.
+func wallNanos() int64 { return coarseClock.now.Load() }
+
+// newWindow builds a ring of n shards of the given interval. now is the
+// clock (nil: wall clock); tests inject a fake to drive rotation
+// deterministically.
+func newWindow(n int, interval time.Duration, now func() int64) *Window {
+	if n <= 0 {
+		n = DefaultWindowShards
+	}
+	if interval <= 0 {
+		interval = DefaultWindowInterval
+	}
+	if now == nil {
+		coarseClock.once.Do(startCoarseClock)
+		now = wallNanos
+	}
+	w := &Window{
+		intervalNS: int64(interval),
+		shards:     make([]windowShard, n),
+		nowNanos:   now,
+	}
+	for i := range w.shards {
+		w.shards[i].epoch.Store(epochEmpty)
+	}
+	return w
+}
+
+// Span returns the ring's total coverage (shards × interval).
+func (w *Window) Span() time.Duration {
+	return time.Duration(w.intervalNS * int64(len(w.shards)))
+}
+
+// shardFor returns the shard owning epoch e, rotating a lapped shard
+// first. Rotation drains the stale shard's count and sum into the
+// expired accumulator with atomic Swap — the counts move, they are never
+// dropped — then zeroes the buckets and republishes the shard under the
+// new epoch. A writer that loses the claim race records into the shard
+// anyway: its adds land either in the drain (→ expired) or in the fresh
+// epoch, so conservation holds either way and the worst case is
+// attribution to an adjacent interval.
+func (w *Window) shardFor(e int64) *windowShard {
+	sh := &w.shards[int(e%int64(len(w.shards)))]
+	se := sh.epoch.Load()
+	if se == e {
+		return sh
+	}
+	if se < e && se != epochDraining && sh.epoch.CompareAndSwap(se, epochDraining) {
+		w.expiredCount.Add(sh.count.Swap(0))
+		w.expiredSum.Add(sh.sum.Swap(0))
+		for i := range sh.buckets {
+			sh.buckets[i].Store(0)
+		}
+		sh.epoch.Store(e)
+	}
+	return sh
+}
+
+// record lands one observation of value v in the current interval's shard.
+func (w *Window) record(v int64) {
+	sh := w.shardFor(w.nowNanos() / w.intervalNS)
+	sh.count.Add(1)
+	sh.sum.Add(v)
+	sh.buckets[bucketOf(v)].Add(1)
+}
+
+// add moves the current interval's count by n without bucketing (the
+// counter form; sum tracks the same total so drains stay uniform).
+func (w *Window) add(n int64) {
+	sh := w.shardFor(w.nowNanos() / w.intervalNS)
+	sh.count.Add(n)
+	sh.sum.Add(n)
+}
+
+// merged reads the live shards covering the last k intervals (k ≤ 0:
+// the whole ring) into one view. spanNS is the wall-clock coverage of the
+// merged shards: full intervals for completed epochs plus the elapsed
+// fraction of the current one, so rates from short-lived windows do not
+// underestimate.
+func (w *Window) merged(k int) (buckets [numBuckets]int64, count, sum, spanNS int64) {
+	n := int64(len(w.shards))
+	if k <= 0 || int64(k) > n {
+		k = int(n)
+	}
+	now := w.nowNanos()
+	e := now / w.intervalNS
+	oldest := e - int64(k) + 1
+	for i := range w.shards {
+		sh := &w.shards[i]
+		se := sh.epoch.Load()
+		if se == epochDraining {
+			// Mid-drain: remaining (not yet swapped) data is current enough
+			// to include; the drained part is in expired, not lost.
+			se = e
+		}
+		if se < oldest || se > e || se == epochEmpty {
+			continue
+		}
+		count += sh.count.Load()
+		sum += sh.sum.Load()
+		for b := range sh.buckets {
+			buckets[b] += sh.buckets[b].Load()
+		}
+		if se == e {
+			spanNS += now % w.intervalNS
+		} else {
+			spanNS += w.intervalNS
+		}
+	}
+	return buckets, count, sum, spanNS
+}
+
+// ExpiredCount returns the observations rotated out of the ring over the
+// window's lifetime (for conservation accounting and tests).
+func (w *Window) ExpiredCount() int64 { return w.expiredCount.Load() }
+
+// WindowSummary condenses one rolling window for snapshots and /healthz:
+// totals, a rate normalized by the window's live coverage, and bucketed
+// quantile estimates with the same semantics as Histogram.Quantile.
+type WindowSummary struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	// RatePerSec is Count divided by the live coverage of the merged
+	// shards (≤ the ring span; partial for young processes).
+	RatePerSec float64 `json:"rate_per_sec"`
+	// SpanSec is that live coverage in seconds.
+	SpanSec float64 `json:"span_sec"`
+	P50     int64   `json:"p50"`
+	P95     int64   `json:"p95"`
+	P99     int64   `json:"p99"`
+}
+
+// summarize builds a WindowSummary over the last k intervals.
+func (w *Window) summarize(k int) WindowSummary {
+	buckets, count, sum, spanNS := w.merged(k)
+	s := WindowSummary{Count: count, Sum: sum, SpanSec: float64(spanNS) / 1e9}
+	if spanNS > 0 {
+		s.RatePerSec = float64(count) / (float64(spanNS) / 1e9)
+	}
+	s.P50 = mergedQuantile(&buckets, 0.50)
+	s.P95 = mergedQuantile(&buckets, 0.95)
+	s.P99 = mergedQuantile(&buckets, 0.99)
+	return s
+}
+
+// mergedQuantile walks a merged bucket view exactly as Histogram.Quantile
+// walks a live one. The rank is computed against the merged buckets' own
+// total — not a separately read shard count — so the estimate stays
+// internally consistent even when the shards were read mid-rotation.
+func mergedQuantile(buckets *[numBuckets]int64, q float64) int64 {
+	var n int64
+	for i := 0; i < numBuckets; i++ {
+		n += buckets[i]
+	}
+	if n <= 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < numBuckets; i++ {
+		cum += buckets[i]
+		if cum >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(numBuckets - 1)
+}
+
+// bucketUpper is the inclusive upper bound of bucket i (see bucketOf).
+func bucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		return math.MaxInt64
+	}
+	return int64(1)<<uint(i) - 1
+}
+
+// countOver reports, over the last k intervals, how many observations
+// landed in buckets whose upper bound exceeds v, alongside the window
+// total. It is the bucketed form of "requests slower than v": exact at
+// bucket boundaries, conservative (an over-count of at most one bucket's
+// worth) elsewhere. SLO burn rates are computed from it.
+func (w *Window) countOver(v int64, k int) (over, total int64) {
+	buckets, count, _, _ := w.merged(k)
+	for i := 0; i < numBuckets; i++ {
+		if bucketUpper(i) > v {
+			over += buckets[i]
+		}
+	}
+	return over, count
+}
+
+// Exemplar links one observation to the trace that produced it, so a
+// latency outlier on a histogram bucket can be chased into the span tree
+// of the Perfetto trace.
+type Exemplar struct {
+	// Value is the observed value (within the bucket's range).
+	Value int64
+	// Trace is the trace ID of the request that produced it.
+	Trace uint64
+	// Time is when the observation was recorded.
+	Time time.Time
+}
+
+// WindowedHistogram pairs a lifetime Histogram with a rolling Window and
+// per-bucket trace exemplars. Observe records into both; the lifetime
+// view feeds Prometheus cumulative series and Snapshot, the window view
+// feeds /healthz, SLO burn rates, and sbtop.
+type WindowedHistogram struct {
+	life Histogram
+	win  *Window
+	// exemplars holds the most recent traced observation per bucket
+	// (last-write-wins); the Prometheus writer attaches the tail buckets'
+	// entries to their _bucket series.
+	exemplars [numBuckets]atomic.Pointer[Exemplar]
+}
+
+// NewWindowedHistogram builds a detached windowed histogram (registry
+// instruments come from Registry.WindowedHistogram). now is the clock
+// used for rotation; nil means wall clock — tests inject a fake to drive
+// rotation and decay deterministically.
+func NewWindowedHistogram(shards int, interval time.Duration, now func() int64) *WindowedHistogram {
+	h := &WindowedHistogram{win: newWindow(shards, interval, now)}
+	h.life.min.Store(math.MaxInt64)
+	return h
+}
+
+// Observe records one value into the lifetime histogram and the current
+// window shard. Negative values are clamped to zero. Allocation-free.
+func (h *WindowedHistogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.life.Observe(v)
+	h.win.record(v)
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *WindowedHistogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// ObserveTrace records like Observe and, when trace is nonzero,
+// remembers the observation as the bucket's exemplar. Exemplar capture
+// allocates one small record; untraced observations (trace == 0, the
+// no-sink configuration) stay on the allocation-free path.
+func (h *WindowedHistogram) ObserveTrace(v int64, trace uint64) {
+	if v < 0 {
+		v = 0
+	}
+	h.life.Observe(v)
+	h.win.record(v)
+	if trace != 0 {
+		h.exemplars[bucketOf(v)].Store(&Exemplar{Value: v, Trace: trace, Time: time.Now()})
+	}
+}
+
+// Lifetime returns the cumulative histogram view.
+func (h *WindowedHistogram) Lifetime() *Histogram { return &h.life }
+
+// Window returns the rolling ring (for conservation accounting in tests).
+func (h *WindowedHistogram) Window() *Window { return h.win }
+
+// WindowSummary condenses the last k intervals (k ≤ 0: the full ring).
+func (h *WindowedHistogram) WindowSummary(k int) WindowSummary { return h.win.summarize(k) }
+
+// WindowQuantile estimates the q-quantile over the last k intervals.
+func (h *WindowedHistogram) WindowQuantile(q float64, k int) int64 {
+	buckets, _, _, _ := h.win.merged(k)
+	return mergedQuantile(&buckets, q)
+}
+
+// WindowCountOver reports how many of the last k intervals' observations
+// exceeded v, with the window total (see Window.countOver).
+func (h *WindowedHistogram) WindowCountOver(v int64, k int) (over, total int64) {
+	return h.win.countOver(v, k)
+}
+
+// BucketExemplar returns bucket i's most recent traced observation, or
+// nil.
+func (h *WindowedHistogram) BucketExemplar(i int) *Exemplar {
+	if i < 0 || i >= numBuckets {
+		return nil
+	}
+	return h.exemplars[i].Load()
+}
+
+// WindowedCounter pairs a lifetime Counter with a rolling Window, so
+// rates ("requests/s over the last minute") and ratios ("window error
+// ratio") can be read without a scraping delta. Add is allocation-free.
+type WindowedCounter struct {
+	life Counter
+	win  *Window
+}
+
+// NewWindowedCounter builds a detached windowed counter (registry
+// instruments come from Registry.WindowedCounter). now is the rotation
+// clock; nil means wall clock.
+func NewWindowedCounter(shards int, interval time.Duration, now func() int64) *WindowedCounter {
+	return &WindowedCounter{win: newWindow(shards, interval, now)}
+}
+
+// Inc adds one.
+func (c *WindowedCounter) Inc() { c.Add(1) }
+
+// Add adds n (n must be ≥ 0; counters are monotonic).
+func (c *WindowedCounter) Add(n int64) {
+	c.life.Add(n)
+	c.win.add(n)
+}
+
+// Value returns the lifetime count.
+func (c *WindowedCounter) Value() int64 { return c.life.Value() }
+
+// Lifetime returns the cumulative counter view.
+func (c *WindowedCounter) Lifetime() *Counter { return &c.life }
+
+// Window returns the rolling ring.
+func (c *WindowedCounter) Window() *Window { return c.win }
+
+// WindowCount returns the count accumulated over the last k intervals
+// (k ≤ 0: the full ring).
+func (c *WindowedCounter) WindowCount(k int) int64 {
+	_, count, _, _ := c.win.merged(k)
+	return count
+}
+
+// WindowRate returns the per-second rate over the last k intervals,
+// normalized by the live coverage of the merged shards.
+func (c *WindowedCounter) WindowRate(k int) float64 {
+	_, count, _, spanNS := c.win.merged(k)
+	if spanNS <= 0 {
+		return 0
+	}
+	return float64(count) / (float64(spanNS) / 1e9)
+}

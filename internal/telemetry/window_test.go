@@ -1,0 +1,243 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is an atomically advanced nanosecond clock for driving
+// window rotation deterministically from tests.
+type fakeClock struct{ ns atomic.Int64 }
+
+func (c *fakeClock) now() int64              { return c.ns.Load() }
+func (c *fakeClock) advance(d time.Duration) { c.ns.Add(int64(d)) }
+
+func TestWindowedHistogramBasics(t *testing.T) {
+	clk := &fakeClock{}
+	clk.ns.Store(int64(time.Hour)) // away from the epoch-0 corner
+	h := NewWindowedHistogram(4, time.Second, clk.now)
+
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	if got := h.Lifetime().Count(); got != 100 {
+		t.Fatalf("lifetime count = %d, want 100", got)
+	}
+	s := h.WindowSummary(0)
+	if s.Count != 100 || s.Sum != 5050 {
+		t.Errorf("window count/sum = %d/%d, want 100/5050", s.Count, s.Sum)
+	}
+	// All observations are in the window: quantiles mirror the lifetime's.
+	if p50, lp50 := h.WindowQuantile(0.5, 0), h.Lifetime().Quantile(0.5); p50 < lp50/2 || p50 > 127 {
+		t.Errorf("window p50 = %d (lifetime %d)", p50, lp50)
+	}
+	if s.P99 < s.P95 || s.P95 < s.P50 {
+		t.Errorf("window quantiles not ordered: %+v", s)
+	}
+
+	// Advance past the whole ring: the window must decay to empty while
+	// the lifetime view keeps everything.
+	clk.advance(5 * time.Second)
+	h.Observe(7) // triggers rotation of the current shard only
+	s = h.WindowSummary(0)
+	if s.Count != 1 {
+		t.Errorf("window count after expiry = %d, want 1 (only the fresh observation)", s.Count)
+	}
+	if got := h.Lifetime().Count(); got != 101 {
+		t.Errorf("lifetime count after expiry = %d, want 101", got)
+	}
+}
+
+func TestWindowRateUsesLiveCoverage(t *testing.T) {
+	clk := &fakeClock{}
+	clk.ns.Store(int64(time.Hour))
+	c := NewWindowedCounter(12, 5*time.Second, clk.now)
+	// 100 events over 2.5 seconds of one interval: the rate must reflect
+	// the covered span (~40/s), not the full 60s ring (~1.7/s).
+	for i := 0; i < 100; i++ {
+		c.Add(1)
+		clk.advance(25 * time.Millisecond)
+	}
+	rate := c.WindowRate(0)
+	if rate < 30 || rate > 55 {
+		t.Errorf("rate = %.1f/s, want ≈40/s from 100 events in 2.5s", rate)
+	}
+	if got := c.WindowCount(0); got != 100 {
+		t.Errorf("window count = %d, want 100", got)
+	}
+	if got := c.Value(); got != 100 {
+		t.Errorf("lifetime = %d, want 100", got)
+	}
+}
+
+func TestWindowLastKIntervals(t *testing.T) {
+	clk := &fakeClock{}
+	clk.ns.Store(int64(time.Hour))
+	h := NewWindowedHistogram(12, time.Second, clk.now)
+	// One observation per interval over six intervals; the clock ends on
+	// the interval of the last observation.
+	for i := 0; i < 6; i++ {
+		if i > 0 {
+			clk.advance(time.Second)
+		}
+		h.Observe(int64(1000 * (i + 1)))
+	}
+	if _, total := h.WindowCountOver(0, 2); total != 2 {
+		t.Errorf("last-2-intervals total = %d, want 2", total)
+	}
+	if _, total := h.WindowCountOver(0, 0); total != 6 {
+		t.Errorf("full-window total = %d, want 6", total)
+	}
+	// Buckets over the le=4095 bound hold 5000 and 6000 (4000 shares the
+	// 2048..4095 bucket, whose upper bound does not exceed the threshold).
+	over, total := h.WindowCountOver(4095, 0)
+	if total != 6 || over != 2 {
+		t.Errorf("countOver(4095) = %d/%d, want 2/6", over, total)
+	}
+}
+
+// TestWindowRotationConservation is the -race rotation test: writers
+// hammer shards while the clock leaps intervals and a reader snapshots
+// mid-rotation. No observation may be lost — at quiescence the lifetime
+// count must exactly equal the live shards plus the expired accumulator.
+func TestWindowRotationConservation(t *testing.T) {
+	clk := &fakeClock{}
+	clk.ns.Store(int64(time.Hour))
+	h := NewWindowedHistogram(4, time.Millisecond, clk.now)
+
+	const workers = 8
+	const perWorker = 20000
+	var wg, rwg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Reader: snapshot continuously mid-rotation. The race detector and
+	// the internal consistency of each summary are the assertions here.
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.WindowSummary(0)
+			if s.Count < 0 || s.Sum < 0 {
+				t.Error("negative window totals mid-rotation")
+				return
+			}
+			_ = h.WindowQuantile(0.99, 0)
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(int64(w*perWorker + i))
+				if i%64 == 0 {
+					// Leap the clock so rotation races the observers hard.
+					clk.advance(time.Millisecond)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	rwg.Wait()
+
+	const total = workers * perWorker
+	if got := h.Lifetime().Count(); got != total {
+		t.Fatalf("lifetime count = %d, want %d", got, total)
+	}
+	// Conservation: every observation is in a live shard or the expired
+	// accumulator, exactly once.
+	var shardCount int64
+	for i := range h.win.shards {
+		shardCount += h.win.shards[i].count.Load()
+	}
+	if got := shardCount + h.win.ExpiredCount(); got != total {
+		t.Errorf("shards(%d) + expired(%d) = %d, want exactly %d — counts were lost or duplicated in rotation",
+			shardCount, h.win.ExpiredCount(), got, total)
+	}
+	var shardSum int64
+	for i := range h.win.shards {
+		shardSum += h.win.shards[i].sum.Load()
+	}
+	if got, want := shardSum+h.win.expiredSum.Load(), h.Lifetime().Sum(); got != want {
+		t.Errorf("shard sums + expired = %d, want %d", got, want)
+	}
+}
+
+// TestWindowedObserveZeroAlloc pins the record path's allocation
+// contract: windowed observation without a trace must be allocation-free,
+// like every other idle-path instrument.
+func TestWindowedObserveZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	h := r.WindowedHistogram("h")
+	c := r.WindowedCounter("c")
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"windowed-histogram", func() { h.Observe(42) }},
+		{"windowed-histogram-untraced", func() { h.ObserveTrace(42, 0) }},
+		{"windowed-counter", func() { c.Inc() }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(1000, tc.fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+func TestObserveTraceCapturesExemplar(t *testing.T) {
+	h := NewWindowedHistogram(4, time.Second, nil)
+	h.ObserveTrace(1000, 0xabc)
+	ex := h.BucketExemplar(bucketOf(1000))
+	if ex == nil || ex.Trace != 0xabc || ex.Value != 1000 {
+		t.Fatalf("exemplar = %+v, want trace 0xabc value 1000", ex)
+	}
+	// Last write wins within a bucket.
+	h.ObserveTrace(1001, 0xdef)
+	if ex := h.BucketExemplar(bucketOf(1001)); ex.Trace != 0xdef {
+		t.Errorf("exemplar trace = %x, want def (last write wins)", ex.Trace)
+	}
+	if ex := h.BucketExemplar(-1); ex != nil {
+		t.Errorf("out-of-range bucket returned %+v", ex)
+	}
+}
+
+func TestRegistryWindowedIdempotent(t *testing.T) {
+	r := NewRegistry()
+	if r.WindowedHistogram("x") != r.WindowedHistogram("x") {
+		t.Error("WindowedHistogram(x) is not idempotent")
+	}
+	if r.WindowedCounter("y") != r.WindowedCounter("y") {
+		t.Error("WindowedCounter(y) is not idempotent")
+	}
+}
+
+func TestSnapshotIncludesWindows(t *testing.T) {
+	r := NewRegistry()
+	r.WindowedHistogram("svc.lat_ns").Observe(100)
+	r.WindowedCounter("svc.reqs").Add(3)
+	r.FloatGauge("svc.burn").Set(0.25)
+	s := r.Snapshot()
+	if s.Histograms["svc.lat_ns"].Count != 1 {
+		t.Errorf("lifetime histogram missing from snapshot: %+v", s.Histograms)
+	}
+	if s.Counters["svc.reqs"] != 3 {
+		t.Errorf("lifetime counter missing from snapshot: %+v", s.Counters)
+	}
+	if s.Windows["svc.lat_ns"].Count != 1 || s.Windows["svc.reqs"].Count != 3 {
+		t.Errorf("window summaries missing: %+v", s.Windows)
+	}
+	if s.FloatGauges["svc.burn"] != 0.25 {
+		t.Errorf("float gauge missing: %+v", s.FloatGauges)
+	}
+}

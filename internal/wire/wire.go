@@ -136,19 +136,50 @@ type CacheHealth struct {
 	Capacity  int   `json:"capacity"`
 }
 
+// WindowHealth summarizes the rolling request window (the last minute
+// with the default geometry): live throughput, latency quantiles, and the
+// 5xx ratio. Quantiles are log-bucket upper bounds, like every histogram
+// estimate in the system.
+type WindowHealth struct {
+	RatePerSec float64 `json:"rate_per_sec"`
+	Count      int64   `json:"count"`
+	P50MS      float64 `json:"p50_ms"`
+	P95MS      float64 `json:"p95_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	ErrorRatio float64 `json:"error_ratio"`
+}
+
+// SLOHealth is one objective's burn-rate evaluation: how fast the error
+// budget is being spent over the long (full window) and fast (most
+// recent intervals) horizons. OK is BurnLong ≤ 1.
+type SLOHealth struct {
+	Objective string  `json:"objective"`
+	BurnLong  float64 `json:"burn_long"`
+	BurnFast  float64 `json:"burn_fast"`
+	OK        bool    `json:"ok"`
+}
+
 // Health is the /healthz body.
 type Health struct {
 	// Status is "ok" while serving, "draining" once shutdown began.
 	Status string `json:"status"`
 	// InFlight counts requests holding a compute slot; Queued counts
 	// admitted requests (waiting + running) against the admission limit.
-	InFlight int64 `json:"in_flight"`
-	Queued   int64 `json:"queued"`
+	// Workers is the slot-pool width (InFlight/Workers is slot occupancy)
+	// and AdmitLimit the admission bound Queued is measured against.
+	InFlight   int64 `json:"in_flight"`
+	Queued     int64 `json:"queued"`
+	Workers    int   `json:"workers"`
+	AdmitLimit int64 `json:"admit_limit"`
 	// Goroutines is runtime.NumGoroutine — load drivers watch it for leak
 	// detection across a soak.
 	Goroutines int         `json:"goroutines"`
 	Cache      CacheHealth `json:"cache"`
-	UptimeMS   int64       `json:"uptime_ms"`
+	// Window reports the rolling request window; SLO the configured
+	// objectives' burn rates (absent when none are configured).
+	Window   *WindowHealth `json:"window,omitempty"`
+	SLO      []SLOHealth   `json:"slo,omitempty"`
+	UptimeMS int64         `json:"uptime_ms"`
 }
 
 // Error is the body of every non-2xx response.
