@@ -1,0 +1,105 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"balance/internal/dist"
+	"balance/internal/engine"
+	"balance/internal/eval"
+	"balance/internal/resilience"
+	"balance/internal/sbfile"
+	"balance/internal/telemetry"
+)
+
+// distUnits shards the runner's corpus into content-addressed units:
+// one per (superblock, machine), keyed exactly as the single-process
+// checkpoint would key it.
+func distUnits(r *eval.Runner) ([]dist.Unit, dist.EvalSpec, error) {
+	if err := r.Err(); err != nil {
+		return nil, dist.EvalSpec{}, err
+	}
+	spec := dist.EvalSpec{Bounds: r.BoundOptions(), Best: true, Budget: r.Budget()}
+	jobs := r.Jobs()
+	units := make([]dist.Unit, 0, len(jobs)*len(r.Cfg.Machines))
+	for _, m := range r.Cfg.Machines {
+		for _, job := range jobs {
+			key, err := engine.EvalKey(job.SB, m, spec.Bounds, spec.Schedulers, spec.Best, spec.Budget)
+			if err != nil {
+				return nil, spec, err
+			}
+			var buf strings.Builder
+			if err := sbfile.Write(&buf, job.SB); err != nil {
+				return nil, spec, fmt.Errorf("encode %s: %w", job.SB.Name, err)
+			}
+			units = append(units, dist.Unit{Key: key, Benchmark: job.Benchmark, Machine: m.Name, SB: buf.String()})
+		}
+	}
+	return units, spec, nil
+}
+
+// serveDist runs the coordinator until the corpus is evaluated (or ctx
+// is cancelled), then drains the HTTP server. On return the journal
+// holds every completed unit, so the caller's table rendering resumes
+// from it instead of recomputing.
+func serveDist(ctx context.Context, r *eval.Runner, journal *resilience.Checkpoint, addr string, ttl time.Duration, batch int) error {
+	units, spec, err := distUnits(r)
+	if err != nil {
+		return err
+	}
+	coord, err := dist.NewCoordinator(dist.Config{
+		Spec:     spec,
+		Units:    units,
+		Journal:  journal,
+		LeaseTTL: ttl,
+		MaxBatch: batch,
+		TraceID:  telemetry.SpanFromContext(ctx).Trace,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("-serve: %w", err)
+	}
+	hs := &http.Server{Handler: coord.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "sbeval: coordinating %d units on http://%s (lease %v, batch %d)\n",
+		len(units), ln.Addr(), ttl, batch)
+	if st := coord.Snapshot(); st.Resumed > 0 {
+		fmt.Fprintf(os.Stderr, "sbeval: %d units already in journal; %d to compute\n", st.Resumed, st.Pending)
+	}
+	obs.SetSnapshot(coord.MergedSnapshot)
+	// The server stays up through table rendering and comes down on the
+	// exit path: workers polling for more work keep getting clean "done"
+	// answers instead of connection-refused while this process renders.
+	obs.OnExit(func() error {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(sctx) //nolint:errcheck // drain is best-effort; the journal is already flushed
+		select {
+		case <-serveErr: // Serve returned ErrServerClosed after Shutdown
+		default:
+		}
+		return nil
+	})
+
+	if err := coord.Wait(ctx); err != nil {
+		return err
+	}
+	// Linger until every live worker has been told the corpus is done: a
+	// straggler may still be computing a duplicated unit, and exiting now
+	// would turn its final report into connection-refused. Workers silent
+	// for a full lease TTL forfeited their leases and are not waited for.
+	coord.AwaitQuiesce(ctx)
+	st := coord.Snapshot()
+	fmt.Fprintf(os.Stderr, "sbeval: dist complete: %d done (%d resumed, %d reassigned, %d stolen, %d duplicates, %d failed) across %d worker(s)\n",
+		st.Done, st.Resumed, st.Reassigned, st.Stolen, st.Duplicates, st.Failed, st.Workers)
+	return nil
+}

@@ -1,0 +1,243 @@
+package main
+
+// Chaos test for distributed evaluation: the test binary re-execs
+// itself as coordinator and workers, SIGKILLs a worker mid-lease and
+// the coordinator mid-run, and asserts the corpus still completes with
+// output byte-identical to a single-process run — the shipped binary's
+// failure story, not a mock's.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"balance/internal/dist"
+	"balance/internal/resilience"
+	"balance/internal/wire"
+)
+
+// corpusArgs pins the corpus for both the reference run and the dist
+// run; the outputs must match byte for byte.
+var corpusArgs = []string{"-table", "1", "-scale", "0.05", "-machines", "GP2,FS4"}
+
+// chaosProc is one re-exec'd sbeval with captured output.
+type chaosProc struct {
+	cmd    *exec.Cmd
+	stdout bytes.Buffer
+	stderr bytes.Buffer
+}
+
+func startProc(t *testing.T, args ...string) *chaosProc {
+	t.Helper()
+	p := &chaosProc{cmd: exec.Command(os.Args[0], args...)}
+	p.cmd.Env = append(os.Environ(), reexecEnv+"=1")
+	p.cmd.Stdout = &p.stdout
+	p.cmd.Stderr = &p.stderr
+	if err := p.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// kill SIGKILLs the process and reaps it.
+func (p *chaosProc) kill() {
+	p.cmd.Process.Kill()
+	p.cmd.Wait() //nolint:errcheck // killed on purpose
+}
+
+// wait reaps the process within the deadline.
+func (p *chaosProc) wait(t *testing.T, name string, timeout time.Duration) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(timeout):
+		p.cmd.Process.Kill()
+		<-done
+		t.Fatalf("%s still running after %v\nstderr:\n%s", name, timeout, p.stderr.String())
+		return nil
+	}
+}
+
+// pollStatus fetches /dist/v1/status until cond holds or the deadline
+// passes. Connection errors are expected while the coordinator is down
+// and simply retried. Every successful poll also drives the
+// coordinator's lazy lease reaping.
+func pollStatus(t *testing.T, base string, timeout time.Duration, what string, cond func(dist.Status) bool) dist.Status {
+	t.Helper()
+	hc := &http.Client{Timeout: 2 * time.Second}
+	deadline := time.Now().Add(timeout)
+	var last dist.Status
+	for time.Now().Before(deadline) {
+		var st dist.Status
+		if _, _, err := wire.Get(context.Background(), hc, base+"/dist/v1/status", &st); err == nil {
+			last = st
+			if cond(st) {
+				return st
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s; last status %+v", what, last)
+	return last
+}
+
+func freePort(t *testing.T) int {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := ln.Addr().(*net.TCPAddr).Port
+	ln.Close()
+	return port
+}
+
+// TestDistChaosWorkerKillAndCoordinatorRestart is the end-to-end chaos
+// acceptance run:
+//
+//  1. a coordinator and one throttled worker start; the worker is
+//     SIGKILL'd while holding a lease,
+//  2. status polling drives lease expiry — the dead worker's units are
+//     reassigned to the pending queue,
+//  3. two fresh workers make progress, then the coordinator itself is
+//     SIGKILL'd mid-run and restarted on the same journal and port
+//     while the workers ride out the outage on retry backoff,
+//  4. the corpus completes: stdout is byte-identical to a
+//     single-process run, the journal holds each unit exactly once,
+//     and the meta record shows the resume recomputed only unfinished
+//     leases.
+func TestDistChaosWorkerKillAndCoordinatorRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test spawns subprocesses and waits out lease TTLs")
+	}
+
+	// Reference: the same corpus evaluated in one process.
+	ref := exec.Command(os.Args[0], corpusArgs...)
+	ref.Env = append(os.Environ(), reexecEnv+"=1")
+	var refOut, refErr bytes.Buffer
+	ref.Stdout, ref.Stderr = &refOut, &refErr
+	if err := ref.Run(); err != nil {
+		t.Fatalf("reference run: %v\n%s", err, refErr.String())
+	}
+
+	port := freePort(t)
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	base := "http://" + addr
+	journal := filepath.Join(t.TempDir(), "journal.jsonl")
+	const leaseTTL = 1500 * time.Millisecond
+
+	coordArgs := append(append([]string{}, corpusArgs...),
+		"-serve", addr, "-checkpoint", journal,
+		"-dist-lease-ttl", leaseTTL.String(), "-dist-batch", "8")
+	workerArgs := func(id, throttle string) []string {
+		return []string{"-worker", base, "-dist-id", id, "-dist-throttle", throttle}
+	}
+
+	coord1 := startProc(t, coordArgs...)
+	defer coord1.kill() // no-op once reaped
+
+	// Phase 1: one throttled worker makes some progress, then dies by
+	// SIGKILL while provably holding a lease. The batch pause (8 units x
+	// 25ms) dwarfs the instant between observing Leased > 0 and the
+	// kill, but re-arm with a fresh victim in the unlucky case where the
+	// kill landed between batches.
+	var killed bool
+	for attempt := 0; attempt < 3 && !killed; attempt++ {
+		victim := startProc(t, workerArgs(fmt.Sprintf("victim-%d", attempt), "25ms")...)
+		pollStatus(t, base, 30*time.Second, "worker holding a lease with progress",
+			func(st dist.Status) bool { return st.Leased > 0 && st.Done >= 8 })
+		victim.kill()
+		st := pollStatus(t, base, time.Second, "post-kill status", func(dist.Status) bool { return true })
+		killed = st.Leased > 0
+	}
+	if !killed {
+		t.Fatal("victim worker never died holding a lease")
+	}
+
+	// Phase 2: with no worker alive, only lease expiry can move these
+	// units; the status polls drive the coordinator's lazy reap.
+	pollStatus(t, base, 3*leaseTTL+5*time.Second, "expired leases to be reassigned",
+		func(st dist.Status) bool { return st.Reassigned >= 1 })
+
+	// Phase 3: two fresh workers drain the corpus; once they have made
+	// some progress past the reassignment, the coordinator is SIGKILL'd
+	// and restarted on the same journal and port. The workers see
+	// connection-refused and ride the outage out on their retry policy.
+	resumeFloor := pollStatus(t, base, time.Second, "pre-worker status", func(dist.Status) bool { return true })
+	w1 := startProc(t, workerArgs("w1", "20ms")...)
+	w2 := startProc(t, workerArgs("w2", "20ms")...)
+	pollStatus(t, base, 60*time.Second, "progress after reassignment",
+		func(st dist.Status) bool { return st.Done >= resumeFloor.Done+8 })
+	coord1.kill()
+
+	coord2 := startProc(t, coordArgs...)
+	defer coord2.kill()
+	if err := coord2.wait(t, "restarted coordinator", 120*time.Second); err != nil {
+		t.Fatalf("restarted coordinator: %v\nstderr:\n%s", err, coord2.stderr.String())
+	}
+	if err := w1.wait(t, "w1", 30*time.Second); err != nil {
+		t.Fatalf("w1: %v\nstderr:\n%s", err, w1.stderr.String())
+	}
+	if err := w2.wait(t, "w2", 30*time.Second); err != nil {
+		t.Fatalf("w2: %v\nstderr:\n%s", err, w2.stderr.String())
+	}
+
+	// The merged run must be indistinguishable from the single-process
+	// reference on stdout, byte for byte.
+	if got, want := coord2.stdout.String(), refOut.String(); got != want {
+		t.Errorf("dist output differs from single-process run\n--- dist ---\n%s\n--- single ---\n%s", got, want)
+	}
+	if !strings.Contains(coord2.stderr.String(), "already in journal") {
+		t.Errorf("restarted coordinator did not report resuming from the journal\nstderr:\n%s", coord2.stderr.String())
+	}
+	for _, w := range []*chaosProc{w1, w2} {
+		if !strings.Contains(w.stderr.String(), "worker done") {
+			t.Errorf("worker did not report a clean finish\nstderr:\n%s", w.stderr.String())
+		}
+	}
+
+	// The journal holds each unit exactly once (the exactly-once merge)
+	// plus the meta record, and the meta counters tell the chaos story:
+	// everything done, nothing failed, at least one lease reassigned,
+	// and the restart resumed the flushed units rather than recomputing
+	// the corpus.
+	ck, err := resilience.OpenCheckpoint(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meta dist.Status
+	if !ck.Lookup(dist.MetaKey, &meta) {
+		t.Fatal("journal has no dist meta record")
+	}
+	records := 0
+	ck.Range(func(key string, _ json.RawMessage) bool {
+		if key != dist.MetaKey {
+			records++
+		}
+		return true
+	})
+	if meta.Total == 0 || records != meta.Total {
+		t.Errorf("journal holds %d unit records, want exactly Total=%d", records, meta.Total)
+	}
+	if meta.Done != meta.Total || meta.Failed != 0 || !meta.Complete {
+		t.Errorf("meta shows an incomplete corpus: %+v", meta)
+	}
+	if meta.Reassigned < 1 {
+		t.Errorf("meta.Reassigned = %d, want >= 1 (carried across the coordinator restart)", meta.Reassigned)
+	}
+	if meta.Resumed < 8 || meta.Resumed >= meta.Total {
+		t.Errorf("meta.Resumed = %d, want in [8, %d): the restart should recompute only unfinished leases", meta.Resumed, meta.Total)
+	}
+}

@@ -15,6 +15,14 @@
 //	sbeval -all -keep-going         # isolate per-superblock failures
 //	sbeval -all -job-budget 50ms    # degrade bounds instead of overrunning
 //
+// Distributed evaluation (see DESIGN.md "Distributed evaluation &
+// failure domains"): one coordinator shards the corpus to any number of
+// workers, journals completions, and renders the tables from the merged
+// journal — byte-identical to a single-process run:
+//
+//	sbeval -all -serve :8099 -checkpoint run.jsonl   # coordinator
+//	sbeval -worker http://host:8099                  # each worker
+//
 // Observability: -metrics writes a JSON telemetry summary (pipeline job
 // counts, memo hit rates, per-bound latencies) on exit — including after
 // SIGINT, which exits 130; -trace streams span events as JSON lines;
@@ -32,6 +40,7 @@ import (
 	"time"
 
 	"balance/internal/cliutil"
+	"balance/internal/dist"
 	"balance/internal/eval"
 	"balance/internal/model"
 	"balance/internal/resilience"
@@ -57,14 +66,40 @@ func main() {
 		"isolate per-superblock failures instead of aborting the run (failures are counted on stderr)")
 	jobBudget := flag.Duration("job-budget", 0,
 		"wall-clock budget per superblock; expired budgets degrade the bound ladder instead of failing")
+	serveAddr := flag.String("serve", "",
+		"run as distribution coordinator on `addr` (e.g. :8099): shard the corpus to -worker processes, then render as usual")
+	workerURL := flag.String("worker", "",
+		"run as distribution worker against the coordinator at `url` (e.g. http://host:8099); no corpus flags needed")
+	distID := flag.String("dist-id", "", "worker identity reported to the coordinator (default host-pid)")
+	distTTL := flag.Duration("dist-lease-ttl", 30*time.Second,
+		"coordinator lease time-to-live; a worker silent this long forfeits its units")
+	distBatch := flag.Int("dist-batch", 8, "max units per lease")
+	distThrottle := flag.Duration("dist-throttle", 0,
+		"worker: artificial pause per leased unit, for chaos and load testing (0 = none)")
 	flag.Parse()
 
-	if !*all && *table == 0 && *figure == 0 {
+	if !*all && *table == 0 && *figure == 0 && *workerURL == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 	if err := obs.Start(); err != nil {
 		obs.Fatal(err)
+	}
+
+	if *workerURL != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := dist.RunWorker(ctx, dist.WorkerConfig{
+			Coordinator: *workerURL,
+			ID:          *distID,
+			MaxBatch:    *distBatch,
+			Throttle:    *distThrottle,
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "sbeval: worker done (corpus complete)")
+		obs.Close()
+		return
 	}
 
 	// Worked examples don't need a corpus.
@@ -100,8 +135,10 @@ func main() {
 	if *jobBudget > 0 {
 		r.WithBudget(resilience.Spec{Wall: *jobBudget})
 	}
+	var ck *resilience.Checkpoint
 	if *checkpoint != "" {
-		ck, err := resilience.OpenCheckpoint(*checkpoint)
+		var err error
+		ck, err = resilience.OpenCheckpoint(*checkpoint)
 		if err != nil {
 			fatal(fmt.Errorf("-checkpoint: %w", err))
 		}
@@ -116,6 +153,23 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "sbeval: corpus %d superblocks (seed %d, scale %g)\n",
 		r.Suite.NumSuperblocks(), *seed, *scale)
+	if *serveAddr != "" {
+		// Coordinator mode: evaluate the corpus across -worker processes
+		// first, journaling completions. The table rendering below then
+		// resumes from the journal — workers computed, tables recall — so
+		// the output is byte-identical to a single-process run. With
+		// -checkpoint the journal IS the checkpoint file (a dist run and
+		// a local run extend the same log); without it the journal lives
+		// in memory for this process's lifetime.
+		journal := ck
+		if journal == nil {
+			journal = resilience.NewMemory()
+			r.WithCheckpoint(journal)
+		}
+		if err := serveDist(ctx, r, journal, *serveAddr, *distTTL, *distBatch); err != nil {
+			fatal(err)
+		}
+	}
 	defer func() {
 		if n := r.Failures(); n > 0 {
 			fmt.Fprintf(os.Stderr, "sbeval: %d superblock(s) failed and were excluded (-keep-going)\n", n)

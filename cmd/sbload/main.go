@@ -90,13 +90,24 @@ func main() {
 	ctx := context.Background()
 
 	// Warm up: one request per input primes the cache and proves the
-	// server is reachable before the measured window starts.
+	// server is reachable before the measured window starts. The boot
+	// probe retries with jittered backoff so launching sbload alongside
+	// sbserve (CI soak, scripts) no longer races the listener coming up.
+	boot := &wire.RetryPolicy{
+		MaxAttempts: 10,
+		BaseDelay:   100 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+		Jitter:      1,
+		OnRetry: func(attempt int, err error, wait time.Duration) {
+			fmt.Fprintf(os.Stderr, "sbload: waiting for server (attempt %d): %v\n", attempt, err)
+		},
+	}
 	var health wire.Health
-	if _, _, err := wire.Get(ctx, hc, base+"/healthz", &health); err != nil {
+	if _, _, err := boot.Get(ctx, hc, base+"/healthz", &health); err != nil {
 		fatal(fmt.Errorf("server not reachable at %s: %w", base, err))
 	}
 	for _, in := range inputs {
-		wire.Post(ctx, hc, base+"/v1/schedule", &wire.ScheduleRequest{ //nolint:errcheck // warmup
+		boot.Post(ctx, hc, base+"/v1/schedule", &wire.ScheduleRequest{ //nolint:errcheck // warmup
 			Superblock: in, Machine: *machine, DeadlineMS: deadlineMS(*deadline),
 		}, nil)
 	}

@@ -103,6 +103,11 @@ func main() {
 	hs := &http.Server{Handler: srv.Handler()}
 	shutdown = func() error {
 		fmt.Fprintln(os.Stderr, "sbserve: draining")
+		// Readiness flips false BEFORE the listener stops: load
+		// balancers polling /readyz see 503 and stop routing while the
+		// server still answers, instead of discovering the drain as
+		// connection errors.
+		srv.StartDrain()
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {

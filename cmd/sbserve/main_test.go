@@ -97,10 +97,13 @@ func TestServeAndDrain(t *testing.T) {
 	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
 		t.Fatal(err)
 	}
+	// Drain stderr to EOF before Wait: Wait closes the pipe once the
+	// process exits, and racing it could truncate the final drain lines.
+	tail := <-rest
 	if err := cmd.Wait(); err != nil {
 		t.Fatalf("SIGINT exit: %v (want status 0)", err)
 	}
-	if tail := <-rest; !strings.Contains(tail, "draining") || !strings.Contains(tail, "result cache") {
+	if !strings.Contains(tail, "draining") || !strings.Contains(tail, "result cache") {
 		t.Errorf("drain stderr missing drain/cache lines:\n%s", tail)
 	}
 	if data, err := os.ReadFile(metrics); err != nil || !strings.Contains(string(data), "service.requests") {

@@ -27,6 +27,7 @@ import (
 
 	"balance"
 	"balance/internal/cliutil"
+	"balance/internal/dist"
 	"balance/internal/resilience"
 	"balance/internal/stats"
 )
@@ -126,7 +127,16 @@ func summarizeCheckpoint(path string) error {
 	perBench := map[string]int{}
 	var order []string
 	total, degraded, undecodable := 0, 0, 0
+	var distMeta *dist.Status
 	ck.Range(func(key string, data json.RawMessage) bool {
+		if key == dist.MetaKey {
+			// The coordinator's progress record, not an evaluation.
+			var st dist.Status
+			if err := json.Unmarshal(data, &st); err == nil {
+				distMeta = &st
+			}
+			return true
+		}
 		var rec record
 		if err := json.Unmarshal(data, &rec); err != nil {
 			undecodable++
@@ -156,6 +166,14 @@ func summarizeCheckpoint(path string) error {
 	}
 	if undecodable > 0 {
 		fmt.Printf("  undecodable records: %d\n", undecodable)
+	}
+	if skipped := ck.Skipped(); skipped > 0 {
+		fmt.Printf("  unreadable lines dropped at load: %d\n", skipped)
+	}
+	if distMeta != nil {
+		fmt.Printf("  dist coordinator: %d/%d done, %d failed, %d resumed, %d reassigned, %d stolen, %d duplicates, %d worker(s)\n",
+			distMeta.Done, distMeta.Total, distMeta.Failed, distMeta.Resumed,
+			distMeta.Reassigned, distMeta.Stolen, distMeta.Duplicates, distMeta.Workers)
 	}
 	return nil
 }

@@ -10,6 +10,7 @@
 //	sbtop -addr :9000 -interval 1s
 //	sbtop -once                    # print one frame and exit
 //	sbtop -check -max-burn 1.0     # CI gate: lint /metrics, gate SLO burn
+//	sbtop -lint scrape.prom        # offline lint of a saved /metrics scrape
 //
 // -check fetches one snapshot, structurally lints the Prometheus
 // exposition (see telemetry.LintExposition), and fails (exit 1) on any
@@ -41,7 +42,24 @@ func main() {
 	once := flag.Bool("once", false, "print one frame and exit")
 	check := flag.Bool("check", false, "lint /metrics and gate SLO burn, then exit (implies -once)")
 	maxBurn := flag.Float64("max-burn", 1.0, "with -check: fail when any objective's long-window burn exceeds this")
+	lint := flag.String("lint", "", "lint a saved /metrics scrape in `file` offline, then exit (no server needed)")
 	flag.Parse()
+
+	if *lint != "" {
+		failures, err := lintFile(*lint)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sbtop: %v\n", err)
+			os.Exit(1)
+		}
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "sbtop: lint: %s\n", f)
+		}
+		if len(failures) > 0 {
+			os.Exit(1)
+		}
+		fmt.Println("sbtop: lint ok")
+		return
+	}
 
 	base := *addr
 	if !strings.Contains(base, "://") {
@@ -192,6 +210,27 @@ func fmtMS(ms float64) string {
 	default:
 		return fmt.Sprintf("%.0fµs", ms*1000)
 	}
+}
+
+// lintFile structurally lints a saved exposition offline — the
+// deterministic CI variant of -check for servers (like a dist
+// coordinator) that exit when their work completes: curl the scrape
+// while the run is live, lint it after.
+func lintFile(path string) ([]string, error) {
+	body, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	pts, parseErrs := telemetry.ParseExposition(body)
+	var failures []string
+	for _, e := range append(parseErrs, telemetry.LintExposition(body)...) {
+		failures = append(failures, e.Error())
+	}
+	if len(pts) == 0 {
+		failures = append(failures, "no samples in exposition")
+	}
+	sort.Strings(failures)
+	return failures, nil
 }
 
 // runCheck is the CI gate: one snapshot, every lint violation and every

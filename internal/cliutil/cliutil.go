@@ -52,7 +52,14 @@ type Obs struct {
 	trace     string
 	debugAddr string
 	onExit    []func() error
+	snapshot  func() *telemetry.Snapshot
 }
+
+// SetSnapshot overrides the source of the -metrics summary written on
+// exit (default: this process's registry). The distributed coordinator
+// uses it to write the merged coordinator+worker snapshot instead of its
+// own slice of the work.
+func (o *Obs) SetSnapshot(fn func() *telemetry.Snapshot) { o.snapshot = fn }
 
 // OnExit registers fn to run on every exit path — Close and Fatal both
 // route through it exactly once, before the -metrics snapshot is written.
@@ -151,7 +158,11 @@ func (o *Obs) Flush() {
 			defer f.Close()
 			w = f
 		}
-		if err := telemetry.Default().Snapshot().WriteJSON(w); err != nil {
+		snap := o.snapshot
+		if snap == nil {
+			snap = telemetry.Default().Snapshot
+		}
+		if err := snap().WriteJSON(w); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: -metrics: %v\n", o.tool, err)
 		}
 		o.metrics = ""

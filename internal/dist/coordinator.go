@@ -1,0 +1,590 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"balance/internal/resilience"
+	"balance/internal/telemetry"
+	"balance/internal/wire"
+)
+
+// Config configures a Coordinator.
+type Config struct {
+	// Spec is the evaluation contract handed to every worker.
+	Spec EvalSpec
+	// Units is the sharded corpus. Units with duplicate keys (structural
+	// twins already coalesced by the engine's digest) collapse to one.
+	Units []Unit
+	// Journal is the shared completion log. Units whose keys are already
+	// present resume as done without recomputation — this is both how a
+	// restarted coordinator picks up where it left off and how a dist
+	// run extends a single-process -checkpoint file. Required.
+	Journal *resilience.Checkpoint
+	// LeaseTTL is how long a lease survives without a heartbeat
+	// (default 30s). MaxBatch caps units per lease call (default 8).
+	// MaxHolders caps concurrent holders of one unit under endgame
+	// work stealing (default 2).
+	LeaseTTL   time.Duration
+	MaxBatch   int
+	MaxHolders int
+	// RetryMS is the poll-again hint returned when all remaining work
+	// is leased out and stealing is exhausted (default 500).
+	RetryMS int64
+	// TraceID, when non-zero, stitches worker spans into the
+	// coordinator's trace.
+	TraceID uint64
+	// Now is the clock (tests inject a fake; default time.Now).
+	Now func() time.Time
+}
+
+type unitState int
+
+const (
+	unitPending unitState = iota
+	unitLeased
+	unitDone
+	unitFailed
+)
+
+// trackedUnit is a Unit plus its lease state. Holders maps worker ID to
+// lease deadline; a unit may have several holders only via endgame
+// stealing.
+type trackedUnit struct {
+	unit    Unit
+	state   unitState
+	holders map[string]time.Time
+}
+
+type workerInfo struct {
+	spanBase uint64
+	joined   time.Time
+	// lastContact and sawDone drive the quiesce phase: the coordinator
+	// lingers after completion until every recently-active worker has
+	// received a Done response, so stragglers finishing duplicated work
+	// get a clean answer instead of connection-refused.
+	lastContact time.Time
+	sawDone     bool
+}
+
+// Coordinator owns the unit ledger. It runs no background goroutines:
+// lease expiry is reaped lazily on every request, so a drained
+// coordinator holds exactly the goroutines it started with.
+type Coordinator struct {
+	cfg   Config
+	start time.Time
+
+	mu      sync.Mutex
+	units   map[string]*trackedUnit
+	order   []string // deterministic hand-out order
+	pending []string
+	workers map[string]*workerInfo
+	status  Status
+	merged  *telemetry.Snapshot // folded worker snapshots
+
+	doneOnce sync.Once
+	doneCh   chan struct{}
+	doneErr  error
+}
+
+// NewCoordinator builds the ledger, resuming every unit whose key the
+// journal already holds.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if cfg.Journal == nil {
+		return nil, errors.New("dist: Config.Journal is required")
+	}
+	if len(cfg.Units) == 0 {
+		return nil, errors.New("dist: no units to distribute")
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 30 * time.Second
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 8
+	}
+	if cfg.MaxHolders <= 0 {
+		cfg.MaxHolders = 2
+	}
+	if cfg.RetryMS <= 0 {
+		cfg.RetryMS = 500
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		start:   cfg.Now(),
+		units:   make(map[string]*trackedUnit, len(cfg.Units)),
+		workers: map[string]*workerInfo{},
+		doneCh:  make(chan struct{}),
+	}
+	var prior Status
+	if cfg.Journal.Lookup(MetaKey, &prior) {
+		// Counter continuity across coordinator restarts: reassignments,
+		// steals, and duplicates that happened under the previous
+		// incarnation stay visible in the final meta record instead of
+		// resetting to zero.
+		c.status.Reassigned = prior.Reassigned
+		c.status.Stolen = prior.Stolen
+		c.status.Duplicates = prior.Duplicates
+	}
+	var probe struct{} // journal presence check; the payload is irrelevant
+	for _, u := range cfg.Units {
+		if u.Key == "" || u.Key == MetaKey {
+			return nil, fmt.Errorf("dist: unit %q/%s has an invalid key", u.Benchmark, u.Machine)
+		}
+		if _, dup := c.units[u.Key]; dup {
+			continue // structural twin: one computation serves both
+		}
+		tu := &trackedUnit{unit: u, holders: map[string]time.Time{}}
+		c.units[u.Key] = tu
+		c.order = append(c.order, u.Key)
+		if cfg.Journal.Lookup(u.Key, &probe) {
+			tu.state = unitDone
+			c.status.Resumed++
+		} else {
+			tu.state = unitPending
+			c.pending = append(c.pending, u.Key)
+		}
+	}
+	c.status.Total = len(c.units)
+	c.refreshCountsLocked()
+	c.maybeCompleteLocked()
+	return c, nil
+}
+
+// Join registers a worker and hands it the evaluation contract plus a
+// disjoint span-ID range.
+func (c *Coordinator) Join(req JoinRequest) (JoinResponse, error) {
+	if req.Worker == "" {
+		return JoinResponse{}, errors.New("dist: join without a worker id")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.registerLocked(req.Worker)
+	return JoinResponse{
+		Version:    ProtocolVersion,
+		Spec:       c.cfg.Spec,
+		LeaseTTLMS: c.cfg.LeaseTTL.Milliseconds(),
+		TraceID:    c.cfg.TraceID,
+		SpanBase:   w.spanBase,
+	}, nil
+}
+
+// Lease hands out up to req.Max units. When the pending queue is empty
+// but units are still leased elsewhere, it duplicates the stragglers'
+// units (work stealing, capped by MaxHolders) — first result wins.
+func (c *Coordinator) Lease(req LeaseRequest) (LeaseResponse, error) {
+	if req.Worker == "" {
+		return LeaseResponse{}, errors.New("dist: lease without a worker id")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.registerLocked(req.Worker)
+	c.reapLocked()
+	if c.completeLocked() {
+		c.ackDoneLocked(req.Worker, true)
+		return LeaseResponse{Done: true}, nil
+	}
+	max := req.Max
+	if max <= 0 || max > c.cfg.MaxBatch {
+		max = c.cfg.MaxBatch
+	}
+	deadline := c.cfg.Now().Add(c.cfg.LeaseTTL)
+	var out []Unit
+	for len(out) < max && len(c.pending) > 0 {
+		key := c.pending[0]
+		c.pending = c.pending[1:]
+		tu := c.units[key]
+		if tu.state != unitPending {
+			continue
+		}
+		tu.state = unitLeased
+		tu.holders[req.Worker] = deadline
+		out = append(out, tu.unit)
+		telUnitsLeased.Inc()
+	}
+	if len(out) == 0 {
+		// Endgame: everything is leased out. Duplicate stragglers'
+		// units so one slow or dying worker cannot hold up the corpus.
+		for _, key := range c.order {
+			if len(out) >= max {
+				break
+			}
+			tu := c.units[key]
+			if tu.state != unitLeased || len(tu.holders) >= c.cfg.MaxHolders {
+				continue
+			}
+			if _, mine := tu.holders[req.Worker]; mine {
+				continue
+			}
+			tu.holders[req.Worker] = deadline
+			out = append(out, tu.unit)
+			c.status.Stolen++
+			telUnitsStolen.Inc()
+			telUnitsLeased.Inc()
+		}
+	}
+	c.refreshCountsLocked()
+	if len(out) == 0 {
+		return LeaseResponse{RetryMS: c.cfg.RetryMS}, nil
+	}
+	return LeaseResponse{Units: out}, nil
+}
+
+// Heartbeat extends every lease the worker holds to a fresh TTL.
+func (c *Coordinator) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error) {
+	if req.Worker == "" {
+		return HeartbeatResponse{}, errors.New("dist: heartbeat without a worker id")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.registerLocked(req.Worker)
+	telHeartbeats.Inc()
+	deadline := c.cfg.Now().Add(c.cfg.LeaseTTL)
+	for _, tu := range c.units {
+		if tu.state != unitLeased {
+			continue
+		}
+		if _, held := tu.holders[req.Worker]; held {
+			tu.holders[req.Worker] = deadline
+		}
+	}
+	c.ackDoneLocked(req.Worker, c.completeLocked())
+	return HeartbeatResponse{Done: c.completeLocked()}, nil
+}
+
+// Complete merges a batch of results under the first-result-wins rule:
+// the first terminal result for a key is journaled (success) or marked
+// failed; later arrivals — from stolen duplicates or from a worker whose
+// lease expired but which finished anyway — are counted and discarded.
+// A success always upgrades an earlier failure.
+func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if req.Worker != "" {
+		c.registerLocked(req.Worker)
+	}
+	var resp CompleteResponse
+	for _, r := range req.Results {
+		tu, ok := c.units[r.Key]
+		if !ok {
+			continue // not our unit; a confused worker is not an error
+		}
+		delete(tu.holders, req.Worker)
+		switch {
+		case tu.state == unitDone:
+			resp.Duplicates++
+			c.status.Duplicates++
+			telUnitsDuplicate.Inc()
+		case r.Err != "" || len(r.Record) == 0:
+			// Terminal for the dist pass: the unit is deterministic, so
+			// retrying elsewhere would fail the same way. It is NOT
+			// journaled — the final render recomputes it locally under
+			// the caller's own error policy.
+			if tu.state != unitFailed {
+				tu.state = unitFailed
+				telUnitsFailed.Inc()
+			}
+		default:
+			if tu.state == unitFailed {
+				// A stolen duplicate outlived the failure: take the work.
+				tu.state = unitLeased
+			}
+			if err := c.cfg.Journal.Put(r.Key, r.Record); err != nil {
+				c.failLocked(fmt.Errorf("dist: journal: %w", err))
+				return resp, err
+			}
+			tu.state = unitDone
+			resp.Accepted++
+			telUnitsCompleted.Inc()
+		}
+	}
+	c.reapLocked()
+	c.refreshCountsLocked()
+	c.cfg.Journal.Put(MetaKey, c.status) //nolint:errcheck // refreshed every batch; the flush below reports
+	// Per-batch durability boundary: a coordinator killed between batches
+	// loses at most the results in flight, and its successor resumes every
+	// flushed unit instead of recomputing the corpus.
+	if err := c.cfg.Journal.Flush(); err != nil {
+		err = fmt.Errorf("dist: journal: %w", err)
+		c.failLocked(err)
+		return resp, err
+	}
+	c.maybeCompleteLocked()
+	resp.Done = c.completeLocked()
+	c.ackDoneLocked(req.Worker, resp.Done)
+	return resp, nil
+}
+
+// MergeTelemetry folds a worker's snapshot into the corpus-wide view.
+func (c *Coordinator) MergeTelemetry(req TelemetryRequest) {
+	if req.Snapshot == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.merged == nil {
+		c.merged = &telemetry.Snapshot{}
+	}
+	c.merged.Merge(req.Snapshot)
+}
+
+// MergedSnapshot returns this process's registry snapshot with every
+// reported worker snapshot folded in — the corpus-wide telemetry view.
+func (c *Coordinator) MergedSnapshot() *telemetry.Snapshot {
+	snap := telemetry.Default().Snapshot()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap.Merge(c.merged)
+	return snap
+}
+
+// Snapshot returns the current progress counters.
+func (c *Coordinator) Snapshot() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked()
+	c.refreshCountsLocked()
+	return c.status
+}
+
+// Wait blocks until every unit is done or failed (then flushes the
+// journal and returns its error, if any) or ctx is cancelled.
+func (c *Coordinator) Wait(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-c.doneCh:
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.doneErr
+	}
+}
+
+// registerLocked returns the worker's registration, creating it on
+// first contact. Lease and Heartbeat register implicitly so workers
+// survive a coordinator restart: the new incarnation starts with an
+// empty worker table, and demanding a fresh explicit Join would turn
+// every surviving worker's next call into a permanent client error.
+func (c *Coordinator) registerLocked(id string) *workerInfo {
+	w, ok := c.workers[id]
+	if !ok {
+		w = &workerInfo{
+			spanBase: uint64(len(c.workers)+1) << 40,
+			joined:   c.cfg.Now(),
+		}
+		c.workers[id] = w
+		c.status.Workers = len(c.workers)
+		telWorkersJoined.Inc()
+	}
+	w.lastContact = c.cfg.Now()
+	return w
+}
+
+// ackDoneLocked records that this worker was handed a Done response —
+// from its point of view the run is over and it will not call back.
+func (c *Coordinator) ackDoneLocked(id string, done bool) {
+	if !done {
+		return
+	}
+	if w, ok := c.workers[id]; ok {
+		w.sawDone = true
+	}
+}
+
+// Quiesced reports whether every worker either received a Done response
+// or has been silent for a full lease TTL (dead by the same standard
+// that forfeits its leases). While it is false, shutting the listener
+// down would strand a straggler mid-request.
+func (c *Coordinator) Quiesced() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Now()
+	for _, w := range c.workers {
+		if !w.sawDone && now.Sub(w.lastContact) < c.cfg.LeaseTTL {
+			return false
+		}
+	}
+	return true
+}
+
+// AwaitQuiesce blocks until Quiesced or ctx expires. Call it after Wait:
+// completion means every unit is terminal, but a worker may still be
+// computing a duplicated unit it is about to report.
+func (c *Coordinator) AwaitQuiesce(ctx context.Context) {
+	for !c.Quiesced() {
+		t := time.NewTimer(20 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// reapLocked expires leases: a holder past its deadline is dropped, and
+// a unit with no holders left returns to the pending queue.
+func (c *Coordinator) reapLocked() {
+	now := c.cfg.Now()
+	for _, key := range c.order {
+		tu := c.units[key]
+		if tu.state != unitLeased {
+			continue
+		}
+		for w, deadline := range tu.holders {
+			if now.After(deadline) {
+				delete(tu.holders, w)
+			}
+		}
+		if len(tu.holders) == 0 {
+			tu.state = unitPending
+			c.pending = append(c.pending, key)
+			c.status.Reassigned++
+			telUnitsReassigned.Inc()
+		}
+	}
+}
+
+// refreshCountsLocked recomputes the derived Status fields.
+func (c *Coordinator) refreshCountsLocked() {
+	var done, failed, pending, leased int
+	for _, tu := range c.units {
+		switch tu.state {
+		case unitDone:
+			done++
+		case unitFailed:
+			failed++
+		case unitLeased:
+			leased++
+		default:
+			pending++
+		}
+	}
+	c.status.Done, c.status.Failed = done, failed
+	c.status.Pending, c.status.Leased = pending, leased
+	c.status.Workers = len(c.workers)
+	c.status.Complete = done+failed == len(c.units)
+}
+
+func (c *Coordinator) completeLocked() bool { return c.status.Complete }
+
+// maybeCompleteLocked finishes the run once every unit is terminal: the
+// meta record and journal are flushed and Wait unblocks.
+func (c *Coordinator) maybeCompleteLocked() {
+	if !c.completeLocked() {
+		return
+	}
+	c.doneOnce.Do(func() {
+		c.cfg.Journal.Put(MetaKey, c.status) //nolint:errcheck // Flush below surfaces persistence errors
+		if err := c.cfg.Journal.Flush(); err != nil {
+			c.doneErr = err
+		}
+		close(c.doneCh)
+	})
+}
+
+// failLocked aborts the run (journal write error): Wait returns err.
+func (c *Coordinator) failLocked(err error) {
+	c.doneOnce.Do(func() {
+		c.doneErr = err
+		close(c.doneCh)
+	})
+}
+
+// Handler mounts the coordinator protocol plus the observability
+// surface: /healthz (liveness, sbtop-compatible), /metrics (the merged
+// corpus-wide exposition), and /dist/v1/status.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	post := func(path string, h func(w http.ResponseWriter, r *http.Request)) {
+		mux.HandleFunc("POST "+path, h)
+	}
+	post("/dist/v1/join", func(w http.ResponseWriter, r *http.Request) {
+		var req JoinRequest
+		if err := wire.DecodeJSON(r.Body, &req); err != nil {
+			wire.WriteError(w, http.StatusBadRequest, "join: %v", err)
+			return
+		}
+		resp, err := c.Join(req)
+		if err != nil {
+			wire.WriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		wire.WriteJSON(w, http.StatusOK, resp)
+	})
+	post("/dist/v1/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req LeaseRequest
+		if err := wire.DecodeJSON(r.Body, &req); err != nil {
+			wire.WriteError(w, http.StatusBadRequest, "lease: %v", err)
+			return
+		}
+		resp, err := c.Lease(req)
+		if err != nil {
+			wire.WriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		wire.WriteJSON(w, http.StatusOK, resp)
+	})
+	post("/dist/v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req HeartbeatRequest
+		if err := wire.DecodeJSON(r.Body, &req); err != nil {
+			wire.WriteError(w, http.StatusBadRequest, "heartbeat: %v", err)
+			return
+		}
+		resp, err := c.Heartbeat(req)
+		if err != nil {
+			wire.WriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		wire.WriteJSON(w, http.StatusOK, resp)
+	})
+	post("/dist/v1/complete", func(w http.ResponseWriter, r *http.Request) {
+		var req CompleteRequest
+		if err := wire.DecodeJSON(r.Body, &req); err != nil {
+			wire.WriteError(w, http.StatusBadRequest, "complete: %v", err)
+			return
+		}
+		resp, err := c.Complete(req)
+		if err != nil {
+			wire.WriteError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		wire.WriteJSON(w, http.StatusOK, resp)
+	})
+	post("/dist/v1/telemetry", func(w http.ResponseWriter, r *http.Request) {
+		var req TelemetryRequest
+		if err := wire.DecodeJSON(r.Body, &req); err != nil {
+			wire.WriteError(w, http.StatusBadRequest, "telemetry: %v", err)
+			return
+		}
+		c.MergeTelemetry(req)
+		wire.WriteJSON(w, http.StatusOK, struct{}{})
+	})
+	mux.HandleFunc("GET /dist/v1/status", func(w http.ResponseWriter, r *http.Request) {
+		wire.WriteJSON(w, http.StatusOK, c.Snapshot())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		st := c.Snapshot()
+		status := "ok"
+		if st.Complete {
+			status = "draining"
+		}
+		wire.WriteJSON(w, http.StatusOK, wire.Health{
+			Status:     status,
+			InFlight:   int64(st.Leased),
+			Queued:     int64(st.Pending),
+			Workers:    st.Workers,
+			Goroutines: runtime.NumGoroutine(),
+			UptimeMS:   c.cfg.Now().Sub(c.start).Milliseconds(),
+		})
+	})
+	mux.Handle("GET /metrics", telemetry.PromWriter{}.Handler())
+	return mux
+}

@@ -1,0 +1,167 @@
+// Package dist turns corpus evaluation into a coordinator/worker system:
+// the coordinator shards the corpus into content-addressed work units
+// (the engine's checkpoint keys), hands them out as leases with
+// deadlines over the internal/wire HTTP vocabulary, and journals
+// completions through a shared resilience.Checkpoint so that worker
+// crashes, network partitions, stragglers, and even a coordinator
+// restart never lose finished work or produce duplicate results.
+//
+// The failure model, lease state machine, and exactly-once merge rule
+// are documented in DESIGN.md ("Distributed evaluation & failure
+// domains").
+package dist
+
+import (
+	"encoding/json"
+
+	"balance/internal/bounds"
+	"balance/internal/resilience"
+	"balance/internal/telemetry"
+)
+
+// ProtocolVersion guards the coordinator/worker wire contract. A worker
+// joining a coordinator with a different version is rejected with a 400
+// rather than silently miscomputing.
+const ProtocolVersion = 1
+
+// EvalSpec is everything a worker needs to evaluate a unit exactly the
+// way the coordinator's own engine would: the bound options, the
+// scheduler set (empty = the registry primaries), the Best meta-column,
+// and the per-job budget. It is part of the join response, not of each
+// unit, because one dist run never mixes evaluation configurations —
+// the unit keys embed all of this already.
+type EvalSpec struct {
+	Bounds     bounds.Options  `json:"bounds"`
+	Schedulers []string        `json:"schedulers,omitempty"`
+	Best       bool            `json:"best"`
+	Budget     resilience.Spec `json:"budget"`
+}
+
+// Unit is one content-addressed piece of work: evaluate the superblock
+// (shipped as .sb text) on the named machine. Key is the
+// engine.EvalKey — the journal key the result is merged under, byte-
+// identical to the key a single-process run would use.
+type Unit struct {
+	Key       string `json:"key"`
+	Benchmark string `json:"benchmark"`
+	Machine   string `json:"machine"`
+	SB        string `json:"sb"`
+}
+
+// JoinRequest announces a worker to the coordinator.
+type JoinRequest struct {
+	Worker string `json:"worker"`
+}
+
+// JoinResponse hands the worker its evaluation contract plus its slice
+// of the shared trace-ID space.
+type JoinResponse struct {
+	Version int      `json:"version"`
+	Spec    EvalSpec `json:"spec"`
+	// LeaseTTLMS is how long a lease lives without a heartbeat; workers
+	// heartbeat at a fraction of it.
+	LeaseTTLMS int64 `json:"lease_ttl_ms"`
+	// TraceID is the coordinator's trace: worker spans join it so the
+	// merged trace file shows one tree for the whole corpus run.
+	// SpanBase seeds the worker's span-ID allocator into a range
+	// disjoint from the coordinator's and every other worker's.
+	TraceID  uint64 `json:"trace_id"`
+	SpanBase uint64 `json:"span_base"`
+}
+
+// LeaseRequest asks for up to Max units of work.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+	Max    int    `json:"max"`
+}
+
+// LeaseResponse carries leased units. Done means the corpus is complete
+// and the worker should exit; an empty Units with Done false means
+// everything is currently leased elsewhere — poll again after RetryMS.
+type LeaseResponse struct {
+	Units   []Unit `json:"units,omitempty"`
+	Done    bool   `json:"done"`
+	RetryMS int64  `json:"retry_ms,omitempty"`
+}
+
+// HeartbeatRequest extends every lease the worker currently holds.
+type HeartbeatRequest struct {
+	Worker string `json:"worker"`
+}
+
+// HeartbeatResponse tells the worker whether the corpus completed while
+// it was computing (its remaining work is then best-effort).
+type HeartbeatResponse struct {
+	Done bool `json:"done"`
+}
+
+// UnitResult is one finished unit: the engine.Record as raw JSON
+// (journaled verbatim, so the merged checkpoint is byte-identical to a
+// single-process run's), or a terminal evaluation error.
+type UnitResult struct {
+	Key    string          `json:"key"`
+	Record json.RawMessage `json:"record,omitempty"`
+	Err    string          `json:"err,omitempty"`
+}
+
+// CompleteRequest returns a batch of results.
+type CompleteRequest struct {
+	Worker  string       `json:"worker"`
+	Results []UnitResult `json:"results"`
+}
+
+// CompleteResponse reports the merge outcome: Accepted results were
+// journaled; Duplicates lost the first-result-wins race (already done —
+// completely normal under work stealing) and were discarded.
+type CompleteResponse struct {
+	Accepted   int  `json:"accepted"`
+	Duplicates int  `json:"duplicates"`
+	Done       bool `json:"done"`
+}
+
+// TelemetryRequest folds a worker's final telemetry snapshot into the
+// coordinator's merged corpus-wide view.
+type TelemetryRequest struct {
+	Worker   string              `json:"worker"`
+	Snapshot *telemetry.Snapshot `json:"snapshot"`
+}
+
+// Status is the coordinator's progress counters (GET /dist/v1/status),
+// also journaled under the MetaKey record so a restarted coordinator
+// and sbstat can report what a previous incarnation did.
+type Status struct {
+	Total   int `json:"total"`
+	Done    int `json:"done"`
+	Failed  int `json:"failed"`
+	Pending int `json:"pending"`
+	Leased  int `json:"leased"`
+	// Resumed counts units recalled from the journal at coordinator
+	// start (a restarted coordinator recomputes only the rest).
+	Resumed int `json:"resumed"`
+	// Reassigned counts lease expiries that returned a unit to the
+	// pending queue; Stolen counts endgame duplications of still-leased
+	// units; Duplicates counts completions discarded by
+	// first-result-wins.
+	Reassigned int  `json:"reassigned"`
+	Stolen     int  `json:"stolen"`
+	Duplicates int  `json:"duplicates"`
+	Workers    int  `json:"workers"`
+	Complete   bool `json:"complete"`
+}
+
+// MetaKey is the journal key of the coordinator's Status record. It is
+// not a unit key (no evaluation produces it), so the engine never
+// confuses it with work; readers like sbstat present it specially.
+const MetaKey = "dist:meta"
+
+// Distribution instruments, registered once in the default registry.
+var (
+	telUnitsLeased     = telemetry.Default().Counter("dist.units_leased")
+	telUnitsCompleted  = telemetry.Default().Counter("dist.units_completed")
+	telUnitsFailed     = telemetry.Default().Counter("dist.units_failed")
+	telUnitsReassigned = telemetry.Default().Counter("dist.units_reassigned")
+	telUnitsStolen     = telemetry.Default().Counter("dist.units_stolen")
+	telUnitsDuplicate  = telemetry.Default().Counter("dist.units_duplicate")
+	telWorkersJoined   = telemetry.Default().Counter("dist.workers_joined")
+	telHeartbeats      = telemetry.Default().Counter("dist.heartbeats")
+)

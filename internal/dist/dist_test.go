@@ -1,0 +1,422 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http/httptest"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"balance/internal/bounds"
+	"balance/internal/engine"
+	_ "balance/internal/heuristics" // scheduler registry + cross-product source
+	"balance/internal/model"
+	"balance/internal/resilience"
+	"balance/internal/sbfile"
+	"balance/internal/testutil"
+)
+
+// testSpec is the evaluation contract every dist test shares.
+var testSpec = EvalSpec{
+	Bounds: bounds.Options{Triplewise: true, TripleMaxBranches: 16, WithLCOriginal: true},
+	Best:   true,
+}
+
+// testUnits builds n random-superblock units on machine m with real
+// engine keys.
+func testUnits(t *testing.T, n int, m *model.Machine) ([]Unit, []*model.Superblock) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	units := make([]Unit, 0, n)
+	sbs := make([]*model.Superblock, 0, n)
+	for i := 0; i < n; i++ {
+		sb := testutil.RandomSuperblock(rng, 12)
+		key, err := engine.EvalKey(sb, m, testSpec.Bounds, testSpec.Schedulers, testSpec.Best, testSpec.Budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf strings.Builder
+		if err := sbfile.Write(&buf, sb); err != nil {
+			t.Fatal(err)
+		}
+		units = append(units, Unit{Key: key, Benchmark: "rand", Machine: m.Name, SB: buf.String()})
+		sbs = append(sbs, sb)
+	}
+	return units, sbs
+}
+
+func machineGP2(t *testing.T) *model.Machine {
+	t.Helper()
+	m, err := model.MachineByName("GP2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// fakeClock is an injectable coordinator clock.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}
+
+func TestDistEndToEndMatchesSingleProcess(t *testing.T) {
+	m := machineGP2(t)
+	units, sbs := testUnits(t, 6, m)
+	journal, err := resilience.OpenCheckpoint(filepath.Join(t.TempDir(), "dist.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(Config{Spec: testSpec, Units: units, Journal: journal, LeaseTTL: time.Minute, MaxBatch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	werrs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			werrs[i] = RunWorker(ctx, WorkerConfig{Coordinator: srv.URL, ID: string(rune('a' + i)), Client: srv.Client()})
+		}(i)
+	}
+	wg.Wait()
+	for i, werr := range werrs {
+		if werr != nil {
+			t.Fatalf("worker %d: %v", i, werr)
+		}
+	}
+	if err := coord.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := coord.Snapshot()
+	if !st.Complete || st.Done != len(units) || st.Failed != 0 {
+		t.Fatalf("status = %+v", st)
+	}
+
+	// The journal must be byte-identical, record for record, to what a
+	// single-process engine run with a checkpoint would have written.
+	local := resilience.NewMemory()
+	jobs := make([]engine.Job, len(sbs))
+	for i, sb := range sbs {
+		jobs[i] = engine.Job{Benchmark: "rand", SB: sb}
+	}
+	ch, err := engine.Run(ctx, engine.Config{
+		Jobs: jobs, Machine: m, Bounds: testSpec.Bounds, Best: testSpec.Best, Checkpoint: local,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Collect(ch); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range units {
+		var dr, lr json.RawMessage
+		if !journal.Lookup(u.Key, &dr) {
+			t.Fatalf("journal missing %s", u.Key)
+		}
+		if !local.Lookup(u.Key, &lr) {
+			t.Fatalf("local checkpoint missing %s", u.Key)
+		}
+		if !bytes.Equal(dr, lr) {
+			t.Fatalf("record mismatch for %s:\ndist:  %s\nlocal: %s", u.Key, dr, lr)
+		}
+	}
+}
+
+func TestLeaseExpiryReassignsFirstResultWins(t *testing.T) {
+	m := machineGP2(t)
+	units, _ := testUnits(t, 1, m)
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	coord, err := NewCoordinator(Config{
+		Spec: testSpec, Units: units, Journal: resilience.NewMemory(),
+		LeaseTTL: 10 * time.Second, Now: clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"w1", "w2"} {
+		if _, err := coord.Join(JoinRequest{Worker: w}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lease, err := coord.Lease(LeaseRequest{Worker: "w1", Max: 1})
+	if err != nil || len(lease.Units) != 1 {
+		t.Fatalf("w1 lease = %+v, %v", lease, err)
+	}
+	// w1 goes silent; its lease expires and the unit is reassigned.
+	clk.Advance(11 * time.Second)
+	lease2, err := coord.Lease(LeaseRequest{Worker: "w2", Max: 1})
+	if err != nil || len(lease2.Units) != 1 || lease2.Units[0].Key != units[0].Key {
+		t.Fatalf("w2 lease = %+v, %v", lease2, err)
+	}
+	if st := coord.Snapshot(); st.Reassigned != 1 {
+		t.Fatalf("Reassigned = %d, want 1", st.Reassigned)
+	}
+	// The "dead" worker finished anyway: first result wins and is kept.
+	rec := json.RawMessage(`{"late":"but first"}`)
+	resp, err := coord.Complete(CompleteRequest{Worker: "w1", Results: []UnitResult{{Key: units[0].Key, Record: rec}}})
+	if err != nil || resp.Accepted != 1 {
+		t.Fatalf("w1 complete = %+v, %v", resp, err)
+	}
+	// w2's duplicate result is discarded, not double-merged.
+	resp2, err := coord.Complete(CompleteRequest{Worker: "w2", Results: []UnitResult{{Key: units[0].Key, Record: json.RawMessage(`{"dup":true}`)}}})
+	if err != nil || resp2.Accepted != 0 || resp2.Duplicates != 1 || !resp2.Done {
+		t.Fatalf("w2 complete = %+v, %v", resp2, err)
+	}
+	var got json.RawMessage
+	if !coord.cfg.Journal.Lookup(units[0].Key, &got) || !bytes.Equal(got, rec) {
+		t.Fatalf("journal holds %s, want first result", got)
+	}
+	if st := coord.Snapshot(); st.Duplicates != 1 || st.Done != 1 || !st.Complete {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestEndgameWorkStealing(t *testing.T) {
+	m := machineGP2(t)
+	units, _ := testUnits(t, 2, m)
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	coord, err := NewCoordinator(Config{
+		Spec: testSpec, Units: units, Journal: resilience.NewMemory(),
+		LeaseTTL: time.Minute, MaxHolders: 2, Now: clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"slow", "fast"} {
+		if _, err := coord.Join(JoinRequest{Worker: w}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lease, err := coord.Lease(LeaseRequest{Worker: "slow", Max: 2}); err != nil || len(lease.Units) != 2 {
+		t.Fatalf("slow lease = %+v, %v", lease, err)
+	}
+	// Pending is empty but leases are live: fast steals duplicates.
+	steal, err := coord.Lease(LeaseRequest{Worker: "fast", Max: 2})
+	if err != nil || len(steal.Units) != 2 {
+		t.Fatalf("steal lease = %+v, %v", steal, err)
+	}
+	if st := coord.Snapshot(); st.Stolen != 2 || st.Reassigned != 0 {
+		t.Fatalf("status = %+v", st)
+	}
+	// A third worker finds every unit at MaxHolders: told to retry.
+	if _, err := coord.Join(JoinRequest{Worker: "third"}); err != nil {
+		t.Fatal(err)
+	}
+	if lease, err := coord.Lease(LeaseRequest{Worker: "third", Max: 2}); err != nil || len(lease.Units) != 0 || lease.RetryMS <= 0 {
+		t.Fatalf("third lease = %+v, %v", lease, err)
+	}
+	// Fast wins both; slow's results are duplicates.
+	mk := func(k string) []UnitResult { return []UnitResult{{Key: k, Record: json.RawMessage(`{"v":1}`)}} }
+	if resp, err := coord.Complete(CompleteRequest{Worker: "fast", Results: append(mk(units[0].Key), mk(units[1].Key)...)}); err != nil || resp.Accepted != 2 {
+		t.Fatalf("fast complete = %+v, %v", resp, err)
+	}
+	if resp, err := coord.Complete(CompleteRequest{Worker: "slow", Results: append(mk(units[0].Key), mk(units[1].Key)...)}); err != nil || resp.Duplicates != 2 {
+		t.Fatalf("slow complete = %+v, %v", resp, err)
+	}
+}
+
+func TestCoordinatorRestartResumesFromJournal(t *testing.T) {
+	m := machineGP2(t)
+	units, _ := testUnits(t, 4, m)
+	path := filepath.Join(t.TempDir(), "journal.ckpt")
+	journal, err := resilience.OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(Config{Spec: testSpec, Units: units, Journal: journal, LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Join(JoinRequest{Worker: "w"}); err != nil {
+		t.Fatal(err)
+	}
+	lease, err := coord.Lease(LeaseRequest{Worker: "w", Max: 2})
+	if err != nil || len(lease.Units) != 2 {
+		t.Fatalf("lease = %+v, %v", lease, err)
+	}
+	var results []UnitResult
+	for _, u := range lease.Units {
+		results = append(results, UnitResult{Key: u.Key, Record: json.RawMessage(`{"done":true}`)})
+	}
+	if _, err := coord.Complete(CompleteRequest{Worker: "w", Results: results}); err != nil {
+		t.Fatal(err)
+	}
+	if err := journal.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Kill" the coordinator; a fresh one on the same journal resumes.
+	journal2, err := resilience.OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord2, err := NewCoordinator(Config{Spec: testSpec, Units: units, Journal: journal2, LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := coord2.Snapshot()
+	if st.Resumed != 2 || st.Done != 2 || st.Pending != 2 || st.Complete {
+		t.Fatalf("restarted status = %+v", st)
+	}
+	// Only the unfinished units are handed out again.
+	if _, err := coord2.Join(JoinRequest{Worker: "w2"}); err != nil {
+		t.Fatal(err)
+	}
+	lease2, err := coord2.Lease(LeaseRequest{Worker: "w2", Max: 10})
+	if err != nil || len(lease2.Units) != 2 {
+		t.Fatalf("post-restart lease = %+v, %v", lease2, err)
+	}
+	for _, u := range lease2.Units {
+		for _, done := range lease.Units {
+			if u.Key == done.Key {
+				t.Fatalf("finished unit %s re-leased after restart", u.Key)
+			}
+		}
+	}
+}
+
+func TestFailedUnitIsTerminalAndUnjournaled(t *testing.T) {
+	m := machineGP2(t)
+	units, _ := testUnits(t, 1, m)
+	journal := resilience.NewMemory()
+	coord, err := NewCoordinator(Config{Spec: testSpec, Units: units, Journal: journal, LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Join(JoinRequest{Worker: "w"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Lease(LeaseRequest{Worker: "w", Max: 1}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := coord.Complete(CompleteRequest{Worker: "w", Results: []UnitResult{{Key: units[0].Key, Err: "poisoned"}}})
+	if err != nil || !resp.Done {
+		t.Fatalf("complete = %+v, %v", resp, err)
+	}
+	st := coord.Snapshot()
+	if st.Failed != 1 || st.Done != 0 || !st.Complete {
+		t.Fatalf("status = %+v", st)
+	}
+	var raw json.RawMessage
+	if journal.Lookup(units[0].Key, &raw) {
+		t.Fatal("failed unit was journaled; the final render must recompute it")
+	}
+	if err := coord.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoordinatorNoGoroutineGrowthAfterDrain(t *testing.T) {
+	m := machineGP2(t)
+	units, _ := testUnits(t, 3, m)
+	before := runtime.NumGoroutine()
+
+	journal := resilience.NewMemory()
+	coord, err := NewCoordinator(Config{Spec: testSpec, Units: units, Journal: journal, LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := RunWorker(ctx, WorkerConfig{Coordinator: srv.URL, ID: "solo", Client: srv.Client()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	srv.Client().CloseIdleConnections()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines after drain = %d, want <= %d", runtime.NumGoroutine(), before)
+		}
+		runtime.Gosched()
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestQuiesceWaitsForStragglers: after completion the coordinator is
+// not quiesced until every recently-active worker has been handed a
+// Done response; workers silent for a full lease TTL are written off.
+func TestQuiesceWaitsForStragglers(t *testing.T) {
+	m := machineGP2(t)
+	units, _ := testUnits(t, 1, m)
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	coord, err := NewCoordinator(Config{
+		Spec: testSpec, Units: units, Journal: resilience.NewMemory(),
+		LeaseTTL: 10 * time.Second, Now: clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"fast", "straggler"} {
+		if _, err := coord.Join(JoinRequest{Worker: w}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lease, err := coord.Lease(LeaseRequest{Worker: "fast", Max: 1})
+	if err != nil || len(lease.Units) != 1 {
+		t.Fatalf("lease = %+v, %v", lease, err)
+	}
+	resp, err := coord.Complete(CompleteRequest{Worker: "fast", Results: []UnitResult{
+		{Key: units[0].Key, Record: json.RawMessage(`{"ok":true}`)},
+	}})
+	if err != nil || !resp.Done {
+		t.Fatalf("complete = %+v, %v", resp, err)
+	}
+	// "fast" saw Done in its complete response; "straggler" is recent
+	// but has not heard the news: shutting down now would strand it.
+	if coord.Quiesced() {
+		t.Fatal("quiesced with a live worker that never saw Done")
+	}
+	// Any response on any verb carries the ack.
+	if _, err := coord.Heartbeat(HeartbeatRequest{Worker: "straggler"}); err != nil {
+		t.Fatal(err)
+	}
+	if !coord.Quiesced() {
+		t.Fatal("not quiesced after every worker saw Done")
+	}
+	// A third worker that joins and then vanishes is waited for only
+	// until it has been silent for a full lease TTL.
+	if _, err := coord.Join(JoinRequest{Worker: "ghost"}); err != nil {
+		t.Fatal(err)
+	}
+	if coord.Quiesced() {
+		t.Fatal("quiesced with a fresh worker that never saw Done")
+	}
+	clk.Advance(11 * time.Second)
+	if !coord.Quiesced() {
+		t.Fatal("not quiesced after the silent worker aged out")
+	}
+}

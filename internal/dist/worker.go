@@ -1,0 +1,298 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"balance/internal/engine"
+	"balance/internal/model"
+	"balance/internal/sbfile"
+	"balance/internal/telemetry"
+	"balance/internal/wire"
+)
+
+// WorkerConfig configures RunWorker.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL (http://host:port).
+	Coordinator string
+	// ID names this worker to the coordinator (default "host-pid").
+	ID string
+	// MaxBatch asks for at most this many units per lease (0: the
+	// coordinator's cap). Workers bounds the engine pool width (0:
+	// GOMAXPROCS).
+	MaxBatch int
+	Workers  int
+	// Retry is the transient-error policy for every coordinator call
+	// (default: 8 attempts, 200ms base, 5s cap, equal jitter). Equal
+	// jitter keeps half of each backoff deterministic, so the default
+	// window is guaranteed to span several seconds — enough to ride out
+	// a coordinator restart rather than racing it.
+	Retry *wire.RetryPolicy
+	// Client is the HTTP client (default: 30s timeout).
+	Client *http.Client
+	// OnLease, when set, observes each leased batch before evaluation —
+	// the chaos harness uses it to die mid-lease deterministically.
+	OnLease func(units []Unit)
+	// Throttle stretches each batch by an artificial pause per leased
+	// unit, taken while heartbeats run — a chaos/load-testing knob that
+	// makes a fast corpus slow enough to kill processes mid-lease.
+	Throttle time.Duration
+}
+
+// RunWorker joins the coordinator and evaluates leased units until the
+// corpus is complete: lease → heartbeat while computing → complete,
+// retrying transient coordinator errors with jittered backoff. On
+// completion it posts this process's telemetry snapshot so the
+// coordinator can report a merged corpus-wide view. Returns nil when the
+// coordinator declared the corpus done, or the first permanent error.
+func RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	base := strings.TrimRight(cfg.Coordinator, "/")
+	if base == "" {
+		return fmt.Errorf("dist: worker needs a coordinator URL")
+	}
+	if cfg.ID == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		cfg.ID = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	hc := cfg.Client
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	retry := cfg.Retry
+	if retry == nil {
+		retry = &wire.RetryPolicy{MaxAttempts: 8, BaseDelay: 200 * time.Millisecond, MaxDelay: 5 * time.Second, Jitter: 0.5}
+	}
+
+	var join JoinResponse
+	if _, _, err := retry.Post(ctx, hc, base+"/dist/v1/join", JoinRequest{Worker: cfg.ID}, &join); err != nil {
+		return fmt.Errorf("dist: join %s: %w", base, err)
+	}
+	if join.Version != ProtocolVersion {
+		return fmt.Errorf("dist: coordinator speaks protocol v%d, this worker v%d", join.Version, ProtocolVersion)
+	}
+	if join.SpanBase > 0 {
+		telemetry.SeedSpanIDs(join.SpanBase)
+	}
+	if join.TraceID != 0 {
+		// Parent all evaluation spans under the coordinator's trace so
+		// merged trace files render one tree for the whole corpus run.
+		ctx = telemetry.ContextWithSpan(ctx, telemetry.SpanContext{Trace: join.TraceID, Span: join.SpanBase})
+	}
+	heartbeatEvery := time.Duration(join.LeaseTTLMS) * time.Millisecond / 3
+	if heartbeatEvery <= 0 {
+		heartbeatEvery = 10 * time.Second
+	}
+
+	memo := engine.NewMemo(0) // stolen duplicates of earlier units hit this
+	machines := map[string]*model.Machine{}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var lease LeaseResponse
+		if _, _, err := retry.Post(ctx, hc, base+"/dist/v1/lease", LeaseRequest{Worker: cfg.ID, Max: cfg.MaxBatch}, &lease); err != nil {
+			return fmt.Errorf("dist: lease: %w", err)
+		}
+		if lease.Done {
+			break
+		}
+		if len(lease.Units) == 0 {
+			wait := time.Duration(lease.RetryMS) * time.Millisecond
+			if wait <= 0 {
+				wait = 500 * time.Millisecond
+			}
+			t := time.NewTimer(wait)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			case <-t.C:
+			}
+			continue
+		}
+		if cfg.OnLease != nil {
+			cfg.OnLease(lease.Units)
+		}
+
+		results := evaluateUnits(ctx, heartbeatFunc(ctx, hc, retry, base, cfg.ID, heartbeatEvery), &join.Spec, memo, machines, cfg.Workers, cfg.Throttle, lease.Units)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var comp CompleteResponse
+		if _, _, err := retry.Post(ctx, hc, base+"/dist/v1/complete", CompleteRequest{Worker: cfg.ID, Results: results}, &comp); err != nil {
+			return fmt.Errorf("dist: complete: %w", err)
+		}
+		if comp.Done {
+			break
+		}
+	}
+	// Best-effort: fold this worker's telemetry into the coordinator's
+	// merged view. The corpus is already complete, so failure here only
+	// costs observability.
+	retry.Post(ctx, hc, base+"/dist/v1/telemetry", //nolint:errcheck
+		TelemetryRequest{Worker: cfg.ID, Snapshot: telemetry.Default().Snapshot()}, nil)
+	return nil
+}
+
+// heartbeatFunc returns a stop function that keeps every held lease
+// alive until called: a goroutine posts heartbeats at the given cadence
+// for the duration of one batch evaluation and is joined on stop, so a
+// worker holds zero stray goroutines between batches.
+func heartbeatFunc(ctx context.Context, hc *http.Client, retry *wire.RetryPolicy, base, id string, every time.Duration) func() {
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				var resp HeartbeatResponse
+				retry.Post(ctx, hc, base+"/dist/v1/heartbeat", //nolint:errcheck // missed beats only risk lease expiry
+					HeartbeatRequest{Worker: id}, &resp)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(stop)
+			wg.Wait()
+		})
+	}
+}
+
+// evaluateUnits runs one leased batch through the engine, grouped by
+// machine, under KeepGoing so one poisoned unit becomes one failed
+// result instead of killing the batch.
+func evaluateUnits(ctx context.Context, stopHeartbeat func(), spec *EvalSpec, memo *engine.Memo, machines map[string]*model.Machine, workers int, throttle time.Duration, units []Unit) []UnitResult {
+	defer stopHeartbeat()
+	if throttle > 0 {
+		// The heartbeat goroutine is already running, so the pause holds
+		// the lease exactly like slow real evaluation would.
+		t := time.NewTimer(throttle * time.Duration(len(units)))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+		case <-t.C:
+		}
+	}
+	results := make([]UnitResult, 0, len(units))
+	// Group by machine, preserving unit order within a group.
+	groups := map[string][]Unit{}
+	var order []string
+	for _, u := range units {
+		if _, ok := groups[u.Machine]; !ok {
+			order = append(order, u.Machine)
+		}
+		groups[u.Machine] = append(groups[u.Machine], u)
+	}
+	for _, mname := range order {
+		group := groups[mname]
+		m, err := machineFor(machines, mname)
+		if err != nil {
+			for _, u := range group {
+				results = append(results, UnitResult{Key: u.Key, Err: err.Error()})
+			}
+			continue
+		}
+		jobs := make([]engine.Job, 0, len(group))
+		jobErr := make([]string, len(group))
+		for i, u := range group {
+			sbs, err := sbfile.Read(strings.NewReader(u.SB))
+			if err != nil || len(sbs) != 1 {
+				if err == nil {
+					err = fmt.Errorf("unit carries %d superblocks, want 1", len(sbs))
+				}
+				jobErr[i] = fmt.Sprintf("dist: decode unit %s: %v", u.Key, err)
+				jobs = append(jobs, engine.Job{}) // placeholder to keep indices aligned
+				continue
+			}
+			jobs = append(jobs, engine.Job{Benchmark: u.Benchmark, SB: sbs[0]})
+		}
+		runnable := make([]engine.Job, 0, len(jobs))
+		backMap := make([]int, 0, len(jobs))
+		for i, j := range jobs {
+			if jobErr[i] == "" {
+				runnable = append(runnable, j)
+				backMap = append(backMap, i)
+			}
+		}
+		groupResults := make([]UnitResult, len(group))
+		for i := range group {
+			if jobErr[i] != "" {
+				groupResults[i] = UnitResult{Key: group[i].Key, Err: jobErr[i]}
+			}
+		}
+		if len(runnable) > 0 {
+			ch, err := engine.Run(ctx, engine.Config{
+				Jobs:       runnable,
+				Machine:    m,
+				Bounds:     spec.Bounds,
+				Schedulers: spec.Schedulers,
+				Best:       spec.Best,
+				Workers:    workers,
+				Memo:       memo,
+				OnError:    engine.KeepGoing,
+				JobBudget:  spec.Budget,
+			})
+			if err != nil {
+				for _, i := range backMap {
+					groupResults[i] = UnitResult{Key: group[i].Key, Err: err.Error()}
+				}
+			} else {
+				collected, cerr := engine.Collect(ch)
+				for _, res := range collected {
+					i := backMap[res.Index]
+					if res.Err != nil {
+						groupResults[i] = UnitResult{Key: group[i].Key, Err: res.Err.Error()}
+						continue
+					}
+					rec, merr := json.Marshal(engine.RecordOf(res))
+					if merr != nil {
+						groupResults[i] = UnitResult{Key: group[i].Key, Err: merr.Error()}
+						continue
+					}
+					groupResults[i] = UnitResult{Key: group[i].Key, Record: rec}
+				}
+				if cerr != nil {
+					for _, i := range backMap {
+						if groupResults[i].Key == "" {
+							groupResults[i] = UnitResult{Key: group[i].Key, Err: cerr.Error()}
+						}
+					}
+				}
+			}
+		}
+		results = append(results, groupResults...)
+	}
+	return results
+}
+
+// machineFor resolves and caches machine configurations by name.
+func machineFor(cache map[string]*model.Machine, name string) (*model.Machine, error) {
+	if m, ok := cache[name]; ok {
+		return m, nil
+	}
+	m, err := model.MachineByName(name)
+	if err != nil {
+		return nil, err
+	}
+	cache[name] = m
+	return m, nil
+}

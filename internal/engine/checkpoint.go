@@ -5,6 +5,7 @@ import (
 
 	"balance/internal/bounds"
 	"balance/internal/model"
+	"balance/internal/resilience"
 	"balance/internal/sched"
 )
 
@@ -19,7 +20,55 @@ func checkpointKey(k memoKey) string {
 	return fmt.Sprintf("%016x|%s|%+v|%s", k.digest, k.machine, k.opts, k.schedulers)
 }
 
-// checkpointRecord is the JSONL-persisted form of one completed Result —
+// resolveSchedulers maps scheduler names (default: the primaries) to
+// registry entries plus their canonical names.
+func resolveSchedulers(names []string) ([]Scheduler, []string, error) {
+	if len(names) == 0 {
+		names = PrimaryNames()
+	}
+	scheds := make([]Scheduler, len(names))
+	canonical := make([]string, len(names))
+	for i, name := range names {
+		s, err := SchedulerByName(name)
+		if err != nil {
+			return nil, nil, fmt.Errorf("engine: %w", err)
+		}
+		scheds[i], canonical[i] = s, s.Name
+	}
+	return scheds, canonical, nil
+}
+
+// evalSetKey renders the scheduler-set portion of memo and checkpoint
+// keys. A budgeted evaluation may be degraded, so the budget spec is
+// folded in: budgeted and unbudgeted evaluations never share an entry.
+func evalSetKey(canonical []string, best bool, budget resilience.Spec) string {
+	setKey := schedulerSetKey(canonical, best)
+	if !budget.IsZero() {
+		setKey += "|budget=" + budget.String()
+	}
+	return setKey
+}
+
+// EvalKey returns the exact resilience.Checkpoint key Run would use for
+// evaluating sb on m with the given configuration. It is the content
+// address of one unit of evaluation work: the distributed coordinator
+// shards a corpus by these keys, and because they match the
+// single-process keys byte for byte, a coordinator journal doubles as a
+// plain -checkpoint file (and vice versa).
+func EvalKey(sb *model.Superblock, m *model.Machine, opts bounds.Options, schedulers []string, best bool, budget resilience.Spec) (string, error) {
+	_, canonical, err := resolveSchedulers(schedulers)
+	if err != nil {
+		return "", err
+	}
+	return checkpointKey(memoKey{
+		digest:     sb.Digest(),
+		machine:    m.Name,
+		opts:       opts,
+		schedulers: evalSetKey(canonical, best, budget),
+	}), nil
+}
+
+// Record is the JSONL-persisted form of one completed Result —
 // exactly the structure-dependent scalars the reporting layer consumes
 // (catalog bound values, per-algorithm trip stats, scheduler costs and
 // stats, triviality, degradation). Per-branch vectors and pair/triple
@@ -27,7 +76,7 @@ func checkpointKey(k memoKey) string {
 // bounds.Set with only the scalar values and statistics populated, which
 // is all the tables read. See DESIGN.md ("Checkpoint format") for the
 // file-level schema and versioning rules.
-type checkpointRecord struct {
+type Record struct {
 	SB        string                 `json:"sb"`
 	Benchmark string                 `json:"benchmark,omitempty"`
 	CPVal     float64                `json:"cp"`
@@ -44,10 +93,10 @@ type checkpointRecord struct {
 	Degraded  int                    `json:"degraded,omitempty"`
 }
 
-// recordOf extracts the persistable scalars from a completed result.
-func recordOf(res *Result) checkpointRecord {
+// RecordOf extracts the persistable scalars from a completed result.
+func RecordOf(res *Result) Record {
 	s := res.Bounds
-	return checkpointRecord{
+	return Record{
 		SB:        res.SB.Name,
 		Benchmark: res.Benchmark,
 		CPVal:     s.CPVal,
@@ -65,11 +114,11 @@ func recordOf(res *Result) checkpointRecord {
 	}
 }
 
-// apply reconstitutes a resumed Result from a checkpoint record. The
+// Apply reconstitutes a resumed Result from a checkpoint record. The
 // rebuilt bound set holds the scalar values and statistics only; res keeps
 // its own SB and Benchmark (the digest excludes name and frequency, so the
 // record may have been written by a structural twin).
-func (rec *checkpointRecord) apply(res *Result, m *model.Machine) {
+func (rec *Record) Apply(res *Result, m *model.Machine) {
 	res.Bounds = &bounds.Set{
 		SB:        res.SB,
 		M:         m,

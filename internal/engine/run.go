@@ -153,29 +153,14 @@ func Run(ctx context.Context, cfg Config) (<-chan Result, error) {
 	if cfg.Machine == nil {
 		return nil, errors.New("engine: Config.Machine is required")
 	}
-	names := cfg.Schedulers
-	if len(names) == 0 {
-		names = PrimaryNames()
-	}
-	scheds := make([]Scheduler, len(names))
-	canonical := make([]string, len(names))
-	for i, name := range names {
-		s, err := SchedulerByName(name)
-		if err != nil {
-			return nil, fmt.Errorf("engine: %w", err)
-		}
-		scheds[i], canonical[i] = s, s.Name
+	scheds, canonical, err := resolveSchedulers(cfg.Schedulers)
+	if err != nil {
+		return nil, err
 	}
 	if cfg.Best && crossProductAll == nil {
 		return nil, errors.New("engine: Best requires the cross-product source (import balance/internal/heuristics)")
 	}
-	setKey := schedulerSetKey(canonical, cfg.Best)
-	if !cfg.JobBudget.IsZero() {
-		// A budgeted evaluation may be degraded, so it must never share a
-		// memo or checkpoint entry with an unbudgeted (or differently
-		// budgeted) one.
-		setKey += "|budget=" + cfg.JobBudget.String()
-	}
+	setKey := evalSetKey(canonical, cfg.Best, cfg.JobBudget)
 
 	// The run's root span: every job span (and, through the job context,
 	// every bounds/sched/solver span below it) parents back to it, so a
@@ -319,10 +304,10 @@ func evaluateJob(ctx context.Context, cfg *Config, scheds []Scheduler, setKey st
 		ckKey = checkpointKey(key)
 	}
 	if cfg.Checkpoint != nil {
-		var rec checkpointRecord
+		var rec Record
 		if cfg.Checkpoint.Lookup(ckKey, &rec) {
 			telJobsResumed.Inc()
-			rec.apply(&res, cfg.Machine)
+			rec.Apply(&res, cfg.Machine)
 			return res, nil
 		}
 	}
@@ -348,7 +333,7 @@ func evaluateJob(ctx context.Context, cfg *Config, scheds []Scheduler, setKey st
 	res.Bounds, res.Cost, res.Stats, res.Trivial = v.bounds, v.cost, v.stats, v.trivial
 	res.Degraded = v.bounds.Degraded
 	if cfg.Checkpoint != nil {
-		cfg.Checkpoint.Put(ckKey, recordOf(&res))
+		cfg.Checkpoint.Put(ckKey, RecordOf(&res))
 	}
 	return res, nil
 }

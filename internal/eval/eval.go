@@ -171,6 +171,30 @@ func (r *Runner) WithBudget(spec resilience.Spec) *Runner {
 	return r
 }
 
+// Err reports the deferred corpus-construction error (nil on a healthy
+// runner). The distributed coordinator checks it before sharding.
+func (r *Runner) Err() error { return r.err }
+
+// Jobs returns the full corpus in deterministic order — the exact job
+// list every Results call evaluates per machine. The distributed
+// coordinator shards this list into work units.
+func (r *Runner) Jobs() []engine.Job {
+	var jobs []engine.Job
+	for _, bench := range r.Suite.Order {
+		for _, sb := range r.Suite.Benchmarks[bench] {
+			jobs = append(jobs, engine.Job{Benchmark: bench, SB: sb})
+		}
+	}
+	return jobs
+}
+
+// BoundOptions exposes the bound configuration every evaluation shares,
+// so remote workers compute under exactly the options the tables assume.
+func (r *Runner) BoundOptions() bounds.Options { return r.Cfg.boundOptions() }
+
+// Budget exposes the per-job budget configured with WithBudget.
+func (r *Runner) Budget() resilience.Spec { return r.budget }
+
 // Failures reports how many per-job failures were filtered from the cached
 // results across all machines evaluated so far (always 0 without
 // WithKeepGoing).
@@ -243,12 +267,7 @@ func (r *Runner) Results(m *model.Machine) ([]*sbResult, error) {
 	if res, ok := r.cache[m.Name]; ok {
 		return res, nil
 	}
-	var jobs []engine.Job
-	for _, bench := range r.Suite.Order {
-		for _, sb := range r.Suite.Benchmarks[bench] {
-			jobs = append(jobs, engine.Job{Benchmark: bench, SB: sb})
-		}
-	}
+	jobs := r.Jobs()
 	policy := engine.FailFast
 	if r.keepGoing {
 		policy = engine.KeepGoing

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"sync"
@@ -43,15 +44,31 @@ type Checkpoint struct {
 	// Flush (default DefaultFlushEvery; set before first Put).
 	FlushEvery int
 
-	mu    sync.Mutex
-	path  string
-	recs  map[string]json.RawMessage
-	order []string // insertion order, for deterministic files
-	dirty int      // Puts since the last flush
+	mu      sync.Mutex
+	path    string // "" for in-memory checkpoints: Flush is a no-op
+	recs    map[string]json.RawMessage
+	order   []string // insertion order, for deterministic files
+	dirty   int      // Puts since the last flush
+	skipped int      // corrupt/foreign-version lines dropped at load
+}
+
+// NewMemory returns an empty in-memory checkpoint: the same journal
+// surface (Put/Lookup/Range) with Flush a no-op. Useful as an engine
+// checkpoint sink when persistence is handled elsewhere — e.g. the
+// distributed coordinator renders tables from its journal without
+// touching disk twice.
+func NewMemory() *Checkpoint {
+	return &Checkpoint{
+		FlushEvery: DefaultFlushEvery,
+		recs:       map[string]json.RawMessage{},
+	}
 }
 
 // OpenCheckpoint opens (creating if absent) the checkpoint at path and
-// loads every valid record already in it.
+// loads every valid record already in it. Lines that fail to parse —
+// most commonly a final line truncated by a crash mid-write — are
+// dropped with a logged warning rather than aborting the resume; the
+// count is available via Skipped.
 func OpenCheckpoint(path string) (*Checkpoint, error) {
 	c := &Checkpoint{
 		FlushEvery: DefaultFlushEvery,
@@ -68,14 +85,18 @@ func OpenCheckpoint(path string) (*Checkpoint, error) {
 	defer f.Close()
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
 	for sc.Scan() {
+		lineNo++
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
 		var rec checkpointLine
 		if err := json.Unmarshal(line, &rec); err != nil || rec.V != CheckpointVersion || rec.Key == "" {
+			c.skipped++
 			telCheckpointSkipped.Inc()
+			log.Printf("resilience: checkpoint %s: dropping unreadable record at line %d (truncated write or foreign version)", path, lineNo)
 			continue
 		}
 		if _, seen := c.recs[rec.Key]; !seen {
@@ -88,6 +109,14 @@ func OpenCheckpoint(path string) (*Checkpoint, error) {
 		return nil, fmt.Errorf("resilience: checkpoint %s: %w", path, err)
 	}
 	return c, nil
+}
+
+// Skipped reports how many unreadable lines were dropped when the
+// checkpoint was loaded.
+func (c *Checkpoint) Skipped() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.skipped
 }
 
 // Len returns the number of records held.
@@ -162,6 +191,10 @@ func (c *Checkpoint) Flush() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.dirty == 0 {
+		return nil
+	}
+	if c.path == "" { // in-memory checkpoint: nothing to persist
+		c.dirty = 0
 		return nil
 	}
 	dir := filepath.Dir(c.path)

@@ -201,3 +201,85 @@ func TestCheckpointConcurrentPut(t *testing.T) {
 		t.Fatalf("Range visited %d records, want 400", seen)
 	}
 }
+
+// TestCheckpointTruncatedTail injects truncation at every byte offset of
+// the final record: no proper prefix of a JSONL line is valid, so resume
+// must always succeed with exactly the intact records and the damage
+// reported via Skipped.
+func TestCheckpointTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.ckpt")
+	c, err := OpenCheckpoint(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const intact = 5
+	for i := 0; i < intact; i++ {
+		if err := c.Put(fmt.Sprintf("job-%02d", i), testRec{Name: "ok", Cost: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Put("job-victim", testRec{Name: strings.Repeat("v", 40), Cost: 123.456}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate the final record (trailing newline included in the file).
+	body := strings.TrimRight(string(data), "\n")
+	cut := strings.LastIndexByte(body, '\n') + 1 // start of the last line
+	last := body[cut:]
+
+	for off := 0; off <= len(last); off++ {
+		path := filepath.Join(dir, fmt.Sprintf("trunc-%03d.ckpt", off))
+		if err := os.WriteFile(path, []byte(body[:cut+off]), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		re, err := OpenCheckpoint(path)
+		if err != nil {
+			t.Fatalf("offset %d: resume aborted: %v", off, err)
+		}
+		wantSkipped := 1
+		if off == 0 || off == len(last) {
+			// Empty tail lines are ignored silently; the full line parses.
+			wantSkipped = 0
+		}
+		wantLen := intact
+		if off == len(last) {
+			wantLen = intact + 1
+		}
+		if re.Len() != wantLen || re.Skipped() != wantSkipped {
+			t.Fatalf("offset %d: Len=%d Skipped=%d, want Len=%d Skipped=%d",
+				off, re.Len(), re.Skipped(), wantLen, wantSkipped)
+		}
+		var rec testRec
+		if !re.Lookup("job-04", &rec) || rec.Cost != 4 {
+			t.Fatalf("offset %d: intact record lost: %+v", off, rec)
+		}
+	}
+}
+
+// TestCheckpointMemory exercises the in-memory variant: full journal
+// surface, no file ever written.
+func TestCheckpointMemory(t *testing.T) {
+	c := NewMemory()
+	for i := 0; i < 2*DefaultFlushEvery; i++ { // crosses the auto-flush threshold
+		if err := c.Put(fmt.Sprintf("k%03d", i), testRec{Cost: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2*DefaultFlushEvery {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	var rec testRec
+	if !c.Lookup("k100", &rec) || rec.Cost != 100 {
+		t.Fatalf("Lookup(k100) = %+v", rec)
+	}
+}

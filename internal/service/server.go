@@ -400,3 +400,17 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	wire.WriteJSON(w, http.StatusOK, h)
 }
+
+// handleReady is GET /readyz: readiness, as distinct from the liveness
+// /healthz reports. It answers 200 only while the server is accepting
+// new work; the moment a drain begins it answers 503, so load balancers
+// and coordinators stop assigning before the listener goes away.
+// /healthz keeps answering 200 throughout the drain — the process is
+// alive and must not be restarted while it finishes in-flight work.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		wire.WriteError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	wire.WriteJSON(w, http.StatusOK, wire.Ready{Ready: true})
+}

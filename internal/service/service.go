@@ -162,6 +162,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/bounds", s.handleBounds)
 	mux.HandleFunc("POST /v1/explain", s.handleExplain)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.Handle("GET /metrics", telemetry.PromWriter{Extra: s.promExtra}.Handler())
 	if cfg.Debug != nil {
 		mux.Handle("/debug/", cfg.Debug)
@@ -200,11 +201,20 @@ func (s *Server) Handler() http.Handler { return s.handler }
 // CacheStats reports the shared result cache's accounting.
 func (s *Server) CacheStats() engine.CacheStats { return s.memo.CacheStats() }
 
+// StartDrain flips the server out of readiness: /readyz answers 503 and
+// new compute requests are rejected, while /healthz stays 200 (the
+// process is alive and finishing its work). Call it BEFORE stopping the
+// http.Server, so load balancers and coordinators observe "not ready"
+// while the listener still answers — the window in which they stop
+// assigning work without a single connection error.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
 // Drain stops admitting new requests (they are rejected with 503) and
 // waits until every in-flight request has finished, or ctx expires.
-// Callers stop the http.Server first (no new connections), then Drain.
+// Callers flip readiness with StartDrain first, then stop the
+// http.Server (no new connections), then Drain.
 func (s *Server) Drain(ctx context.Context) error {
-	s.draining.Store(true)
+	s.StartDrain()
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()

@@ -276,6 +276,54 @@ func TestDrainRejectsAndWaits(t *testing.T) {
 	}
 }
 
+// TestReadinessFlipsBeforeListenerStops pins the liveness/readiness
+// split and its ordering: the moment StartDrain is called — before any
+// listener teardown, before in-flight work finishes — /readyz must
+// answer 503 while /healthz keeps answering 200. This is the window in
+// which load balancers stop routing without seeing connection errors.
+func TestReadinessFlipsBeforeListenerStops(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+
+	var ready wire.Ready
+	if code, _, err := wire.Get(context.Background(), ts.Client(), ts.URL+"/readyz", &ready); err != nil || code != http.StatusOK || !ready.Ready {
+		t.Fatalf("readyz before drain: code=%d ready=%+v err=%v", code, ready, err)
+	}
+
+	// Readiness flips the instant the drain begins; the listener is
+	// still fully up (this request goes through it).
+	s.StartDrain()
+	code, _, err := wire.Get(context.Background(), ts.Client(), ts.URL+"/readyz", nil)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain: code = %d, want 503 (err %v)", code, err)
+	}
+	var se *wire.StatusError
+	if !asStatusError(err, &se) || !strings.Contains(se.Msg, "draining") {
+		t.Errorf("readyz drain error = %v", err)
+	}
+	// Liveness is unaffected: the process must not be restarted while
+	// it finishes in-flight work.
+	var h wire.Health
+	if code, _, err := wire.Get(context.Background(), ts.Client(), ts.URL+"/healthz", &h); err != nil || code != http.StatusOK {
+		t.Fatalf("healthz during drain: code=%d err=%v", code, err)
+	}
+	if h.Status != "draining" {
+		t.Errorf("health status = %q, want draining", h.Status)
+	}
+	// New compute requests are already rejected in this window.
+	if code, _, _ := wire.Post(context.Background(), ts.Client(), ts.URL+"/v1/schedule", &wire.ScheduleRequest{
+		Superblock: sbText(t, 9, 8),
+		Machine:    "GP2",
+	}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("schedule during drain: code = %d, want 503", code)
+	}
+	// The full Drain still completes cleanly afterwards.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain after StartDrain: %v", err)
+	}
+}
+
 func TestHealthz(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 2, CacheCapacity: 32})
 	var h wire.Health

@@ -1,0 +1,47 @@
+package telemetry
+
+import "testing"
+
+func TestSnapshotMerge(t *testing.T) {
+	a := &Snapshot{
+		Counters:   map[string]int64{"jobs": 3, "only_a": 1},
+		Gauges:     map[string]GaugeValue{"occ": {Value: 2, Max: 5}},
+		Histograms: map[string]HistogramSummary{"lat": {Count: 10, Sum: 100, Min: 2, Max: 30, P50: 8, P95: 25}},
+	}
+	b := &Snapshot{
+		Counters:   map[string]int64{"jobs": 4, "only_b": 7},
+		Gauges:     map[string]GaugeValue{"occ": {Value: 1, Max: 9}},
+		Histograms: map[string]HistogramSummary{"lat": {Count: 5, Sum: 80, Min: 1, Max: 60, P50: 12, P95: 20}, "fresh": {Count: 1, Sum: 3, Min: 3, Max: 3, P50: 3, P95: 3}},
+	}
+	a.Merge(b)
+	if a.Counters["jobs"] != 7 || a.Counters["only_a"] != 1 || a.Counters["only_b"] != 7 {
+		t.Fatalf("counters merged wrong: %+v", a.Counters)
+	}
+	if g := a.Gauges["occ"]; g.Value != 3 || g.Max != 9 {
+		t.Fatalf("gauge merged wrong: %+v", g)
+	}
+	h := a.Histograms["lat"]
+	if h.Count != 15 || h.Sum != 180 || h.Min != 1 || h.Max != 60 || h.P50 != 12 || h.P95 != 25 {
+		t.Fatalf("histogram merged wrong: %+v", h)
+	}
+	if f := a.Histograms["fresh"]; f.Count != 1 {
+		t.Fatalf("new histogram not adopted: %+v", f)
+	}
+	a.Merge(nil) // nil other is a no-op
+	if a.Counters["jobs"] != 7 {
+		t.Fatal("nil merge mutated the snapshot")
+	}
+}
+
+func TestSeedSpanIDs(t *testing.T) {
+	before := spanIDs.Load()
+	base := before + 1<<20
+	SeedSpanIDs(base)
+	if id := nextSpanID(); id <= base {
+		t.Fatalf("nextSpanID after seed = %d, want > %d", id, base)
+	}
+	SeedSpanIDs(1) // backwards seed must not rewind
+	if id := nextSpanID(); id <= base {
+		t.Fatalf("backwards seed rewound the allocator: %d", id)
+	}
+}

@@ -130,3 +130,59 @@ func (s *Snapshot) String() string {
 	}
 	return b.String()
 }
+
+// Merge folds other into s, series by series: counters and histogram
+// count/sum add, gauge values add while high-watermarks and histogram
+// min/max widen, and histogram quantiles take the per-source maximum —
+// a provable upper bound for the union (at most 5% of each source sits
+// above its own p95, so at most 5% of the union sits above the largest).
+// Float gauges and rolling windows are process-local views and are not
+// merged; s keeps its own. The distributed coordinator uses Merge to
+// fold worker snapshots into one corpus-wide view.
+func (s *Snapshot) Merge(other *Snapshot) {
+	if other == nil {
+		return
+	}
+	if s.Counters == nil {
+		s.Counters = map[string]int64{}
+	}
+	for name, v := range other.Counters {
+		s.Counters[name] += v
+	}
+	if s.Gauges == nil {
+		s.Gauges = map[string]GaugeValue{}
+	}
+	for name, g := range other.Gauges {
+		cur := s.Gauges[name]
+		cur.Value += g.Value
+		if g.Max > cur.Max {
+			cur.Max = g.Max
+		}
+		s.Gauges[name] = cur
+	}
+	if s.Histograms == nil {
+		s.Histograms = map[string]HistogramSummary{}
+	}
+	for name, h := range other.Histograms {
+		cur, ok := s.Histograms[name]
+		if !ok {
+			s.Histograms[name] = h
+			continue
+		}
+		cur.Count += h.Count
+		cur.Sum += h.Sum
+		if h.Min < cur.Min {
+			cur.Min = h.Min
+		}
+		if h.Max > cur.Max {
+			cur.Max = h.Max
+		}
+		if h.P50 > cur.P50 {
+			cur.P50 = h.P50
+		}
+		if h.P95 > cur.P95 {
+			cur.P95 = h.P95
+		}
+		s.Histograms[name] = cur
+	}
+}

@@ -43,6 +43,21 @@ var spanIDs atomic.Uint64
 
 func nextSpanID() uint64 { return spanIDs.Add(1) }
 
+// SeedSpanIDs moves the span-ID allocator forward to base, so IDs issued
+// afterwards are > base. Processes that contribute spans to one shared
+// trace (distributed workers) seed disjoint bases — e.g. worker i uses
+// (i+1)<<40 — so their span IDs never collide when the trace files merge.
+// The allocator only moves forward; seeding below the current position is
+// a no-op.
+func SeedSpanIDs(base uint64) {
+	for {
+		cur := spanIDs.Load()
+		if cur >= base || spanIDs.CompareAndSwap(cur, base) {
+			return
+		}
+	}
+}
+
 // StartSpanCtx begins a span parented to the span carried by ctx (if
 // any) and returns a derived context carrying the new span, for passing
 // to child work. With the no-op sink it returns an inert span and ctx

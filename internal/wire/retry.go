@@ -1,0 +1,141 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// RetryPolicy retries idempotent requests that failed for transient
+// reasons, with jittered exponential backoff. "Transient" means a
+// transport-level failure (connection refused, reset, DNS — the status
+// code is zero) or a 5xx from the server; 4xx responses are the caller's
+// bug and are never retried, and context cancellation stops the loop
+// immediately.
+//
+// A nil *RetryPolicy is valid and means "one attempt, no retries", so
+// call sites can thread an optional policy without branching.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (values < 1 mean 1).
+	MaxAttempts int
+	// BaseDelay is the wait after the first failure; each subsequent
+	// wait doubles, capped at MaxDelay. Defaults: 100ms base, 5s cap.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Jitter in [0,1] scales each wait uniformly into
+	// [d*(1-Jitter), d]: 0 is deterministic backoff, 1 full jitter.
+	Jitter float64
+	// Seed makes the jitter sequence deterministic when non-zero
+	// (tests, reproducible chaos runs); zero seeds from the clock.
+	Seed int64
+	// OnRetry, when set, observes each scheduled retry: the attempt
+	// that just failed (1-based), the error, and the wait before the
+	// next attempt.
+	OnRetry func(attempt int, err error, wait time.Duration)
+
+	once sync.Once
+	rng  *rand.Rand
+	mu   sync.Mutex
+}
+
+// Retryable reports whether a (code, err) pair from Post/Get is worth
+// retrying: transport failures other than context cancellation, and 5xx.
+func Retryable(code int, err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if code == 0 {
+		return true // transport failure before any status line
+	}
+	return code >= 500
+}
+
+// Post is Post with this policy's retry loop around it.
+func (p *RetryPolicy) Post(ctx context.Context, hc *http.Client, url string, in, out any) (int, http.Header, error) {
+	return p.do(ctx, func() (int, http.Header, error) {
+		return Post(ctx, hc, url, in, out)
+	})
+}
+
+// Get is Get with this policy's retry loop around it.
+func (p *RetryPolicy) Get(ctx context.Context, hc *http.Client, url string, out any) (int, http.Header, error) {
+	return p.do(ctx, func() (int, http.Header, error) {
+		return Get(ctx, hc, url, out)
+	})
+}
+
+func (p *RetryPolicy) do(ctx context.Context, attempt func() (int, http.Header, error)) (int, http.Header, error) {
+	max := 1
+	if p != nil && p.MaxAttempts > 1 {
+		max = p.MaxAttempts
+	}
+	var (
+		code int
+		hdr  http.Header
+		err  error
+	)
+	for try := 1; ; try++ {
+		code, hdr, err = attempt()
+		if err == nil || try >= max || !Retryable(code, err) {
+			return code, hdr, err
+		}
+		wait := p.backoff(try)
+		if p.OnRetry != nil {
+			p.OnRetry(try, err, wait)
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return code, hdr, err // last real failure, not ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// backoff computes the jittered wait after the try-th failure (1-based).
+func (p *RetryPolicy) backoff(try int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	cap := p.MaxDelay
+	if cap <= 0 {
+		cap = 5 * time.Second
+	}
+	d := base
+	for i := 1; i < try && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	if p.Jitter > 0 {
+		p.once.Do(func() {
+			seed := p.Seed
+			if seed == 0 {
+				seed = time.Now().UnixNano()
+			}
+			p.rng = rand.New(rand.NewSource(seed))
+		})
+		p.mu.Lock()
+		u := p.rng.Float64()
+		p.mu.Unlock()
+		j := p.Jitter
+		if j > 1 {
+			j = 1
+		}
+		d = time.Duration(float64(d) * (1 - j + j*u))
+	}
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	return d
+}

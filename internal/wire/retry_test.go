@@ -1,0 +1,123 @@
+package wire
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func fastPolicy(attempts int) *RetryPolicy {
+	return &RetryPolicy{
+		MaxAttempts: attempts,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    4 * time.Millisecond,
+		Jitter:      0.5,
+		Seed:        42,
+	}
+}
+
+func TestRetryPolicyRecoversFrom5xx(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			WriteError(w, http.StatusServiceUnavailable, "booting")
+			return
+		}
+		WriteJSON(w, http.StatusOK, Error{Error: ""})
+	}))
+	defer srv.Close()
+
+	var out Error
+	code, _, err := fastPolicy(5).Get(context.Background(), srv.Client(), srv.URL, &out)
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("Get = %d, %v; want 200, nil", code, err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+}
+
+func TestRetryPolicyNever4xx(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		WriteError(w, http.StatusBadRequest, "your fault")
+	}))
+	defer srv.Close()
+
+	code, _, err := fastPolicy(5).Post(context.Background(), srv.Client(), srv.URL, Error{}, nil)
+	if code != http.StatusBadRequest || err == nil {
+		t.Fatalf("Post = %d, %v; want 400 with error", code, err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (4xx must not retry)", got)
+	}
+}
+
+func TestRetryPolicyConnectionRefused(t *testing.T) {
+	// Grab a port that nothing listens on.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := srv.URL
+	srv.Close()
+
+	var retries atomic.Int64
+	p := fastPolicy(3)
+	p.OnRetry = func(attempt int, err error, wait time.Duration) { retries.Add(1) }
+	code, _, err := p.Get(context.Background(), &http.Client{Timeout: time.Second}, url, nil)
+	if err == nil || code != 0 {
+		t.Fatalf("Get = %d, %v; want transport failure", code, err)
+	}
+	if got := retries.Load(); got != 2 {
+		t.Fatalf("observed %d retries, want 2", got)
+	}
+}
+
+func TestRetryPolicyContextCancelStops(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := srv.URL
+	srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int64
+	p := fastPolicy(10)
+	p.OnRetry = func(int, error, time.Duration) { calls.Add(1) }
+	_, _, err := p.Get(ctx, &http.Client{}, url, nil)
+	if err == nil {
+		t.Fatal("want error from cancelled context")
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("cancelled context still scheduled %d retries", calls.Load())
+	}
+}
+
+func TestRetryPolicyNilReceiver(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		WriteError(w, http.StatusInternalServerError, "down")
+	}))
+	defer srv.Close()
+
+	var p *RetryPolicy
+	code, _, err := p.Get(context.Background(), srv.Client(), srv.URL, nil)
+	if code != http.StatusInternalServerError || err == nil {
+		t.Fatalf("Get = %d, %v", code, err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("nil policy made %d attempts, want 1", calls.Load())
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	p := &RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond}
+	want := []time.Duration{10, 20, 40, 40, 40}
+	for i, w := range want {
+		if got := p.backoff(i + 1); got != w*time.Millisecond {
+			t.Fatalf("backoff(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+}

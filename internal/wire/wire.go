@@ -182,6 +182,14 @@ type Health struct {
 	UptimeMS int64         `json:"uptime_ms"`
 }
 
+// Ready is the 200 body of GET /readyz. Readiness is distinct from the
+// liveness /healthz reports: a draining server is alive (healthz 200)
+// but not ready (readyz 503), so orchestrators stop routing to it
+// without restarting it.
+type Ready struct {
+	Ready bool `json:"ready"`
+}
+
 // Error is the body of every non-2xx response.
 type Error struct {
 	Error string `json:"error"`
