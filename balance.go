@@ -270,6 +270,21 @@ func OptimalBudget(ctx context.Context, sb *Superblock, m *Machine, maxNodes int
 	return exact.OptimalBudget(ctx, sb, m, maxNodes, budget)
 }
 
+// ExactOptions configures OptimalWith: node cap, anytime budget, worker
+// count (0 = GOMAXPROCS, 1 = the classic serial search), and the frontier
+// breadth of the parallel decomposition.
+type ExactOptions = exact.Options
+
+// OptimalWith is the fully-optioned exact solver: OptimalBudget's anytime
+// contract plus work-stealing parallel search when Workers != 1. The
+// returned cost is deterministic across worker counts — the true optimum,
+// or the best incumbent's cost when truncated — though equal-cost solves
+// may return different optimal schedules (see DESIGN.md "Parallel exact
+// search").
+func OptimalWith(ctx context.Context, sb *Superblock, m *Machine, opts ExactOptions) (s *Schedule, cost float64, truncated bool, err error) {
+	return exact.Solve(ctx, sb, m, opts)
+}
+
 // Engine: name-keyed registries and the context-aware streaming evaluation
 // pipeline of internal/engine, re-exported as the documented programmatic
 // entry point for corpus-scale evaluation.

@@ -6,6 +6,7 @@ package balance_test
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -13,6 +14,7 @@ import (
 	"balance/internal/eval"
 	"balance/internal/figures"
 	"balance/internal/model"
+	"balance/internal/testutil"
 )
 
 // benchCfg returns a reduced-corpus configuration sized for benchmarking.
@@ -422,4 +424,40 @@ func BenchmarkWindowedObserve(b *testing.B) {
 			h.Observe(int64(i))
 		}
 	})
+}
+
+// BenchmarkExactParallel measures the work-stealing exact solver on a
+// 22-op instance whose pairwise floor does NOT prove the optimum (seed 58
+// was scanned for exactly that), so every worker count performs the full
+// proof of optimality rather than stopping at the precomputed floor. On a
+// single-core host the worker counts should tie within noise; the ≥2.5×
+// speedup target at 8 workers is a multi-core CI property (see
+// EXPERIMENTS.md "Parallel exact search").
+func BenchmarkExactParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(58))
+	sb := testutil.RandomSuperblock(rng, 22)
+	m := balance.GP2()
+	if n := sb.G.NumOps(); n < 16 {
+		b.Fatalf("benchmark instance has %d ops, want >= 16", n)
+	}
+	// Sub-benchmark names avoid a trailing "-N": benchgate strips that as
+	// GOMAXPROCS decoration, which would conflate the worker counts.
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var want float64
+			for i := 0; i < b.N; i++ {
+				_, cost, cut, err := balance.OptimalWith(context.Background(), sb, m,
+					balance.ExactOptions{Workers: workers})
+				if err != nil || cut {
+					b.Fatalf("err=%v truncated=%v", err, cut)
+				}
+				if i == 0 {
+					want = cost
+				} else if cost != want {
+					b.Fatalf("cost drifted across runs: %v then %v", want, cost)
+				}
+			}
+		})
+	}
 }

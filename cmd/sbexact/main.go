@@ -3,9 +3,15 @@
 //
 // Usage:
 //
-//	sbexact [-machine GP2] [-max-nodes N] [-max-ops N] [file.sb]
+//	sbexact [-machine GP2] [-max-nodes N] [-max-ops N] [-workers N] [file.sb]
 //	sbexact -budget 100ms file.sb   # anytime: report the best schedule found in time
+//	sbexact -workers 0 -progress file.sb   # all cores, live nodes/s on stderr
 //	sbexact -metrics - -trace solve.jsonl -debug-addr localhost:6060 file.sb
+//
+// -workers fans the branch-and-bound search across a work-stealing pool
+// (0 = one worker per core, 1 = the classic serial search); the reported
+// optimum is identical at any worker count. -progress prints a line per
+// second to stderr with cumulative nodes, nodes/s, and steal counts.
 //
 // SIGINT cancels the search: the tool flushes the -metrics summary and
 // exits 130. -metrics writes a JSON telemetry summary (solver node and
@@ -23,10 +29,36 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"balance"
 	"balance/internal/cliutil"
 )
+
+// progressLoop prints solver throughput to stderr once per second until
+// done is closed: cumulative nodes, instantaneous nodes/s, and the
+// work-stealing counters of the in-flight parallel solves.
+func progressLoop(done <-chan struct{}) {
+	reg := balance.Telemetry()
+	read := func() (int64, int64) {
+		snap := reg.Snapshot()
+		return snap.Counters["exact.nodes_expanded"], snap.Counters["exact.steals"]
+	}
+	lastNodes, _ := read()
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-tick.C:
+			nodes, steals := read()
+			fmt.Fprintf(os.Stderr, "sbexact: progress nodes=%d nodes/s=%d steals=%d\n",
+				nodes, nodes-lastNodes, steals)
+			lastNodes = nodes
+		}
+	}
+}
 
 var obs = cliutil.Flags("sbexact")
 
@@ -36,6 +68,8 @@ func main() {
 	maxOps := flag.Int("max-ops", 24, "skip superblocks larger than this")
 	budget := flag.Duration("budget", 0,
 		"wall-clock budget per superblock; an expired budget reports the best schedule found so far as truncated")
+	workers := flag.Int("workers", 1, "parallel search workers (0 = one per core, 1 = serial)")
+	progress := flag.Bool("progress", false, "print per-second search throughput to stderr")
 	flag.Parse()
 	if err := obs.Start(); err != nil {
 		obs.Fatal(err)
@@ -62,6 +96,12 @@ func main() {
 		obs.Fatal(err)
 	}
 
+	if *progress {
+		done := make(chan struct{})
+		defer close(done)
+		go progressLoop(done)
+	}
+
 	solved, truncations, skipped := 0, 0, 0
 	for _, sb := range sbs {
 		if err := ctx.Err(); err != nil {
@@ -71,7 +111,11 @@ func main() {
 			skipped++
 			continue
 		}
-		s, opt, truncated, err := balance.OptimalBudget(ctx, sb, m, *maxNodes, balance.NewBudget(*budget, 0))
+		s, opt, truncated, err := balance.OptimalWith(ctx, sb, m, balance.ExactOptions{
+			MaxNodes: *maxNodes,
+			Budget:   balance.NewBudget(*budget, 0),
+			Workers:  *workers,
+		})
 		if err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				obs.Fatal(err)
@@ -108,5 +152,10 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "sbexact: solved %d (%d truncated by budget), skipped %d (> %d ops)\n",
 		solved, truncations, skipped, *maxOps)
+	if *workers != 1 {
+		snap := balance.Telemetry().Snapshot()
+		fmt.Fprintf(os.Stderr, "sbexact: parallel search expanded %d nodes with %d steals\n",
+			snap.Counters["exact.nodes_expanded"], snap.Counters["exact.steals"])
+	}
 	obs.Close()
 }

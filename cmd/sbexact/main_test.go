@@ -1,0 +1,86 @@
+package main
+
+// Smoke tests for the sbexact CLI. The test binary re-execs itself as the
+// tool (TestMain dispatches on an env var), so flag parsing, the parallel
+// solver path, and the stderr reporting run end to end.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const reexecEnv = "SBEXACT_RUN_MAIN"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(reexecEnv) == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runTool re-execs the test binary as sbexact, returning stdout and stderr.
+func runTool(t *testing.T, args ...string) (string, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), reexecEnv+"=1")
+	var out, errb strings.Builder
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("sbexact %v: %v\nstderr:\n%s", args, err, errb.String())
+	}
+	return out.String(), errb.String()
+}
+
+// optimalLines extracts the per-superblock "name (N ops): optimal C ..."
+// result lines, which must not depend on the worker count.
+func optimalLines(out string) []string {
+	var res []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, " ops): ") {
+			res = append(res, line)
+		}
+	}
+	return res
+}
+
+func TestExactOnFixture(t *testing.T) {
+	out, errb := runTool(t, filepath.Join("testdata", "small.sb"))
+	if !strings.Contains(out, "129.compress/sb0000") || !strings.Contains(out, "optimal") {
+		t.Errorf("missing solve result:\n%s", out)
+	}
+	if !strings.Contains(errb, "solved 1") {
+		t.Errorf("missing summary on stderr:\n%s", errb)
+	}
+}
+
+// TestWorkersParity: the parallel solver must report exactly the same
+// optimal cost lines as the serial one — the CLI-level determinism check.
+func TestWorkersParity(t *testing.T) {
+	serial, _ := runTool(t, "-workers", "1", filepath.Join("testdata", "small.sb"))
+	parallel, perr := runTool(t, "-workers", "8", filepath.Join("testdata", "small.sb"))
+	s, p := optimalLines(serial), optimalLines(parallel)
+	if len(s) == 0 || len(s) != len(p) {
+		t.Fatalf("result lines: serial %d, parallel %d\nserial:\n%s\nparallel:\n%s",
+			len(s), len(p), serial, parallel)
+	}
+	for i := range s {
+		if s[i] != p[i] {
+			t.Errorf("workers=8 diverged from workers=1:\n  serial:   %s\n  parallel: %s", s[i], p[i])
+		}
+	}
+	if !regexp.MustCompile(`parallel search expanded \d+ nodes with \d+ steals`).MatchString(perr) {
+		t.Errorf("parallel run missing steal summary on stderr:\n%s", perr)
+	}
+}
+
+func TestWorkersAllCores(t *testing.T) {
+	out, _ := runTool(t, "-workers", "0", filepath.Join("testdata", "small.sb"))
+	if len(optimalLines(out)) != 1 {
+		t.Errorf("-workers 0 produced no result:\n%s", out)
+	}
+}

@@ -1,9 +1,10 @@
-package bounds
+package bounds_test
 
 import (
 	"math/rand"
 	"testing"
 
+	"balance/internal/bounds"
 	"balance/internal/exact"
 	"balance/internal/figures"
 	"balance/internal/model"
@@ -11,9 +12,9 @@ import (
 	"balance/internal/testutil"
 )
 
-func computeAll(t *testing.T, sb *model.Superblock, m *model.Machine) *Set {
+func computeAll(t *testing.T, sb *model.Superblock, m *model.Machine) *bounds.Set {
 	t.Helper()
-	return Compute(sb, m, Options{Triplewise: true, WithLCOriginal: true})
+	return bounds.Compute(sb, m, bounds.Options{Triplewise: true, WithLCOriginal: true})
 }
 
 func TestFigure1Bounds(t *testing.T) {
@@ -25,7 +26,7 @@ func TestFigure1Bounds(t *testing.T) {
 	if s.CP[1] != 7 {
 		t.Errorf("CP bound of final exit = %d, want 7", s.CP[1])
 	}
-	for name, pb := range map[string]PerBranch{"Hu": s.Hu, "RJ": s.RJ, "LC": s.LC} {
+	for name, pb := range map[string]bounds.PerBranch{"Hu": s.Hu, "RJ": s.RJ, "LC": s.LC} {
 		if pb[1] != 8 {
 			t.Errorf("%s bound of final exit = %d, want 8", name, pb[1])
 		}
@@ -47,8 +48,8 @@ func TestFigure1Bounds(t *testing.T) {
 func TestFigure3SeparationIsResourceAware(t *testing.T) {
 	sb := figures.Figure3(0.2)
 	m := model.GP2()
-	var st Stats
-	earlyRC := EarlyRC(sb, m, &st)
+	var st bounds.Stats
+	earlyRC := bounds.EarlyRC(sb, m, &st)
 	br9 := sb.Branches[1]
 	if earlyRC[br9] != 5 {
 		t.Fatalf("EarlyRC[br9] = %d, want 5", earlyRC[br9])
@@ -59,11 +60,11 @@ func TestFigure3SeparationIsResourceAware(t *testing.T) {
 	if dist[4] != 4 {
 		t.Fatalf("dependence distance 4->br9 = %d, want 4", dist[4])
 	}
-	sep := SeparationRC(sb, m, br9, &st)
+	sep := bounds.SeparationRC(sb, m, br9, &st)
 	if sep[4] != 5 {
 		t.Errorf("resource-aware separation 4->br9 = %d, want 5", sep[4])
 	}
-	late := LateRC(sep, earlyRC[br9])
+	late := bounds.LateRC(sep, earlyRC[br9])
 	if late[4] != 0 {
 		t.Errorf("LateRC[4] = %d, want 0 (op 4 needed in cycle 0)", late[4])
 	}
@@ -130,7 +131,7 @@ func TestFigure4OptimumMatchesPairwise(t *testing.T) {
 	m := model.GP2()
 	for _, p := range []float64{0.05, 0.1, 0.4, 0.6} {
 		sb := figures.Figure4(p)
-		s := Compute(sb, m, Options{Triplewise: true})
+		s := bounds.Compute(sb, m, bounds.Options{Triplewise: true})
 		_, opt, err := exact.Optimal(sb, m, 0)
 		if err != nil {
 			t.Fatalf("P=%v: %v", p, err)
@@ -164,9 +165,9 @@ func TestTheorem1MatchesOriginalLC(t *testing.T) {
 	for i := 0; i < 60; i++ {
 		sb := testutil.RandomSuperblock(rng, 14)
 		for _, m := range testutil.SmallMachines() {
-			var s1, s2 Stats
-			a := EarlyRC(sb, m, &s1)
-			b := EarlyRCOriginal(sb, m, &s2)
+			var s1, s2 bounds.Stats
+			a := bounds.EarlyRC(sb, m, &s1)
+			b := bounds.EarlyRCOriginal(sb, m, &s2)
 			for v := range a {
 				if a[v] != b[v] {
 					t.Fatalf("iter %d %s: Theorem-1 LC differs at op %d: %d vs %d", i, m.Name, v, a[v], b[v])
@@ -186,7 +187,7 @@ func TestBoundsDominanceOrder(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		sb := testutil.RandomSuperblock(rng, 16)
 		for _, m := range testutil.SmallMachines() {
-			s := Compute(sb, m, Options{Triplewise: true})
+			s := bounds.Compute(sb, m, bounds.Options{Triplewise: true})
 			for bi := range sb.Branches {
 				if s.RJ[bi] < s.CP[bi] {
 					t.Errorf("RJ %d < CP %d at branch %d", s.RJ[bi], s.CP[bi], bi)
@@ -212,7 +213,7 @@ func TestBoundsBelowOptimum(t *testing.T) {
 	for i := 0; i < 40; i++ {
 		sb := testutil.RandomSuperblock(rng, 12)
 		for _, m := range testutil.SmallMachines() {
-			s := Compute(sb, m, Options{Triplewise: true})
+			s := bounds.Compute(sb, m, bounds.Options{Triplewise: true})
 			_, opt, err := exact.Optimal(sb, m, 2_000_000)
 			if err != nil {
 				continue // budget blown on a rare hard instance: skip
@@ -242,7 +243,7 @@ func TestPairwisePointsValid(t *testing.T) {
 			continue
 		}
 		for _, m := range testutil.SmallMachines() {
-			s := Compute(sb, m, Options{})
+			s := bounds.Compute(sb, m, bounds.Options{})
 			sc, _, err := exact.Optimal(sb, m, 2_000_000)
 			if err != nil {
 				continue
@@ -271,7 +272,7 @@ func TestHeuristicNeverBeatsBounds(t *testing.T) {
 	for i := 0; i < 40; i++ {
 		sb := testutil.RandomSuperblock(rng, 20)
 		for _, m := range testutil.SmallMachines() {
-			s := Compute(sb, m, Options{Triplewise: true})
+			s := bounds.Compute(sb, m, bounds.Options{Triplewise: true})
 			list, _, err := sched.ListSchedule(sb, m, sched.IntsToFloats(sb.G.Heights()))
 			if err != nil {
 				t.Fatal(err)

@@ -1,9 +1,10 @@
-package bounds
+package bounds_test
 
 import (
 	"math/rand"
 	"testing"
 
+	"balance/internal/bounds"
 	"balance/internal/exact"
 	"balance/internal/model"
 	"balance/internal/sched"
@@ -27,7 +28,7 @@ func TestOccupancyBoundsSound(t *testing.T) {
 	for i := 0; i < 30; i++ {
 		sb := testutil.RandomSuperblock(rng, 10)
 		for _, m := range npMachines() {
-			s := Compute(sb, m, Options{Triplewise: true})
+			s := bounds.Compute(sb, m, bounds.Options{Triplewise: true})
 			_, opt, err := exact.Optimal(sb, m, 2_000_000)
 			if err != nil {
 				continue
@@ -59,8 +60,8 @@ func TestOccupancyTightensBounds(t *testing.T) {
 	b.Branch(0, m0, m1, m2)
 	sb := b.MustBuild()
 
-	pip := Compute(sb, model.GP2(), Options{})
-	np := Compute(sb, model.GP2().WithOccupancy(model.FloatMul, 3), Options{})
+	pip := bounds.Compute(sb, model.GP2(), bounds.Options{})
+	np := bounds.Compute(sb, model.GP2().WithOccupancy(model.FloatMul, 3), bounds.Options{})
 	if np.LC[0] <= pip.LC[0] {
 		t.Errorf("occupancy did not tighten LC: %d vs %d", np.LC[0], pip.LC[0])
 	}
@@ -99,8 +100,8 @@ func TestOccupancyNeverLoosens(t *testing.T) {
 	np := model.GP2().WithOccupancy(model.FloatMul, 3).WithOccupancy(model.Load, 2)
 	for i := 0; i < 25; i++ {
 		sb := testutil.RandomSuperblock(rng, 14)
-		a := Compute(sb, m, Options{})
-		b := Compute(sb, np, Options{})
+		a := bounds.Compute(sb, m, bounds.Options{})
+		b := bounds.Compute(sb, np, bounds.Options{})
 		if b.Tightest < a.Tightest-1e-9 {
 			t.Fatalf("iter %d: occupancy loosened the bound: %v < %v", i, b.Tightest, a.Tightest)
 		}

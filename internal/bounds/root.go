@@ -1,0 +1,35 @@
+package bounds
+
+import (
+	"context"
+
+	"balance/internal/model"
+	"balance/internal/resilience"
+)
+
+// SearchFloor returns a cheap, kernel-cached true lower bound on the
+// optimal weighted completion cost of (sb, m): the tightest of the basic
+// per-branch bounds (CP/Hu/RJ/LC) and the pairwise composition. The
+// triplewise stage is deliberately skipped — the point is a floor the exact
+// solver can fetch in microseconds once the kernel is warm, not the
+// tightest bound the catalog can produce.
+//
+// The parallel exact solver uses it two ways: as the best-bound clamp when
+// ordering root subtrees, and as a proven-optimality early stop — an
+// incumbent whose cost reaches the floor cannot be improved, so the search
+// halts without enumerating the remaining subtrees. Soundness is the bound
+// layer's core invariant (every value is ≤ the true optimum, pinned by the
+// differential tests against this very solver), which is what makes the
+// early stop safe.
+//
+// A short node budget caps the pairwise stage on cold kernels: a degraded
+// set still yields a valid (just looser) floor, so the hook never costs
+// more than a small slice of the search it is accelerating.
+func SearchFloor(ctx context.Context, sb *model.Superblock, m *model.Machine) float64 {
+	// The budget only guards against pathological cold-kernel pair builds;
+	// warm kernels (the common case for repeated exact solves over a
+	// corpus) never come close.
+	budget := resilience.NewBudget(0, 2_000_000)
+	s := ComputeBudgetCtx(ctx, sb, m, Options{}, budget)
+	return s.Tightest
+}

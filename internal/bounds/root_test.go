@@ -1,0 +1,55 @@
+package bounds_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"balance/internal/bounds"
+	"balance/internal/exact"
+	"balance/internal/testutil"
+)
+
+// TestSearchFloorBelowOptimum: the floor handed to the parallel exact
+// solver must be a true lower bound — the proven-optimality early stop is
+// only sound if no schedule can ever beat it.
+func TestSearchFloorBelowOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for i := 0; i < 30; i++ {
+		sb := testutil.RandomSuperblock(rng, 12)
+		for _, m := range testutil.SmallMachines() {
+			floor := bounds.SearchFloor(context.Background(), sb, m)
+			_, opt, err := exact.Optimal(sb, m, 2_000_000)
+			if err != nil {
+				continue
+			}
+			if floor > opt+1e-9 {
+				t.Fatalf("iter %d %s: floor %v exceeds optimum %v", i, m.Name, floor, opt)
+			}
+		}
+	}
+}
+
+// TestSearchFloorKernelCached: the second call over the same instance hits
+// the warm bound kernel and must be dramatically cheaper — that is the
+// property that makes the floor affordable as a per-solve prelude.
+func TestSearchFloorKernelCached(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	sb := testutil.RandomSuperblock(rng, 16)
+	m := testutil.SmallMachines()[0]
+	ctx := context.Background()
+
+	first := bounds.SearchFloor(ctx, sb, m)
+	start := time.Now()
+	second := bounds.SearchFloor(ctx, sb, m)
+	warm := time.Since(start)
+	if first != second {
+		t.Fatalf("floor changed across calls: %v then %v", first, second)
+	}
+	// Generous ceiling: a warm call is microseconds; a cold pairwise build
+	// on a 16-op block is orders of magnitude more.
+	if warm > 100*time.Millisecond {
+		t.Errorf("warm SearchFloor took %v, expected a cached fast path", warm)
+	}
+}

@@ -1,9 +1,10 @@
-package bounds
+package bounds_test
 
 import (
 	"math/rand"
 	"testing"
 
+	"balance/internal/bounds"
 	"balance/internal/exact"
 	"balance/internal/model"
 	"balance/internal/testutil"
@@ -35,7 +36,7 @@ func TestTripleRelaxSound(t *testing.T) {
 			continue
 		}
 		for _, m := range testutil.SmallMachines() {
-			s := Compute(sb, m, Options{Triplewise: true, TriplewiseExact: true})
+			s := bounds.Compute(sb, m, bounds.Options{Triplewise: true, TriplewiseExact: true})
 			_, opt, err := exact.Optimal(sb, m, 1_500_000)
 			if err != nil {
 				continue
@@ -59,8 +60,8 @@ func TestTripleRelaxUsuallyDominatesCombination(t *testing.T) {
 			continue
 		}
 		m := model.GP2()
-		combo := Compute(sb, m, Options{Triplewise: true})
-		both := Compute(sb, m, Options{Triplewise: true, TriplewiseExact: true})
+		combo := bounds.Compute(sb, m, bounds.Options{Triplewise: true})
+		both := bounds.Compute(sb, m, bounds.Options{Triplewise: true, TriplewiseExact: true})
 		total++
 		switch {
 		case both.TripleVal > combo.TripleVal+1e-9:
@@ -82,7 +83,7 @@ func TestTripleRelaxUsuallyDominatesCombination(t *testing.T) {
 func TestTripleRelaxOnCraftedExample(t *testing.T) {
 	sb := threeExit(0.3, 0.3)
 	m := model.GP2()
-	s := Compute(sb, m, Options{Triplewise: true, TriplewiseExact: true})
+	s := bounds.Compute(sb, m, bounds.Options{Triplewise: true, TriplewiseExact: true})
 	_, opt, err := exact.Optimal(sb, m, 0)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,192 @@
+package conc
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Stealer is a work-stealing task distributor for a fixed set of workers:
+// one deque per worker, owner access LIFO, thieves taking half a victim's
+// queue FIFO. It is the load-balancing layer under the parallel exact
+// solver, where tasks are coarse search subtrees (thousands to millions of
+// nodes each), so a single mutex over all deques costs nothing measurable
+// against the work a task represents — the steal-half and LIFO/FIFO
+// semantics matter for balance, a lock-free Chase-Lev deque would not.
+//
+// Lifecycle: a producer seeds tasks with Push (any worker index) and calls
+// Close once no more external tasks will arrive; workers loop on Next,
+// which pops their own deque, then steals, then parks on a condition
+// variable (no spinning) until new work is pushed, every task completes, or
+// Abort is called. Workers may Push new tasks from inside the loop
+// (subtree splitting); termination is detected by an outstanding-task
+// count: Push increments it, Done decrements it, and Next returns false
+// once the Stealer is closed, every deque is empty, and no popped task is
+// still executing.
+type Stealer[T any] struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	deques  [][]T
+	closed  bool
+	aborted bool
+	// outstanding counts pushed-but-not-Done tasks: tasks queued in deques
+	// plus tasks popped and currently executing.
+	outstanding int
+	parked      int
+	steals      atomic.Int64 // successful steal operations
+	stolen      atomic.Int64 // tasks moved by those steals
+}
+
+// NewStealer returns a Stealer with one deque per worker.
+func NewStealer[T any](workers int) *Stealer[T] {
+	if workers < 1 {
+		workers = 1
+	}
+	s := &Stealer[T]{deques: make([][]T, workers)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Workers returns the number of deques.
+func (s *Stealer[T]) Workers() int { return len(s.deques) }
+
+// Push appends a task to worker w's deque (its LIFO end) and wakes a parked
+// worker. Both the producer (seeding) and workers (splitting) push; a
+// worker pushing to its own deque keeps depth-first locality, thieves take
+// the oldest entries.
+func (s *Stealer[T]) Push(w int, t T) {
+	s.mu.Lock()
+	s.deques[w] = append(s.deques[w], t)
+	s.outstanding++
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// Close marks the external production phase finished: once every deque
+// drains and every popped task is Done, Next returns false. Workers may
+// still Push (splits) after Close.
+func (s *Stealer[T]) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// Done records that a task returned by Next finished executing. The last
+// Done (with the Stealer closed and all deques empty) releases every parked
+// worker.
+func (s *Stealer[T]) Done() {
+	s.mu.Lock()
+	s.outstanding--
+	drained := s.outstanding == 0 && s.closed
+	s.mu.Unlock()
+	if drained {
+		s.cond.Broadcast()
+	}
+}
+
+// Abort discards every queued task and releases all workers: parked workers
+// wake immediately and every subsequent Next returns false. Used when a
+// stop latch (cancellation, budget expiry) makes the remaining work moot.
+func (s *Stealer[T]) Abort() {
+	s.mu.Lock()
+	s.aborted = true
+	for w := range s.deques {
+		dropped := len(s.deques[w])
+		s.deques[w] = nil
+		s.outstanding -= dropped
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// Next returns the next task for worker w: the newest entry of its own
+// deque (LIFO), else half of some victim's deque (FIFO — the oldest,
+// coarsest entries move; the newest stay with their owner). When no task is
+// available but popped tasks are still executing (they may split and push
+// more), the worker parks on the condition variable; Next returns false
+// only when the Stealer was aborted, or is closed with every deque empty
+// and no task outstanding.
+func (s *Stealer[T]) Next(w int) (T, bool) {
+	var zero T
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.aborted {
+			return zero, false
+		}
+		// Own deque, LIFO end.
+		if own := s.deques[w]; len(own) > 0 {
+			t := own[len(own)-1]
+			own[len(own)-1] = zero
+			s.deques[w] = own[:len(own)-1]
+			return t, true
+		}
+		// Steal half of the fullest victim, FIFO end. Scanning for the
+		// fullest (rather than a random victim) is fine under one lock and
+		// moves the most work per steal.
+		victim, most := -1, 0
+		for v := range s.deques {
+			if v != w && len(s.deques[v]) > most {
+				victim, most = v, len(s.deques[v])
+			}
+		}
+		if victim >= 0 {
+			take := (most + 1) / 2
+			moved := s.deques[victim][:take]
+			rest := s.deques[victim][take:]
+			// Keep the victim's backing array for its own future pushes;
+			// copy the stolen prefix out.
+			s.deques[w] = append(s.deques[w], moved...)
+			copy(s.deques[victim], rest)
+			tail := s.deques[victim][len(rest):most]
+			for i := range tail {
+				tail[i] = zero
+			}
+			s.deques[victim] = s.deques[victim][:len(rest)]
+			s.steals.Add(1)
+			s.stolen.Add(int64(take))
+			// The stolen tasks landed oldest-first at our LIFO end; pop the
+			// last so the owner still works the best (earliest-pushed of the
+			// stolen run stays queued for others).
+			own := s.deques[w]
+			t := own[len(own)-1]
+			own[len(own)-1] = zero
+			s.deques[w] = own[:len(own)-1]
+			return t, true
+		}
+		if s.closed && s.outstanding == 0 {
+			return zero, false
+		}
+		// Nothing stealable but tasks are still executing (or production is
+		// open): park until a Push, the final Done, or Abort.
+		s.parked++
+		s.cond.Wait()
+		s.parked--
+	}
+}
+
+// Parked returns how many workers are currently parked waiting for work —
+// the hunger signal task holders use to decide whether splitting their
+// subtree is worth the snapshot cost.
+func (s *Stealer[T]) Parked() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.parked
+}
+
+// Queued returns the total number of tasks currently sitting in deques.
+func (s *Stealer[T]) Queued() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, d := range s.deques {
+		n += len(d)
+	}
+	return n
+}
+
+// Steals returns the number of successful steal operations and the number
+// of tasks they moved. Safe to read live.
+func (s *Stealer[T]) Steals() (ops, tasks int64) {
+	return s.steals.Load(), s.stolen.Load()
+}

@@ -1,0 +1,256 @@
+package conc
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// drainAll runs `workers` goroutines over the stealer until it drains and
+// returns every task seen, per worker.
+func drainAll(t *testing.T, s *Stealer[int], workers int, work func(w, task int)) [][]int {
+	t.Helper()
+	got := make([][]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				task, ok := s.Next(w)
+				if !ok {
+					return
+				}
+				got[w] = append(got[w], task)
+				if work != nil {
+					work(w, task)
+				}
+				s.Done()
+			}
+		}(w)
+	}
+	wg.Wait()
+	return got
+}
+
+func TestStealerOwnerLIFO(t *testing.T) {
+	s := NewStealer[int](1)
+	for i := 0; i < 5; i++ {
+		s.Push(0, i)
+	}
+	s.Close()
+	var order []int
+	for {
+		task, ok := s.Next(0)
+		if !ok {
+			break
+		}
+		order = append(order, task)
+		s.Done()
+	}
+	want := []int{4, 3, 2, 1, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("owner pop order = %v, want LIFO %v", order, want)
+		}
+	}
+}
+
+func TestStealerStealHalfFIFO(t *testing.T) {
+	s := NewStealer[int](2)
+	for i := 0; i < 8; i++ {
+		s.Push(0, i)
+	}
+	s.Close()
+	// Worker 1 owns nothing: its first Next must steal half of worker 0's
+	// eight tasks — the oldest four (0..3).
+	task, ok := s.Next(1)
+	if !ok {
+		t.Fatal("thief got no task")
+	}
+	if task > 3 {
+		t.Errorf("thief's first task = %d, want one of the oldest half 0..3", task)
+	}
+	ops, moved := s.Steals()
+	if ops != 1 || moved != 4 {
+		t.Errorf("steals = %d ops / %d tasks, want 1/4", ops, moved)
+	}
+	// The victim keeps its newest half and still pops LIFO.
+	own, ok := s.Next(0)
+	if !ok || own != 7 {
+		t.Errorf("victim pop after steal = %d,%v, want 7,true", own, ok)
+	}
+	s.Done()
+	s.Done()
+}
+
+func TestStealerEveryTaskExactlyOnce(t *testing.T) {
+	const workers, tasks = 8, 500
+	s := NewStealer[int](workers)
+	go func() {
+		for i := 0; i < tasks; i++ {
+			s.Push(i%workers, i)
+		}
+		s.Close()
+	}()
+	got := drainAll(t, s, workers, func(_, _ int) { runtime.Gosched() })
+	seen := make([]int, tasks)
+	for _, per := range got {
+		for _, task := range per {
+			seen[task]++
+		}
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("task %d delivered %d times, want exactly once", i, n)
+		}
+	}
+}
+
+// TestStealerParkWake: a worker with an empty deque parks (no spin) and
+// wakes when work arrives later.
+func TestStealerParkWake(t *testing.T) {
+	s := NewStealer[int](2)
+	got := make(chan int, 1)
+	go func() {
+		task, ok := s.Next(1)
+		if ok {
+			got <- task
+			s.Done()
+		}
+	}()
+	// Wait until the worker has parked, then push from "outside".
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Parked() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Push(0, 42)
+	select {
+	case task := <-got:
+		if task != 42 {
+			t.Errorf("woken worker got %d, want 42", task)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("parked worker was not woken by Push")
+	}
+	s.Close()
+	if _, ok := s.Next(1); ok {
+		t.Error("drained stealer returned a task")
+	}
+}
+
+// TestStealerSplitFromWorker: tasks pushed by a worker mid-drain (subtree
+// splitting) are delivered, and termination still detects the true end.
+func TestStealerSplitFromWorker(t *testing.T) {
+	s := NewStealer[int](4)
+	var delivered atomic.Int64
+	s.Push(0, 100) // one root task that splits into 10 children
+	s.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				task, ok := s.Next(w)
+				if !ok {
+					return
+				}
+				delivered.Add(1)
+				if task == 100 {
+					for c := 0; c < 10; c++ {
+						s.Push(w, c)
+					}
+				}
+				s.Done()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := delivered.Load(); got != 11 {
+		t.Errorf("delivered %d tasks, want 11 (root + 10 children)", got)
+	}
+}
+
+// TestStealerAbortWakesParked: Abort discards queued work and releases
+// parked workers immediately; Next returns false everywhere after.
+func TestStealerAbortWakesParked(t *testing.T) {
+	s := NewStealer[int](3)
+	s.Push(0, 1) // queued but never popped: must be discarded
+	done := make(chan struct{})
+	go func() {
+		// Workers 1 and 2 park (worker 0's task is left unclaimed by them
+		// only if they lose the race; either way they finish on Abort).
+		var wg sync.WaitGroup
+		for w := 1; w <= 2; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					_, ok := s.Next(w)
+					if !ok {
+						return
+					}
+					s.Done()
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	s.Abort()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Abort did not release parked workers")
+	}
+	if _, ok := s.Next(0); ok {
+		t.Error("Next returned a task after Abort")
+	}
+	if q := s.Queued(); q != 0 {
+		t.Errorf("Queued() = %d after Abort, want 0", q)
+	}
+}
+
+// TestStealerRaceStress hammers concurrent push/pop/steal/split under the
+// race detector.
+func TestStealerRaceStress(t *testing.T) {
+	const workers = 8
+	s := NewStealer[int](workers)
+	var total atomic.Int64
+	go func() {
+		for i := 0; i < 200; i++ {
+			s.Push(i%workers, 1)
+		}
+		s.Close()
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				depth, ok := s.Next(w)
+				if !ok {
+					return
+				}
+				total.Add(1)
+				if depth < 3 && total.Load()%7 == 0 {
+					s.Push(w, depth+1)
+					s.Push(w, depth+1)
+				}
+				s.Done()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Queued() != 0 {
+		t.Errorf("Queued() = %d after drain, want 0", s.Queued())
+	}
+}

@@ -107,3 +107,38 @@ func TestOptimalCtxBudgetCompat(t *testing.T) {
 		t.Fatal("ErrBudget without the best incumbent")
 	}
 }
+
+// TestBudgetAccountingExact pins the reservation invariant to ±0: a solve
+// charges the budget for exactly the nodes it expanded — never more (the
+// old spend-after-poll pattern overshot by up to a poll interval per
+// worker) and never less (unused grants are refunded on completion).
+func TestBudgetAccountingExact(t *testing.T) {
+	sb := budgetTestSB(t, 12, 0.3)
+	m := model.GP2()
+	for _, tc := range []struct {
+		name    string
+		workers int
+		limit   int64
+	}{
+		{"serial-truncated", 1, 3 * ctxCheckInterval},
+		{"parallel-truncated", 4, 3 * ctxCheckInterval},
+		{"parallel-odd-limit", 4, 2*ctxCheckInterval + 37},
+		{"parallel-finishing", 4, 0}, // unlimited nodes: spent == expanded
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			b := resilience.NewBudget(0, tc.limit)
+			before := telNodes.Value()
+			_, _, _, err := Solve(context.Background(), sb, m, Options{Workers: tc.workers, Budget: b})
+			if err != nil {
+				t.Fatal(err)
+			}
+			expanded := telNodes.Value() - before
+			if spent := b.Spent(); spent != expanded {
+				t.Errorf("budget charged %d nodes, search expanded %d (want exact match)", spent, expanded)
+			}
+			if tc.limit > 0 && b.Spent() > tc.limit {
+				t.Errorf("budget overshot: spent %d of limit %d", b.Spent(), tc.limit)
+			}
+		})
+	}
+}

@@ -2,15 +2,20 @@
 // branch-and-bound search. It exists as ground truth for tests and small
 // case studies: every lower bound must be ≤ the optimum it returns, and no
 // heuristic may beat it. It is exponential and intended for graphs of up to
-// roughly 20 operations.
+// roughly 20 operations; Solve with Workers > 1 fans the search across a
+// work-stealing pool to push that frontier (see parallel.go and DESIGN.md
+// "Parallel exact search").
 package exact
 
 import (
 	"context"
 	"errors"
 	"math"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"balance/internal/conc"
 	"balance/internal/model"
 	"balance/internal/resilience"
 	"balance/internal/sched"
@@ -31,162 +36,285 @@ var ErrBudget = errors.New("exact: node budget exhausted")
 // DefaultMaxNodes is the default search budget.
 const DefaultMaxNodes = 5_000_000
 
-// ctxCheckInterval is how many search nodes are expanded between context
-// polls: frequent enough for sub-millisecond cancellation, rare enough to
-// keep the poll off the hot path.
+// ctxCheckInterval is how many search nodes a worker expands between
+// shared-state polls (context, stop latch, budget re-reservation): frequent
+// enough for sub-millisecond cancellation and fast incumbent-driven
+// shutdown, rare enough to keep the poll off the hot path.
 const ctxCheckInterval = 4096
 
-type solver struct {
+// Stop-latch reasons. The first worker to observe a terminal condition
+// CAS-publishes it; every other worker sees the latch at its next poll and
+// unwinds. stopProven is the one clean reason: the incumbent met the
+// precomputed lower-bound floor, so the search is over without being
+// truncated.
+const (
+	stopNone int32 = iota
+	stopCancel
+	stopBudget
+	stopNodeCap
+	stopProven
+)
+
+// allot is a reservation counter over a fixed allowance: the maxNodes cap
+// shared by every worker of one solve. Reservations are claimed CAS-exactly,
+// so the combined expansion of all workers never exceeds the limit.
+type allot struct {
+	limit int64 // ≤ 0 = unlimited
+	used  atomic.Int64
+}
+
+func (a *allot) reserve(n int64) int64 {
+	if a.limit <= 0 {
+		a.used.Add(n)
+		return n
+	}
+	for {
+		cur := a.used.Load()
+		rem := a.limit - cur
+		if rem <= 0 {
+			return 0
+		}
+		grant := n
+		if grant > rem {
+			grant = rem
+		}
+		if a.used.CompareAndSwap(cur, cur+grant) {
+			return grant
+		}
+	}
+}
+
+func (a *allot) refund(n int64) {
+	if n > 0 {
+		a.used.Add(-n)
+	}
+}
+
+// shared is the cross-worker state of one solve: the problem, the stop
+// latch, the node allowances, and the incumbent every worker prunes
+// against.
+type shared struct {
 	sb  *model.Superblock
 	m   *model.Machine
-	g   *model.Graph
 	ctx context.Context
 
-	budget    *resilience.Budget
-	spent     int // nodes already spent into the budget
-	budgetHit bool
+	budget *resilience.Budget
+	cap    allot
 
-	maxNodes  int
-	nodes     int
-	overrun   bool
-	cancelled bool
-	horizon   int
+	// floor is a precomputed true lower bound on the optimal cost (-Inf
+	// when none was computed): an incumbent that reaches it is provably
+	// optimal and stops the search early via stopProven.
+	floor float64
 
-	cnt          solveCounts
-	flushed      solveCounts
-	startTime    time.Time
-	lastProgress time.Time
-	// span is the identity of the enclosing exact.solve span, so batched
-	// progress events parent to it without re-deriving from the context.
-	span telemetry.SpanContext
-
-	best      float64
+	// bestBits is math.Float64bits of the incumbent cost, loaded lock-free
+	// on every bound check; bestSched is the matching schedule, guarded by
+	// mu and only touched on the rare incumbent improvements.
+	bestBits  atomic.Uint64
+	mu        sync.Mutex
 	bestSched []int
+
+	stop atomic.Int32 // one of the stop* reasons
+
+	// Live aggregates for progress events (per-worker exact counts are
+	// flushed to the telemetry registry separately).
+	nodes        atomic.Int64
+	splits       atomic.Int64
+	lastProgress atomic.Int64 // unix nanos of the last exact.progress event
+
+	startTime time.Time
+	span      telemetry.SpanContext
+	spanCtx   context.Context
+
+	workers int
+	stealer *conc.Stealer[*task] // nil in a serial solve
+}
+
+// bestNow returns the current incumbent cost (+Inf before any schedule).
+func (sh *shared) bestNow() float64 {
+	return math.Float64frombits(sh.bestBits.Load())
+}
+
+// offer installs (cost, schedule) as the incumbent if it is still an
+// improvement, returning false when a concurrent worker got there first
+// with an equal or better schedule (an incumbent race). Improvements are
+// rare — dozens per solve against millions of bound checks — so a plain
+// mutex around the compare+copy is cheaper than any cleverness; the
+// lock-free read path only ever sees fully published costs because the
+// bits store happens inside the critical section.
+func (sh *shared) offer(cost float64, schedule []int) bool {
+	sh.mu.Lock()
+	if cost >= sh.bestNow() {
+		sh.mu.Unlock()
+		return false
+	}
+	sh.bestBits.Store(math.Float64bits(cost))
+	sh.bestSched = append(sh.bestSched[:0], schedule...)
+	sh.mu.Unlock()
+	return true
+}
+
+// halt publishes a stop reason (first writer wins) and aborts the stealer
+// so parked workers wake immediately.
+func (sh *shared) halt(reason int32) {
+	if sh.stop.CompareAndSwap(stopNone, reason) && sh.stealer != nil {
+		sh.stealer.Abort()
+	}
+}
+
+func (sh *shared) halted() int32 { return sh.stop.Load() }
+
+// solver is the per-worker search state. Serial solves use exactly one;
+// parallel solves use one per worker plus one for the frontier expansion.
+type solver struct {
+	sh     *shared
+	g      *model.Graph
+	worker int
+
+	// stopFlag mirrors the shared latch locally so the recursion unwinds
+	// with a plain field read.
+	stopFlag bool
+	reason   int32
+
+	// allowance is the number of nodes this worker may still expand before
+	// it must re-poll shared state and re-reserve from the budget and the
+	// maxNodes cap. Reservation-based accounting is what makes node budgets
+	// exact to ±0: a worker only ever expands nodes it has already been
+	// granted, and refunds the unused tail on completion.
+	allowance int64
+
+	horizon int
+	nodes   int // expanded by this worker
+	synced  int // portion of nodes already added to sh.nodes
+
+	cnt     solveCounts
+	flushed solveCounts
 
 	issue     []int
 	predsLeft []int
 	readyAt   []int
 	usedStack [][]int // per cycle, per kind usage
 	dynEarly  []int   // scratch for the pruning bound
+
+	cr *crScratch // pooled completion scratch, see completeRest
 }
 
-// Optimal returns a schedule minimizing the weighted completion time of the
-// superblock on the machine, together with its cost. maxNodes caps the
-// search (≤ 0 uses DefaultMaxNodes); ErrBudget is returned on overrun.
-func Optimal(sb *model.Superblock, m *model.Machine, maxNodes int) (*sched.Schedule, float64, error) {
-	return OptimalCtx(context.Background(), sb, m, maxNodes)
-}
-
-// OptimalCtx is Optimal with cancellation: the branch-and-bound search
-// polls ctx every few thousand nodes and abandons the search with ctx's
-// error once it is done. On budget overrun it returns the best incumbent
-// alongside ErrBudget; callers that want anytime semantics without an
-// error use OptimalBudget.
-func OptimalCtx(ctx context.Context, sb *model.Superblock, m *model.Machine, maxNodes int) (*sched.Schedule, float64, error) {
-	s, cost, truncated, err := OptimalBudget(ctx, sb, m, maxNodes, nil)
-	if err != nil {
-		return nil, 0, err
-	}
-	if truncated {
-		return s, cost, ErrBudget
-	}
-	return s, cost, nil
-}
-
-// OptimalBudget is the anytime form of the solver: the search additionally
-// honors a resilience.Budget (wall clock + nodes; nil = unlimited),
-// spending one budget node per expanded search node in batches of the
-// context-poll interval. When the node cap or the budget expires, the best
-// incumbent found so far is returned as a legal schedule with truncated
-// set — its cost is an upper bound on the true optimum, not the optimum —
-// instead of an error. The error return is reserved for cancellation and
-// for graphs with no schedule at all.
-func OptimalBudget(ctx context.Context, sb *model.Superblock, m *model.Machine, maxNodes int, budget *resilience.Budget) (schedule *sched.Schedule, cost float64, truncated bool, err error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if maxNodes <= 0 {
-		maxNodes = DefaultMaxNodes
-	}
-	n := sb.G.NumOps()
+// newSolver returns a worker solver over the shared solve state with the
+// root state (nothing issued) loaded.
+func newSolver(sh *shared, worker int) *solver {
+	n := sh.sb.G.NumOps()
 	s := &solver{
-		sb:        sb,
-		m:         m,
-		g:         sb.G,
-		ctx:       ctx,
-		budget:    budget,
-		maxNodes:  maxNodes,
-		best:      math.Inf(1),
+		sh:        sh,
+		g:         sh.sb.G,
+		worker:    worker,
+		horizon:   sched.Horizon(sh.sb) + 1,
 		issue:     make([]int, n),
 		predsLeft: make([]int, n),
 		readyAt:   make([]int, n),
 		dynEarly:  make([]int, n),
-		horizon:   sched.Horizon(sb) + 1,
 	}
 	for v := 0; v < n; v++ {
 		s.issue[v] = -1
-		s.predsLeft[v] = len(sb.G.Preds(v))
+		s.predsLeft[v] = len(sh.sb.G.Preds(v))
 	}
-	s.startTime = time.Now()
-	s.lastProgress = s.startTime
-	// Seed the incumbent with a critical-path list schedule so pruning has
-	// a finite target from the start.
-	heights := sched.IntsToFloats(sb.G.Heights())
-	if seed, _, err := sched.ListSchedule(sb, m, heights); err == nil {
-		s.best = sched.Cost(sb, seed)
-		s.bestSched = append([]int(nil), seed.Cycle...)
-		s.cnt.incumbents++
-	}
-	sp, _ := telemetry.Default().StartSpanCtx(ctx, "exact.solve")
-	s.span = sp.Context()
-	s.dfs(0, 0, 0)
-	s.flushTelemetry()
-	s.spendBudget()
-	telSolves.Inc()
-	telSolveDur.ObserveDuration(time.Since(s.startTime))
-	if sp.Active() {
-		sp.End(
-			telemetry.String("sb", sb.Name),
-			telemetry.Int("ops", int64(n)),
-			telemetry.Int("nodes", int64(s.cnt.nodes)),
-			telemetry.Int("pruned_lower_bound", int64(s.cnt.pruneBound)),
-			telemetry.Int("incumbent_updates", int64(s.cnt.incumbents)),
-			telemetry.Float("best", s.best),
-			telemetry.Int("overrun", boolInt(s.overrun)),
-			telemetry.Int("truncated_by_budget", boolInt(s.budgetHit)),
-			telemetry.Int("cancelled", boolInt(s.cancelled)),
-		)
-	}
-	if s.cancelled {
-		telCancels.Inc()
-		return nil, 0, false, ctx.Err()
-	}
-	if s.bestSched == nil {
-		return nil, 0, false, errors.New("exact: no schedule found")
-	}
-	if s.overrun {
-		telOverruns.Inc()
-		if s.budgetHit {
-			telTruncations.Inc()
-		}
-		return &sched.Schedule{Cycle: s.bestSched}, s.best, true, nil
-	}
-	return &sched.Schedule{Cycle: s.bestSched}, s.best, false, nil
+	return s
 }
 
-// spendBudget charges the search nodes expanded since the last charge to
-// the budget (batched so the per-node path stays free of atomics).
-func (s *solver) spendBudget() {
-	if s.budget == nil {
-		return
+// chargeNode accounts one node expansion against the worker's allowance,
+// refilling (and polling shared state) when it runs out. It returns false
+// when the search must stop — the caller unwinds immediately.
+func (s *solver) chargeNode() bool {
+	if s.stopFlag {
+		return false
 	}
-	s.budget.Spend(int64(s.nodes - s.spent))
-	s.spent = s.nodes
+	if s.allowance == 0 && !s.refill() {
+		return false
+	}
+	s.allowance--
+	s.nodes++
+	s.cnt.nodes++
+	return true
+}
+
+// refill is the batched poll point: it checks the stop latch, context, and
+// wall clock, then reserves the next node batch from both the maxNodes cap
+// and the resilience budget. Reservations are taken before expansion, so
+// neither limit is ever overshot.
+func (s *solver) refill() bool {
+	sh := s.sh
+	s.syncShared()
+	if r := sh.halted(); r != stopNone {
+		s.stopLocal(r)
+		return false
+	}
+	if sh.ctx.Err() != nil {
+		sh.halt(stopCancel)
+		s.stopLocal(stopCancel)
+		return false
+	}
+	if sh.budget.WallExpired() {
+		sh.halt(stopBudget)
+		s.stopLocal(stopBudget)
+		return false
+	}
+	grant := sh.cap.reserve(ctxCheckInterval)
+	if grant == 0 {
+		sh.halt(stopNodeCap)
+		s.stopLocal(stopNodeCap)
+		return false
+	}
+	granted := sh.budget.Reserve(grant)
+	if granted < grant {
+		sh.cap.refund(grant - granted)
+	}
+	if granted == 0 {
+		sh.halt(stopBudget)
+		s.stopLocal(stopBudget)
+		return false
+	}
+	s.allowance = granted
+	s.maybeProgress()
+	return true
+}
+
+func (s *solver) stopLocal(reason int32) {
+	s.stopFlag = true
+	s.reason = reason
+}
+
+// finish refunds the unused node allowance (making budget accounting exact)
+// and flushes the worker's counters.
+func (s *solver) finish() {
+	s.sh.budget.Refund(s.allowance)
+	s.sh.cap.refund(s.allowance)
+	s.allowance = 0
+	s.syncShared()
+	s.flushTelemetry()
+	if s.cr != nil {
+		crPool.Put(s.cr)
+		s.cr = nil
+	}
+}
+
+// syncShared publishes the worker's node count to the shared aggregate.
+func (s *solver) syncShared() {
+	if d := s.nodes - s.synced; d > 0 {
+		s.sh.nodes.Add(int64(d))
+		s.synced = s.nodes
+	}
+}
+
+// checkProven stops the whole solve cleanly when the incumbent has reached
+// the precomputed lower-bound floor: nothing better can exist.
+func (s *solver) checkProven(cost float64) {
+	if cost <= s.sh.floor+1e-9 {
+		s.sh.halt(stopProven)
+		s.stopLocal(stopProven)
+	}
 }
 
 // branchesDone reports whether every exit branch has been issued.
 func (s *solver) branchesDone() bool {
-	for _, b := range s.sb.Branches {
+	for _, b := range s.sh.sb.Branches {
 		if s.issue[b] < 0 {
 			return false
 		}
@@ -194,49 +322,98 @@ func (s *solver) branchesDone() bool {
 	return true
 }
 
+// crScratch is the pooled per-worker scratch for completeRest: the greedy
+// completion used to need a fresh map and three slice copies per
+// branches-done leaf, which dominated allocation on search-heavy solves.
+// The rows are epoch-stamped so re-use needs no clearing pass.
+type crScratch struct {
+	issue     []int
+	predsLeft []int
+	readyAt   []int
+	rows      [][]int
+	stamp     []int
+	epoch     int
+}
+
+var crPool = sync.Pool{New: func() any { return &crScratch{} }}
+
+// ensure sizes the scratch for an n-op problem.
+func (cr *crScratch) ensure(n int) {
+	if cap(cr.issue) < n {
+		cr.issue = make([]int, n)
+		cr.predsLeft = make([]int, n)
+		cr.readyAt = make([]int, n)
+	}
+	cr.issue = cr.issue[:n]
+	cr.predsLeft = cr.predsLeft[:n]
+	cr.readyAt = cr.readyAt[:n]
+}
+
+// row returns the usage row for cycle c, seeding it from the solver's live
+// usage stack the first time the current completion touches it.
+func (cr *crScratch) row(c, kinds int, base [][]int) []int {
+	for c >= len(cr.rows) {
+		cr.rows = append(cr.rows, nil)
+		cr.stamp = append(cr.stamp, 0)
+	}
+	if cr.stamp[c] != cr.epoch {
+		row := cr.rows[c]
+		if cap(row) < kinds {
+			row = make([]int, kinds)
+		}
+		row = row[:kinds]
+		if c < len(base) {
+			copy(row, base[c])
+		} else {
+			for i := range row {
+				row[i] = 0
+			}
+		}
+		cr.rows[c] = row
+		cr.stamp[c] = cr.epoch
+	}
+	return cr.rows[c]
+}
+
 // completeRest finishes the partial schedule greedily (the cost is already
-// fixed once all branches are placed) and updates the incumbent.
+// fixed once all branches are placed) and offers it as the incumbent.
 func (s *solver) completeRest(cycle int) {
 	cost := 0.0
-	for i, b := range s.sb.Branches {
-		cost += s.sb.Prob[i] * float64(s.issue[b]+model.BranchLatency)
+	for i, b := range s.sh.sb.Branches {
+		cost += s.sh.sb.Prob[i] * float64(s.issue[b]+model.BranchLatency)
 	}
-	if cost >= s.best {
+	if cost >= s.sh.bestNow() {
 		return
 	}
 	n := s.g.NumOps()
-	issue := append([]int(nil), s.issue...)
-	predsLeft := append([]int(nil), s.predsLeft...)
-	readyAt := append([]int(nil), s.readyAt...)
-	used := make(map[int][]int)
-	usage := func(c int) []int {
-		if row, ok := used[c]; ok {
-			return row
-		}
-		row := make([]int, s.m.Kinds())
-		if c < len(s.usedStack) {
-			copy(row, s.usedStack[c])
-		}
-		used[c] = row
-		return row
+	m := s.sh.m
+	kinds := m.Kinds()
+	if s.cr == nil {
+		s.cr = crPool.Get().(*crScratch)
 	}
+	cr := s.cr
+	cr.ensure(n)
+	cr.epoch++
+	copy(cr.issue, s.issue)
+	copy(cr.predsLeft, s.predsLeft)
+	copy(cr.readyAt, s.readyAt)
 	remaining := 0
 	for v := 0; v < n; v++ {
-		if issue[v] < 0 {
+		if cr.issue[v] < 0 {
 			remaining++
 		}
 	}
 	for c := cycle; remaining > 0; c++ {
 		for v := 0; v < n; v++ {
-			if issue[v] >= 0 || predsLeft[v] > 0 || readyAt[v] > c {
+			if cr.issue[v] >= 0 || cr.predsLeft[v] > 0 || cr.readyAt[v] > c {
 				continue
 			}
 			cls := s.g.Op(v).Class
-			k := s.m.KindOf(cls)
-			occ := s.m.Occupancy(cls)
+			k := m.KindOf(cls)
+			occ := m.Occupancy(cls)
 			fits := true
 			for t := c; t < c+occ; t++ {
-				if usage(t)[k] >= s.m.Capacity(k) {
+				if cr.row(t, kinds, s.usedStack)[k] >= m.Capacity(k) {
 					fits = false
 					break
 				}
@@ -244,28 +421,31 @@ func (s *solver) completeRest(cycle int) {
 			if !fits {
 				continue
 			}
-			issue[v] = c
+			cr.issue[v] = c
 			for t := c; t < c+occ; t++ {
-				usage(t)[k]++
+				cr.row(t, kinds, s.usedStack)[k]++
 			}
 			remaining--
 			for _, e := range s.g.Succs(v) {
-				predsLeft[e.To]--
-				if t := c + e.Lat; t > readyAt[e.To] {
-					readyAt[e.To] = t
+				cr.predsLeft[e.To]--
+				if t := c + e.Lat; t > cr.readyAt[e.To] {
+					cr.readyAt[e.To] = t
 				}
 			}
 		}
 	}
-	s.best = cost
-	s.bestSched = append(s.bestSched[:0], issue...)
-	s.cnt.incumbents++
+	if s.sh.offer(cost, cr.issue) {
+		s.cnt.incumbents++
+		s.checkProven(cost)
+	} else {
+		s.cnt.races++
+	}
 }
 
 // used returns the usage row for the given cycle, growing the stack lazily.
 func (s *solver) used(cycle int) []int {
 	for cycle >= len(s.usedStack) {
-		s.usedStack = append(s.usedStack, make([]int, s.m.Kinds()))
+		s.usedStack = append(s.usedStack, make([]int, s.sh.m.Kinds()))
 	}
 	return s.usedStack[cycle]
 }
@@ -274,9 +454,10 @@ func (s *solver) used(cycle int) []int {
 // occupancy window.
 func (s *solver) fitsOp(v, cycle int) bool {
 	c := s.g.Op(v).Class
-	k := s.m.KindOf(c)
-	for t := cycle; t < cycle+s.m.Occupancy(c); t++ {
-		if s.used(t)[k] >= s.m.Capacity(k) {
+	m := s.sh.m
+	k := m.KindOf(c)
+	for t := cycle; t < cycle+m.Occupancy(c); t++ {
+		if s.used(t)[k] >= m.Capacity(k) {
 			return false
 		}
 	}
@@ -286,8 +467,9 @@ func (s *solver) fitsOp(v, cycle int) bool {
 // holdOp marks v's occupancy window busy (delta +1) or free (delta -1).
 func (s *solver) holdOp(v, cycle, delta int) {
 	c := s.g.Op(v).Class
-	k := s.m.KindOf(c)
-	for t := cycle; t < cycle+s.m.Occupancy(c); t++ {
+	m := s.sh.m
+	k := m.KindOf(c)
+	for t := cycle; t < cycle+m.Occupancy(c); t++ {
 		s.used(t)[k] += delta
 	}
 }
@@ -315,39 +497,20 @@ func (s *solver) lowerBound(cycle int) float64 {
 		s.dynEarly[v] = e
 	}
 	total := 0.0
-	for i, b := range s.sb.Branches {
-		total += s.sb.Prob[i] * float64(s.dynEarly[b]+model.BranchLatency)
+	for i, b := range s.sh.sb.Branches {
+		total += s.sh.sb.Prob[i] * float64(s.dynEarly[b]+model.BranchLatency)
 	}
 	return total
 }
 
 // dfs explores all schedules. Within a cycle, ops are added in increasing
 // ID order (minID) to avoid enumerating permutations; "advance cycle" is
-// always an alternative so idle slots are explored too.
+// always an alternative so idle slots are explored too. Pruning compares
+// against the shared incumbent — one atomic load, so every worker benefits
+// from every other worker's improvements immediately.
 func (s *solver) dfs(cycle, minID, done int) {
-	if s.overrun || s.cancelled {
+	if !s.chargeNode() {
 		return
-	}
-	s.nodes++
-	s.cnt.nodes++
-	if s.nodes > s.maxNodes {
-		s.overrun = true
-		return
-	}
-	if s.nodes%ctxCheckInterval == 0 {
-		if s.ctx.Err() != nil {
-			s.cancelled = true
-			return
-		}
-		if s.budget != nil {
-			s.spendBudget()
-			if s.budget.Expired() {
-				s.budgetHit = true
-				s.overrun = true
-				return
-			}
-		}
-		s.maybeProgress()
 	}
 	if cycle > s.horizon {
 		// Every schedule has an equal-cost counterpart within the serial
@@ -359,13 +522,16 @@ func (s *solver) dfs(cycle, minID, done int) {
 	if done == n {
 		s.cnt.leaves++
 		cost := 0.0
-		for i, b := range s.sb.Branches {
-			cost += s.sb.Prob[i] * float64(s.issue[b]+model.BranchLatency)
+		for i, b := range s.sh.sb.Branches {
+			cost += s.sh.sb.Prob[i] * float64(s.issue[b]+model.BranchLatency)
 		}
-		if cost < s.best {
-			s.best = cost
-			s.bestSched = append(s.bestSched[:0], s.issue...)
-			s.cnt.incumbents++
+		if cost < s.sh.bestNow() {
+			if s.sh.offer(cost, s.issue) {
+				s.cnt.incumbents++
+				s.checkProven(cost)
+			} else {
+				s.cnt.races++
+			}
 		}
 		return
 	}
@@ -376,7 +542,7 @@ func (s *solver) dfs(cycle, minID, done int) {
 		s.completeRest(cycle)
 		return
 	}
-	if s.lowerBound(cycle) >= s.best {
+	if s.lowerBound(cycle) >= s.sh.bestNow() {
 		s.cnt.pruneBound++
 		return
 	}
@@ -415,12 +581,19 @@ func (s *solver) dfs(cycle, minID, done int) {
 	// Advance to the next cycle. Skipping ahead is only useful when work
 	// remains; recursion depth is bounded because readyAt of some
 	// unscheduled op always exceeds the current cycle eventually.
+	next := s.nextCycle(cycle, minID, anyCandidate)
+	s.dfs(next, 0, done)
+}
+
+// nextCycle returns the cycle the advance-cycle move jumps to: cycle+1, or
+// the earliest ready time of any schedulable op when nothing could issue.
+func (s *solver) nextCycle(cycle, minID int, anyCandidate bool) int {
 	next := cycle + 1
 	if !anyCandidate && minID == 0 {
 		// Nothing can issue now: jump straight to the next cycle where
 		// something becomes ready to keep the search shallow.
 		soonest := -1
-		for v := 0; v < n; v++ {
+		for v := 0; v < s.g.NumOps(); v++ {
 			if s.issue[v] < 0 && s.predsLeft[v] == 0 {
 				if soonest < 0 || s.readyAt[v] < soonest {
 					soonest = s.readyAt[v]
@@ -431,5 +604,46 @@ func (s *solver) dfs(cycle, minID, done int) {
 			next = soonest
 		}
 	}
-	s.dfs(next, 0, done)
+	return next
+}
+
+// Optimal returns a schedule minimizing the weighted completion time of the
+// superblock on the machine, together with its cost. maxNodes caps the
+// search (≤ 0 uses DefaultMaxNodes); ErrBudget is returned on overrun.
+func Optimal(sb *model.Superblock, m *model.Machine, maxNodes int) (*sched.Schedule, float64, error) {
+	return OptimalCtx(context.Background(), sb, m, maxNodes)
+}
+
+// OptimalCtx is Optimal with cancellation: the branch-and-bound search
+// polls ctx every few thousand nodes and abandons the search with ctx's
+// error once it is done. On budget overrun it returns the best incumbent
+// alongside ErrBudget; callers that want anytime semantics without an
+// error use OptimalBudget.
+func OptimalCtx(ctx context.Context, sb *model.Superblock, m *model.Machine, maxNodes int) (*sched.Schedule, float64, error) {
+	s, cost, truncated, err := OptimalBudget(ctx, sb, m, maxNodes, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	if truncated {
+		return s, cost, ErrBudget
+	}
+	return s, cost, nil
+}
+
+// OptimalBudget is the anytime form of the solver: the search additionally
+// honors a resilience.Budget (wall clock + nodes; nil = unlimited),
+// reserving budget nodes in per-poll batches so node accounting is exact —
+// the search never expands a node the budget did not grant, and unused
+// grants are refunded on completion. When the node cap or the budget
+// expires, the best incumbent found so far is returned as a legal schedule
+// with truncated set — its cost is an upper bound on the true optimum, not
+// the optimum — instead of an error. The error return is reserved for
+// cancellation and for graphs with no schedule at all.
+//
+// OptimalBudget always searches single-threaded (the behavior every
+// existing caller was built against, and the right default inside the
+// engine pipeline, which already fans out across superblocks). Use Solve
+// with Options.Workers for the parallel search.
+func OptimalBudget(ctx context.Context, sb *model.Superblock, m *model.Machine, maxNodes int, budget *resilience.Budget) (schedule *sched.Schedule, cost float64, truncated bool, err error) {
+	return Solve(ctx, sb, m, Options{MaxNodes: maxNodes, Budget: budget, Workers: 1})
 }

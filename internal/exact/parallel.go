@@ -1,0 +1,428 @@
+package exact
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"balance/internal/bounds"
+	"balance/internal/conc"
+	"balance/internal/model"
+	"balance/internal/resilience"
+	"balance/internal/sched"
+	"balance/internal/telemetry"
+)
+
+// Options configures Solve.
+type Options struct {
+	// MaxNodes caps the total search nodes across all workers (≤ 0 uses
+	// DefaultMaxNodes). Reservation accounting keeps the combined expansion
+	// at or under the cap regardless of worker count.
+	MaxNodes int
+	// Budget is an optional anytime wall-clock/node budget (nil =
+	// unlimited); expiry truncates the search and returns the incumbent.
+	Budget *resilience.Budget
+	// Workers is the search parallelism: 1 (or a single-task problem) runs
+	// the classic serial DFS, 0 uses GOMAXPROCS, N > 1 decomposes the root
+	// into frontier subtrees fanned across a work-stealing pool.
+	Workers int
+	// BreadthFactor scales the frontier decomposition: the root is expanded
+	// breadth-first into about BreadthFactor×Workers subtree tasks before
+	// the pool starts (0 = default 6). More tasks smooth load imbalance at
+	// the cost of more cloned solver states.
+	BreadthFactor int
+}
+
+// defaultBreadthFactor is the root-task multiple per worker: enough slack
+// that best-bound ordering plus endgame stealing keeps every worker busy,
+// small enough that frontier states stay a trivial share of the search.
+const defaultBreadthFactor = 6
+
+// splitCapPerWorker bounds how many pop-time subtree splits a solve may
+// perform (hunger-driven re-decomposition at the endgame).
+const splitCapPerWorker = 64
+
+// task is one frontier subtree: a snapshot of the solver state at an
+// interior search node, plus the dependence lower bound used for best-bound
+// ordering.
+type task struct {
+	issue     []int
+	predsLeft []int
+	readyAt   []int
+	used      [][]int
+	cycle     int
+	minID     int
+	done      int
+	lb        float64
+}
+
+// snapshotTask captures the solver's current state as a task rooted at
+// (cycle, minID, done).
+func (s *solver) snapshotTask(cycle, minID, done int) *task {
+	used := make([][]int, len(s.usedStack))
+	for i, row := range s.usedStack {
+		used[i] = append([]int(nil), row...)
+	}
+	return &task{
+		issue:     append([]int(nil), s.issue...),
+		predsLeft: append([]int(nil), s.predsLeft...),
+		readyAt:   append([]int(nil), s.readyAt...),
+		used:      used,
+		cycle:     cycle,
+		minID:     minID,
+		done:      done,
+		lb:        s.lowerBound(cycle),
+	}
+}
+
+// restore loads a task's snapshot into the solver, reusing its buffers.
+func (s *solver) restore(t *task) {
+	copy(s.issue, t.issue)
+	copy(s.predsLeft, t.predsLeft)
+	copy(s.readyAt, t.readyAt)
+	kinds := s.sh.m.Kinds()
+	for len(s.usedStack) < len(t.used) {
+		s.usedStack = append(s.usedStack, make([]int, kinds))
+	}
+	s.usedStack = s.usedStack[:len(t.used)]
+	for i, row := range t.used {
+		copy(s.usedStack[i], row)
+	}
+}
+
+// expandTask expands one frontier task a single level, returning its child
+// tasks in search order. Terminal outcomes (leaves, branches-done
+// completions, prunes) are resolved inline exactly as dfs would resolve
+// them — the expansion is the first level of the same search, so node and
+// prune accounting stays consistent. The bool is false when the solve must
+// stop (latch, budget, cancellation).
+func (s *solver) expandTask(t *task) ([]*task, bool) {
+	s.restore(t)
+	if !s.chargeNode() {
+		return nil, false
+	}
+	if t.cycle > s.horizon {
+		s.cnt.pruneHorizon++
+		return nil, true
+	}
+	n := s.g.NumOps()
+	if t.done == n {
+		s.cnt.leaves++
+		cost := 0.0
+		for i, b := range s.sh.sb.Branches {
+			cost += s.sh.sb.Prob[i] * float64(s.issue[b]+model.BranchLatency)
+		}
+		if cost < s.sh.bestNow() {
+			if s.sh.offer(cost, s.issue) {
+				s.cnt.incumbents++
+				s.checkProven(cost)
+			} else {
+				s.cnt.races++
+			}
+		}
+		return nil, !s.stopFlag
+	}
+	if s.branchesDone() {
+		s.cnt.branchesDone++
+		s.completeRest(t.cycle)
+		return nil, !s.stopFlag
+	}
+	if s.lowerBound(t.cycle) >= s.sh.bestNow() {
+		s.cnt.pruneBound++
+		return nil, true
+	}
+	var children []*task
+	anyCandidate := false
+	for v := t.minID; v < n; v++ {
+		if s.issue[v] >= 0 || s.predsLeft[v] > 0 || s.readyAt[v] > t.cycle {
+			continue
+		}
+		if !s.fitsOp(v, t.cycle) {
+			continue
+		}
+		anyCandidate = true
+		s.issue[v] = t.cycle
+		s.holdOp(v, t.cycle, 1)
+		type undo struct{ to, prev int }
+		var undos [16]undo
+		un := undos[:0]
+		for _, e := range s.g.Succs(v) {
+			s.predsLeft[e.To]--
+			un = append(un, undo{e.To, s.readyAt[e.To]})
+			if tt := t.cycle + e.Lat; tt > s.readyAt[e.To] {
+				s.readyAt[e.To] = tt
+			}
+		}
+		child := s.snapshotTask(t.cycle, v+1, t.done+1)
+		for i := len(un) - 1; i >= 0; i-- {
+			s.readyAt[un[i].to] = un[i].prev
+			s.predsLeft[un[i].to]++
+		}
+		s.holdOp(v, t.cycle, -1)
+		s.issue[v] = -1
+		if child.lb >= s.sh.bestNow() {
+			s.cnt.pruneBound++
+			continue
+		}
+		children = append(children, child)
+	}
+	next := s.nextCycle(t.cycle, t.minID, anyCandidate)
+	if next <= s.horizon {
+		advance := s.snapshotTask(next, 0, t.done)
+		if advance.lb >= s.sh.bestNow() {
+			s.cnt.pruneBound++
+		} else {
+			children = append(children, advance)
+		}
+	} else {
+		s.cnt.pruneHorizon++
+	}
+	return children, true
+}
+
+// expandFrontier grows the root into at least target frontier tasks by
+// breadth-first expansion (shallowest first), resolving terminal states
+// inline. It returns the frontier, or ok=false when the solve stopped
+// during expansion.
+func (s *solver) expandFrontier(target int) (tasks []*task, ok bool) {
+	queue := []*task{s.snapshotTask(0, 0, 0)}
+	for len(queue) > 0 && len(queue) < target {
+		t := queue[0]
+		queue = queue[1:]
+		children, cont := s.expandTask(t)
+		if !cont {
+			return nil, false
+		}
+		queue = append(queue, children...)
+	}
+	return queue, true
+}
+
+// Solve runs the branch-and-bound search with the given options and the
+// anytime contract of OptimalBudget: the returned cost is the true optimum
+// unless truncated is set, in which case it is the best incumbent's cost
+// (an upper bound). The optimal cost is deterministic across any worker
+// count — workers race only over which equal-cost schedule wins, never over
+// the cost itself — which the differential tests pin.
+func Solve(ctx context.Context, sb *model.Superblock, m *model.Machine, opts Options) (schedule *sched.Schedule, cost float64, truncated bool, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = DefaultMaxNodes
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	sh := &shared{
+		sb:        sb,
+		m:         m,
+		ctx:       ctx,
+		budget:    opts.Budget,
+		cap:       allot{limit: int64(maxNodes)},
+		floor:     math.Inf(-1),
+		startTime: time.Now(),
+	}
+	sh.bestBits.Store(math.Float64bits(math.Inf(1)))
+	sh.lastProgress.Store(sh.startTime.UnixNano())
+
+	// Seed the incumbent with a critical-path list schedule so pruning has
+	// a finite target from the start.
+	heights := sched.IntsToFloats(sb.G.Heights())
+	seeded := false
+	if seed, _, serr := sched.ListSchedule(sb, m, heights); serr == nil {
+		sh.offer(sched.Cost(sb, seed), seed.Cycle)
+		seeded = true
+	}
+
+	sp, spanCtx := telemetry.Default().StartSpanCtx(ctx, "exact.solve")
+	sh.span = sp.Context()
+	sh.spanCtx = spanCtx
+
+	var agg solveCounts
+	if seeded {
+		agg.incumbents++ // the seed, kept out of the per-worker counts
+		telIncumbents.Inc()
+	}
+
+	if workers > 1 {
+		// The kernel-cached pairwise floor: a cheap true lower bound that
+		// orders nothing by itself but lets the solve stop the moment the
+		// incumbent provably cannot improve, and gives root ordering a
+		// sound clamp. Only the parallel path pays for it — the serial path
+		// stays byte-for-byte the legacy solver.
+		sh.floor = bounds.SearchFloor(ctx, sb, m)
+	}
+
+	steals, stolen := int64(0), int64(0)
+	if workers == 1 {
+		s := newSolver(sh, 0)
+		s.dfs(0, 0, 0)
+		s.finish()
+		agg.add(s.cnt)
+	} else {
+		bf := opts.BreadthFactor
+		if bf <= 0 {
+			bf = defaultBreadthFactor
+		}
+		sh.workers = workers
+		sh.stealer = conc.NewStealer[*task](workers)
+
+		fs := newSolver(sh, 0)
+		tasks, cont := fs.expandFrontier(bf * workers)
+		fs.finish()
+		agg.add(fs.cnt)
+
+		if cont && len(tasks) > 0 {
+			// Best-bound order: the lowest-lb (most promising) subtrees are
+			// dealt first and popped first, so the incumbent tightens as
+			// early as possible and prunes the unpromising tail.
+			sort.SliceStable(tasks, func(i, j int) bool { return tasks[i].lb < tasks[j].lb })
+			deal := make([][]*task, workers)
+			for i, t := range tasks {
+				w := i % workers
+				deal[w] = append(deal[w], t)
+			}
+			for w, list := range deal {
+				// Push worst-first: the owner pops its deque LIFO, so the
+				// best-bound task surfaces first; thieves steal the oldest
+				// (worst-bound) half, which is exactly the work the owner
+				// values least.
+				for i := len(list) - 1; i >= 0; i-- {
+					sh.stealer.Push(w, list[i])
+				}
+			}
+			sh.stealer.Close()
+
+			var wg sync.WaitGroup
+			results := make([]solveCounts, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					results[w] = runWorker(sh, w)
+				}(w)
+			}
+			wg.Wait()
+			for _, c := range results {
+				agg.add(c)
+			}
+			steals, stolen = sh.stealer.Steals()
+			telSteals.Add(steals)
+		}
+	}
+
+	telSolves.Inc()
+	telSolveDur.ObserveDuration(time.Since(sh.startTime))
+
+	reason := sh.halted()
+	cancelled := reason == stopCancel
+	truncated = reason == stopBudget || reason == stopNodeCap
+	budgetHit := reason == stopBudget
+
+	if sp.Active() {
+		sp.End(
+			telemetry.String("sb", sb.Name),
+			telemetry.Int("ops", int64(sb.G.NumOps())),
+			telemetry.Int("workers", int64(workers)),
+			telemetry.Int("nodes", int64(agg.nodes)),
+			telemetry.Int("pruned_lower_bound", int64(agg.pruneBound)),
+			telemetry.Int("incumbent_updates", int64(agg.incumbents)),
+			telemetry.Int("incumbent_races", int64(agg.races)),
+			telemetry.Int("steals", steals),
+			telemetry.Int("stolen_tasks", stolen),
+			telemetry.Int("splits", sh.splits.Load()),
+			telemetry.Float("best", sh.bestNow()),
+			telemetry.Int("proven_by_floor", boolInt(reason == stopProven)),
+			telemetry.Int("overrun", boolInt(truncated)),
+			telemetry.Int("truncated_by_budget", boolInt(budgetHit)),
+			telemetry.Int("cancelled", boolInt(cancelled)),
+		)
+	}
+	if cancelled {
+		telCancels.Inc()
+		return nil, 0, false, ctx.Err()
+	}
+	sh.mu.Lock()
+	best := append([]int(nil), sh.bestSched...)
+	bestCost := sh.bestNow()
+	sh.mu.Unlock()
+	if len(best) == 0 {
+		return nil, 0, false, errors.New("exact: no schedule found")
+	}
+	if truncated {
+		telOverruns.Inc()
+		if budgetHit {
+			telTruncations.Inc()
+		}
+		return &sched.Schedule{Cycle: best}, bestCost, true, nil
+	}
+	return &sched.Schedule{Cycle: best}, bestCost, false, nil
+}
+
+// runWorker is one pool worker: pop a subtree (own deque first, then steal),
+// search it to completion against the shared incumbent, repeat. When other
+// workers are starving (parked) it splits its popped task one level instead
+// of searching it, feeding the pool — the endgame load balancer.
+func runWorker(sh *shared, w int) solveCounts {
+	s := newSolver(sh, w)
+	defer s.finish()
+	st := sh.stealer
+	reg := telemetry.Default()
+	n := s.g.NumOps()
+	splitCap := int64(splitCapPerWorker * sh.workers)
+	for {
+		t, ok := st.Next(w)
+		if !ok {
+			break
+		}
+		if s.stopFlag || sh.halted() != stopNone {
+			st.Done()
+			break
+		}
+		if st.Parked() > 0 && t.done < n-1 && sh.splits.Load() < splitCap {
+			sh.splits.Add(1)
+			children, cont := s.expandTask(t)
+			// Push best-bound last so our next pop takes it; thieves get
+			// the rest from the other end.
+			sort.SliceStable(children, func(i, j int) bool { return children[i].lb > children[j].lb })
+			for _, c := range children {
+				st.Push(w, c)
+			}
+			st.Done()
+			if !cont {
+				break
+			}
+			continue
+		}
+		sub, _ := reg.StartSpanCtx(sh.spanCtx, "exact.subtree")
+		before := s.nodes
+		s.restore(t)
+		s.dfs(t.cycle, t.minID, t.done)
+		if sub.Active() {
+			sub.End(
+				telemetry.Int("worker", int64(w)),
+				telemetry.Int("nodes", int64(s.nodes-before)),
+				telemetry.Float("lb", t.lb),
+				telemetry.Int("depth", int64(t.done)),
+			)
+		}
+		st.Done()
+		if s.stopFlag {
+			break
+		}
+	}
+	// A worker that stopped early (latch seen mid-search) must make sure
+	// parked peers wake up and the queue drains.
+	if s.stopFlag {
+		st.Abort()
+	}
+	return s.cnt
+}

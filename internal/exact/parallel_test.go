@@ -1,0 +1,241 @@
+package exact
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"balance/internal/model"
+	"balance/internal/resilience"
+	"balance/internal/sched"
+	"balance/internal/testutil"
+)
+
+// TestParallelMatchesSerial is the determinism contract of the parallel
+// search: for any worker count the returned cost is the same true optimum
+// the serial DFS proves. Workers race only over which equal-cost schedule
+// wins, never over the cost.
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 12; i++ {
+		sb := testutil.RandomSuperblock(rng, 12)
+		for _, m := range testutil.SmallMachines() {
+			_, serial, cut, err := Solve(context.Background(), sb, m, Options{Workers: 1})
+			if err != nil {
+				t.Fatalf("iter %d %s: serial solve: %v", i, m.Name, err)
+			}
+			if cut {
+				t.Fatalf("iter %d %s: serial solve truncated", i, m.Name)
+			}
+			for _, workers := range []int{2, 4, 8} {
+				s, cost, cut, err := Solve(context.Background(), sb, m, Options{Workers: workers})
+				if err != nil {
+					t.Fatalf("iter %d %s workers=%d: %v", i, m.Name, workers, err)
+				}
+				if cut {
+					t.Fatalf("iter %d %s workers=%d: truncated without a budget", i, m.Name, workers)
+				}
+				if math.Abs(cost-serial) > 1e-9 {
+					t.Fatalf("iter %d %s workers=%d: cost %v != serial optimum %v",
+						i, m.Name, workers, cost, serial)
+				}
+				if verr := sched.Verify(sb, m, s); verr != nil {
+					t.Errorf("iter %d %s workers=%d: illegal schedule: %v", i, m.Name, workers, verr)
+				}
+				if c := sched.Cost(sb, s); math.Abs(c-cost) > 1e-9 {
+					t.Errorf("iter %d %s workers=%d: schedule cost %v != reported %v",
+						i, m.Name, workers, c, cost)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelBreadthFactors varies the frontier decomposition width: the
+// optimum must not depend on how the root is carved into subtrees.
+func TestParallelBreadthFactors(t *testing.T) {
+	sb := budgetTestSB(t, 10, 0.3)
+	m := model.GP2()
+	_, want, _, err := Solve(context.Background(), sb, m, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bf := range []int{1, 2, 16} {
+		_, cost, cut, err := Solve(context.Background(), sb, m, Options{Workers: 4, BreadthFactor: bf})
+		if err != nil || cut {
+			t.Fatalf("bf=%d: err=%v truncated=%v", bf, err, cut)
+		}
+		if math.Abs(cost-want) > 1e-9 {
+			t.Fatalf("bf=%d: cost %v != optimum %v", bf, cost, want)
+		}
+	}
+}
+
+// awaitGoroutines waits for the goroutine count to drain back to the
+// baseline, tolerating runtime bookkeeping goroutines that come and go.
+func awaitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestParallelCancelMidSearch cancels an 8-worker solve of a search-hostile
+// instance mid-flight: the solve must return ctx's error promptly and leave
+// no worker goroutines behind — including workers parked on the stealer or
+// holding freshly stolen subtrees.
+func TestParallelCancelMidSearch(t *testing.T) {
+	sb := budgetTestSB(t, 14, 0.3)
+	m := model.GP2()
+	base := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			_, _, _, err := Solve(ctx, sb, m, Options{Workers: 8})
+			done <- err
+		}()
+		time.Sleep(time.Duration(i) * 2 * time.Millisecond)
+		cancel()
+		select {
+		case err := <-done:
+			// An instant cancel can land before the search even charges a
+			// node; a solve that finished first is also legal. Anything else
+			// must surface ctx's error.
+			if err != nil && err != context.Canceled {
+				t.Fatalf("iter %d: err = %v, want context.Canceled or nil", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("iter %d: cancelled solve did not return", i)
+		}
+		awaitGoroutines(t, base)
+	}
+}
+
+// TestParallelCancelChaos races cancellation against every phase of the
+// parallel solve — frontier expansion, steady-state stealing, endgame
+// splits — by sweeping the cancel delay across the solve's lifetime.
+func TestParallelCancelChaos(t *testing.T) {
+	sb := budgetTestSB(t, 12, 0.25)
+	m := model.GP2()
+	_, want, _, err := Solve(context.Background(), sb, m, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+	rng := rand.New(rand.NewSource(29))
+	for i := 0; i < 20; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		delay := time.Duration(rng.Intn(2000)) * time.Microsecond
+		timer := time.AfterFunc(delay, cancel)
+		s, cost, cut, err := Solve(ctx, sb, m, Options{Workers: 8, BreadthFactor: 2})
+		timer.Stop()
+		cancel()
+		switch {
+		case err == context.Canceled:
+			// Cancelled mid-search: nothing to check beyond cleanup.
+		case err != nil:
+			t.Fatalf("iter %d (delay %v): %v", i, delay, err)
+		case cut:
+			t.Fatalf("iter %d (delay %v): truncated without a budget", i, delay)
+		default:
+			if math.Abs(cost-want) > 1e-9 {
+				t.Fatalf("iter %d (delay %v): cost %v != optimum %v", i, delay, cost, want)
+			}
+			if verr := sched.Verify(sb, m, s); verr != nil {
+				t.Fatalf("iter %d (delay %v): illegal schedule: %v", i, delay, verr)
+			}
+		}
+		awaitGoroutines(t, base)
+	}
+}
+
+// TestParallelBudgetTruncation: a parallel solve under a tiny node budget
+// keeps the anytime contract — legal incumbent, truncated flag, cost an
+// upper bound on the serial optimum.
+func TestParallelBudgetTruncation(t *testing.T) {
+	sb := budgetTestSB(t, 12, 0.3)
+	m := model.GP2()
+	_, opt, _, err := Solve(context.Background(), sb, m, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truncatedSeen := false
+	for _, limit := range []int64{1, 3 * ctxCheckInterval} {
+		budget := resilience.NewBudget(0, limit)
+		s, cost, truncated, err := Solve(context.Background(), sb, m, Options{Workers: 4, Budget: budget})
+		if err != nil {
+			t.Fatalf("limit %d: %v", limit, err)
+		}
+		if s == nil {
+			t.Fatalf("limit %d: solve returned no schedule", limit)
+		}
+		if verr := sched.Verify(sb, m, s); verr != nil {
+			t.Errorf("limit %d: schedule is illegal: %v", limit, verr)
+		}
+		if truncated {
+			truncatedSeen = true
+			if cost < opt-1e-9 {
+				t.Errorf("limit %d: truncated cost %v below true optimum %v", limit, cost, opt)
+			}
+		} else if math.Abs(cost-opt) > 1e-9 {
+			// Not truncated means the pairwise floor proved the incumbent
+			// optimal before the budget ran dry — then the cost must BE the
+			// optimum, not an upper bound.
+			t.Errorf("limit %d: untruncated cost %v != optimum %v", limit, cost, opt)
+		}
+	}
+	if !truncatedSeen {
+		t.Error("a one-node budget must truncate a 12-op hostile search")
+	}
+}
+
+// TestCompleteRestPooledScratchNoAllocs pins the allocation fix: once the
+// pooled scratch is warm, the greedy completion of a branches-done subtree
+// allocates nothing per leaf.
+func TestCompleteRestPooledScratchNoAllocs(t *testing.T) {
+	b := model.NewBuilder("cr-alloc")
+	br := b.Branch(0.5)
+	for i := 0; i < 8; i++ {
+		b.Int()
+	}
+	sb := b.MustBuild()
+	m := model.GP2()
+
+	sh := &shared{sb: sb, m: m, ctx: context.Background(), floor: math.Inf(-1)}
+	sh.bestBits.Store(math.Float64bits(math.Inf(1)))
+	s := newSolver(sh, 0)
+	// Place the branch at cycle 0 the way dfs would; everything else is
+	// unscheduled, so completeRest has real work to do.
+	s.issue[br] = 0
+	s.holdOp(br, 0, 1)
+	for _, e := range s.g.Succs(br) {
+		s.predsLeft[e.To]--
+		if tt := 0 + e.Lat; tt > s.readyAt[e.To] {
+			s.readyAt[e.To] = tt
+		}
+	}
+	if !s.branchesDone() {
+		t.Fatal("test setup: branches not done")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		// Reset the incumbent so the offer path (the full completion) runs
+		// every time rather than bailing on the cost check.
+		sh.bestBits.Store(math.Float64bits(math.Inf(1)))
+		s.completeRest(0)
+	})
+	if allocs != 0 {
+		t.Errorf("completeRest allocates %v objects per leaf, want 0", allocs)
+	}
+}

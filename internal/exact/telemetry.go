@@ -6,13 +6,15 @@ import (
 	"balance/internal/telemetry"
 )
 
-// Branch-and-bound instruments. The solver accumulates counts locally (one
-// int increment per event) and flushes them to the registry at the context
-// poll interval and at the end of every solve, so the search loop pays no
-// atomic operations per node. The termination counters partition the
-// expanded nodes: every node either recurses or terminates through exactly
-// one of pruned_lower_bound, pruned_horizon, branches_complete,
-// leaf_schedules, or the budget overrun — see DESIGN.md.
+// Branch-and-bound instruments. Each worker solver accumulates counts
+// locally (one int increment per event) and flushes them to the registry at
+// the poll interval and when it finishes, so the search loop pays no atomic
+// operations per node. The termination counters partition the expanded
+// nodes: every node either recurses or terminates through exactly one of
+// pruned_lower_bound, pruned_horizon, branches_complete, leaf_schedules, or
+// the budget overrun — see DESIGN.md. exact.steals counts work-stealing
+// operations between workers of a parallel solve; exact.incumbent_races
+// counts incumbent offers that lost to a concurrent better schedule.
 var (
 	telSolves       = telemetry.Default().Counter("exact.solves")
 	telNodes        = telemetry.Default().Counter("exact.nodes_expanded")
@@ -21,6 +23,8 @@ var (
 	telBranchesDone = telemetry.Default().Counter("exact.branches_complete")
 	telLeaves       = telemetry.Default().Counter("exact.leaf_schedules")
 	telIncumbents   = telemetry.Default().Counter("exact.incumbent_updates")
+	telRaces        = telemetry.Default().Counter("exact.incumbent_races")
+	telSteals       = telemetry.Default().Counter("exact.steals")
 	telOverruns     = telemetry.Default().Counter("exact.budget_overruns")
 	telTruncations  = telemetry.Default().Counter("exact.budget_truncations")
 	telCancels      = telemetry.Default().Counter("exact.cancellations")
@@ -32,14 +36,28 @@ var (
 // the path; ≤ 0 emits at every context poll).
 var ProgressInterval = time.Second
 
-// solveCounts tallies the search events of one solve.
+// solveCounts tallies the search events of one solver (one worker of a
+// parallel solve, or the whole serial search).
 type solveCounts struct {
 	nodes        int // expanded search nodes
 	pruneBound   int // subtrees cut by the dependence lower bound
 	pruneHorizon int // subtrees cut by the serial-horizon limit
 	branchesDone int // subtrees closed greedily once every branch issued
 	leaves       int // complete schedules reached
-	incumbents   int // best-schedule improvements (including the seed)
+	incumbents   int // best-schedule improvements
+	races        int // incumbent offers beaten by a concurrent worker
+}
+
+// add merges another worker's counts (for span attributes; the registry
+// counters are flushed per worker and never double-counted here).
+func (c *solveCounts) add(o solveCounts) {
+	c.nodes += o.nodes
+	c.pruneBound += o.pruneBound
+	c.pruneHorizon += o.pruneHorizon
+	c.branchesDone += o.branchesDone
+	c.leaves += o.leaves
+	c.incumbents += o.incumbents
+	c.races += o.races
 }
 
 // flushTelemetry publishes the counts accumulated since the last flush.
@@ -52,31 +70,54 @@ func (s *solver) flushTelemetry() {
 	telBranchesDone.Add(int64(d.branchesDone - f.branchesDone))
 	telLeaves.Add(int64(d.leaves - f.leaves))
 	telIncumbents.Add(int64(d.incumbents - f.incumbents))
+	telRaces.Add(int64(d.races - f.races))
 	s.flushed = d
 }
 
 // maybeProgress emits an "exact.progress" event (and flushes counters so
-// live expvar views advance) when a sink is active and ProgressInterval
-// has elapsed. Called from the search's context-poll points, so long
-// solves are never silent.
+// live expvar views advance) when a sink is active and ProgressInterval has
+// elapsed. Called from every worker's poll points; a CAS on the shared
+// timestamp elects at most one emitter per interval, so long solves are
+// never silent and parallel solves never spam.
 func (s *solver) maybeProgress() {
 	reg := telemetry.Default()
 	if !reg.SinkActive() {
 		return
 	}
 	now := time.Now()
-	if now.Sub(s.lastProgress) < ProgressInterval {
-		return
+	if ProgressInterval > 0 {
+		last := s.sh.lastProgress.Load()
+		if now.UnixNano()-last < int64(ProgressInterval) {
+			return
+		}
+		if !s.sh.lastProgress.CompareAndSwap(last, now.UnixNano()) {
+			return
+		}
+	} else {
+		s.sh.lastProgress.Store(now.UnixNano())
 	}
-	s.lastProgress = now
 	s.flushTelemetry()
-	reg.EmitSpan(s.span, "exact.progress",
-		telemetry.String("sb", s.sb.Name),
-		telemetry.Int("nodes", int64(s.cnt.nodes)),
+	s.syncShared()
+	nodes := s.sh.nodes.Load()
+	elapsed := now.Sub(s.sh.startTime)
+	rate := int64(0)
+	if elapsed > 0 {
+		rate = nodes * int64(time.Second) / int64(elapsed)
+	}
+	steals := int64(0)
+	if s.sh.stealer != nil {
+		steals, _ = s.sh.stealer.Steals()
+	}
+	reg.EmitSpan(s.sh.span, "exact.progress",
+		telemetry.String("sb", s.sh.sb.Name),
+		telemetry.Int("nodes", nodes),
+		telemetry.Int("nodes_per_s", rate),
+		telemetry.Int("workers", int64(max(s.sh.workers, 1))),
+		telemetry.Int("steals", steals),
 		telemetry.Int("pruned_lower_bound", int64(s.cnt.pruneBound)),
 		telemetry.Int("pruned_horizon", int64(s.cnt.pruneHorizon)),
 		telemetry.Int("incumbent_updates", int64(s.cnt.incumbents)),
-		telemetry.Float("best", s.best),
-		telemetry.Int("elapsed_ms", now.Sub(s.startTime).Milliseconds()),
+		telemetry.Float("best", s.sh.bestNow()),
+		telemetry.Int("elapsed_ms", elapsed.Milliseconds()),
 	)
 }

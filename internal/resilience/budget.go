@@ -100,6 +100,63 @@ func (b *Budget) Spend(n int64) {
 	b.nodes.Add(n)
 }
 
+// Reserve claims up to n nodes from the remaining node allowance and
+// returns how many were granted: n when the budget has no node limit (or b
+// is nil), the exact remainder when fewer than n nodes are left, and 0 when
+// the allowance is exhausted. The grant is charged immediately (Spent
+// includes it); callers return what they did not use with Refund. Together
+// the pair makes batched node accounting exact to ±0: a consumer that
+// expands only granted nodes can never overshoot the limit, unlike the
+// spend-after-the-fact pattern, which overshoots by up to one batch per
+// concurrent consumer.
+func (b *Budget) Reserve(n int64) int64 {
+	if b == nil || n <= 0 {
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	if b.maxNodes <= 0 {
+		b.nodes.Add(n)
+		return n
+	}
+	for {
+		cur := b.nodes.Load()
+		rem := b.maxNodes - cur
+		if rem <= 0 {
+			return 0
+		}
+		grant := n
+		if grant > rem {
+			grant = rem
+		}
+		if b.nodes.CompareAndSwap(cur, cur+grant) {
+			return grant
+		}
+	}
+}
+
+// Refund returns unused nodes from an earlier Reserve grant. Nil-safe.
+// Refunding more than was reserved corrupts the accounting; callers refund
+// exactly grant-used.
+func (b *Budget) Refund(n int64) {
+	if b == nil || n <= 0 {
+		return
+	}
+	b.nodes.Add(-n)
+}
+
+// WallExpired reports whether the wall-clock allowance alone is exhausted,
+// ignoring the node count. Consumers that pre-reserve node batches poll
+// this instead of Expired: their own outstanding reservations would
+// otherwise read as node exhaustion. Nil-safe.
+func (b *Budget) WallExpired() bool {
+	if b == nil {
+		return false
+	}
+	return !b.deadline.IsZero() && time.Now().After(b.deadline)
+}
+
 // Spent returns the nodes spent so far. Nil-safe.
 func (b *Budget) Spent() int64 {
 	if b == nil {

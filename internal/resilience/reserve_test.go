@@ -1,0 +1,104 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestReserveUnlimited(t *testing.T) {
+	var b *Budget
+	if got := b.Reserve(100); got != 100 {
+		t.Errorf("nil budget Reserve(100) = %d, want 100", got)
+	}
+	b.Refund(50) // nil-safe no-op
+
+	wall := NewBudget(time.Hour, 0)
+	if got := wall.Reserve(64); got != 64 {
+		t.Errorf("no-node-limit Reserve(64) = %d, want 64", got)
+	}
+	if got := wall.Spent(); got != 64 {
+		t.Errorf("Spent after Reserve = %d, want 64", got)
+	}
+	wall.Refund(10)
+	if got := wall.Spent(); got != 54 {
+		t.Errorf("Spent after Refund = %d, want 54", got)
+	}
+}
+
+func TestReserveExactRemainder(t *testing.T) {
+	b := NewBudget(0, 100)
+	if got := b.Reserve(64); got != 64 {
+		t.Fatalf("first Reserve = %d, want 64", got)
+	}
+	if got := b.Reserve(64); got != 36 {
+		t.Fatalf("second Reserve = %d, want the exact remainder 36", got)
+	}
+	if got := b.Reserve(64); got != 0 {
+		t.Fatalf("exhausted Reserve = %d, want 0", got)
+	}
+	if !b.Expired() {
+		t.Error("budget with every node reserved should report Expired")
+	}
+	// A refund reopens exactly the returned allowance.
+	b.Refund(5)
+	if got := b.Reserve(64); got != 5 {
+		t.Fatalf("post-refund Reserve = %d, want 5", got)
+	}
+	if got := b.Spent(); got != 100 {
+		t.Errorf("Spent = %d, want 100", got)
+	}
+}
+
+// TestReserveConcurrentNeverOvershoots is the ±0 accounting invariant: any
+// interleaving of concurrent reservations grants exactly the limit in
+// total, never more.
+func TestReserveConcurrentNeverOvershoots(t *testing.T) {
+	const limit = 10_000
+	b := NewBudget(0, limit)
+	var wg sync.WaitGroup
+	granted := make([]int64, 8)
+	for w := range granted {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				g := b.Reserve(97)
+				if g == 0 {
+					return
+				}
+				granted[w] += g
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := int64(0)
+	for _, g := range granted {
+		total += g
+	}
+	if total != limit {
+		t.Errorf("total granted = %d, want exactly %d", total, limit)
+	}
+	if got := b.Spent(); got != limit {
+		t.Errorf("Spent = %d, want %d", got, limit)
+	}
+}
+
+func TestWallExpiredIgnoresNodes(t *testing.T) {
+	b := NewBudget(time.Hour, 10)
+	b.Reserve(10)
+	if b.WallExpired() {
+		t.Error("fresh wall clock reported expired")
+	}
+	if !b.Expired() {
+		t.Error("fully reserved node budget should report Expired")
+	}
+	short := NewBudget(time.Nanosecond, 10)
+	time.Sleep(time.Millisecond)
+	if !short.WallExpired() {
+		t.Error("elapsed wall clock not reported by WallExpired")
+	}
+	if (*Budget)(nil).WallExpired() {
+		t.Error("nil budget WallExpired should be false")
+	}
+}
