@@ -52,13 +52,17 @@ func serveDist(ctx context.Context, r *eval.Runner, journal *resilience.Checkpoi
 	if err != nil {
 		return err
 	}
+	// The process-root span parents every per-unit dist.unit span, so a
+	// merged timeline hangs the whole corpus run off one covering span.
+	tctx := obs.Context(ctx)
 	coord, err := dist.NewCoordinator(dist.Config{
 		Spec:     spec,
 		Units:    units,
 		Journal:  journal,
 		LeaseTTL: ttl,
 		MaxBatch: batch,
-		TraceID:  telemetry.SpanFromContext(ctx).Trace,
+		TraceCtx: tctx,
+		TraceID:  telemetry.SpanFromContext(tctx).Trace,
 	})
 	if err != nil {
 		return err

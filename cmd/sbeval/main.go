@@ -89,7 +89,9 @@ func main() {
 	if *workerURL != "" {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
-		if err := dist.RunWorker(ctx, dist.WorkerConfig{
+		// obs.Context gives this worker a covering root span; RunWorker
+		// then rebinds evaluation spans into the coordinator's trace.
+		if err := dist.RunWorker(obs.Context(ctx), dist.WorkerConfig{
 			Coordinator: *workerURL,
 			ID:          *distID,
 			MaxBatch:    *distBatch,

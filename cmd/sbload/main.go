@@ -17,6 +17,12 @@
 // 5xx and transport failures only. Goroutine growth is sampled from the
 // server's /healthz between warmup and the end of the run, so a leaky
 // handler fails the gate even when throughput looks healthy.
+//
+// Every request carries a fresh trace ID in its SB-Trace header, and the
+// summary's "slowest" section (-slow-traces, default 5) names the trace
+// IDs of the slowest successful requests — grep them in the server's
+// access log, or merge client and server -trace files with sbtrace to
+// see both halves of the slow request on one timeline.
 package main
 
 import (
@@ -34,10 +40,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"balance/internal/cliutil"
 	"balance/internal/gen"
 	"balance/internal/sbfile"
+	"balance/internal/telemetry"
 	"balance/internal/wire"
 )
+
+var obs = cliutil.Flags("sbload")
 
 // summary is the machine-readable result written by -out.
 type summary struct {
@@ -61,6 +71,38 @@ type summary struct {
 	// client-side ones above, and the burn rate -max-burn gates on.
 	Window *wire.WindowHealth `json:"server_window,omitempty"`
 	SLO    []wire.SLOHealth   `json:"server_slo,omitempty"`
+	// Slowest holds the k slowest successful requests with the trace ID
+	// each was issued under. The same ID reaches the server via SB-Trace,
+	// so these jump straight to the right spans in a merged sbtrace
+	// timeline and to the matching access-log lines.
+	Slowest []slowEntry `json:"slowest,omitempty"`
+}
+
+// slowEntry is one of the k slowest requests (see -slow-traces).
+type slowEntry struct {
+	Trace     string  `json:"trace"`
+	Endpoint  string  `json:"endpoint"`
+	LatencyMS float64 `json:"latency_ms"`
+}
+
+// slowTracker keeps the k slowest entries seen across all workers.
+type slowTracker struct {
+	mu sync.Mutex
+	k  int
+	es []slowEntry
+}
+
+func (st *slowTracker) add(e slowEntry) {
+	if st.k <= 0 {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.es = append(st.es, e)
+	sort.Slice(st.es, func(i, j int) bool { return st.es[i].LatencyMS > st.es[j].LatencyMS })
+	if len(st.es) > st.k {
+		st.es = st.es[:st.k]
+	}
 }
 
 func main() {
@@ -78,7 +120,11 @@ func main() {
 	maxGoroutineGrowth := flag.Int("max-goroutine-growth", -1, "fail if server goroutines grow by more than this (-1 = no gate)")
 	minRPS := flag.Float64("min-rps", -1, "fail if sustained requests/sec fall below this (-1 = no gate)")
 	maxBurn := flag.Float64("max-burn", -1, "fail if any server SLO's long-window burn rate exceeds this (-1 = no gate; needs sbserve -slo)")
+	slowTraces := flag.Int("slow-traces", 5, "record the trace IDs of this many slowest requests in the summary (0 disables)")
 	flag.Parse()
+	if err := obs.Start(); err != nil {
+		obs.Fatal(err)
+	}
 
 	weights, err := parseMix(*mix)
 	if err != nil {
@@ -87,7 +133,7 @@ func main() {
 	inputs := corpus(*seed, *distinct, *maxOps)
 	base := "http://" + *addr
 	hc := &http.Client{Timeout: *deadline + 10*time.Second}
-	ctx := context.Background()
+	ctx := obs.Context(context.Background())
 
 	// Warm up: one request per input primes the cache and proves the
 	// server is reachable before the measured window starts. The boot
@@ -123,6 +169,7 @@ func main() {
 		latMu                                  sync.Mutex
 		latencies                              []time.Duration
 	)
+	slow := &slowTracker{k: *slowTraces}
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -138,9 +185,11 @@ func main() {
 				default:
 				}
 				in := inputs[rng.Intn(len(inputs))]
+				sc, rctx, sp := requestSpan(ctx)
 				t0 := time.Now()
-				code, resp := oneRequest(ctx, hc, base, weights, rng, in, *machine, *deadline)
+				endpoint, code, resp := oneRequest(rctx, hc, base, weights, rng, in, *machine, *deadline)
 				elapsed := time.Since(t0)
+				sp.End(telemetry.String("endpoint", endpoint), telemetry.Int("code", int64(code)))
 				requests.Add(1)
 				switch {
 				case code >= 200 && code < 300:
@@ -148,6 +197,11 @@ func main() {
 					latMu.Lock()
 					latencies = append(latencies, elapsed)
 					latMu.Unlock()
+					slow.add(slowEntry{
+						Trace:     fmt.Sprintf("%016x", sc.Trace),
+						Endpoint:  endpoint,
+						LatencyMS: float64(elapsed.Microseconds()) / 1000,
+					})
 					if resp != nil {
 						if resp.Cached {
 							cached.Add(1)
@@ -199,11 +253,15 @@ func main() {
 		Cache:           health.Cache,
 		Window:          health.Window,
 		SLO:             health.SLO,
+		Slowest:         slow.es,
 	}
 	writeSummary(*out, s)
 	fmt.Fprintf(os.Stderr, "sbload: %d requests in %v (%.0f req/s): %d ok, %d rejected, %d deadline, %d errors; p95 %.2fms\n",
 		s.Requests, elapsed.Round(time.Millisecond), s.RPS,
 		s.OK, s.Rejected, s.Deadline, s.ClientErrors+s.ServerErrors+s.TransportErrors, s.LatencyMS["p95"])
+	for _, e := range s.Slowest {
+		fmt.Fprintf(os.Stderr, "sbload: slow %8.2fms %-8s trace %s\n", e.LatencyMS, e.Endpoint, e.Trace)
+	}
 
 	failed := false
 	if *maxErrorRatio >= 0 && s.Requests > 0 {
@@ -242,33 +300,52 @@ func main() {
 		failed = true
 	}
 	if failed {
+		obs.Flush()
 		os.Exit(1)
 	}
+	obs.Close()
+}
+
+// requestSpan mints the per-request trace identity. Each synthetic
+// request is its own trace root — nesting them under sbload's root span
+// would give every request the same trace ID, and the slowest-request
+// report could no longer name one request. With a -trace sink the
+// request gets a real client span; without one it still gets a fresh
+// trace ID (span allocation does not require a sink), so SB-Trace
+// propagation and the slowest-request report work either way.
+func requestSpan(ctx context.Context) (telemetry.SpanContext, context.Context, telemetry.Span) {
+	reg := telemetry.Default()
+	if reg.SinkActive() {
+		sp, rctx := reg.StartSpanCtx(telemetry.ContextWithSpan(ctx, telemetry.SpanContext{}), "load.request")
+		return sp.Context(), rctx, sp
+	}
+	sc := telemetry.NewSpanContext(0)
+	return sc, telemetry.ContextWithSpan(ctx, sc), telemetry.Span{}
 }
 
 // oneRequest picks an endpoint by mix weight and performs it, returning the
-// status code (0 on transport failure) and, for schedule requests, the
-// decoded response for cache accounting.
+// endpoint name, the status code (0 on transport failure) and, for
+// schedule requests, the decoded response for cache accounting.
 func oneRequest(ctx context.Context, hc *http.Client, base string, weights mixWeights, rng *rand.Rand,
-	sb, machine string, deadline time.Duration) (int, *wire.ScheduleResponse) {
+	sb, machine string, deadline time.Duration) (string, int, *wire.ScheduleResponse) {
 	ms := deadlineMS(deadline)
 	switch weights.pick(rng) {
 	case "bounds":
 		code, _, _ := wire.Post(ctx, hc, base+"/v1/bounds", &wire.BoundsRequest{
 			Superblock: sb, Machine: machine, DeadlineMS: ms,
 		}, nil)
-		return code, nil
+		return "bounds", code, nil
 	case "explain":
 		code, _, _ := wire.Post(ctx, hc, base+"/v1/explain", &wire.ExplainRequest{
 			Superblock: sb, Machine: machine, DeadlineMS: ms,
 		}, nil)
-		return code, nil
+		return "explain", code, nil
 	default:
 		var resp wire.ScheduleResponse
 		code, _, _ := wire.Post(ctx, hc, base+"/v1/schedule", &wire.ScheduleRequest{
 			Superblock: sb, Machine: machine, DeadlineMS: ms,
 		}, &resp)
-		return code, &resp
+		return "schedule", code, &resp
 	}
 }
 
@@ -381,6 +458,5 @@ func writeSummary(path string, s summary) {
 }
 
 func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "sbload: %v\n", err)
-	os.Exit(1)
+	obs.Fatal(err)
 }

@@ -67,6 +67,24 @@ func TestLoadAgainstService(t *testing.T) {
 	if s.Cache.Misses == 0 {
 		t.Errorf("server cache accounting missing from summary: %+v", s.Cache)
 	}
+	if len(s.Slowest) == 0 {
+		t.Fatalf("summary records no slowest-request traces: %+v", s)
+	}
+	if len(s.Slowest) > 5 {
+		t.Errorf("slowest list has %d entries, default cap is 5", len(s.Slowest))
+	}
+	seen := map[string]bool{}
+	for _, e := range s.Slowest {
+		if len(e.Trace) != 16 || e.LatencyMS <= 0 || e.Endpoint == "" {
+			t.Errorf("malformed slow entry: %+v", e)
+		}
+		if seen[e.Trace] {
+			// Each request must be its own trace root; a repeated trace
+			// ID means the entries can no longer name one request.
+			t.Errorf("duplicate slow trace %s: %+v", e.Trace, s.Slowest)
+		}
+		seen[e.Trace] = true
+	}
 }
 
 // TestGateFails: an unreachable -min-rps must fail the run with exit 1.

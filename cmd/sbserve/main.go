@@ -10,6 +10,14 @@
 //	sbserve -metrics out.json -trace trace.json
 //	sbserve -slo "p95<25ms,err<1%"   # track burn rates in /healthz and /metrics
 //	sbserve -access-log access.log -access-sample 0.05
+//	sbserve -trace server.jsonl -profile-dir profiles/
+//
+// Requests carrying an SB-Trace header join the caller's trace: the
+// service.request span parents under the client's span, the same trace
+// ID lands in the access log and latency exemplars, and responses carry
+// SB-Time so sbtrace can clock-align the client's trace file with this
+// one. -profile-dir turns on continuous profiling — rotating CPU/heap
+// windows whose samples are labeled with endpoint and trace ID.
 //
 // Endpoints: POST /v1/schedule, /v1/bounds, /v1/explain (see internal/wire
 // for the request vocabulary), GET /healthz and /metrics (Prometheus), and

@@ -1,0 +1,114 @@
+// Command sbtrace merges per-process trace files (the -trace .jsonl
+// output of sbserve, sbeval, sbload, and the dist workers) into one
+// Chrome trace-event timeline for ui.perfetto.dev, with each process in
+// its own lane group and every file's clock aligned onto a shared epoch
+// via the SB-Time handshake instants the wire layer records.
+//
+// Usage:
+//
+//	sbtrace -o merged.json coordinator.jsonl worker1.jsonl worker2.jsonl
+//	sbtrace -lint -stats *.jsonl      # structural checks + text report
+//
+// -lint checks the merged set for orphan parents, span-ID collisions,
+// negative durations, and non-monotone child starts, printing each
+// finding and exiting 1 if any exist — CI gates on this. -stats prints
+// span-kind rollups, per-trace critical paths, and cross-process link
+// gaps. Output for fixed inputs is byte-stable.
+//
+// Each file becomes one process lane named after its basename. A file
+// with no trace.clock instant is the reference clock (the hub process —
+// conventionally the coordinator or server everyone else talked to);
+// files with one are shifted onto it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"balance/internal/telemetry"
+)
+
+func main() {
+	out := flag.String("o", "", "write the merged Chrome trace-event timeline to `file`")
+	lint := flag.Bool("lint", false, "check structural invariants; exit 1 on any finding")
+	stats := flag.Bool("stats", false, "print span rollups, critical paths, and cross-process gaps")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: sbtrace [-o merged.json] [-lint] [-stats] trace.jsonl...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *out == "" && !*lint && !*stats {
+		fmt.Fprintln(os.Stderr, "sbtrace: nothing to do: give -o, -lint, or -stats")
+		os.Exit(2)
+	}
+
+	procs, err := loadProcesses(flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sbtrace: %v\n", err)
+		os.Exit(1)
+	}
+
+	failed := false
+	if *lint {
+		findings := telemetry.LintProcesses(procs)
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(os.Stderr, "sbtrace: %d lint finding(s)\n", len(findings))
+			failed = true
+		} else {
+			fmt.Printf("sbtrace: %d file(s) clean\n", len(procs))
+		}
+	}
+	if *stats {
+		fmt.Print(telemetry.StatsText(procs))
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, telemetry.RenderProcesses(procs), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "sbtrace: %v\n", err)
+			os.Exit(1)
+		}
+		total := 0
+		for _, p := range procs {
+			total += len(p.Events)
+		}
+		fmt.Fprintf(os.Stderr, "sbtrace: merged %d events from %d file(s) into %s\n",
+			total, len(procs), *out)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// loadProcesses parses each file into a TraceProcess named after its
+// basename (extension stripped), deriving its clock offset from the
+// SB-Time handshake instant when present.
+func loadProcesses(paths []string) ([]telemetry.TraceProcess, error) {
+	procs := make([]telemetry.TraceProcess, 0, len(paths))
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		events, err := telemetry.ParseJSONLTrace(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		// No handshake instant means this file IS the reference clock
+		// (ClockOffset then reports 0, which is exactly right).
+		offset, _ := telemetry.ClockOffset(events)
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		procs = append(procs, telemetry.TraceProcess{Name: name, Events: events, Offset: offset})
+	}
+	return procs, nil
+}

@@ -1,0 +1,161 @@
+package main
+
+// Smoke tests for the sbtrace CLI. The test binary re-execs itself as
+// the tool so real flag parsing, file loading, lint gating, and the
+// merged-output path run end to end.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"balance/internal/telemetry"
+)
+
+const reexecEnv = "SBTRACE_RUN_MAIN"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(reexecEnv) == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runTool re-execs the test binary as sbtrace, returning stdout+stderr
+// and the exit code.
+func runTool(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), reexecEnv+"=1")
+	var out strings.Builder
+	cmd.Stdout, cmd.Stderr = &out, &out
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("sbtrace %v: %v\n%s", args, err, out.String())
+	}
+	return out.String(), code
+}
+
+// writeTrace emits events through the real JSONL sink into path.
+func writeTrace(t *testing.T, path string, emit func(reg *telemetry.Registry)) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	reg.SetSink(telemetry.NewJSONLSink(f))
+	emit(reg)
+	reg.SetSink(nil)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// twoProcessFixture writes a coordinator file and a worker file whose
+// spans share one trace: the worker's span parents under the
+// coordinator's, and the worker carries a clock handshake instant.
+func twoProcessFixture(t *testing.T, dir string) (coord, worker string) {
+	t.Helper()
+	coord = filepath.Join(dir, "coordinator.jsonl")
+	worker = filepath.Join(dir, "worker.jsonl")
+	var parent telemetry.SpanContext
+	writeTrace(t, coord, func(reg *telemetry.Registry) {
+		sp, _ := reg.StartSpanCtx(context.Background(), "dist.unit")
+		parent = sp.Context()
+		time.Sleep(2 * time.Millisecond)
+		sp.End()
+	})
+	writeTrace(t, worker, func(reg *telemetry.Registry) {
+		reg.Emit(telemetry.ClockEventName,
+			telemetry.Int(telemetry.ClockRemoteAttr, time.Now().UnixNano()),
+			telemetry.String(telemetry.ClockHostAttr, "coordinator"))
+		sp, _ := reg.StartSpanCtx(telemetry.ContextWithSpan(context.Background(), parent), "engine.job")
+		time.Sleep(time.Millisecond)
+		sp.End()
+	})
+	return coord, worker
+}
+
+func TestMergeLintStats(t *testing.T) {
+	dir := t.TempDir()
+	coord, worker := twoProcessFixture(t, dir)
+	out := filepath.Join(dir, "merged.json")
+	got, code := runTool(t, "-o", out, "-lint", "-stats", coord, worker)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, got)
+	}
+	if !strings.Contains(got, "2 file(s) clean") {
+		t.Errorf("lint summary missing:\n%s", got)
+	}
+	if !strings.Contains(got, "== span kinds ==") || !strings.Contains(got, "dist.unit") {
+		t.Errorf("stats output missing rollups:\n%s", got)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("merged output is not trace-event JSON: %v", err)
+	}
+	pids := map[float64]bool{}
+	for _, ev := range doc.TraceEvents {
+		if pid, ok := ev["pid"].(float64); ok {
+			pids[pid] = true
+		}
+	}
+	if len(pids) != 2 {
+		t.Errorf("merged timeline has %d process lanes, want 2:\n%s", len(pids), data)
+	}
+}
+
+func TestLintFailsOnOrphan(t *testing.T) {
+	dir := t.TempDir()
+	_, worker := twoProcessFixture(t, dir)
+	// Lint the worker file alone: its parent span lives in the omitted
+	// coordinator file, so the orphan check must fire and exit 1.
+	got, code := runTool(t, "-lint", worker)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1:\n%s", code, got)
+	}
+	if !strings.Contains(got, "orphan-parent") {
+		t.Errorf("missing orphan-parent finding:\n%s", got)
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	dir := t.TempDir()
+	coord, worker := twoProcessFixture(t, dir)
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	if _, code := runTool(t, "-o", a, coord, worker); code != 0 {
+		t.Fatal("first merge failed")
+	}
+	if _, code := runTool(t, "-o", b, coord, worker); code != 0 {
+		t.Fatal("second merge failed")
+	}
+	da, _ := os.ReadFile(a)
+	db, _ := os.ReadFile(b)
+	if !bytes.Equal(da, db) {
+		t.Error("merging the same files twice produced different bytes")
+	}
+}
+
+func TestUsageWithoutFiles(t *testing.T) {
+	if _, code := runTool(t); code != 2 {
+		t.Errorf("no-args exit = %d, want 2", code)
+	}
+}

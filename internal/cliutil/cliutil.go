@@ -14,6 +14,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"time"
 
 	"balance/internal/telemetry"
 
@@ -47,12 +48,20 @@ var registerMetricsOnce = sync.OnceFunc(func() {
 // Flags before flag.Parse; Start after; and route every exit through
 // Fatal/Close so an interrupted run still reports what it did.
 type Obs struct {
-	tool      string
-	metrics   string
-	trace     string
-	debugAddr string
-	onExit    []func() error
-	snapshot  func() *telemetry.Snapshot
+	tool          string
+	metrics       string
+	trace         string
+	debugAddr     string
+	profileDir    string
+	profilePeriod time.Duration
+	profileKeep   int
+	onExit        []func() error
+	snapshot      func() *telemetry.Snapshot
+	// root is the tool's process-root span, started lazily by Context
+	// and ended by Flush, so merged multi-process timelines show one
+	// covering span per process.
+	root        telemetry.Span
+	rootStarted bool
 }
 
 // SetSnapshot overrides the source of the -metrics summary written on
@@ -82,7 +91,29 @@ func Flags(tool string) *Obs {
 		"write span and progress events to `file` (.json: Chrome trace-event for ui.perfetto.dev; otherwise JSON lines)")
 	flag.StringVar(&o.debugAddr, "debug-addr", "",
 		"serve expvar, pprof, and Prometheus /metrics on `addr` (e.g. localhost:6060)")
+	flag.StringVar(&o.profileDir, "profile-dir", "",
+		"write rotating CPU and heap profiles into `dir` (continuous profiling with goroutine labels; see -profile-period and -profile-keep)")
+	flag.DurationVar(&o.profilePeriod, "profile-period", 30*time.Second,
+		"length of each continuous-profiling window")
+	flag.IntVar(&o.profileKeep, "profile-keep", 8,
+		"continuous-profiling windows to keep per profile kind")
 	return o
+}
+
+// Context returns ctx carrying the tool's root span, starting that span
+// on first call. Spans the tool opens under the returned context nest
+// beneath one per-process root, which is what lets sbtrace group each
+// process's work under a single covering lane. Without a trace sink the
+// root is inert and ctx comes back unchanged.
+func (o *Obs) Context(ctx context.Context) context.Context {
+	if !o.rootStarted {
+		o.rootStarted = true
+		o.root, _ = telemetry.Default().StartSpanCtx(ctx, o.tool)
+	}
+	if sc := o.root.Context(); sc.Valid() {
+		return telemetry.ContextWithSpan(ctx, sc)
+	}
+	return ctx
 }
 
 // Start opens the trace sink and the debug server, as configured. Call it
@@ -96,6 +127,12 @@ func Flags(tool string) *Obs {
 // any other extension (conventionally ".jsonl") selects the line-
 // delimited event stream.
 func (o *Obs) Start() error {
+	// Scatter this process's span IDs so independently-started tools
+	// (sbload against sbserve, say) never collide when their trace
+	// files are merged. Coordinated fleets override this: the dist
+	// coordinator deals each worker a disjoint range above 1<<40, and
+	// SeedSpanIDs is forward-only, so the later seed wins.
+	telemetry.SeedSpanIDsUnique()
 	if o.trace != "" {
 		f, err := os.Create(o.trace)
 		if err != nil {
@@ -120,6 +157,13 @@ func (o *Obs) Start() error {
 			})
 		}
 	}
+	if o.profileDir != "" {
+		stop, err := startProfiler(o.profileDir, o.profilePeriod, o.profileKeep)
+		if err != nil {
+			return err
+		}
+		o.OnExit(stop)
+	}
 	if o.debugAddr != "" {
 		telemetry.PublishExpvar(telemetry.Default())
 		registerMetricsOnce()
@@ -140,6 +184,13 @@ func (o *Obs) Start() error {
 // snapshot. Safe to call on every exit path (each step runs at most
 // once).
 func (o *Obs) Flush() {
+	// End the process-root span before the first hook tears the trace
+	// sink down, so the root's duration makes it into the file.
+	if o.rootStarted {
+		o.rootStarted = false
+		o.root.End()
+		o.root = telemetry.Span{}
+	}
 	for _, fn := range o.onExit {
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: on exit: %v\n", o.tool, err)

@@ -1,0 +1,116 @@
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// startProfiler begins continuous profiling into dir: every period it
+// finishes one CPU-profile window and one heap snapshot, each a
+// complete pprof file, and prunes all but the newest keep files of each
+// kind. The returned stop function ends the in-flight CPU window early
+// (still producing a complete file — this is what makes SIGINT-routed
+// exits safe), waits for the loop to drain, and reports the first
+// write error the loop hit.
+//
+// Window files are numbered (cpu-000001.pb.gz, heap-000001.pb.gz, …) so
+// lexical order is chronological order; `go tool pprof` merges globs of
+// them directly. Goroutine labels (endpoint, trace, dist_unit,
+// dist_worker, exact_worker) recorded by the service, dist, and exact
+// layers appear as pprof tags in the CPU windows.
+func startProfiler(dir string, period time.Duration, keep int) (func() error, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("-profile-dir: %w", err)
+	}
+	if period <= 0 {
+		period = 30 * time.Second
+	}
+	if keep <= 0 {
+		keep = 8
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var loopErr error
+	go func() {
+		defer close(done)
+		for seq := 1; ; seq++ {
+			if err := profileWindow(dir, period, seq, stop); err != nil {
+				loopErr = err
+				return
+			}
+			pruneProfiles(dir, "cpu-", keep)
+			pruneProfiles(dir, "heap-", keep)
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	var once sync.Once
+	return func() error {
+		once.Do(func() {
+			close(stop)
+			<-done
+		})
+		return loopErr
+	}, nil
+}
+
+// profileWindow writes one complete CPU window plus one heap snapshot.
+// A stop signal mid-window shortens the window instead of truncating
+// the file.
+func profileWindow(dir string, period time.Duration, seq int, stop <-chan struct{}) error {
+	cf, err := os.Create(filepath.Join(dir, fmt.Sprintf("cpu-%06d.pb.gz", seq)))
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(cf); err != nil {
+		cf.Close()
+		return err
+	}
+	t := time.NewTimer(period)
+	select {
+	case <-stop:
+		t.Stop()
+	case <-t.C:
+	}
+	pprof.StopCPUProfile()
+	if err := cf.Close(); err != nil {
+		return err
+	}
+	hf, err := os.Create(filepath.Join(dir, fmt.Sprintf("heap-%06d.pb.gz", seq)))
+	if err != nil {
+		return err
+	}
+	if err := pprof.Lookup("heap").WriteTo(hf, 0); err != nil {
+		hf.Close()
+		return err
+	}
+	return hf.Close()
+}
+
+// pruneProfiles removes all but the newest keep prefix-named files.
+// Sequence numbers are zero-padded, so lexical sort is age order.
+func pruneProfiles(dir, prefix string, keep int) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), prefix) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names[:max(0, len(names)-keep)] {
+		os.Remove(filepath.Join(dir, n)) //nolint:errcheck // best-effort rotation
+	}
+}

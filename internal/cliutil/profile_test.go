@@ -1,0 +1,112 @@
+package cliutil
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"balance/internal/telemetry"
+)
+
+// TestProfilerWindowsAndRotation runs the continuous profiler with a
+// tiny window, lets several windows elapse, stops it, and asserts every
+// surviving file is a complete gzip (the SIGINT guarantee: stop ends
+// the in-flight window instead of truncating it) and that rotation
+// pruned down to the keep limit.
+func TestProfilerWindowsAndRotation(t *testing.T) {
+	dir := t.TempDir()
+	const keep = 2
+	stop, err := startProfiler(dir, 20*time.Millisecond, keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn CPU so the profile windows have samples to write.
+	deadline := time.Now().Add(150 * time.Millisecond)
+	x := 0
+	for time.Now().Before(deadline) {
+		x += x*3 + 1
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	counts := map[string]int{}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		kind := strings.SplitN(e.Name(), "-", 2)[0]
+		counts[kind]++
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) < 2 || binary.BigEndian.Uint16(data[:2]) != 0x1f8b {
+			t.Errorf("%s is not gzip-framed (torn profile?)", e.Name())
+		}
+	}
+	if counts["cpu"] == 0 || counts["heap"] == 0 {
+		t.Fatalf("profile kinds seen: %v, want both cpu and heap", counts)
+	}
+	// The final in-flight window may land after its rotation pass, so
+	// allow keep+1.
+	for kind, n := range counts {
+		if n > keep+1 {
+			t.Errorf("%s windows on disk = %d, want <= %d", kind, n, keep+1)
+		}
+	}
+}
+
+// TestObsContextRootSpan asserts Context attaches one process-root span
+// that Flush ends into the trace file before sink teardown.
+func TestObsContextRootSpan(t *testing.T) {
+	var buf bytes.Buffer
+	reg := telemetry.Default()
+	reg.SetSink(telemetry.NewJSONLSink(&buf))
+
+	o := &Obs{tool: "sbtest"}
+	o.OnExit(func() error {
+		reg.SetSink(nil)
+		return nil
+	})
+	ctx := o.Context(context.Background())
+	sc := telemetry.SpanFromContext(ctx)
+	if !sc.Valid() {
+		t.Fatal("Context attached no span despite an active sink")
+	}
+	if ctx2 := o.Context(context.Background()); telemetry.SpanFromContext(ctx2) != sc {
+		t.Error("second Context call minted a different root span")
+	}
+	o.Flush()
+
+	events, err := telemetry.ParseJSONLTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for i := range events {
+		if events[i].Name == "sbtest" && events[i].Span == sc.Span {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("trace file lacks the ended root span; events: %+v", events)
+	}
+}
+
+// TestObsContextNoSink asserts Context is a no-op without a sink.
+func TestObsContextNoSink(t *testing.T) {
+	o := &Obs{tool: "sbtest"}
+	ctx := o.Context(context.Background())
+	if sc := telemetry.SpanFromContext(ctx); sc.Valid() {
+		t.Fatalf("Context attached span %+v without a sink", sc)
+	}
+	o.Flush() // must not panic ending the inert root
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -39,6 +40,13 @@ type Config struct {
 	// TraceID, when non-zero, stitches worker spans into the
 	// coordinator's trace.
 	TraceID uint64
+	// TraceCtx, when it carries a span context (see
+	// telemetry.StartSpanCtx), parents the coordinator's per-unit
+	// dist.unit spans under the caller's root span, and defaults TraceID
+	// to that span's trace. Each leased unit then carries the unit span's
+	// header as Unit.TraceParent, so worker-side spans for the unit nest
+	// under it across the process boundary.
+	TraceCtx context.Context
 	// Now is the clock (tests inject a fake; default time.Now).
 	Now func() time.Time
 }
@@ -59,6 +67,12 @@ type trackedUnit struct {
 	unit    Unit
 	state   unitState
 	holders map[string]time.Time
+	// span is the coordinator-side dist.unit span: started at the unit's
+	// first lease, ended at its first terminal transition (done or
+	// failed). spanDone guards the end — a stolen duplicate's late
+	// completion must not end it twice.
+	span     telemetry.Span
+	spanDone bool
 }
 
 type workerInfo struct {
@@ -115,6 +129,12 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
+	}
+	if cfg.TraceCtx == nil {
+		cfg.TraceCtx = context.Background()
+	}
+	if cfg.TraceID == 0 {
+		cfg.TraceID = telemetry.SpanFromContext(cfg.TraceCtx).Trace
 	}
 	c := &Coordinator{
 		cfg:     cfg,
@@ -206,6 +226,7 @@ func (c *Coordinator) Lease(req LeaseRequest) (LeaseResponse, error) {
 		}
 		tu.state = unitLeased
 		tu.holders[req.Worker] = deadline
+		c.startUnitSpanLocked(tu)
 		out = append(out, tu.unit)
 		telUnitsLeased.Inc()
 	}
@@ -224,6 +245,7 @@ func (c *Coordinator) Lease(req LeaseRequest) (LeaseResponse, error) {
 				continue
 			}
 			tu.holders[req.Worker] = deadline
+			c.startUnitSpanLocked(tu)
 			out = append(out, tu.unit)
 			c.status.Stolen++
 			telUnitsStolen.Inc()
@@ -290,6 +312,7 @@ func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
 			if tu.state != unitFailed {
 				tu.state = unitFailed
 				telUnitsFailed.Inc()
+				c.endUnitSpanLocked(tu, "failed")
 			}
 		default:
 			if tu.state == unitFailed {
@@ -303,6 +326,7 @@ func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
 			tu.state = unitDone
 			resp.Accepted++
 			telUnitsCompleted.Inc()
+			c.endUnitSpanLocked(tu, "done")
 		}
 	}
 	c.reapLocked()
@@ -322,7 +346,39 @@ func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
 	return resp, nil
 }
 
-// MergeTelemetry folds a worker's snapshot into the corpus-wide view.
+// startUnitSpanLocked opens the unit's coordinator-side dist.unit span
+// on first lease and stamps its SB-Trace header onto the unit, so every
+// holder (including later stolen duplicates) parents the same span.
+func (c *Coordinator) startUnitSpanLocked(tu *trackedUnit) {
+	if tu.span.Active() || tu.spanDone {
+		return
+	}
+	sp, _ := telemetry.Default().StartSpanCtx(c.cfg.TraceCtx, "dist.unit")
+	if !sp.Active() {
+		return
+	}
+	tu.span = sp
+	tu.unit.TraceParent = sp.Context().Header()
+}
+
+// endUnitSpanLocked ends the unit's span at its first terminal
+// transition. A late success upgrading an earlier failure does not
+// reopen or re-end it.
+func (c *Coordinator) endUnitSpanLocked(tu *trackedUnit, outcome string) {
+	if !tu.span.Active() || tu.spanDone {
+		return
+	}
+	tu.spanDone = true
+	tu.span.End(
+		telemetry.String("unit", tu.unit.Key),
+		telemetry.String("outcome", outcome),
+	)
+}
+
+// MergeTelemetry folds a worker's snapshot into the corpus-wide view. A
+// span-ID range collision between snapshots (a worker allocating from a
+// slice another process used — its trace file would alias spans) is
+// counted on dist.span_collisions; the numeric fold still completes.
 func (c *Coordinator) MergeTelemetry(req TelemetryRequest) {
 	if req.Snapshot == nil {
 		return
@@ -332,16 +388,23 @@ func (c *Coordinator) MergeTelemetry(req TelemetryRequest) {
 	if c.merged == nil {
 		c.merged = &telemetry.Snapshot{}
 	}
-	c.merged.Merge(req.Snapshot)
+	if err := c.merged.Merge(req.Snapshot); err != nil {
+		telSpanCollisions.Inc()
+	}
 }
 
 // MergedSnapshot returns this process's registry snapshot with every
 // reported worker snapshot folded in — the corpus-wide telemetry view.
+// The coordinator's own span-ID range participates in the collision
+// check against the workers' stamped ranges.
 func (c *Coordinator) MergedSnapshot() *telemetry.Snapshot {
 	snap := telemetry.Default().Snapshot()
+	snap.StampSpanRange("coordinator")
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	snap.Merge(c.merged)
+	if err := snap.Merge(c.merged); err != nil {
+		telSpanCollisions.Inc()
+	}
 	return snap
 }
 
@@ -500,11 +563,22 @@ func (c *Coordinator) failLocked(err error) {
 
 // Handler mounts the coordinator protocol plus the observability
 // surface: /healthz (liveness, sbtop-compatible), /metrics (the merged
-// corpus-wide exposition), and /dist/v1/status.
+// corpus-wide exposition), and /dist/v1/status. Every protocol POST
+// opens a dist.request span parented on the worker's SB-Trace header,
+// and responses carry SB-Time so clients can clock-align trace files.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	post := func(path string, h func(w http.ResponseWriter, r *http.Request)) {
-		mux.HandleFunc("POST "+path, h)
+		mux.HandleFunc("POST "+path, func(w http.ResponseWriter, r *http.Request) {
+			tctx := wire.ExtractTrace(r)
+			sp, _ := telemetry.Default().StartSpanCtx(tctx, "dist.request")
+			defer sp.End(telemetry.String("endpoint", path))
+			// Goroutine labels let continuous profiles on the coordinator
+			// attribute handler samples to the protocol endpoint.
+			pprof.Do(tctx, pprof.Labels("endpoint", path), func(context.Context) {
+				h(w, r)
+			})
+		})
 	}
 	post("/dist/v1/join", func(w http.ResponseWriter, r *http.Request) {
 		var req JoinRequest
@@ -586,5 +660,5 @@ func (c *Coordinator) Handler() http.Handler {
 		})
 	})
 	mux.Handle("GET /metrics", telemetry.PromWriter{}.Handler())
-	return mux
+	return wire.WithServerTime(mux)
 }

@@ -46,6 +46,12 @@ type Unit struct {
 	Benchmark string `json:"benchmark"`
 	Machine   string `json:"machine"`
 	SB        string `json:"sb"`
+	// TraceParent, when present, is the SB-Trace header form of the
+	// coordinator's per-unit span: the worker parents this unit's
+	// engine.job span under it, so merged trace files show the unit's
+	// spans crossing the coordinator→worker boundary in one tree. Empty
+	// when the coordinator records no spans.
+	TraceParent string `json:"trace_parent,omitempty"`
 }
 
 // JoinRequest announces a worker to the coordinator.
@@ -164,4 +170,9 @@ var (
 	telUnitsDuplicate  = telemetry.Default().Counter("dist.units_duplicate")
 	telWorkersJoined   = telemetry.Default().Counter("dist.workers_joined")
 	telHeartbeats      = telemetry.Default().Counter("dist.heartbeats")
+	// telSpanCollisions counts snapshot merges whose span-ID ranges
+	// overlapped — two processes allocated from the same ID slice, so
+	// their merged trace files would alias spans (see
+	// telemetry.Snapshot.Merge).
+	telSpanCollisions = telemetry.Default().Counter("dist.span_collisions")
 )

@@ -1,0 +1,193 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"balance/internal/resilience"
+	"balance/internal/telemetry"
+)
+
+// distJournal opens a throwaway checkpoint journal for one test.
+func distJournal(t *testing.T) *resilience.Checkpoint {
+	t.Helper()
+	j, err := resilience.OpenCheckpoint(filepath.Join(t.TempDir(), "dist.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// TestUnitSpanLifecycle drives the coordinator API directly: the first
+// lease opens a dist.unit span and stamps its header on the unit; the
+// terminal completion ends it exactly once, even when a stolen
+// duplicate finishes later.
+func TestUnitSpanLifecycle(t *testing.T) {
+	var buf bytes.Buffer
+	reg := telemetry.Default()
+	reg.SetSink(telemetry.NewJSONLSink(&buf))
+	defer reg.SetSink(nil)
+
+	m := machineGP2(t)
+	units, _ := testUnits(t, 2, m)
+	root := telemetry.NewSpanContext(0)
+	coord, err := NewCoordinator(Config{
+		Spec: testSpec, Units: units, Journal: distJournal(t),
+		LeaseTTL: time.Minute, MaxBatch: 8,
+		TraceCtx: telemetry.ContextWithSpan(context.Background(), root),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Join(JoinRequest{Worker: "w1"}); err != nil {
+		t.Fatal(err)
+	}
+	lease, err := coord.Lease(LeaseRequest{Worker: "w1", Max: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lease.Units) != 2 {
+		t.Fatalf("leased %d units, want 2", len(lease.Units))
+	}
+	for _, u := range lease.Units {
+		sc, ok := telemetry.ParseTraceHeader(u.TraceParent)
+		if !ok || !sc.Valid() {
+			t.Fatalf("unit %s: unparseable TraceParent %q", u.Key, u.TraceParent)
+		}
+		if sc.Trace != root.Trace {
+			t.Errorf("unit %s: TraceParent trace %x, want root trace %x", u.Key, sc.Trace, root.Trace)
+		}
+	}
+	// Complete the first unit twice (as a steal race would): the span
+	// must end exactly once.
+	res := []UnitResult{{Key: lease.Units[0].Key, Err: "boom"}}
+	if _, err := coord.Complete(CompleteRequest{Worker: "w1", Results: res}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Complete(CompleteRequest{Worker: "w1", Results: res}); err != nil {
+		t.Fatal(err)
+	}
+	reg.SetSink(nil)
+
+	events, err := telemetry.ParseJSONLTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ended := 0
+	for i := range events {
+		if events[i].Name != "dist.unit" {
+			continue
+		}
+		ended++
+		if events[i].Trace != root.Trace || events[i].Parent != root.Span {
+			t.Errorf("dist.unit trace/parent = %x/%x, want %x/%x",
+				events[i].Trace, events[i].Parent, root.Trace, root.Span)
+		}
+	}
+	if ended != 1 {
+		t.Fatalf("dist.unit ended %d times, want exactly 1 (one terminal unit)", ended)
+	}
+}
+
+// TestDistTraceCrossesProcessBoundary runs a real coordinator/worker
+// exchange over HTTP with a trace sink active and asserts the worker's
+// engine.job spans parent under the coordinator's dist.unit spans in
+// one shared trace — the tentpole guarantee the merged timeline relies
+// on. (Coordinator and worker share one process here; the wire hop is
+// real.)
+func TestDistTraceCrossesProcessBoundary(t *testing.T) {
+	var buf bytes.Buffer
+	reg := telemetry.Default()
+	reg.SetSink(telemetry.NewJSONLSink(&buf)) // JSONLSink serializes writers
+	defer reg.SetSink(nil)
+
+	m := machineGP2(t)
+	units, _ := testUnits(t, 3, m)
+	root := telemetry.NewSpanContext(0)
+	coord, err := NewCoordinator(Config{
+		Spec: testSpec, Units: units, Journal: distJournal(t),
+		LeaseTTL: time.Minute, MaxBatch: 2,
+		TraceCtx: telemetry.ContextWithSpan(context.Background(), root),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := RunWorker(ctx, WorkerConfig{Coordinator: srv.URL, ID: "w1", Client: srv.Client()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	reg.SetSink(nil)
+
+	events, err := telemetry.ParseJSONLTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	unitSpans := map[uint64]bool{}
+	for i := range events {
+		if events[i].Name == "dist.unit" && events[i].Trace == root.Trace {
+			unitSpans[events[i].Span] = true
+		}
+	}
+	if len(unitSpans) != len(units) {
+		t.Fatalf("saw %d dist.unit spans, want %d", len(unitSpans), len(units))
+	}
+	jobs, requests := 0, 0
+	for i := range events {
+		switch events[i].Name {
+		case "engine.job":
+			jobs++
+			if events[i].Trace != root.Trace {
+				t.Errorf("engine.job in trace %x, want %x", events[i].Trace, root.Trace)
+			}
+			if !unitSpans[events[i].Parent] {
+				t.Errorf("engine.job parent %x is not a dist.unit span", events[i].Parent)
+			}
+		case "dist.request":
+			// The join request precedes the worker learning the trace
+			// ID, so only post-join requests land in the root trace.
+			if events[i].Trace == root.Trace {
+				requests++
+			}
+		}
+	}
+	if jobs != len(units) {
+		t.Errorf("saw %d engine.job spans, want %d", jobs, len(units))
+	}
+	if requests == 0 {
+		t.Error("no dist.request spans: the handler did not join the worker's trace")
+	}
+}
+
+// TestMergeCollisionCounted feeds the coordinator two worker snapshots
+// whose stamped span-ID ranges overlap and asserts the
+// dist.span_collisions counter records the clash while the numeric
+// merge still lands.
+func TestMergeCollisionCounted(t *testing.T) {
+	m := machineGP2(t)
+	units, _ := testUnits(t, 1, m)
+	coord, err := NewCoordinator(Config{
+		Spec: testSpec, Units: units, Journal: distJournal(t), LeaseTTL: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := telSpanCollisions.Value()
+	a := &telemetry.Snapshot{SpanRanges: []telemetry.SpanRange{{Owner: "wa", From: 1 << 40, To: 2 << 40}}}
+	b := &telemetry.Snapshot{SpanRanges: []telemetry.SpanRange{{Owner: "wb", From: 1<<40 + 5, To: 1<<40 + 9}}}
+	coord.MergeTelemetry(TelemetryRequest{Worker: "wa", Snapshot: a})
+	coord.MergeTelemetry(TelemetryRequest{Worker: "wb", Snapshot: b})
+	if got := telSpanCollisions.Value() - before; got != 1 {
+		t.Fatalf("dist.span_collisions advanced by %d, want 1", got)
+	}
+}

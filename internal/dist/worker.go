@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -72,8 +73,13 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 		retry = &wire.RetryPolicy{MaxAttempts: 8, BaseDelay: 200 * time.Millisecond, MaxDelay: 5 * time.Second, Jitter: 0.5}
 	}
 
+	// The join post deliberately carries no span context: parenting the
+	// coordinator's join span under this process's root would dangle if
+	// this worker is killed before its exit flush writes that root —
+	// lease/complete requests below join the coordinator's trace instead.
+	joinCtx := telemetry.ContextWithSpan(ctx, telemetry.SpanContext{})
 	var join JoinResponse
-	if _, _, err := retry.Post(ctx, hc, base+"/dist/v1/join", JoinRequest{Worker: cfg.ID}, &join); err != nil {
+	if _, _, err := retry.Post(joinCtx, hc, base+"/dist/v1/join", JoinRequest{Worker: cfg.ID}, &join); err != nil {
 		return fmt.Errorf("dist: join %s: %w", base, err)
 	}
 	if join.Version != ProtocolVersion {
@@ -83,10 +89,16 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 		telemetry.SeedSpanIDs(join.SpanBase)
 	}
 	if join.TraceID != 0 {
-		// Parent all evaluation spans under the coordinator's trace so
-		// merged trace files render one tree for the whole corpus run.
-		ctx = telemetry.ContextWithSpan(ctx, telemetry.SpanContext{Trace: join.TraceID, Span: join.SpanBase})
+		// Join the coordinator's trace as a fresh subtree root (Span 0):
+		// naming any concrete parent span here would orphan our spans,
+		// because the coordinator never emits a span with that ID. Units
+		// carrying a TraceParent override this per-job below.
+		ctx = telemetry.ContextWithSpan(ctx, telemetry.SpanContext{Trace: join.TraceID})
 	}
+	// Label every goroutine this worker spawns so continuous profiles
+	// (coordinator- or worker-side) attribute samples to the worker.
+	pprof.SetGoroutineLabels(pprof.WithLabels(ctx, pprof.Labels("dist_worker", cfg.ID)))
+	defer pprof.SetGoroutineLabels(ctx)
 	heartbeatEvery := time.Duration(join.LeaseTTLMS) * time.Millisecond / 3
 	if heartbeatEvery <= 0 {
 		heartbeatEvery = 10 * time.Second
@@ -137,9 +149,12 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	}
 	// Best-effort: fold this worker's telemetry into the coordinator's
 	// merged view. The corpus is already complete, so failure here only
-	// costs observability.
+	// costs observability. The stamped span-ID range lets the
+	// coordinator detect allocator collisions across processes.
+	snap := telemetry.Default().Snapshot()
+	snap.StampSpanRange(cfg.ID)
 	retry.Post(ctx, hc, base+"/dist/v1/telemetry", //nolint:errcheck
-		TelemetryRequest{Worker: cfg.ID, Snapshot: telemetry.Default().Snapshot()}, nil)
+		TelemetryRequest{Worker: cfg.ID, Snapshot: snap}, nil)
 	return nil
 }
 
@@ -223,7 +238,20 @@ func evaluateUnits(ctx context.Context, stopHeartbeat func(), spec *EvalSpec, me
 				jobs = append(jobs, engine.Job{}) // placeholder to keep indices aligned
 				continue
 			}
-			jobs = append(jobs, engine.Job{Benchmark: u.Benchmark, SB: sbs[0]})
+			job := engine.Job{
+				Benchmark: u.Benchmark,
+				SB:        sbs[0],
+				Labels:    []string{"dist_unit", u.Key},
+			}
+			if u.TraceParent != "" {
+				// Parent this unit's engine.job span under the
+				// coordinator's per-unit span, so the merged timeline
+				// shows the unit crossing the process boundary.
+				if sc, ok := telemetry.ParseTraceHeader(u.TraceParent); ok && sc.Valid() {
+					job.Parent = sc
+				}
+			}
+			jobs = append(jobs, job)
 		}
 		runnable := make([]engine.Job, 0, len(jobs))
 		backMap := make([]int, 0, len(jobs))

@@ -1,0 +1,96 @@
+package engine_test
+
+import (
+	"bytes"
+	"context"
+	"runtime/pprof"
+	"strings"
+	"testing"
+
+	"balance/internal/engine"
+	"balance/internal/telemetry"
+)
+
+// TestJobParentOverride runs one job with Job.Parent set to a foreign
+// span context (as a distributed worker does from the coordinator's
+// lease) and asserts the engine.job span joins that trace under that
+// parent instead of the local engine.run span.
+func TestJobParentOverride(t *testing.T) {
+	var buf bytes.Buffer
+	reg := telemetry.Default()
+	reg.SetSink(telemetry.NewJSONLSink(&buf))
+	defer reg.SetSink(nil)
+
+	jobs := testJobs(t, 0.05)[:1]
+	parent := telemetry.SpanContext{Trace: 0x77, Span: 0x5}
+	jobs[0].Parent = parent
+	ch, err := engine.Run(context.Background(), engine.Config{
+		Jobs:    jobs,
+		Machine: testMachine(t),
+		Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Collect(ch); err != nil {
+		t.Fatal(err)
+	}
+	reg.SetSink(nil)
+
+	events, err := telemetry.ParseJSONLTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobTrace, jobParent, runTrace uint64
+	for i := range events {
+		switch events[i].Name {
+		case "engine.job":
+			jobTrace, jobParent = events[i].Trace, events[i].Parent
+		case "engine.run":
+			runTrace = events[i].Trace
+		}
+	}
+	if jobTrace != parent.Trace || jobParent != parent.Span {
+		t.Errorf("engine.job trace/parent = %x/%x, want %x/%x",
+			jobTrace, jobParent, parent.Trace, parent.Span)
+	}
+	if runTrace == parent.Trace {
+		t.Errorf("engine.run joined the foreign trace %x; the override is per-job", runTrace)
+	}
+}
+
+// TestJobLabels blocks a job inside the chaos-inject hook and reads the
+// goroutine profile while it waits: the worker goroutine must carry the
+// job's pprof labels, so continuous profiles attribute its samples to
+// the unit.
+func TestJobLabels(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	jobs := testJobs(t, 0.05)[:1]
+	jobs[0].Labels = []string{"dist_unit", "bench1/blk3"}
+	ch, err := engine.Run(context.Background(), engine.Config{
+		Jobs:    jobs,
+		Machine: testMachine(t),
+		Workers: 1,
+		Inject: func(int) error {
+			close(entered)
+			<-release
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	var buf bytes.Buffer
+	if err := pprof.Lookup("goroutine").WriteTo(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	if _, err := engine.Collect(ch); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"dist_unit":"bench1/blk3"`) {
+		t.Errorf("goroutine profile lacks the job label:\n%s", buf.String())
+	}
+}

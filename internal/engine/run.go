@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"time"
 
 	"balance/internal/bounds"
@@ -34,6 +35,18 @@ const (
 type Job struct {
 	Benchmark string
 	SB        *model.Superblock
+	// Parent, when set, overrides the span parent of this job's span
+	// tree: engine.job parents Parent instead of the surrounding
+	// engine.run span. Distributed workers set it from the coordinator's
+	// per-unit span context (carried in the lease), so each unit's
+	// worker-side spans nest under the coordinator's unit span when the
+	// per-process trace files merge.
+	Parent telemetry.SpanContext
+	// Labels are pprof goroutine label pairs (key1, value1, key2,
+	// value2, ...) applied while the job runs, so continuous profiles
+	// attribute CPU samples to the unit being evaluated. Ignored unless
+	// the length is even and non-zero.
+	Labels []string
 }
 
 // Config configures a streaming evaluation run on one machine.
@@ -181,22 +194,37 @@ func Run(ctx context.Context, cfg Config) (<-chan Result, error) {
 			telOccupancy.Add(1)
 			start := time.Now()
 			telQueueWait.ObserveDuration(start.Sub(queuedAt))
-			sp, jobCtx := telemetry.Default().StartSpanCtx(ctx, "engine.job")
+			spanCtx := ctx
+			if p := cfg.Jobs[i].Parent; p.Trace != 0 {
+				spanCtx = telemetry.ContextWithSpan(ctx, p)
+			}
+			sp, jobCtx := telemetry.Default().StartSpanCtx(spanCtx, "engine.job")
 			var res Result
 			// The Protect scope covers the chaos hook and the evaluation,
 			// so injected or organic panics become this job's error
 			// instead of killing the process (ForEach would also recover
 			// them, but here KeepGoing must see them per-job).
-			err := resilience.Protect(func() error {
-				if cfg.Inject != nil {
-					if err := cfg.Inject(i); err != nil {
-						return err
+			protected := func() error {
+				return resilience.Protect(func() error {
+					if cfg.Inject != nil {
+						if err := cfg.Inject(i); err != nil {
+							return err
+						}
 					}
-				}
-				var err error
-				res, err = evaluateJob(jobCtx, &cfg, scheds, setKey, i)
-				return err
-			})
+					var err error
+					res, err = evaluateJob(jobCtx, &cfg, scheds, setKey, i)
+					return err
+				})
+			}
+			var err error
+			if labels := cfg.Jobs[i].Labels; len(labels) > 0 && len(labels)%2 == 0 {
+				pprof.Do(jobCtx, pprof.Labels(labels...), func(lctx context.Context) {
+					jobCtx = lctx
+					err = protected()
+				})
+			} else {
+				err = protected()
+			}
 			telCompute.ObserveDuration(time.Since(start))
 			telOccupancy.Add(-1)
 			if sp.Active() {

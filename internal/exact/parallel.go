@@ -5,7 +5,9 @@ import (
 	"errors"
 	"math"
 	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -307,7 +309,11 @@ func Solve(ctx context.Context, sb *model.Superblock, m *model.Machine, opts Opt
 				wg.Add(1)
 				go func(w int) {
 					defer wg.Done()
-					results[w] = runWorker(sh, w)
+					// Label the worker goroutine so continuous profiles
+					// split solver CPU by search worker.
+					pprof.Do(spanCtx, pprof.Labels("exact_worker", strconv.Itoa(w)), func(context.Context) {
+						results[w] = runWorker(sh, w)
+					})
 				}(w)
 			}
 			wg.Wait()

@@ -129,8 +129,8 @@ func (al *accessLogger) record(o *reqObs, outcome string, total time.Duration, s
 		Degraded:  o.degraded,
 		TierMS:    o.tierMS,
 	}
-	if trace := o.sp.Context().Trace; trace != 0 {
-		rec.Trace = fmt.Sprintf("%016x", trace)
+	if o.trace != 0 {
+		rec.Trace = fmt.Sprintf("%016x", o.trace)
 	}
 	al.log(rec)
 }

@@ -3,8 +3,10 @@ package service
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"balance/internal/bounds"
@@ -26,7 +28,12 @@ type reqObs struct {
 	endpoint string
 	start    time.Time
 	sp       telemetry.Span
-	status   int
+	// trace is the ID exemplars and the access log report: the request
+	// span's trace when a sink is active, else the caller's propagated
+	// trace — so a client-side trace file still resolves against server
+	// logs even when the server records no spans of its own.
+	trace  uint64
+	status int
 
 	queueWait time.Duration
 	cached    bool
@@ -35,17 +42,35 @@ type reqObs struct {
 	tierMS    int64
 }
 
-// begin opens one request's span and observation record.
+// begin opens one request's span and observation record. The caller's
+// SB-Trace header (if well-formed) parents the request span, so client
+// and server spans merge into one trace; a malformed header starts a
+// fresh root. The goroutine is also labeled (endpoint, trace) for the
+// continuous profiler, and the labels flow into the engine workers the
+// request spawns.
 func (s *Server) begin(r *http.Request, endpoint string) (*reqObs, context.Context) {
 	telRequests.Inc()
-	sp, ctx := telemetry.Default().StartSpanCtx(r.Context(), "service.request")
-	return &reqObs{
+	ctx := wire.ExtractTrace(r)
+	inbound := telemetry.SpanFromContext(ctx)
+	sp, ctx := telemetry.Default().StartSpanCtx(ctx, "service.request")
+	o := &reqObs{
 		s:        s,
 		endpoint: endpoint,
 		start:    time.Now(),
 		sp:       sp,
+		trace:    sp.Context().Trace,
 		status:   http.StatusOK,
-	}, ctx
+	}
+	if o.trace == 0 {
+		o.trace = inbound.Trace
+	}
+	labels := []string{"endpoint", endpoint}
+	if o.trace != 0 {
+		labels = append(labels, "trace", fmt.Sprintf("%016x", o.trace))
+	}
+	ctx = pprof.WithLabels(ctx, pprof.Labels(labels...))
+	pprof.SetGoroutineLabels(ctx)
+	return o, ctx
 }
 
 // finish records the common per-request epilogue: the status-class
@@ -82,7 +107,7 @@ func (o *reqObs) finish() {
 		slowNS = telServeNS.WindowQuantile(0.99, 0)
 	}
 	total := time.Since(o.start)
-	telServeNS.ObserveTrace(int64(total), o.sp.Context().Trace)
+	telServeNS.ObserveTrace(int64(total), o.trace)
 	if o.sp.Active() {
 		o.sp.End(
 			telemetry.String("endpoint", o.endpoint),
@@ -92,6 +117,9 @@ func (o *reqObs) finish() {
 	if o.s.access != nil {
 		o.s.access.record(o, outcome, total, slowNS)
 	}
+	// Handler goroutines are reused across requests: clear the profiler
+	// labels so the next request (or idle time) is not attributed here.
+	pprof.SetGoroutineLabels(context.Background())
 }
 
 // writeRunError maps an evaluation failure to a response status: deadline

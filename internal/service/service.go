@@ -167,7 +167,9 @@ func New(cfg Config) *Server {
 	if cfg.Debug != nil {
 		mux.Handle("/debug/", cfg.Debug)
 	}
-	s.handler = mux
+	// Every response carries the server clock (SB-Time), so clients can
+	// align their trace files onto this process's timeline.
+	s.handler = wire.WithServerTime(mux)
 	return s
 }
 

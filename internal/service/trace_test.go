@@ -1,0 +1,138 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"balance/internal/telemetry"
+	"balance/internal/wire"
+)
+
+// TestTraceRoundTrip drives a request carrying a client span context
+// through the real handler stack and asserts the server's
+// service.request span joins the client's trace as a child of the
+// client's span — the cross-process parenting the merged timeline
+// depends on.
+func TestTraceRoundTrip(t *testing.T) {
+	var traceBuf bytes.Buffer
+	reg := telemetry.Default()
+	reg.SetSink(telemetry.NewJSONLSink(&traceBuf))
+	defer reg.SetSink(nil)
+
+	var accessBuf bytes.Buffer
+	_, ts := newTestServer(t, Config{Workers: 2, AccessLog: &accessBuf, AccessSampleRate: 1})
+
+	client := telemetry.NewSpanContext(0)
+	ctx := telemetry.ContextWithSpan(context.Background(), client)
+	req := &wire.BoundsRequest{Superblock: sbText(t, 41, 10), Machine: "GP1", DeadlineMS: 5000}
+	if code, _, err := wire.Post(ctx, ts.Client(), ts.URL+"/v1/bounds", req, nil); err != nil || code != http.StatusOK {
+		t.Fatalf("bounds: code=%d err=%v", code, err)
+	}
+	reg.SetSink(nil)
+
+	events, err := telemetry.ParseJSONLTrace(bytes.NewReader(traceBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for i := range events {
+		if events[i].Name != "service.request" {
+			continue
+		}
+		found = true
+		if events[i].Trace != client.Trace {
+			t.Errorf("server span trace %016x, want client trace %016x", events[i].Trace, client.Trace)
+		}
+		if events[i].Parent != client.Span {
+			t.Errorf("server span parent %d, want client span %d", events[i].Parent, client.Span)
+		}
+	}
+	if !found {
+		t.Fatal("no service.request span recorded")
+	}
+
+	// The access log's trace field must resolve against the same trace ID
+	// the client's file carries.
+	wantTrace := fmt.Sprintf("%016x", client.Trace)
+	if line := accessLine(t, &accessBuf); line.Trace != wantTrace {
+		t.Errorf("access log trace %q, want %q", line.Trace, wantTrace)
+	}
+}
+
+// TestTraceFallsBackWithoutSink covers the asymmetric deployment: the
+// client records a trace but the server runs without a sink. The
+// server's span is inert, yet its access log (and exemplars) must still
+// report the caller's propagated trace ID so the client-side file
+// resolves against server logs.
+func TestTraceFallsBackWithoutSink(t *testing.T) {
+	var accessBuf bytes.Buffer
+	_, ts := newTestServer(t, Config{Workers: 2, AccessLog: &accessBuf, AccessSampleRate: 1})
+
+	client := telemetry.NewSpanContext(0)
+	ctx := telemetry.ContextWithSpan(context.Background(), client)
+	req := &wire.BoundsRequest{Superblock: sbText(t, 42, 10), Machine: "GP1", DeadlineMS: 5000}
+	if code, _, err := wire.Post(ctx, ts.Client(), ts.URL+"/v1/bounds", req, nil); err != nil || code != http.StatusOK {
+		t.Fatalf("bounds: code=%d err=%v", code, err)
+	}
+	wantTrace := fmt.Sprintf("%016x", client.Trace)
+	if line := accessLine(t, &accessBuf); line.Trace != wantTrace {
+		t.Errorf("sinkless access log trace %q, want %q", line.Trace, wantTrace)
+	}
+}
+
+// TestMalformedTraceHeaderFreshRoot sends garbage in SB-Trace: the
+// request must succeed and the server span must start a fresh root
+// rather than propagate the garbage.
+func TestMalformedTraceHeaderFreshRoot(t *testing.T) {
+	var traceBuf bytes.Buffer
+	reg := telemetry.Default()
+	reg.SetSink(telemetry.NewJSONLSink(&traceBuf))
+	defer reg.SetSink(nil)
+
+	_, ts := newTestServer(t, Config{Workers: 2})
+	body, _ := json.Marshal(&wire.BoundsRequest{Superblock: sbText(t, 43, 10), Machine: "GP1", DeadlineMS: 5000})
+	httpReq, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/bounds", bytes.NewReader(body))
+	httpReq.Header.Set(telemetry.TraceHeader, "00-zzzz-not-a-trace")
+	resp, err := ts.Client().Do(httpReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("malformed trace header failed the request: %d", resp.StatusCode)
+	}
+	reg.SetSink(nil)
+
+	events, err := telemetry.ParseJSONLTrace(bytes.NewReader(traceBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range events {
+		if events[i].Name == "service.request" {
+			if events[i].Trace != events[i].Span || events[i].Parent != 0 {
+				t.Errorf("span after malformed header: %+v, want fresh root", events[i])
+			}
+			return
+		}
+	}
+	t.Fatal("no service.request span recorded")
+}
+
+// accessLine decodes the single expected access-log line.
+func accessLine(t *testing.T, buf *bytes.Buffer) accessRecord {
+	t.Helper()
+	sc := bufio.NewScanner(buf)
+	if !sc.Scan() {
+		t.Fatal("no access log line written")
+	}
+	var rec accessRecord
+	if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+		t.Fatalf("access line: %v", err)
+	}
+	return rec
+}

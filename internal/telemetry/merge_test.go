@@ -1,6 +1,9 @@
 package telemetry
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestSnapshotMerge(t *testing.T) {
 	a := &Snapshot{
@@ -13,7 +16,9 @@ func TestSnapshotMerge(t *testing.T) {
 		Gauges:     map[string]GaugeValue{"occ": {Value: 1, Max: 9}},
 		Histograms: map[string]HistogramSummary{"lat": {Count: 5, Sum: 80, Min: 1, Max: 60, P50: 12, P95: 20}, "fresh": {Count: 1, Sum: 3, Min: 3, Max: 3, P50: 3, P95: 3}},
 	}
-	a.Merge(b)
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
 	if a.Counters["jobs"] != 7 || a.Counters["only_a"] != 1 || a.Counters["only_b"] != 7 {
 		t.Fatalf("counters merged wrong: %+v", a.Counters)
 	}
@@ -27,9 +32,54 @@ func TestSnapshotMerge(t *testing.T) {
 	if f := a.Histograms["fresh"]; f.Count != 1 {
 		t.Fatalf("new histogram not adopted: %+v", f)
 	}
-	a.Merge(nil) // nil other is a no-op
+	if err := a.Merge(nil); err != nil { // nil other is a no-op
+		t.Fatalf("nil merge: %v", err)
+	}
 	if a.Counters["jobs"] != 7 {
 		t.Fatal("nil merge mutated the snapshot")
+	}
+}
+
+func TestSnapshotMergeSpanRanges(t *testing.T) {
+	a := &Snapshot{SpanRanges: []SpanRange{{Owner: "coordinator", From: 0, To: 900}}}
+	b := &Snapshot{SpanRanges: []SpanRange{{Owner: "w1", From: 1 << 40, To: 1<<40 + 500}}}
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("disjoint ranges must merge cleanly: %v", err)
+	}
+	if len(a.SpanRanges) != 2 {
+		t.Fatalf("ranges not accumulated: %+v", a.SpanRanges)
+	}
+	// A worker that never re-seeded allocates from the same low slice as
+	// the coordinator: Merge must surface the aliasing.
+	c := &Snapshot{SpanRanges: []SpanRange{{Owner: "w2", From: 100, To: 600}}}
+	err := a.Merge(c)
+	if err == nil {
+		t.Fatal("overlapping span ranges merged without error")
+	}
+	if got := err.Error(); !strings.Contains(got, "w2") || !strings.Contains(got, "coordinator") {
+		t.Fatalf("collision error should name both owners: %v", err)
+	}
+	if len(a.SpanRanges) != 3 {
+		t.Fatalf("colliding range must still be recorded: %+v", a.SpanRanges)
+	}
+	// Touching endpoints are fine: ranges are half-open (From, To].
+	d := &Snapshot{SpanRanges: []SpanRange{{Owner: "w3", From: 900, To: 1000}}}
+	if err := a.Merge(d); err != nil {
+		t.Fatalf("adjacent ranges are not a collision: %v", err)
+	}
+}
+
+func TestStampSpanRange(t *testing.T) {
+	nextSpanID() // ensure at least one ID is allocated
+	s := &Snapshot{}
+	s.StampSpanRange("me")
+	if len(s.SpanRanges) != 1 {
+		t.Fatalf("stamp recorded %d ranges, want 1", len(s.SpanRanges))
+	}
+	r := s.SpanRanges[0]
+	base, last := SpanIDRange()
+	if r.Owner != "me" || r.From != base || r.To > last {
+		t.Fatalf("stamped range %+v, want owner=me from=%d to<=%d", r, base, last)
 	}
 }
 

@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Cross-process trace propagation.
+//
+// A span context travels between processes as a W3C-traceparent-style
+// header: `SB-Trace: 00-<16 hex trace>-<16 hex span>`. The version field
+// is fixed at "00" for now; parsers reject other versions so a future
+// format change cannot be half-understood. The span field may be zero:
+// that means "join this trace as a new subtree root" — distributed
+// workers use it to stitch their whole evaluation under the
+// coordinator's trace without inventing a fake parent span.
+//
+// The companion `SB-Time` response header (see internal/wire) carries
+// the server's clock as Unix nanoseconds, which sbtrace uses to align
+// per-process trace files onto one timeline.
+
+// TraceHeader is the HTTP header carrying a SpanContext between
+// processes.
+const TraceHeader = "SB-Trace"
+
+// TimeHeader is the HTTP response header carrying the server's clock as
+// Unix nanoseconds, for cross-process clock alignment.
+const TimeHeader = "SB-Time"
+
+// traceHeaderVersion is the only version this code emits or accepts.
+const traceHeaderVersion = "00"
+
+// Header renders the span context in SB-Trace wire form.
+func (sc SpanContext) Header() string {
+	return fmt.Sprintf("%s-%016x-%016x", traceHeaderVersion, sc.Trace, sc.Span)
+}
+
+// ParseTraceHeader parses an SB-Trace header value. It returns ok=false
+// for anything malformed — wrong version, wrong field widths, non-hex
+// digits, or a zero trace ID — so callers fall back to starting a fresh
+// root instead of propagating garbage.
+func ParseTraceHeader(s string) (SpanContext, bool) {
+	parts := strings.Split(s, "-")
+	if len(parts) != 3 || parts[0] != traceHeaderVersion {
+		return SpanContext{}, false
+	}
+	if len(parts[1]) != 16 || len(parts[2]) != 16 {
+		return SpanContext{}, false
+	}
+	trace, err := strconv.ParseUint(parts[1], 16, 64)
+	if err != nil || trace == 0 {
+		return SpanContext{}, false
+	}
+	span, err := strconv.ParseUint(parts[2], 16, 64)
+	if err != nil {
+		return SpanContext{}, false
+	}
+	return SpanContext{Trace: trace, Span: span}, true
+}
+
+// NewSpanContext allocates a real span identity without emitting any
+// event, even when no sink is installed. Clients that do not record
+// their own spans (a bare sbload run) use it to mint the identity they
+// inject via TraceHeader, so the server-side spans, exemplars, and
+// access logs still share one resolvable trace ID. A zero trace starts
+// a new trace named after the allocated span.
+func NewSpanContext(trace uint64) SpanContext {
+	sc := SpanContext{Trace: trace, Span: nextSpanID()}
+	if sc.Trace == 0 {
+		sc.Trace = sc.Span
+	}
+	return sc
+}

@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"context"
+	"testing"
+)
+
+func TestTraceHeaderRoundTrip(t *testing.T) {
+	sc := SpanContext{Trace: 0xdeadbeef01, Span: 0x42}
+	h := sc.Header()
+	if h != "00-000000deadbeef01-0000000000000042" {
+		t.Fatalf("header form %q", h)
+	}
+	got, ok := ParseTraceHeader(h)
+	if !ok || got != sc {
+		t.Fatalf("round trip: got %+v ok=%v, want %+v", got, ok, sc)
+	}
+	// Span 0 is legal on the wire: "join this trace as a subtree root".
+	joined, ok := ParseTraceHeader(SpanContext{Trace: 7}.Header())
+	if !ok || joined.Trace != 7 || joined.Span != 0 {
+		t.Fatalf("trace-only header: got %+v ok=%v", joined, ok)
+	}
+}
+
+func TestParseTraceHeaderMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"00-123-456",                               // wrong widths
+		"01-000000deadbeef01-0000000000000042",     // unknown version
+		"00-0000000000000000-0000000000000042",     // zero trace
+		"00-zzzzzzzzzzzzzzzz-0000000000000042",     // non-hex
+		"00-000000deadbeef01-0000000000000042-ff",  // trailing field
+		"00-000000DEADBEEF01-0000000000000042 ",    // trailing junk
+		"traceparent-style-but-not-ours",           //
+		"00-000000deadbeef010-000000000000004",     // shifted widths
+		"00-000000deadbeef01-00000000000000422-00", //
+		"00--0000000000000042",                     //
+		"000-00000deadbeef01-0000000000000042",     //
+		"00-000000deadbeef01-0000000000000042\n",   //
+		"0x-000000deadbeef01-0000000000000042",     //
+		" 00-000000deadbeef01-0000000000000042",    //
+		"00 -000000deadbeef01-0000000000000042",    //
+		"00-000000deadbeef01-000000000000004g",     // non-hex span
+		"00-000000deadbeef01",                      // missing span
+		"00-000000deadbeef01-0000000000000042-",    //
+		"00-+00000deadbeef01-0000000000000042",     // sign rejected
+	}
+	for _, s := range bad {
+		if sc, ok := ParseTraceHeader(s); ok {
+			t.Errorf("ParseTraceHeader(%q) = %+v, want rejection", s, sc)
+		}
+	}
+}
+
+// TestMalformedHeaderFallsBackToFreshRoot is the server-side contract: a
+// garbage SB-Trace header must not poison the request span — the
+// handler parses, gets ok=false, skips ContextWithSpan, and StartSpanCtx
+// starts a fresh root.
+func TestMalformedHeaderFallsBackToFreshRoot(t *testing.T) {
+	r := NewRegistry()
+	sink := &captureSink{}
+	r.SetSink(sink)
+	ctx := context.Background()
+	if sc, ok := ParseTraceHeader("00-garbage-header"); ok {
+		ctx = ContextWithSpan(ctx, sc)
+	}
+	sp, _ := r.StartSpanCtx(ctx, "service.request")
+	sp.End()
+	ev := sink.events[len(sink.events)-1]
+	if ev.Trace != ev.Span || ev.Parent != 0 {
+		t.Fatalf("span after malformed header: trace %d span %d parent %d, want fresh root",
+			ev.Trace, ev.Span, ev.Parent)
+	}
+}
+
+// TestInjectExtractParent is the full propagation contract in one place:
+// a client span's header, parsed server-side, parents the server span
+// under the client's trace.
+func TestInjectExtractParent(t *testing.T) {
+	r := NewRegistry()
+	sink := &captureSink{}
+	r.SetSink(sink)
+
+	client, _ := r.StartSpanCtx(context.Background(), "sbload.request")
+	header := client.Context().Header()
+
+	// "Server side": a different context, linked only by the header.
+	sc, ok := ParseTraceHeader(header)
+	if !ok {
+		t.Fatalf("server rejected client header %q", header)
+	}
+	server, _ := r.StartSpanCtx(ContextWithSpan(context.Background(), sc), "service.request")
+	server.End()
+	client.End()
+
+	serverEv := sink.events[0]
+	if serverEv.Trace != client.Context().Trace {
+		t.Errorf("server span trace %d, want client trace %d", serverEv.Trace, client.Context().Trace)
+	}
+	if serverEv.Parent != client.Context().Span {
+		t.Errorf("server span parent %d, want client span %d", serverEv.Parent, client.Context().Span)
+	}
+}
+
+func TestNewSpanContext(t *testing.T) {
+	a := NewSpanContext(0)
+	if a.Trace == 0 || a.Span == 0 || a.Trace != a.Span {
+		t.Fatalf("fresh root context %+v, want trace named after span", a)
+	}
+	b := NewSpanContext(a.Trace)
+	if b.Trace != a.Trace || b.Span == a.Span || b.Span == 0 {
+		t.Fatalf("joined context %+v, want same trace and a fresh span", b)
+	}
+}

@@ -37,6 +37,38 @@ type Snapshot struct {
 	// registries without them stay byte-identical to earlier releases.
 	FloatGauges map[string]float64       `json:"float_gauges,omitempty"`
 	Windows     map[string]WindowSummary `json:"windows,omitempty"`
+	// SpanRanges lists the span-ID slices of every process folded into
+	// this snapshot (see StampSpanRange). Merge refuses overlapping
+	// ranges: two processes emitting the same span IDs into one trace
+	// would silently alias spans in the merged trace files. Omitted for
+	// plain single-process snapshots.
+	SpanRanges []SpanRange `json:"span_ranges,omitempty"`
+}
+
+// SpanRange is the half-open span-ID slice (From, To] one process
+// allocated from, labelled with the process's identity.
+type SpanRange struct {
+	Owner string `json:"owner"`
+	From  uint64 `json:"from"`
+	To    uint64 `json:"to"`
+}
+
+// overlaps reports whether two half-open ranges (From, To] intersect.
+func (r SpanRange) overlaps(o SpanRange) bool {
+	return r.From < o.To && o.From < r.To
+}
+
+// StampSpanRange records this process's allocated span-ID range into the
+// snapshot under the given owner label. Distributed workers stamp their
+// final snapshot before posting it, so the coordinator's Merge can prove
+// the per-worker ID ranges were disjoint (or surface the collision).
+// A process that allocated no span IDs stamps nothing.
+func (s *Snapshot) StampSpanRange(owner string) {
+	from, to := SpanIDRange()
+	if to <= from {
+		return
+	}
+	s.SpanRanges = append(s.SpanRanges, SpanRange{Owner: owner, From: from, To: to})
 }
 
 // Snapshot copies every instrument's current value. Instruments mutated
@@ -139,10 +171,34 @@ func (s *Snapshot) String() string {
 // Float gauges and rolling windows are process-local views and are not
 // merged; s keeps its own. The distributed coordinator uses Merge to
 // fold worker snapshots into one corpus-wide view.
-func (s *Snapshot) Merge(other *Snapshot) {
+//
+// Span-ID ranges accumulate rather than add. A range of other's that
+// overlaps one already present makes Merge return an error naming both
+// owners — the two processes allocated from the same span-ID slice, so
+// their merged trace files may alias spans. The numeric fold still
+// completes (counters must not be lost to an observability defect); the
+// error is a signal to surface, not a rollback.
+func (s *Snapshot) Merge(other *Snapshot) error {
 	if other == nil {
-		return
+		return nil
 	}
+	var err error
+	for _, r := range other.SpanRanges {
+		for _, have := range s.SpanRanges {
+			if r.overlaps(have) && err == nil {
+				err = fmt.Errorf(
+					"telemetry: span-ID range collision: %s (%d,%d] overlaps %s (%d,%d]",
+					r.Owner, r.From, r.To, have.Owner, have.From, have.To)
+			}
+		}
+		s.SpanRanges = append(s.SpanRanges, r)
+	}
+	sort.Slice(s.SpanRanges, func(i, j int) bool {
+		if s.SpanRanges[i].From != s.SpanRanges[j].From {
+			return s.SpanRanges[i].From < s.SpanRanges[j].From
+		}
+		return s.SpanRanges[i].Owner < s.SpanRanges[j].Owner
+	})
 	if s.Counters == nil {
 		s.Counters = map[string]int64{}
 	}
@@ -185,4 +241,5 @@ func (s *Snapshot) Merge(other *Snapshot) {
 		}
 		s.Histograms[name] = cur
 	}
+	return err
 }

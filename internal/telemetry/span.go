@@ -82,11 +82,17 @@ func (s Span) End(attrs ...Attr) {
 	if box == nil {
 		return
 	}
-	now := time.Now()
+	// Elapsed uses the monotonic reading; the end timestamp is the
+	// START's wall reading plus that elapsed, not a second wall read.
+	// Exporters reconstruct start as Time−Dur, and this keeps that
+	// reconstruction exact even when NTP slews the wall clock mid-span —
+	// otherwise a long parent's reconstructed start can drift past its
+	// short child's and a merged timeline looks non-monotone.
+	elapsed := time.Since(s.start)
 	box.s.Emit(Event{
 		Name:   s.name,
-		Time:   now,
-		Dur:    now.Sub(s.start),
+		Time:   s.start.Add(elapsed),
+		Dur:    elapsed,
 		Attrs:  attrs,
 		Trace:  s.sc.Trace,
 		Span:   s.sc.Span,

@@ -2,6 +2,9 @@ package telemetry
 
 import (
 	"context"
+	"fmt"
+	"hash/fnv"
+	"os"
 	"sync/atomic"
 	"time"
 )
@@ -38,10 +41,22 @@ func SpanFromContext(ctx context.Context) SpanContext {
 }
 
 // spanIDs allocates process-unique span identifiers. IDs start at 1 so 0
-// stays reserved for "absent".
-var spanIDs atomic.Uint64
+// stays reserved for "absent". spanIDBase remembers the highest seed, so
+// SpanIDRange can report the slice of the ID space this process actually
+// used (the collision check behind Snapshot.Merge).
+var (
+	spanIDs    atomic.Uint64
+	spanIDBase atomic.Uint64
+)
 
 func nextSpanID() uint64 { return spanIDs.Add(1) }
+
+// SpanIDRange reports the half-open slice of the span-ID space this
+// process has allocated from: IDs in (base, last] were issued here.
+// base == last means no IDs were allocated since the last seed.
+func SpanIDRange() (base, last uint64) {
+	return spanIDBase.Load(), spanIDs.Load()
+}
 
 // SeedSpanIDs moves the span-ID allocator forward to base, so IDs issued
 // afterwards are > base. Processes that contribute spans to one shared
@@ -52,10 +67,34 @@ func nextSpanID() uint64 { return spanIDs.Add(1) }
 func SeedSpanIDs(base uint64) {
 	for {
 		cur := spanIDs.Load()
-		if cur >= base || spanIDs.CompareAndSwap(cur, base) {
+		if cur >= base {
 			return
 		}
+		if spanIDs.CompareAndSwap(cur, base) {
+			// Record the seed so SpanIDRange reports only the IDs issued
+			// after it (the worker's own slice, not the pre-join scraps).
+			for {
+				b := spanIDBase.Load()
+				if b >= base || spanIDBase.CompareAndSwap(b, base) {
+					return
+				}
+			}
+		}
 	}
+}
+
+// SeedSpanIDsUnique moves the allocator to a process-unique base in the
+// low 40 bits of the ID space, derived from the pid and start time.
+// Every cmd tool seeds this way at startup so that span (and therefore
+// trace) IDs minted by concurrently-running processes — an sbload
+// driving an sbserve, two workers racing to join a coordinator — do not
+// alias each other before any coordinator has dealt out deterministic
+// ranges. Coordinator-assigned worker bases live at (i+1)<<40 and above,
+// so a later SeedSpanIDs from a join always lands past this one.
+func SeedSpanIDsUnique() {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d", os.Getpid(), time.Now().UnixNano())
+	SeedSpanIDs(h.Sum64() & (1<<40 - 1))
 }
 
 // StartSpanCtx begins a span parented to the span carried by ctx (if

@@ -63,20 +63,20 @@ type laneEntry struct {
 	end  time.Time
 }
 
-// renderTraceEvents lays events out on lanes (tids) and marshals the
-// trace-event JSON document with a deterministic field order, so output
-// for fixed input events is byte-stable (goldenable).
-func renderTraceEvents(events []Event) []byte {
-	// Order by start time; longer spans first on ties so parents are
-	// placed before the children they enclose; span id as final tiebreak.
+// eventStart is a span event's start time (Time is its completion).
+func eventStart(e *Event) time.Time { return e.Time.Add(-e.Dur) }
+
+// orderEvents returns event indices ordered by start time; longer spans
+// first on ties so parents are placed before the children they enclose;
+// span id as final tiebreak.
+func orderEvents(events []Event) []int {
 	ordered := make([]int, len(events))
 	for i := range ordered {
 		ordered[i] = i
 	}
-	start := func(e *Event) time.Time { return e.Time.Add(-e.Dur) }
 	sort.SliceStable(ordered, func(a, b int) bool {
 		ea, eb := &events[ordered[a]], &events[ordered[b]]
-		sa, sb := start(ea), start(eb)
+		sa, sb := eventStart(ea), eventStart(eb)
 		if !sa.Equal(sb) {
 			return sa.Before(sb)
 		}
@@ -85,6 +85,32 @@ func renderTraceEvents(events []Event) []byte {
 		}
 		return ea.Span < eb.Span
 	})
+	return ordered
+}
+
+// renderTraceEvents lays events out on lanes (tids) and marshals the
+// trace-event JSON document with a deterministic field order, so output
+// for fixed input events is byte-stable (goldenable). One-process form
+// of RenderProcesses, kept as the TraceEventSink's exporter.
+func renderTraceEvents(events []Event) []byte {
+	return RenderProcesses([]TraceProcess{{Name: "balance", Events: events}})
+}
+
+// TraceProcess is one process's slice of a merged timeline: its events
+// plus the clock offset that maps its local timestamps onto the
+// reference clock (see ClockOffset; zero for the reference process).
+type TraceProcess struct {
+	Name   string
+	Events []Event
+	Offset time.Duration
+}
+
+// assignLanes packs one process's events onto lanes (tids) and returns
+// the deterministic emission order, each event's lane, and the lane
+// count (including lane 0, reserved for untraced events).
+func assignLanes(events []Event) (ordered, laneOf []int, nLanes int) {
+	ordered = orderEvents(events)
+	start := eventStart
 
 	// Greedy lane assignment simulating the worker goroutines: a span
 	// joins the lane whose innermost open span is its parent; otherwise
@@ -93,7 +119,7 @@ func renderTraceEvents(events []Event) []byte {
 	// lane 0.
 	var lanes [][]laneEntry
 	spanLane := map[uint64]int{}
-	laneOf := make([]int, len(events))
+	laneOf = make([]int, len(events))
 	for _, idx := range ordered {
 		e := &events[idx]
 		if e.Trace == 0 {
@@ -146,80 +172,107 @@ func renderTraceEvents(events []Event) []byte {
 		laneOf[idx] = chosen + 1 // lane 0 is reserved for untraced events
 		spanLane[e.Span] = laneOf[idx]
 	}
-	nLanes := len(lanes) + 1
+	return ordered, laneOf, len(lanes) + 1
+}
 
-	// Timestamps are microseconds relative to the earliest event start.
+// RenderProcesses marshals any number of processes' events as one
+// trace-event JSON document: one pid (with its own worker lanes) per
+// process, timestamps shifted by each process's clock offset onto a
+// shared epoch. Field order, lane assignment, and event order are
+// deterministic, so output for fixed inputs is byte-stable (goldenable).
+// cmd/sbtrace uses this to merge per-process trace files into one
+// Perfetto timeline; the single-process form is TraceEventSink's export.
+func RenderProcesses(procs []TraceProcess) []byte {
+	// The shared epoch: the earliest aligned event start across every
+	// process, so merged timelines begin at ts 0 like single ones.
 	var epoch time.Time
-	for i := range events {
-		es := start(&events[i])
-		if epoch.IsZero() || es.Before(epoch) {
-			epoch = es
-		}
-	}
-
-	b := []byte(`{"displayTimeUnit":"ms","traceEvents":[` + "\n")
-	b = append(b, `{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"balance"}}`...)
-	for tid := 0; tid < nLanes; tid++ {
-		b = append(b, ",\n"...)
-		b = append(b, `{"name":"thread_name","ph":"M","pid":1,"tid":`...)
-		b = strconv.AppendInt(b, int64(tid), 10)
-		if tid == 0 {
-			b = append(b, `,"args":{"name":"untraced"}}`...)
-		} else {
-			b = append(b, `,"args":{"name":"worker-`...)
-			b = strconv.AppendInt(b, int64(tid), 10)
-			b = append(b, `"}}`...)
+	for p := range procs {
+		for i := range procs[p].Events {
+			es := eventStart(&procs[p].Events[i]).Add(procs[p].Offset)
+			if epoch.IsZero() || es.Before(epoch) {
+				epoch = es
+			}
 		}
 	}
 	appendMicros := func(b []byte, d time.Duration) []byte {
 		return strconv.AppendFloat(b, float64(d.Nanoseconds())/1e3, 'f', 3, 64)
 	}
-	for _, idx := range ordered {
-		e := &events[idx]
-		b = append(b, ",\n"...)
-		b = append(b, `{"name":`...)
-		b = strconv.AppendQuote(b, e.Name)
-		if e.Dur != 0 {
-			b = append(b, `,"ph":"X","ts":`...)
-			b = appendMicros(b, start(e).Sub(epoch))
-			b = append(b, `,"dur":`...)
-			b = appendMicros(b, e.Dur)
-		} else {
-			b = append(b, `,"ph":"i","s":"t","ts":`...)
-			b = appendMicros(b, e.Time.Sub(epoch))
+	b := []byte(`{"displayTimeUnit":"ms","traceEvents":[` + "\n")
+	for p := range procs {
+		events := procs[p].Events
+		ordered, laneOf, nLanes := assignLanes(events)
+		pid := int64(p + 1)
+		if p > 0 {
+			b = append(b, ",\n"...)
 		}
-		b = append(b, `,"pid":1,"tid":`...)
-		b = strconv.AppendInt(b, int64(laneOf[idx]), 10)
-		b = append(b, `,"args":{`...)
-		first := true
-		field := func(k string, v uint64) {
-			if v == 0 {
-				return
-			}
-			if !first {
-				b = append(b, ',')
-			}
-			first = false
-			b = strconv.AppendQuote(b, k)
-			b = append(b, ':')
-			b = strconv.AppendUint(b, v, 10)
-		}
-		field("span", e.Span)
-		field("parent", e.Parent)
-		for _, a := range e.Attrs {
-			if !first {
-				b = append(b, ',')
-			}
-			first = false
-			b = strconv.AppendQuote(b, a.Key)
-			b = append(b, ':')
-			if a.IsInt {
-				b = strconv.AppendInt(b, a.Int, 10)
-			} else {
-				b = strconv.AppendQuote(b, a.Str)
-			}
-		}
+		b = append(b, `{"name":"process_name","ph":"M","pid":`...)
+		b = strconv.AppendInt(b, pid, 10)
+		b = append(b, `,"tid":0,"args":{"name":`...)
+		b = strconv.AppendQuote(b, procs[p].Name)
 		b = append(b, `}}`...)
+		for tid := 0; tid < nLanes; tid++ {
+			b = append(b, ",\n"...)
+			b = append(b, `{"name":"thread_name","ph":"M","pid":`...)
+			b = strconv.AppendInt(b, pid, 10)
+			b = append(b, `,"tid":`...)
+			b = strconv.AppendInt(b, int64(tid), 10)
+			if tid == 0 {
+				b = append(b, `,"args":{"name":"untraced"}}`...)
+			} else {
+				b = append(b, `,"args":{"name":"worker-`...)
+				b = strconv.AppendInt(b, int64(tid), 10)
+				b = append(b, `"}}`...)
+			}
+		}
+		for _, idx := range ordered {
+			e := &events[idx]
+			b = append(b, ",\n"...)
+			b = append(b, `{"name":`...)
+			b = strconv.AppendQuote(b, e.Name)
+			if e.Dur != 0 {
+				b = append(b, `,"ph":"X","ts":`...)
+				b = appendMicros(b, eventStart(e).Add(procs[p].Offset).Sub(epoch))
+				b = append(b, `,"dur":`...)
+				b = appendMicros(b, e.Dur)
+			} else {
+				b = append(b, `,"ph":"i","s":"t","ts":`...)
+				b = appendMicros(b, e.Time.Add(procs[p].Offset).Sub(epoch))
+			}
+			b = append(b, `,"pid":`...)
+			b = strconv.AppendInt(b, pid, 10)
+			b = append(b, `,"tid":`...)
+			b = strconv.AppendInt(b, int64(laneOf[idx]), 10)
+			b = append(b, `,"args":{`...)
+			first := true
+			field := func(k string, v uint64) {
+				if v == 0 {
+					return
+				}
+				if !first {
+					b = append(b, ',')
+				}
+				first = false
+				b = strconv.AppendQuote(b, k)
+				b = append(b, ':')
+				b = strconv.AppendUint(b, v, 10)
+			}
+			field("span", e.Span)
+			field("parent", e.Parent)
+			for _, a := range e.Attrs {
+				if !first {
+					b = append(b, ',')
+				}
+				first = false
+				b = strconv.AppendQuote(b, a.Key)
+				b = append(b, ':')
+				if a.IsInt {
+					b = strconv.AppendInt(b, a.Int, 10)
+				} else {
+					b = strconv.AppendQuote(b, a.Str)
+				}
+			}
+			b = append(b, `}}`...)
+		}
 	}
 	return append(b, "\n]}\n"...)
 }

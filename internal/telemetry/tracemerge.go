@@ -1,0 +1,451 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Cross-process trace merging: the library behind cmd/sbtrace. Each
+// process writes its own JSONL trace file (JSONLSink); this file parses
+// them back into Events, aligns their clocks from the trace.clock
+// handshake instants the wire layer emits, and renders one multi-process
+// Perfetto timeline (RenderProcesses). LintProcesses checks the merged
+// structure — aliased span IDs, orphan parents, impossible timestamps —
+// and StatsText rolls up durations, per-trace critical paths, and
+// cross-process gaps.
+
+// ClockEventName is the instant event the wire client emits once per
+// remote host, carrying the server's clock for offset computation.
+const ClockEventName = "trace.clock"
+
+// ClockRemoteAttr is the ClockEventName attribute holding the server's
+// Unix-nanosecond clock reading; ClockHostAttr names the host it came
+// from.
+const (
+	ClockRemoteAttr = "remote_unix_ns"
+	ClockHostAttr   = "host"
+)
+
+// jsonlEvent mirrors Event.appendJSON's wire form.
+type jsonlEvent struct {
+	Name   string                     `json:"name"`
+	TS     string                     `json:"ts"`
+	DurNS  int64                      `json:"dur_ns"`
+	Trace  uint64                     `json:"trace"`
+	Span   uint64                     `json:"span"`
+	Parent uint64                     `json:"parent"`
+	Attrs  map[string]json.RawMessage `json:"attrs"`
+}
+
+// ParseJSONLTrace reads a JSONL trace stream (the JSONLSink format) back
+// into Events. Attributes lose their emission order to JSON object
+// semantics and come back sorted by key — deterministic, which is what
+// merged-output goldens need. Blank lines are skipped; a malformed line
+// is an error naming its line number.
+func ParseJSONLTrace(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var je jsonlEvent
+		if err := json.Unmarshal([]byte(text), &je); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		ts, err := time.Parse(time.RFC3339Nano, je.TS)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: ts: %w", line, err)
+		}
+		e := Event{
+			Name:   je.Name,
+			Time:   ts,
+			Dur:    time.Duration(je.DurNS),
+			Trace:  je.Trace,
+			Span:   je.Span,
+			Parent: je.Parent,
+		}
+		if len(je.Attrs) > 0 {
+			keys := make([]string, 0, len(je.Attrs))
+			for k := range je.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			e.Attrs = make([]Attr, 0, len(keys))
+			for _, k := range keys {
+				raw := je.Attrs[k]
+				if len(raw) > 0 && raw[0] == '"' {
+					var s string
+					if err := json.Unmarshal(raw, &s); err != nil {
+						return nil, fmt.Errorf("line %d: attr %s: %w", line, k, err)
+					}
+					e.Attrs = append(e.Attrs, String(k, s))
+				} else if n, err := strconv.ParseInt(string(raw), 10, 64); err == nil {
+					e.Attrs = append(e.Attrs, Int(k, n))
+				} else {
+					e.Attrs = append(e.Attrs, String(k, string(raw)))
+				}
+			}
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// attrInt looks up an integer attribute by key.
+func attrInt(e *Event, key string) (int64, bool) {
+	for _, a := range e.Attrs {
+		if a.Key == key && a.IsInt {
+			return a.Int, true
+		}
+	}
+	return 0, false
+}
+
+// ClockOffset derives a process's clock offset from its first
+// trace.clock instant: the duration to ADD to its local timestamps to
+// express them on the remote (reference) clock. ok is false when the
+// stream holds no usable clock event — the process is then its own
+// reference (offset 0), which is the right call for the hub process
+// everyone else's offsets point at.
+func ClockOffset(events []Event) (offset time.Duration, ok bool) {
+	for i := range events {
+		e := &events[i]
+		if e.Name != ClockEventName {
+			continue
+		}
+		remote, found := attrInt(e, ClockRemoteAttr)
+		if !found {
+			continue
+		}
+		return time.Unix(0, remote).Sub(e.Time), true
+	}
+	return 0, false
+}
+
+// LintFinding is one structural defect in a set of trace files.
+type LintFinding struct {
+	Process string // process (file) the defect was found in
+	Kind    string // negative-duration | span-collision | orphan-parent | non-monotone
+	Detail  string
+}
+
+func (f LintFinding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Process, f.Kind, f.Detail)
+}
+
+// LintProcesses checks the merged structure of a set of per-process
+// trace files:
+//
+//   - negative-duration: a span whose duration is negative.
+//   - span-collision: one (trace, span-ID) pair emitted by two events —
+//     across processes this means the span-ID ranges aliased (a worker
+//     joined without a disjoint SeedSpanIDs base).
+//   - orphan-parent: a span naming a parent that no merged file
+//     contains. Merging a subset of a run's files (e.g. dropping a
+//     SIGKILL'd worker's torn file) legitimately orphans the survivors'
+//     references into the dropped file — lint is how you notice.
+//   - non-monotone: a child span starting more than 100µs before its
+//     same-process parent started (cross-process pairs are excluded:
+//     clock alignment is only as good as the handshake). Span ends
+//     carry start-wall + monotonic-elapsed timestamps, so reconstructed
+//     starts are exact per span; the tolerance absorbs wall-clock slew
+//     between the parent's and child's start reads.
+//
+// Findings are ordered by process, kind, then detail, so output is
+// deterministic for tests and CI gates.
+func LintProcesses(procs []TraceProcess) []LintFinding {
+	var out []LintFinding
+	type spanKey struct {
+		trace, span uint64
+	}
+	type spanInfo struct {
+		proc  int
+		event *Event
+	}
+	spans := map[spanKey]spanInfo{} // span-defining events only (Dur > 0 or instants with IDs)
+	for p := range procs {
+		events := procs[p].Events
+		for i := range events {
+			e := &events[i]
+			if e.Dur < 0 {
+				out = append(out, LintFinding{
+					Process: procs[p].Name, Kind: "negative-duration",
+					Detail: fmt.Sprintf("span %d (%s) has duration %v", e.Span, e.Name, e.Dur),
+				})
+			}
+			if e.Span == 0 {
+				continue
+			}
+			k := spanKey{e.Trace, e.Span}
+			if prev, dup := spans[k]; dup {
+				out = append(out, LintFinding{
+					Process: procs[p].Name, Kind: "span-collision",
+					Detail: fmt.Sprintf("span %d in trace %016x (%s) already emitted by %s (%s)",
+						e.Span, e.Trace, e.Name, procs[prev.proc].Name, prev.event.Name),
+				})
+				continue
+			}
+			spans[k] = spanInfo{proc: p, event: e}
+		}
+	}
+	for p := range procs {
+		events := procs[p].Events
+		for i := range events {
+			e := &events[i]
+			if e.Parent == 0 {
+				continue
+			}
+			parent, found := spans[spanKey{e.Trace, e.Parent}]
+			if !found {
+				out = append(out, LintFinding{
+					Process: procs[p].Name, Kind: "orphan-parent",
+					Detail: fmt.Sprintf("span %d (%s) names parent %d, which no merged file contains",
+						e.Span, e.Name, e.Parent),
+				})
+				continue
+			}
+			if parent.proc == p && e.Dur > 0 && parent.event.Dur > 0 {
+				if lead := eventStart(parent.event).Sub(eventStart(e)); lead > 100*time.Microsecond {
+					out = append(out, LintFinding{
+						Process: procs[p].Name, Kind: "non-monotone",
+						Detail: fmt.Sprintf("span %d (%s) starts %v before its parent %d (%s)",
+							e.Span, e.Name, lead, e.Parent, parent.event.Name),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Process != out[j].Process {
+			return out[i].Process < out[j].Process
+		}
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Detail < out[j].Detail
+	})
+	return out
+}
+
+// ms renders a duration as fixed-point milliseconds, matching the
+// timeline's 1µs-resolution determinism.
+func ms(d time.Duration) string {
+	return strconv.FormatFloat(float64(d.Nanoseconds())/1e6, 'f', 3, 64) + "ms"
+}
+
+// StatsText computes and renders the merged-trace statistics: per-span-
+// kind duration rollups, per-trace summaries with the critical path
+// (repeatedly descending into the latest-ending child), and the
+// cross-process links — parent in one file, child in another — whose
+// start-to-start gap is the network + queue time the wire added. All
+// timestamps are clock-aligned before comparison. Output is
+// deterministic for fixed input.
+func StatsText(procs []TraceProcess) string {
+	type spanRef struct {
+		proc int
+		e    *Event
+	}
+	type spanKey struct {
+		trace, span uint64
+	}
+	spans := map[spanKey]spanRef{}
+	children := map[spanKey][]spanRef{}
+	aligned := func(ref spanRef) (start, end time.Time) {
+		end = ref.e.Time.Add(procs[ref.proc].Offset)
+		return end.Add(-ref.e.Dur), end
+	}
+
+	// Span-kind rollups cover every span event; instants are skipped.
+	type kindStat struct {
+		count      int
+		total, max time.Duration
+	}
+	kinds := map[string]*kindStat{}
+	var traceIDs []uint64
+	seenTrace := map[uint64]bool{}
+	for p := range procs {
+		events := procs[p].Events
+		for i := range events {
+			e := &events[i]
+			if e.Dur > 0 {
+				ks := kinds[e.Name]
+				if ks == nil {
+					ks = &kindStat{}
+					kinds[e.Name] = ks
+				}
+				ks.count++
+				ks.total += e.Dur
+				if e.Dur > ks.max {
+					ks.max = e.Dur
+				}
+			}
+			if e.Trace == 0 {
+				continue
+			}
+			if !seenTrace[e.Trace] {
+				seenTrace[e.Trace] = true
+				traceIDs = append(traceIDs, e.Trace)
+			}
+			ref := spanRef{proc: p, e: e}
+			if e.Span != 0 && e.Dur > 0 {
+				if _, dup := spans[spanKey{e.Trace, e.Span}]; !dup {
+					spans[spanKey{e.Trace, e.Span}] = ref
+				}
+			}
+			if e.Parent != 0 {
+				k := spanKey{e.Trace, e.Parent}
+				children[k] = append(children[k], ref)
+			}
+		}
+	}
+	sort.Slice(traceIDs, func(i, j int) bool { return traceIDs[i] < traceIDs[j] })
+
+	var b strings.Builder
+	b.WriteString("== span kinds ==\n")
+	names := make([]string, 0, len(kinds))
+	for name := range kinds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ks := kinds[name]
+		mean := ks.total / time.Duration(ks.count)
+		fmt.Fprintf(&b, "%-24s count %d total %s mean %s max %s\n",
+			name, ks.count, ms(ks.total), ms(mean), ms(ks.max))
+	}
+
+	b.WriteString("== traces ==\n")
+	// Single-span traces (uncontexted leaf work minting a fresh trace
+	// per call) are rolled into one elision line: a merged corpus run
+	// holds thousands of them and they would drown the real trees.
+	elided := 0
+	for _, trace := range traceIDs {
+		var first, last time.Time
+		var count, nProcs int
+		procSeen := map[int]bool{}
+		var root spanRef
+		for k, ref := range spans {
+			if k.trace != trace {
+				continue
+			}
+			count++
+			if !procSeen[ref.proc] {
+				procSeen[ref.proc] = true
+				nProcs++
+			}
+			s, e := aligned(ref)
+			if first.IsZero() || s.Before(first) {
+				first = s
+			}
+			if e.After(last) {
+				last = e
+			}
+			// The trace's root: the earliest-starting span with no parent
+			// present in the merge.
+			if ref.e.Parent == 0 || spans[spanKey{trace, ref.e.Parent}].e == nil {
+				if root.e == nil {
+					root = ref
+				} else if rs, _ := aligned(root); s.Before(rs) ||
+					(s.Equal(rs) && ref.e.Span < root.e.Span) {
+					root = ref
+				}
+			}
+		}
+		if count == 0 {
+			continue // instants only: nothing to time
+		}
+		if count == 1 {
+			elided++
+			continue
+		}
+		// Critical path: from the root, repeatedly descend into the
+		// latest-ending child span.
+		var path []string
+		if root.e != nil {
+			cur := root
+			path = append(path, cur.e.Name)
+			for depth := 0; depth < 64; depth++ {
+				var next spanRef
+				var nextEnd time.Time
+				for _, ch := range children[spanKey{trace, cur.e.Span}] {
+					if ch.e.Dur <= 0 {
+						continue
+					}
+					if _, chEnd := aligned(ch); next.e == nil || chEnd.After(nextEnd) {
+						next, nextEnd = ch, chEnd
+					}
+				}
+				if next.e == nil {
+					break
+				}
+				cur = next
+				path = append(path, cur.e.Name)
+			}
+		}
+		fmt.Fprintf(&b, "trace %016x spans %d processes %d wall %s critical %s\n",
+			trace, count, nProcs, ms(last.Sub(first)), strings.Join(path, " > "))
+	}
+	if elided > 0 {
+		fmt.Fprintf(&b, "(%d single-span traces elided)\n", elided)
+	}
+
+	b.WriteString("== cross-process links ==\n")
+	type linkStat struct {
+		count      int
+		total, max time.Duration
+	}
+	links := map[string]*linkStat{}
+	for k, refs := range children {
+		parent, found := spans[k]
+		if !found {
+			continue
+		}
+		for _, ch := range refs {
+			if ch.proc == parent.proc || ch.e.Dur <= 0 {
+				continue
+			}
+			ps, _ := aligned(parent)
+			cs, _ := aligned(ch)
+			gap := cs.Sub(ps)
+			if gap < 0 {
+				gap = 0
+			}
+			name := parent.e.Name + " -> " + ch.e.Name
+			ls := links[name]
+			if ls == nil {
+				ls = &linkStat{}
+				links[name] = ls
+			}
+			ls.count++
+			ls.total += gap
+			if gap > ls.max {
+				ls.max = gap
+			}
+		}
+	}
+	names = names[:0]
+	for name := range links {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ls := links[name]
+		mean := ls.total / time.Duration(ls.count)
+		fmt.Fprintf(&b, "%-40s count %d gap mean %s max %s\n", name, ls.count, ms(mean), ms(ls.max))
+	}
+	return b.String()
+}

@@ -1,0 +1,333 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// mergeFixture is a synthetic three-process run with fixed times and IDs:
+// a coordinator (the clock reference) running one sbeval root with two
+// dist.unit spans, and two workers whose engine.job spans parent those
+// unit spans across the process boundary. Worker clocks are skewed
+// (+2ms and -5ms) and each worker file carries the trace.clock handshake
+// instant that lets the merge undo the skew. Times in each process's
+// events are LOCAL to that process, exactly as its JSONLSink would have
+// written them.
+func mergeFixture() []TraceProcess {
+	base := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC) // coordinator clock
+	at := func(us int64) time.Time { return base.Add(time.Duration(us) * time.Microsecond) }
+	span := func(name string, startUS, endUS int64, sp, parent uint64, attrs ...Attr) Event {
+		return Event{Name: name, Time: at(endUS), Dur: time.Duration(endUS-startUS) * time.Microsecond,
+			Attrs: attrs, Trace: 7, Span: sp, Parent: parent}
+	}
+	const w1, w2 = uint64(1) << 40, uint64(2) << 40
+
+	coordinator := []Event{
+		span("sbeval", 0, 10000, 1, 0),
+		span("dist.unit", 100, 9000, 2, 1, String("unit", "bench1/blk3")),
+		span("dist.unit", 150, 8000, 3, 1, String("unit", "bench2/blk9")),
+	}
+	// worker1's clock runs 2ms AHEAD of the coordinator: local = server + 2ms.
+	w1at := func(serverUS int64) time.Time { return at(serverUS + 2000) }
+	worker1 := []Event{
+		{Name: ClockEventName, Time: w1at(500), Attrs: []Attr{
+			String(ClockHostAttr, "127.0.0.1:9000"),
+			Int(ClockRemoteAttr, at(500).UnixNano()),
+		}},
+		{Name: "engine.run", Time: w1at(9500), Dur: 8600 * time.Microsecond,
+			Trace: 7, Span: w1 + 1},
+		{Name: "engine.job", Time: w1at(4000), Dur: 2800 * time.Microsecond,
+			Trace: 7, Span: w1 + 2, Parent: 2,
+			Attrs: []Attr{String("dist_unit", "bench1/blk3")}},
+		{Name: "exact.progress", Time: w1at(2000),
+			Trace: 7, Span: w1 + 3, Parent: w1 + 2,
+			Attrs: []Attr{Int("nodes", 4096)}},
+	}
+	// worker2's clock runs 5ms BEHIND: local = server - 5ms.
+	w2at := func(serverUS int64) time.Time { return at(serverUS - 5000) }
+	worker2 := []Event{
+		{Name: ClockEventName, Time: w2at(600), Attrs: []Attr{
+			String(ClockHostAttr, "127.0.0.1:9000"),
+			Int(ClockRemoteAttr, at(600).UnixNano()),
+		}},
+		{Name: "engine.run", Time: w2at(8500), Dur: 7400 * time.Microsecond,
+			Trace: 7, Span: w2 + 1},
+		{Name: "engine.job", Time: w2at(6000), Dur: 4000 * time.Microsecond,
+			Trace: 7, Span: w2 + 2, Parent: 3,
+			Attrs: []Attr{String("dist_unit", "bench2/blk9")}},
+	}
+	return []TraceProcess{
+		{Name: "coordinator", Events: coordinator},
+		{Name: "worker1", Events: worker1},
+		{Name: "worker2", Events: worker2},
+	}
+}
+
+// jsonlRoundTrip serializes events the way JSONLSink would and parses
+// them back, so every merge test also exercises the writer/parser pair.
+func jsonlRoundTrip(t *testing.T, events []Event) []Event {
+	t.Helper()
+	var buf []byte
+	for i := range events {
+		buf = events[i].appendJSON(buf)
+		buf = append(buf, '\n')
+	}
+	got, err := ParseJSONLTrace(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("ParseJSONLTrace: %v", err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("round trip lost events: got %d, want %d", len(got), len(events))
+	}
+	return got
+}
+
+// alignedFixture round-trips each fixture process through JSONL and
+// fills in its clock offset, as cmd/sbtrace does with real files.
+func alignedFixture(t *testing.T) []TraceProcess {
+	t.Helper()
+	procs := mergeFixture()
+	for i := range procs {
+		procs[i].Events = jsonlRoundTrip(t, procs[i].Events)
+		off, ok := ClockOffset(procs[i].Events)
+		if i == 0 {
+			if ok {
+				t.Fatalf("coordinator has a clock event; it is the reference")
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("%s: no clock offset found", procs[i].Name)
+		}
+		procs[i].Offset = off
+	}
+	return procs
+}
+
+func TestClockOffsets(t *testing.T) {
+	procs := alignedFixture(t)
+	if want := -2 * time.Millisecond; procs[1].Offset != want {
+		t.Errorf("worker1 offset %v, want %v", procs[1].Offset, want)
+	}
+	if want := 5 * time.Millisecond; procs[2].Offset != want {
+		t.Errorf("worker2 offset %v, want %v", procs[2].Offset, want)
+	}
+}
+
+// TestMergedTimelineGolden locks the multi-process render byte-for-byte:
+// pid blocks, clock-aligned timestamps on the shared epoch, lane packing
+// per process. Regenerate with
+//
+//	UPDATE_TRACE_GOLDEN=1 go test ./internal/telemetry -run TestMergedTimelineGolden
+func TestMergedTimelineGolden(t *testing.T) {
+	procs := alignedFixture(t)
+	if findings := LintProcesses(procs); len(findings) != 0 {
+		t.Fatalf("fixture must lint clean, got: %v", findings)
+	}
+	got := RenderProcesses(procs)
+
+	const goldenPath = "testdata/tracemerge_golden.json"
+	if update() {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("merged timeline drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// Reversing each file's line order must not change the render.
+	rev := alignedFixture(t)
+	for p := range rev {
+		ev := rev[p].Events
+		for i, j := 0, len(ev)-1; i < j; i, j = i+1, j-1 {
+			ev[i], ev[j] = ev[j], ev[i]
+		}
+	}
+	if again := RenderProcesses(rev); !bytes.Equal(got, again) {
+		t.Errorf("event order changed the merged render")
+	}
+}
+
+// TestStatsTextGolden locks the -stats report: span-kind rollups, the
+// per-trace critical path crossing the coordinator->worker boundary, and
+// the cross-process gap (network + queue time) computed on aligned
+// clocks. Regenerate with UPDATE_TRACE_GOLDEN=1.
+func TestStatsTextGolden(t *testing.T) {
+	got := StatsText(alignedFixture(t))
+
+	// The load-bearing lines, asserted directly so a stale golden cannot
+	// hide a computation bug: the critical path descends from the
+	// coordinator's root through its longest unit span into the worker's
+	// job, and the two cross-process gaps are (1200-100)us and (2000-150)us.
+	for _, want := range []string{
+		"trace 0000000000000007 spans 7 processes 3 wall 10.000ms critical sbeval > dist.unit > engine.job",
+		"dist.unit -> engine.job                  count 2 gap mean 1.475ms max 1.850ms",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("stats missing %q:\n%s", want, got)
+		}
+	}
+
+	const goldenPath = "testdata/tracemerge_stats_golden.txt"
+	if update() {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("stats drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestLintFindings(t *testing.T) {
+	kinds := func(fs []LintFinding) []string {
+		var out []string
+		for _, f := range fs {
+			out = append(out, f.Process+"/"+f.Kind)
+		}
+		return out
+	}
+
+	// Dropping the coordinator's file (a SIGKILL'd process leaves a torn
+	// file behind) orphans the workers' cross-process parents.
+	orphaned := alignedFixture(t)[1:]
+	fs := LintProcesses(orphaned)
+	if got := kinds(fs); len(got) != 2 || got[0] != "worker1/orphan-parent" || got[1] != "worker2/orphan-parent" {
+		t.Errorf("dropped-file lint = %v, want two orphan-parent findings", fs)
+	}
+
+	// A worker that re-used another's span-ID range aliases its spans.
+	collided := alignedFixture(t)
+	dup := collided[1].Events[2] // worker1's engine.job
+	collided[2].Events = append(collided[2].Events, dup)
+	fs = LintProcesses(collided)
+	if got := kinds(fs); len(got) != 1 || got[0] != "worker2/span-collision" {
+		t.Errorf("collision lint = %v, want one worker2 span-collision", fs)
+	}
+
+	// Negative durations and children starting before their same-process
+	// parent are clock bugs worth flagging.
+	broken := alignedFixture(t)
+	base := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	broken[0].Events = append(broken[0].Events,
+		Event{Name: "bad.dur", Time: base, Dur: -5 * time.Microsecond, Trace: 7, Span: 90},
+		Event{Name: "early.child", Time: base.Add(100 * time.Microsecond),
+			Dur: 600 * time.Microsecond, Trace: 7, Span: 91, Parent: 1}, // starts 500us before span 1
+	)
+	fs = LintProcesses(broken)
+	if got := kinds(fs); len(got) != 2 || got[0] != "coordinator/negative-duration" || got[1] != "coordinator/non-monotone" {
+		t.Errorf("broken-clock lint = %v, want negative-duration + non-monotone", fs)
+	}
+}
+
+func TestParseJSONLTraceErrors(t *testing.T) {
+	if _, err := ParseJSONLTrace(strings.NewReader("{\"name\":\"a\",\"ts\":\"2026-01-02T03:04:05Z\"}\nnot json\n")); err == nil {
+		t.Error("malformed line accepted")
+	} else if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error should name the line: %v", err)
+	}
+	if _, err := ParseJSONLTrace(strings.NewReader("{\"name\":\"a\",\"ts\":\"yesterday\"}\n")); err == nil {
+		t.Error("bad timestamp accepted")
+	}
+	ev, err := ParseJSONLTrace(strings.NewReader("\n\n"))
+	if err != nil || len(ev) != 0 {
+		t.Errorf("blank lines: events %v err %v", ev, err)
+	}
+}
+
+// TestConcurrentMultiWriterMerge is the end-to-end multi-writer check:
+// two registries (standing in for two processes) write JSONL trace
+// streams concurrently while sharing one trace via SB-Trace header
+// propagation. The merged result must parse, lint clean (the process-
+// global span allocator guarantees disjoint IDs), and render
+// deterministically.
+func TestConcurrentMultiWriterMerge(t *testing.T) {
+	var bufA, bufB bytes.Buffer
+	regA, regB := NewRegistry(), NewRegistry()
+	regA.SetSink(NewJSONLSink(&bufA))
+	regB.SetSink(NewJSONLSink(&bufB))
+
+	root, ctx := regA.StartSpanCtx(context.Background(), "sbload")
+	header := root.Context().Header()
+
+	const workers, per = 4, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(2)
+		go func() { // "client process" spans
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				sp, sctx := regA.StartSpanCtx(ctx, "sbload.request")
+				regA.EmitCtx(sctx, "wire.retry", Int("attempt", int64(i)))
+				sp.End(Int("worker", int64(w)))
+			}
+		}()
+		go func() { // "server process": joined only through the header
+			defer wg.Done()
+			sc, ok := ParseTraceHeader(header)
+			if !ok {
+				t.Error("server rejected propagated header")
+				return
+			}
+			jctx := ContextWithSpan(context.Background(), sc)
+			for i := 0; i < per; i++ {
+				sp, _ := regB.StartSpanCtx(jctx, "service.request")
+				sp.End(String("endpoint", fmt.Sprintf("/v1/x%d", w)))
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	regA.SetSink(nil)
+	regB.SetSink(nil)
+
+	evA, err := ParseJSONLTrace(bytes.NewReader(bufA.Bytes()))
+	if err != nil {
+		t.Fatalf("parse A: %v", err)
+	}
+	evB, err := ParseJSONLTrace(bytes.NewReader(bufB.Bytes()))
+	if err != nil {
+		t.Fatalf("parse B: %v", err)
+	}
+	if len(evA) != workers*per*2+1 || len(evB) != workers*per {
+		t.Fatalf("event counts: A %d B %d, want %d and %d", len(evA), len(evB), workers*per*2+1, workers*per)
+	}
+	procs := []TraceProcess{{Name: "a", Events: evA}, {Name: "b", Events: evB}}
+	if findings := LintProcesses(procs); len(findings) != 0 {
+		t.Fatalf("concurrent merge must lint clean, got %d findings, first: %v", len(findings), findings[0])
+	}
+	for i := range evB {
+		if evB[i].Trace != root.Context().Trace || evB[i].Parent != root.Context().Span {
+			t.Fatalf("server span %d not joined under the propagated root: %+v", i, evB[i])
+		}
+	}
+
+	// Determinism: rendering the merge with each file's lines reversed
+	// must produce identical bytes.
+	first := RenderProcesses(procs)
+	for p := range procs {
+		ev := procs[p].Events
+		for i, j := 0, len(ev)-1; i < j; i, j = i+1, j-1 {
+			ev[i], ev[j] = ev[j], ev[i]
+		}
+	}
+	if again := RenderProcesses(procs); !bytes.Equal(first, again) {
+		t.Error("merged render depends on file line order")
+	}
+}

@@ -1,0 +1,84 @@
+package wire
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"balance/internal/telemetry"
+)
+
+// Cross-process trace propagation at the HTTP layer. Clients inject the
+// span context carried by their request context as an SB-Trace header
+// (injected by Post and Get automatically); servers extract it with
+// ExtractTrace so their request spans parent the caller's span under one
+// trace ID. Responses carry the server's clock in SB-Time (WithServerTime),
+// which the client turns into a once-per-host trace.clock instant — the
+// handshake cmd/sbtrace uses to align per-process trace files onto one
+// timeline.
+
+// injectTrace sets the SB-Trace header from the span context carried by
+// ctx, if any. Requests outside a trace stay header-free.
+func injectTrace(ctx context.Context, h http.Header) {
+	if sc := telemetry.SpanFromContext(ctx); sc.Trace != 0 {
+		h.Set(telemetry.TraceHeader, sc.Header())
+	}
+}
+
+// clockSeen marks remote hosts whose clock has been recorded, so each
+// trace file carries one trace.clock instant per server rather than one
+// per request.
+var clockSeen sync.Map
+
+// observeServerTime turns a response's SB-Time header into the
+// once-per-host trace.clock instant. The event's own timestamp is the
+// local receipt time, so offset = remote - local (see
+// telemetry.ClockOffset); the one-way network delay is the error bound,
+// which is fine for timeline alignment.
+func observeServerTime(resp *http.Response) {
+	reg := telemetry.Default()
+	if !reg.SinkActive() {
+		return
+	}
+	v := resp.Header.Get(telemetry.TimeHeader)
+	if v == "" {
+		return
+	}
+	ns, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return
+	}
+	var host string
+	if resp.Request != nil && resp.Request.URL != nil {
+		host = resp.Request.URL.Host
+	}
+	if _, dup := clockSeen.LoadOrStore(host, struct{}{}); dup {
+		return
+	}
+	reg.Emit(telemetry.ClockEventName,
+		telemetry.Int(telemetry.ClockRemoteAttr, ns),
+		telemetry.String(telemetry.ClockHostAttr, host))
+}
+
+// ExtractTrace returns the request's context carrying the span context
+// from its SB-Trace header. A missing or malformed header leaves the
+// context unchanged, so the server's span starts a fresh root — garbage
+// from the wire must never poison server-side telemetry.
+func ExtractTrace(r *http.Request) context.Context {
+	if sc, ok := telemetry.ParseTraceHeader(r.Header.Get(telemetry.TraceHeader)); ok {
+		return telemetry.ContextWithSpan(r.Context(), sc)
+	}
+	return r.Context()
+}
+
+// WithServerTime wraps h so every response carries the server's clock as
+// Unix nanoseconds in the SB-Time header — the server's half of the
+// clock-alignment handshake.
+func WithServerTime(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(telemetry.TimeHeader, strconv.FormatInt(time.Now().UnixNano(), 10))
+		h.ServeHTTP(w, r)
+	})
+}

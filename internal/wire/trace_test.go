@@ -1,0 +1,124 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"balance/internal/telemetry"
+)
+
+// TestTracePropagation drives a real request through Post with a span
+// context on the ctx and asserts the three wire-level contracts: the
+// SB-Trace header arrives and extracts to the client's span context, the
+// SB-Time header comes back, and the client records one trace.clock
+// instant per host (not per request).
+func TestTracePropagation(t *testing.T) {
+	var gotHeader string
+	var extracted telemetry.SpanContext
+	srv := httptest.NewServer(WithServerTime(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotHeader = r.Header.Get(telemetry.TraceHeader)
+		extracted = telemetry.SpanFromContext(ExtractTrace(r))
+		WriteJSON(w, http.StatusOK, Ready{Ready: true})
+	})))
+	defer srv.Close()
+
+	// A JSONL sink on the default registry captures the trace.clock
+	// instants the client emits.
+	var buf bytes.Buffer
+	reg := telemetry.Default()
+	reg.SetSink(telemetry.NewJSONLSink(&buf))
+	defer reg.SetSink(nil)
+
+	sc := telemetry.NewSpanContext(0)
+	ctx := telemetry.ContextWithSpan(context.Background(), sc)
+	for i := 0; i < 3; i++ {
+		if _, _, err := Post(ctx, srv.Client(), srv.URL, &Ready{}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if want := sc.Header(); gotHeader != want {
+		t.Errorf("server saw SB-Trace %q, want %q", gotHeader, want)
+	}
+	if extracted != sc {
+		t.Errorf("ExtractTrace got %+v, want %+v", extracted, sc)
+	}
+
+	events, err := telemetry.ParseJSONLTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clocks := 0
+	for i := range events {
+		if events[i].Name == telemetry.ClockEventName {
+			clocks++
+			off, ok := telemetry.ClockOffset(events[i : i+1])
+			if !ok {
+				t.Fatal("clock event missing remote_unix_ns")
+			}
+			// Same machine, same clock: the offset is bounded by the
+			// request round trip.
+			if off < -time.Minute || off > time.Minute {
+				t.Errorf("clock offset %v implausible for a loopback request", off)
+			}
+		}
+	}
+	if clocks != 1 {
+		t.Errorf("got %d trace.clock events over 3 requests to one host, want 1", clocks)
+	}
+}
+
+// TestTraceHeaderAbsent checks both halves of the no-trace path: a ctx
+// without a span context sends no header, and a malformed inbound header
+// extracts to nothing.
+func TestTraceHeaderAbsent(t *testing.T) {
+	var header string
+	var extracted telemetry.SpanContext
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		header = r.Header.Get(telemetry.TraceHeader)
+		extracted = telemetry.SpanFromContext(ExtractTrace(r))
+		WriteJSON(w, http.StatusOK, Ready{Ready: true})
+	}))
+	defer srv.Close()
+
+	if _, _, err := Get(context.Background(), srv.Client(), srv.URL, nil); err != nil {
+		t.Fatal(err)
+	}
+	if header != "" {
+		t.Errorf("traceless request sent SB-Trace %q", header)
+	}
+	if extracted != (telemetry.SpanContext{}) {
+		t.Errorf("absent header extracted to %+v", extracted)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, srv.URL, nil)
+	req.Header.Set(telemetry.TraceHeader, "00-garbage-header")
+	if _, err := srv.Client().Do(req); err != nil {
+		t.Fatal(err)
+	}
+	if extracted != (telemetry.SpanContext{}) {
+		t.Errorf("malformed header extracted to %+v, want zero (fresh-root fallback)", extracted)
+	}
+}
+
+func TestWithServerTime(t *testing.T) {
+	h := WithServerTime(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	rec := httptest.NewRecorder()
+	before := time.Now().UnixNano()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	after := time.Now().UnixNano()
+	ns, err := strconv.ParseInt(rec.Header().Get(telemetry.TimeHeader), 10, 64)
+	if err != nil {
+		t.Fatalf("SB-Time header: %v", err)
+	}
+	if ns < before || ns > after {
+		t.Errorf("SB-Time %d outside [%d, %d]", ns, before, after)
+	}
+}

@@ -251,11 +251,13 @@ func Post(ctx context.Context, hc *http.Client, url string, in, out any) (int, h
 		return 0, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	injectTrace(ctx, req.Header)
 	resp, err := hc.Do(req)
 	if err != nil {
 		return 0, nil, err
 	}
 	defer resp.Body.Close()
+	observeServerTime(resp)
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		var e Error
 		if derr := DecodeJSON(resp.Body, &e); derr != nil || e.Error == "" {
@@ -280,11 +282,13 @@ func Get(ctx context.Context, hc *http.Client, url string, out any) (int, http.H
 	if err != nil {
 		return 0, nil, err
 	}
+	injectTrace(ctx, req.Header)
 	resp, err := hc.Do(req)
 	if err != nil {
 		return 0, nil, err
 	}
 	defer resp.Body.Close()
+	observeServerTime(resp)
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		var e Error
 		if derr := DecodeJSON(resp.Body, &e); derr != nil || e.Error == "" {
